@@ -1,0 +1,209 @@
+//! The Munkres/Hungarian algorithm for rectangular assignment, maximization
+//! form, `O(n³)`.
+
+/// Solves the rectangular assignment problem **maximizing** total weight.
+///
+/// `weight(i, j)` gives the benefit of assigning row `i` (0..rows) to column
+/// `j` (0..cols). Returns, for each row, the assigned column (`None` when
+/// `rows > cols` leaves the row unmatched). Every returned column is unique.
+///
+/// Implementation: the classical potential-based Hungarian algorithm on the
+/// cost matrix `max_weight - weight`, padded implicitly to square shape.
+pub fn hungarian_max<F>(rows: usize, cols: usize, weight: F) -> Vec<Option<usize>>
+where
+    F: Fn(usize, usize) -> f64,
+{
+    if rows == 0 || cols == 0 {
+        return vec![None; rows];
+    }
+    let n = rows.max(cols);
+    // Build the square cost matrix. Padding rows/columns cost 0 so they
+    // never distort the real assignment.
+    let mut max_w = 0.0_f64;
+    for i in 0..rows {
+        for j in 0..cols {
+            max_w = max_w.max(weight(i, j));
+        }
+    }
+    let cost = |i: usize, j: usize| -> f64 {
+        if i < rows && j < cols {
+            max_w - weight(i, j)
+        } else {
+            0.0
+        }
+    };
+
+    // Potentials + augmenting path method (1-indexed helpers, classic
+    // formulation from competitive-programming folklore / Lawler).
+    let mut u = vec![0.0_f64; n + 1];
+    let mut v = vec![0.0_f64; n + 1];
+    let mut p = vec![0usize; n + 1]; // p[j] = row matched to column j (1-based)
+    let mut way = vec![0usize; n + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut result = vec![None; rows];
+    for j in 1..=n {
+        let i = p[j];
+        if i >= 1 && i <= rows && j <= cols {
+            result[i - 1] = Some(j - 1);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(rows: usize, m: &[Vec<f64>], assignment: &[Option<usize>]) -> f64 {
+        (0..rows)
+            .filter_map(|i| assignment[i].map(|j| m[i][j]))
+            .sum()
+    }
+
+    #[test]
+    fn square_identity_case() {
+        let m = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let a = hungarian_max(3, 3, |i, j| m[i][j]);
+        assert_eq!(a, vec![Some(0), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn prefers_global_optimum_over_greedy() {
+        // Greedy would pick (0,0)=0.9 then be stuck with (1,1)=0.0;
+        // optimal is (0,1)+(1,0) = 0.8 + 0.8.
+        let m = vec![vec![0.9, 0.8], vec![0.8, 0.0]];
+        let a = hungarian_max(2, 2, |i, j| m[i][j]);
+        assert_eq!(a, vec![Some(1), Some(0)]);
+        assert!((total(2, &m, &a) - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rectangular_wide_matrix() {
+        // 2 rows, 4 cols: both rows matched, to distinct columns.
+        let m = vec![vec![0.1, 0.9, 0.2, 0.3], vec![0.2, 0.8, 0.1, 0.05]];
+        let a = hungarian_max(2, 4, |i, j| m[i][j]);
+        assert_eq!(a[0], Some(1));
+        assert_eq!(a[1], Some(0));
+    }
+
+    #[test]
+    fn rectangular_tall_matrix_leaves_rows_unmatched() {
+        let m = vec![vec![0.9], vec![0.8], vec![0.7]];
+        let a = hungarian_max(3, 1, |i, j| m[i][j]);
+        let matched: Vec<_> = a.iter().filter(|x| x.is_some()).collect();
+        assert_eq!(matched.len(), 1);
+        assert_eq!(a[0], Some(0)); // the best row wins the only column
+    }
+
+    #[test]
+    fn columns_are_unique() {
+        let m = vec![
+            vec![0.5, 0.5, 0.5],
+            vec![0.5, 0.5, 0.5],
+            vec![0.5, 0.5, 0.5],
+        ];
+        let a = hungarian_max(3, 3, |i, j| m[i][j]);
+        let mut cols: Vec<_> = a.iter().flatten().collect();
+        cols.sort();
+        cols.dedup();
+        assert_eq!(cols.len(), 3);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(hungarian_max(0, 5, |_, _| 0.0).is_empty());
+        assert_eq!(hungarian_max(2, 0, |_, _| 0.0), vec![None, None]);
+    }
+
+    #[test]
+    fn randomized_beats_or_ties_greedy() {
+        // Deterministic pseudo-random matrices: Hungarian total must be at
+        // least the greedy total.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0
+        };
+        for _ in 0..20 {
+            let rows = 5;
+            let cols = 7;
+            let m: Vec<Vec<f64>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rnd()).collect())
+                .collect();
+            let a = hungarian_max(rows, cols, |i, j| m[i][j]);
+            let hung_total = total(rows, &m, &a);
+            // Greedy baseline.
+            let mut pairs: Vec<(usize, usize, f64)> = (0..rows)
+                .flat_map(|i| (0..cols).map(move |j| (i, j)))
+                .map(|(i, j)| (i, j, m[i][j]))
+                .collect();
+            pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+            let mut used_r = vec![false; rows];
+            let mut used_c = vec![false; cols];
+            let mut greedy_total = 0.0;
+            for (i, j, w) in pairs {
+                if !used_r[i] && !used_c[j] {
+                    used_r[i] = true;
+                    used_c[j] = true;
+                    greedy_total += w;
+                }
+            }
+            assert!(
+                hung_total >= greedy_total - 1e-9,
+                "hungarian {hung_total} < greedy {greedy_total}"
+            );
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Correspondence selection from pairwise similarity matrices.
+//!
+//! After EMS (or a baseline) produces the pairwise similarities of two event
+//! sets, correspondences must be selected. The paper uses the
+//! *maximum total similarity* selection — the classical assignment problem,
+//! solved here by the Munkres/Hungarian algorithm \[17\] in `O(n³)` — and
+//! notes that other selectors exist; this crate also offers the common
+//! greedy and threshold selectors for comparison:
+//!
+//! * [`max_total_assignment`] — optimal 1:1 assignment maximizing the sum of
+//!   similarities (Munkres);
+//! * [`greedy_assignment`] — repeatedly pick the globally largest remaining
+//!   pair (what GED-style matchers typically use);
+//! * [`threshold_selection`] — all pairs above a threshold (m:n).
+//!
+//! All selectors can drop pairs below a minimum score, since an assignment
+//! is forced to match everything otherwise — even noise.
+
+mod hungarian;
+mod select;
+
+pub use hungarian::hungarian_max;
+pub use select::{
+    greedy_assignment, max_total_assignment, threshold_selection, Correspondence,
+};

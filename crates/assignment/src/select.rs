@@ -1,0 +1,169 @@
+//! Correspondence selectors built on raw similarity access.
+
+use crate::hungarian::hungarian_max;
+
+/// A selected correspondence between event `left` of log 1 and event `right`
+/// of log 2, with its similarity score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Correspondence {
+    /// Row (event index in log 1).
+    pub left: usize,
+    /// Column (event index in log 2).
+    pub right: usize,
+    /// The pair's similarity.
+    pub score: f64,
+}
+
+/// Maximum-total-similarity selection (the paper's choice, \[17\]): the
+/// optimal 1:1 assignment, with pairs scoring below `min_score` dropped
+/// afterwards.
+pub fn max_total_assignment<F>(
+    rows: usize,
+    cols: usize,
+    sim: F,
+    min_score: f64,
+) -> Vec<Correspondence>
+where
+    F: Fn(usize, usize) -> f64,
+{
+    let assignment = hungarian_max(rows, cols, &sim);
+    let mut out: Vec<Correspondence> = assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &j)| {
+            j.map(|j| Correspondence {
+                left: i,
+                right: j,
+                score: sim(i, j),
+            })
+        })
+        .filter(|c| c.score >= min_score)
+        .collect();
+    out.sort_by(|a, b| (a.left, a.right).cmp(&(b.left, b.right)));
+    out
+}
+
+/// Greedy 1:1 selection: repeatedly pick the largest remaining pair whose
+/// row and column are both free, stopping below `min_score`.
+pub fn greedy_assignment<F>(
+    rows: usize,
+    cols: usize,
+    sim: F,
+    min_score: f64,
+) -> Vec<Correspondence>
+where
+    F: Fn(usize, usize) -> f64,
+{
+    let mut pairs: Vec<Correspondence> = (0..rows)
+        .flat_map(|i| (0..cols).map(move |j| (i, j)))
+        .map(|(i, j)| Correspondence {
+            left: i,
+            right: j,
+            score: sim(i, j),
+        })
+        .filter(|c| c.score >= min_score)
+        .collect();
+    pairs.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then((a.left, a.right).cmp(&(b.left, b.right)))
+    });
+    let mut used_r = vec![false; rows];
+    let mut used_c = vec![false; cols];
+    let mut out = Vec::new();
+    for c in pairs {
+        if !used_r[c.left] && !used_c[c.right] {
+            used_r[c.left] = true;
+            used_c[c.right] = true;
+            out.push(c);
+        }
+    }
+    out.sort_by(|a, b| (a.left, a.right).cmp(&(b.left, b.right)));
+    out
+}
+
+/// Threshold (m:n) selection: every pair scoring at least `threshold` is a
+/// correspondence. Allows one event to correspond to many.
+pub fn threshold_selection<F>(
+    rows: usize,
+    cols: usize,
+    sim: F,
+    threshold: f64,
+) -> Vec<Correspondence>
+where
+    F: Fn(usize, usize) -> f64,
+{
+    (0..rows)
+        .flat_map(|i| (0..cols).map(move |j| (i, j)))
+        .map(|(i, j)| Correspondence {
+            left: i,
+            right: j,
+            score: sim(i, j),
+        })
+        .filter(|c| c.score >= threshold)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: [[f64; 3]; 3] = [
+        [0.9, 0.2, 0.1],
+        [0.3, 0.8, 0.7],
+        [0.1, 0.75, 0.6],
+    ];
+
+    fn sim(i: usize, j: usize) -> f64 {
+        M[i][j]
+    }
+
+    #[test]
+    fn max_total_picks_the_optimum() {
+        let cs = max_total_assignment(3, 3, sim, 0.0);
+        assert_eq!(cs.len(), 3);
+        // Optimal: (0,0) + (1,2) + (2,1) = 0.9 + 0.7 + 0.75 = 2.35
+        // vs greedy (0,0)+(1,1)+(2,2) = 0.9+0.8+0.6 = 2.3.
+        let total: f64 = cs.iter().map(|c| c.score).sum();
+        assert!((total - 2.35).abs() < 1e-12, "total {total}");
+    }
+
+    #[test]
+    fn min_score_drops_weak_pairs() {
+        let cs = max_total_assignment(3, 3, sim, 0.72);
+        assert_eq!(cs.len(), 2);
+        assert!(cs.iter().all(|c| c.score >= 0.72));
+    }
+
+    #[test]
+    fn greedy_takes_local_maxima() {
+        let cs = greedy_assignment(3, 3, sim, 0.0);
+        // Greedy: 0.9 (0,0), then 0.8 (1,1), then 0.6 (2,2).
+        let total: f64 = cs.iter().map(|c| c.score).sum();
+        assert!((total - 2.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_allows_m_to_n() {
+        let cs = threshold_selection(3, 3, sim, 0.7);
+        // 0.9, 0.8, 0.7, 0.75 qualify: row 1 appears twice.
+        assert_eq!(cs.len(), 4);
+        assert!(cs.iter().filter(|c| c.left == 1).count() == 2);
+    }
+
+    #[test]
+    fn outputs_are_sorted_by_position() {
+        let cs = max_total_assignment(3, 3, sim, 0.0);
+        for w in cs.windows(2) {
+            assert!((w[0].left, w[0].right) < (w[1].left, w[1].right));
+        }
+    }
+
+    #[test]
+    fn empty_matrices() {
+        assert!(max_total_assignment(0, 0, |_, _| 0.0, 0.0).is_empty());
+        assert!(greedy_assignment(0, 3, |_, _| 0.0, 0.0).is_empty());
+        assert!(threshold_selection(3, 0, |_, _| 0.0, 0.0).is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: the Hungarian algorithm is optimal (checked against
+//! brute force on small instances) and structurally valid on larger ones.
+
+use ems_assignment::{greedy_assignment, hungarian_max, max_total_assignment};
+use proptest::prelude::*;
+
+fn total(m: &[Vec<f64>], assignment: &[Option<usize>]) -> f64 {
+    assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &j)| j.map(|j| m[i][j]))
+        .sum()
+}
+
+/// Brute-force optimal assignment total for tiny matrices.
+fn brute_force(m: &[Vec<f64>]) -> f64 {
+    let rows = m.len();
+    let cols = m[0].len();
+    let k = rows.min(cols);
+    let mut best = f64::NEG_INFINITY;
+    // Permute column choices for the first k rows (rows <= cols assumed by
+    // caller flipping).
+    let mut cols_vec: Vec<usize> = (0..cols).collect();
+    permute(&mut cols_vec, 0, &mut |perm| {
+        let mut s = 0.0;
+        for i in 0..k {
+            s += m[i][perm[i]];
+        }
+        if s > best {
+            best = s;
+        }
+    });
+    best
+}
+
+fn permute(v: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+    if k == v.len() {
+        f(v);
+        return;
+    }
+    for i in k..v.len() {
+        v.swap(k, i);
+        permute(v, k + 1, f);
+        v.swap(k, i);
+    }
+}
+
+fn arb_matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(prop::collection::vec(0.0f64..1.0, c..=c), r..=r)
+    })
+}
+
+proptest! {
+    #[test]
+    fn hungarian_matches_brute_force_on_small(m in arb_matrix(4, 4)) {
+        prop_assume!(m.len() <= m[0].len()); // brute force permutes columns
+        let a = hungarian_max(m.len(), m[0].len(), |i, j| m[i][j]);
+        let hung = total(&m, &a);
+        let brute = brute_force(&m);
+        prop_assert!((hung - brute).abs() < 1e-9, "hungarian {hung} vs brute {brute}");
+    }
+
+    #[test]
+    fn assignment_is_injective(m in arb_matrix(8, 8)) {
+        let a = hungarian_max(m.len(), m[0].len(), |i, j| m[i][j]);
+        let mut cols: Vec<usize> = a.iter().flatten().copied().collect();
+        let matched = cols.len();
+        cols.sort_unstable();
+        cols.dedup();
+        prop_assert_eq!(cols.len(), matched);
+        prop_assert_eq!(matched, m.len().min(m[0].len()));
+        for &c in &cols {
+            prop_assert!(c < m[0].len());
+        }
+    }
+
+    #[test]
+    fn hungarian_total_at_least_greedy(m in arb_matrix(7, 9)) {
+        let rows = m.len();
+        let cols = m[0].len();
+        let h: f64 = max_total_assignment(rows, cols, |i, j| m[i][j], 0.0)
+            .iter()
+            .map(|c| c.score)
+            .sum();
+        let g: f64 = greedy_assignment(rows, cols, |i, j| m[i][j], 0.0)
+            .iter()
+            .map(|c| c.score)
+            .sum();
+        prop_assert!(h >= g - 1e-9, "hungarian {h} < greedy {g}");
+    }
+
+    #[test]
+    fn min_score_filter_never_keeps_weak_pairs(
+        m in arb_matrix(6, 6),
+        threshold in 0.0f64..1.0,
+    ) {
+        let cs = max_total_assignment(m.len(), m[0].len(), |i, j| m[i][j], threshold);
+        for c in cs {
+            prop_assert!(c.score >= threshold);
+        }
+    }
+}

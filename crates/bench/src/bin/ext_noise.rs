@@ -1,0 +1,51 @@
+//! Extension experiment (beyond the paper): robustness to log-quality noise.
+//!
+//! Real exporters drop, duplicate and reorder entries. This sweep measures
+//! how each matcher degrades as recording noise grows — complementing the
+//! paper's heterogeneity dimensions (opacity, dislocation, composites) with
+//! the data-quality dimension its real logs implicitly contained.
+
+use ems_bench::methods::{accuracy, run_method, Method};
+use ems_bench::testbeds::{dislocation_pairs, Testbed, Workload};
+use ems_eval::Table;
+use ems_synth::{apply_noise, NoiseConfig};
+
+fn main() {
+    let methods = [Method::Ems, Method::EmsEstimated(5), Method::Ged, Method::Bhv];
+    let headers: Vec<String> = std::iter::once("noise".to_owned())
+        .chain(methods.iter().map(|m| m.name()))
+        .collect();
+    let mut table = Table::new(
+        "Extension: f-measure vs recording noise (drop = duplicate = swap = p)",
+        headers,
+    );
+    let w = Workload {
+        pairs: 5,
+        ..Workload::default()
+    };
+    let base_pairs = dislocation_pairs(Testbed::DsF, &w);
+    for p in [0.0, 0.02, 0.05, 0.10, 0.15] {
+        let mut cells = vec![format!("{p:.2}")];
+        for &method in &methods {
+            let mut f = 0.0;
+            for (k, pair) in base_pairs.iter().enumerate() {
+                let mut noisy = pair.clone();
+                noisy.log2 = apply_noise(
+                    &pair.log2,
+                    &NoiseConfig {
+                        drop_prob: p,
+                        duplicate_prob: p,
+                        swap_prob: p,
+                        seed: 77 + k as u64,
+                    },
+                );
+                let run = run_method(method, &noisy, 1.0);
+                f += accuracy(&noisy, &run).f_measure;
+            }
+            cells.push(format!("{:.3}", f / base_pairs.len() as f64));
+        }
+        table.row(cells);
+    }
+    print!("{}", table.to_text());
+    let _ = table.write_csv("results/ext_noise.csv");
+}

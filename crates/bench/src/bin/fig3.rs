@@ -1,0 +1,49 @@
+//! Figure 3: performance on matching singleton events, structural
+//! similarity only (opaque names, α = 1).
+//!
+//! Reproduces both panels: (a) F-measure and (b) time per log pair, for
+//! EMS, EMS+es(I=5), GED, OPQ and BHV on the DS-F / DS-B / DS-FB
+//! dislocation testbeds.
+
+use ems_bench::methods::{accuracy, run_method, Method};
+use ems_bench::testbeds::{dislocation_pairs, Testbed, Workload};
+use ems_eval::{Aggregate, Table};
+
+fn main() {
+    let w = Workload::default();
+    let mut f_table = Table::new(
+        "Figure 3(a): f-measure, singleton matching, structural only",
+        vec!["method", "DS-F", "DS-B", "DS-FB"],
+    );
+    let mut t_table = Table::new(
+        "Figure 3(b): time per log pair (ms)",
+        vec!["method", "DS-F", "DS-B", "DS-FB"],
+    );
+    let beds: Vec<_> = Testbed::all()
+        .iter()
+        .map(|&tb| (tb, dislocation_pairs(tb, &w)))
+        .collect();
+    for method in Method::lineup() {
+        let mut f_cells = vec![method.name()];
+        let mut t_cells = vec![method.name()];
+        for (_, pairs) in &beds {
+            let mut fs = Vec::with_capacity(pairs.len());
+            let mut t_sum = 0.0;
+            for pair in pairs {
+                let run = run_method(method, pair, 1.0);
+                fs.push(accuracy(pair, &run).f_measure);
+                t_sum += run.secs;
+            }
+            let agg = Aggregate::of(&fs);
+            f_cells.push(format!("{:.3}±{:.2}", agg.mean, agg.std_dev));
+            t_cells.push(format!("{:.1}", 1e3 * t_sum / pairs.len() as f64));
+        }
+        f_table.row(f_cells);
+        t_table.row(t_cells);
+    }
+    print!("{}", f_table.to_text());
+    println!();
+    print!("{}", t_table.to_text());
+    let _ = f_table.write_csv("results/fig3a.csv");
+    let _ = t_table.write_csv("results/fig3b.csv");
+}

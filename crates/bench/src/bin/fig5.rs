@@ -1,0 +1,40 @@
+//! Figure 5: the accuracy/time trade-off of the similarity estimation
+//! (Section 3.5) — F-measure and time as the number of exact iterations
+//! `I` grows from 0 to MAX (no estimation).
+
+use ems_bench::methods::{accuracy, run_method, Method};
+use ems_bench::testbeds::{dislocation_pairs, Testbed, Workload};
+use ems_eval::Table;
+
+fn main() {
+    let w = Workload::default();
+    let pairs = dislocation_pairs(Testbed::DsFb, &w);
+    let mut table = Table::new(
+        "Figure 5: estimation trade-off on DS-FB (structural only)",
+        vec!["I", "f-measure", "time (ms)"],
+    );
+    let configs: Vec<(String, Method)> = vec![
+        ("0".into(), Method::EmsEstimated(0)),
+        ("1".into(), Method::EmsEstimated(1)),
+        ("2".into(), Method::EmsEstimated(2)),
+        ("5".into(), Method::EmsEstimated(5)),
+        ("10".into(), Method::EmsEstimated(10)),
+        ("MAX".into(), Method::Ems),
+    ];
+    for (label, method) in configs {
+        let mut f_sum = 0.0;
+        let mut t_sum = 0.0;
+        for pair in &pairs {
+            let run = run_method(method, pair, 1.0);
+            f_sum += accuracy(pair, &run).f_measure;
+            t_sum += run.secs;
+        }
+        table.row(vec![
+            label,
+            format!("{:.3}", f_sum / pairs.len() as f64),
+            format!("{:.1}", 1e3 * t_sum / pairs.len() as f64),
+        ]);
+    }
+    print!("{}", table.to_text());
+    let _ = table.write_csv("results/fig5.csv");
+}

@@ -1,0 +1,53 @@
+//! Figure 6: prune power of early convergence (Section 3.4) — total number
+//! of formula-(1) evaluations and time, with and without pruning, as the
+//! event size grows.
+
+use ems_bench::testbeds::{scalability_pairs, Workload};
+use ems_core::{Ems, EmsParams};
+use ems_eval::{Stopwatch, Table};
+
+fn main() {
+    let mut evals_table = Table::new(
+        "Figure 6(a): total iterations (formula (1) evaluations)",
+        vec!["#events", "no pruning", "pruning"],
+    );
+    let mut time_table = Table::new(
+        "Figure 6(b): time per log pair (ms)",
+        vec!["#events", "no pruning", "pruning"],
+    );
+    let w = Workload {
+        pairs: 4,
+        xor_jitter: 0.0,
+        extra_events: 0,
+        ..Workload::default()
+    };
+    for activities in [10usize, 20, 30, 40, 50] {
+        let pairs = scalability_pairs(activities, &w);
+        let mut row_evals = vec![activities.to_string()];
+        let mut row_time = vec![activities.to_string()];
+        for pruning in [false, true] {
+            let mut evals = 0u64;
+            let mut secs = 0.0;
+            for pair in &pairs {
+                let params = if pruning {
+                    EmsParams::structural()
+                } else {
+                    EmsParams::structural().without_pruning()
+                };
+                let ems = Ems::new(params);
+                let (out, d) = Stopwatch::time(|| ems.match_logs(&pair.log1, &pair.log2));
+                evals += out.stats.formula_evals;
+                secs += d.as_secs_f64();
+            }
+            row_evals.push(format!("{}", evals / pairs.len() as u64));
+            row_time.push(format!("{:.1}", 1e3 * secs / pairs.len() as f64));
+        }
+        evals_table.row(row_evals);
+        time_table.row(row_time);
+    }
+    print!("{}", evals_table.to_text());
+    println!();
+    print!("{}", time_table.to_text());
+    let _ = evals_table.write_csv("results/fig6a.csv");
+    let _ = time_table.write_csv("results/fig6b.csv");
+}

@@ -1,0 +1,23 @@
+//! Experiment harness reproducing the paper's evaluation (Figures 3–14).
+//!
+//! Each figure has a binary (`cargo run --release -p ems-bench --bin figNN`)
+//! that regenerates the corresponding panel(s) as text tables: the same
+//! series and axes the paper plots, measured on this implementation and the
+//! synthetic testbeds of [`ems_synth`] (the real 149-log-pair corpus is
+//! proprietary — see DESIGN.md for the substitution argument).
+//!
+//! The library part hosts the shared machinery:
+//!
+//! * [`methods`] — a uniform [`Method`](methods::Method) runner wrapping
+//!   EMS, EMS+es, GED, OPQ and BHV so every figure measures all matchers
+//!   under identical conditions (same graphs, same label matrices, same
+//!   Munkres correspondence selection);
+//! * [`testbeds`] — the DS-F / DS-B / DS-FB dislocation testbeds and the
+//!   scalability/composite workloads;
+//! * [`composite`] — a similarity-provider-generic greedy composite search
+//!   so the baselines can be driven through the same Algorithm-2 loop the
+//!   paper uses for Figures 10–14.
+
+pub mod composite;
+pub mod methods;
+pub mod testbeds;

@@ -1,0 +1,272 @@
+//! Uniform matcher runner: every figure measures all methods through this.
+
+use ems_assignment::max_total_assignment;
+use ems_baselines::{Bhv, BhvParams, Ged, GedParams, Opq, OpqParams};
+use ems_core::{Ems, EmsParams, SimMatrix};
+use ems_depgraph::DependencyGraph;
+use ems_eval::Stopwatch;
+use ems_events::{EventId, EventLog};
+use ems_labels::{LabelMatrix, QgramCosine};
+use ems_synth::LogPair;
+
+/// A matching method under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// The paper's contribution: exact iterative EMS.
+    Ems,
+    /// EMS with the closed-form estimation after `I` exact iterations.
+    EmsEstimated(usize),
+    /// EMS forward similarity only (ablation of the two-direction
+    /// aggregation).
+    EmsForwardOnly,
+    /// Graph edit distance (Dijkman et al.).
+    Ged,
+    /// Opaque matching (Kang & Naughton), branch-and-bound.
+    Opq,
+    /// SimRank-like behavioral similarity (Nejati et al.).
+    Bhv,
+}
+
+impl Method {
+    /// Display name as used in the paper's legends.
+    pub fn name(&self) -> String {
+        match self {
+            Method::Ems => "EMS".into(),
+            Method::EmsEstimated(i) => format!("EMS+es(I={i})"),
+            Method::EmsForwardOnly => "EMS-fwd".into(),
+            Method::Ged => "GED".into(),
+            Method::Opq => "OPQ".into(),
+            Method::Bhv => "BHV".into(),
+        }
+    }
+
+    /// The method lineup of Figures 3/4/8/9/10/11.
+    pub fn lineup() -> Vec<Method> {
+        vec![
+            Method::Ems,
+            Method::EmsEstimated(5),
+            Method::Ged,
+            Method::Opq,
+            Method::Bhv,
+        ]
+    }
+}
+
+/// Result of one matcher run on one log pair.
+#[derive(Debug, Clone)]
+pub struct MethodRun {
+    /// The correspondences found, as name pairs.
+    pub found: Vec<(String, String)>,
+    /// Wall-clock seconds.
+    pub secs: f64,
+    /// Engine work counter (EMS variants only; 0 otherwise).
+    pub formula_evals: u64,
+    /// False when the method gave up (OPQ beyond its budget).
+    pub finished: bool,
+}
+
+/// Correspondence score floor: assignment pairs with (near-)zero similarity
+/// are junk forced by the assignment, not findings.
+pub const MIN_SCORE: f64 = 1e-6;
+
+fn alphabet(log: &EventLog) -> Vec<String> {
+    (0..log.alphabet_size())
+        .map(|i| log.name_of(EventId::from_index(i)).to_owned())
+        .collect()
+}
+
+/// Builds the label matrix for a pair: q-gram cosine when `alpha < 1`,
+/// zeros otherwise (structure-only evaluation).
+pub fn labels_for(l1: &EventLog, l2: &EventLog, alpha: f64) -> LabelMatrix {
+    if alpha < 1.0 {
+        LabelMatrix::compute(&alphabet(l1), &alphabet(l2), &QgramCosine::default())
+    } else {
+        LabelMatrix::zeros(l1.alphabet_size(), l2.alphabet_size())
+    }
+}
+
+/// Converts an index mapping into name pairs.
+fn names(l1: &EventLog, l2: &EventLog, pairs: &[(usize, usize)]) -> Vec<(String, String)> {
+    pairs
+        .iter()
+        .map(|&(a, b)| {
+            (
+                l1.name_of(EventId::from_index(a)).to_owned(),
+                l2.name_of(EventId::from_index(b)).to_owned(),
+            )
+        })
+        .collect()
+}
+
+/// Selects correspondences from a similarity matrix by maximum total
+/// similarity (Munkres) and converts them to name pairs.
+pub fn select(sim: &SimMatrix, l1: &EventLog, l2: &EventLog) -> Vec<(String, String)> {
+    let cs = max_total_assignment(sim.rows(), sim.cols(), |i, j| sim.get(i, j), MIN_SCORE);
+    names(
+        l1,
+        l2,
+        &cs.iter().map(|c| (c.left, c.right)).collect::<Vec<_>>(),
+    )
+}
+
+/// EMS parameters for a given method/alpha combination.
+pub fn ems_params(method: Method, alpha: f64) -> EmsParams {
+    let mut p = if alpha < 1.0 {
+        EmsParams::with_labels(alpha)
+    } else {
+        EmsParams::structural()
+    };
+    if let Method::EmsEstimated(i) = method {
+        p = p.estimated(i);
+    }
+    p
+}
+
+/// Scores a run against the pair's ground truth.
+pub fn accuracy(pair: &LogPair, run: &MethodRun) -> ems_eval::Accuracy {
+    ems_eval::score(
+        pair.truth.iter(),
+        run.found.iter().map(|(a, b)| (a.as_str(), b.as_str())),
+    )
+}
+
+/// Runs `method` on `pair` with structural weight `alpha` (`1.0` = opaque
+/// setting of Figure 3, `< 1.0` = typographic blending of Figure 4) and
+/// returns the found correspondences plus timing.
+pub fn run_method(method: Method, pair: &LogPair, alpha: f64) -> MethodRun {
+    let l1 = &pair.log1;
+    let l2 = &pair.log2;
+    match method {
+        Method::Ems | Method::EmsEstimated(_) | Method::EmsForwardOnly => {
+            let params = ems_params(method, alpha);
+            let ems = Ems::new(params);
+            let ((sim, evals), secs) = Stopwatch::time(|| {
+                let out = ems.match_logs(l1, l2);
+                let sim = if method == Method::EmsForwardOnly {
+                    out.forward
+                } else {
+                    out.similarity
+                };
+                (sim, out.stats.formula_evals)
+            });
+            MethodRun {
+                found: select(&sim, l1, l2),
+                secs: secs.as_secs_f64(),
+                formula_evals: evals,
+                finished: true,
+            }
+        }
+        Method::Bhv => {
+            let params = BhvParams {
+                alpha,
+                ..BhvParams::default()
+            };
+            let (sim, secs) = Stopwatch::time(|| {
+                let g1 = DependencyGraph::from_log(l1);
+                let g2 = DependencyGraph::from_log(l2);
+                let labels = labels_for(l1, l2, alpha);
+                Bhv::new(params).similarity_with_anchors(
+                    &g1,
+                    &g2,
+                    &labels,
+                    &ems_baselines::bhv::trace_start_anchors(l1),
+                    &ems_baselines::bhv::trace_start_anchors(l2),
+                )
+            });
+            MethodRun {
+                found: select(&sim, l1, l2),
+                secs: secs.as_secs_f64(),
+                formula_evals: 0,
+                finished: true,
+            }
+        }
+        Method::Ged => {
+            let params = GedParams {
+                alpha: if alpha < 1.0 { 0.5 } else { 1.0 },
+                ..GedParams::default()
+            };
+            let (result, secs) = Stopwatch::time(|| {
+                let g1 = DependencyGraph::from_log(l1);
+                let g2 = DependencyGraph::from_log(l2);
+                let labels = labels_for(l1, l2, alpha);
+                Ged::new(params).match_graphs(&g1, &g2, &labels)
+            });
+            MethodRun {
+                found: names(l1, l2, &result.mapping),
+                secs: secs.as_secs_f64(),
+                formula_evals: 0,
+                finished: true,
+            }
+        }
+        Method::Opq => {
+            // OPQ "does not benefit from label similarity" (Section 5.2):
+            // it only consumes graph statistics.
+            let (result, secs) = Stopwatch::time(|| {
+                let g1 = DependencyGraph::from_log(l1);
+                let g2 = DependencyGraph::from_log(l2);
+                Opq::new(OpqParams::default()).match_graphs(&g1, &g2)
+            });
+            MethodRun {
+                found: names(l1, l2, &result.mapping),
+                secs: secs.as_secs_f64(),
+                formula_evals: 0,
+                finished: result.finished,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ems_synth::{Dislocation, PairConfig, PairGenerator};
+
+    fn small_pair() -> LogPair {
+        PairGenerator::new(PairConfig {
+            tree: ems_synth::TreeConfig {
+                num_activities: 10,
+                seed: 3,
+                ..ems_synth::TreeConfig::default()
+            },
+            traces_per_log: 100,
+            seed: 4,
+            dislocation: Dislocation::None,
+            opaque_fraction: 1.0,
+            num_composites: 0,
+            composite_len: 2,
+            xor_jitter: 0.0,
+            swap_noise: 0.0,
+            extra_events: 0,
+            reorder_prob: 0.0,
+        })
+        .generate()
+    }
+
+    #[test]
+    fn all_methods_run_and_find_something() {
+        let pair = small_pair();
+        for m in Method::lineup() {
+            let run = run_method(m, &pair, 1.0);
+            assert!(!run.found.is_empty(), "{} found nothing", m.name());
+            assert!(run.secs >= 0.0);
+        }
+    }
+
+    #[test]
+    fn ems_beats_chance_on_clean_pair() {
+        let pair = small_pair();
+        let run = run_method(Method::Ems, &pair, 1.0);
+        let acc = ems_eval::score(
+            pair.truth.iter(),
+            run.found.iter().map(|(a, b)| (a.as_str(), b.as_str())),
+        );
+        assert!(acc.f_measure > 0.4, "f = {}", acc.f_measure);
+    }
+
+    #[test]
+    fn method_names_are_stable() {
+        assert_eq!(Method::Ems.name(), "EMS");
+        assert_eq!(Method::EmsEstimated(5).name(), "EMS+es(I=5)");
+        assert_eq!(Method::lineup().len(), 5);
+    }
+}

@@ -1,0 +1,358 @@
+//! Workload generators mirroring the paper's testbeds.
+
+use ems_synth::{Dislocation, LogPair, PairConfig, PairGenerator, TreeConfig};
+
+/// Tree shape used by all testbeds: sequence-heavy, like the paper's
+/// business processes, so traces visit most activities and cutting a few
+/// events per trace dislocates rather than destroys the signal.
+fn testbed_tree(num_activities: usize, seed: u64) -> TreeConfig {
+    TreeConfig {
+        num_activities,
+        xor_weight: 0.3,
+        and_weight: 0.1,
+        loop_weight: 0.03,
+        // Choices and concurrency stay local (small detours); the overall
+        // process is a sequence of phases, as in the paper's order flows.
+        max_branch: (num_activities / 4).max(4),
+        seed,
+    }
+}
+
+/// The three dislocation testbeds of Section 5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Testbed {
+    /// Dislocated events at the *end* of traces.
+    DsF,
+    /// Dislocated events at the *beginning* of traces (BHV's weak spot).
+    DsB,
+    /// Dislocation at both ends.
+    DsFb,
+}
+
+impl Testbed {
+    /// All three testbeds in figure order.
+    pub fn all() -> [Testbed; 3] {
+        [Testbed::DsF, Testbed::DsB, Testbed::DsFb]
+    }
+
+    /// The name used in figure captions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Testbed::DsF => "DS-F",
+            Testbed::DsB => "DS-B",
+            Testbed::DsFb => "DS-FB",
+        }
+    }
+
+    fn dislocation(&self, m: usize) -> Dislocation {
+        match self {
+            Testbed::DsF => Dislocation::Back(m),
+            Testbed::DsB => Dislocation::Front(m),
+            Testbed::DsFb => Dislocation::Both(m.div_ceil(2)),
+        }
+    }
+}
+
+/// Workload parameters shared by the figure binaries. Every field has a
+/// figure-appropriate default; binaries override what their sweep varies.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Log pairs per configuration point.
+    pub pairs: usize,
+    /// Activities per process specification.
+    pub activities: usize,
+    /// Traces per log.
+    pub traces: usize,
+    /// Dislocated events removed per trace.
+    pub dislocated: usize,
+    /// Fraction of log 2 renamed opaquely.
+    pub opaque_fraction: f64,
+    /// Composite events injected into log 2.
+    pub composites: usize,
+    /// Length of each injected composite run.
+    pub composite_len: usize,
+    /// XOR-weight jitter between the two logs' specifications.
+    pub xor_jitter: f64,
+    /// Adjacent-swap recording noise in log 2.
+    pub swap_noise: f64,
+    /// Implementation-private activities per log.
+    pub extra_events: usize,
+    /// Per-sequence-block reorder probability in log 2.
+    pub reorder_prob: f64,
+    /// Base RNG seed; pair `k` uses `seed + k`.
+    pub seed: u64,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Workload {
+            pairs: 8,
+            activities: 20,
+            traces: 60,
+            dislocated: 2,
+            opaque_fraction: 1.0,
+            composites: 0,
+            composite_len: 2,
+            xor_jitter: 0.25,
+            swap_noise: 0.0,
+            extra_events: 1,
+            reorder_prob: 0.0,
+            seed: 1000,
+        }
+    }
+}
+
+/// Generates the log pairs of a dislocation testbed.
+pub fn dislocation_pairs(testbed: Testbed, w: &Workload) -> Vec<LogPair> {
+    (0..w.pairs)
+        .map(|k| {
+            PairGenerator::new(PairConfig {
+                tree: testbed_tree(w.activities, w.seed + 17 * k as u64),
+                traces_per_log: w.traces,
+                seed: w.seed + 1000 + k as u64,
+                dislocation: testbed.dislocation(w.dislocated),
+                opaque_fraction: w.opaque_fraction,
+                num_composites: w.composites,
+                composite_len: w.composite_len,
+                xor_jitter: w.xor_jitter,
+                swap_noise: w.swap_noise,
+                extra_events: w.extra_events,
+                reorder_prob: w.reorder_prob,
+            })
+            .generate()
+        })
+        .collect()
+}
+
+/// Generates scalability pairs (Figure 8 protocol): no dislocation, fully
+/// opaque, one pair per seed.
+pub fn scalability_pairs(activities: usize, w: &Workload) -> Vec<LogPair> {
+    (0..w.pairs)
+        .map(|k| {
+            PairGenerator::new(PairConfig {
+                tree: testbed_tree(activities, w.seed + 23 * k as u64),
+                traces_per_log: w.traces,
+                seed: w.seed + 2000 + k as u64,
+                dislocation: Dislocation::None,
+                opaque_fraction: w.opaque_fraction,
+                num_composites: 0,
+                composite_len: 2,
+                xor_jitter: w.xor_jitter,
+                swap_noise: w.swap_noise,
+                extra_events: w.extra_events,
+                reorder_prob: w.reorder_prob,
+            })
+            .generate()
+        })
+        .collect()
+}
+
+/// Generates composite-matching pairs (Figures 10–14): composites injected
+/// into log 2, mild dislocation.
+pub fn composite_pairs(w: &Workload) -> Vec<LogPair> {
+    (0..w.pairs)
+        .map(|k| figure1_style_pair(w, k as u64))
+        .collect()
+}
+
+/// Builds one Figure-1-style log pair: the process is a sequence of blocks,
+/// each `Xor(p, q) → s → t`, i.e. a branching choice followed by two steps
+/// that log 2 records as one composite event — exactly the shape of the
+/// paper's running example, where `Check Inventory; Validate` follows the
+/// cash/card choice and appears as the single `Inventory Checking &
+/// Validation` in the other subsidiary. The composite matcher must merge
+/// `(s, t)` in log 1. The XOR in front gives the frequency texture that the
+/// average-similarity objective of Problem 1 keys on.
+fn figure1_style_pair(w: &Workload, k: u64) -> LogPair {
+    use ems_events::{merge_composite, rename_events, EventId};
+    use ems_synth::{jitter_weights, playout, GroundTruth, PlayoutConfig, ProcessTree};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let seed = w.seed + 31 * k;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xF16);
+    // Blocks of 4 activities each: Xor(p, q), s, t.
+    let num_blocks = (w.activities / 4).max(1);
+    let mut blocks = Vec::new();
+    let mut composite_steps: Vec<(String, String)> = Vec::new();
+    let mut idx = 0usize;
+    for b in 0..num_blocks {
+        let name = |i: usize| format!("a{i}");
+        let p = name(idx);
+        let q = name(idx + 1);
+        let s_step = name(idx + 2);
+        let t = name(idx + 3);
+        idx += 4;
+        let weight: f64 = rng.gen_range(0.25..0.75);
+        blocks.push(ProcessTree::Sequence(vec![
+            ProcessTree::Xor(vec![
+                (ProcessTree::Activity(p), weight),
+                (ProcessTree::Activity(q), 1.0 - weight),
+            ]),
+            ProcessTree::Activity(s_step.clone()),
+            ProcessTree::Activity(t.clone()),
+        ]));
+        if b < w.composites.max(1) {
+            composite_steps.push((s_step, t));
+        }
+    }
+    let tree = ProcessTree::Sequence(blocks);
+    // Implementation-private activities on each side.
+    let tree1 = if w.extra_events > 0 {
+        ems_synth::insert_extras(&tree, w.extra_events, "u1_", &mut rng)
+    } else {
+        tree.clone()
+    };
+    let log1 = playout(
+        &tree1,
+        &PlayoutConfig {
+            num_traces: w.traces,
+            seed: seed * 2 + 1,
+            ..PlayoutConfig::default()
+        },
+    );
+    let mut tree2 = if w.extra_events > 0 {
+        ems_synth::insert_extras(&tree, w.extra_events, "u2_", &mut rng)
+    } else {
+        tree.clone()
+    };
+    if w.xor_jitter > 0.0 {
+        tree2 = jitter_weights(&tree2, w.xor_jitter, &mut rng);
+    }
+    let tree2 = tree2;
+    let mut log2 = playout(
+        &tree2,
+        &PlayoutConfig {
+            num_traces: w.traces,
+            seed: seed * 2 + 2,
+            ..PlayoutConfig::default()
+        },
+    );
+    // Identity truth, then merge the designated composites in log 2.
+    let mut truth = GroundTruth::new();
+    for i in 0..log2.alphabet_size() {
+        let name = log2.name_of(EventId::from_index(i));
+        if log1.id_of(name).is_some() {
+            truth.add(name, name);
+        }
+    }
+    for (s_step, t) in &composite_steps {
+        let (Some(a), Some(b)) = (log2.id_of(s_step), log2.id_of(t)) else {
+            continue;
+        };
+        let merged_name = format!("{s_step}+{t}");
+        let (next, ok) = merge_composite(&log2, &[a, b], &merged_name);
+        if ok.is_none() {
+            continue;
+        }
+        log2 = next.compact().0;
+        truth.remove_right(s_step);
+        truth.remove_right(t);
+        truth.add(s_step, &merged_name);
+        truth.add(t, &merged_name);
+    }
+    // Dislocation: the composite group's pairs are heterogeneous too —
+    // remove the first `dislocated` events of each log-2 trace.
+    if w.dislocated > 0 {
+        let before: Vec<String> = (0..log2.alphabet_size())
+            .map(|i| log2.name_of(EventId::from_index(i)).to_owned())
+            .collect();
+        log2 = ems_events::cut_prefix(&log2, w.dislocated).0;
+        for name in &before {
+            if log2.id_of(name).is_none() {
+                truth.remove_right(name);
+            }
+        }
+    }
+    // Opaque renaming of log 2.
+    if w.opaque_fraction > 0.0 {
+        let n = log2.alphabet_size();
+        let renamed = ((n as f64) * w.opaque_fraction).round() as usize;
+        let mut order: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut names: Vec<String> = (0..n)
+            .map(|i| log2.name_of(EventId::from_index(i)).to_owned())
+            .collect();
+        let mut mapping = std::collections::HashMap::new();
+        for (rank, &i) in order.iter().enumerate() {
+            if rank < renamed {
+                let len = rng.gen_range(5..=9);
+                let mut new: String = (0..len)
+                    .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+                    .collect();
+                new.push_str(&format!("{rank:02}"));
+                mapping.insert(names[i].clone(), new.clone());
+                names[i] = new;
+            }
+        }
+        log2 = rename_events(&log2, &names);
+        truth = truth
+            .iter()
+            .map(|(l, r)| {
+                let r = mapping.get(r).map(String::as_str).unwrap_or(r);
+                (l.to_owned(), r.to_owned())
+            })
+            .collect();
+    }
+    LogPair { log1, log2, truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbeds_produce_requested_pair_counts() {
+        let w = Workload {
+            pairs: 3,
+            activities: 12,
+            traces: 50,
+            ..Workload::default()
+        };
+        for tb in Testbed::all() {
+            let pairs = dislocation_pairs(tb, &w);
+            assert_eq!(pairs.len(), 3);
+            for p in &pairs {
+                assert!(!p.truth.is_empty(), "{} produced empty truth", tb.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dsb_cuts_fronts_dsf_cuts_backs() {
+        let w = Workload {
+            pairs: 1,
+            activities: 12,
+            traces: 50,
+            dislocated: 3,
+            ..Workload::default()
+        };
+        let f = &dislocation_pairs(Testbed::DsF, &w)[0];
+        let b = &dislocation_pairs(Testbed::DsB, &w)[0];
+        // Both shorten log 2 relative to log 1.
+        let mean = |l: &ems_events::EventLog| {
+            l.traces().iter().map(|t| t.len()).sum::<usize>() as f64 / l.num_traces() as f64
+        };
+        assert!(mean(&f.log2) < mean(&f.log1));
+        assert!(mean(&b.log2) < mean(&b.log1));
+    }
+
+    #[test]
+    fn composite_pairs_carry_merged_events() {
+        let w = Workload {
+            pairs: 2,
+            activities: 15,
+            traces: 80,
+            composites: 2,
+            opaque_fraction: 0.0,
+            ..Workload::default()
+        };
+        let pairs = composite_pairs(&w);
+        assert!(pairs
+            .iter()
+            .any(|p| p.truth.iter().any(|(_, r)| r.contains('+'))));
+    }
+}

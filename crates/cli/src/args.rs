@@ -1,0 +1,323 @@
+//! Hand-rolled argument parsing for the `ems` binary.
+
+/// Usage text printed on parse errors and `--help`.
+pub const USAGE: &str = "\
+ems — match heterogeneous event logs (SIGMOD'14 EMS reproduction)
+
+USAGE:
+  ems match   <log1.xes> <log2.xes> [OPTIONS]  compute correspondences
+  ems compare <log1.xes> <log2.xes> [OPTIONS]  run all matchers side by side
+  ems stats   <log.xes>                        print log statistics
+  ems dot     <log.xes>                        dependency graph as Graphviz DOT
+  ems synth   [OPTIONS]                        generate a synthetic log pair
+  ems convert <in.(xes|mxml)> <out.(xes|mxml)> convert between formats
+  ems help                                     this text
+
+MATCH OPTIONS:
+  --alpha <A>       structural weight in [0,1]; 1 = structure only (default 1)
+  --c <C>           similarity decay in (0,1) (default 0.8)
+  --estimate <I>    estimate after I exact iterations (EMS+es)
+  --min-freq <F>    drop dependency edges with frequency < F (default 0)
+  --min-score <S>   drop correspondences scoring below S (default 0.05)
+  --composites      enable greedy composite-event matching (Algorithm 2)
+  --delta <D>       min avg-similarity improvement per merge (default 0.005)
+  --csv <FILE>      also write the correspondences as CSV
+  --quiet           print only the correspondence lines
+
+COMPARE OPTIONS:
+  --alpha <A>       structural weight (default 1)
+  --opq-budget <N>  OPQ search budget in nodes (default 1000000)
+
+SYNTH OPTIONS:
+  --activities <N>  process size (default 20)      --traces <N>   (default 100)
+  --seed <N>        RNG seed (default 42)           --opaque <F>   (default 1.0)
+  --dislocate-front <M> / --dislocate-back <M>      --composites <N>
+  --out1 <FILE> --out2 <FILE> (default pair1.xes/pair2.xes)
+  --truth <FILE>    also write the ground truth as CSV";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Match two logs.
+    Match(MatchArgs),
+    /// Run every matcher on two logs.
+    Compare(crate::extra::CompareArgs),
+    /// Print statistics of one log.
+    Stats { path: String },
+    /// Print a log's dependency graph as DOT.
+    Dot { path: String },
+    /// Generate a synthetic heterogeneous log pair.
+    Synth(crate::extra::SynthArgs),
+    /// Convert between XES and MXML.
+    Convert { input: String, output: String },
+    /// Print usage.
+    Help,
+}
+
+/// Options of `ems match`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatchArgs {
+    pub log1: String,
+    pub log2: String,
+    pub alpha: f64,
+    pub c: f64,
+    pub estimate: Option<usize>,
+    pub min_freq: f64,
+    pub min_score: f64,
+    pub composites: bool,
+    pub delta: f64,
+    pub csv: Option<String>,
+    pub quiet: bool,
+}
+
+/// Parses `argv` (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let mut it = argv.iter();
+    let sub = it.next().map(String::as_str).unwrap_or("help");
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "stats" => {
+            let path = it
+                .next()
+                .ok_or("`ems stats` needs a log path")?
+                .to_owned();
+            expect_end(it)?;
+            Ok(Command::Stats { path })
+        }
+        "dot" => {
+            let path = it.next().ok_or("`ems dot` needs a log path")?.to_owned();
+            expect_end(it)?;
+            Ok(Command::Dot { path })
+        }
+        "convert" => {
+            let input = it.next().ok_or("`ems convert` needs input and output")?.to_owned();
+            let output = it.next().ok_or("`ems convert` needs input and output")?.to_owned();
+            expect_end(it)?;
+            Ok(Command::Convert { input, output })
+        }
+        "compare" => {
+            let log1 = it.next().ok_or("`ems compare` needs two log paths")?.to_owned();
+            let log2 = it.next().ok_or("`ems compare` needs two log paths")?.to_owned();
+            let mut args = crate::extra::CompareArgs {
+                log1,
+                log2,
+                alpha: 1.0,
+                opq_budget: 1_000_000,
+            };
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut value = |name: &str| -> Result<&String, String> {
+                    i += 1;
+                    rest.get(i).copied().ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag {
+                    "--alpha" => args.alpha = parse_f64(value("--alpha")?, 0.0, 1.0)?,
+                    "--opq-budget" => {
+                        args.opq_budget = value("--opq-budget")?
+                            .parse()
+                            .map_err(|_| "--opq-budget needs an integer".to_owned())?
+                    }
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+                i += 1;
+            }
+            Ok(Command::Compare(args))
+        }
+        "synth" => {
+            let mut args = crate::extra::SynthArgs {
+                activities: 20,
+                traces: 100,
+                seed: 42,
+                dislocate_front: 0,
+                dislocate_back: 0,
+                opaque: 1.0,
+                composites: 0,
+                out1: "pair1.xes".into(),
+                out2: "pair2.xes".into(),
+                truth_csv: None,
+            };
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut value = |name: &str| -> Result<&String, String> {
+                    i += 1;
+                    rest.get(i).copied().ok_or_else(|| format!("{name} needs a value"))
+                };
+                let parse_usize = |s: &str, name: &str| -> Result<usize, String> {
+                    s.parse().map_err(|_| format!("{name} needs an integer"))
+                };
+                match flag {
+                    "--activities" => args.activities = parse_usize(value("--activities")?, "--activities")?,
+                    "--traces" => args.traces = parse_usize(value("--traces")?, "--traces")?,
+                    "--seed" => {
+                        args.seed = value("--seed")?
+                            .parse()
+                            .map_err(|_| "--seed needs an integer".to_owned())?
+                    }
+                    "--dislocate-front" => {
+                        args.dislocate_front = parse_usize(value("--dislocate-front")?, "--dislocate-front")?
+                    }
+                    "--dislocate-back" => {
+                        args.dislocate_back = parse_usize(value("--dislocate-back")?, "--dislocate-back")?
+                    }
+                    "--opaque" => args.opaque = parse_f64(value("--opaque")?, 0.0, 1.0)?,
+                    "--composites" => args.composites = parse_usize(value("--composites")?, "--composites")?,
+                    "--out1" => args.out1 = value("--out1")?.to_owned(),
+                    "--out2" => args.out2 = value("--out2")?.to_owned(),
+                    "--truth" => args.truth_csv = Some(value("--truth")?.to_owned()),
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+                i += 1;
+            }
+            if args.activities == 0 {
+                return Err("--activities must be at least 1".into());
+            }
+            Ok(Command::Synth(args))
+        }
+        "match" => {
+            let log1 = it
+                .next()
+                .ok_or("`ems match` needs two log paths")?
+                .to_owned();
+            let log2 = it
+                .next()
+                .ok_or("`ems match` needs two log paths")?
+                .to_owned();
+            let mut args = MatchArgs {
+                log1,
+                log2,
+                alpha: 1.0,
+                c: 0.8,
+                estimate: None,
+                min_freq: 0.0,
+                min_score: 0.05,
+                composites: false,
+                delta: 0.005,
+                csv: None,
+                quiet: false,
+            };
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut value = |name: &str| -> Result<&String, String> {
+                    i += 1;
+                    rest.get(i)
+                        .copied()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag {
+                    "--alpha" => args.alpha = parse_f64(value("--alpha")?, 0.0, 1.0)?,
+                    "--c" => args.c = parse_f64(value("--c")?, 0.0, 1.0)?,
+                    "--estimate" => {
+                        args.estimate = Some(
+                            value("--estimate")?
+                                .parse()
+                                .map_err(|_| "--estimate needs an integer".to_owned())?,
+                        )
+                    }
+                    "--min-freq" => args.min_freq = parse_f64(value("--min-freq")?, 0.0, 1.0)?,
+                    "--min-score" => args.min_score = parse_f64(value("--min-score")?, 0.0, 1.0)?,
+                    "--delta" => args.delta = parse_f64(value("--delta")?, 0.0, 1.0)?,
+                    "--csv" => args.csv = Some(value("--csv")?.to_owned()),
+                    "--composites" => args.composites = true,
+                    "--quiet" => args.quiet = true,
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+                i += 1;
+            }
+            Ok(Command::Match(args))
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+fn parse_f64(s: &str, lo: f64, hi: f64) -> Result<f64, String> {
+    let v: f64 = s.parse().map_err(|_| format!("`{s}` is not a number"))?;
+    if !(lo..=hi).contains(&v) {
+        return Err(format!("`{s}` must be in [{lo}, {hi}]"));
+    }
+    Ok(v)
+}
+
+fn expect_end<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<(), String> {
+    match it.next() {
+        Some(extra) => Err(format!("unexpected argument `{extra}`")),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_match_with_options() {
+        let cmd = parse(&sv(&[
+            "match", "a.xes", "b.xes", "--alpha", "0.5", "--estimate", "5", "--composites",
+            "--csv", "out.csv",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Match(m) => {
+                assert_eq!(m.log1, "a.xes");
+                assert_eq!(m.alpha, 0.5);
+                assert_eq!(m.estimate, Some(5));
+                assert!(m.composites);
+                assert_eq!(m.csv.as_deref(), Some("out.csv"));
+            }
+            c => panic!("unexpected {c:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_stats_and_dot_and_help() {
+        assert_eq!(
+            parse(&sv(&["stats", "x.xes"])).unwrap(),
+            Command::Stats { path: "x.xes".into() }
+        );
+        assert_eq!(
+            parse(&sv(&["dot", "x.xes"])).unwrap(),
+            Command::Dot { path: "x.xes".into() }
+        );
+        assert_eq!(parse(&sv(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_compare_synth_convert() {
+        match parse(&sv(&["compare", "a.xes", "b.xes", "--opq-budget", "5000"])).unwrap() {
+            Command::Compare(c) => assert_eq!(c.opq_budget, 5000),
+            c => panic!("unexpected {c:?}"),
+        }
+        match parse(&sv(&["synth", "--activities", "12", "--truth", "t.csv"])).unwrap() {
+            Command::Synth(s) => {
+                assert_eq!(s.activities, 12);
+                assert_eq!(s.truth_csv.as_deref(), Some("t.csv"));
+            }
+            c => panic!("unexpected {c:?}"),
+        }
+        assert_eq!(
+            parse(&sv(&["convert", "a.mxml", "b.xes"])).unwrap(),
+            Command::Convert { input: "a.mxml".into(), output: "b.xes".into() }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&sv(&["match", "only-one.xes"])).is_err());
+        assert!(parse(&sv(&["match", "a", "b", "--alpha", "2"])).is_err());
+        assert!(parse(&sv(&["match", "a", "b", "--bogus"])).is_err());
+        assert!(parse(&sv(&["frobnicate"])).is_err());
+        assert!(parse(&sv(&["stats"])).is_err());
+        assert!(parse(&sv(&["stats", "a", "b"])).is_err());
+        assert!(parse(&sv(&["match", "a", "b", "--estimate"])).is_err());
+    }
+}

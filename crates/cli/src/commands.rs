@@ -1,0 +1,242 @@
+//! Command implementations for the `ems` binary.
+
+use crate::args::{Command, MatchArgs, USAGE};
+use ems_assignment::max_total_assignment;
+use ems_core::composite::{discover_candidates, CandidateConfig, CompositeConfig, CompositeMatcher};
+use ems_core::{Ems, EmsParams};
+use ems_depgraph::{filter_min_frequency, to_dot, DependencyGraph};
+use ems_events::{EventId, EventLog, LogStats};
+use ems_eval::Table;
+
+/// Executes a parsed command.
+pub fn run(cmd: Command) -> Result<(), String> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Stats { path } => stats(&path),
+        Command::Dot { path } => dot(&path),
+        Command::Match(args) => do_match(&args),
+        Command::Compare(args) => crate::extra::compare(&args, load),
+        Command::Synth(args) => crate::extra::synth(&args),
+        Command::Convert { input, output } => crate::extra::convert(&input, &output),
+    }
+}
+
+fn load(path: &str) -> Result<EventLog, String> {
+    let xes = ems_xes::parse_file(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut log = ems_xes::to_event_log(&xes);
+    if log.name().is_none() {
+        log.set_name(path);
+    }
+    Ok(log)
+}
+
+fn stats(path: &str) -> Result<(), String> {
+    let log = load(path)?;
+    println!("{}", LogStats::of(&log));
+    let g = DependencyGraph::from_log(&log);
+    println!(
+        "dependency graph: {} nodes, {} edges (avg degree {:.2})",
+        g.num_real(),
+        g.real_edges().len(),
+        g.avg_degree()
+    );
+    let mut events: Vec<(String, f64)> = (0..log.alphabet_size())
+        .map(|i| {
+            let id = EventId::from_index(i);
+            (log.name_of(id).to_owned(), log.event_frequency(id))
+        })
+        .collect();
+    events.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for (name, f) in events {
+        println!("  {f:.3}  {name}");
+    }
+    Ok(())
+}
+
+fn dot(path: &str) -> Result<(), String> {
+    let log = load(path)?;
+    let g = DependencyGraph::from_log(&log);
+    print!("{}", to_dot(&g, log.name().unwrap_or("event log")));
+    Ok(())
+}
+
+fn do_match(args: &MatchArgs) -> Result<(), String> {
+    let l1 = load(&args.log1)?;
+    let l2 = load(&args.log2)?;
+    let mut params = EmsParams {
+        alpha: args.alpha,
+        c: args.c,
+        ..EmsParams::default()
+    };
+    if let Some(i) = args.estimate {
+        params.estimate_after = Some(i);
+    }
+    params.validate()?;
+    let ems = Ems::new(params);
+
+    let (log1, log2, sim) = if args.composites {
+        let config = CompositeConfig {
+            delta: args.delta,
+            ..CompositeConfig::default()
+        };
+        let cands1 = discover_candidates(&l1, &CandidateConfig::default());
+        let cands2 = discover_candidates(&l2, &CandidateConfig::default());
+        let outcome = CompositeMatcher::new(ems, config).match_logs(&l1, &l2, &cands1, &cands2);
+        if !args.quiet {
+            for m in &outcome.merges {
+                println!(
+                    "# merged composite in log {}: {}",
+                    m.side,
+                    m.candidate.merged_name()
+                );
+            }
+        }
+        (outcome.log1, outcome.log2, outcome.similarity)
+    } else {
+        let g1 = DependencyGraph::from_log(&l1);
+        let g2 = DependencyGraph::from_log(&l2);
+        let (g1, _) = filter_min_frequency(&g1, args.min_freq);
+        let (g2, _) = filter_min_frequency(&g2, args.min_freq);
+        let labels = ems.label_matrix(&l1, &l2);
+        let out = ems.match_graphs(&g1, &g2, &labels);
+        (l1, l2, out.similarity)
+    };
+
+    let cs = max_total_assignment(sim.rows(), sim.cols(), |i, j| sim.get(i, j), args.min_score);
+    let mut table = Table::new(
+        format!(
+            "correspondences: {} <-> {}",
+            log1.name().unwrap_or("log1"),
+            log2.name().unwrap_or("log2")
+        ),
+        vec!["event in log 1", "event in log 2", "similarity"],
+    );
+    for c in &cs {
+        let left = log1.name_of(EventId::from_index(c.left));
+        let right = log2.name_of(EventId::from_index(c.right));
+        if args.quiet {
+            println!("{left}\t{right}\t{:.4}", c.score);
+        } else {
+            table.row(vec![
+                left.to_owned(),
+                right.to_owned(),
+                format!("{:.4}", c.score),
+            ]);
+        }
+    }
+    if !args.quiet {
+        print!("{}", table.to_text());
+        println!("{} correspondences", cs.len());
+    }
+    if let Some(csv) = &args.csv {
+        table
+            .write_csv(csv)
+            .map_err(|e| format!("writing {csv}: {e}"))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ems_xes::{from_event_log, write_file};
+
+    fn write_sample_logs(dir: &std::path::Path) -> (String, String) {
+        let mut l1 = EventLog::with_name("orders-A");
+        for _ in 0..2 {
+            l1.push_trace(["Paid by Cash", "Check", "Validate", "Ship"]);
+        }
+        for _ in 0..3 {
+            l1.push_trace(["Paid by Card", "Check", "Validate", "Ship"]);
+        }
+        let mut l2 = EventLog::with_name("orders-B");
+        for _ in 0..2 {
+            l2.push_trace(["Accept", "e-cash", "Check+Validate", "e-ship"]);
+        }
+        for _ in 0..3 {
+            l2.push_trace(["Accept", "e-card", "Check+Validate", "e-ship"]);
+        }
+        let p1 = dir.join("l1.xes");
+        let p2 = dir.join("l2.xes");
+        write_file(&from_event_log(&l1), &p1).unwrap();
+        write_file(&from_event_log(&l2), &p2).unwrap();
+        (
+            p1.to_string_lossy().into_owned(),
+            p2.to_string_lossy().into_owned(),
+        )
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ems-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn match_command_runs_end_to_end() {
+        let dir = tmpdir("match");
+        let (p1, p2) = write_sample_logs(&dir);
+        let args = MatchArgs {
+            log1: p1,
+            log2: p2,
+            alpha: 1.0,
+            c: 0.8,
+            estimate: None,
+            min_freq: 0.0,
+            min_score: 0.0,
+            composites: false,
+            delta: 0.005,
+            csv: Some(dir.join("out.csv").to_string_lossy().into_owned()),
+            quiet: true,
+        };
+        do_match(&args).unwrap();
+        let csv = std::fs::read_to_string(dir.join("out.csv")).unwrap();
+        assert!(csv.lines().count() >= 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn composite_match_runs() {
+        let dir = tmpdir("composite");
+        let (p1, p2) = write_sample_logs(&dir);
+        let args = MatchArgs {
+            log1: p1,
+            log2: p2,
+            alpha: 1.0,
+            c: 0.8,
+            estimate: Some(5),
+            min_freq: 0.0,
+            min_score: 0.0,
+            composites: true,
+            delta: 0.001,
+            csv: None,
+            quiet: true,
+        };
+        do_match(&args).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn stats_and_dot_run() {
+        let dir = tmpdir("stats");
+        let (p1, _) = write_sample_logs(&dir);
+        stats(&p1).unwrap();
+        dot(&p1).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        assert!(stats("/nonexistent/nope.xes").is_err());
+        let err = load("/nonexistent/nope.xes").unwrap_err();
+        assert!(err.contains("nope.xes"));
+    }
+
+    #[test]
+    fn help_prints() {
+        run(Command::Help).unwrap();
+    }
+}

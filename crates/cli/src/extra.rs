@@ -1,0 +1,292 @@
+//! The `compare`, `synth` and `convert` subcommands.
+
+use ems_assignment::max_total_assignment;
+use ems_baselines::bhv::trace_start_anchors;
+use ems_baselines::{Bhv, BhvParams, Ged, Opq, OpqParams, SimilarityFlooding};
+use ems_core::{Ems, EmsParams};
+use ems_depgraph::DependencyGraph;
+use ems_eval::{Stopwatch, Table};
+use ems_events::EventLog;
+use ems_labels::LabelMatrix;
+use ems_synth::{Dislocation, PairConfig, PairGenerator, TreeConfig};
+
+/// Options of `ems compare`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareArgs {
+    pub log1: String,
+    pub log2: String,
+    pub alpha: f64,
+    /// OPQ branch-and-bound node budget (it is the slow one).
+    pub opq_budget: u64,
+}
+
+/// Options of `ems synth`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthArgs {
+    pub activities: usize,
+    pub traces: usize,
+    pub seed: u64,
+    pub dislocate_front: usize,
+    pub dislocate_back: usize,
+    pub opaque: f64,
+    pub composites: usize,
+    pub out1: String,
+    pub out2: String,
+    pub truth_csv: Option<String>,
+}
+
+/// Runs every matcher on the same pair of logs and prints a comparison.
+pub fn compare(args: &CompareArgs, load: impl Fn(&str) -> Result<EventLog, String>) -> Result<(), String> {
+    let l1 = load(&args.log1)?;
+    let l2 = load(&args.log2)?;
+    let g1 = DependencyGraph::from_log(&l1);
+    let g2 = DependencyGraph::from_log(&l2);
+    let labels = Ems::new(EmsParams::with_labels(args.alpha.min(0.999)))
+        .label_matrix(&l1, &l2);
+    let zero_labels = LabelMatrix::zeros(g1.num_real(), g2.num_real());
+    let labels_ref = if args.alpha < 1.0 { &labels } else { &zero_labels };
+
+    let mut table = Table::new(
+        format!("method comparison: {} <-> {}", args.log1, args.log2),
+        vec!["method", "pairs", "avg sim", "time (ms)", "note"],
+    );
+    let mut add = |name: &str, count: usize, avg: f64, secs: f64, note: &str| {
+        table.row(vec![
+            name.to_owned(),
+            count.to_string(),
+            format!("{avg:.3}"),
+            format!("{:.1}", secs * 1e3),
+            note.to_owned(),
+        ]);
+    };
+
+    // EMS exact + estimated.
+    for (name, params) in [
+        ("EMS", ems_params(args.alpha)),
+        ("EMS+es(I=5)", ems_params(args.alpha).estimated(5)),
+    ] {
+        let ems = Ems::new(params);
+        let (out, t) = Stopwatch::time(|| ems.match_graphs(&g1, &g2, labels_ref));
+        let sim = out.similarity;
+        let cs = max_total_assignment(sim.rows(), sim.cols(), |i, j| sim.get(i, j), 0.05);
+        add(name, cs.len(), sim.average(), t.as_secs_f64(), "");
+    }
+    // BHV.
+    {
+        let bhv = Bhv::new(BhvParams {
+            alpha: args.alpha,
+            ..BhvParams::default()
+        });
+        let (sim, t) = Stopwatch::time(|| {
+            bhv.similarity_with_anchors(
+                &g1,
+                &g2,
+                labels_ref,
+                &trace_start_anchors(&l1),
+                &trace_start_anchors(&l2),
+            )
+        });
+        let cs = max_total_assignment(sim.rows(), sim.cols(), |i, j| sim.get(i, j), 0.05);
+        add("BHV", cs.len(), sim.average(), t.as_secs_f64(), "");
+    }
+    // Similarity Flooding.
+    {
+        let (sim, t) =
+            Stopwatch::time(|| SimilarityFlooding::default().similarity(&g1, &g2, labels_ref));
+        let cs = max_total_assignment(sim.rows(), sim.cols(), |i, j| sim.get(i, j), 0.05);
+        add("SF", cs.len(), sim.average(), t.as_secs_f64(), "");
+    }
+    // GED.
+    {
+        let (r, t) = Stopwatch::time(|| Ged::default().match_graphs(&g1, &g2, labels_ref));
+        add(
+            "GED",
+            r.mapping.len(),
+            1.0 - r.distance,
+            t.as_secs_f64(),
+            "avg sim = 1 - distance",
+        );
+    }
+    // OPQ with a budget.
+    {
+        let opq = Opq::new(OpqParams {
+            node_budget: args.opq_budget,
+        });
+        let (r, t) = Stopwatch::time(|| opq.match_graphs(&g1, &g2));
+        add(
+            "OPQ",
+            r.mapping.len(),
+            -r.distance,
+            t.as_secs_f64(),
+            if r.finished { "optimal" } else { "budget exhausted" },
+        );
+    }
+    print!("{}", table.to_text());
+    Ok(())
+}
+
+fn ems_params(alpha: f64) -> EmsParams {
+    if alpha < 1.0 {
+        EmsParams::with_labels(alpha)
+    } else {
+        EmsParams::structural()
+    }
+}
+
+/// Generates a heterogeneous log pair, writes both logs as XES and
+/// optionally the ground truth as CSV.
+pub fn synth(args: &SynthArgs) -> Result<(), String> {
+    let dislocation = match (args.dislocate_front, args.dislocate_back) {
+        (0, 0) => Dislocation::None,
+        (f, 0) => Dislocation::Front(f),
+        (0, b) => Dislocation::Back(b),
+        (f, b) => Dislocation::Both(f.max(b)),
+    };
+    let pair = PairGenerator::new(PairConfig {
+        tree: TreeConfig {
+            num_activities: args.activities,
+            seed: args.seed,
+            max_branch: (args.activities / 4).max(4),
+            ..TreeConfig::default()
+        },
+        traces_per_log: args.traces,
+        seed: args.seed.wrapping_add(1000),
+        dislocation,
+        opaque_fraction: args.opaque,
+        num_composites: args.composites,
+        xor_jitter: 0.25,
+        ..PairConfig::default()
+    })
+    .generate();
+    let write = |log: &EventLog, path: &str| -> Result<(), String> {
+        ems_xes::write_file(&ems_xes::from_event_log(log), path)
+            .map_err(|e| format!("writing {path}: {e}"))
+    };
+    write(&pair.log1, &args.out1)?;
+    write(&pair.log2, &args.out2)?;
+    println!(
+        "wrote {} ({} traces, {} events) and {} ({} traces, {} events)",
+        args.out1,
+        pair.log1.num_traces(),
+        pair.log1.alphabet_size(),
+        args.out2,
+        pair.log2.num_traces(),
+        pair.log2.alphabet_size()
+    );
+    if let Some(path) = &args.truth_csv {
+        let mut t = Table::new("truth", vec!["log1", "log2"]);
+        for (l, r) in pair.truth.iter() {
+            t.row(vec![l.to_owned(), r.to_owned()]);
+        }
+        t.write_csv(path).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("wrote {} truth pairs to {path}", pair.truth.len());
+    }
+    Ok(())
+}
+
+/// Converts between XES and MXML, detecting the input format from its root
+/// element.
+pub fn convert(input: &str, output: &str) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
+    let log: EventLog = if text.contains("<WorkflowLog") {
+        ems_xes::mxml::to_event_log_complete_only(
+            &ems_xes::mxml::parse_mxml(&text).map_err(|e| format!("{input}: {e}"))?,
+        )
+    } else {
+        ems_xes::to_event_log(&ems_xes::parse_str(&text).map_err(|e| format!("{input}: {e}"))?)
+    };
+    let out_text = if output.ends_with(".mxml") {
+        ems_xes::mxml::write_mxml(&ems_xes::mxml::from_event_log(&log))
+    } else {
+        ems_xes::write_string(&ems_xes::from_event_log(&log))
+    };
+    std::fs::write(output, out_text).map_err(|e| format!("{output}: {e}"))?;
+    println!(
+        "converted {} traces / {} events: {input} -> {output}",
+        log.num_traces(),
+        log.alphabet_size()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ems-extra-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn synth_writes_logs_and_truth() {
+        let dir = tmp("synth");
+        let args = SynthArgs {
+            activities: 12,
+            traces: 40,
+            seed: 5,
+            dislocate_front: 1,
+            dislocate_back: 0,
+            opaque: 1.0,
+            composites: 1,
+            out1: dir.join("a.xes").to_string_lossy().into_owned(),
+            out2: dir.join("b.xes").to_string_lossy().into_owned(),
+            truth_csv: Some(dir.join("truth.csv").to_string_lossy().into_owned()),
+        };
+        synth(&args).unwrap();
+        let truth = std::fs::read_to_string(dir.join("truth.csv")).unwrap();
+        assert!(truth.lines().count() > 2);
+        // Both logs parse back.
+        assert!(ems_xes::parse_file(dir.join("a.xes")).is_ok());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn compare_runs_on_synthesized_logs() {
+        let dir = tmp("compare");
+        let args = SynthArgs {
+            activities: 8,
+            traces: 30,
+            seed: 9,
+            dislocate_front: 0,
+            dislocate_back: 0,
+            opaque: 1.0,
+            composites: 0,
+            out1: dir.join("a.xes").to_string_lossy().into_owned(),
+            out2: dir.join("b.xes").to_string_lossy().into_owned(),
+            truth_csv: None,
+        };
+        synth(&args).unwrap();
+        let cargs = CompareArgs {
+            log1: args.out1.clone(),
+            log2: args.out2.clone(),
+            alpha: 1.0,
+            opq_budget: 10_000,
+        };
+        compare(&cargs, |p| {
+            let xes = ems_xes::parse_file(p).map_err(|e| e.to_string())?;
+            Ok(ems_xes::to_event_log(&xes))
+        })
+        .unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn convert_xes_to_mxml_and_back() {
+        let dir = tmp("convert");
+        let mut log = EventLog::with_name("demo");
+        log.push_trace(["a", "b"]);
+        let xes = dir.join("in.xes").to_string_lossy().into_owned();
+        let mxml = dir.join("mid.mxml").to_string_lossy().into_owned();
+        let back = dir.join("out.xes").to_string_lossy().into_owned();
+        ems_xes::write_file(&ems_xes::from_event_log(&log), &xes).unwrap();
+        convert(&xes, &mxml).unwrap();
+        convert(&mxml, &back).unwrap();
+        let final_log = ems_xes::to_event_log(&ems_xes::parse_file(&back).unwrap());
+        assert_eq!(final_log.num_traces(), 1);
+        assert_eq!(final_log.alphabet_size(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

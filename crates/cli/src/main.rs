@@ -1,0 +1,33 @@
+//! `ems` — match two heterogeneous XES event logs from the command line.
+//!
+//! ```text
+//! ems match  <log1.xes> <log2.xes> [--alpha A] [--c C] [--estimate I]
+//!            [--min-freq F] [--min-score S] [--composites] [--delta D]
+//!            [--csv out.csv] [--quiet]
+//! ems stats  <log.xes>
+//! ems dot    <log.xes>
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+mod extra;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Smoke tests driving the actual `ems` binary end-to-end.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn ems() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ems"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ems-bin-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_exits_zero_and_prints_usage() {
+    let out = ems().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("ems match"));
+    assert!(text.contains("ems synth"));
+}
+
+#[test]
+fn bad_arguments_exit_nonzero_with_usage() {
+    let out = ems().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown subcommand"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn missing_file_exits_one() {
+    let out = ems().args(["stats", "/no/such/file.xes"]).output().unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+}
+
+#[test]
+fn synth_then_match_pipeline() {
+    let dir = tmpdir("pipeline");
+    let a = dir.join("a.xes");
+    let b = dir.join("b.xes");
+    let truth = dir.join("truth.csv");
+    let out = ems()
+        .args([
+            "synth",
+            "--activities",
+            "10",
+            "--traces",
+            "40",
+            "--seed",
+            "3",
+            "--out1",
+            a.to_str().unwrap(),
+            "--out2",
+            b.to_str().unwrap(),
+            "--truth",
+            truth.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(a.exists() && b.exists() && truth.exists());
+
+    let out = ems()
+        .args([
+            "match",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--quiet",
+            "--min-score",
+            "0",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Quiet mode: tab-separated triples.
+    let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
+    assert!(lines.len() >= 5, "only {} correspondences", lines.len());
+    for line in lines {
+        assert_eq!(line.split('\t').count(), 3, "bad line {line:?}");
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn stats_and_dot_produce_output() {
+    let dir = tmpdir("statsdot");
+    let a = dir.join("a.xes");
+    ems()
+        .args([
+            "synth", "--activities", "8", "--traces", "20", "--seed", "4",
+            "--out1", a.to_str().unwrap(),
+            "--out2", dir.join("b.xes").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let out = ems().args(["stats", a.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("dependency graph"));
+    let out = ems().args(["dot", a.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).starts_with("digraph"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn convert_roundtrip_via_binary() {
+    let dir = tmpdir("convert");
+    let a = dir.join("a.xes");
+    ems()
+        .args([
+            "synth", "--activities", "6", "--traces", "10", "--seed", "5",
+            "--out1", a.to_str().unwrap(),
+            "--out2", dir.join("b.xes").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    let mxml = dir.join("a.mxml");
+    let back = dir.join("back.xes");
+    let out = ems()
+        .args(["convert", a.to_str().unwrap(), mxml.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(std::fs::read_to_string(&mxml).unwrap().contains("<WorkflowLog>"));
+    let out = ems()
+        .args(["convert", mxml.to_str().unwrap(), back.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(std::fs::read_to_string(&back).unwrap().contains("<log"));
+    let _ = std::fs::remove_dir_all(dir);
+}

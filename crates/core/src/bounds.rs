@@ -1,0 +1,131 @@
+//! Similarity upper bounds (Lemma 5, Proposition 6, Corollary 7) used by the
+//! composite matcher to abort candidates that can no longer win.
+//!
+//! Lemma 5 bounds the per-iteration growth: `S^n - S^{n-1} ≤ (αc)^n`.
+//! Summing the geometric tail gives Proposition 6's general bound
+//! `S ≤ S^k + (αc)^k / (1 - αc)`, and Corollary 7 tightens it for pairs
+//! whose convergence horizon `h = min(l(v1), l(v2))` is finite:
+//! `S ≤ S^k + ((αc)^k - (αc)^h) / (1 - αc)`.
+
+use ems_depgraph::Distance;
+
+/// The general upper bound of Proposition 6: the limit similarity of a pair
+/// whose value after `k` iterations is `s_k`, under decay `αc`.
+///
+/// Clamped to `[s_k, 1]` — similarities never exceed 1.
+pub fn general_upper_bound(s_k: f64, k: usize, alpha: f64, c: f64) -> f64 {
+    let ac = alpha * c;
+    if ac >= 1.0 {
+        return 1.0; // degenerate parameters: only the trivial bound holds
+    }
+    (s_k + ac.powi(k as i32) / (1.0 - ac)).min(1.0)
+}
+
+/// The horizon-aware bound of Corollary 7 for a pair with finite convergence
+/// horizon `h ≥ k`; for `h ≤ k` the pair has converged and the bound is
+/// `s_k` itself.
+pub fn horizon_upper_bound(s_k: f64, k: usize, h: u32, alpha: f64, c: f64) -> f64 {
+    let h = h as usize;
+    if h <= k {
+        return s_k;
+    }
+    let ac = alpha * c;
+    if ac >= 1.0 {
+        return 1.0;
+    }
+    (s_k + (ac.powi(k as i32) - ac.powi(h as i32)) / (1.0 - ac)).min(1.0)
+}
+
+/// Dispatches to the tightest applicable bound for a pair with horizon `h`.
+pub fn pair_upper_bound(s_k: f64, k: usize, h: Distance, alpha: f64, c: f64) -> f64 {
+    match h {
+        Distance::Finite(h) => horizon_upper_bound(s_k, k, h, alpha, c),
+        Distance::Infinite => general_upper_bound(s_k, k, alpha, c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn general_bound_decreases_with_k() {
+        // With αc = 0.4 the geometric tail is below the clamp.
+        let b1 = general_upper_bound(0.3, 1, 0.5, 0.8);
+        let b5 = general_upper_bound(0.3, 5, 0.5, 0.8);
+        assert!(b5 < b1, "b5={b5} b1={b1}");
+        assert!(b5 >= 0.3);
+    }
+
+    #[test]
+    fn general_bound_is_never_above_one() {
+        assert_eq!(general_upper_bound(0.9, 0, 1.0, 0.8), 1.0);
+        assert!(general_upper_bound(0.1, 10, 1.0, 0.8) <= 1.0);
+    }
+
+    #[test]
+    fn horizon_bound_tightens_general() {
+        let general = general_upper_bound(0.3, 2, 1.0, 0.8);
+        let horizon = horizon_upper_bound(0.3, 2, 5, 1.0, 0.8);
+        assert!(horizon <= general);
+        assert!(horizon >= 0.3);
+    }
+
+    #[test]
+    fn converged_pair_bound_is_its_value() {
+        assert_eq!(horizon_upper_bound(0.42, 7, 5, 1.0, 0.8), 0.42);
+        assert_eq!(horizon_upper_bound(0.42, 5, 5, 1.0, 0.8), 0.42);
+    }
+
+    #[test]
+    fn dispatch_matches_variants() {
+        let s = 0.2;
+        assert_eq!(
+            pair_upper_bound(s, 3, Distance::Infinite, 1.0, 0.8),
+            general_upper_bound(s, 3, 1.0, 0.8)
+        );
+        assert_eq!(
+            pair_upper_bound(s, 3, Distance::Finite(9), 1.0, 0.8),
+            horizon_upper_bound(s, 3, 9, 1.0, 0.8)
+        );
+    }
+
+    #[test]
+    fn lemma5_growth_bound_holds_empirically() {
+        // Check S^n - S^{n-1} <= (αc)^n on the Figure 2 graphs.
+        use crate::engine::{Engine, RunOptions};
+        use crate::params::{Direction, EmsParams};
+        use ems_depgraph::DependencyGraph;
+        use ems_labels::LabelMatrix;
+        let g1 = DependencyGraph::from_parts(
+            vec!["A".into(), "B".into(), "C".into()],
+            vec![0.4, 0.6, 1.0],
+            &[(0, 2, 0.4), (1, 2, 0.6)],
+        );
+        let g2 = DependencyGraph::from_parts(
+            vec!["1".into(), "2".into(), "3".into()],
+            vec![1.0, 0.4, 0.6],
+            &[(0, 1, 0.4), (0, 2, 0.6)],
+        );
+        let labels = LabelMatrix::zeros(3, 3);
+        let mut prev = crate::sim::SimMatrix::zeros(3, 3);
+        for n in 1..=5usize {
+            let mut params = EmsParams::structural().without_pruning();
+            params.max_iterations = n;
+            params.epsilon = 1e-12;
+            let out = Engine::new(&g1, &g2, &labels, &params, Direction::Forward)
+                .run(&RunOptions::default());
+            let bound = 0.8f64.powi(n as i32);
+            for v1 in 0..3 {
+                for v2 in 0..3 {
+                    let growth = out.sim.get(v1, v2) - prev.get(v1, v2);
+                    assert!(
+                        growth <= bound + 1e-9,
+                        "iteration {n}: growth {growth} > bound {bound}"
+                    );
+                }
+            }
+            prev = out.sim;
+        }
+    }
+}

@@ -1,0 +1,520 @@
+//! The greedy composite-event matcher (Algorithm 2) with both pruning
+//! techniques: unchanged-similarity freezing (Proposition 4) and
+//! upper-bound abort (Section 4.3).
+
+use crate::composite::candidates::Candidate;
+use crate::engine::{RunOptions, RunStats, Seed};
+use crate::matcher::{Ems, MatchOutcome};
+use crate::sim::SimMatrix;
+use ems_depgraph::{ancestor_sets, descendant_sets, DependencyGraph};
+use ems_events::{merge_composite, EventLog};
+
+/// Configuration of the greedy composite search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompositeConfig {
+    /// Minimum improvement `δ` of the average similarity required to accept
+    /// a merge (Algorithm 2, line 9). Larger values accept fewer composites;
+    /// the paper finds a moderately large `δ` (≈ 0.10) most accurate.
+    pub delta: f64,
+    /// Apply the unchanged-similarity pruning `Uc` (Proposition 4): freeze
+    /// pairs whose ancestors/descendants are disjoint from the merged
+    /// composite instead of recomputing them.
+    pub unchanged_pruning: bool,
+    /// Apply the upper-bound pruning `Bd` (Section 4.3): abort a candidate's
+    /// similarity computation once its optimistic average cannot beat the
+    /// round's incumbent.
+    pub upper_bound_pruning: bool,
+    /// Safety cap on greedy rounds.
+    pub max_rounds: usize,
+}
+
+impl Default for CompositeConfig {
+    fn default() -> Self {
+        CompositeConfig {
+            delta: 0.005,
+            unchanged_pruning: true,
+            upper_bound_pruning: true,
+            max_rounds: 16,
+        }
+    }
+}
+
+/// A merge accepted by the greedy search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AcceptedMerge {
+    /// Which log the composite was merged into (1 or 2).
+    pub side: u8,
+    /// The merged candidate.
+    pub candidate: Candidate,
+}
+
+/// The outcome of composite matching.
+#[derive(Debug, Clone)]
+pub struct CompositeOutcome {
+    /// Log 1 after all accepted merges (composites appear as single events
+    /// named `part1+part2+...`).
+    pub log1: EventLog,
+    /// Log 2 after all accepted merges.
+    pub log2: EventLog,
+    /// Final aggregated similarity over the transformed alphabets.
+    pub similarity: SimMatrix,
+    /// Accepted merges in acceptance order.
+    pub merges: Vec<AcceptedMerge>,
+    /// Greedy rounds executed (accepted merges + the final rejected round).
+    pub rounds: usize,
+    /// Candidate evaluations performed across all rounds.
+    pub candidates_evaluated: usize,
+    /// Candidate evaluations stopped early by upper-bound pruning.
+    pub candidates_aborted: usize,
+    /// Aggregated engine work counters across every similarity computation.
+    pub stats: RunStats,
+    /// The final average similarity `avg(S)`.
+    pub average: f64,
+}
+
+/// Greedy composite-event matcher (Algorithm 2).
+///
+/// In each round, every still-applicable candidate from either log is merged
+/// tentatively, the pairwise similarity of the reconstructed graphs is
+/// computed, and the candidate with the highest average similarity is
+/// accepted if it improves on the incumbent by more than `δ`; otherwise the
+/// search stops.
+#[derive(Debug, Clone)]
+pub struct CompositeMatcher {
+    ems: Ems,
+    config: CompositeConfig,
+}
+
+struct State {
+    log1: EventLog,
+    log2: EventLog,
+    g1: DependencyGraph,
+    g2: DependencyGraph,
+    outcome: MatchOutcome,
+}
+
+impl CompositeMatcher {
+    /// Creates a matcher around an [`Ems`] configuration.
+    pub fn new(ems: Ems, config: CompositeConfig) -> Self {
+        CompositeMatcher { ems, config }
+    }
+
+    /// Runs the greedy search over `cands1` (composites of log 1) and
+    /// `cands2` (composites of log 2).
+    pub fn match_logs(
+        &self,
+        l1: &EventLog,
+        l2: &EventLog,
+        cands1: &[Candidate],
+        cands2: &[Candidate],
+    ) -> CompositeOutcome {
+        let g1 = DependencyGraph::from_log(l1);
+        let g2 = DependencyGraph::from_log(l2);
+        let labels = self.ems.label_matrix(l1, l2);
+        let outcome = self.ems.match_graphs(&g1, &g2, &labels);
+        let mut stats = outcome.stats.clone();
+        let mut state = State {
+            log1: l1.clone(),
+            log2: l2.clone(),
+            g1,
+            g2,
+            outcome,
+        };
+        let mut remaining1: Vec<Candidate> = cands1.to_vec();
+        let mut remaining2: Vec<Candidate> = cands2.to_vec();
+        let mut merges = Vec::new();
+        let mut rounds = 0usize;
+        let mut evaluated = 0usize;
+        let mut aborted = 0usize;
+
+        while rounds < self.config.max_rounds {
+            rounds += 1;
+            let current_avg = state.outcome.similarity.average();
+            let mut best: Option<(usize, bool, State)> = None; // (cand idx, side1, state)
+            let mut best_avg = current_avg + self.config.delta;
+            for (side1, cands) in [(true, &remaining1), (false, &remaining2)] {
+                for (idx, cand) in cands.iter().enumerate() {
+                    let target = if self.config.upper_bound_pruning {
+                        Some(best_avg)
+                    } else {
+                        None
+                    };
+                    match self.evaluate(&state, side1, cand, target, &mut stats) {
+                        Evaluation::Skipped => {}
+                        Evaluation::Aborted => {
+                            evaluated += 1;
+                            aborted += 1;
+                        }
+                        Evaluation::Done(next) => {
+                            evaluated += 1;
+                            let avg = next.outcome.similarity.average();
+                            if avg > best_avg {
+                                best_avg = avg;
+                                best = Some((idx, side1, next));
+                            }
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((idx, side1, next)) => {
+                    let cand = if side1 {
+                        remaining1.remove(idx)
+                    } else {
+                        remaining2.remove(idx)
+                    };
+                    merges.push(AcceptedMerge {
+                        side: if side1 { 1 } else { 2 },
+                        candidate: cand,
+                    });
+                    state = next;
+                }
+                None => break,
+            }
+        }
+
+        CompositeOutcome {
+            average: state.outcome.similarity.average(),
+            similarity: state.outcome.similarity,
+            log1: state.log1,
+            log2: state.log2,
+            merges,
+            rounds,
+            candidates_evaluated: evaluated,
+            candidates_aborted: aborted,
+            stats,
+        }
+    }
+}
+
+enum Evaluation {
+    /// The candidate no longer applies (parts consumed, or never occurs).
+    Skipped,
+    /// Upper-bound pruning stopped the computation early.
+    Aborted,
+    /// Full evaluation.
+    Done(State),
+}
+
+impl CompositeMatcher {
+    /// Tentatively merges `cand` into one side and recomputes similarities,
+    /// threading the two pruning techniques through the engine.
+    fn evaluate(
+        &self,
+        state: &State,
+        side1: bool,
+        cand: &Candidate,
+        abort_target: Option<f64>,
+        stats: &mut RunStats,
+    ) -> Evaluation {
+        let (merge_log, old_graph) = if side1 {
+            (&state.log1, &state.g1)
+        } else {
+            (&state.log2, &state.g2)
+        };
+        let Some(part_ids) = cand.resolve(merge_log) else {
+            return Evaluation::Skipped;
+        };
+        let merged_name = cand.merged_name();
+        if merge_log.id_of(&merged_name).is_some() {
+            // Already merged earlier (leftover part occurrences kept the
+            // names alive): nothing new to do.
+            return Evaluation::Skipped;
+        }
+        let (new_log, merged_id) = merge_composite(merge_log, &part_ids, &merged_name);
+        if merged_id.is_none() {
+            return Evaluation::Skipped; // the run never occurs consecutively
+        }
+        let (new_log, _) = new_log.compact();
+        let new_graph = DependencyGraph::from_log(&new_log);
+        let (l1, l2, g1, g2) = if side1 {
+            (&new_log, &state.log2, &new_graph, &state.g2)
+        } else {
+            (&state.log1, &new_log, &state.g1, &new_graph)
+        };
+        let labels = self.ems.label_matrix(l1, l2);
+
+        // Unchanged-similarity pruning (Proposition 4): freeze rows/columns
+        // of nodes whose ancestors (forward) / descendants (backward) are
+        // disjoint from the merged parts and that are not parts themselves.
+        let (fwd_seed, bwd_seed) = if self.config.unchanged_pruning {
+            let parts: Vec<_> = part_ids.iter().map(|&e| e.index()).collect();
+            let an = ancestor_sets(old_graph);
+            let dn = descendant_sets(old_graph);
+            let frozen_for = |sets: &[Vec<ems_depgraph::NodeId>]| -> Vec<bool> {
+                new_graph
+                    .real_nodes()
+                    .map(|v_new| {
+                        let name = new_graph.name(v_new);
+                        if name == merged_name {
+                            return false;
+                        }
+                        let Some(old_id) = merge_log.id_of(name) else {
+                            return false;
+                        };
+                        if parts.contains(&old_id.index()) {
+                            return false;
+                        }
+                        !sets[old_id.index()]
+                            .iter()
+                            .any(|a| parts.contains(&a.index()))
+                    })
+                    .collect()
+            };
+            let fwd_rows = frozen_for(&an);
+            let bwd_rows = frozen_for(&dn);
+            let build_seed = |rows: &[bool], prev: &SimMatrix| -> Seed {
+                let n1 = g1.num_real();
+                let n2 = g2.num_real();
+                let mut values = SimMatrix::zeros(n1, n2);
+                let mut frozen = vec![false; n1 * n2];
+                // Map new indices to old matrix indices by name on the merged
+                // side; the other side is untouched (indices may still shift
+                // after compaction, so map by name there too).
+                let old_l1 = &state.log1;
+                let old_l2 = &state.log2;
+                for i in 0..n1 {
+                    for j in 0..n2 {
+                        let node_frozen = if side1 { rows[i] } else { rows[j] };
+                        if !node_frozen {
+                            continue;
+                        }
+                        let (old_i, old_j) = (
+                            old_l1.id_of(g1.name(ems_depgraph::NodeId::from_index(i))),
+                            old_l2.id_of(g2.name(ems_depgraph::NodeId::from_index(j))),
+                        );
+                        if let (Some(oi), Some(oj)) = (old_i, old_j) {
+                            values.set(i, j, prev.get(oi.index(), oj.index()));
+                            frozen[i * n2 + j] = true;
+                        }
+                    }
+                }
+                Seed { values, frozen }
+            };
+            (
+                Some(build_seed(&fwd_rows, &state.outcome.forward)),
+                Some(build_seed(&bwd_rows, &state.outcome.backward)),
+            )
+        } else {
+            (None, None)
+        };
+
+        // Upper-bound pruning (Section 4.3): the combined similarity is the
+        // mean of forward and backward. If even an all-ones backward cannot
+        // lift the forward's optimistic average above the target, abort.
+        let fwd_abort = abort_target.map(|t| 2.0 * t - 1.0).filter(|&t| t > 0.0);
+        let fwd_opts = RunOptions {
+            seed: fwd_seed,
+            abort_below: fwd_abort,
+        };
+        let fwd = crate::engine::Engine::new(
+            g1,
+            g2,
+            &labels,
+            self.ems.params(),
+            crate::params::Direction::Forward,
+        )
+        .run(&fwd_opts);
+        stats.merge2(&fwd.stats);
+        if fwd.stats.aborted {
+            return Evaluation::Aborted;
+        }
+        let bwd_abort = abort_target
+            .map(|t| 2.0 * t - fwd.sim.average())
+            .filter(|&t| t > 0.0);
+        let bwd_opts = RunOptions {
+            seed: bwd_seed,
+            abort_below: bwd_abort,
+        };
+        let bwd = crate::engine::Engine::new(
+            g1,
+            g2,
+            &labels,
+            self.ems.params(),
+            crate::params::Direction::Backward,
+        )
+        .run(&bwd_opts);
+        stats.merge2(&bwd.stats);
+        if bwd.stats.aborted {
+            return Evaluation::Aborted;
+        }
+
+        let mut run_stats = fwd.stats.clone();
+        run_stats.merge(&bwd.stats);
+        let outcome = MatchOutcome {
+            similarity: fwd.sim.mean_with(&bwd.sim),
+            forward: fwd.sim,
+            backward: bwd.sim,
+            stats: run_stats,
+        };
+        let next = if side1 {
+            State {
+                log1: new_log,
+                log2: state.log2.clone(),
+                g1: new_graph,
+                g2: state.g2.clone(),
+                outcome,
+            }
+        } else {
+            State {
+                log1: state.log1.clone(),
+                log2: new_log,
+                g1: state.g1.clone(),
+                g2: new_graph,
+                outcome,
+            }
+        };
+        Evaluation::Done(next)
+    }
+}
+
+impl RunStats {
+    /// Adds another run's counters without taking the max of iterations —
+    /// used when accumulating across many candidate evaluations.
+    fn merge2(&mut self, other: &RunStats) {
+        self.iterations += other.iterations;
+        self.formula_evals += other.formula_evals;
+        self.pruned_evals += other.pruned_evals;
+        self.frozen_evals += other.frozen_evals;
+        self.estimated_pairs += other.estimated_pairs;
+        self.aborted |= other.aborted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::EmsParams;
+
+    /// The Figure 1 log pair: log 1 keeps C and D separate; log 2 has the
+    /// composite "Inventory Checking & Validation" as the single event `4`.
+    /// Ground truth merges {C, D} in log 1 — this is exactly Example 7,
+    /// where avg(S) rises from 0.502 to 0.508 on accepting {C, D} and falls
+    /// for {E, F}.
+    fn composite_pair() -> (EventLog, EventLog) {
+        let mut l1 = EventLog::new();
+        for _ in 0..2 {
+            l1.push_trace(["A", "C", "D", "E", "F"]);
+        }
+        for _ in 0..3 {
+            l1.push_trace(["B", "C", "D", "F", "E"]);
+        }
+        let mut l2 = EventLog::new();
+        for _ in 0..2 {
+            l2.push_trace(["1", "2", "4", "5", "6"]);
+        }
+        for _ in 0..3 {
+            l2.push_trace(["1", "3", "4", "6", "5"]);
+        }
+        (l1, l2)
+    }
+
+    fn matcher(config: CompositeConfig) -> CompositeMatcher {
+        CompositeMatcher::new(Ems::new(EmsParams::structural()), config)
+    }
+
+    #[test]
+    fn merges_the_true_composite() {
+        let (l1, l2) = composite_pair();
+        let cands = vec![Candidate::new(["C", "D"]), Candidate::new(["E", "F"])];
+        let out = matcher(CompositeConfig::default()).match_logs(&l1, &l2, &cands, &[]);
+        assert!(
+            out.merges
+                .iter()
+                .any(|m| m.side == 1 && m.candidate.parts == ["C", "D"]),
+            "merges: {:?}",
+            out.merges
+        );
+        // The merged log contains the composite event.
+        assert!(out.log1.id_of("C+D").is_some());
+        // Average similarity improved over the singleton matching.
+        let base = Ems::new(EmsParams::structural())
+            .match_logs(&l1, &l2)
+            .similarity
+            .average();
+        assert!(out.average > base);
+    }
+
+    #[test]
+    fn high_delta_rejects_all_merges() {
+        let (l1, l2) = composite_pair();
+        let cands = vec![Candidate::new(["C", "D"])];
+        let config = CompositeConfig {
+            delta: 0.9,
+            ..CompositeConfig::default()
+        };
+        let out = matcher(config).match_logs(&l1, &l2, &cands, &[]);
+        assert!(out.merges.is_empty());
+        assert_eq!(out.rounds, 1);
+    }
+
+    #[test]
+    fn pruning_modes_agree_on_accepted_merges() {
+        let (l1, l2) = composite_pair();
+        let cands = vec![Candidate::new(["C", "D"]), Candidate::new(["E", "F"])];
+        let run = |uc: bool, bd: bool| {
+            let config = CompositeConfig {
+                unchanged_pruning: uc,
+                upper_bound_pruning: bd,
+                ..CompositeConfig::default()
+            };
+            matcher(config).match_logs(&l1, &l2, &cands, &[])
+        };
+        let plain = run(false, false);
+        let uc = run(true, false);
+        let bd = run(false, true);
+        let both = run(true, true);
+        let key = |o: &CompositeOutcome| {
+            let mut v: Vec<_> = o
+                .merges
+                .iter()
+                .map(|m| (m.side, m.candidate.parts.clone()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(key(&plain), key(&uc));
+        assert_eq!(key(&plain), key(&bd));
+        assert_eq!(key(&plain), key(&both));
+        // Averages agree up to convergence-threshold noise: freezing pairs
+        // at their fixpoints changes the trajectory, not the limit.
+        assert!((plain.average - both.average).abs() < 1e-3);
+        // Uc does strictly less formula work.
+        assert!(uc.stats.formula_evals <= plain.stats.formula_evals);
+    }
+
+    #[test]
+    fn inapplicable_candidates_are_skipped() {
+        let (l1, l2) = composite_pair();
+        let cands = vec![
+            Candidate::new(["zz", "qq"]),  // unknown events
+            Candidate::new(["C", "F"]),    // never consecutive
+        ];
+        let out = matcher(CompositeConfig::default()).match_logs(&l1, &l2, &cands, &[]);
+        assert!(out.merges.is_empty());
+        assert_eq!(out.candidates_evaluated, 0);
+    }
+
+    #[test]
+    fn candidates_on_both_sides_compete() {
+        let (l1, l2) = composite_pair();
+        let cands1 = vec![Candidate::new(["C", "D"])];
+        let cands2 = vec![Candidate::new(["5", "6"])];
+        let out =
+            matcher(CompositeConfig::default()).match_logs(&l1, &l2, &cands1, &cands2);
+        // The true composite on side 1 must be among the accepted merges,
+        // and must have been accepted first (highest improvement).
+        assert!(!out.merges.is_empty());
+        assert_eq!(out.merges[0].side, 1);
+        assert_eq!(out.merges[0].candidate.parts, vec!["C", "D"]);
+    }
+
+    #[test]
+    fn empty_candidate_sets_return_base_matching() {
+        let (l1, l2) = composite_pair();
+        let out = matcher(CompositeConfig::default()).match_logs(&l1, &l2, &[], &[]);
+        assert!(out.merges.is_empty());
+        let base = Ems::new(EmsParams::structural()).match_logs(&l1, &l2);
+        assert!((out.average - base.similarity.average()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,25 @@
+//! Composite-event matching (Section 4).
+//!
+//! One event in a log may correspond to several events in another — a
+//! *composite event*. Finding the optimal non-overlapping selection of
+//! composite candidates that maximizes the average pairwise similarity is
+//! NP-hard (Theorem 3, by reduction from maximum set packing), so this
+//! module implements the paper's greedy strategy (Algorithm 2) together with
+//! its two pruning techniques:
+//!
+//! * **Unchanged similarities** (`Uc`, Proposition 4): after merging a
+//!   composite `U`, pairs whose ancestors are disjoint from `U` keep their
+//!   similarities and are frozen instead of recomputed;
+//! * **Upper-bound abort** (`Bd`, Section 4.3): a candidate evaluation is
+//!   stopped as soon as the optimistic upper bound of its average similarity
+//!   falls below the best average already found.
+//!
+//! Candidates are discovered with the SEQ-pattern heuristic used in the
+//! paper's evaluation: "grouping singleton events that always appear
+//! consecutively" ([`discover_candidates`]).
+
+mod candidates;
+mod greedy;
+
+pub use candidates::{discover_candidates, Candidate, CandidateConfig};
+pub use greedy::{AcceptedMerge, CompositeConfig, CompositeMatcher, CompositeOutcome};

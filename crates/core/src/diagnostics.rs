@@ -1,0 +1,195 @@
+//! Estimation-error diagnostics — the paper's stated future work.
+//!
+//! Section 7 closes with: *"thus far, we do not get any theoretical bound of
+//! estimation. It is interesting to investigate the bound of estimation as a
+//! future study."* This module provides the empirical instrumentation for
+//! that investigation: per-pair signed errors of the Section-3.5 estimation
+//! against the exact fixpoint, aggregated over a sweep of exact-iteration
+//! counts `I`, together with the fitted constant of a geometric error model
+//! `|error| ≤ K · (αc)^I` — the natural candidate bound, since the exact
+//! iteration's own tail is geometric (Lemma 5).
+
+use crate::engine::{Engine, RunOptions};
+use crate::matcher::Ems;
+use crate::params::{Direction, EmsParams};
+use crate::sim::SimMatrix;
+use ems_depgraph::DependencyGraph;
+use ems_labels::LabelMatrix;
+
+/// Error statistics of one estimation configuration against the exact
+/// fixpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimationReport {
+    /// The number of exact iterations `I` the estimation ran.
+    pub exact_iterations: usize,
+    /// Largest absolute per-pair error.
+    pub max_error: f64,
+    /// Mean absolute error over all pairs.
+    pub mean_error: f64,
+    /// Root-mean-square error over all pairs.
+    pub rmse: f64,
+    /// Fraction of pairs whose estimate agrees with the exact value up to
+    /// the configured convergence threshold `epsilon` (both computations
+    /// stop at that resolution, so agreement below it is indistinguishable
+    /// from exactness).
+    pub exact_fraction: f64,
+    /// Largest *positive* error (over-estimation) — relevant because the
+    /// exact iteration only grows (Theorem 1), so over-estimation is the
+    /// estimation model's own contribution.
+    pub max_overestimate: f64,
+    /// Largest *negative* error (under-estimation).
+    pub max_underestimate: f64,
+    /// The fitted constant `K` of the geometric model `|err| ≤ K · (αc)^I`
+    /// for this `I` (i.e. `max_error / (αc)^I`).
+    pub geometric_constant: f64,
+}
+
+/// Computes the per-pair signed error matrix (estimate − exact) of the
+/// estimation with `i` exact iterations, in one direction.
+pub fn estimation_error_matrix(
+    g1: &DependencyGraph,
+    g2: &DependencyGraph,
+    labels: &LabelMatrix,
+    base: &EmsParams,
+    i: usize,
+    direction: Direction,
+) -> SimMatrix {
+    let mut exact_params = base.clone();
+    exact_params.estimate_after = None;
+    let mut est_params = base.clone();
+    est_params.estimate_after = Some(i);
+    let exact = Engine::new(g1, g2, labels, &exact_params, direction)
+        .run(&RunOptions::default())
+        .sim;
+    let est = Engine::new(g1, g2, labels, &est_params, direction)
+        .run(&RunOptions::default())
+        .sim;
+    let mut out = SimMatrix::zeros(exact.rows(), exact.cols());
+    for (r, c, v) in est.iter() {
+        out.set(r, c, v - exact.get(r, c));
+    }
+    out
+}
+
+/// Sweeps `i_values` and reports the aggregated error statistics of the
+/// combined (forward+backward averaged) estimation against the exact EMS.
+pub fn estimation_sweep(
+    l1: &ems_events::EventLog,
+    l2: &ems_events::EventLog,
+    base: &EmsParams,
+    i_values: &[usize],
+) -> Vec<EstimationReport> {
+    let mut exact_params = base.clone();
+    exact_params.estimate_after = None;
+    let exact = Ems::new(exact_params).match_logs(l1, l2).similarity;
+    let ac = base.alpha * base.c;
+    i_values
+        .iter()
+        .map(|&i| {
+            let mut est_params = base.clone();
+            est_params.estimate_after = Some(i);
+            let est = Ems::new(est_params).match_logs(l1, l2).similarity;
+            let mut max_error = 0.0f64;
+            let mut max_over = 0.0f64;
+            let mut max_under = 0.0f64;
+            let mut sum = 0.0f64;
+            let mut sum_sq = 0.0f64;
+            let mut exact_count = 0usize;
+            let mut n = 0usize;
+            for (r, c, v) in est.iter() {
+                let err = v - exact.get(r, c);
+                max_error = max_error.max(err.abs());
+                max_over = max_over.max(err);
+                max_under = max_under.max(-err);
+                sum += err.abs();
+                sum_sq += err * err;
+                if err.abs() < base.epsilon {
+                    exact_count += 1;
+                }
+                n += 1;
+            }
+            let n = n.max(1) as f64;
+            EstimationReport {
+                exact_iterations: i,
+                max_error,
+                mean_error: sum / n,
+                rmse: (sum_sq / n).sqrt(),
+                exact_fraction: exact_count as f64 / n,
+                max_overestimate: max_over,
+                max_underestimate: max_under,
+                geometric_constant: if ac > 0.0 && ac < 1.0 {
+                    max_error / ac.powi(i as i32)
+                } else {
+                    f64::NAN
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ems_events::EventLog;
+
+    fn logs() -> (EventLog, EventLog) {
+        let mut l1 = EventLog::new();
+        for _ in 0..2 {
+            l1.push_trace(["a", "b", "c", "d", "e"]);
+        }
+        for _ in 0..3 {
+            l1.push_trace(["a", "b", "c", "e", "d"]);
+        }
+        let mut l2 = EventLog::new();
+        for _ in 0..2 {
+            l2.push_trace(["u", "v", "w", "x", "y"]);
+        }
+        for _ in 0..3 {
+            l2.push_trace(["u", "v", "w", "y", "x"]);
+        }
+        (l1, l2)
+    }
+
+    #[test]
+    fn error_shrinks_with_more_exact_iterations() {
+        let (l1, l2) = logs();
+        let reports = estimation_sweep(&l1, &l2, &EmsParams::structural(), &[0, 2, 5, 10]);
+        assert_eq!(reports.len(), 4);
+        // Mean error at I=10 must not exceed mean error at I=0.
+        assert!(reports[3].mean_error <= reports[0].mean_error + 1e-12);
+        // Large I: most pairs exact.
+        assert!(reports[3].exact_fraction > 0.8, "{:?}", reports[3]);
+    }
+
+    #[test]
+    fn signed_error_matrix_matches_sweep_max() {
+        let (l1, l2) = logs();
+        let g1 = DependencyGraph::from_log(&l1);
+        let g2 = DependencyGraph::from_log(&l2);
+        let labels = LabelMatrix::zeros(g1.num_real(), g2.num_real());
+        let errs = estimation_error_matrix(
+            &g1,
+            &g2,
+            &labels,
+            &EmsParams::structural(),
+            0,
+            Direction::Forward,
+        );
+        let max = errs.iter().map(|(_, _, v)| v.abs()).fold(0.0, f64::max);
+        assert!(max < 1.0);
+        assert_eq!(errs.rows(), g1.num_real());
+    }
+
+    #[test]
+    fn reports_carry_consistent_aggregates() {
+        let (l1, l2) = logs();
+        let reports = estimation_sweep(&l1, &l2, &EmsParams::structural(), &[1]);
+        let r = &reports[0];
+        assert!(r.mean_error <= r.max_error + 1e-12);
+        assert!(r.rmse <= r.max_error + 1e-12);
+        assert!(r.mean_error <= r.rmse + 1e-12); // AM-QM inequality
+        assert!(r.max_error <= r.max_overestimate.max(r.max_underestimate) + 1e-12);
+        assert!((0.0..=1.0).contains(&r.exact_fraction));
+        assert!(r.geometric_constant.is_finite());
+    }
+}

@@ -1,0 +1,674 @@
+//! The iterative fixpoint computation of the forward/backward similarity
+//! (Definition 2, formula (1)) with early-convergence pruning
+//! (Proposition 2), per-pair freezing (Proposition 4), closed-form
+//! estimation (Section 3.5) and upper-bound abort (Section 4.3).
+
+use crate::bounds::pair_upper_bound;
+use crate::estimate::extrapolate;
+use crate::params::{Direction, EmsParams};
+use crate::sim::SimMatrix;
+use ems_depgraph::{
+    longest_distances, longest_distances_backward, DependencyGraph, Distance, NodeId,
+};
+use ems_labels::LabelMatrix;
+
+/// Initial state carried into a run — used by the composite matcher to reuse
+/// similarities that Proposition 4 proves unchanged.
+#[derive(Debug, Clone)]
+pub struct Seed {
+    /// Initial values: frozen pairs hold their known-correct similarities,
+    /// all other pairs must be `0` (the `S^0` of Section 3.2 — monotone
+    /// convergence relies on starting from below).
+    pub values: SimMatrix,
+    /// Per-pair freeze mask (row-major, `n1 * n2`): `true` pairs are never
+    /// updated but still feed their values into neighbors' computations.
+    pub frozen: Vec<bool>,
+}
+
+/// Options for one similarity run.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Reused values + freeze mask (Proposition 4).
+    pub seed: Option<Seed>,
+    /// Abort threshold for upper-bound pruning (Section 4.3): after each
+    /// iteration the run computes the average of the per-pair *upper bounds*;
+    /// if that optimistic average is already below this threshold, the run
+    /// can never beat it and stops early with [`RunStats::aborted`] set.
+    pub abort_below: Option<f64>,
+}
+
+/// Counters describing how much work a run performed — these are the
+/// quantities Figures 6 and 12 of the paper report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Iterations executed (exact phase).
+    pub iterations: usize,
+    /// Number of evaluations of formula (1) — one per non-skipped pair per
+    /// iteration. This is the paper's "total number of iterations w.r.t. all
+    /// event pairs".
+    pub formula_evals: u64,
+    /// Evaluations skipped by early-convergence pruning.
+    pub pruned_evals: u64,
+    /// Evaluations skipped because the pair was frozen by a [`Seed`].
+    pub frozen_evals: u64,
+    /// Pairs whose final value came from the closed-form estimation.
+    pub estimated_pairs: u64,
+    /// Whether the run stopped early due to `abort_below`.
+    pub aborted: bool,
+}
+
+impl RunStats {
+    /// Merges counters from another run (e.g. forward + backward).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.iterations = self.iterations.max(other.iterations);
+        self.formula_evals += other.formula_evals;
+        self.pruned_evals += other.pruned_evals;
+        self.frozen_evals += other.frozen_evals;
+        self.estimated_pairs += other.estimated_pairs;
+        self.aborted |= other.aborted;
+    }
+}
+
+/// Result of one similarity run.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The computed similarity matrix over real events.
+    pub sim: SimMatrix,
+    /// Work counters.
+    pub stats: RunStats,
+}
+
+/// One-direction similarity engine over a fixed pair of dependency graphs.
+///
+/// The engine owns nothing graph-shaped: it borrows the graphs and the label
+/// matrix, precomputes the `l(v)` distances for its direction, and can then
+/// run any number of times (the composite matcher runs it once per candidate).
+#[derive(Debug)]
+pub struct Engine<'a> {
+    g1: &'a DependencyGraph,
+    g2: &'a DependencyGraph,
+    labels: &'a LabelMatrix,
+    params: &'a EmsParams,
+    direction: Direction,
+    l1: Vec<Distance>,
+    l2: Vec<Distance>,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine for `direction` over `g1 × g2`.
+    ///
+    /// # Panics
+    /// If the label matrix shape does not match the graphs' real node counts
+    /// or the parameters fail validation.
+    pub fn new(
+        g1: &'a DependencyGraph,
+        g2: &'a DependencyGraph,
+        labels: &'a LabelMatrix,
+        params: &'a EmsParams,
+        direction: Direction,
+    ) -> Self {
+        params
+            .validate()
+            .unwrap_or_else(|m| panic!("invalid EMS parameters: {m}"));
+        assert_eq!(labels.rows(), g1.num_real(), "label matrix rows");
+        assert_eq!(labels.cols(), g2.num_real(), "label matrix cols");
+        let (l1, l2) = match direction {
+            Direction::Forward => (longest_distances(g1), longest_distances(g2)),
+            Direction::Backward => (
+                longest_distances_backward(g1),
+                longest_distances_backward(g2),
+            ),
+        };
+        Engine {
+            g1,
+            g2,
+            labels,
+            params,
+            direction,
+            l1,
+            l2,
+        }
+    }
+
+    /// The per-pair convergence bound `h = min(l(v1), l(v2))`
+    /// (Proposition 2).
+    pub fn pair_bound(&self, v1: usize, v2: usize) -> Distance {
+        Distance::min(self.l1[v1], self.l2[v2])
+    }
+
+    fn neighbors(&self, side1: bool, v: NodeId) -> &[(NodeId, f64)] {
+        let g = if side1 { self.g1 } else { self.g2 };
+        match self.direction {
+            Direction::Forward => g.pre(v),
+            Direction::Backward => g.post(v),
+        }
+    }
+
+    /// Evaluates the one-side similarity `s(v1, v2)` of Definition 2 against
+    /// the previous iteration's matrix.
+    fn one_side(&self, prev: &SimMatrix, v1: usize, v2: usize, swap: bool) -> f64 {
+        // `swap` computes s(v2, v1): outer loop over v2's neighbors.
+        let x1 = self.g1.artificial();
+        let x2 = self.g2.artificial();
+        let (outer, inner) = if swap {
+            (
+                self.neighbors(false, NodeId::from_index(v2)),
+                self.neighbors(true, NodeId::from_index(v1)),
+            )
+        } else {
+            (
+                self.neighbors(true, NodeId::from_index(v1)),
+                self.neighbors(false, NodeId::from_index(v2)),
+            )
+        };
+        if outer.is_empty() {
+            return 0.0;
+        }
+        let c = self.params.c;
+        let mut sum = 0.0;
+        for &(op, f_o) in outer {
+            let o_art = if swap {
+                op == x2
+            } else {
+                op == x1
+            };
+            let mut best = 0.0_f64;
+            for &(ip, f_i) in inner {
+                let i_art = if swap {
+                    ip == x1
+                } else {
+                    ip == x2
+                };
+                let s_prev = match (o_art, i_art) {
+                    (true, true) => 1.0,
+                    (true, false) | (false, true) => 0.0,
+                    (false, false) => {
+                        if swap {
+                            prev.get(ip.index(), op.index())
+                        } else {
+                            prev.get(op.index(), ip.index())
+                        }
+                    }
+                };
+                if s_prev <= best {
+                    // C ≤ c < 1, so C * s_prev < s_prev ≤ best: cannot win.
+                    continue;
+                }
+                let compat = c * (1.0 - (f_o - f_i).abs() / (f_o + f_i));
+                let cand = compat * s_prev;
+                if cand > best {
+                    best = cand;
+                }
+            }
+            sum += best;
+        }
+        sum / outer.len() as f64
+    }
+
+    /// Runs the iteration to convergence (or through Algorithm 1's
+    /// estimation when `params.estimate_after` is set).
+    pub fn run(&self, options: &RunOptions) -> RunOutput {
+        let n1 = self.g1.num_real();
+        let n2 = self.g2.num_real();
+        let p = self.params;
+        let mut stats = RunStats::default();
+
+        let (mut current, frozen): (SimMatrix, Vec<bool>) = match &options.seed {
+            Some(seed) => {
+                assert_eq!(seed.values.rows(), n1, "seed rows");
+                assert_eq!(seed.values.cols(), n2, "seed cols");
+                assert_eq!(seed.frozen.len(), n1 * n2, "seed mask length");
+                (seed.values.clone(), seed.frozen.clone())
+            }
+            None => (SimMatrix::zeros(n1, n2), vec![false; n1 * n2]),
+        };
+        if n1 == 0 || n2 == 0 {
+            return RunOutput {
+                sim: current,
+                stats,
+            };
+        }
+
+        // Global iteration bound (Section 3.4): the whole computation is
+        // finished after n = min(max l1, max l2) iterations when finite.
+        let max_l1 = self.l1.iter().copied().max().unwrap_or(Distance::Finite(0));
+        let max_l2 = self.l2.iter().copied().max().unwrap_or(Distance::Finite(0));
+        let global_bound = match (p.pruning, Distance::min(max_l1, max_l2)) {
+            (true, Distance::Finite(h)) => (h as usize).min(p.max_iterations),
+            _ => p.max_iterations,
+        };
+        let exact_rounds = match p.estimate_after {
+            Some(i) => i.min(global_bound),
+            None => global_bound,
+        };
+
+        let mut next = current.clone();
+        let alpha = p.alpha;
+        for i in 1..=exact_rounds {
+            let mut delta = 0.0_f64;
+            for v1 in 0..n1 {
+                for v2 in 0..n2 {
+                    let k = v1 * n2 + v2;
+                    if frozen[k] {
+                        stats.frozen_evals += 1;
+                        continue;
+                    }
+                    if p.pruning {
+                        if let Distance::Finite(h) = self.pair_bound(v1, v2) {
+                            if i > h as usize {
+                                stats.pruned_evals += 1;
+                                continue;
+                            }
+                        }
+                    }
+                    stats.formula_evals += 1;
+                    let s12 = self.one_side(&current, v1, v2, false);
+                    let s21 = self.one_side(&current, v1, v2, true);
+                    let mut value =
+                        alpha * (s12 + s21) / 2.0 + (1.0 - alpha) * self.labels.get(v1, v2);
+                    // Numerical safety: theory guarantees [0,1].
+                    value = value.clamp(0.0, 1.0);
+                    delta = delta.max((value - current.get(v1, v2)).abs());
+                    next.set(v1, v2, value);
+                }
+            }
+            // Pairs skipped this round keep their previous values.
+            for v1 in 0..n1 {
+                for v2 in 0..n2 {
+                    let k = v1 * n2 + v2;
+                    let skipped = frozen[k]
+                        || (p.pruning
+                            && matches!(self.pair_bound(v1, v2), Distance::Finite(h) if i > h as usize));
+                    if skipped {
+                        let v = current.get(v1, v2);
+                        next.set(v1, v2, v);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            stats.iterations = i;
+
+            if let Some(threshold) = options.abort_below {
+                let mut upper_sum = 0.0;
+                for v1 in 0..n1 {
+                    for v2 in 0..n2 {
+                        upper_sum += pair_upper_bound(
+                            current.get(v1, v2),
+                            i,
+                            self.pair_bound(v1, v2),
+                            alpha,
+                            p.c,
+                        );
+                    }
+                }
+                let upper_avg = upper_sum / (n1 * n2) as f64;
+                if upper_avg < threshold {
+                    stats.aborted = true;
+                    return RunOutput {
+                        sim: current,
+                        stats,
+                    };
+                }
+            }
+
+            if delta < p.epsilon {
+                break;
+            }
+        }
+
+        // Estimation phase (Algorithm 1, lines 6-8). Only pairs that were
+        // still moving at iteration I are extrapolated: a pair whose value
+        // already stopped changing is its own best estimate, and the crude
+        // recurrence model would only disturb it.
+        if let Some(cap) = p.estimate_after {
+            let i_done = stats.iterations.min(cap);
+            for v1 in 0..n1 {
+                for v2 in 0..n2 {
+                    if frozen[v1 * n2 + v2] {
+                        continue;
+                    }
+                    if i_done > 0 && (current.get(v1, v2) - next.get(v1, v2)).abs() < p.epsilon
+                    {
+                        // `next` holds the previous iteration's values after
+                        // the final swap: the pair has converged numerically.
+                        continue;
+                    }
+                    let h = self.pair_bound(v1, v2);
+                    let needs = match h {
+                        Distance::Finite(h) => i_done < h as usize,
+                        Distance::Infinite => true,
+                    };
+                    if !needs {
+                        continue;
+                    }
+                    let (a_deg, b_deg) = match self.direction {
+                        Direction::Forward => (
+                            self.g1.pre(NodeId::from_index(v1)).len(),
+                            self.g2.pre(NodeId::from_index(v2)).len(),
+                        ),
+                        Direction::Backward => (
+                            self.g1.post(NodeId::from_index(v1)).len(),
+                            self.g2.post(NodeId::from_index(v2)).len(),
+                        ),
+                    };
+                    if a_deg == 0 || b_deg == 0 {
+                        continue; // zero-frequency node: similarity stays 0
+                    }
+                    let f1 = self.g1.node_frequency(NodeId::from_index(v1));
+                    let f2 = self.g2.node_frequency(NodeId::from_index(v2));
+                    let s_prev = if i_done >= 1 {
+                        Some(next.get(v1, v2))
+                    } else {
+                        None
+                    };
+                    let est = extrapolate(
+                        current.get(v1, v2),
+                        s_prev,
+                        i_done,
+                        h,
+                        a_deg,
+                        b_deg,
+                        f1,
+                        f2,
+                        self.labels.get(v1, v2),
+                        p,
+                    );
+                    // Exact similarities only grow (Theorem 1): never let the
+                    // estimate fall below the exact value already computed.
+                    let est = est.clamp(current.get(v1, v2), 1.0);
+                    current.set(v1, v2, est);
+                    stats.estimated_pairs += 1;
+                }
+            }
+        }
+
+        RunOutput {
+            sim: current,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ems_labels::LabelMatrix;
+
+    /// G1 of Figure 2(a): only the pieces relevant to Example 4 need exact
+    /// frequencies; remaining edges follow the figure's structure.
+    fn figure2_g1() -> DependencyGraph {
+        DependencyGraph::from_parts(
+            vec!["A".into(), "B".into(), "C".into(), "D".into(), "E".into(), "F".into()],
+            vec![0.4, 0.6, 1.0, 1.0, 1.0, 1.0],
+            &[
+                (0, 2, 0.4), // A -> C
+                (1, 2, 0.6), // B -> C
+                (2, 3, 1.0), // C -> D
+                (3, 4, 0.6), // D -> E
+                (3, 5, 0.4), // D -> F
+                (4, 5, 0.6), // E -> F
+                (5, 4, 0.4), // F -> E
+            ],
+        )
+    }
+
+    /// G2 of Figure 2(b).
+    fn figure2_g2() -> DependencyGraph {
+        DependencyGraph::from_parts(
+            vec!["1".into(), "2".into(), "3".into(), "4".into(), "5".into(), "6".into()],
+            vec![1.0, 0.4, 0.6, 1.0, 1.0, 1.0],
+            &[
+                (0, 1, 0.4), // 1 -> 2
+                (0, 2, 0.6), // 1 -> 3
+                (1, 3, 0.4), // 2 -> 4
+                (2, 3, 0.6), // 3 -> 4
+                (3, 4, 1.0), // 4 -> 5
+                (4, 5, 0.6), // 5 -> 6
+                (5, 4, 0.4), // 6 -> 5 (5 and 6 interleave)
+            ],
+        )
+    }
+
+    fn structural_engine_run(
+        g1: &DependencyGraph,
+        g2: &DependencyGraph,
+        params: &EmsParams,
+    ) -> RunOutput {
+        let labels = LabelMatrix::zeros(g1.num_real(), g2.num_real());
+        let engine = Engine::new(g1, g2, &labels, params, Direction::Forward);
+        engine.run(&RunOptions::default())
+    }
+
+    /// Reproduces Example 4's first-iteration values S¹(A,1) = 0.457 and
+    /// S¹(A,2) = 0.6 with α = 1, c = 0.8.
+    #[test]
+    fn example4_first_iteration_values() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let mut params = EmsParams::structural();
+        params.estimate_after = None;
+        params.max_iterations = 1; // stop after iteration 1
+        params.pruning = false;
+        let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+        let out = engine.run(&RunOptions::default());
+        // S¹(A,1): C(v^X,A,v^X,1)·1 = 0.8·(1 - 0.6/1.4) = 0.457...
+        let s_a1 = out.sim.get(0, 0);
+        assert!((s_a1 - 0.45714285).abs() < 1e-6, "S1(A,1) = {s_a1}");
+        // S¹(A,2) = 0.5·(0.8 + 0.4) = 0.6.
+        let s_a2 = out.sim.get(0, 1);
+        assert!((s_a2 - 0.6).abs() < 1e-9, "S1(A,2) = {s_a2}");
+        // Dislocated pair (A,2) beats the local-looking pair (A,1).
+        assert!(s_a2 > s_a1);
+    }
+
+    #[test]
+    fn similarity_is_monotone_across_iterations() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let mut prev = SimMatrix::zeros(6, 6);
+        for rounds in 1..=6 {
+            let mut params = EmsParams::structural().without_pruning();
+            params.max_iterations = rounds;
+            let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+            let out = engine.run(&RunOptions::default());
+            for v1 in 0..6 {
+                for v2 in 0..6 {
+                    assert!(
+                        out.sim.get(v1, v2) + 1e-12 >= prev.get(v1, v2),
+                        "monotonicity violated at ({v1},{v2}) round {rounds}"
+                    );
+                    assert!(out.sim.get(v1, v2) <= 1.0 + 1e-12);
+                }
+            }
+            prev = out.sim;
+        }
+    }
+
+    #[test]
+    fn pruned_and_unpruned_agree() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let with = structural_engine_run(&g1, &g2, &EmsParams::structural());
+        let without =
+            structural_engine_run(&g1, &g2, &EmsParams::structural().without_pruning());
+        assert!(
+            with.sim.max_abs_diff(&without.sim) < 1e-6,
+            "pruning changed results by {}",
+            with.sim.max_abs_diff(&without.sim)
+        );
+        assert!(with.stats.formula_evals < without.stats.formula_evals);
+        assert!(with.stats.pruned_evals > 0);
+    }
+
+    #[test]
+    fn backward_direction_runs_and_differs() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let params = EmsParams::structural();
+        let fwd = Engine::new(&g1, &g2, &labels, &params, Direction::Forward)
+            .run(&RunOptions::default());
+        let bwd = Engine::new(&g1, &g2, &labels, &params, Direction::Backward)
+            .run(&RunOptions::default());
+        assert!(fwd.sim.max_abs_diff(&bwd.sim) > 1e-3);
+    }
+
+    #[test]
+    fn estimation_with_zero_iterations_is_cheap_and_bounded() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let params = EmsParams::structural().estimated(0);
+        let out = structural_engine_run(&g1, &g2, &params);
+        assert_eq!(out.stats.iterations, 0);
+        assert!(out.stats.estimated_pairs > 0);
+        for (_, _, v) in out.sim.iter() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn estimation_converges_to_exact_with_large_i() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let exact = structural_engine_run(&g1, &g2, &EmsParams::structural());
+        let estimated =
+            structural_engine_run(&g1, &g2, &EmsParams::structural().estimated(50));
+        // With I beyond every finite pair bound, estimation only touches
+        // infinite-h pairs; finite pairs are exact.
+        for v1 in 0..4 {
+            for v2 in 0..4 {
+                assert!(
+                    (exact.sim.get(v1, v2) - estimated.sim.get(v1, v2)).abs() < 1e-6,
+                    "pair ({v1},{v2})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn estimation_error_shrinks_with_more_exact_iterations() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let exact = structural_engine_run(&g1, &g2, &EmsParams::structural());
+        let err = |i: usize| {
+            let est = structural_engine_run(&g1, &g2, &EmsParams::structural().estimated(i));
+            est.sim.max_abs_diff(&exact.sim)
+        };
+        let e0 = err(0);
+        let e3 = err(3);
+        assert!(e3 <= e0 + 1e-9, "I=3 error {e3} vs I=0 error {e0}");
+    }
+
+    #[test]
+    fn frozen_pairs_keep_their_values() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let params = EmsParams::structural();
+        let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+        let base = engine.run(&RunOptions::default());
+        // Freeze the entire matrix at the fixpoint: run must return it as-is.
+        let seed = Seed {
+            values: base.sim.clone(),
+            frozen: vec![true; 36],
+        };
+        let out = engine.run(&RunOptions {
+            seed: Some(seed),
+            abort_below: None,
+        });
+        assert_eq!(out.stats.formula_evals, 0);
+        assert!(out.sim.max_abs_diff(&base.sim) < 1e-15);
+    }
+
+    #[test]
+    fn partially_frozen_run_matches_full_run() {
+        // Freezing pairs at their true fixpoint values must not change the
+        // other pairs' fixpoints (this is what Proposition 4 relies on).
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let params = EmsParams::structural();
+        let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+        let base = engine.run(&RunOptions::default());
+        let mut frozen = vec![false; 36];
+        let mut values = SimMatrix::zeros(6, 6);
+        // Freeze rows of A and B (sources) at their converged values.
+        for v1 in 0..2 {
+            for v2 in 0..6 {
+                frozen[v1 * 6 + v2] = true;
+                values.set(v1, v2, base.sim.get(v1, v2));
+            }
+        }
+        let out = engine.run(&RunOptions {
+            seed: Some(Seed { values, frozen }),
+            abort_below: None,
+        });
+        // Agreement is up to the convergence threshold: freezing rows at
+        // their fixpoint changes the iteration trajectory, not the limit.
+        assert!(
+            out.sim.max_abs_diff(&base.sim) < 1e-3,
+            "diff {}",
+            out.sim.max_abs_diff(&base.sim)
+        );
+    }
+
+    #[test]
+    fn abort_below_stops_early() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let params = EmsParams::structural();
+        let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+        let out = engine.run(&RunOptions {
+            seed: None,
+            abort_below: Some(0.99), // unreachable average
+        });
+        assert!(out.stats.aborted);
+        assert!(out.stats.iterations <= 3);
+    }
+
+    #[test]
+    fn abort_threshold_zero_never_aborts() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let params = EmsParams::structural();
+        let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+        let out = engine.run(&RunOptions {
+            seed: None,
+            abort_below: Some(0.0),
+        });
+        assert!(!out.stats.aborted);
+    }
+
+    #[test]
+    fn label_similarity_is_blended() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        // Label matrix that marks (A,2) as typographically identical.
+        let mut raw = vec![0.0; 36];
+        raw[1] = 1.0; // (A, 2)
+        let labels = LabelMatrix::from_raw(6, 6, raw);
+        let params = EmsParams::with_labels(0.5);
+        let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+        let out = engine.run(&RunOptions::default());
+        let zero_labels = LabelMatrix::zeros(6, 6);
+        let engine0 = Engine::new(&g1, &g2, &zero_labels, &params, Direction::Forward);
+        let out0 = engine0.run(&RunOptions::default());
+        assert!(out.sim.get(0, 1) > out0.sim.get(0, 1) + 0.2);
+    }
+
+    #[test]
+    fn empty_graphs_yield_empty_matrix() {
+        let g = DependencyGraph::from_parts(vec![], vec![], &[]);
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(0, 6);
+        let params = EmsParams::structural();
+        let engine = Engine::new(&g, &g2, &labels, &params, Direction::Forward);
+        let out = engine.run(&RunOptions::default());
+        assert_eq!(out.sim.rows(), 0);
+        assert_eq!(out.stats.iterations, 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Closed-form similarity estimation (Section 3.5, formula (2)).
+//!
+//! The derivation rewrites formula (1) by keeping the artificial-edge term
+//! `C(v^X, v1, v^X, v2) · S(v^X, v^X)` exact, approximating every real
+//! neighbor's compatibility by its maximum `c`, and substituting the pair's
+//! own previous value for its neighbors' values. That turns the iteration
+//! into the linear recurrence `S^n = q·S^{n-1} + a` with
+//!
+//! ```text
+//! q = αc(2AB - A - B) / (2AB)
+//! a = α(A + B) / (2AB) · C_x + (1 - α) S^L
+//! ```
+//!
+//! where `A = |•v1|`, `B = |•v2|`, and `C_x` is the exact artificial-edge
+//! compatibility. Unrolling from `I` exact iterations to the horizon `h`
+//! gives `S_es^h = q^{h-I} S^I + a (1 - q^{h-I}) / (1 - q)`.
+
+use crate::params::EmsParams;
+use ems_depgraph::Distance;
+
+/// The recurrence coefficients `(q, a)` for a pair with in-degrees
+/// `a_deg`/`b_deg`, node frequencies `f1`/`f2` and label similarity `label`.
+///
+/// # Panics
+/// If either degree is zero (the engine filters those out: a zero-frequency
+/// node has no artificial edge and its similarity stays 0).
+pub fn coefficients(
+    a_deg: usize,
+    b_deg: usize,
+    f1: f64,
+    f2: f64,
+    label: f64,
+    params: &EmsParams,
+) -> (f64, f64) {
+    assert!(a_deg > 0 && b_deg > 0, "estimation needs positive degrees");
+    let (a_deg, b_deg) = (a_deg as f64, b_deg as f64);
+    let alpha = params.alpha;
+    let c = params.c;
+    // Exact compatibility of the artificial edges (v^X, v1) and (v^X, v2):
+    // their frequencies are the node frequencies.
+    let cx = if f1 + f2 > 0.0 {
+        c * (1.0 - (f1 - f2).abs() / (f1 + f2))
+    } else {
+        0.0
+    };
+    let q = alpha * c * (2.0 * a_deg * b_deg - a_deg - b_deg) / (2.0 * a_deg * b_deg);
+    let a = alpha * (a_deg + b_deg) / (2.0 * a_deg * b_deg) * cx + (1.0 - alpha) * label;
+    (q, a)
+}
+
+/// Extrapolates a pair's similarity from its exact value `s_i` after `i`
+/// iterations to its horizon `h` (formula (2)); `h = ∞` takes the limit
+/// `a / (1 - q)`.
+///
+/// When the previous iteration's value `s_prev` is available (`i ≥ 1`), the
+/// additive constant is calibrated from the observed step instead of the
+/// closed-form `a`: the recurrence `S^n = q S^{n-1} + a` implies
+/// `a = S^I - q S^{I-1}`, which fits the *pair's own* trajectory — same `q`,
+/// same unrolling as formula (2), but the constant no longer relies on the
+/// crude all-neighbors-at-max-compatibility assumption. At `i = 0` there is
+/// no observed step and the paper's closed-form `a` is used as is.
+#[allow(clippy::too_many_arguments)]
+pub fn extrapolate(
+    s_i: f64,
+    s_prev: Option<f64>,
+    i: usize,
+    h: Distance,
+    a_deg: usize,
+    b_deg: usize,
+    f1: f64,
+    f2: f64,
+    label: f64,
+    params: &EmsParams,
+) -> f64 {
+    let (q, a_closed) = coefficients(a_deg, b_deg, f1, f2, label, params);
+    debug_assert!((0.0..1.0).contains(&q), "q must be in [0,1), got {q}");
+    let a = match s_prev {
+        Some(prev) if i >= 1 => (s_i - q * prev).max(0.0),
+        _ => a_closed,
+    };
+    match h {
+        Distance::Finite(h) => {
+            let h = h as usize;
+            if h <= i {
+                return s_i; // already exact at the horizon
+            }
+            let qn = q.powi((h - i) as i32);
+            qn * s_i + a * (1.0 - qn) / (1.0 - q)
+        }
+        Distance::Infinite => {
+            // q < 1, so q^{h-I} -> 0 as h -> infinity.
+            q.powi(32) * s_i + a * (1.0 - q.powi(32)) / (1.0 - q)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> EmsParams {
+        EmsParams::structural()
+    }
+
+    /// Example 6: with I = 0 and α = 1, S_es¹(A,1) = C(v^X,A,v^X,1)·c... the
+    /// paper evaluates the pair (A,1) with A = B = 1 (single predecessor
+    /// v^X): q = 0 and a = C_x, so the estimate equals C_x — the exact S(A,1).
+    #[test]
+    fn example6_single_predecessor_pair_is_exact() {
+        // f(A) = 0.4, f(1) = 1.0: C_x = 0.8 (1 - 0.6/1.4) = 0.45714...
+        let est = extrapolate(
+            0.0,
+            None,
+            0,
+            Distance::Finite(1),
+            1,
+            1,
+            0.4,
+            1.0,
+            0.0,
+            &params(),
+        );
+        assert!((est - 0.45714285).abs() < 1e-6, "got {est}");
+    }
+
+    #[test]
+    fn q_is_zero_for_degree_one_pairs() {
+        let (q, a) = coefficients(1, 1, 0.5, 0.5, 0.0, &params());
+        assert_eq!(q, 0.0);
+        assert!((a - 0.8).abs() < 1e-12); // Cx = c when frequencies equal
+    }
+
+    #[test]
+    fn q_grows_with_degrees_but_stays_below_alpha_c() {
+        let (q2, _) = coefficients(2, 2, 1.0, 1.0, 0.0, &params());
+        let (q5, _) = coefficients(5, 5, 1.0, 1.0, 0.0, &params());
+        assert!(q2 < q5);
+        assert!(q5 < 0.8);
+        assert!(q2 > 0.0);
+    }
+
+    #[test]
+    fn horizon_at_or_below_i_returns_exact_value() {
+        let est = extrapolate(
+            0.42,
+            Some(0.40),
+            5,
+            Distance::Finite(3),
+            3,
+            3,
+            1.0,
+            1.0,
+            0.0,
+            &params(),
+        );
+        assert_eq!(est, 0.42);
+    }
+
+    #[test]
+    fn infinite_horizon_uses_fixed_point() {
+        let (q, a) = coefficients(3, 4, 1.0, 1.0, 0.0, &params());
+        let est = extrapolate(
+            0.1,
+            None,
+            2,
+            Distance::Infinite,
+            3,
+            4,
+            1.0,
+            1.0,
+            0.0,
+            &params(),
+        );
+        // With no observed step the closed-form constant drives the limit.
+        assert!((est - (q.powi(32) * 0.1 + a * (1.0 - q.powi(32)) / (1.0 - q))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_increases_toward_horizon() {
+        // Starting below the fixed point, more remaining iterations
+        // (larger h) must give larger estimates.
+        let e = |h: u32| {
+            extrapolate(
+                0.0,
+                None,
+                0,
+                Distance::Finite(h),
+                3,
+                3,
+                1.0,
+                1.0,
+                0.0,
+                &params(),
+            )
+        };
+        assert!(e(1) < e(2));
+        assert!(e(2) < e(10));
+    }
+
+    #[test]
+    fn calibrated_constant_tracks_observed_growth() {
+        // A pair that stopped growing extrapolates to (nearly) itself.
+        let est = extrapolate(
+            0.5,
+            Some(0.5),
+            4,
+            Distance::Infinite,
+            3,
+            3,
+            1.0,
+            1.0,
+            0.0,
+            &params(),
+        );
+        assert!((est - 0.5).abs() < 0.01, "got {est}");
+        // A still-growing pair extrapolates above its current value.
+        let est = extrapolate(
+            0.5,
+            Some(0.4),
+            4,
+            Distance::Infinite,
+            3,
+            3,
+            1.0,
+            1.0,
+            0.0,
+            &params(),
+        );
+        assert!(est > 0.5, "got {est}");
+    }
+
+    #[test]
+    fn labels_contribute_when_alpha_below_one() {
+        let p = EmsParams::with_labels(0.5);
+        let (_, a0) = coefficients(2, 2, 1.0, 1.0, 0.0, &p);
+        let (_, a1) = coefficients(2, 2, 1.0, 1.0, 1.0, &p);
+        assert!((a1 - a0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive degrees")]
+    fn zero_degree_panics() {
+        let _ = coefficients(0, 1, 1.0, 1.0, 0.0, &params());
+    }
+}

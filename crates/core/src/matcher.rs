@@ -1,0 +1,251 @@
+//! The user-facing EMS matcher: builds dependency graphs, runs the forward
+//! and backward similarity engines and aggregates them (Section 3.6).
+
+use crate::engine::{Engine, RunOptions, RunStats};
+use crate::params::{Direction, EmsParams};
+use crate::sim::SimMatrix;
+use ems_depgraph::DependencyGraph;
+use ems_events::{EventId, EventLog};
+use ems_labels::{LabelMatrix, LabelSimilarity, QgramCosine};
+
+/// The result of matching two logs or graphs.
+#[derive(Debug, Clone)]
+pub struct MatchOutcome {
+    /// The aggregated (forward + backward averaged) similarity over real
+    /// events — rows index log 1's events, columns log 2's.
+    pub similarity: SimMatrix,
+    /// The forward similarity alone (Definition 2).
+    pub forward: SimMatrix,
+    /// The backward similarity alone (Section 3.6).
+    pub backward: SimMatrix,
+    /// Combined work counters of both runs.
+    pub stats: RunStats,
+}
+
+/// The Event Matching Similarity matcher.
+///
+/// ```
+/// use ems_core::{Ems, EmsParams};
+/// use ems_events::EventLog;
+///
+/// let mut l1 = EventLog::new();
+/// l1.push_trace(["a", "b"]);
+/// let mut l2 = EventLog::new();
+/// l2.push_trace(["x", "y"]);
+/// let outcome = Ems::new(EmsParams::structural()).match_logs(&l1, &l2);
+/// // Identical structure: the diagonal dominates.
+/// assert!(outcome.similarity.get(0, 0) > outcome.similarity.get(0, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ems {
+    params: EmsParams,
+}
+
+impl Ems {
+    /// Creates a matcher with the given parameters.
+    ///
+    /// # Panics
+    /// If the parameters are invalid (see [`EmsParams::validate`]).
+    pub fn new(params: EmsParams) -> Self {
+        params
+            .validate()
+            .unwrap_or_else(|m| panic!("invalid EMS parameters: {m}"));
+        Ems { params }
+    }
+
+    /// The matcher's parameters.
+    pub fn params(&self) -> &EmsParams {
+        &self.params
+    }
+
+    /// Matches two event logs end-to-end: builds the dependency graphs
+    /// (Definition 1 + artificial events) and the label matrix (q-gram
+    /// cosine when `α < 1`, zeros otherwise), then aggregates forward and
+    /// backward similarities.
+    pub fn match_logs(&self, l1: &EventLog, l2: &EventLog) -> MatchOutcome {
+        let g1 = DependencyGraph::from_log(l1);
+        let g2 = DependencyGraph::from_log(l2);
+        let labels = self.label_matrix(l1, l2);
+        self.match_graphs(&g1, &g2, &labels)
+    }
+
+    /// As [`match_logs`](Self::match_logs) but with a caller-chosen label
+    /// similarity measure.
+    pub fn match_logs_with<M: LabelSimilarity>(
+        &self,
+        l1: &EventLog,
+        l2: &EventLog,
+        measure: &M,
+    ) -> MatchOutcome {
+        let g1 = DependencyGraph::from_log(l1);
+        let g2 = DependencyGraph::from_log(l2);
+        let names1 = alphabet(l1);
+        let names2 = alphabet(l2);
+        let labels = LabelMatrix::compute(&names1, &names2, measure);
+        self.match_graphs(&g1, &g2, &labels)
+    }
+
+    /// Matches two prebuilt dependency graphs with a precomputed label
+    /// matrix (shape `g1.num_real() × g2.num_real()`).
+    pub fn match_graphs(
+        &self,
+        g1: &DependencyGraph,
+        g2: &DependencyGraph,
+        labels: &LabelMatrix,
+    ) -> MatchOutcome {
+        self.match_graphs_opts(g1, g2, labels, &RunOptions::default(), &RunOptions::default())
+    }
+
+    /// Full-control variant: separate [`RunOptions`] for the forward and
+    /// backward runs (the composite matcher threads seeds and abort
+    /// thresholds through here).
+    pub fn match_graphs_opts(
+        &self,
+        g1: &DependencyGraph,
+        g2: &DependencyGraph,
+        labels: &LabelMatrix,
+        fwd_options: &RunOptions,
+        bwd_options: &RunOptions,
+    ) -> MatchOutcome {
+        let fwd = Engine::new(g1, g2, labels, &self.params, Direction::Forward).run(fwd_options);
+        let bwd = Engine::new(g1, g2, labels, &self.params, Direction::Backward).run(bwd_options);
+        let mut stats = fwd.stats.clone();
+        stats.merge(&bwd.stats);
+        let agg = self.params.aggregation;
+        let mut similarity = SimMatrix::zeros(fwd.sim.rows(), fwd.sim.cols());
+        for (i, j, f) in fwd.sim.iter() {
+            similarity.set(i, j, agg.combine(f, bwd.sim.get(i, j)));
+        }
+        MatchOutcome {
+            similarity,
+            forward: fwd.sim,
+            backward: bwd.sim,
+            stats,
+        }
+    }
+
+    /// The label matrix this matcher would use for two logs: q-gram cosine
+    /// when labels carry weight (`α < 1`), zeros otherwise.
+    pub fn label_matrix(&self, l1: &EventLog, l2: &EventLog) -> LabelMatrix {
+        if self.params.alpha < 1.0 {
+            let names1 = alphabet(l1);
+            let names2 = alphabet(l2);
+            LabelMatrix::compute(&names1, &names2, &QgramCosine::default())
+        } else {
+            LabelMatrix::zeros(l1.alphabet_size(), l2.alphabet_size())
+        }
+    }
+}
+
+fn alphabet(log: &EventLog) -> Vec<String> {
+    (0..log.alphabet_size())
+        .map(|i| log.name_of(EventId::from_index(i)).to_owned())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dislocated_pair() -> (EventLog, EventLog) {
+        // Mirrors Example 1: log 1 starts directly with the payment XOR
+        // (40% cash / 60% card); log 2 has an extra "order accepted" step
+        // before the same XOR, and opaque names.
+        let mut l1 = EventLog::new();
+        l1.push_trace(["cash", "validate", "ship"]);
+        l1.push_trace(["cash", "validate", "ship"]);
+        l1.push_trace(["card", "validate", "ship"]);
+        l1.push_trace(["card", "validate", "ship"]);
+        l1.push_trace(["card", "validate", "ship"]);
+        let mut l2 = EventLog::new();
+        l2.push_trace(["e0", "e1", "e3", "e4"]);
+        l2.push_trace(["e0", "e1", "e3", "e4"]);
+        l2.push_trace(["e0", "e2", "e3", "e4"]);
+        l2.push_trace(["e0", "e2", "e3", "e4"]);
+        l2.push_trace(["e0", "e2", "e3", "e4"]);
+        (l1, l2)
+    }
+
+    #[test]
+    fn dislocated_events_align_shifted() {
+        let (l1, l2) = dislocated_pair();
+        let out = Ems::new(EmsParams::structural()).match_logs(&l1, &l2);
+        // "cash" (f = 0.4) should match e1 (f = 0.4, second position), not
+        // e0 (f = 1.0, first position): the artificial event lets "cash"
+        // start mid-trace, and matching frequencies seal it (Example 4).
+        let cash = l1.id_of("cash").unwrap().index();
+        let e0 = l2.id_of("e0").unwrap().index();
+        let e1 = l2.id_of("e1").unwrap().index();
+        assert!(
+            out.similarity.get(cash, e1) > out.similarity.get(cash, e0),
+            "cash~e1 {} vs cash~e0 {}",
+            out.similarity.get(cash, e1),
+            out.similarity.get(cash, e0)
+        );
+    }
+
+    #[test]
+    fn outcome_contains_both_directions() {
+        let (l1, l2) = dislocated_pair();
+        let out = Ems::new(EmsParams::structural()).match_logs(&l1, &l2);
+        let manual = out.forward.mean_with(&out.backward);
+        assert!(out.similarity.max_abs_diff(&manual) < 1e-15);
+        assert!(out.stats.formula_evals > 0);
+    }
+
+    #[test]
+    fn aggregation_variants_are_honored() {
+        use crate::params::Aggregation;
+        let (l1, l2) = dislocated_pair();
+        let run = |agg: Aggregation| {
+            let mut p = EmsParams::structural();
+            p.aggregation = agg;
+            Ems::new(p).match_logs(&l1, &l2)
+        };
+        let avg = run(Aggregation::Average);
+        let min = run(Aggregation::Min);
+        let max = run(Aggregation::Max);
+        let fwd = run(Aggregation::ForwardOnly);
+        for (i, j, v) in avg.similarity.iter() {
+            assert!(min.similarity.get(i, j) <= v + 1e-12);
+            assert!(max.similarity.get(i, j) + 1e-12 >= v);
+        }
+        assert!(fwd.similarity.max_abs_diff(&fwd.forward) < 1e-15);
+        // Weighted(1.0) == forward only.
+        let w1 = run(Aggregation::Weighted(1.0));
+        assert!(w1.similarity.max_abs_diff(&w1.forward) < 1e-15);
+    }
+
+    #[test]
+    fn label_weight_uses_qgram_cosine() {
+        let mut l1 = EventLog::new();
+        l1.push_trace(["Ship Goods", "Pay"]);
+        let mut l2 = EventLog::new();
+        l2.push_trace(["Pay", "Ship Goods"]);
+        let structural = Ems::new(EmsParams::structural()).match_logs(&l1, &l2);
+        let labeled = Ems::new(EmsParams::with_labels(0.5)).match_logs(&l1, &l2);
+        let ship1 = l1.id_of("Ship Goods").unwrap().index();
+        let ship2 = l2.id_of("Ship Goods").unwrap().index();
+        assert!(labeled.similarity.get(ship1, ship2) > structural.similarity.get(ship1, ship2));
+    }
+
+    #[test]
+    fn custom_measure_is_honored() {
+        use ems_labels::Levenshtein;
+        let mut l1 = EventLog::new();
+        l1.push_trace(["abc"]);
+        let mut l2 = EventLog::new();
+        l2.push_trace(["abd"]);
+        let out = Ems::new(EmsParams::with_labels(0.0)) // labels only
+            .match_logs_with(&l1, &l2, &Levenshtein);
+        assert!((out.similarity.get(0, 0) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid EMS parameters")]
+    fn invalid_params_panic_at_construction() {
+        let mut p = EmsParams::default();
+        p.c = 2.0;
+        let _ = Ems::new(p);
+    }
+}

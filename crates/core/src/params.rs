@@ -1,0 +1,194 @@
+//! Tunable parameters of the EMS similarity.
+
+/// Which neighbor direction a similarity run walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Propagate from predecessors (pre-sets) — the *forward similarity* of
+    /// Definition 2.
+    Forward,
+    /// Propagate from successors (post-sets) — the *backward similarity* of
+    /// Section 3.6.
+    Backward,
+}
+
+/// How the forward and backward similarities are combined into the final
+/// EMS similarity. The paper prescribes aggregation "e.g., by average"
+/// (Section 3.6); the alternatives are exposed for ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Aggregation {
+    /// Arithmetic mean of forward and backward (the paper's choice).
+    Average,
+    /// Elementwise minimum: a pair must look similar from *both* ends.
+    Min,
+    /// Elementwise maximum: either end suffices.
+    Max,
+    /// Weighted mean: `w · forward + (1-w) · backward`.
+    Weighted(f64),
+    /// Forward similarity only (BHV-style single direction).
+    ForwardOnly,
+    /// Backward similarity only.
+    BackwardOnly,
+}
+
+impl Aggregation {
+    /// Combines one forward/backward value pair.
+    pub fn combine(&self, fwd: f64, bwd: f64) -> f64 {
+        match *self {
+            Aggregation::Average => (fwd + bwd) / 2.0,
+            Aggregation::Min => fwd.min(bwd),
+            Aggregation::Max => fwd.max(bwd),
+            Aggregation::Weighted(w) => w * fwd + (1.0 - w) * bwd,
+            Aggregation::ForwardOnly => fwd,
+            Aggregation::BackwardOnly => bwd,
+        }
+    }
+
+    /// Validates parameters (the weight must be a probability).
+    pub fn validate(&self) -> Result<(), String> {
+        if let Aggregation::Weighted(w) = self {
+            if !(0.0..=1.0).contains(w) {
+                return Err(format!("aggregation weight must be in [0,1], got {w}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of the EMS similarity function (Definition 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmsParams {
+    /// Weight `α ∈ [0, 1]` of the structural part; `1 - α` weighs the label
+    /// similarity. `α = 1` matches on structure alone (opaque names).
+    pub alpha: f64,
+    /// Similarity decay `c ∈ (0, 1)` across edges — the upper bound of the
+    /// edge-compatibility factor `C`. The paper's examples use `c = 0.8`.
+    pub c: f64,
+    /// Convergence threshold: iteration stops when no pair changes by more
+    /// than `epsilon`.
+    pub epsilon: f64,
+    /// Hard cap on iterations (safety net for cyclic graphs where the
+    /// `l(v)`-based bound is infinite).
+    pub max_iterations: usize,
+    /// Whether early-convergence pruning (Proposition 2) is applied.
+    pub pruning: bool,
+    /// `Some(I)`: run `I` exact iterations then extrapolate with the
+    /// closed-form estimation of Section 3.5 (Algorithm 1). `None`: exact.
+    pub estimate_after: Option<usize>,
+    /// How forward and backward similarities are aggregated (Section 3.6).
+    pub aggregation: Aggregation,
+}
+
+impl EmsParams {
+    /// Structure-only matching (`α = 1`), the configuration of Figure 3.
+    pub fn structural() -> Self {
+        EmsParams {
+            alpha: 1.0,
+            ..Self::default()
+        }
+    }
+
+    /// Structure combined with typographic similarity at the given weight
+    /// `alpha` for structure (Figure 4 uses labels with `α = 0.5`).
+    pub fn with_labels(alpha: f64) -> Self {
+        EmsParams {
+            alpha,
+            ..Self::default()
+        }
+    }
+
+    /// Switches on estimation after `i` exact iterations (`EMS+es`).
+    pub fn estimated(mut self, i: usize) -> Self {
+        self.estimate_after = Some(i);
+        self
+    }
+
+    /// Disables early-convergence pruning (for the Figure 6 ablation).
+    pub fn without_pruning(mut self) -> Self {
+        self.pruning = false;
+        self
+    }
+
+    /// Validates the parameter ranges, returning a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err(format!("alpha must be in [0,1], got {}", self.alpha));
+        }
+        if !(self.c > 0.0 && self.c < 1.0) {
+            return Err(format!("c must be in (0,1), got {}", self.c));
+        }
+        if !(self.epsilon > 0.0) {
+            return Err(format!("epsilon must be positive, got {}", self.epsilon));
+        }
+        if self.max_iterations == 0 {
+            return Err("max_iterations must be at least 1".into());
+        }
+        self.aggregation.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for EmsParams {
+    fn default() -> Self {
+        EmsParams {
+            alpha: 1.0,
+            c: 0.8,
+            epsilon: 1e-4,
+            max_iterations: 100,
+            pruning: true,
+            estimate_after: None,
+            aggregation: Aggregation::Average,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_examples() {
+        let p = EmsParams::default();
+        assert_eq!(p.alpha, 1.0);
+        assert_eq!(p.c, 0.8);
+        assert!(p.pruning);
+        assert!(p.estimate_after.is_none());
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = EmsParams::with_labels(0.5).estimated(5).without_pruning();
+        assert_eq!(p.alpha, 0.5);
+        assert_eq!(p.estimate_after, Some(5));
+        assert!(!p.pruning);
+    }
+
+    #[test]
+    fn aggregation_combines_as_documented() {
+        assert_eq!(Aggregation::Average.combine(0.2, 0.6), 0.4);
+        assert_eq!(Aggregation::Min.combine(0.2, 0.6), 0.2);
+        assert_eq!(Aggregation::Max.combine(0.2, 0.6), 0.6);
+        assert!((Aggregation::Weighted(0.75).combine(0.2, 0.6) - 0.3).abs() < 1e-12);
+        assert_eq!(Aggregation::ForwardOnly.combine(0.2, 0.6), 0.2);
+        assert_eq!(Aggregation::BackwardOnly.combine(0.2, 0.6), 0.6);
+        assert!(Aggregation::Weighted(2.0).validate().is_err());
+        assert!(Aggregation::Weighted(0.5).validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        let mut p = EmsParams::default();
+        p.alpha = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = EmsParams::default();
+        p.c = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = EmsParams::default();
+        p.epsilon = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = EmsParams::default();
+        p.max_iterations = 0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Dense similarity matrices over the real events of two graphs.
+
+/// A dense row-major `n1 × n2` matrix of pairwise similarities between the
+/// *real* events of two dependency graphs.
+///
+/// Pairs involving the artificial event `v^X` are not stored: their values
+/// are pinned (`S(v^X, v^X) = 1`, mixed pairs `0`) and handled inline by the
+/// engine, and the paper mandates they be omitted from correspondence
+/// selection anyway.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimMatrix {
+    n1: usize,
+    n2: usize,
+    data: Vec<f64>,
+}
+
+impl SimMatrix {
+    /// An all-zero `n1 × n2` matrix — the initialization `S^0` of Section 3.2.
+    pub fn zeros(n1: usize, n2: usize) -> Self {
+        SimMatrix {
+            n1,
+            n2,
+            data: vec![0.0; n1 * n2],
+        }
+    }
+
+    /// Builds from raw row-major data.
+    ///
+    /// # Panics
+    /// If `data.len() != n1 * n2`.
+    pub fn from_raw(n1: usize, n2: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n1 * n2, "similarity matrix shape mismatch");
+        SimMatrix { n1, n2, data }
+    }
+
+    /// Rows (events of log 1).
+    pub fn rows(&self) -> usize {
+        self.n1
+    }
+
+    /// Columns (events of log 2).
+    pub fn cols(&self) -> usize {
+        self.n2
+    }
+
+    /// The similarity of pair `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.n1 && j < self.n2);
+        self.data[i * self.n2 + j]
+    }
+
+    /// Sets the similarity of pair `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.n1 && j < self.n2);
+        self.data[i * self.n2 + j] = v;
+    }
+
+    /// The raw row-major data.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Average over all pairs — the `avg(S)` objective of Problem 1.
+    ///
+    /// Returns 0 for an empty matrix.
+    pub fn average(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    /// Largest absolute elementwise difference to `other`.
+    ///
+    /// # Panics
+    /// If shapes differ.
+    pub fn max_abs_diff(&self, other: &SimMatrix) -> f64 {
+        assert_eq!(self.n1, other.n1);
+        assert_eq!(self.n2, other.n2);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Elementwise average of two matrices — used to aggregate forward and
+    /// backward similarities (Section 3.6).
+    ///
+    /// # Panics
+    /// If shapes differ.
+    pub fn mean_with(&self, other: &SimMatrix) -> SimMatrix {
+        assert_eq!(self.n1, other.n1);
+        assert_eq!(self.n2, other.n2);
+        SimMatrix {
+            n1: self.n1,
+            n2: self.n2,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| (a + b) / 2.0)
+                .collect(),
+        }
+    }
+
+    /// Iterates `(row, col, value)` over all pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (k / self.n2, k % self.n2, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_get_set() {
+        let mut m = SimMatrix::zeros(2, 3);
+        assert_eq!(m.get(1, 2), 0.0);
+        m.set(1, 2, 0.5);
+        assert_eq!(m.get(1, 2), 0.5);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn average_over_all_pairs() {
+        let m = SimMatrix::from_raw(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        assert_eq!(m.average(), 0.5);
+        assert_eq!(SimMatrix::zeros(0, 5).average(), 0.0);
+    }
+
+    #[test]
+    fn diff_and_mean() {
+        let a = SimMatrix::from_raw(1, 2, vec![0.2, 0.8]);
+        let b = SimMatrix::from_raw(1, 2, vec![0.4, 0.5]);
+        assert!((a.max_abs_diff(&b) - 0.3).abs() < 1e-15);
+        let m = a.mean_with(&b);
+        assert!((m.get(0, 0) - 0.3).abs() < 1e-15);
+        assert!((m.get(0, 1) - 0.65).abs() < 1e-15);
+    }
+
+    #[test]
+    fn iter_yields_row_major() {
+        let m = SimMatrix::from_raw(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let v: Vec<_> = m.iter().collect();
+        assert_eq!(v[1], (0, 1, 2.0));
+        assert_eq!(v[2], (1, 0, 3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_raw_checks_shape() {
+        let _ = SimMatrix::from_raw(2, 2, vec![0.0]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Property tests of the EMS similarity engine's theoretical guarantees:
+//! Theorem 1 (monotone, bounded convergence), Proposition 2 (early
+//! convergence), Lemma 5 / Proposition 6 (upper bounds) and the estimation
+//! bounds — all checked on randomly generated event-log pairs.
+
+use ems_core::engine::{Engine, RunOptions};
+use ems_core::{Direction, Ems, EmsParams, SimMatrix};
+use ems_depgraph::DependencyGraph;
+use ems_labels::LabelMatrix;
+use proptest::prelude::*;
+
+/// Strategy: a pair of small logs over a shared-ish alphabet.
+fn arb_log_pair() -> impl Strategy<Value = (ems_events::EventLog, ems_events::EventLog)> {
+    let traces = || prop::collection::vec(prop::collection::vec(0usize..6, 1..8), 1..10);
+    (traces(), traces()).prop_map(|(t1, t2)| {
+        let build = |ts: Vec<Vec<usize>>| {
+            let mut log = ems_events::EventLog::new();
+            for t in ts {
+                log.push_trace(t.iter().map(|i| format!("e{i}")));
+            }
+            log
+        };
+        (build(t1), build(t2))
+    })
+}
+
+fn run_rounds(
+    g1: &DependencyGraph,
+    g2: &DependencyGraph,
+    rounds: usize,
+    pruning: bool,
+) -> SimMatrix {
+    let labels = LabelMatrix::zeros(g1.num_real(), g2.num_real());
+    let mut params = EmsParams::structural();
+    params.max_iterations = rounds.max(1);
+    params.epsilon = 1e-12;
+    if !pruning {
+        params = params.without_pruning();
+    }
+    Engine::new(g1, g2, &labels, &params, Direction::Forward)
+        .run(&RunOptions::default())
+        .sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Theorem 1: iteration is monotone and bounded in [0, 1].
+    #[test]
+    fn similarity_is_monotone_and_bounded((l1, l2) in arb_log_pair()) {
+        let g1 = DependencyGraph::from_log(&l1);
+        let g2 = DependencyGraph::from_log(&l2);
+        let mut prev = SimMatrix::zeros(g1.num_real(), g2.num_real());
+        for rounds in 1..=5 {
+            let cur = run_rounds(&g1, &g2, rounds, false);
+            for (i, j, v) in cur.iter() {
+                prop_assert!((0.0..=1.0).contains(&v), "({i},{j}) = {v}");
+                prop_assert!(
+                    v + 1e-9 >= prev.get(i, j),
+                    "monotonicity violated at ({i},{j}): {v} < {}",
+                    prev.get(i, j)
+                );
+            }
+            prev = cur;
+        }
+    }
+
+    /// Lemma 5: per-iteration growth is bounded by (αc)^n.
+    #[test]
+    fn growth_bound_holds((l1, l2) in arb_log_pair()) {
+        let g1 = DependencyGraph::from_log(&l1);
+        let g2 = DependencyGraph::from_log(&l2);
+        let mut prev = SimMatrix::zeros(g1.num_real(), g2.num_real());
+        for n in 1..=5usize {
+            let cur = run_rounds(&g1, &g2, n, false);
+            let bound = 0.8f64.powi(n as i32) + 1e-9;
+            for (i, j, v) in cur.iter() {
+                prop_assert!(
+                    v - prev.get(i, j) <= bound,
+                    "iteration {n}: growth {} > {bound}",
+                    v - prev.get(i, j)
+                );
+            }
+            prev = cur;
+        }
+    }
+
+    /// Proposition 2 / pruning soundness: the pruned computation reaches the
+    /// same fixpoint as the unpruned one.
+    #[test]
+    fn pruning_is_sound((l1, l2) in arb_log_pair()) {
+        let g1 = DependencyGraph::from_log(&l1);
+        let g2 = DependencyGraph::from_log(&l2);
+        let with = run_rounds(&g1, &g2, 60, true);
+        let without = run_rounds(&g1, &g2, 60, false);
+        prop_assert!(
+            with.max_abs_diff(&without) < 1e-6,
+            "pruning changed the fixpoint by {}",
+            with.max_abs_diff(&without)
+        );
+    }
+
+    /// Proposition 6: the limit never exceeds the upper bound computed from
+    /// any intermediate iteration.
+    #[test]
+    fn upper_bounds_dominate_the_limit((l1, l2) in arb_log_pair()) {
+        let g1 = DependencyGraph::from_log(&l1);
+        let g2 = DependencyGraph::from_log(&l2);
+        let limit = run_rounds(&g1, &g2, 80, false);
+        for k in [1usize, 2, 4] {
+            let at_k = run_rounds(&g1, &g2, k, false);
+            for (i, j, v) in limit.iter() {
+                let bound = ems_core::bounds::general_upper_bound(at_k.get(i, j), k, 1.0, 0.8);
+                prop_assert!(
+                    v <= bound + 1e-9,
+                    "limit {v} exceeds bound {bound} from k={k} at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    /// Matching a log against itself yields a symmetric matrix: Definition 2
+    /// averages s(v1,v2) and s(v2,v1), so identical graphs make S symmetric.
+    /// (Note: unlike SimRank, EMS does NOT guarantee the diagonal dominates
+    /// each row — self-similarity is not pinned to 1.)
+    #[test]
+    fn self_match_is_symmetric(ts in prop::collection::vec(prop::collection::vec(0usize..5, 2..8), 2..8)) {
+        let mut log = ems_events::EventLog::new();
+        for t in &ts {
+            log.push_trace(t.iter().map(|i| format!("e{i}")));
+        }
+        let out = Ems::new(EmsParams::structural()).match_logs(&log, &log);
+        let sim = &out.similarity;
+        for i in 0..sim.rows() {
+            for j in 0..sim.cols() {
+                prop_assert!(
+                    (sim.get(i, j) - sim.get(j, i)).abs() < 1e-9,
+                    "asymmetric self-match at ({i},{j}): {} vs {}",
+                    sim.get(i, j),
+                    sim.get(j, i)
+                );
+            }
+        }
+    }
+
+    /// Estimation yields values in range and exact values where horizons are
+    /// reached.
+    #[test]
+    fn estimation_is_bounded((l1, l2) in arb_log_pair(), i in 0usize..6) {
+        let params = EmsParams::structural().estimated(i);
+        let out = Ems::new(params).match_logs(&l1, &l2);
+        for (_, _, v) in out.similarity.iter() {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Ancestor sets `AN(v)` — every node from which `v` is reachable — used by
+//! the unchanged-similarity pruning of composite matching (Proposition 4):
+//! if `AN(v) ∩ U = ∅` for the freshly merged composite `U`, similarities
+//! involving `v` cannot change and need not be recomputed.
+
+use crate::graph::{DependencyGraph, NodeId};
+
+/// Computes, for every node `v`, the set of *real* ancestors of `v`: real
+/// nodes `u` with a directed path `u →* v` that does not pass through the
+/// artificial event.
+///
+/// Paths through `v^X` are excluded for the same reason `l(v)` excludes them:
+/// similarities of pairs involving `v^X` are pinned, so change cannot flow
+/// through it. The result is a vector of sorted ancestor lists indexed by
+/// node.
+pub fn ancestor_sets(g: &DependencyGraph) -> Vec<Vec<NodeId>> {
+    reachability_sets(g, true)
+}
+
+/// The mirror of [`ancestor_sets`]: for every node `v`, the set of *real*
+/// descendants — real nodes `u` with a path `v →* u` avoiding the artificial
+/// event. Needed to freeze the *backward* similarity (which propagates over
+/// post-sets) during composite matching.
+pub fn descendant_sets(g: &DependencyGraph) -> Vec<Vec<NodeId>> {
+    reachability_sets(g, false)
+}
+
+fn reachability_sets(g: &DependencyGraph, ancestors: bool) -> Vec<Vec<NodeId>> {
+    let n = g.num_nodes();
+    let x = g.artificial();
+    // Reachability via DFS from each node over pre (ancestors) or post
+    // (descendants) edges, skipping the artificial node. Graphs are small
+    // (≤ hundreds of nodes); O(V·E) is fine and keeps the code simple.
+    let neighbors = |v: usize| -> &[(NodeId, f64)] {
+        if ancestors {
+            g.pre(NodeId::from_index(v))
+        } else {
+            g.post(NodeId::from_index(v))
+        }
+    };
+    let mut result = vec![Vec::new(); n];
+    let mut visited = vec![false; n];
+    for v in 0..n {
+        if v == x.index() {
+            continue;
+        }
+        visited.iter_mut().for_each(|b| *b = false);
+        let mut stack: Vec<usize> = neighbors(v)
+            .iter()
+            .filter(|&&(s, _)| s != x)
+            .map(|&(s, _)| s.index())
+            .collect();
+        while let Some(u) = stack.pop() {
+            if visited[u] {
+                continue;
+            }
+            visited[u] = true;
+            for &(s, _) in neighbors(u) {
+                if s != x && !visited[s.index()] {
+                    stack.push(s.index());
+                }
+            }
+        }
+        result[v] = (0..n)
+            .filter(|&u| visited[u])
+            .map(NodeId::from_index)
+            .collect();
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ems_events::EventLog;
+
+    #[test]
+    fn chain_ancestors() {
+        let mut log = EventLog::new();
+        log.push_trace(["a", "b", "c"]);
+        let g = DependencyGraph::from_log(&log);
+        let an = ancestor_sets(&g);
+        let id = |n: &str| g.node_by_name(n).unwrap();
+        assert!(an[id("a").index()].is_empty());
+        assert_eq!(an[id("b").index()], vec![id("a")]);
+        let mut c_anc = an[id("c").index()].clone();
+        c_anc.sort();
+        assert_eq!(c_anc, vec![id("a"), id("b")]);
+    }
+
+    #[test]
+    fn ancestors_exclude_paths_through_artificial() {
+        let mut log = EventLog::new();
+        log.push_trace(["a"]);
+        log.push_trace(["b"]);
+        let g = DependencyGraph::from_log(&log);
+        let an = ancestor_sets(&g);
+        // a and b are only connected via v^X; neither is the other's ancestor.
+        assert!(an[g.node_by_name("a").unwrap().index()].is_empty());
+        assert!(an[g.node_by_name("b").unwrap().index()].is_empty());
+    }
+
+    #[test]
+    fn cycle_members_are_mutual_ancestors_including_self() {
+        let mut log = EventLog::new();
+        log.push_trace(["x", "y", "x"]);
+        let g = DependencyGraph::from_log(&log);
+        let an = ancestor_sets(&g);
+        let x = g.node_by_name("x").unwrap();
+        let y = g.node_by_name("y").unwrap();
+        assert!(an[x.index()].contains(&y));
+        assert!(an[x.index()].contains(&x)); // via the cycle
+        assert!(an[y.index()].contains(&x));
+    }
+
+    #[test]
+    fn descendants_mirror_ancestors() {
+        let mut log = EventLog::new();
+        log.push_trace(["a", "b", "c"]);
+        let g = DependencyGraph::from_log(&log);
+        let an = ancestor_sets(&g);
+        let dn = descendant_sets(&g);
+        for v in 0..g.num_real() {
+            for &u in &an[v] {
+                assert!(dn[u.index()].iter().any(|&w| w.index() == v));
+            }
+        }
+        let a = g.node_by_name("a").unwrap();
+        assert_eq!(dn[a.index()].len(), 2);
+    }
+
+    #[test]
+    fn example8_disjoint_ancestors() {
+        // Example 8: with U = {E, F}, AN(A..D) ∩ U = ∅ in Figure 1(c).
+        let mut log = EventLog::new();
+        log.push_trace(["A", "C", "D", "E", "F"]);
+        log.push_trace(["B", "C", "D", "E", "F"]);
+        let g = DependencyGraph::from_log(&log);
+        let an = ancestor_sets(&g);
+        let e = g.node_by_name("E").unwrap();
+        let f = g.node_by_name("F").unwrap();
+        for name in ["A", "B", "C", "D"] {
+            let v = g.node_by_name(name).unwrap();
+            assert!(!an[v.index()].contains(&e));
+            assert!(!an[v.index()].contains(&f));
+        }
+        // But E is an ancestor of F.
+        assert!(an[f.index()].contains(&e));
+    }
+}

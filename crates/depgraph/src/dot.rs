@@ -1,0 +1,83 @@
+//! Graphviz DOT export of dependency graphs for inspection and debugging.
+
+use crate::graph::DependencyGraph;
+use std::fmt::Write as _;
+
+/// Renders `g` as a Graphviz `digraph`. Artificial nodes and edges are drawn
+/// dashed, like Figure 2 of the paper.
+pub fn to_dot(g: &DependencyGraph, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(title));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for v in g.real_nodes() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\\nf={:.2}\"];",
+            v.index(),
+            escape(g.name(v)),
+            g.node_frequency(v)
+        );
+    }
+    let x = g.artificial();
+    let _ = writeln!(
+        out,
+        "  n{} [label=\"v^X\", style=dashed, shape=doublecircle];",
+        x.index()
+    );
+    for v in g.real_nodes() {
+        for &(t, f) in g.post(v) {
+            let style = if g.is_artificial(t) { ", style=dashed" } else { "" };
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"{:.2}\"{}];",
+                v.index(),
+                t.index(),
+                f,
+                style
+            );
+        }
+    }
+    for &(t, f) in g.post(x) {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{:.2}\", style=dashed];",
+            x.index(),
+            t.index(),
+            f
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ems_events::EventLog;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut log = EventLog::new();
+        log.push_trace(["a", "b"]);
+        let g = DependencyGraph::from_log(&log);
+        let dot = to_dot(&g, "demo");
+        assert!(dot.starts_with("digraph \"demo\""));
+        assert!(dot.contains("label=\"a"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn names_are_escaped() {
+        let mut log = EventLog::new();
+        log.push_trace(["say \"hi\""]);
+        let g = DependencyGraph::from_log(&log);
+        let dot = to_dot(&g, "t\"t");
+        assert!(dot.contains("say \\\"hi\\\""));
+        assert!(dot.contains("digraph \"t\\\"t\""));
+    }
+}

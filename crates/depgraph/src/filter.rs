@@ -1,0 +1,80 @@
+//! Minimum-frequency edge filtering (Section 2).
+//!
+//! Edges with low normalized frequency carry little statistical information;
+//! removing them lowers the average degree and accelerates the similarity
+//! iteration, trading accuracy for efficiency. Artificial edges are never
+//! removed — every real event must stay connected to `v^X` or dislocated
+//! matching breaks.
+
+use crate::graph::DependencyGraph;
+
+/// Returns a copy of `g` with every real edge of frequency `< threshold`
+/// removed, along with the number of edges removed.
+///
+/// A `threshold` of `0.0` removes nothing.
+pub fn filter_min_frequency(g: &DependencyGraph, threshold: f64) -> (DependencyGraph, usize) {
+    let mut out = g.clone();
+    let doomed: Vec<_> = g
+        .real_edges()
+        .into_iter()
+        .filter(|&(_, _, f)| f < threshold)
+        .collect();
+    for &(a, b, _) in &doomed {
+        out.remove_edge(a, b);
+    }
+    (out, doomed.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ems_events::EventLog;
+
+    fn graph() -> DependencyGraph {
+        let mut log = EventLog::new();
+        // ab in all traces, bc in 1 of 4.
+        log.push_trace(["a", "b", "c"]);
+        log.push_trace(["a", "b"]);
+        log.push_trace(["a", "b"]);
+        log.push_trace(["a", "b"]);
+        DependencyGraph::from_log(&log)
+    }
+
+    #[test]
+    fn low_frequency_edges_are_dropped() {
+        let g = graph();
+        let (filtered, removed) = filter_min_frequency(&g, 0.5);
+        assert_eq!(removed, 1);
+        let b = filtered.node_by_name("b").unwrap();
+        let c = filtered.node_by_name("c").unwrap();
+        assert_eq!(filtered.edge_frequency(b, c), None);
+        let a = filtered.node_by_name("a").unwrap();
+        assert!(filtered.edge_frequency(a, b).is_some());
+    }
+
+    #[test]
+    fn artificial_edges_survive_any_threshold() {
+        let g = graph();
+        let (filtered, _) = filter_min_frequency(&g, 1.1);
+        let x = filtered.artificial();
+        let c = filtered.node_by_name("c").unwrap();
+        // f(v^X, c) = 0.25 < 1.1 but must survive.
+        assert!(filtered.edge_frequency(x, c).is_some());
+        assert!(filtered.real_edges().is_empty());
+    }
+
+    #[test]
+    fn zero_threshold_is_identity() {
+        let g = graph();
+        let (filtered, removed) = filter_min_frequency(&g, 0.0);
+        assert_eq!(removed, 0);
+        assert_eq!(filtered, g);
+    }
+
+    #[test]
+    fn average_degree_decreases() {
+        let g = graph();
+        let (filtered, _) = filter_min_frequency(&g, 0.5);
+        assert!(filtered.avg_degree() < g.avg_degree());
+    }
+}

@@ -1,0 +1,409 @@
+//! The dependency graph structure and its construction from event logs.
+
+use ems_events::{EventId, EventLog};
+
+/// Index of a node in a [`DependencyGraph`].
+///
+/// Real events occupy indices `0..num_real()`, aligned with the source log's
+/// [`EventId`]s when the graph is built by [`DependencyGraph::from_log`]. The
+/// artificial event `v^X` is the last index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node index as `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize);
+        NodeId(i as u32)
+    }
+}
+
+impl From<EventId> for NodeId {
+    fn from(e: EventId) -> Self {
+        NodeId(e.0)
+    }
+}
+
+/// An event dependency graph with normalized frequencies (Definition 1),
+/// augmented with the artificial event `v^X` (Section 2).
+///
+/// Adjacency is stored twice — in-neighbors (`pre`) and out-neighbors
+/// (`post`) — because the similarity function walks pre-sets for the forward
+/// direction and post-sets for the backward direction. Each adjacency entry
+/// carries the edge's normalized frequency, so the similarity kernel never
+/// needs a hash lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DependencyGraph {
+    /// Names of real nodes; `names.len()` is the number of real events.
+    names: Vec<String>,
+    /// Normalized event frequency `f(v)` per real node.
+    node_freq: Vec<f64>,
+    /// In-neighbors of each node: `(source, f(source, node))`.
+    pre: Vec<Vec<(NodeId, f64)>>,
+    /// Out-neighbors of each node: `(target, f(node, target))`.
+    post: Vec<Vec<(NodeId, f64)>>,
+}
+
+impl DependencyGraph {
+    /// Builds the dependency graph of `log` per Definition 1 and adds the
+    /// artificial event and its edges per Section 2.
+    ///
+    /// Real node `i` corresponds to the log's event id `i`; the artificial
+    /// node is [`artificial`](Self::artificial).
+    pub fn from_log(log: &EventLog) -> Self {
+        let n = log.alphabet_size();
+        let total = log.num_traces();
+        let mut node_count = vec![0usize; n];
+        // Dense pair-count matrix: real logs have small alphabets (<= a few
+        // hundred), so n*n counters beat a hash map. Pairs and nodes count at
+        // most once per trace, tracked via per-trace marks reset afterwards.
+        let mut pair_count = vec![0u32; n * n];
+        let mut seen_pair = vec![false; n * n];
+        let mut seen_node = vec![false; n];
+        let mut touched_pairs = Vec::new();
+        let mut touched_nodes = Vec::new();
+        for trace in log.traces() {
+            for (a, b) in trace.consecutive_pairs() {
+                let k = a.index() * n + b.index();
+                if !seen_pair[k] {
+                    seen_pair[k] = true;
+                    pair_count[k] += 1;
+                    touched_pairs.push(k);
+                }
+            }
+            for &e in trace.events() {
+                if !seen_node[e.index()] {
+                    seen_node[e.index()] = true;
+                    node_count[e.index()] += 1;
+                    touched_nodes.push(e.index());
+                }
+            }
+            for k in touched_pairs.drain(..) {
+                seen_pair[k] = false;
+            }
+            for i in touched_nodes.drain(..) {
+                seen_node[i] = false;
+            }
+        }
+        let node_freq: Vec<f64> = node_count
+            .iter()
+            .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+            .collect();
+        let mut g = DependencyGraph {
+            names: (0..n)
+                .map(|i| log.name_of(EventId::from_index(i)).to_owned())
+                .collect(),
+            node_freq,
+            pre: vec![Vec::new(); n + 1],
+            post: vec![Vec::new(); n + 1],
+        };
+        for a in 0..n {
+            for b in 0..n {
+                let c = pair_count[a * n + b];
+                if c > 0 {
+                    let f = c as f64 / total as f64;
+                    g.post[a].push((NodeId::from_index(b), f));
+                    g.pre[b].push((NodeId::from_index(a), f));
+                }
+            }
+        }
+        // Artificial event: edges (v^X, v) and (v, v^X) with weight f(v),
+        // but only for events that actually occur (f(v) > 0).
+        let x = g.artificial();
+        for v in 0..n {
+            let f = g.node_freq[v];
+            if f > 0.0 {
+                let v = NodeId::from_index(v);
+                g.post[x.index()].push((v, f));
+                g.pre[v.index()].push((x, f));
+                g.post[v.index()].push((x, f));
+                g.pre[x.index()].push((v, f));
+            }
+        }
+        g
+    }
+
+    /// Builds a graph directly from explicit parts — used by tests and by the
+    /// composite matcher when patching graphs.
+    ///
+    /// `edges` are `(from, to, frequency)` over real node indices; artificial
+    /// edges are added automatically from `node_freq`.
+    pub fn from_parts(
+        names: Vec<String>,
+        node_freq: Vec<f64>,
+        edges: &[(usize, usize, f64)],
+    ) -> Self {
+        assert_eq!(names.len(), node_freq.len());
+        let n = names.len();
+        let mut g = DependencyGraph {
+            names,
+            node_freq,
+            pre: vec![Vec::new(); n + 1],
+            post: vec![Vec::new(); n + 1],
+        };
+        for &(a, b, f) in edges {
+            assert!(a < n && b < n, "edge endpoint out of range");
+            g.post[a].push((NodeId::from_index(b), f));
+            g.pre[b].push((NodeId::from_index(a), f));
+        }
+        let x = g.artificial();
+        for v in 0..n {
+            let f = g.node_freq[v];
+            if f > 0.0 {
+                let v = NodeId::from_index(v);
+                g.post[x.index()].push((v, f));
+                g.pre[v.index()].push((x, f));
+                g.post[v.index()].push((x, f));
+                g.pre[x.index()].push((v, f));
+            }
+        }
+        g
+    }
+
+    /// Number of real (non-artificial) nodes.
+    pub fn num_real(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Total node count including the artificial event.
+    pub fn num_nodes(&self) -> usize {
+        self.names.len() + 1
+    }
+
+    /// The artificial event `v^X`.
+    pub fn artificial(&self) -> NodeId {
+        NodeId::from_index(self.names.len())
+    }
+
+    /// Whether `v` is the artificial event.
+    pub fn is_artificial(&self, v: NodeId) -> bool {
+        v.index() == self.names.len()
+    }
+
+    /// The name of a real node; the artificial node is rendered `"v^X"`.
+    pub fn name(&self, v: NodeId) -> &str {
+        if self.is_artificial(v) {
+            "v^X"
+        } else {
+            &self.names[v.index()]
+        }
+    }
+
+    /// Finds a real node by name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(NodeId::from_index)
+    }
+
+    /// Normalized frequency `f(v)` of a real node (1.0 for the artificial
+    /// event — it virtually starts/ends every trace).
+    pub fn node_frequency(&self, v: NodeId) -> f64 {
+        if self.is_artificial(v) {
+            1.0
+        } else {
+            self.node_freq[v.index()]
+        }
+    }
+
+    /// The pre-set `•v` with edge frequencies `f(v', v)`.
+    pub fn pre(&self, v: NodeId) -> &[(NodeId, f64)] {
+        &self.pre[v.index()]
+    }
+
+    /// The post-set `v•` with edge frequencies `f(v, v')`.
+    pub fn post(&self, v: NodeId) -> &[(NodeId, f64)] {
+        &self.post[v.index()]
+    }
+
+    /// Iterates all real nodes.
+    pub fn real_nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.names.len()).map(NodeId::from_index)
+    }
+
+    /// Looks up the frequency of edge `(a, b)`, if present.
+    pub fn edge_frequency(&self, a: NodeId, b: NodeId) -> Option<f64> {
+        self.post[a.index()]
+            .iter()
+            .find(|&&(t, _)| t == b)
+            .map(|&(_, f)| f)
+    }
+
+    /// Number of edges, including artificial ones.
+    pub fn num_edges(&self) -> usize {
+        self.post.iter().map(Vec::len).sum()
+    }
+
+    /// Average degree (out-degree) over all nodes — the `d_avg` of the
+    /// paper's complexity analysis.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_nodes() as f64
+        }
+    }
+
+    /// Removes a real edge (used by frequency filtering). Artificial edges
+    /// cannot be removed. Returns whether the edge existed.
+    pub(crate) fn remove_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        debug_assert!(!self.is_artificial(a) && !self.is_artificial(b));
+        let before = self.post[a.index()].len();
+        self.post[a.index()].retain(|&(t, _)| t != b);
+        self.pre[b.index()].retain(|&(s, _)| s != a);
+        before != self.post[a.index()].len()
+    }
+
+    /// All real edges `(from, to, f)` in deterministic order.
+    pub fn real_edges(&self) -> Vec<(NodeId, NodeId, f64)> {
+        let mut out = Vec::new();
+        for a in self.real_nodes() {
+            for &(b, f) in &self.post[a.index()] {
+                if !self.is_artificial(b) {
+                    out.push((a, b, f));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ems_events::EventLog;
+
+    /// The L1 fragment of Figure 1: traces over A..F with f(A)=0.4, f(B)=0.6.
+    pub(crate) fn figure1_l1() -> EventLog {
+        let mut log = EventLog::new();
+        log.push_trace(["A", "C", "D", "E", "F"]);
+        log.push_trace(["A", "C", "D", "F", "E"]);
+        log.push_trace(["B", "C", "D", "E", "F"]);
+        log.push_trace(["B", "C", "D", "F", "E"]);
+        log.push_trace(["B", "C", "D", "E", "F"]);
+        log
+    }
+
+    #[test]
+    fn frequencies_match_figure_2a() {
+        let g = DependencyGraph::from_log(&figure1_l1());
+        let a = g.node_by_name("A").unwrap();
+        let b = g.node_by_name("B").unwrap();
+        let c = g.node_by_name("C").unwrap();
+        assert!((g.node_frequency(a) - 0.4).abs() < 1e-12);
+        assert!((g.node_frequency(b) - 0.6).abs() < 1e-12);
+        assert!((g.edge_frequency(a, c).unwrap() - 0.4).abs() < 1e-12);
+        assert!((g.edge_frequency(b, c).unwrap() - 0.6).abs() < 1e-12);
+        assert!((g.edge_frequency(c, g.node_by_name("D").unwrap()).unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(g.edge_frequency(c, a), None);
+    }
+
+    #[test]
+    fn artificial_event_connects_to_every_real_node() {
+        let g = DependencyGraph::from_log(&figure1_l1());
+        let x = g.artificial();
+        assert!(g.is_artificial(x));
+        assert_eq!(g.post(x).len(), g.num_real());
+        assert_eq!(g.pre(x).len(), g.num_real());
+        // f(v^X, C) = f(C) = 1.0 (Example 3).
+        let c = g.node_by_name("C").unwrap();
+        assert!((g.edge_frequency(x, c).unwrap() - 1.0).abs() < 1e-12);
+        // f(v^X, A) = f(A) = 0.4 (Example 3).
+        let a = g.node_by_name("A").unwrap();
+        assert!((g.edge_frequency(x, a).unwrap() - 0.4).abs() < 1e-12);
+        assert!((g.node_frequency(x) - 1.0).abs() < 1e-12);
+        assert_eq!(g.name(x), "v^X");
+    }
+
+    #[test]
+    fn pre_and_post_are_consistent() {
+        let g = DependencyGraph::from_log(&figure1_l1());
+        for a in 0..g.num_nodes() {
+            let a = NodeId::from_index(a);
+            for &(b, f) in g.post(a) {
+                assert!(g
+                    .pre(b)
+                    .iter()
+                    .any(|&(s, fs)| s == a && (fs - f).abs() < 1e-15));
+            }
+        }
+    }
+
+    #[test]
+    fn pair_counted_once_per_trace() {
+        let mut log = EventLog::new();
+        log.push_trace(["x", "y", "z", "x", "y"]); // xy twice in one trace
+        log.push_trace(["z"]);
+        let g = DependencyGraph::from_log(&log);
+        let x = g.node_by_name("x").unwrap();
+        let y = g.node_by_name("y").unwrap();
+        assert!((g.edge_frequency(x, y).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log_builds_empty_graph() {
+        let g = DependencyGraph::from_log(&EventLog::new());
+        assert_eq!(g.num_real(), 0);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn unused_alphabet_entries_get_no_artificial_edges() {
+        let mut log = EventLog::new();
+        let _ghost = log.intern("ghost");
+        log.push_trace(["a"]);
+        let g = DependencyGraph::from_log(&log);
+        let ghost = g.node_by_name("ghost").unwrap();
+        assert_eq!(g.node_frequency(ghost), 0.0);
+        assert!(g.pre(ghost).is_empty());
+        assert!(g.post(ghost).is_empty());
+    }
+
+    #[test]
+    fn from_parts_builds_expected_graph() {
+        let g = DependencyGraph::from_parts(
+            vec!["a".into(), "b".into()],
+            vec![1.0, 0.5],
+            &[(0, 1, 0.5)],
+        );
+        let a = NodeId(0);
+        let b = NodeId(1);
+        assert_eq!(g.edge_frequency(a, b), Some(0.5));
+        // a: pre = {vX}, post = {b, vX}
+        assert_eq!(g.pre(a).len(), 1);
+        assert_eq!(g.post(a).len(), 2);
+        assert_eq!(g.num_edges(), 1 + 4);
+    }
+
+    #[test]
+    fn remove_edge_updates_both_directions() {
+        let mut g = DependencyGraph::from_parts(
+            vec!["a".into(), "b".into()],
+            vec![1.0, 1.0],
+            &[(0, 1, 0.7)],
+        );
+        assert!(g.remove_edge(NodeId(0), NodeId(1)));
+        assert_eq!(g.edge_frequency(NodeId(0), NodeId(1)), None);
+        assert!(!g.pre(NodeId(1)).iter().any(|&(s, _)| s == NodeId(0)));
+        assert!(!g.remove_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn real_edges_excludes_artificial() {
+        let g = DependencyGraph::from_log(&figure1_l1());
+        for (a, b, _) in g.real_edges() {
+            assert!(!g.is_artificial(a));
+            assert!(!g.is_artificial(b));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Event dependency graphs (Definition 1 of *Matching Heterogeneous Event
+//! Data*, SIGMOD 2014) with the artificial-event augmentation that enables
+//! dislocated matching.
+//!
+//! A dependency graph `G(V, E, f)` has one vertex per event of a log, an edge
+//! `(v1, v2)` whenever `v1 v2` occur consecutively in at least one trace, and
+//! a labeling `f` of *normalized frequencies*:
+//!
+//! * `f(v)` — fraction of traces containing `v`;
+//! * `f(v1, v2)` — fraction of traces where `v1 v2` occur consecutively at
+//!   least once.
+//!
+//! To support dislocated matching, an **artificial event** `v^X` is added as
+//! the virtual beginning/end of all traces, with edges `(v^X, v)` and
+//! `(v, v^X)` weighted `f(v)` for every real event `v` (Section 2).
+//!
+//! The crate also provides:
+//!
+//! * minimum-frequency edge filtering (the accuracy/efficiency trade-off of
+//!   Section 2),
+//! * the longest-distance analysis `l(v)` that powers early-convergence
+//!   pruning (Proposition 2), cycle-aware via Tarjan SCC condensation,
+//! * ancestor sets for the unchanged-similarity pruning of composite matching
+//!   (Proposition 4),
+//! * Graphviz DOT export for debugging.
+//!
+//! # Example
+//!
+//! ```
+//! use ems_events::EventLog;
+//! use ems_depgraph::DependencyGraph;
+//!
+//! let mut log = EventLog::new();
+//! log.push_trace(["A", "C", "D"]);
+//! log.push_trace(["B", "C", "D"]);
+//! let g = DependencyGraph::from_log(&log);
+//! let c = g.node_by_name("C").unwrap();
+//! assert_eq!(g.node_frequency(c), 1.0);
+//! // pre-set of C: A, B and the artificial event.
+//! assert_eq!(g.pre(c).len(), 3);
+//! ```
+
+mod ancestors;
+mod dot;
+mod filter;
+mod graph;
+mod longest;
+mod metrics;
+
+pub use ancestors::{ancestor_sets, descendant_sets};
+pub use dot::to_dot;
+pub use filter::filter_min_frequency;
+pub use graph::{DependencyGraph, NodeId};
+pub use longest::{longest_distances, longest_distances_backward, Distance};
+pub use metrics::{from_edge_csv, to_edge_csv, GraphMetrics};

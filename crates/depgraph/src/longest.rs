@@ -1,0 +1,342 @@
+//! Longest distances `l(v)` from the artificial event — the basis of the
+//! early-convergence pruning of Proposition 2.
+//!
+//! `l(v)` is the length of the longest path from `v^X` to `v`; it is `∞` when
+//! a cycle lies on some path from `v^X` to `v` (then paths of unbounded
+//! length exist). The computation deliberately ignores the artificial
+//! *in*-edges `(v, v^X)`: similarities involving `v^X` are never updated
+//! during iteration, so change cannot propagate back out through `v^X`, and
+//! including those edges would wrongly make every node cyclic.
+
+use crate::graph::{DependencyGraph, NodeId};
+
+/// A possibly-infinite longest distance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Distance {
+    /// A finite longest distance.
+    Finite(u32),
+    /// Unbounded: the node is on or downstream of a cycle reachable from
+    /// `v^X`.
+    Infinite,
+}
+
+impl Distance {
+    /// The distance as `Option<u32>` (`None` for infinity).
+    pub fn finite(self) -> Option<u32> {
+        match self {
+            Distance::Finite(d) => Some(d),
+            Distance::Infinite => None,
+        }
+    }
+
+    /// Whether the pair bound `min(l(v1), l(v2))` allows convergence by
+    /// iteration `i` (Proposition 2): the pair is frozen once `i >= min(..)`.
+    pub fn min(a: Distance, b: Distance) -> Distance {
+        std::cmp::min(a, b)
+    }
+}
+
+impl std::fmt::Display for Distance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Distance::Finite(d) => write!(f, "{d}"),
+            Distance::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+/// Computes `l(v)` for every node of `g` (indexed by node id; the artificial
+/// node's own entry is `Finite(0)`).
+///
+/// Algorithm: Tarjan SCC condensation of the subgraph that excludes edges
+/// into `v^X`, then a longest-path DP over the (acyclic) condensation. Nodes
+/// in a nontrivial SCC — or reachable from one — get [`Distance::Infinite`].
+/// Unreachable nodes (frequency 0, no artificial edges) also get `Infinite`
+/// so they are never considered converged prematurely.
+pub fn longest_distances(g: &DependencyGraph) -> Vec<Distance> {
+    longest_distances_dir(g, false)
+}
+
+/// The mirror of [`longest_distances`] on the reversed graph: longest
+/// distance from `v^X` following edges backwards.
+///
+/// This is the convergence bound for the *backward* similarity of
+/// Section 3.6, which propagates over post-sets: a pair is frozen once the
+/// iteration index reaches `min(l_b(v1), l_b(v2))`.
+pub fn longest_distances_backward(g: &DependencyGraph) -> Vec<Distance> {
+    longest_distances_dir(g, true)
+}
+
+fn longest_distances_dir(g: &DependencyGraph, backward: bool) -> Vec<Distance> {
+    let n = g.num_nodes();
+    let x = g.artificial();
+    // Adjacency in walking direction, excluding edges back into the
+    // artificial node (they cannot carry change: pairs with v^X are pinned).
+    let adj: Vec<Vec<usize>> = (0..n)
+        .map(|v| {
+            let neighbors = if backward {
+                g.pre(NodeId::from_index(v))
+            } else {
+                g.post(NodeId::from_index(v))
+            };
+            neighbors
+                .iter()
+                .filter(|&&(t, _)| t != x)
+                .map(|&(t, _)| t.index())
+                .collect()
+        })
+        .collect();
+
+    // Phase 1: reachability from v^X.
+    let mut reachable = vec![false; n];
+    let mut queue = vec![x.index()];
+    reachable[x.index()] = true;
+    while let Some(v) = queue.pop() {
+        for &t in &adj[v] {
+            if !reachable[t] {
+                reachable[t] = true;
+                queue.push(t);
+            }
+        }
+    }
+
+    // Phase 2: cyclic components via Tarjan SCC, then propagate infinity to
+    // everything downstream of a reachable cyclic component.
+    let scc = tarjan_scc(&adj);
+    let mut comp_size = vec![0usize; scc.count];
+    let mut has_self_loop = vec![false; scc.count];
+    for v in 0..n {
+        comp_size[scc.comp[v]] += 1;
+        if adj[v].contains(&v) {
+            has_self_loop[scc.comp[v]] = true;
+        }
+    }
+    let mut inf = vec![false; n];
+    let mut queue: Vec<usize> = (0..n)
+        .filter(|&v| {
+            reachable[v] && (comp_size[scc.comp[v]] > 1 || has_self_loop[scc.comp[v]])
+        })
+        .collect();
+    for &v in &queue {
+        inf[v] = true;
+    }
+    while let Some(v) = queue.pop() {
+        for &t in &adj[v] {
+            if !inf[t] {
+                inf[t] = true;
+                queue.push(t);
+            }
+        }
+    }
+
+    // Phase 3: longest path over the remaining (acyclic) reachable nodes.
+    // Tarjan emits sink-most components first, so decreasing component id is
+    // a topological order of the condensation; acyclic reachable nodes are
+    // singleton components, so this orders them topologically too.
+    let mut order: Vec<usize> = (0..n)
+        .filter(|&v| reachable[v] && !inf[v])
+        .collect();
+    order.sort_by(|&a, &b| scc.comp[b].cmp(&scc.comp[a]));
+    let mut dist = vec![0u32; n];
+    for &v in &order {
+        for &t in &adj[v] {
+            if reachable[t] && !inf[t] {
+                dist[t] = dist[t].max(dist[v] + 1);
+            }
+        }
+    }
+
+    (0..n)
+        .map(|v| {
+            if !reachable[v] || inf[v] {
+                // Cyclic, downstream of a cycle, or unreachable (isolated
+                // zero-frequency node): never considered converged.
+                Distance::Infinite
+            } else {
+                Distance::Finite(dist[v])
+            }
+        })
+        .collect()
+}
+
+struct SccResult {
+    comp: Vec<usize>,
+    count: usize,
+}
+
+/// Iterative Tarjan strongly-connected components.
+fn tarjan_scc(adj: &[Vec<usize>]) -> SccResult {
+    let n = adj.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut count = 0usize;
+
+    // Explicit DFS stack: (node, next child position).
+    let mut call: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        call.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref mut ci)) = call.last_mut() {
+            if *ci < adj[v].len() {
+                let w = adj[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp[w] = count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+    SccResult { comp, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DependencyGraph;
+    use ems_events::EventLog;
+
+    fn figure1_l1() -> EventLog {
+        let mut log = EventLog::new();
+        log.push_trace(["A", "C", "D", "E", "F"]);
+        log.push_trace(["A", "C", "D", "F", "E"]);
+        log.push_trace(["B", "C", "D", "E", "F"]);
+        log.push_trace(["B", "C", "D", "F", "E"]);
+        log.push_trace(["B", "C", "D", "E", "F"]);
+        log
+    }
+
+    #[test]
+    fn example5_distances() {
+        // Example 5: l(A)=1, C converges after iteration 2, D after 3.
+        let g = DependencyGraph::from_log(&figure1_l1());
+        let l = longest_distances(&g);
+        let at = |n: &str| l[g.node_by_name(n).unwrap().index()];
+        assert_eq!(l[g.artificial().index()], Distance::Finite(0));
+        assert_eq!(at("A"), Distance::Finite(1));
+        assert_eq!(at("B"), Distance::Finite(1));
+        assert_eq!(at("C"), Distance::Finite(2));
+        assert_eq!(at("D"), Distance::Finite(3));
+        // E and F swap order across traces: E->F and F->E both exist,
+        // forming a 2-cycle, so both are infinite.
+        assert_eq!(at("E"), Distance::Infinite);
+        assert_eq!(at("F"), Distance::Infinite);
+    }
+
+    #[test]
+    fn acyclic_chain_distances() {
+        let mut log = EventLog::new();
+        log.push_trace(["a", "b", "c"]);
+        let g = DependencyGraph::from_log(&log);
+        let l = longest_distances(&g);
+        let at = |n: &str| l[g.node_by_name(n).unwrap().index()];
+        assert_eq!(at("a"), Distance::Finite(1));
+        assert_eq!(at("b"), Distance::Finite(2));
+        assert_eq!(at("c"), Distance::Finite(3));
+    }
+
+    #[test]
+    fn longest_not_shortest_path_wins() {
+        // b reachable in 1 step (vX->b) but also via a: l(b) = 2.
+        let g = DependencyGraph::from_parts(
+            vec!["a".into(), "b".into()],
+            vec![1.0, 1.0],
+            &[(0, 1, 1.0)],
+        );
+        let l = longest_distances(&g);
+        assert_eq!(l[0], Distance::Finite(1));
+        assert_eq!(l[1], Distance::Finite(2));
+    }
+
+    #[test]
+    fn self_loop_is_infinite() {
+        let mut log = EventLog::new();
+        log.push_trace(["a", "a", "b"]);
+        let g = DependencyGraph::from_log(&log);
+        let l = longest_distances(&g);
+        let at = |n: &str| l[g.node_by_name(n).unwrap().index()];
+        assert_eq!(at("a"), Distance::Infinite);
+        // b is downstream of the loop.
+        assert_eq!(at("b"), Distance::Infinite);
+    }
+
+    #[test]
+    fn node_upstream_of_cycle_is_finite() {
+        let mut log = EventLog::new();
+        log.push_trace(["s", "x", "y", "x", "t"]);
+        let g = DependencyGraph::from_log(&log);
+        let l = longest_distances(&g);
+        let at = |n: &str| l[g.node_by_name(n).unwrap().index()];
+        assert_eq!(at("s"), Distance::Finite(1));
+        assert_eq!(at("x"), Distance::Infinite);
+        assert_eq!(at("y"), Distance::Infinite);
+        assert_eq!(at("t"), Distance::Infinite); // downstream of x-y cycle
+    }
+
+    #[test]
+    fn isolated_node_is_infinite() {
+        let g = DependencyGraph::from_parts(vec!["ghost".into()], vec![0.0], &[]);
+        let l = longest_distances(&g);
+        assert_eq!(l[0], Distance::Infinite);
+    }
+
+    #[test]
+    fn backward_distances_mirror_forward() {
+        let mut log = EventLog::new();
+        log.push_trace(["a", "b", "c"]);
+        let g = DependencyGraph::from_log(&log);
+        let l = longest_distances_backward(&g);
+        let at = |n: &str| l[g.node_by_name(n).unwrap().index()];
+        // Walking backwards from v^X: c is 1 step, a is 3.
+        assert_eq!(at("c"), Distance::Finite(1));
+        assert_eq!(at("b"), Distance::Finite(2));
+        assert_eq!(at("a"), Distance::Finite(3));
+    }
+
+    #[test]
+    fn distance_ordering_and_min() {
+        assert!(Distance::Finite(3) < Distance::Infinite);
+        assert!(Distance::Finite(2) < Distance::Finite(5));
+        assert_eq!(
+            Distance::min(Distance::Infinite, Distance::Finite(4)),
+            Distance::Finite(4)
+        );
+        assert_eq!(Distance::Finite(7).finite(), Some(7));
+        assert_eq!(Distance::Infinite.finite(), None);
+        assert_eq!(Distance::Infinite.to_string(), "∞");
+        assert_eq!(Distance::Finite(2).to_string(), "2");
+    }
+}

@@ -1,0 +1,293 @@
+//! Structural metrics of dependency graphs — useful for sizing the
+//! similarity computation (the paper's complexity is `O(k|V1||V2|d_avg)`)
+//! and for sanity-checking synthetic workloads against real-log shapes.
+
+use crate::graph::{DependencyGraph, NodeId};
+use crate::longest::{longest_distances, Distance};
+
+/// Aggregate structural metrics of a dependency graph (real nodes/edges
+/// only; the artificial event is excluded everywhere).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphMetrics {
+    /// Number of real nodes.
+    pub nodes: usize,
+    /// Number of real edges.
+    pub edges: usize,
+    /// Edge density `edges / (nodes * (nodes - 1))`.
+    pub density: f64,
+    /// Mean out-degree over real nodes (real edges only).
+    pub mean_degree: f64,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Number of source nodes (no real predecessors).
+    pub sources: usize,
+    /// Number of sink nodes (no real successors).
+    pub sinks: usize,
+    /// Number of reciprocal edge pairs (`a→b` and `b→a` both present) —
+    /// interleaving concurrency shows up here.
+    pub reciprocal_pairs: usize,
+    /// Number of nodes with an infinite longest distance from `v^X`
+    /// (on or downstream of a cycle) — these never early-converge.
+    pub cyclic_nodes: usize,
+    /// Mean edge frequency.
+    pub mean_edge_frequency: f64,
+}
+
+impl GraphMetrics {
+    /// Computes the metrics of `g`.
+    pub fn of(g: &DependencyGraph) -> Self {
+        let n = g.num_real();
+        let edges = g.real_edges();
+        let x = g.artificial();
+        let real_out = |v: NodeId| {
+            g.post(v).iter().filter(|&&(t, _)| t != x).count()
+        };
+        let real_in = |v: NodeId| {
+            g.pre(v).iter().filter(|&&(s, _)| s != x).count()
+        };
+        let mut reciprocal = 0usize;
+        for &(a, b, _) in &edges {
+            if a < b && g.edge_frequency(b, a).is_some() {
+                reciprocal += 1;
+            }
+        }
+        let distances = longest_distances(g);
+        let cyclic = g
+            .real_nodes()
+            .filter(|v| distances[v.index()] == Distance::Infinite)
+            .count();
+        GraphMetrics {
+            nodes: n,
+            edges: edges.len(),
+            density: if n > 1 {
+                edges.len() as f64 / (n * (n - 1)) as f64
+            } else {
+                0.0
+            },
+            mean_degree: if n > 0 {
+                edges.len() as f64 / n as f64
+            } else {
+                0.0
+            },
+            max_out_degree: g.real_nodes().map(real_out).max().unwrap_or(0),
+            max_in_degree: g.real_nodes().map(real_in).max().unwrap_or(0),
+            sources: g.real_nodes().filter(|&v| real_in(v) == 0).count(),
+            sinks: g.real_nodes().filter(|&v| real_out(v) == 0).count(),
+            reciprocal_pairs: reciprocal,
+            cyclic_nodes: cyclic,
+            mean_edge_frequency: if edges.is_empty() {
+                0.0
+            } else {
+                edges.iter().map(|&(_, _, f)| f).sum::<f64>() / edges.len() as f64
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for GraphMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} edges (density {:.3}, mean degree {:.2}), \
+             {} sources, {} sinks, {} reciprocal pairs, {} cyclic nodes",
+            self.nodes,
+            self.edges,
+            self.density,
+            self.mean_degree,
+            self.sources,
+            self.sinks,
+            self.reciprocal_pairs,
+            self.cyclic_nodes
+        )
+    }
+}
+
+/// Serializes the graph as an edge-list CSV: `from,to,frequency` with a
+/// header, node frequencies as self-referencing rows (`v,v,f(v)` appears
+/// only when a self-loop exists; node rows are written as `v,,f(v)`).
+pub fn to_edge_csv(g: &DependencyGraph) -> String {
+    let mut out = String::from("from,to,frequency\n");
+    let esc = |s: &str| -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_owned()
+        }
+    };
+    for v in g.real_nodes() {
+        out.push_str(&format!("{},,{}\n", esc(g.name(v)), g.node_frequency(v)));
+    }
+    for (a, b, f) in g.real_edges() {
+        out.push_str(&format!("{},{},{}\n", esc(g.name(a)), esc(g.name(b)), f));
+    }
+    out
+}
+
+/// Parses the edge-list CSV produced by [`to_edge_csv`] back into a
+/// dependency graph (artificial edges are re-derived from the node rows).
+///
+/// Accepts exactly the dialect `to_edge_csv` writes: a `from,to,frequency`
+/// header, node rows with an empty `to` field, then edge rows. Quoted fields
+/// may contain commas and doubled quotes.
+pub fn from_edge_csv(csv: &str) -> Result<DependencyGraph, String> {
+    let mut lines = csv.lines();
+    let header = lines.next().ok_or("empty CSV")?;
+    if header.trim() != "from,to,frequency" {
+        return Err(format!("unexpected header `{header}`"));
+    }
+    let mut names: Vec<String> = Vec::new();
+    let mut freqs: Vec<f64> = Vec::new();
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    let index_of = |names: &[String], n: &str| -> Result<usize, String> {
+        names
+            .iter()
+            .position(|x| x == n)
+            .ok_or_else(|| format!("edge references unknown node `{n}`"))
+    };
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv_line(line).map_err(|m| format!("line {}: {m}", lineno + 2))?;
+        if fields.len() != 3 {
+            return Err(format!("line {}: expected 3 fields", lineno + 2));
+        }
+        let f: f64 = fields[2]
+            .parse()
+            .map_err(|_| format!("line {}: bad frequency `{}`", lineno + 2, fields[2]))?;
+        if fields[1].is_empty() {
+            names.push(fields[0].clone());
+            freqs.push(f);
+        } else {
+            let a = index_of(&names, &fields[0])?;
+            let b = index_of(&names, &fields[1])?;
+            edges.push((a, b, f));
+        }
+    }
+    Ok(DependencyGraph::from_parts(names, freqs, &edges))
+}
+
+fn split_csv_line(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    loop {
+        match chars.peek() {
+            None => {
+                fields.push(cur);
+                return Ok(fields);
+            }
+            Some('"') => {
+                chars.next();
+                loop {
+                    match chars.next() {
+                        Some('"') if chars.peek() == Some(&'"') => {
+                            chars.next();
+                            cur.push('"');
+                        }
+                        Some('"') => break,
+                        Some(c) => cur.push(c),
+                        None => return Err("unterminated quoted field".into()),
+                    }
+                }
+            }
+            Some(',') => {
+                chars.next();
+                fields.push(std::mem::take(&mut cur));
+            }
+            Some(_) => cur.push(chars.next().expect("peeked")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ems_events::EventLog;
+
+    fn graph() -> DependencyGraph {
+        let mut log = EventLog::new();
+        log.push_trace(["a", "b", "c", "b"]); // b->c, c->b reciprocal; cycle
+        log.push_trace(["a", "b"]);
+        DependencyGraph::from_log(&log)
+    }
+
+    #[test]
+    fn metrics_match_hand_count() {
+        let m = GraphMetrics::of(&graph());
+        assert_eq!(m.nodes, 3);
+        // Edges: a->b (1.0), b->c (0.5), c->b (0.5).
+        assert_eq!(m.edges, 3);
+        assert_eq!(m.sources, 1); // a
+        assert_eq!(m.sinks, 0); // b has out (c), c has out (b)
+        assert_eq!(m.reciprocal_pairs, 1);
+        assert!(m.cyclic_nodes >= 2); // b and c are in a cycle
+        assert!((m.density - 3.0 / 6.0).abs() < 1e-12);
+        assert!((m.mean_edge_frequency - (1.0 + 0.5 + 0.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_the_counts() {
+        let text = GraphMetrics::of(&graph()).to_string();
+        assert!(text.contains("3 nodes"));
+        assert!(text.contains("1 sources"));
+    }
+
+    #[test]
+    fn edge_csv_lists_nodes_and_edges() {
+        let csv = to_edge_csv(&graph());
+        assert!(csv.starts_with("from,to,frequency\n"));
+        assert!(csv.contains("a,,1\n"));
+        assert!(csv.contains("a,b,1\n"));
+        assert!(csv.contains("b,c,0.5\n"));
+    }
+
+    #[test]
+    fn csv_escapes_commas_in_names() {
+        let mut log = EventLog::new();
+        log.push_trace(["check, validate", "ship"]);
+        let g = DependencyGraph::from_log(&log);
+        let csv = to_edge_csv(&g);
+        assert!(csv.contains("\"check, validate\""));
+    }
+
+    #[test]
+    fn edge_csv_roundtrips() {
+        let mut log = EventLog::new();
+        log.push_trace(["check, validate", "ship \"now\"", "mail"]);
+        log.push_trace(["check, validate", "mail"]);
+        let g = DependencyGraph::from_log(&log);
+        let back = from_edge_csv(&to_edge_csv(&g)).unwrap();
+        assert_eq!(back.num_real(), g.num_real());
+        for v in g.real_nodes() {
+            assert_eq!(back.name(v), g.name(v));
+            assert!((back.node_frequency(v) - g.node_frequency(v)).abs() < 1e-12);
+        }
+        for (a, b, f) in g.real_edges() {
+            let f2 = back.edge_frequency(a, b).expect("edge survives");
+            assert!((f - f2).abs() < 1e-12);
+        }
+        assert_eq!(back.real_edges().len(), g.real_edges().len());
+    }
+
+    #[test]
+    fn edge_csv_rejects_garbage() {
+        assert!(from_edge_csv("").is_err());
+        assert!(from_edge_csv("wrong,header,here\n").is_err());
+        assert!(from_edge_csv("from,to,frequency\na,,not-a-number\n").is_err());
+        assert!(from_edge_csv("from,to,frequency\na,,1.0\na,ghost,0.5\n").is_err());
+        assert!(from_edge_csv("from,to,frequency\n\"unterminated,,1\n").is_err());
+        assert!(from_edge_csv("from,to,frequency\nonly,two\n").is_err());
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g = DependencyGraph::from_log(&EventLog::new());
+        let m = GraphMetrics::of(&g);
+        assert_eq!(m.nodes, 0);
+        assert_eq!(m.density, 0.0);
+        assert_eq!(m.mean_edge_frequency, 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Aggregation of per-pair scores across a testbed: summary statistics and
+//! bootstrap confidence intervals.
+//!
+//! The paper reports single averages per testbed; for a reproduction it is
+//! worth knowing how wide those averages are. The bootstrap here uses an
+//! internal deterministic xorshift generator so reports are reproducible
+//! without pulling a dependency into the evaluation crate.
+
+/// Summary statistics of a sample of scores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Aggregate {
+    /// Computes summary statistics of `values`.
+    pub fn of(values: &[f64]) -> Self {
+        let n = values.len();
+        if n == 0 {
+            return Aggregate {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Aggregate {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+impl std::fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.3} ± {:.3} (n={}, range {:.3}..{:.3})",
+            self.mean, self.std_dev, self.n, self.min, self.max
+        )
+    }
+}
+
+/// Percentile-bootstrap confidence interval for the mean of `values`.
+///
+/// Resamples `values` with replacement `resamples` times and returns the
+/// `(1-confidence)/2` and `1-(1-confidence)/2` percentiles of the resampled
+/// means. Deterministic given `seed`. Returns `(mean, mean)` for samples of
+/// size < 2.
+pub fn bootstrap_mean_ci(
+    values: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> (f64, f64) {
+    assert!((0.0..1.0).contains(&confidence), "confidence in (0,1)");
+    let n = values.len();
+    if n < 2 {
+        let m = Aggregate::of(values).mean;
+        return (m, m);
+    }
+    let mut rng = XorShift64::new(seed);
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += values[rng.next_below(n)];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - confidence) / 2.0;
+    let lo_idx = ((resamples as f64) * alpha) as usize;
+    let hi_idx = (((resamples as f64) * (1.0 - alpha)) as usize).min(resamples - 1);
+    (means[lo_idx], means[hi_idx])
+}
+
+/// A minimal deterministic xorshift64* generator for the bootstrap.
+struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64 {
+            state: seed.max(1), // xorshift must not start at 0
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    fn next_below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregate_of_known_sample() {
+        let a = Aggregate::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.n, 4);
+        assert!((a.mean - 2.5).abs() < 1e-12);
+        // Sample variance: ((1.5^2)*2 + (0.5^2)*2)/3 = 5/3.
+        assert!((a.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 4.0);
+    }
+
+    #[test]
+    fn aggregate_edge_cases() {
+        let empty = Aggregate::of(&[]);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.mean, 0.0);
+        let single = Aggregate::of(&[0.7]);
+        assert_eq!(single.std_dev, 0.0);
+        assert_eq!(single.min, 0.7);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let text = Aggregate::of(&[0.5, 0.7]).to_string();
+        assert!(text.contains("0.600 ±"));
+        assert!(text.contains("n=2"));
+    }
+
+    #[test]
+    fn ci_contains_the_mean_and_is_deterministic() {
+        let values = [0.4, 0.5, 0.55, 0.6, 0.62, 0.7, 0.75, 0.8];
+        let mean = Aggregate::of(&values).mean;
+        let (lo, hi) = bootstrap_mean_ci(&values, 2000, 0.95, 42);
+        assert!(lo <= mean && mean <= hi, "{lo} <= {mean} <= {hi}");
+        assert!(lo < hi);
+        assert_eq!(bootstrap_mean_ci(&values, 2000, 0.95, 42), (lo, hi));
+        // Width shrinks with confidence.
+        let (lo50, hi50) = bootstrap_mean_ci(&values, 2000, 0.5, 42);
+        assert!(hi50 - lo50 < hi - lo);
+    }
+
+    #[test]
+    fn ci_degenerates_gracefully() {
+        assert_eq!(bootstrap_mean_ci(&[], 100, 0.95, 1), (0.0, 0.0));
+        assert_eq!(bootstrap_mean_ci(&[0.3], 100, 0.95, 1), (0.3, 0.3));
+        // Constant sample: zero-width interval.
+        let (lo, hi) = bootstrap_mean_ci(&[0.5; 10], 100, 0.95, 1);
+        assert_eq!((lo, hi), (0.5, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn ci_validates_confidence() {
+        let _ = bootstrap_mean_ci(&[0.1, 0.2], 10, 1.5, 1);
+    }
+}

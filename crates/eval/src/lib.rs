@@ -1,0 +1,26 @@
+//! Evaluation harness: accuracy metrics, timing, result tables.
+//!
+//! The paper scores matchers with precision, recall and F-measure against
+//! expert-identified ground truth (Section 5.1):
+//!
+//! ```text
+//! precision = |truth ∩ found| / |found|
+//! recall    = |truth ∩ found| / |truth|
+//! f-measure = 2 · precision · recall / (precision + recall)
+//! ```
+//!
+//! [`score`] computes those over name-pair sets (m:n correspondences are
+//! just multiple pairs). [`expand_merged`] unfolds correspondences involving
+//! merged composite events (`"c+d" ↔ "4"` becomes `c↔4` and `d↔4`) so that
+//! composite matchers are scored on the original event alphabets.
+//! [`Stopwatch`] and [`Table`] support the experiment binaries.
+
+mod aggregate;
+mod metrics;
+mod table;
+mod timer;
+
+pub use aggregate::{bootstrap_mean_ci, Aggregate};
+pub use metrics::{expand_merged, score, Accuracy};
+pub use table::Table;
+pub use timer::Stopwatch;

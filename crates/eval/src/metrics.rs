@@ -1,0 +1,166 @@
+//! Precision / recall / F-measure over correspondence sets.
+
+use std::collections::BTreeSet;
+
+/// Matching accuracy against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// `|truth ∩ found| / |found|` (1.0 when nothing was found — an empty
+    /// answer makes no false claims).
+    pub precision: f64,
+    /// `|truth ∩ found| / |truth|` (1.0 when there is nothing to find).
+    pub recall: f64,
+    /// Harmonic mean of precision and recall (0.0 when both are 0).
+    pub f_measure: f64,
+    /// Number of found pairs that are true.
+    pub true_positives: usize,
+    /// Number of distinct found pairs.
+    pub num_found: usize,
+    /// Number of distinct truth pairs.
+    pub num_truth: usize,
+}
+
+/// Scores `found` correspondences against `truth`. Both are sets of
+/// `(left name, right name)` pairs; duplicates are ignored.
+pub fn score<'a, T, F>(truth: T, found: F) -> Accuracy
+where
+    T: IntoIterator<Item = (&'a str, &'a str)>,
+    F: IntoIterator<Item = (&'a str, &'a str)>,
+{
+    let truth: BTreeSet<(&str, &str)> = truth.into_iter().collect();
+    let found: BTreeSet<(&str, &str)> = found.into_iter().collect();
+    let tp = found.intersection(&truth).count();
+    let precision = if found.is_empty() {
+        1.0
+    } else {
+        tp as f64 / found.len() as f64
+    };
+    let recall = if truth.is_empty() {
+        1.0
+    } else {
+        tp as f64 / truth.len() as f64
+    };
+    let f_measure = if precision + recall > 0.0 {
+        2.0 * precision * recall / (precision + recall)
+    } else {
+        0.0
+    };
+    Accuracy {
+        precision,
+        recall,
+        f_measure,
+        true_positives: tp,
+        num_found: found.len(),
+        num_truth: truth.len(),
+    }
+}
+
+/// Expands correspondences that involve merged composite events: any side
+/// whose name is listed in `merged` (a map from merged name to its original
+/// parts) is unfolded into one pair per part.
+///
+/// `("c+d", "4")` with `merged["c+d"] = ["c", "d"]` becomes
+/// `("c", "4"), ("d", "4")` — the m:n convention the ground truth uses.
+pub fn expand_merged(
+    pairs: &[(String, String)],
+    merged_left: &std::collections::HashMap<String, Vec<String>>,
+    merged_right: &std::collections::HashMap<String, Vec<String>>,
+) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for (l, r) in pairs {
+        let lefts: Vec<&str> = match merged_left.get(l) {
+            Some(parts) => parts.iter().map(String::as_str).collect(),
+            None => vec![l.as_str()],
+        };
+        let rights: Vec<&str> = match merged_right.get(r) {
+            Some(parts) => parts.iter().map(String::as_str).collect(),
+            None => vec![r.as_str()],
+        };
+        for &le in &lefts {
+            for &ri in &rights {
+                out.push((le.to_owned(), ri.to_owned()));
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn perfect_match() {
+        let truth = [("a", "1"), ("b", "2")];
+        let a = score(truth, truth);
+        assert_eq!(a.precision, 1.0);
+        assert_eq!(a.recall, 1.0);
+        assert_eq!(a.f_measure, 1.0);
+        assert_eq!(a.true_positives, 2);
+    }
+
+    #[test]
+    fn partial_match() {
+        let truth = [("a", "1"), ("b", "2"), ("c", "3"), ("d", "4")];
+        let found = [("a", "1"), ("b", "9")];
+        let a = score(truth, found);
+        assert_eq!(a.precision, 0.5);
+        assert_eq!(a.recall, 0.25);
+        let f = 2.0 * 0.5 * 0.25 / 0.75;
+        assert!((a.f_measure - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_found_and_empty_truth() {
+        let a = score([("a", "1")], []);
+        assert_eq!(a.precision, 1.0);
+        assert_eq!(a.recall, 0.0);
+        assert_eq!(a.f_measure, 0.0);
+        let a = score([], [("a", "1")]);
+        assert_eq!(a.recall, 1.0);
+        assert_eq!(a.precision, 0.0);
+        let a = score([], []);
+        assert_eq!(a.f_measure, 1.0);
+    }
+
+    #[test]
+    fn duplicates_count_once() {
+        let a = score([("a", "1")], [("a", "1"), ("a", "1")]);
+        assert_eq!(a.num_found, 1);
+        assert_eq!(a.precision, 1.0);
+    }
+
+    #[test]
+    fn expand_merged_unfolds_composites() {
+        let mut left = HashMap::new();
+        left.insert("c+d".to_owned(), vec!["c".to_owned(), "d".to_owned()]);
+        let right = HashMap::new();
+        let pairs = vec![
+            ("c+d".to_owned(), "4".to_owned()),
+            ("a".to_owned(), "1".to_owned()),
+        ];
+        let expanded = expand_merged(&pairs, &left, &right);
+        assert_eq!(
+            expanded,
+            vec![
+                ("a".to_owned(), "1".to_owned()),
+                ("c".to_owned(), "4".to_owned()),
+                ("d".to_owned(), "4".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn expand_merged_both_sides() {
+        let mut left = HashMap::new();
+        left.insert("x+y".to_owned(), vec!["x".to_owned(), "y".to_owned()]);
+        let mut right = HashMap::new();
+        right.insert("u+v".to_owned(), vec!["u".to_owned(), "v".to_owned()]);
+        let pairs = vec![("x+y".to_owned(), "u+v".to_owned())];
+        let expanded = expand_merged(&pairs, &left, &right);
+        assert_eq!(expanded.len(), 4);
+    }
+}

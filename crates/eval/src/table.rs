@@ -1,0 +1,191 @@
+//! Text and CSV result tables for the experiment binaries.
+
+use std::fmt::Write as _;
+
+/// A small column-aligned results table that also serializes to CSV —
+/// each experiment binary prints one per figure panel.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new<S: Into<String>>(title: impl Into<String>, headers: Vec<S>) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, &w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let _ = writeln!(
+            out,
+            "{}",
+            widths
+                .iter()
+                .map(|&w| "-".repeat(w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavored markdown table (title as a heading).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let esc = |s: &str| s.replace('|', "\\|");
+        let _ = writeln!(out, "### {}", self.title);
+        let _ = writeln!(
+            out,
+            "| {} |",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(" | ")
+        );
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "| {} |",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(" | ")
+            );
+        }
+        out
+    }
+
+    /// Renders CSV (headers + rows; fields with commas or quotes are
+    /// quoted).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| -> String {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV form to `path`.
+    pub fn write_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Figure 3 (a): f-measure", vec!["method", "DS-F", "DS-B"]);
+        t.row(vec!["EMS", "0.82", "0.80"]);
+        t.row(vec!["BHV", "0.74", "0.55"]);
+        t
+    }
+
+    #[test]
+    fn text_is_aligned_and_titled() {
+        let text = sample().to_text();
+        assert!(text.starts_with("## Figure 3"));
+        assert!(text.contains("method"));
+        assert!(text.contains("EMS"));
+        // Column alignment: both data rows have the same width.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn markdown_renders_pipes_safely() {
+        let mut t = Table::new("md", vec!["a"]);
+        t.row(vec!["x|y"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### md"));
+        assert!(md.contains("| a |"));
+        assert!(md.contains("x\\|y") || md.contains("x\\|y"));
+        assert!(md.contains("|---|"));
+    }
+
+    #[test]
+    fn csv_escapes_specials() {
+        let mut t = Table::new("t", vec!["a", "b"]);
+        t.row(vec!["x,y", "he said \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut t = Table::new("t", vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert!(Table::new("t", vec!["a"]).is_empty());
+        assert_eq!(sample().len(), 2);
+    }
+}

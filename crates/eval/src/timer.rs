@@ -1,0 +1,90 @@
+//! Wall-clock timing for the experiment binaries.
+
+use std::time::{Duration, Instant};
+
+/// A simple accumulating stopwatch.
+#[derive(Debug, Clone)]
+pub struct Stopwatch {
+    started: Option<Instant>,
+    accumulated: Duration,
+}
+
+impl Stopwatch {
+    /// A stopped stopwatch at zero.
+    pub fn new() -> Self {
+        Stopwatch {
+            started: None,
+            accumulated: Duration::ZERO,
+        }
+    }
+
+    /// Starts (or restarts) measuring.
+    pub fn start(&mut self) {
+        self.started = Some(Instant::now());
+    }
+
+    /// Stops measuring, adding to the accumulated total.
+    pub fn stop(&mut self) {
+        if let Some(s) = self.started.take() {
+            self.accumulated += s.elapsed();
+        }
+    }
+
+    /// Total measured time (includes the running span if started).
+    pub fn elapsed(&self) -> Duration {
+        self.accumulated
+            + self
+                .started
+                .map(|s| s.elapsed())
+                .unwrap_or(Duration::ZERO)
+    }
+
+    /// Times a closure and returns `(result, duration)`.
+    pub fn time<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+        let start = Instant::now();
+        let result = f();
+        (result, start.elapsed())
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_across_spans() {
+        let mut sw = Stopwatch::new();
+        sw.start();
+        std::thread::sleep(Duration::from_millis(2));
+        sw.stop();
+        let first = sw.elapsed();
+        assert!(first >= Duration::from_millis(2));
+        sw.start();
+        std::thread::sleep(Duration::from_millis(2));
+        sw.stop();
+        assert!(sw.elapsed() > first);
+    }
+
+    #[test]
+    fn stop_without_start_is_noop() {
+        let mut sw = Stopwatch::new();
+        sw.stop();
+        assert_eq!(sw.elapsed(), Duration::ZERO);
+    }
+
+    #[test]
+    fn time_closure() {
+        let (v, d) = Stopwatch::time(|| {
+            std::thread::sleep(Duration::from_millis(1));
+            42
+        });
+        assert_eq!(v, 42);
+        assert!(d >= Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,73 @@
+//! Compact interned event identifiers.
+
+use std::fmt;
+
+/// A compact identifier for an event name (a.k.a. activity label) within one
+/// [`EventLog`](crate::EventLog).
+///
+/// Ids are dense: the `n` distinct event names of a log are assigned ids
+/// `0..n` in first-appearance order, which lets downstream similarity kernels
+/// index dense matrices directly by id.
+///
+/// An `EventId` is only meaningful relative to the [`Interner`](crate::Interner)
+/// (or log) that produced it; comparing ids across logs compares positions,
+/// not names.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// The id as a `usize`, for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Construct from a dense index.
+    #[inline]
+    pub fn from_index(i: usize) -> Self {
+        debug_assert!(i <= u32::MAX as usize, "event id overflow");
+        EventId(i as u32)
+    }
+}
+
+impl fmt::Debug for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for EventId {
+    fn from(v: u32) -> Self {
+        EventId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let id = EventId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, EventId(42));
+    }
+
+    #[test]
+    fn debug_and_display() {
+        assert_eq!(format!("{:?}", EventId(7)), "e7");
+        assert_eq!(format!("{}", EventId(7)), "7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(EventId(1) < EventId(2));
+        assert_eq!(EventId::from(5u32), EventId(5));
+    }
+}

@@ -1,0 +1,116 @@
+//! String interner mapping event names to dense [`EventId`]s.
+
+use crate::EventId;
+use std::collections::HashMap;
+
+/// Interns event-name strings into dense [`EventId`]s.
+///
+/// Names are assigned ids in first-appearance order. Lookup is `O(1)` in both
+/// directions: name→id via a hash map, id→name via a vector.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Interner {
+    names: Vec<String>,
+    index: HashMap<String, EventId>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, name: &str) -> EventId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = EventId::from_index(self.names.len());
+        self.names.push(name.to_owned());
+        self.index.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Returns the id of `name` if it has been interned.
+    pub fn get(&self, name: &str) -> Option<EventId> {
+        self.index.get(name).copied()
+    }
+
+    /// Returns the name for `id`, or `None` if `id` is out of range.
+    pub fn name(&self, id: EventId) -> Option<&str> {
+        self.names.get(id.index()).map(String::as_str)
+    }
+
+    /// Returns the name for `id`, panicking on out-of-range ids.
+    pub fn resolve(&self, id: EventId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (EventId::from_index(i), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut it = Interner::new();
+        let a = it.intern("a");
+        let b = it.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(it.intern("a"), a);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn ids_are_dense_in_first_appearance_order() {
+        let mut it = Interner::new();
+        assert_eq!(it.intern("x"), EventId(0));
+        assert_eq!(it.intern("y"), EventId(1));
+        assert_eq!(it.intern("x"), EventId(0));
+        assert_eq!(it.intern("z"), EventId(2));
+    }
+
+    #[test]
+    fn bidirectional_lookup() {
+        let mut it = Interner::new();
+        let id = it.intern("Ship Goods");
+        assert_eq!(it.get("Ship Goods"), Some(id));
+        assert_eq!(it.name(id), Some("Ship Goods"));
+        assert_eq!(it.resolve(id), "Ship Goods");
+        assert_eq!(it.get("missing"), None);
+        assert_eq!(it.name(EventId(99)), None);
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut it = Interner::new();
+        it.intern("a");
+        it.intern("b");
+        let collected: Vec<_> = it.iter().map(|(id, n)| (id.index(), n.to_owned())).collect();
+        assert_eq!(collected, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
+    }
+
+    #[test]
+    fn empty_interner() {
+        let it = Interner::new();
+        assert!(it.is_empty());
+        assert_eq!(it.len(), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Event model for heterogeneous event-log matching.
+//!
+//! This crate provides the data model shared by every other crate in the
+//! workspace: interned [`EventId`]s, [`Trace`]s (finite sequences of events),
+//! and [`EventLog`]s (multisets of traces, per Section 2 of the paper
+//! *Matching Heterogeneous Event Data*, SIGMOD 2014).
+//!
+//! Event names are interned once per log into compact `u32` ids so that the
+//! similarity kernels downstream can use dense matrices indexed by id instead
+//! of hashing strings.
+//!
+//! # Example
+//!
+//! ```
+//! use ems_events::EventLog;
+//!
+//! let mut log = EventLog::new();
+//! log.push_trace(["Paid by Cash", "Check Inventory", "Validate"]);
+//! log.push_trace(["Order", "Check Inventory", "Validate"]);
+//! assert_eq!(log.num_traces(), 2);
+//! assert_eq!(log.alphabet_size(), 4);
+//! // "Check Inventory" occurs in every trace:
+//! let id = log.id_of("Check Inventory").unwrap();
+//! assert_eq!(log.event_frequency(id), 1.0);
+//! ```
+
+mod id;
+mod interner;
+mod log;
+mod stats;
+mod trace;
+mod transform;
+mod variants;
+
+pub use id::EventId;
+pub use interner::Interner;
+pub use log::{EventLog, LogBuilder};
+pub use stats::LogStats;
+pub use trace::Trace;
+pub use transform::{
+    cut_prefix, cut_suffix, merge_composite, opaque_rename, rename_events, OpaqueStyle,
+};
+pub use variants::{Variant, Variants};

@@ -1,0 +1,293 @@
+//! Event logs: multisets of traces over an interned alphabet.
+
+use crate::{EventId, Interner, Trace};
+
+/// An event log: a multiset of [`Trace`]s over a shared, interned alphabet of
+/// event names (Section 2 of the paper).
+///
+/// Duplicate traces are kept — frequencies in the dependency graph are
+/// fractions of *traces*, so multiplicity matters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventLog {
+    interner: Interner,
+    traces: Vec<Trace>,
+    /// Optional human-readable name (e.g. source file or subsidiary).
+    name: Option<String>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty log with a display name.
+    pub fn with_name(name: impl Into<String>) -> Self {
+        EventLog {
+            name: Some(name.into()),
+            ..Self::default()
+        }
+    }
+
+    /// The log's display name, if any.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// Sets the display name.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = Some(name.into());
+    }
+
+    /// Interns `name` into this log's alphabet, returning its id.
+    pub fn intern(&mut self, name: &str) -> EventId {
+        self.interner.intern(name)
+    }
+
+    /// Appends a trace given by event names, interning as needed.
+    pub fn push_trace<I, S>(&mut self, names: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let trace = names
+            .into_iter()
+            .map(|n| self.interner.intern(n.as_ref()))
+            .collect();
+        self.traces.push(trace);
+    }
+
+    /// Appends an already-interned trace.
+    ///
+    /// The caller must ensure all ids were produced by this log's interner
+    /// (debug-asserted).
+    pub fn push_trace_ids(&mut self, trace: Trace) {
+        debug_assert!(
+            trace.events().iter().all(|e| e.index() < self.interner.len()),
+            "trace contains ids outside this log's alphabet"
+        );
+        self.traces.push(trace);
+    }
+
+    /// The traces of the log in insertion order.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// Number of traces (multiset size).
+    pub fn num_traces(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Total number of event occurrences across all traces.
+    pub fn num_events(&self) -> usize {
+        self.traces.iter().map(Trace::len).sum()
+    }
+
+    /// Number of distinct event names.
+    pub fn alphabet_size(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// The interner mapping names to ids.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Id of `name` if it occurs in the alphabet.
+    pub fn id_of(&self, name: &str) -> Option<EventId> {
+        self.interner.get(name)
+    }
+
+    /// Name of `id` (panics if out of range).
+    pub fn name_of(&self, id: EventId) -> &str {
+        self.interner.resolve(id)
+    }
+
+    /// Fraction of traces that contain `id` at least once — the normalized
+    /// event frequency `f(v)` of Definition 1.
+    ///
+    /// Returns 0 for an empty log.
+    pub fn event_frequency(&self, id: EventId) -> f64 {
+        if self.traces.is_empty() {
+            return 0.0;
+        }
+        let n = self.traces.iter().filter(|t| t.contains(id)).count();
+        n as f64 / self.traces.len() as f64
+    }
+
+    /// Fraction of traces in which `a` is immediately followed by `b` at least
+    /// once — the normalized edge frequency `f(a,b)` of Definition 1.
+    pub fn pair_frequency(&self, a: EventId, b: EventId) -> f64 {
+        if self.traces.is_empty() {
+            return 0.0;
+        }
+        let n = self
+            .traces
+            .iter()
+            .filter(|t| t.consecutive_pairs().any(|(x, y)| x == a && y == b))
+            .count();
+        n as f64 / self.traces.len() as f64
+    }
+
+    /// Rebuilds this log with a fresh dense alphabet containing only events
+    /// that actually occur in some trace. Returns the mapping
+    /// `old id -> new id` (`None` for names that no longer occur).
+    ///
+    /// Useful after transforms that drop events (e.g. dislocation cuts).
+    pub fn compact(&self) -> (EventLog, Vec<Option<EventId>>) {
+        let mut out = EventLog {
+            name: self.name.clone(),
+            ..EventLog::default()
+        };
+        let mut map: Vec<Option<EventId>> = vec![None; self.interner.len()];
+        for trace in &self.traces {
+            let mut new_trace = Trace::new();
+            for &e in trace.events() {
+                let new_id = *map[e.index()]
+                    .get_or_insert_with(|| out.interner.intern(self.interner.resolve(e)));
+                new_trace.push(new_id);
+            }
+            out.traces.push(new_trace);
+        }
+        (out, map)
+    }
+}
+
+/// Incremental builder for an [`EventLog`], convenient when traces arrive
+/// event-by-event (e.g. from a streaming parser).
+#[derive(Debug, Default)]
+pub struct LogBuilder {
+    log: EventLog,
+    current: Option<Trace>,
+}
+
+impl LogBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the log name.
+    pub fn name(&mut self, name: impl Into<String>) -> &mut Self {
+        self.log.set_name(name);
+        self
+    }
+
+    /// Starts a new trace; any open trace is finished first.
+    pub fn begin_trace(&mut self) -> &mut Self {
+        self.end_trace();
+        self.current = Some(Trace::new());
+        self
+    }
+
+    /// Appends an event to the current trace, opening one if none is open.
+    pub fn event(&mut self, name: &str) -> &mut Self {
+        let id = self.log.intern(name);
+        self.current.get_or_insert_with(Trace::new).push(id);
+        self
+    }
+
+    /// Finishes the current trace, committing it to the log (empty traces are
+    /// committed too — a case can legitimately have no recorded events).
+    pub fn end_trace(&mut self) -> &mut Self {
+        if let Some(t) = self.current.take() {
+            self.log.push_trace_ids(t);
+        }
+        self
+    }
+
+    /// Finishes the open trace if any and returns the log.
+    pub fn finish(mut self) -> EventLog {
+        self.end_trace();
+        self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_log() -> EventLog {
+        // Mirrors L1 of Figure 1: traces over A..F.
+        let mut log = EventLog::with_name("L1");
+        log.push_trace(["A", "C", "D", "E", "F"]);
+        log.push_trace(["A", "C", "D", "F", "E"]);
+        log.push_trace(["B", "C", "D", "E", "F"]);
+        log.push_trace(["B", "C", "D", "F", "E"]);
+        log.push_trace(["B", "C", "D", "E", "F"]);
+        log
+    }
+
+    #[test]
+    fn frequencies_match_definition_1() {
+        let log = example_log();
+        let a = log.id_of("A").unwrap();
+        let b = log.id_of("B").unwrap();
+        let c = log.id_of("C").unwrap();
+        assert!((log.event_frequency(a) - 0.4).abs() < 1e-12);
+        assert!((log.event_frequency(b) - 0.6).abs() < 1e-12);
+        assert!((log.event_frequency(c) - 1.0).abs() < 1e-12);
+        assert!((log.pair_frequency(a, c) - 0.4).abs() < 1e-12);
+        assert!((log.pair_frequency(c, a) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_frequency_counts_traces_not_occurrences() {
+        let mut log = EventLog::new();
+        // "xy" occurs twice in one trace: still counts that trace once.
+        log.push_trace(["x", "y", "x", "y"]);
+        log.push_trace(["x", "z"]);
+        let x = log.id_of("x").unwrap();
+        let y = log.id_of("y").unwrap();
+        assert!((log.pair_frequency(x, y) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_log_frequencies_are_zero() {
+        let log = EventLog::new();
+        assert_eq!(log.event_frequency(EventId(0)), 0.0);
+        assert_eq!(log.pair_frequency(EventId(0), EventId(1)), 0.0);
+    }
+
+    #[test]
+    fn builder_accumulates_traces() {
+        let mut b = LogBuilder::new();
+        b.name("demo");
+        b.begin_trace().event("a").event("b");
+        b.begin_trace().event("c");
+        let log = b.finish();
+        assert_eq!(log.name(), Some("demo"));
+        assert_eq!(log.num_traces(), 2);
+        assert_eq!(log.num_events(), 3);
+    }
+
+    #[test]
+    fn builder_event_without_begin_opens_trace() {
+        let mut b = LogBuilder::new();
+        b.event("solo");
+        let log = b.finish();
+        assert_eq!(log.num_traces(), 1);
+    }
+
+    #[test]
+    fn compact_drops_unused_names() {
+        let mut log = EventLog::new();
+        let _unused = log.intern("ghost");
+        log.push_trace(["a", "b"]);
+        let (compacted, map) = log.compact();
+        assert_eq!(compacted.alphabet_size(), 2);
+        assert_eq!(map[log.id_of("ghost").unwrap().index()], None);
+        let a_old = log.id_of("a").unwrap();
+        let a_new = map[a_old.index()].unwrap();
+        assert_eq!(compacted.name_of(a_new), "a");
+    }
+
+    #[test]
+    fn duplicate_traces_are_kept() {
+        let mut log = EventLog::new();
+        log.push_trace(["a"]);
+        log.push_trace(["a"]);
+        assert_eq!(log.num_traces(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Aggregate statistics over an event log.
+
+use crate::{EventLog, Trace};
+
+/// Summary statistics of an [`EventLog`], useful for reporting and for sizing
+/// data structures before building dependency graphs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogStats {
+    /// Number of traces (multiset size).
+    pub num_traces: usize,
+    /// Number of distinct event names.
+    pub alphabet_size: usize,
+    /// Total event occurrences.
+    pub total_events: usize,
+    /// Shortest trace length (0 for an empty log).
+    pub min_trace_len: usize,
+    /// Longest trace length.
+    pub max_trace_len: usize,
+    /// Mean trace length.
+    pub mean_trace_len: f64,
+    /// Number of distinct trace variants (distinct event sequences).
+    pub num_variants: usize,
+}
+
+impl LogStats {
+    /// Computes statistics for `log`.
+    pub fn of(log: &EventLog) -> Self {
+        let lens: Vec<usize> = log.traces().iter().map(Trace::len).collect();
+        let total: usize = lens.iter().sum();
+        let mut variants: Vec<&Trace> = log.traces().iter().collect();
+        variants.sort_by(|a, b| a.events().cmp(b.events()));
+        variants.dedup_by(|a, b| a.events() == b.events());
+        LogStats {
+            num_traces: log.num_traces(),
+            alphabet_size: log.alphabet_size(),
+            total_events: total,
+            min_trace_len: lens.iter().copied().min().unwrap_or(0),
+            max_trace_len: lens.iter().copied().max().unwrap_or(0),
+            mean_trace_len: if lens.is_empty() {
+                0.0
+            } else {
+                total as f64 / lens.len() as f64
+            },
+            num_variants: variants.len(),
+        }
+    }
+}
+
+impl std::fmt::Display for LogStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} traces ({} variants), {} distinct events, {} occurrences, trace len {}..{} (mean {:.1})",
+            self.num_traces,
+            self.num_variants,
+            self.alphabet_size,
+            self.total_events,
+            self.min_trace_len,
+            self.max_trace_len,
+            self.mean_trace_len
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventLog;
+
+    #[test]
+    fn stats_of_small_log() {
+        let mut log = EventLog::new();
+        log.push_trace(["a", "b", "c"]);
+        log.push_trace(["a", "b", "c"]);
+        log.push_trace(["a"]);
+        let s = LogStats::of(&log);
+        assert_eq!(s.num_traces, 3);
+        assert_eq!(s.num_variants, 2);
+        assert_eq!(s.alphabet_size, 3);
+        assert_eq!(s.total_events, 7);
+        assert_eq!(s.min_trace_len, 1);
+        assert_eq!(s.max_trace_len, 3);
+        assert!((s.mean_trace_len - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_log() {
+        let s = LogStats::of(&EventLog::new());
+        assert_eq!(s.num_traces, 0);
+        assert_eq!(s.mean_trace_len, 0.0);
+        assert_eq!(s.num_variants, 0);
+    }
+
+    #[test]
+    fn display_is_humane() {
+        let mut log = EventLog::new();
+        log.push_trace(["a"]);
+        let text = LogStats::of(&log).to_string();
+        assert!(text.contains("1 traces"));
+    }
+}

@@ -1,0 +1,122 @@
+//! Traces: finite sequences of events.
+
+use crate::EventId;
+
+/// A trace is a finite sequence of events from the log's alphabet, recording
+/// the steps of one process instance (case) in order of occurrence.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Trace {
+    events: Vec<EventId>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a trace from a sequence of ids.
+    pub fn from_ids(ids: impl IntoIterator<Item = EventId>) -> Self {
+        Trace {
+            events: ids.into_iter().collect(),
+        }
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, id: EventId) {
+        self.events.push(id);
+    }
+
+    /// The events in occurrence order.
+    pub fn events(&self) -> &[EventId] {
+        &self.events
+    }
+
+    /// Mutable access to the underlying event sequence.
+    pub fn events_mut(&mut self) -> &mut Vec<EventId> {
+        &mut self.events
+    }
+
+    /// Number of events in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Whether event `id` occurs anywhere in the trace.
+    pub fn contains(&self, id: EventId) -> bool {
+        self.events.contains(&id)
+    }
+
+    /// Iterates consecutive event pairs `(t[i], t[i+1])`.
+    pub fn consecutive_pairs(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
+        self.events.windows(2).map(|w| (w[0], w[1]))
+    }
+}
+
+impl FromIterator<EventId> for Trace {
+    fn from_iter<T: IntoIterator<Item = EventId>>(iter: T) -> Self {
+        Trace::from_ids(iter)
+    }
+}
+
+impl From<Vec<EventId>> for Trace {
+    fn from(events: Vec<EventId>) -> Self {
+        Trace { events }
+    }
+}
+
+impl std::ops::Index<usize> for Trace {
+    type Output = EventId;
+    fn index(&self, i: usize) -> &EventId {
+        &self.events[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ids: &[u32]) -> Trace {
+        ids.iter().copied().map(EventId).collect()
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut tr = Trace::new();
+        assert!(tr.is_empty());
+        tr.push(EventId(3));
+        tr.push(EventId(1));
+        assert_eq!(tr.len(), 2);
+        assert_eq!(tr[0], EventId(3));
+        assert_eq!(tr.events(), &[EventId(3), EventId(1)]);
+    }
+
+    #[test]
+    fn consecutive_pairs_of_short_traces() {
+        assert_eq!(t(&[]).consecutive_pairs().count(), 0);
+        assert_eq!(t(&[5]).consecutive_pairs().count(), 0);
+        let pairs: Vec<_> = t(&[1, 2, 3]).consecutive_pairs().collect();
+        assert_eq!(
+            pairs,
+            vec![(EventId(1), EventId(2)), (EventId(2), EventId(3))]
+        );
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let tr = t(&[1, 2, 2]);
+        assert!(tr.contains(EventId(2)));
+        assert!(!tr.contains(EventId(7)));
+    }
+
+    #[test]
+    fn from_vec_preserves_order() {
+        let tr = Trace::from(vec![EventId(4), EventId(2)]);
+        assert_eq!(tr.events(), &[EventId(4), EventId(2)]);
+    }
+}

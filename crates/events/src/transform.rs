@@ -1,0 +1,258 @@
+//! Trace transforms used to prepare logs and to inject the paper's
+//! heterogeneity features (dislocation, opaque names, composite events) into
+//! synthetic data.
+
+use crate::{EventId, EventLog, Trace};
+
+/// Removes the first `m` events of every trace (shorter traces become empty),
+/// producing the *dislocated* logs of Figure 9: "we synthetically remove the
+/// first m events of each trace in one event log".
+///
+/// The returned log is compacted: events that no longer occur anywhere are
+/// dropped from the alphabet. Also returns the old→new id map.
+pub fn cut_prefix(log: &EventLog, m: usize) -> (EventLog, Vec<Option<EventId>>) {
+    cut(log, m, true)
+}
+
+/// Removes the last `m` events of every trace; the mirror of [`cut_prefix`]
+/// used to build the DS-F testbed (dislocation at the end of traces).
+pub fn cut_suffix(log: &EventLog, m: usize) -> (EventLog, Vec<Option<EventId>>) {
+    cut(log, m, false)
+}
+
+fn cut(log: &EventLog, m: usize, front: bool) -> (EventLog, Vec<Option<EventId>>) {
+    let mut out = EventLog::new();
+    if let Some(n) = log.name() {
+        out.set_name(n);
+    }
+    for trace in log.traces() {
+        let evs = trace.events();
+        let kept: &[EventId] = if m >= evs.len() {
+            &[]
+        } else if front {
+            &evs[m..]
+        } else {
+            &evs[..evs.len() - m]
+        };
+        out.push_trace(kept.iter().map(|&e| log.name_of(e)));
+    }
+    let map = (0..log.alphabet_size())
+        .map(|i| out.id_of(log.name_of(EventId::from_index(i))))
+        .collect();
+    (out, map)
+}
+
+/// Replaces every maximal occurrence of the consecutive sequence `parts`
+/// within each trace by the single composite event named `merged_name`.
+///
+/// This is the log-level realization of "treat each composite event as one
+/// node" (Section 4): rebuilding the dependency graph from the transformed
+/// log keeps Definition 1's frequencies consistent.
+///
+/// Occurrences are matched greedily left-to-right and must be strictly
+/// consecutive. Returns the transformed log and the id of the merged event in
+/// the new alphabet (`None` if the sequence never occurred).
+pub fn merge_composite(
+    log: &EventLog,
+    parts: &[EventId],
+    merged_name: &str,
+) -> (EventLog, Option<EventId>) {
+    assert!(!parts.is_empty(), "composite must have at least one part");
+    let mut out = EventLog::new();
+    if let Some(n) = log.name() {
+        out.set_name(n);
+    }
+    for trace in log.traces() {
+        let evs = trace.events();
+        let mut names: Vec<&str> = Vec::with_capacity(evs.len());
+        let mut i = 0;
+        while i < evs.len() {
+            if evs[i..].starts_with(parts) {
+                names.push(merged_name);
+                i += parts.len();
+            } else {
+                names.push(log.name_of(evs[i]));
+                i += 1;
+            }
+        }
+        out.push_trace(names);
+    }
+    let merged_id = out.id_of(merged_name);
+    (out, merged_id)
+}
+
+/// How opaque names are produced by [`opaque_rename`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpaqueStyle {
+    /// Replace each name with a meaningless numbered token (`"evt_17"`),
+    /// simulating labels from a foreign encoding: no typographic signal at all.
+    Numbered,
+    /// Reverse the characters of each name, destroying most q-gram overlap
+    /// while keeping length and character distribution.
+    Reversed,
+    /// Replace every character with `'?'` (as the paper's garbled
+    /// `"?????(5)"`) — names collide unless lengths differ.
+    Garbled,
+}
+
+/// Renames every event according to `style`, returning the renamed log and
+/// the mapping `old id -> new name`.
+///
+/// Trace structure is untouched; only labels change. Ids are preserved
+/// (the renamed log interns names in the same first-appearance order).
+pub fn opaque_rename(log: &EventLog, style: OpaqueStyle) -> (EventLog, Vec<String>) {
+    let names: Vec<String> = (0..log.alphabet_size())
+        .map(|i| {
+            let old = log.name_of(EventId::from_index(i));
+            match style {
+                OpaqueStyle::Numbered => format!("evt_{i}"),
+                OpaqueStyle::Reversed => old.chars().rev().collect(),
+                OpaqueStyle::Garbled => "?".repeat(old.chars().count().max(1)),
+            }
+        })
+        .collect();
+    (rename_events(log, &names), names)
+}
+
+/// Renames event `id` to `names[id.index()]` for every event.
+///
+/// `names` must have one entry per alphabet slot. Distinct old events may be
+/// given the same new name (they then merge into one event in the result).
+pub fn rename_events(log: &EventLog, names: &[String]) -> EventLog {
+    assert_eq!(
+        names.len(),
+        log.alphabet_size(),
+        "need exactly one new name per event"
+    );
+    let mut out = EventLog::new();
+    if let Some(n) = log.name() {
+        out.set_name(n);
+    }
+    // Pre-intern in id order so ids remain aligned when names are unique.
+    let ids: Vec<EventId> = names.iter().map(|n| out.intern(n)).collect();
+    for trace in log.traces() {
+        let t: Trace = trace.events().iter().map(|e| ids[e.index()]).collect();
+        out.push_trace_ids(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log3() -> EventLog {
+        let mut log = EventLog::new();
+        log.push_trace(["a", "b", "c", "d"]);
+        log.push_trace(["a", "b", "d"]);
+        log
+    }
+
+    #[test]
+    fn cut_prefix_removes_leading_events() {
+        let (cut, map) = cut_prefix(&log3(), 1);
+        assert_eq!(cut.traces()[0].len(), 3);
+        assert_eq!(cut.traces()[1].len(), 2);
+        // "a" no longer occurs anywhere.
+        assert_eq!(cut.id_of("a"), None);
+        assert_eq!(map[log3().id_of("a").unwrap().index()], None);
+        assert!(map[log3().id_of("b").unwrap().index()].is_some());
+    }
+
+    #[test]
+    fn cut_longer_than_trace_yields_empty_trace() {
+        let (cut, _) = cut_prefix(&log3(), 10);
+        assert_eq!(cut.num_traces(), 2);
+        assert!(cut.traces().iter().all(|t| t.is_empty()));
+        assert_eq!(cut.alphabet_size(), 0);
+    }
+
+    #[test]
+    fn cut_suffix_removes_trailing_events() {
+        let (cut, _) = cut_suffix(&log3(), 2);
+        assert_eq!(cut.traces()[0].events().len(), 2);
+        assert_eq!(cut.name_of(cut.traces()[0].events()[1]), "b");
+    }
+
+    #[test]
+    fn merge_composite_replaces_consecutive_run() {
+        let log = log3();
+        let b = log.id_of("b").unwrap();
+        let c = log.id_of("c").unwrap();
+        let (merged, id) = merge_composite(&log, &[b, c], "b+c");
+        let id = id.expect("bc occurs");
+        // First trace: a, b+c, d.
+        assert_eq!(merged.traces()[0].len(), 3);
+        assert_eq!(merged.name_of(merged.traces()[0].events()[1]), "b+c");
+        // Second trace has no "bc" run: untouched.
+        assert_eq!(merged.traces()[1].len(), 3);
+        assert!(merged.traces()[1].events().iter().all(|&e| e != id));
+    }
+
+    #[test]
+    fn merge_composite_not_occurring_returns_none() {
+        let log = log3();
+        let d = log.id_of("d").unwrap();
+        let a = log.id_of("a").unwrap();
+        let (_, id) = merge_composite(&log, &[d, a], "d+a");
+        assert_eq!(id, None);
+    }
+
+    #[test]
+    fn merge_composite_matches_repeatedly() {
+        let mut log = EventLog::new();
+        log.push_trace(["x", "y", "x", "y"]);
+        let x = log.id_of("x").unwrap();
+        let y = log.id_of("y").unwrap();
+        let (merged, _) = merge_composite(&log, &[x, y], "xy");
+        assert_eq!(merged.traces()[0].len(), 2);
+    }
+
+    #[test]
+    fn opaque_numbered_destroys_names_not_structure() {
+        let log = log3();
+        let (op, names) = opaque_rename(&log, OpaqueStyle::Numbered);
+        assert_eq!(op.num_traces(), log.num_traces());
+        assert_eq!(op.alphabet_size(), log.alphabet_size());
+        assert_eq!(names[0], "evt_0");
+        // Structure is preserved: same trace lengths.
+        assert_eq!(op.traces()[0].len(), 4);
+    }
+
+    #[test]
+    fn opaque_reversed_reverses_chars() {
+        let mut log = EventLog::new();
+        log.push_trace(["abc"]);
+        let (op, _) = opaque_rename(&log, OpaqueStyle::Reversed);
+        assert_eq!(op.id_of("cba").is_some(), true);
+    }
+
+    #[test]
+    fn opaque_garbled_uses_question_marks() {
+        let mut log = EventLog::new();
+        log.push_trace(["ship", "pay"]);
+        let (op, names) = opaque_rename(&log, OpaqueStyle::Garbled);
+        assert_eq!(names[0], "????");
+        assert_eq!(names[1], "???");
+        assert_eq!(op.alphabet_size(), 2);
+    }
+
+    #[test]
+    fn garbled_name_collisions_merge_events() {
+        let mut log = EventLog::new();
+        log.push_trace(["ab", "cd"]); // both garble to "??"
+        let (op, _) = opaque_rename(&log, OpaqueStyle::Garbled);
+        assert_eq!(op.alphabet_size(), 1);
+        assert_eq!(op.traces()[0].len(), 2);
+    }
+
+    #[test]
+    fn rename_preserves_ids_for_unique_names() {
+        let log = log3();
+        let names: Vec<String> = (0..log.alphabet_size()).map(|i| format!("n{i}")).collect();
+        let renamed = rename_events(&log, &names);
+        for i in 0..log.alphabet_size() {
+            assert_eq!(renamed.name_of(EventId::from_index(i)), format!("n{i}"));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Trace-variant analysis: grouping identical event sequences.
+//!
+//! Process logs are highly redundant — a handful of *variants* (distinct
+//! event sequences) usually covers most traces. Variant analysis is the
+//! standard first look at a log, and the matcher benefits too: dependency-
+//! graph construction only needs each variant once, weighted by its
+//! multiplicity.
+
+use crate::{EventLog, Trace};
+use std::collections::HashMap;
+
+/// One trace variant: a distinct event sequence and its multiplicity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variant {
+    /// The shared event sequence.
+    pub trace: Trace,
+    /// How many traces of the log have exactly this sequence.
+    pub count: usize,
+}
+
+/// The variant decomposition of a log, ordered by descending count (ties
+/// broken by sequence for determinism).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Variants {
+    variants: Vec<Variant>,
+    total: usize,
+}
+
+impl Variants {
+    /// Computes the variants of `log`.
+    pub fn of(log: &EventLog) -> Self {
+        let mut counts: HashMap<&Trace, usize> = HashMap::new();
+        for t in log.traces() {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        let mut variants: Vec<Variant> = counts
+            .into_iter()
+            .map(|(trace, count)| Variant {
+                trace: trace.clone(),
+                count,
+            })
+            .collect();
+        variants.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.trace.events().cmp(b.trace.events()))
+        });
+        Variants {
+            variants,
+            total: log.num_traces(),
+        }
+    }
+
+    /// The variants, most frequent first.
+    pub fn iter(&self) -> impl Iterator<Item = &Variant> {
+        self.variants.iter()
+    }
+
+    /// Number of distinct variants.
+    pub fn len(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Whether the log had no traces.
+    pub fn is_empty(&self) -> bool {
+        self.variants.is_empty()
+    }
+
+    /// Fraction of all traces covered by the `k` most frequent variants.
+    pub fn coverage(&self, k: usize) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        let covered: usize = self.variants.iter().take(k).map(|v| v.count).sum();
+        covered as f64 / self.total as f64
+    }
+
+    /// The smallest number of variants covering at least `fraction` of the
+    /// traces.
+    pub fn variants_for_coverage(&self, fraction: f64) -> usize {
+        let needed = (fraction * self.total as f64).ceil() as usize;
+        let mut covered = 0;
+        for (i, v) in self.variants.iter().enumerate() {
+            covered += v.count;
+            if covered >= needed {
+                return i + 1;
+            }
+        }
+        self.variants.len()
+    }
+
+    /// Rebuilds a log containing one trace per variant, discarding
+    /// multiplicities — useful to inspect the control flow without
+    /// repetition. Note that dependency-graph *frequencies* change
+    /// (Definition 1 counts traces), so matching should use the original log.
+    pub fn distinct_log(&self, original: &EventLog) -> EventLog {
+        let mut out = EventLog::new();
+        if let Some(n) = original.name() {
+            out.set_name(format!("{n} (variants)"));
+        }
+        for v in &self.variants {
+            out.push_trace(v.trace.events().iter().map(|&e| original.name_of(e)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> EventLog {
+        let mut log = EventLog::with_name("demo");
+        for _ in 0..5 {
+            log.push_trace(["a", "b", "c"]);
+        }
+        for _ in 0..3 {
+            log.push_trace(["a", "c", "b"]);
+        }
+        log.push_trace(["a"]);
+        log.push_trace(["a"]);
+        log
+    }
+
+    #[test]
+    fn variants_are_counted_and_ordered() {
+        let v = Variants::of(&log());
+        assert_eq!(v.len(), 3);
+        let counts: Vec<usize> = v.iter().map(|x| x.count).collect();
+        assert_eq!(counts, vec![5, 3, 2]);
+    }
+
+    #[test]
+    fn coverage_accumulates() {
+        let v = Variants::of(&log());
+        assert!((v.coverage(1) - 0.5).abs() < 1e-12);
+        assert!((v.coverage(2) - 0.8).abs() < 1e-12);
+        assert_eq!(v.coverage(99), 1.0);
+        assert_eq!(v.variants_for_coverage(0.5), 1);
+        assert_eq!(v.variants_for_coverage(0.8), 2);
+        assert_eq!(v.variants_for_coverage(1.0), 3);
+    }
+
+    #[test]
+    fn distinct_log_has_one_trace_per_variant() {
+        let original = log();
+        let v = Variants::of(&original);
+        let d = v.distinct_log(&original);
+        assert_eq!(d.num_traces(), 3);
+        assert_eq!(d.name(), Some("demo (variants)"));
+        // Most frequent variant first.
+        let names: Vec<&str> = d.traces()[0].events().iter().map(|&e| d.name_of(e)).collect();
+        assert_eq!(names, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_log() {
+        let v = Variants::of(&EventLog::new());
+        assert!(v.is_empty());
+        assert_eq!(v.coverage(1), 1.0);
+        assert_eq!(v.variants_for_coverage(0.9), 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Cosine similarity over q-gram multisets — the string measure the paper's
+//! evaluation uses for `S^L` ("cosine similarity with q-grams" \[9\]).
+
+use crate::LabelSimilarity;
+use std::collections::HashMap;
+
+/// Builds the q-gram multiset profile of `s`.
+///
+/// Following the q-gram literature the string is padded with `q - 1` copies
+/// of `#` (prefix) and `$` (suffix) so that boundary characters contribute as
+/// many grams as interior ones. Operates on `char`s, so multi-byte labels
+/// (e.g. the paper's garbled `?????`) are handled correctly.
+pub fn qgram_profile(s: &str, q: usize) -> HashMap<Vec<char>, u32> {
+    assert!(q >= 1, "q must be at least 1");
+    let mut padded: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * (q - 1));
+    padded.extend(std::iter::repeat('#').take(q - 1));
+    padded.extend(s.chars());
+    padded.extend(std::iter::repeat('$').take(q - 1));
+    let mut profile = HashMap::new();
+    if padded.len() >= q {
+        for w in padded.windows(q) {
+            *profile.entry(w.to_vec()).or_insert(0) += 1;
+        }
+    }
+    profile
+}
+
+/// Cosine similarity of the q-gram profiles of `a` and `b`.
+///
+/// Returns 1.0 when both strings are empty (identical), and 0.0 when exactly
+/// one is empty.
+pub fn qgram_cosine(a: &str, b: &str, q: usize) -> f64 {
+    if a == b {
+        return 1.0;
+    }
+    let pa = qgram_profile(a, q);
+    let pb = qgram_profile(b, q);
+    if pa.is_empty() || pb.is_empty() {
+        return if pa.is_empty() && pb.is_empty() { 1.0 } else { 0.0 };
+    }
+    let dot: f64 = pa
+        .iter()
+        .filter_map(|(g, &ca)| pb.get(g).map(|&cb| ca as f64 * cb as f64))
+        .sum();
+    let na: f64 = pa.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+    let nb: f64 = pb.values().map(|&c| (c as f64).powi(2)).sum::<f64>().sqrt();
+    (dot / (na * nb)).clamp(0.0, 1.0)
+}
+
+/// A [`LabelSimilarity`] wrapper around [`qgram_cosine`] with a fixed `q`
+/// (the customary `q = 3` by default).
+#[derive(Debug, Clone, Copy)]
+pub struct QgramCosine {
+    /// Gram length.
+    pub q: usize,
+}
+
+impl Default for QgramCosine {
+    fn default() -> Self {
+        QgramCosine { q: 3 }
+    }
+}
+
+impl LabelSimilarity for QgramCosine {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        qgram_cosine(a, b, self.q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_similarity_one() {
+        assert_eq!(qgram_cosine("Check Inventory", "Check Inventory", 3), 1.0);
+        assert_eq!(qgram_cosine("", "", 3), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_have_similarity_zero() {
+        assert_eq!(qgram_cosine("abc", "xyz", 3), 0.0);
+    }
+
+    #[test]
+    fn similar_strings_score_between() {
+        let s = qgram_cosine("Check Inventory", "Cheque Inventory", 3);
+        assert!(s > 0.5 && s < 1.0, "got {s}");
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = "Paid by Cash";
+        let b = "Paid by Credit Card";
+        assert!((qgram_cosine(a, b, 3) - qgram_cosine(b, a, 3)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_zero() {
+        assert_eq!(qgram_cosine("", "a", 3), 0.0);
+    }
+
+    #[test]
+    fn padding_makes_single_chars_comparable() {
+        // With padding, "a" and "a" share grams even though |a| < q;
+        // and "a" vs "b" share only padding-free grams -> low but defined.
+        let same = qgram_cosine("a", "a", 3);
+        assert_eq!(same, 1.0);
+        let diff = qgram_cosine("a", "b", 3);
+        assert!(diff < 1.0);
+    }
+
+    #[test]
+    fn q1_reduces_to_character_cosine() {
+        let s = qgram_cosine("ab", "ba", 1);
+        assert!((s - 1.0).abs() < 1e-12); // same character multiset
+    }
+
+    #[test]
+    fn unicode_labels() {
+        let s = qgram_cosine("收货确认", "收货确认", 2);
+        assert_eq!(s, 1.0);
+        assert!(qgram_cosine("收货确认", "发货确认", 2) < 1.0);
+    }
+
+    #[test]
+    fn profile_counts_multiplicity() {
+        let p = qgram_profile("aaa", 2);
+        // Padded: #aaa$ -> grams #a, aa, aa, a$
+        assert_eq!(p[&vec!['a', 'a']], 2);
+    }
+
+    #[test]
+    fn wrapper_uses_q3_by_default() {
+        let m = QgramCosine::default();
+        assert_eq!(m.q, 3);
+        use crate::LabelSimilarity;
+        assert_eq!(m.similarity("x", "x"), 1.0);
+    }
+}

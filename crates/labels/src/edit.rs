@@ -1,0 +1,90 @@
+//! Levenshtein edit distance \[13\] and its normalized similarity.
+
+use crate::LabelSimilarity;
+
+/// Levenshtein edit distance between `a` and `b` (unit costs), computed over
+/// `char`s with the classic two-row dynamic program: `O(|a|·|b|)` time,
+/// `O(min)` memory.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    // Keep the shorter string as the row to halve memory.
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalized Levenshtein similarity: `1 - d / max(|a|, |b|)`, in `[0, 1]`;
+/// `1.0` when both strings are empty.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let m = la.max(lb);
+    if m == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / m as f64
+}
+
+/// [`LabelSimilarity`] adapter for [`levenshtein_similarity`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Levenshtein;
+
+impl LabelSimilarity for Levenshtein {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        levenshtein_similarity(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", "axc"), 1);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        assert_eq!(levenshtein("flaw", "lawn"), levenshtein("lawn", "flaw"));
+    }
+
+    #[test]
+    fn similarity_normalization() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("ab", "ab"), 1.0);
+        assert_eq!(levenshtein_similarity("ab", "cd"), 0.0);
+        let s = levenshtein_similarity("Validate", "Validation");
+        assert!(s > 0.6 && s < 1.0);
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert_eq!(levenshtein("日本", "日木"), 1);
+        assert!((levenshtein_similarity("日本", "日木") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn triangle_inequality_spot_check() {
+        let (a, b, c) = ("order", "older", "folder");
+        assert!(levenshtein(a, c) <= levenshtein(a, b) + levenshtein(b, c));
+    }
+}

@@ -1,0 +1,110 @@
+//! Jaro and Jaro-Winkler similarities — standard alternatives for short
+//! labels in schema matching.
+
+use crate::LabelSimilarity;
+
+/// Jaro similarity of `a` and `b` in `[0, 1]`.
+pub fn jaro(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_taken = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_taken[j] && b[j] == ca {
+                b_taken[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> = b
+        .iter()
+        .zip(b_taken.iter())
+        .filter(|&(_, &t)| t)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count() as f64
+        / 2.0;
+    let m = m as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - transpositions) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity: Jaro boosted by common-prefix length (up to 4)
+/// with scaling factor `p = 0.1`.
+pub fn jaro_winkler(a: &str, b: &str) -> f64 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (j + prefix * 0.1 * (1.0 - j)).clamp(0.0, 1.0)
+}
+
+/// [`LabelSimilarity`] adapter for [`jaro_winkler`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JaroWinkler;
+
+impl LabelSimilarity for JaroWinkler {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        jaro_winkler(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_and_disjoint() {
+        assert_eq!(jaro("same", "same"), 1.0);
+        assert_eq!(jaro("", ""), 1.0);
+        assert_eq!(jaro("abc", ""), 0.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn textbook_values() {
+        // Classic examples from Winkler's papers.
+        let v = jaro("MARTHA", "MARHTA");
+        assert!((v - 0.944444).abs() < 1e-4, "got {v}");
+        let w = jaro_winkler("MARTHA", "MARHTA");
+        assert!((w - 0.961111).abs() < 1e-4, "got {w}");
+        let v = jaro("DWAYNE", "DUANE");
+        assert!((v - 0.822222).abs() < 1e-4, "got {v}");
+    }
+
+    #[test]
+    fn winkler_boosts_prefix_matches() {
+        let plain = jaro("prefixed", "prefixes");
+        let boosted = jaro_winkler("prefixed", "prefixes");
+        assert!(boosted >= plain);
+        assert!(boosted <= 1.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        let (a, b) = ("Ship Goods", "Shipped Goods");
+        assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-15);
+        assert!((jaro_winkler(a, b) - jaro_winkler(b, a)).abs() < 1e-15);
+    }
+}

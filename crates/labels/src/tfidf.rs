@@ -1,0 +1,174 @@
+//! Corpus-weighted token cosine (TF-IDF): tokens that appear in every
+//! activity name ("create", "check", "update") carry less evidence than
+//! rare ones ("turbine", "escrow"). Standard practice for multi-word labels
+//! in schema matching; complements the character-level q-gram cosine.
+
+use std::collections::HashMap;
+
+/// A TF-IDF model fitted over a corpus of labels (typically the union of
+/// both logs' event names).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TfIdf {
+    /// Smoothed inverse document frequency per token.
+    idf: HashMap<String, f64>,
+    /// Number of documents the model was fitted on.
+    num_docs: usize,
+}
+
+fn tokens(s: &str) -> Vec<String> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+impl TfIdf {
+    /// Fits the model: one document per label.
+    pub fn fit<S: AsRef<str>>(corpus: &[S]) -> Self {
+        let mut df: HashMap<String, usize> = HashMap::new();
+        for doc in corpus {
+            let mut seen: Vec<String> = tokens(doc.as_ref());
+            seen.sort_unstable();
+            seen.dedup();
+            for t in seen {
+                *df.entry(t).or_insert(0) += 1;
+            }
+        }
+        let n = corpus.len();
+        let idf = df
+            .into_iter()
+            .map(|(t, d)| {
+                // Smoothed IDF, always positive.
+                (t, ((1.0 + n as f64) / (1.0 + d as f64)).ln() + 1.0)
+            })
+            .collect();
+        TfIdf {
+            idf,
+            num_docs: n,
+        }
+    }
+
+    /// Number of documents the model saw.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// The IDF weight of a token (`None` for out-of-corpus tokens, which
+    /// get the maximum possible smoothed weight in [`similarity`](Self::similarity)).
+    pub fn idf(&self, token: &str) -> Option<f64> {
+        self.idf.get(&token.to_lowercase()).copied()
+    }
+
+    fn vector(&self, s: &str) -> HashMap<String, f64> {
+        let toks = tokens(s);
+        let mut tf: HashMap<String, f64> = HashMap::new();
+        for t in &toks {
+            *tf.entry(t.clone()).or_insert(0.0) += 1.0;
+        }
+        let oov_idf = ((1.0 + self.num_docs as f64) / 1.0).ln() + 1.0;
+        for (t, v) in tf.iter_mut() {
+            *v *= self.idf.get(t).copied().unwrap_or(oov_idf);
+        }
+        tf
+    }
+
+    /// TF-IDF-weighted cosine similarity of two labels, in `[0, 1]`.
+    /// Two tokenless labels score 1 (identical emptiness); one tokenless
+    /// label scores 0.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let va = self.vector(a);
+        let vb = self.vector(b);
+        if va.is_empty() && vb.is_empty() {
+            return 1.0;
+        }
+        let dot: f64 = va
+            .iter()
+            .filter_map(|(t, &x)| vb.get(t).map(|&y| x * y))
+            .sum();
+        let na: f64 = va.values().map(|v| v * v).sum::<f64>().sqrt();
+        let nb: f64 = vb.values().map(|v| v * v).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+impl crate::LabelSimilarity for TfIdf {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        TfIdf::similarity(self, a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<&'static str> {
+        vec![
+            "Check Inventory",
+            "Check Payment",
+            "Check Address",
+            "Ship Turbine",
+            "Email Customer",
+        ]
+    }
+
+    #[test]
+    fn identical_labels_score_one() {
+        let m = TfIdf::fit(&corpus());
+        assert!((m.similarity("Check Inventory", "Check Inventory") - 1.0).abs() < 1e-12);
+        assert_eq!(m.similarity("", ""), 1.0);
+        assert_eq!(m.similarity("", "x"), 0.0);
+    }
+
+    #[test]
+    fn rare_tokens_outweigh_common_ones() {
+        let m = TfIdf::fit(&corpus());
+        // "check" appears in 3 of 5 docs, "turbine" in 1:
+        // sharing "turbine" is stronger evidence than sharing "check".
+        let share_rare = m.similarity("Ship Turbine", "Turbine Report");
+        let share_common = m.similarity("Check Inventory", "Check Address");
+        assert!(
+            share_rare > share_common,
+            "rare {share_rare} <= common {share_common}"
+        );
+    }
+
+    #[test]
+    fn idf_ordering_matches_document_frequency() {
+        let m = TfIdf::fit(&corpus());
+        let check = m.idf("check").unwrap();
+        let turbine = m.idf("Turbine").unwrap(); // case-insensitive
+        assert!(turbine > check);
+        assert!(m.idf("nonexistent").is_none());
+        assert_eq!(m.num_docs(), 5);
+    }
+
+    #[test]
+    fn symmetry_and_range() {
+        let m = TfIdf::fit(&corpus());
+        for a in corpus() {
+            for b in corpus() {
+                let ab = m.similarity(a, b);
+                let ba = m.similarity(b, a);
+                assert!((ab - ba).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&ab));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_corpus_tokens_still_compare() {
+        let m = TfIdf::fit(&corpus());
+        let s = m.similarity("Frobnicate Widget", "Frobnicate Widget Again");
+        assert!(s > 0.5, "got {s}");
+    }
+
+    #[test]
+    fn empty_corpus_degenerates_gracefully() {
+        let m = TfIdf::fit::<&str>(&[]);
+        assert_eq!(m.num_docs(), 0);
+        assert!((m.similarity("a b", "a b") - 1.0).abs() < 1e-12);
+    }
+}

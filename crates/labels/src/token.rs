@@ -1,0 +1,71 @@
+//! Token-level Jaccard similarity — useful for multi-word activity labels
+//! like "Inventory Checking & Validation".
+
+use crate::LabelSimilarity;
+use std::collections::HashSet;
+
+/// Jaccard similarity of the lowercase token sets of `a` and `b`.
+///
+/// Tokens are maximal alphanumeric runs; punctuation (`&`, `(`, `)`)
+/// separates tokens. Two empty token sets are identical (similarity 1).
+pub fn token_jaccard(a: &str, b: &str) -> f64 {
+    let ta = tokens(a);
+    let tb = tokens(b);
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let inter = ta.intersection(&tb).count() as f64;
+    let union = ta.union(&tb).count() as f64;
+    inter / union
+}
+
+fn tokens(s: &str) -> HashSet<String> {
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_lowercase)
+        .collect()
+}
+
+/// [`LabelSimilarity`] adapter for [`token_jaccard`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TokenJaccard;
+
+impl LabelSimilarity for TokenJaccard {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        token_jaccard(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlapping_labels() {
+        let s = token_jaccard("Check Inventory", "Inventory Checking & Validation");
+        // shared: {inventory}; union: {check, inventory, checking, validation}
+        assert!((s - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(token_jaccard("Ship Goods", "ship GOODS"), 1.0);
+    }
+
+    #[test]
+    fn punctuation_separates() {
+        assert_eq!(token_jaccard("a&b", "a b"), 1.0);
+    }
+
+    #[test]
+    fn empties() {
+        assert_eq!(token_jaccard("", ""), 1.0);
+        assert_eq!(token_jaccard("", "x"), 0.0);
+        assert_eq!(token_jaccard("&&&", "&"), 1.0); // both tokenless
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        assert_eq!(token_jaccard("alpha beta", "gamma"), 0.0);
+    }
+}

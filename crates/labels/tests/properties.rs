@@ -1,0 +1,58 @@
+//! Property tests: every label similarity is symmetric, bounded in [0, 1],
+//! and maximal on identical inputs.
+
+use ems_labels::{
+    jaro, jaro_winkler, levenshtein, levenshtein_similarity, qgram_cosine, token_jaccard,
+};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    // Printable labels incl. spaces, punctuation and some CJK.
+    proptest::string::string_regex("[a-zA-Z0-9 &()+?一-鿿]{0,12}").expect("valid regex")
+}
+
+proptest! {
+    #[test]
+    fn all_measures_bounded_and_symmetric(a in arb_label(), b in arb_label()) {
+        let measures: [(&str, fn(&str, &str) -> f64); 4] = [
+            ("qgram", |x, y| qgram_cosine(x, y, 3)),
+            ("lev", levenshtein_similarity),
+            ("jw", jaro_winkler),
+            ("jaccard", token_jaccard),
+        ];
+        for (name, m) in measures {
+            let ab = m(&a, &b);
+            let ba = m(&b, &a);
+            prop_assert!((0.0..=1.0).contains(&ab), "{name}: {ab}");
+            prop_assert!((ab - ba).abs() < 1e-12, "{name} asymmetric: {ab} vs {ba}");
+        }
+    }
+
+    #[test]
+    fn identity_is_maximal(a in arb_label()) {
+        prop_assert_eq!(qgram_cosine(&a, &a, 3), 1.0);
+        prop_assert_eq!(levenshtein_similarity(&a, &a), 1.0);
+        prop_assert_eq!(jaro(&a, &a), 1.0);
+        prop_assert_eq!(token_jaccard(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn levenshtein_triangle_inequality(
+        a in arb_label(),
+        b in arb_label(),
+        c in arb_label(),
+    ) {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn levenshtein_zero_iff_equal(a in arb_label(), b in arb_label()) {
+        prop_assert_eq!(levenshtein(&a, &b) == 0, a == b);
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_longer_length(a in arb_label(), b in arb_label()) {
+        let bound = a.chars().count().max(b.chars().count());
+        prop_assert!(levenshtein(&a, &b) <= bound);
+    }
+}

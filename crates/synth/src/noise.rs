@@ -1,0 +1,192 @@
+//! Log-quality noise models: real exporters drop, duplicate and garble
+//! entries. These transforms inject such defects deterministically so
+//! robustness can be measured (they are also the knobs behind the
+//! `swap_noise` already built into [`PairConfig`](crate::PairConfig)).
+
+use ems_events::{EventId, EventLog};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Noise configuration: each probability applies independently per event
+/// occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseConfig {
+    /// Probability that an event occurrence is silently dropped (lost log
+    /// entry).
+    pub drop_prob: f64,
+    /// Probability that an event occurrence is written twice (retry /
+    /// at-least-once delivery).
+    pub duplicate_prob: f64,
+    /// Probability that two adjacent occurrences are swapped (clock skew
+    /// between writers).
+    pub swap_prob: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            swap_prob: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// Validates probability ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("drop_prob", self.drop_prob),
+            ("duplicate_prob", self.duplicate_prob),
+            ("swap_prob", self.swap_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must be in [0,1], got {p}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Applies `config` to `log`, returning the noisy copy. Trace count is
+/// preserved; traces may shrink (drops) or grow (duplicates).
+///
+/// # Panics
+/// If the configuration is invalid.
+pub fn apply_noise(log: &EventLog, config: &NoiseConfig) -> EventLog {
+    config
+        .validate()
+        .unwrap_or_else(|m| panic!("invalid noise config: {m}"));
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = EventLog::new();
+    if let Some(n) = log.name() {
+        out.set_name(n);
+    }
+    for trace in log.traces() {
+        let mut events: Vec<EventId> = Vec::with_capacity(trace.len());
+        for &e in trace.events() {
+            if config.drop_prob > 0.0 && rng.gen::<f64>() < config.drop_prob {
+                continue;
+            }
+            events.push(e);
+            if config.duplicate_prob > 0.0 && rng.gen::<f64>() < config.duplicate_prob {
+                events.push(e);
+            }
+        }
+        if config.swap_prob > 0.0 {
+            let mut i = 0;
+            while i + 1 < events.len() {
+                if rng.gen::<f64>() < config.swap_prob {
+                    events.swap(i, i + 1);
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        out.push_trace(events.iter().map(|&e| log.name_of(e)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> EventLog {
+        let mut log = EventLog::with_name("clean");
+        for _ in 0..50 {
+            log.push_trace(["a", "b", "c", "d"]);
+        }
+        log
+    }
+
+    #[test]
+    fn zero_noise_is_identity_modulo_interning() {
+        let l = log();
+        let noisy = apply_noise(&l, &NoiseConfig::default());
+        assert_eq!(noisy.num_traces(), l.num_traces());
+        assert_eq!(noisy.num_events(), l.num_events());
+        assert_eq!(noisy.name(), Some("clean"));
+    }
+
+    #[test]
+    fn drops_shrink_and_duplicates_grow() {
+        let l = log();
+        let dropped = apply_noise(
+            &l,
+            &NoiseConfig {
+                drop_prob: 0.3,
+                seed: 1,
+                ..NoiseConfig::default()
+            },
+        );
+        assert!(dropped.num_events() < l.num_events());
+        let duplicated = apply_noise(
+            &l,
+            &NoiseConfig {
+                duplicate_prob: 0.3,
+                seed: 1,
+                ..NoiseConfig::default()
+            },
+        );
+        assert!(duplicated.num_events() > l.num_events());
+        // Expected counts are roughly proportional.
+        let drop_rate = 1.0 - dropped.num_events() as f64 / l.num_events() as f64;
+        assert!((drop_rate - 0.3).abs() < 0.1, "drop rate {drop_rate}");
+    }
+
+    #[test]
+    fn swaps_preserve_multiset() {
+        let l = log();
+        let swapped = apply_noise(
+            &l,
+            &NoiseConfig {
+                swap_prob: 0.5,
+                seed: 2,
+                ..NoiseConfig::default()
+            },
+        );
+        assert_eq!(swapped.num_events(), l.num_events());
+        // Same per-trace multiset of names.
+        for (o, s) in l.traces().iter().zip(swapped.traces()) {
+            let mut a: Vec<&str> = o.events().iter().map(|&e| l.name_of(e)).collect();
+            let mut b: Vec<&str> = s.events().iter().map(|&e| swapped.name_of(e)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+        // And at least one order changed.
+        assert_ne!(
+            l.traces().iter().map(|t| t.events().to_vec()).collect::<Vec<_>>(),
+            swapped.traces().iter().map(|t| t.events().to_vec()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn noise_is_deterministic() {
+        let l = log();
+        let cfg = NoiseConfig {
+            drop_prob: 0.1,
+            duplicate_prob: 0.1,
+            swap_prob: 0.1,
+            seed: 9,
+        };
+        assert_eq!(apply_noise(&l, &cfg), apply_noise(&l, &cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid noise config")]
+    fn invalid_probability_panics() {
+        let _ = apply_noise(
+            &log(),
+            &NoiseConfig {
+                drop_prob: 1.5,
+                ..NoiseConfig::default()
+            },
+        );
+    }
+}

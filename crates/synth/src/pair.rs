@@ -1,0 +1,562 @@
+//! Log-pair generation with controlled heterogeneity and exact ground truth.
+
+use crate::playout::{playout, PlayoutConfig};
+use crate::tree::{generate_tree, insert_extras, jitter_weights, reorder_blocks, TreeConfig};
+use crate::truth::GroundTruth;
+use ems_events::{cut_prefix, cut_suffix, merge_composite, rename_events, EventId, EventLog};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Where dislocation is injected — which part of log 2's traces is removed,
+/// mirroring the paper's DS-F / DS-B / DS-FB testbeds and the Figure 9
+/// protocol ("synthetically remove the first m events of each trace in one
+/// event log").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dislocation {
+    /// No dislocation: the two logs cover the same span.
+    None,
+    /// Remove the first `m` events of every trace of log 2 (DS-B: the
+    /// dislocated correspondence sits at the *beginning* of traces).
+    Front(usize),
+    /// Remove the last `m` events of every trace of log 2 (DS-F).
+    Back(usize),
+    /// Remove `m` events at each end (DS-FB).
+    Both(usize),
+}
+
+/// Configuration of a generated log pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairConfig {
+    /// The shared process specification.
+    pub tree: TreeConfig,
+    /// Traces simulated per log.
+    pub traces_per_log: usize,
+    /// Seed for playout and injection randomness (independent of the tree
+    /// seed).
+    pub seed: u64,
+    /// Dislocation injected into log 2.
+    pub dislocation: Dislocation,
+    /// Fraction of log 2's events renamed to opaque tokens (`evt_k` with a
+    /// shuffled numbering): `1.0` destroys all typographic signal (Figure 3),
+    /// `0.0` keeps every name (typographic similarity fully informative).
+    pub opaque_fraction: f64,
+    /// Number of always-consecutive runs merged into single composite events
+    /// in log 2 (the matcher must then merge their counterparts in log 1).
+    pub num_composites: usize,
+    /// Length of each injected composite run (2 = pairs, 3 = triples...).
+    /// Longer runs create a larger structural mismatch for the matcher to
+    /// repair. Values below 2 are treated as 2.
+    pub composite_len: usize,
+    /// XOR-weight jitter applied to log 2's copy of the specification: each
+    /// branch weight is scaled by a factor in `[1-j, 1+j]`, simulating two
+    /// subsidiaries with different branch preferences (systematically
+    /// different frequencies, not just sampling noise).
+    pub xor_jitter: f64,
+    /// Probability that each adjacent event pair in a log-2 trace is swapped
+    /// — recording/order noise between heterogeneous systems.
+    pub swap_noise: f64,
+    /// Number of implementation-specific activities inserted into *each*
+    /// log's copy of the specification (named `u1_k` / `u2_k`): events with
+    /// no counterpart in the other log, like `Order Accepted(1)` existing
+    /// only in L2 of the paper's Example 1.
+    pub extra_events: usize,
+    /// Probability per sequence block that log 2's implementation orders two
+    /// adjacent steps differently.
+    pub reorder_prob: f64,
+}
+
+impl Default for PairConfig {
+    fn default() -> Self {
+        PairConfig {
+            tree: TreeConfig::default(),
+            traces_per_log: 100,
+            seed: 7,
+            dislocation: Dislocation::None,
+            opaque_fraction: 1.0,
+            num_composites: 0,
+            composite_len: 2,
+            xor_jitter: 0.0,
+            swap_noise: 0.0,
+            extra_events: 0,
+            reorder_prob: 0.0,
+        }
+    }
+}
+
+/// A generated pair of heterogeneous logs with its exact correspondence set.
+#[derive(Debug, Clone)]
+pub struct LogPair {
+    /// The "clean" log.
+    pub log1: EventLog,
+    /// The heterogeneous log: possibly dislocated, opaque, with composites.
+    pub log2: EventLog,
+    /// The true correspondences `(name in log1, name in log2)`.
+    pub truth: GroundTruth,
+}
+
+/// Deterministic generator of [`LogPair`]s.
+#[derive(Debug, Clone)]
+pub struct PairGenerator {
+    config: PairConfig,
+}
+
+impl PairGenerator {
+    /// Creates a generator for `config`.
+    pub fn new(config: PairConfig) -> Self {
+        PairGenerator { config }
+    }
+
+    /// Generates the pair.
+    pub fn generate(&self) -> LogPair {
+        let cfg = &self.config;
+        let tree = generate_tree(&cfg.tree);
+        // Each side is its own implementation: private extra activities,
+        // and log 2 additionally reorders steps and re-weights branches.
+        let mut mrng = StdRng::seed_from_u64(cfg.seed ^ 0x4A17E6);
+        let tree1 = if cfg.extra_events > 0 {
+            insert_extras(&tree, cfg.extra_events, "u1_", &mut mrng)
+        } else {
+            tree.clone()
+        };
+        let log1 = playout(
+            &tree1,
+            &PlayoutConfig {
+                num_traces: cfg.traces_per_log,
+                seed: cfg.seed.wrapping_mul(2).wrapping_add(1),
+                ..PlayoutConfig::default()
+            },
+        );
+        let mut tree2 = if cfg.extra_events > 0 {
+            insert_extras(&tree, cfg.extra_events, "u2_", &mut mrng)
+        } else {
+            tree.clone()
+        };
+        if cfg.reorder_prob > 0.0 {
+            tree2 = reorder_blocks(&tree2, cfg.reorder_prob, &mut mrng);
+        }
+        if cfg.xor_jitter > 0.0 {
+            tree2 = jitter_weights(&tree2, cfg.xor_jitter, &mut mrng);
+        }
+        let tree2 = tree2;
+        let mut log2 = playout(
+            &tree2,
+            &PlayoutConfig {
+                num_traces: cfg.traces_per_log,
+                seed: cfg.seed.wrapping_mul(2).wrapping_add(2),
+                ..PlayoutConfig::default()
+            },
+        );
+        // Identity truth over the shared alphabet.
+        let mut truth = GroundTruth::new();
+        for i in 0..log2.alphabet_size() {
+            let name = log2.name_of(EventId::from_index(i));
+            if log1.id_of(name).is_some() {
+                truth.add(name, name);
+            }
+        }
+
+        // Composite injection: merge always-consecutive runs in log 2,
+        // extending qualifying pairs into chains of `composite_len`. A later
+        // merge may consume an earlier composite; `components` maps every
+        // merged name to the original singletons it covers, so the truth
+        // keeps one pair per original event.
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC0FFEE);
+        let want_len = cfg.composite_len.max(2);
+        let mut merged = 0usize;
+        let mut consumed: Vec<String> = Vec::new();
+        let mut components: HashMap<String, Vec<String>> = HashMap::new();
+        while merged < cfg.num_composites {
+            let pairs = always_consecutive_pairs(&log2);
+            // Chain qualifying pairs into runs up to the requested length.
+            let mut run: Vec<EventId> = Vec::new();
+            'outer: for &(a, b) in &pairs {
+                let names = [log2.name_of(a), log2.name_of(b)];
+                if names.iter().any(|n| consumed.iter().any(|c| c == n)) {
+                    continue;
+                }
+                run = vec![a, b];
+                while run.len() < want_len {
+                    let last = *run.last().expect("run is non-empty");
+                    match pairs.iter().find(|&&(x, _)| x == last) {
+                        Some(&(_, nxt)) if !run.contains(&nxt) => run.push(nxt),
+                        _ => break,
+                    }
+                }
+                break 'outer;
+            }
+            if run.len() < 2 {
+                break; // no more qualifying runs
+            }
+            let names: Vec<String> = run.iter().map(|&e| log2.name_of(e).to_owned()).collect();
+            let merged_name = names.join("+");
+            let (next, merged_id) = merge_composite(&log2, &run, &merged_name);
+            if merged_id.is_none() {
+                break;
+            }
+            log2 = next.compact().0;
+            let originals: Vec<String> = names
+                .iter()
+                .flat_map(|n| {
+                    components
+                        .get(n)
+                        .cloned()
+                        .unwrap_or_else(|| vec![n.clone()])
+                })
+                .collect();
+            for n in &names {
+                truth.remove_right(n);
+                consumed.push(n.clone());
+            }
+            for o in &originals {
+                if log1.id_of(o).is_some() {
+                    truth.add(o, &merged_name);
+                }
+            }
+            components.insert(merged_name, originals);
+            merged += 1;
+        }
+
+        // Order noise: swap adjacent events with probability `swap_noise`.
+        if cfg.swap_noise > 0.0 {
+            let mut srng = StdRng::seed_from_u64(cfg.seed ^ 0x5A5A5A);
+            let mut noisy = EventLog::new();
+            for trace in log2.traces() {
+                let mut evs: Vec<EventId> = trace.events().to_vec();
+                let mut i = 0;
+                while i + 1 < evs.len() {
+                    if srng.gen::<f64>() < cfg.swap_noise {
+                        evs.swap(i, i + 1);
+                        i += 2; // a swapped pair is not re-swapped
+                    } else {
+                        i += 1;
+                    }
+                }
+                noisy.push_trace(evs.iter().map(|&e| log2.name_of(e)));
+            }
+            log2 = noisy;
+        }
+
+        // Dislocation injection.
+        let before: Vec<String> = alphabet(&log2);
+        log2 = match cfg.dislocation {
+            Dislocation::None => log2,
+            Dislocation::Front(m) => cut_prefix(&log2, m).0,
+            Dislocation::Back(m) => cut_suffix(&log2, m).0,
+            Dislocation::Both(m) => {
+                let (cut, _) = cut_prefix(&log2, m);
+                cut_suffix(&cut, m).0
+            }
+        };
+        for name in &before {
+            if log2.id_of(name).is_none() {
+                truth.remove_right(name);
+            }
+        }
+
+        // Opaque renaming of a fraction of log 2's alphabet. Names become
+        // random tokens (like text through a wrong encoding): crucially they
+        // share no systematic q-gram overlap with each other, unlike a
+        // numbered scheme such as `evt_17`, which would leak spurious label
+        // similarity between unrelated opaque events.
+        if cfg.opaque_fraction > 0.0 && log2.alphabet_size() > 0 {
+            let n = log2.alphabet_size();
+            let mut order: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let renamed_count = ((n as f64) * cfg.opaque_fraction).round() as usize;
+            let mut names: Vec<String> = alphabet(&log2);
+            let mut mapping: HashMap<String, String> = HashMap::new();
+            for (rank, &idx) in order.iter().enumerate() {
+                if rank < renamed_count {
+                    let new_name = opaque_token(&mut rng, rank);
+                    mapping.insert(names[idx].clone(), new_name.clone());
+                    names[idx] = new_name;
+                }
+            }
+            log2 = rename_events(&log2, &names);
+            if !mapping.is_empty() {
+                truth = truth
+                    .iter()
+                    .map(|(l, r)| {
+                        let r = mapping.get(r).map(String::as_str).unwrap_or(r);
+                        (l.to_owned(), r.to_owned())
+                    })
+                    .collect();
+            }
+        }
+
+        LogPair { log1, log2, truth }
+    }
+}
+
+/// A random opaque token: 5-9 letters with no systematic structure, plus a
+/// rank-derived suffix guaranteeing uniqueness.
+fn opaque_token(rng: &mut StdRng, rank: usize) -> String {
+    let len = rng.gen_range(5..=9);
+    let mut s: String = (0..len)
+        .map(|_| (b'a' + rng.gen_range(0..26u8)) as char)
+        .collect();
+    // Uniqueness guard: random letters could collide.
+    s.push_str(&format!("{rank:02}"));
+    s
+}
+
+fn alphabet(log: &EventLog) -> Vec<String> {
+    (0..log.alphabet_size())
+        .map(|i| log.name_of(EventId::from_index(i)).to_owned())
+        .collect()
+}
+
+/// Finds event pairs `(a, b)` such that every occurrence of `a` is
+/// immediately followed by `b` and every occurrence of `b` immediately
+/// preceded by `a` — safe to merge into a composite without changing any
+/// other dependency. Sorted by support (most frequent first).
+fn always_consecutive_pairs(log: &EventLog) -> Vec<(EventId, EventId)> {
+    let n = log.alphabet_size();
+    let mut occ = vec![0u32; n];
+    let mut follows: HashMap<(usize, usize), u32> = HashMap::new();
+    for trace in log.traces() {
+        for &e in trace.events() {
+            occ[e.index()] += 1;
+        }
+        for (a, b) in trace.consecutive_pairs() {
+            *follows.entry((a.index(), b.index())).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<(u32, EventId, EventId)> = follows
+        .iter()
+        .filter(|&(&(a, b), &cnt)| a != b && cnt == occ[a] && cnt == occ[b])
+        .map(|(&(a, b), &cnt)| (cnt, EventId::from_index(a), EventId::from_index(b)))
+        .collect();
+    out.sort_by(|x, y| y.0.cmp(&x.0).then((x.1, x.2).cmp(&(y.1, y.2))));
+    out.into_iter().map(|(_, a, b)| (a, b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config() -> PairConfig {
+        PairConfig {
+            tree: TreeConfig {
+                num_activities: 20,
+                seed: 5,
+                ..TreeConfig::default()
+            },
+            traces_per_log: 200,
+            seed: 9,
+            dislocation: Dislocation::None,
+            opaque_fraction: 1.0,
+            num_composites: 0,
+            composite_len: 2,
+            xor_jitter: 0.0,
+            swap_noise: 0.0,
+            extra_events: 0,
+            reorder_prob: 0.0,
+        }
+    }
+
+    #[test]
+    fn triple_composites_merge_three_events() {
+        let pair = PairGenerator::new(PairConfig {
+            num_composites: 1,
+            composite_len: 3,
+            opaque_fraction: 0.0,
+            ..base_config()
+        })
+        .generate();
+        // If a triple run existed, its merged name has two '+'; otherwise a
+        // pair was merged (or none was possible).
+        let merged: Vec<_> = pair
+            .truth
+            .iter()
+            .filter(|(_, r)| r.contains('+'))
+            .map(|(_, r)| r.to_owned())
+            .collect();
+        if let Some(name) = merged.first() {
+            let parts = name.split('+').count();
+            assert!(parts == 2 || parts == 3);
+            // All parts appear as truth lefts.
+            assert!(merged.len() >= parts.min(2));
+        }
+    }
+
+    #[test]
+    fn extras_have_no_truth_pairs() {
+        let pair = PairGenerator::new(PairConfig {
+            extra_events: 2,
+            opaque_fraction: 0.0,
+            ..base_config()
+        })
+        .generate();
+        assert!(pair.log1.id_of("u1_0").is_some());
+        assert!(pair.log2.id_of("u2_0").is_some());
+        for (l, r) in pair.truth.iter() {
+            assert!(!l.starts_with("u1_"), "extra leaked into truth: {l}");
+            assert!(!r.starts_with("u2_"), "extra leaked into truth: {r}");
+        }
+    }
+
+    #[test]
+    fn reorder_changes_log2_structure() {
+        let clean = PairGenerator::new(base_config()).generate();
+        let reordered = PairGenerator::new(PairConfig {
+            reorder_prob: 0.8,
+            ..base_config()
+        })
+        .generate();
+        assert_eq!(clean.log1, reordered.log1);
+        assert_ne!(clean.log2, reordered.log2);
+    }
+
+    #[test]
+    fn jitter_and_noise_change_log2_only() {
+        let clean = PairGenerator::new(base_config()).generate();
+        let noisy = PairGenerator::new(PairConfig {
+            xor_jitter: 0.5,
+            swap_noise: 0.1,
+            ..base_config()
+        })
+        .generate();
+        assert_eq!(clean.log1, noisy.log1);
+        assert_ne!(clean.log2, noisy.log2);
+        // Truth still resolves.
+        for (l, r) in noisy.truth.iter() {
+            assert!(noisy.log1.id_of(l).is_some());
+            assert!(noisy.log2.id_of(r).is_some());
+        }
+    }
+
+    #[test]
+    fn clean_pair_has_identity_truth_modulo_rare_events() {
+        let pair = PairGenerator::new(base_config()).generate();
+        assert!(pair.truth.len() >= 15);
+        // Opaque renaming: none of log 2's original (a<k>) names survive.
+        for i in 0..pair.log2.alphabet_size() {
+            let name = pair.log2.name_of(EventId::from_index(i));
+            let looks_original =
+                name.starts_with('a') && name[1..].chars().all(|c| c.is_ascii_digit());
+            assert!(!looks_original, "original name survived: {name}");
+        }
+        // Truth pairs resolve in both logs.
+        for (l, r) in pair.truth.iter() {
+            assert!(pair.log1.id_of(l).is_some());
+            assert!(pair.log2.id_of(r).is_some());
+        }
+    }
+
+    #[test]
+    fn zero_opaque_fraction_keeps_names() {
+        let pair = PairGenerator::new(PairConfig {
+            opaque_fraction: 0.0,
+            ..base_config()
+        })
+        .generate();
+        for (l, r) in pair.truth.iter() {
+            assert_eq!(l, r);
+        }
+    }
+
+    #[test]
+    fn partial_opaque_fraction_renames_some() {
+        let pair = PairGenerator::new(PairConfig {
+            opaque_fraction: 0.5,
+            ..base_config()
+        })
+        .generate();
+        let opaque = (0..pair.log2.alphabet_size())
+            .filter(|&i| {
+                let name = pair.log2.name_of(EventId::from_index(i));
+                pair.log1.id_of(name).is_none() && !name.contains('+')
+            })
+            .count();
+        let n = pair.log2.alphabet_size();
+        assert!(opaque > 0 && opaque < n, "opaque {opaque} of {n}");
+    }
+
+    #[test]
+    fn front_dislocation_shortens_traces_and_prunes_truth() {
+        let base = PairGenerator::new(base_config()).generate();
+        let cut = PairGenerator::new(PairConfig {
+            dislocation: Dislocation::Front(3),
+            ..base_config()
+        })
+        .generate();
+        let mean = |l: &EventLog| {
+            l.traces().iter().map(|t| t.len()).sum::<usize>() as f64 / l.num_traces() as f64
+        };
+        assert!(mean(&cut.log2) < mean(&base.log2));
+        assert!(cut.truth.len() <= base.truth.len());
+        assert!(!cut.truth.is_empty());
+    }
+
+    #[test]
+    fn both_dislocation_cuts_both_ends() {
+        let front = PairGenerator::new(PairConfig {
+            dislocation: Dislocation::Front(2),
+            ..base_config()
+        })
+        .generate();
+        let both = PairGenerator::new(PairConfig {
+            dislocation: Dislocation::Both(2),
+            ..base_config()
+        })
+        .generate();
+        let mean = |l: &EventLog| {
+            l.traces().iter().map(|t| t.len()).sum::<usize>() as f64 / l.num_traces() as f64
+        };
+        assert!(mean(&both.log2) < mean(&front.log2));
+    }
+
+    #[test]
+    fn composites_create_m_to_n_truth() {
+        let pair = PairGenerator::new(PairConfig {
+            num_composites: 2,
+            opaque_fraction: 0.0,
+            ..base_config()
+        })
+        .generate();
+        // Some truth pair must map two log-1 names to the same log-2 name.
+        let merged: Vec<_> = pair
+            .truth
+            .iter()
+            .filter(|(_, r)| r.contains('+'))
+            .collect();
+        assert!(
+            merged.len() >= 2,
+            "expected m:n pairs, truth: {:?}",
+            pair.truth.iter().collect::<Vec<_>>()
+        );
+        // The merged event exists in log 2, its parts exist in log 1.
+        for (l, r) in merged {
+            assert!(pair.log2.id_of(r).is_some());
+            assert!(pair.log1.id_of(l).is_some());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = PairGenerator::new(base_config()).generate();
+        let b = PairGenerator::new(base_config()).generate();
+        assert_eq!(a.log1, b.log1);
+        assert_eq!(a.log2, b.log2);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn always_consecutive_finder_is_strict() {
+        let mut log = EventLog::new();
+        log.push_trace(["a", "b", "c"]);
+        log.push_trace(["a", "b", "d"]);
+        let pairs = always_consecutive_pairs(&log);
+        let names: Vec<_> = pairs
+            .iter()
+            .map(|&(a, b)| (log.name_of(a), log.name_of(b)))
+            .collect();
+        assert!(names.contains(&("a", "b")));
+        assert!(!names.contains(&("b", "c"))); // b not always followed by c
+    }
+}

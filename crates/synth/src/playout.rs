@@ -1,0 +1,221 @@
+//! Log simulation (playout) of process trees.
+
+use crate::tree::ProcessTree;
+use ems_events::EventLog;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a playout run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlayoutConfig {
+    /// Number of traces to simulate.
+    pub num_traces: usize,
+    /// RNG seed (independent of the tree's generation seed).
+    pub seed: u64,
+    /// Hard cap on loop rounds per loop node, to bound trace length.
+    pub max_loop_rounds: usize,
+}
+
+impl Default for PlayoutConfig {
+    fn default() -> Self {
+        PlayoutConfig {
+            num_traces: 100,
+            seed: 1,
+            max_loop_rounds: 3,
+        }
+    }
+}
+
+/// Simulates `config.num_traces` traces of `tree` into an [`EventLog`]:
+/// XOR branches are drawn by weight, AND children are randomly interleaved,
+/// and loops repeat geometrically (capped).
+pub fn playout(tree: &ProcessTree, config: &PlayoutConfig) -> EventLog {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut log = EventLog::new();
+    for _ in 0..config.num_traces {
+        let mut trace: Vec<&str> = Vec::new();
+        emit(tree, &mut rng, config, &mut trace);
+        log.push_trace(trace);
+    }
+    log
+}
+
+fn emit<'t>(
+    tree: &'t ProcessTree,
+    rng: &mut StdRng,
+    config: &PlayoutConfig,
+    out: &mut Vec<&'t str>,
+) {
+    match tree {
+        ProcessTree::Activity(a) => out.push(a),
+        ProcessTree::Sequence(cs) => cs.iter().for_each(|c| emit(c, rng, config, out)),
+        ProcessTree::Xor(cs) => {
+            let total: f64 = cs.iter().map(|(_, w)| w).sum();
+            let mut roll = rng.gen::<f64>() * total;
+            for (c, w) in cs {
+                roll -= w;
+                if roll <= 0.0 {
+                    emit(c, rng, config, out);
+                    return;
+                }
+            }
+            // Floating-point slack: take the last branch.
+            if let Some((c, _)) = cs.last() {
+                emit(c, rng, config, out);
+            }
+        }
+        ProcessTree::And(cs) => {
+            // Emit each child into its own buffer, then interleave by
+            // randomly drawing from the fronts — a uniform random shuffle of
+            // the concurrent executions that preserves each child's order.
+            let buffers: Vec<Vec<&'t str>> = cs
+                .iter()
+                .map(|c| {
+                    let mut b = Vec::new();
+                    emit(c, rng, config, &mut b);
+                    b
+                })
+                .collect();
+            let mut fronts = vec![0usize; buffers.len()];
+            let total: usize = buffers.iter().map(Vec::len).sum();
+            for _ in 0..total {
+                // Draw a child proportionally to its remaining length.
+                let remaining: Vec<usize> = buffers
+                    .iter()
+                    .zip(&fronts)
+                    .map(|(b, &f)| b.len() - f)
+                    .collect();
+                let sum: usize = remaining.iter().sum();
+                let mut roll = rng.gen_range(0..sum);
+                let mut pick = 0usize;
+                for (i, &r) in remaining.iter().enumerate() {
+                    if roll < r {
+                        pick = i;
+                        break;
+                    }
+                    roll -= r;
+                }
+                out.push(buffers[pick][fronts[pick]]);
+                fronts[pick] += 1;
+            }
+        }
+        ProcessTree::Loop { body, repeat } => {
+            emit(body, rng, config, out);
+            let mut rounds = 0;
+            while rounds < config.max_loop_rounds && rng.gen::<f64>() < *repeat {
+                emit(body, rng, config, out);
+                rounds += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{generate_tree, TreeConfig};
+
+    fn seq(names: &[&str]) -> ProcessTree {
+        ProcessTree::Sequence(
+            names
+                .iter()
+                .map(|n| ProcessTree::Activity((*n).to_owned()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn sequence_plays_out_in_order() {
+        let log = playout(&seq(&["a", "b", "c"]), &PlayoutConfig::default());
+        assert_eq!(log.num_traces(), 100);
+        for t in log.traces() {
+            let names: Vec<&str> = t.events().iter().map(|&e| log.name_of(e)).collect();
+            assert_eq!(names, ["a", "b", "c"]);
+        }
+    }
+
+    #[test]
+    fn xor_respects_weights_roughly() {
+        let tree = ProcessTree::Xor(vec![
+            (ProcessTree::Activity("x".into()), 0.8),
+            (ProcessTree::Activity("y".into()), 0.2),
+        ]);
+        let log = playout(
+            &tree,
+            &PlayoutConfig {
+                num_traces: 2000,
+                ..PlayoutConfig::default()
+            },
+        );
+        let fx = log.event_frequency(log.id_of("x").unwrap());
+        assert!((fx - 0.8).abs() < 0.05, "x frequency {fx}");
+    }
+
+    #[test]
+    fn and_preserves_per_child_order() {
+        let tree = ProcessTree::And(vec![seq(&["a", "b"]), seq(&["x", "y"])]);
+        let log = playout(&tree, &PlayoutConfig::default());
+        let mut saw_interleaving = false;
+        for t in log.traces() {
+            let names: Vec<&str> = t.events().iter().map(|&e| log.name_of(e)).collect();
+            assert_eq!(names.len(), 4);
+            let pos = |n: &str| names.iter().position(|&m| m == n).unwrap();
+            assert!(pos("a") < pos("b"));
+            assert!(pos("x") < pos("y"));
+            if names != ["a", "b", "x", "y"] && names != ["x", "y", "a", "b"] {
+                saw_interleaving = true;
+            }
+        }
+        assert!(saw_interleaving, "AND never interleaved in 100 traces");
+    }
+
+    #[test]
+    fn loop_repeats_but_is_capped() {
+        let tree = ProcessTree::Loop {
+            body: Box::new(ProcessTree::Activity("r".into())),
+            repeat: 0.9,
+        };
+        let cfg = PlayoutConfig {
+            num_traces: 500,
+            max_loop_rounds: 3,
+            ..PlayoutConfig::default()
+        };
+        let log = playout(&tree, &cfg);
+        let max_len = log.traces().iter().map(|t| t.len()).max().unwrap();
+        let min_len = log.traces().iter().map(|t| t.len()).min().unwrap();
+        assert!(max_len <= 4); // 1 + up to 3 repeats
+        assert!(max_len >= 2, "loop with repeat=0.9 never repeated");
+        assert_eq!(min_len.max(1), min_len);
+    }
+
+    #[test]
+    fn playout_is_deterministic() {
+        let tree = generate_tree(&TreeConfig::default());
+        let cfg = PlayoutConfig::default();
+        assert_eq!(playout(&tree, &cfg), playout(&tree, &cfg));
+        let other = PlayoutConfig {
+            seed: 99,
+            ..PlayoutConfig::default()
+        };
+        assert_ne!(playout(&tree, &cfg), playout(&tree, &other));
+    }
+
+    #[test]
+    fn every_activity_eventually_appears() {
+        let tree = generate_tree(&TreeConfig {
+            num_activities: 30,
+            seed: 11,
+            ..TreeConfig::default()
+        });
+        let log = playout(
+            &tree,
+            &PlayoutConfig {
+                num_traces: 500,
+                ..PlayoutConfig::default()
+            },
+        );
+        // XOR branches make some activities rare, but 500 traces should
+        // touch nearly all of them.
+        assert!(log.alphabet_size() >= 25, "only {}", log.alphabet_size());
+    }
+}

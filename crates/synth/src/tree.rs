@@ -1,0 +1,466 @@
+//! Block-structured process trees and their random generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A block-structured process specification.
+///
+/// This is the standard process-tree model used by process-mining log
+/// generators: the control flow is a tree whose leaves are activities and
+/// whose inner nodes are operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcessTree {
+    /// A single activity occurrence.
+    Activity(String),
+    /// Children execute in order.
+    Sequence(Vec<ProcessTree>),
+    /// Exactly one child executes; children are weighted.
+    Xor(Vec<(ProcessTree, f64)>),
+    /// All children execute, interleaved arbitrarily.
+    And(Vec<ProcessTree>),
+    /// The body executes once, then repeats with probability `repeat`.
+    Loop {
+        /// The repeated block.
+        body: Box<ProcessTree>,
+        /// Probability of another round after each completion.
+        repeat: f64,
+    },
+}
+
+impl ProcessTree {
+    /// Number of distinct activities (leaves) in the tree.
+    pub fn num_activities(&self) -> usize {
+        match self {
+            ProcessTree::Activity(_) => 1,
+            ProcessTree::Sequence(cs) | ProcessTree::And(cs) => {
+                cs.iter().map(ProcessTree::num_activities).sum()
+            }
+            ProcessTree::Xor(cs) => cs.iter().map(|(c, _)| c.num_activities()).sum(),
+            ProcessTree::Loop { body, .. } => body.num_activities(),
+        }
+    }
+
+    /// Collects the activity names in left-to-right order.
+    pub fn activities(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect(&mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            ProcessTree::Activity(a) => out.push(a),
+            ProcessTree::Sequence(cs) | ProcessTree::And(cs) => {
+                cs.iter().for_each(|c| c.collect(out))
+            }
+            ProcessTree::Xor(cs) => cs.iter().for_each(|(c, _)| c.collect(out)),
+            ProcessTree::Loop { body, .. } => body.collect(out),
+        }
+    }
+}
+
+/// Parameters of random tree generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeConfig {
+    /// Number of distinct activities the tree must contain.
+    pub num_activities: usize,
+    /// Probability that an inner block becomes an XOR (vs sequence).
+    pub xor_weight: f64,
+    /// Probability that an inner block becomes an AND.
+    pub and_weight: f64,
+    /// Probability that an inner block becomes a loop.
+    pub loop_weight: f64,
+    /// Largest activity budget a non-sequence block may take: blocks larger
+    /// than this are forced to be sequences. Keeps traces long (they visit
+    /// most activities) the way real business processes do — a top-level XOR
+    /// over half the process would make every trace skip half the events.
+    pub max_branch: usize,
+    /// RNG seed — generation is fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            num_activities: 20,
+            xor_weight: 0.25,
+            and_weight: 0.15,
+            loop_weight: 0.05,
+            max_branch: usize::MAX,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a random process tree with exactly `config.num_activities`
+/// distinct activities named `a0, a1, ...` in left-to-right order.
+pub fn generate_tree(config: &TreeConfig) -> ProcessTree {
+    assert!(config.num_activities >= 1, "need at least one activity");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut next_id = 0usize;
+    build(config.num_activities, config, &mut rng, &mut next_id, 0)
+}
+
+fn build(
+    budget: usize,
+    config: &TreeConfig,
+    rng: &mut StdRng,
+    next_id: &mut usize,
+    depth: usize,
+) -> ProcessTree {
+    if budget == 1 {
+        let a = ProcessTree::Activity(format!("a{}", *next_id));
+        *next_id += 1;
+        return a;
+    }
+    // Choose the operator. Deep blocks and tiny budgets fall back to
+    // sequences so traces stay readable and loops stay rare.
+    let roll: f64 = rng.gen();
+    let op = if depth >= 4 || budget < 3 || budget > config.max_branch {
+        Op::Seq
+    } else if roll < config.loop_weight {
+        Op::Loop
+    } else if roll < config.loop_weight + config.and_weight {
+        Op::And
+    } else if roll < config.loop_weight + config.and_weight + config.xor_weight {
+        Op::Xor
+    } else {
+        Op::Seq
+    };
+    match op {
+        Op::Loop => ProcessTree::Loop {
+            body: Box::new(build(budget, config, rng, next_id, depth + 1)),
+            repeat: rng.gen_range(0.1..0.4),
+        },
+        Op::Seq | Op::Xor | Op::And => {
+            // Split the budget into 2..=4 children.
+            let parts = rng.gen_range(2..=4usize).min(budget);
+            let sizes = split_budget(budget, parts, rng);
+            let children: Vec<ProcessTree> = sizes
+                .into_iter()
+                .map(|s| build(s, config, rng, next_id, depth + 1))
+                .collect();
+            match op {
+                Op::Seq => ProcessTree::Sequence(children),
+                Op::And => ProcessTree::And(children),
+                Op::Xor => {
+                    let weighted = children
+                        .into_iter()
+                        .map(|c| {
+                            let w: f64 = rng.gen_range(0.2..1.0);
+                            (c, w)
+                        })
+                        .collect();
+                    ProcessTree::Xor(weighted)
+                }
+                Op::Loop => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Returns a copy of `tree` with every XOR weight and loop-repeat
+/// probability multiplied by an independent factor drawn uniformly from
+/// `[1 - amount, 1 + amount]` — simulating two subsidiaries implementing the
+/// same process with different branch preferences, so that the two logs'
+/// frequencies differ systematically, not just by sampling noise.
+pub fn jitter_weights(tree: &ProcessTree, amount: f64, rng: &mut StdRng) -> ProcessTree {
+    assert!((0.0..1.0).contains(&amount), "jitter amount must be in [0,1)");
+    match tree {
+        ProcessTree::Activity(a) => ProcessTree::Activity(a.clone()),
+        ProcessTree::Sequence(cs) => {
+            ProcessTree::Sequence(cs.iter().map(|c| jitter_weights(c, amount, rng)).collect())
+        }
+        ProcessTree::And(cs) => {
+            ProcessTree::And(cs.iter().map(|c| jitter_weights(c, amount, rng)).collect())
+        }
+        ProcessTree::Xor(cs) => ProcessTree::Xor(
+            cs.iter()
+                .map(|(c, w)| {
+                    let factor = rng.gen_range(1.0 - amount..=1.0 + amount);
+                    (jitter_weights(c, amount, rng), w * factor)
+                })
+                .collect(),
+        ),
+        ProcessTree::Loop { body, repeat } => {
+            let factor = rng.gen_range(1.0 - amount..=1.0 + amount);
+            ProcessTree::Loop {
+                body: Box::new(jitter_weights(body, amount, rng)),
+                repeat: (repeat * factor).clamp(0.0, 0.95),
+            }
+        }
+    }
+}
+
+/// Inserts `k` fresh activities named `{prefix}0..{prefix}k` at random
+/// positions of random sequence blocks — events unique to one
+/// implementation, like `Order Accepted(1)` existing only in L2 of the
+/// paper's Example 1.
+pub fn insert_extras(tree: &ProcessTree, k: usize, prefix: &str, rng: &mut StdRng) -> ProcessTree {
+    let mut out = tree.clone();
+    for i in 0..k {
+        let leaf = ProcessTree::Activity(format!("{prefix}{i}"));
+        if !try_insert(&mut out, leaf.clone(), rng) {
+            // No sequence block anywhere: wrap the root.
+            out = ProcessTree::Sequence(vec![leaf, out]);
+        }
+    }
+    out
+}
+
+fn try_insert(tree: &mut ProcessTree, leaf: ProcessTree, rng: &mut StdRng) -> bool {
+    match tree {
+        ProcessTree::Sequence(cs) => {
+            // Descend with probability 1/2 if a child is an inner node,
+            // otherwise insert here.
+            let inner: Vec<usize> = cs
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !matches!(c, ProcessTree::Activity(_)))
+                .map(|(i, _)| i)
+                .collect();
+            if !inner.is_empty() && rng.gen::<f64>() < 0.5 {
+                let pick = inner[rng.gen_range(0..inner.len())];
+                if try_insert(&mut cs[pick], leaf.clone(), rng) {
+                    return true;
+                }
+            }
+            let pos = rng.gen_range(0..=cs.len());
+            cs.insert(pos, leaf);
+            true
+        }
+        ProcessTree::And(cs) => {
+            for i in 0..cs.len() {
+                let pick = rng.gen_range(0..cs.len());
+                let _ = i;
+                if try_insert(&mut cs[pick], leaf.clone(), rng) {
+                    return true;
+                }
+            }
+            false
+        }
+        ProcessTree::Xor(cs) => {
+            // Inserting under XOR would make the extra event rare; try the
+            // heaviest branch only.
+            if let Some((c, _)) = cs
+                .iter_mut()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            {
+                try_insert(c, leaf, rng)
+            } else {
+                false
+            }
+        }
+        ProcessTree::Loop { body, .. } => try_insert(body, leaf, rng),
+        ProcessTree::Activity(_) => false,
+    }
+}
+
+/// With probability `prob` per sequence block, swaps one random adjacent
+/// child pair — two implementations often order the same steps differently.
+pub fn reorder_blocks(tree: &ProcessTree, prob: f64, rng: &mut StdRng) -> ProcessTree {
+    match tree {
+        ProcessTree::Activity(a) => ProcessTree::Activity(a.clone()),
+        ProcessTree::Sequence(cs) => {
+            let mut cs: Vec<ProcessTree> =
+                cs.iter().map(|c| reorder_blocks(c, prob, rng)).collect();
+            if cs.len() >= 2 && rng.gen::<f64>() < prob {
+                let i = rng.gen_range(0..cs.len() - 1);
+                cs.swap(i, i + 1);
+            }
+            ProcessTree::Sequence(cs)
+        }
+        ProcessTree::And(cs) => {
+            ProcessTree::And(cs.iter().map(|c| reorder_blocks(c, prob, rng)).collect())
+        }
+        ProcessTree::Xor(cs) => ProcessTree::Xor(
+            cs.iter()
+                .map(|(c, w)| (reorder_blocks(c, prob, rng), *w))
+                .collect(),
+        ),
+        ProcessTree::Loop { body, repeat } => ProcessTree::Loop {
+            body: Box::new(reorder_blocks(body, prob, rng)),
+            repeat: *repeat,
+        },
+    }
+}
+
+enum Op {
+    Seq,
+    Xor,
+    And,
+    Loop,
+}
+
+fn split_budget(budget: usize, parts: usize, rng: &mut StdRng) -> Vec<usize> {
+    debug_assert!(parts >= 1 && parts <= budget);
+    // Random composition of `budget` into `parts` positive integers.
+    let mut cuts: Vec<usize> = (1..budget).collect();
+    // Partial Fisher-Yates to pick parts-1 distinct cut points.
+    for i in 0..parts - 1 {
+        let j = rng.gen_range(i..cuts.len());
+        cuts.swap(i, j);
+    }
+    let mut chosen: Vec<usize> = cuts[..parts - 1].to_vec();
+    chosen.sort_unstable();
+    let mut sizes = Vec::with_capacity(parts);
+    let mut prev = 0;
+    for &c in &chosen {
+        sizes.push(c - prev);
+        prev = c;
+    }
+    sizes.push(budget - prev);
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_tree_has_exact_activity_count() {
+        for n in [1, 2, 5, 10, 50, 100] {
+            let tree = generate_tree(&TreeConfig {
+                num_activities: n,
+                ..TreeConfig::default()
+            });
+            assert_eq!(tree.num_activities(), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn activities_are_uniquely_named_in_order() {
+        let tree = generate_tree(&TreeConfig {
+            num_activities: 30,
+            ..TreeConfig::default()
+        });
+        let acts = tree.activities();
+        let expected: Vec<String> = (0..30).map(|i| format!("a{i}")).collect();
+        assert_eq!(acts, expected.iter().map(String::as_str).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = TreeConfig {
+            num_activities: 25,
+            seed: 7,
+            ..TreeConfig::default()
+        };
+        assert_eq!(generate_tree(&cfg), generate_tree(&cfg));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_tree(&TreeConfig {
+            num_activities: 25,
+            seed: 1,
+            ..TreeConfig::default()
+        });
+        let b = generate_tree(&TreeConfig {
+            num_activities: 25,
+            seed: 2,
+            ..TreeConfig::default()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn split_budget_sums_and_is_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let budget = rng.gen_range(2..50usize);
+            let parts = rng.gen_range(1..=budget.min(4));
+            let sizes = split_budget(budget, parts, &mut rng);
+            assert_eq!(sizes.iter().sum::<usize>(), budget);
+            assert!(sizes.iter().all(|&s| s >= 1));
+            assert_eq!(sizes.len(), parts);
+        }
+    }
+
+    #[test]
+    fn jitter_changes_weights_not_structure() {
+        let tree = generate_tree(&TreeConfig {
+            num_activities: 30,
+            seed: 5,
+            ..TreeConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(9);
+        let jittered = jitter_weights(&tree, 0.5, &mut rng);
+        assert_eq!(jittered.activities(), tree.activities());
+        assert_eq!(jittered.num_activities(), tree.num_activities());
+        // With XOR nodes present, at least one weight must have moved.
+        fn weights(t: &ProcessTree, out: &mut Vec<f64>) {
+            match t {
+                ProcessTree::Activity(_) => {}
+                ProcessTree::Sequence(cs) | ProcessTree::And(cs) => {
+                    cs.iter().for_each(|c| weights(c, out))
+                }
+                ProcessTree::Xor(cs) => cs.iter().for_each(|(c, w)| {
+                    out.push(*w);
+                    weights(c, out);
+                }),
+                ProcessTree::Loop { body, repeat } => {
+                    out.push(*repeat);
+                    weights(body, out);
+                }
+            }
+        }
+        let mut w1 = Vec::new();
+        let mut w2 = Vec::new();
+        weights(&tree, &mut w1);
+        weights(&jittered, &mut w2);
+        if !w1.is_empty() {
+            assert!(w1.iter().zip(&w2).any(|(a, b)| (a - b).abs() > 1e-9));
+        }
+    }
+
+    #[test]
+    fn jitter_zero_is_identity_on_structure_and_near_identity_on_weights() {
+        let tree = generate_tree(&TreeConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let j = jitter_weights(&tree, 0.0, &mut rng);
+        assert_eq!(j, tree);
+    }
+
+    #[test]
+    fn insert_extras_adds_unique_activities() {
+        let tree = generate_tree(&TreeConfig {
+            num_activities: 10,
+            seed: 3,
+            ..TreeConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(4);
+        let extended = insert_extras(&tree, 3, "x", &mut rng);
+        assert_eq!(extended.num_activities(), 13);
+        let acts = extended.activities();
+        for i in 0..3 {
+            assert!(acts.contains(&format!("x{i}").as_str()));
+        }
+    }
+
+    #[test]
+    fn reorder_keeps_activity_set() {
+        let tree = generate_tree(&TreeConfig {
+            num_activities: 25,
+            seed: 6,
+            ..TreeConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(8);
+        let shuffled = reorder_blocks(&tree, 1.0, &mut rng);
+        let mut a1: Vec<_> = tree.activities();
+        let mut a2: Vec<_> = shuffled.activities();
+        a1.sort_unstable();
+        a2.sort_unstable();
+        assert_eq!(a1, a2);
+        assert_ne!(shuffled, tree); // prob 1.0 must move something
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one activity")]
+    fn zero_activities_rejected() {
+        let _ = generate_tree(&TreeConfig {
+            num_activities: 0,
+            ..TreeConfig::default()
+        });
+    }
+}

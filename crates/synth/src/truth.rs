@@ -1,0 +1,114 @@
+//! Ground-truth correspondence sets.
+
+use std::collections::BTreeSet;
+
+/// The exact correspondence between the events of a generated log pair:
+/// a set of `(name in log 1, name in log 2)` pairs.
+///
+/// m:n correspondences appear as multiple pairs sharing a side — e.g. a
+/// composite `c+d ↔ 4` contributes `("c", "4")` and `("d", "4")`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroundTruth {
+    pairs: BTreeSet<(String, String)>,
+}
+
+impl GroundTruth {
+    /// An empty truth set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a correspondence.
+    pub fn add(&mut self, left: impl Into<String>, right: impl Into<String>) {
+        self.pairs.insert((left.into(), right.into()));
+    }
+
+    /// Removes every correspondence touching `left` on the log-1 side.
+    pub fn remove_left(&mut self, left: &str) {
+        self.pairs.retain(|(l, _)| l != left);
+    }
+
+    /// Removes every correspondence touching `right` on the log-2 side.
+    pub fn remove_right(&mut self, right: &str) {
+        self.pairs.retain(|(_, r)| r != right);
+    }
+
+    /// Whether `(left, right)` is a true correspondence.
+    pub fn contains(&self, left: &str, right: &str) -> bool {
+        // BTreeSet<(String, String)> lookup without allocating.
+        self.pairs
+            .iter()
+            .any(|(l, r)| l == left && r == right)
+    }
+
+    /// Number of true pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the truth set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates the true pairs in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pairs.iter().map(|(l, r)| (l.as_str(), r.as_str()))
+    }
+}
+
+impl FromIterator<(String, String)> for GroundTruth {
+    fn from_iter<T: IntoIterator<Item = (String, String)>>(iter: T) -> Self {
+        GroundTruth {
+            pairs: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_contains_len() {
+        let mut t = GroundTruth::new();
+        assert!(t.is_empty());
+        t.add("a", "1");
+        t.add("a", "1"); // duplicate
+        t.add("b", "2");
+        assert_eq!(t.len(), 2);
+        assert!(t.contains("a", "1"));
+        assert!(!t.contains("a", "2"));
+    }
+
+    #[test]
+    fn m_to_n_pairs_coexist() {
+        let mut t = GroundTruth::new();
+        t.add("c", "4");
+        t.add("d", "4");
+        assert_eq!(t.len(), 2);
+        assert!(t.contains("c", "4"));
+        assert!(t.contains("d", "4"));
+    }
+
+    #[test]
+    fn removals() {
+        let mut t = GroundTruth::new();
+        t.add("a", "1");
+        t.add("a", "2");
+        t.add("b", "2");
+        t.remove_left("a");
+        assert_eq!(t.len(), 1);
+        t.remove_right("2");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let t: GroundTruth = [("b".to_owned(), "2".to_owned()), ("a".to_owned(), "1".to_owned())]
+            .into_iter()
+            .collect();
+        let v: Vec<_> = t.iter().collect();
+        assert_eq!(v, vec![("a", "1"), ("b", "2")]);
+    }
+}

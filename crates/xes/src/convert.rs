@@ -1,0 +1,98 @@
+//! Conversion between the XES document model and [`ems_events::EventLog`].
+
+use crate::model::{Attribute, XesEvent, XesLog, XesTrace};
+use ems_events::EventLog;
+
+/// Projects an XES document onto the matcher's [`EventLog`] model using the
+/// `concept:name` attribute as the activity classifier.
+///
+/// Events without a `concept:name` are classified as the reserved label
+/// `"<unnamed>"` — dropping them silently would distort the consecutive-pair
+/// frequencies of Definition 1.
+pub fn to_event_log(log: &XesLog) -> EventLog {
+    let mut out = match log.name() {
+        Some(n) => EventLog::with_name(n),
+        None => EventLog::new(),
+    };
+    for trace in &log.traces {
+        out.push_trace(
+            trace
+                .events
+                .iter()
+                .map(|e| e.name().unwrap_or("<unnamed>")),
+        );
+    }
+    out
+}
+
+/// Builds an XES document from an [`EventLog`], producing one `<trace>` per
+/// trace with `concept:name` event attributes and sequential case ids.
+pub fn from_event_log(log: &EventLog) -> XesLog {
+    let mut attributes = Vec::new();
+    if let Some(n) = log.name() {
+        attributes.push(Attribute::string("concept:name", n));
+    }
+    XesLog {
+        version: Some("2.0".into()),
+        attributes,
+        traces: log
+            .traces()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| XesTrace {
+                attributes: vec![Attribute::string("concept:name", format!("case-{}", i + 1))],
+                events: t
+                    .events()
+                    .iter()
+                    .map(|&e| XesEvent::named(log.name_of(e)))
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_event_log_uses_concept_name() {
+        let xes = XesLog {
+            version: None,
+            attributes: vec![Attribute::string("concept:name", "orders")],
+            traces: vec![XesTrace {
+                attributes: vec![],
+                events: vec![XesEvent::named("a"), XesEvent::default(), XesEvent::named("a")],
+            }],
+        };
+        let log = to_event_log(&xes);
+        assert_eq!(log.name(), Some("orders"));
+        assert_eq!(log.num_traces(), 1);
+        assert_eq!(log.alphabet_size(), 2); // "a" and "<unnamed>"
+        assert!(log.id_of("<unnamed>").is_some());
+    }
+
+    #[test]
+    fn event_log_roundtrip_through_xes() {
+        let mut log = EventLog::with_name("demo");
+        log.push_trace(["x", "y"]);
+        log.push_trace(["y"]);
+        let back = to_event_log(&from_event_log(&log));
+        assert_eq!(back.name(), Some("demo"));
+        assert_eq!(back.num_traces(), 2);
+        assert_eq!(back.alphabet_size(), 2);
+        assert_eq!(back.traces()[0].len(), 2);
+        let x = back.id_of("x").unwrap();
+        assert!((back.event_frequency(x) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_event_log_numbers_cases() {
+        let mut log = EventLog::new();
+        log.push_trace(["a"]);
+        log.push_trace(["b"]);
+        let xes = from_event_log(&log);
+        assert_eq!(xes.traces[0].name(), Some("case-1"));
+        assert_eq!(xes.traces[1].name(), Some("case-2"));
+    }
+}

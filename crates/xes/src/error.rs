@@ -1,0 +1,78 @@
+//! Error taxonomy for XES parsing.
+
+use std::fmt;
+
+/// Result alias for XES operations.
+pub type XesResult<T> = Result<T, XesError>;
+
+/// Errors produced while lexing, parsing or validating an XES document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XesError {
+    /// Malformed XML at the byte offset: unterminated tag, bad attribute
+    /// syntax, invalid entity, etc.
+    Syntax {
+        /// Byte offset into the input where the error was detected.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Well-formed XML that is not valid XES (wrong root element, element
+    /// nesting that XES forbids, missing required attribute, etc.).
+    Structure(String),
+    /// Mismatched or unexpected closing tag.
+    TagMismatch {
+        /// The tag that was open.
+        expected: String,
+        /// The closing tag that was found.
+        found: String,
+        /// Byte offset of the closing tag.
+        offset: usize,
+    },
+    /// I/O failure reading or writing a file.
+    Io(String),
+}
+
+impl fmt::Display for XesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XesError::Syntax { offset, message } => {
+                write!(f, "XML syntax error at byte {offset}: {message}")
+            }
+            XesError::Structure(m) => write!(f, "invalid XES structure: {m}"),
+            XesError::TagMismatch {
+                expected,
+                found,
+                offset,
+            } => write!(
+                f,
+                "mismatched closing tag at byte {offset}: expected </{expected}>, found </{found}>"
+            ),
+            XesError::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for XesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = XesError::Syntax {
+            offset: 12,
+            message: "unterminated tag".into(),
+        };
+        assert!(e.to_string().contains("byte 12"));
+        let e = XesError::TagMismatch {
+            expected: "trace".into(),
+            found: "log".into(),
+            offset: 3,
+        };
+        assert!(e.to_string().contains("</trace>"));
+        assert!(e.to_string().contains("</log>"));
+        assert!(XesError::Structure("x".into()).to_string().contains("x"));
+        assert!(XesError::Io("gone".into()).to_string().contains("gone"));
+    }
+}

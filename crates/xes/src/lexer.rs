@@ -1,0 +1,436 @@
+//! A minimal streaming XML tokenizer covering the subset XES documents use.
+//!
+//! Supported constructs: start/end/self-closing tags with double- or
+//! single-quoted attributes, character data, comments, CDATA sections,
+//! processing instructions / XML declarations, DOCTYPE declarations (skipped),
+//! the five predefined entities and decimal/hex character references.
+//!
+//! The tokenizer is pull-based: [`Lexer::next_token`] yields one [`Token`]
+//! at a time with its byte offset, which keeps memory constant in the
+//! document size apart from the token being produced.
+
+use crate::error::{XesError, XesResult};
+
+/// One XML attribute (`key="value"`), entity references already resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlAttr {
+    /// The attribute name, including any namespace prefix.
+    pub name: String,
+    /// The attribute value with entities decoded.
+    pub value: String,
+}
+
+/// A token produced by the [`Lexer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="v" ...>` — `self_closing` is true for `<name ... />`.
+    StartTag {
+        /// Element name.
+        name: String,
+        /// Attributes in document order.
+        attrs: Vec<XmlAttr>,
+        /// Whether the tag ends with `/>`.
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag {
+        /// Element name.
+        name: String,
+    },
+    /// Character data between tags with entities decoded; whitespace-only
+    /// runs are skipped by the lexer.
+    Text(String),
+    /// End of input.
+    Eof,
+}
+
+/// Pull-based tokenizer over a UTF-8 XML document.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `input`.
+    pub fn new(input: &'a str) -> Self {
+        Lexer {
+            input: input.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    /// Current byte offset (for error reporting).
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    fn err(&self, message: impl Into<String>) -> XesError {
+        XesError::Syntax {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat_str(&mut self, s: &str) -> bool {
+        if self.input[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_until(&mut self, terminator: &str) -> XesResult<()> {
+        match find_sub(&self.input[self.pos..], terminator.as_bytes()) {
+            Some(i) => {
+                self.pos += i + terminator.len();
+                Ok(())
+            }
+            None => Err(self.err(format!("unterminated construct, expected `{terminator}`"))),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Produces the next token, skipping comments, PIs, DOCTYPE and
+    /// whitespace-only text.
+    pub fn next_token(&mut self) -> XesResult<(usize, Token)> {
+        loop {
+            let start = self.pos;
+            match self.peek() {
+                None => return Ok((start, Token::Eof)),
+                Some(b'<') => {
+                    if self.eat_str("<!--") {
+                        self.skip_until("-->")?;
+                        continue;
+                    }
+                    if self.eat_str("<![CDATA[") {
+                        let rest = &self.input[self.pos..];
+                        let end = find_sub(rest, b"]]>")
+                            .ok_or_else(|| self.err("unterminated CDATA section"))?;
+                        let text = std::str::from_utf8(&rest[..end])
+                            .map_err(|_| self.err("CDATA is not valid UTF-8"))?
+                            .to_owned();
+                        self.pos += end + 3;
+                        return Ok((start, Token::Text(text)));
+                    }
+                    if self.eat_str("<!DOCTYPE") || self.eat_str("<!doctype") {
+                        // XES never uses internal subsets; skip to `>`.
+                        self.skip_until(">")?;
+                        continue;
+                    }
+                    if self.eat_str("<?") {
+                        self.skip_until("?>")?;
+                        continue;
+                    }
+                    if self.eat_str("</") {
+                        let name = self.lex_name()?;
+                        self.skip_ws();
+                        if self.bump() != Some(b'>') {
+                            return Err(self.err("expected `>` after closing tag name"));
+                        }
+                        return Ok((start, Token::EndTag { name }));
+                    }
+                    self.pos += 1; // consume '<'
+                    return Ok((start, self.lex_start_tag()?));
+                }
+                Some(_) => {
+                    let text = self.lex_text()?;
+                    if text.chars().all(char::is_whitespace) {
+                        continue;
+                    }
+                    return Ok((start, Token::Text(text)));
+                }
+            }
+        }
+    }
+
+    fn lex_start_tag(&mut self) -> XesResult<Token> {
+        let name = self.lex_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'>') => {
+                    self.pos += 1;
+                    return Ok(Token::StartTag {
+                        name,
+                        attrs,
+                        self_closing: false,
+                    });
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.bump() != Some(b'>') {
+                        return Err(self.err("expected `>` after `/` in self-closing tag"));
+                    }
+                    return Ok(Token::StartTag {
+                        name,
+                        attrs,
+                        self_closing: true,
+                    });
+                }
+                Some(_) => {
+                    let attr_name = self.lex_name()?;
+                    self.skip_ws();
+                    if self.bump() != Some(b'=') {
+                        return Err(self.err(format!("expected `=` after attribute `{attr_name}`")));
+                    }
+                    self.skip_ws();
+                    let quote = match self.bump() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("attribute value must be quoted")),
+                    };
+                    let rest = &self.input[self.pos..];
+                    let end = rest
+                        .iter()
+                        .position(|&b| b == quote)
+                        .ok_or_else(|| self.err("unterminated attribute value"))?;
+                    let raw = std::str::from_utf8(&rest[..end])
+                        .map_err(|_| self.err("attribute value is not valid UTF-8"))?;
+                    let value = decode_entities(raw)
+                        .map_err(|m| self.err(format!("in attribute `{attr_name}`: {m}")))?;
+                    self.pos += end + 1;
+                    attrs.push(XmlAttr {
+                        name: attr_name,
+                        value,
+                    });
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+    }
+
+    fn lex_name(&mut self) -> XesResult<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric() || matches!(b, b':' | b'_' | b'-' | b'.');
+            // Accept any non-ASCII byte as a name character: XML names allow
+            // a wide range of Unicode, and XES keys may carry it.
+            if ok || b >= 0x80 {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        std::str::from_utf8(&self.input[start..self.pos])
+            .map(str::to_owned)
+            .map_err(|_| self.err("name is not valid UTF-8"))
+    }
+
+    fn lex_text(&mut self) -> XesResult<String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b == b'<' {
+                break;
+            }
+            self.pos += 1;
+        }
+        let raw = std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("text is not valid UTF-8"))?;
+        decode_entities(raw).map_err(|m| XesError::Syntax {
+            offset: start,
+            message: m,
+        })
+    }
+}
+
+fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|w| w == needle)
+}
+
+/// Decodes the five predefined XML entities and numeric character references.
+pub fn decode_entities(s: &str) -> Result<String, String> {
+    if !s.contains('&') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| "unterminated entity reference".to_owned())?;
+        let ent = &rest[1..semi];
+        match ent {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if ent.starts_with("#x") || ent.starts_with("#X") => {
+                let code = u32::from_str_radix(&ent[2..], 16)
+                    .map_err(|_| format!("bad hex character reference `&{ent};`"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid code point in `&{ent};`"))?,
+                );
+            }
+            _ if ent.starts_with('#') => {
+                let code: u32 = ent[1..]
+                    .parse()
+                    .map_err(|_| format!("bad character reference `&{ent};`"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid code point in `&{ent};`"))?,
+                );
+            }
+            _ => return Err(format!("unknown entity `&{ent};`")),
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Encodes text for inclusion in XML character data or attribute values.
+pub fn encode_entities(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_tokens(s: &str) -> Vec<Token> {
+        let mut lx = Lexer::new(s);
+        let mut toks = Vec::new();
+        loop {
+            let (_, t) = lx.next_token().unwrap();
+            let eof = t == Token::Eof;
+            toks.push(t);
+            if eof {
+                break;
+            }
+        }
+        toks
+    }
+
+    #[test]
+    fn lexes_simple_element() {
+        let toks = all_tokens("<a>hi</a>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::StartTag {
+                    name: "a".into(),
+                    attrs: vec![],
+                    self_closing: false
+                },
+                Token::Text("hi".into()),
+                Token::EndTag { name: "a".into() },
+                Token::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_attributes_with_both_quote_styles() {
+        let toks = all_tokens(r#"<e key="concept:name" value='Paid &amp; Shipped'/>"#);
+        match &toks[0] {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => {
+                assert_eq!(name, "e");
+                assert!(self_closing);
+                assert_eq!(attrs[0].name, "key");
+                assert_eq!(attrs[0].value, "concept:name");
+                assert_eq!(attrs[1].value, "Paid & Shipped");
+            }
+            t => panic!("unexpected token {t:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_declaration_comment_doctype_and_whitespace() {
+        let toks = all_tokens(
+            "<?xml version=\"1.0\"?>\n<!DOCTYPE log>\n<!-- a comment -->\n  <log/>  ",
+        );
+        assert_eq!(toks.len(), 2);
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "log"));
+    }
+
+    #[test]
+    fn cdata_is_verbatim_text() {
+        let toks = all_tokens("<a><![CDATA[<not a tag> & raw]]></a>");
+        assert_eq!(toks[1], Token::Text("<not a tag> & raw".into()));
+    }
+
+    #[test]
+    fn numeric_character_references() {
+        assert_eq!(decode_entities("&#65;&#x42;").unwrap(), "AB");
+        assert_eq!(decode_entities("caf&#xE9;").unwrap(), "café");
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        assert!(decode_entities("&nbsp;").is_err());
+        assert!(decode_entities("&unterminated").is_err());
+    }
+
+    #[test]
+    fn unterminated_tag_reports_offset() {
+        let mut lx = Lexer::new("<log key=\"v");
+        let err = lx.next_token().unwrap_err();
+        assert!(matches!(err, XesError::Syntax { .. }));
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        let mut lx = Lexer::new("<!-- never ends");
+        assert!(lx.next_token().is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let original = r#"a<b>&"quote"&'apos'"#;
+        assert_eq!(decode_entities(&encode_entities(original)).unwrap(), original);
+    }
+
+    #[test]
+    fn unicode_in_names_and_text() {
+        let toks = all_tokens("<日志>文本</日志>");
+        assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "日志"));
+        assert_eq!(toks[1], Token::Text("文本".into()));
+    }
+
+    #[test]
+    fn mismatched_quote_is_unterminated() {
+        let mut lx = Lexer::new("<a k=\"v'>");
+        assert!(lx.next_token().is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! The XES document model: logs, traces, events, typed attributes.
+
+/// A typed XES attribute value.
+///
+/// XES defines six elementary types. Dates are kept as their ISO-8601 string
+/// representation: the matcher never does date arithmetic, and preserving the
+/// exact source text makes serialization lossless.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// `<string>`.
+    String(String),
+    /// `<date>`, as the verbatim ISO-8601 text.
+    Date(String),
+    /// `<int>`.
+    Int(i64),
+    /// `<float>`.
+    Float(f64),
+    /// `<boolean>`.
+    Boolean(bool),
+    /// `<id>`.
+    Id(String),
+}
+
+impl AttrValue {
+    /// The XES element name for this value type.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            AttrValue::String(_) => "string",
+            AttrValue::Date(_) => "date",
+            AttrValue::Int(_) => "int",
+            AttrValue::Float(_) => "float",
+            AttrValue::Boolean(_) => "boolean",
+            AttrValue::Id(_) => "id",
+        }
+    }
+
+    /// The serialized `value="..."` text.
+    pub fn value_text(&self) -> String {
+        match self {
+            AttrValue::String(s) | AttrValue::Date(s) | AttrValue::Id(s) => s.clone(),
+            AttrValue::Int(i) => i.to_string(),
+            AttrValue::Float(x) => {
+                // Keep floats round-trippable.
+                format!("{x:?}")
+            }
+            AttrValue::Boolean(b) => b.to_string(),
+        }
+    }
+
+    /// The string payload, if this is a string-like value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::String(s) | AttrValue::Date(s) | AttrValue::Id(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A keyed XES attribute, possibly with nested child attributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// The attribute key, e.g. `concept:name`.
+    pub key: String,
+    /// The typed value.
+    pub value: AttrValue,
+    /// Nested attributes (XES allows arbitrary nesting).
+    pub children: Vec<Attribute>,
+}
+
+impl Attribute {
+    /// Creates a string attribute with no children.
+    pub fn string(key: impl Into<String>, value: impl Into<String>) -> Self {
+        Attribute {
+            key: key.into(),
+            value: AttrValue::String(value.into()),
+            children: Vec::new(),
+        }
+    }
+}
+
+/// Searches `attrs` for the first attribute with `key` and returns its string
+/// payload.
+pub(crate) fn find_string<'a>(attrs: &'a [Attribute], key: &str) -> Option<&'a str> {
+    attrs
+        .iter()
+        .find(|a| a.key == key)
+        .and_then(|a| a.value.as_str())
+}
+
+/// An XES event: a bag of attributes. `concept:name` identifies the activity.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct XesEvent {
+    /// The event's attributes.
+    pub attributes: Vec<Attribute>,
+}
+
+impl XesEvent {
+    /// Creates an event with just a `concept:name`.
+    pub fn named(name: impl Into<String>) -> Self {
+        XesEvent {
+            attributes: vec![Attribute::string("concept:name", name)],
+        }
+    }
+
+    /// The `concept:name` of the event, if present.
+    pub fn name(&self) -> Option<&str> {
+        find_string(&self.attributes, "concept:name")
+    }
+}
+
+/// An XES trace: trace-level attributes plus an ordered list of events.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct XesTrace {
+    /// Trace-level attributes (e.g. the case id under `concept:name`).
+    pub attributes: Vec<Attribute>,
+    /// The events of the trace, in order.
+    pub events: Vec<XesEvent>,
+}
+
+impl XesTrace {
+    /// The `concept:name` (case id) of the trace, if present.
+    pub fn name(&self) -> Option<&str> {
+        find_string(&self.attributes, "concept:name")
+    }
+}
+
+/// An XES log document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct XesLog {
+    /// The `xes.version` root attribute, if present.
+    pub version: Option<String>,
+    /// Log-level attributes.
+    pub attributes: Vec<Attribute>,
+    /// The traces of the log.
+    pub traces: Vec<XesTrace>,
+}
+
+impl XesLog {
+    /// The `concept:name` of the log, if present.
+    pub fn name(&self) -> Option<&str> {
+        find_string(&self.attributes, "concept:name")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_text_roundtrips_types() {
+        assert_eq!(AttrValue::Int(-3).value_text(), "-3");
+        assert_eq!(AttrValue::Boolean(true).value_text(), "true");
+        assert_eq!(AttrValue::Float(0.5).value_text(), "0.5");
+        assert_eq!(AttrValue::String("x".into()).value_text(), "x");
+        assert_eq!(AttrValue::Int(1).tag(), "int");
+        assert_eq!(AttrValue::Id("i".into()).tag(), "id");
+    }
+
+    #[test]
+    fn event_name_reads_concept_name() {
+        let e = XesEvent::named("Ship Goods");
+        assert_eq!(e.name(), Some("Ship Goods"));
+        assert_eq!(XesEvent::default().name(), None);
+    }
+
+    #[test]
+    fn trace_and_log_names() {
+        let mut t = XesTrace::default();
+        t.attributes.push(Attribute::string("concept:name", "case-9"));
+        assert_eq!(t.name(), Some("case-9"));
+        let mut l = XesLog::default();
+        assert_eq!(l.name(), None);
+        l.attributes.push(Attribute::string("concept:name", "orders"));
+        assert_eq!(l.name(), Some("orders"));
+    }
+
+    #[test]
+    fn as_str_only_for_stringlike() {
+        assert_eq!(AttrValue::Date("2014-06-22".into()).as_str(), Some("2014-06-22"));
+        assert_eq!(AttrValue::Int(5).as_str(), None);
+    }
+}

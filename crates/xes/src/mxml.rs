@@ -1,0 +1,366 @@
+//! MXML support — the legacy ProM log format that predates XES.
+//!
+//! Many of the OA systems the paper surveys were built in the early 2000s;
+//! their exporters produce MXML (`<WorkflowLog>` / `<Process>` /
+//! `<ProcessInstance>` / `<AuditTrailEntry>`) rather than XES. This module
+//! parses the MXML subset those exporters emit, reusing the same hand-written
+//! XML [`lexer`](crate::lexer), and serializes back.
+//!
+//! Mapping onto the event model:
+//!
+//! * each `<ProcessInstance>` is a trace;
+//! * each `<AuditTrailEntry>` with a `<WorkflowModelElement>` is one event,
+//!   classified by the element name;
+//! * entries whose `<EventType>` is present but not `complete` are skipped
+//!   by [`to_event_log_complete_only`] (the usual process-mining convention:
+//!   one event per completed activity) and kept by [`to_event_log`].
+
+use crate::error::{XesError, XesResult};
+use crate::lexer::{encode_entities, Lexer, Token};
+use ems_events::EventLog;
+use std::fmt::Write as _;
+
+/// One audit-trail entry of a process instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MxmlEntry {
+    /// The `<WorkflowModelElement>` text: the activity name.
+    pub element: String,
+    /// The `<EventType>` text (e.g. `start`, `complete`), if present.
+    pub event_type: Option<String>,
+    /// The `<Timestamp>` text, if present (kept verbatim).
+    pub timestamp: Option<String>,
+    /// The `<Originator>` text, if present.
+    pub originator: Option<String>,
+}
+
+/// One `<ProcessInstance>`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MxmlInstance {
+    /// The instance `id` attribute, if present.
+    pub id: Option<String>,
+    /// The audit-trail entries in document order.
+    pub entries: Vec<MxmlEntry>,
+}
+
+/// A parsed MXML document (one `<Process>` of a `<WorkflowLog>`; multiple
+/// processes are concatenated).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MxmlLog {
+    /// The process `id`/`description`, if present.
+    pub process: Option<String>,
+    /// The process instances.
+    pub instances: Vec<MxmlInstance>,
+}
+
+/// Parses an MXML document from a string.
+pub fn parse_mxml(input: &str) -> XesResult<MxmlLog> {
+    let mut lexer = Lexer::new(input);
+    let mut log = MxmlLog::default();
+    // States while descending; we only track what we need.
+    let mut instance: Option<MxmlInstance> = None;
+    let mut entry: Option<MxmlEntry> = None;
+    let mut text_target: Option<TextTarget> = None;
+    let mut saw_root = false;
+
+    loop {
+        let (offset, tok) = lexer.next_token()?;
+        match tok {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => match name.as_str() {
+                "WorkflowLog" => saw_root = true,
+                "Process" => {
+                    log.process = attrs
+                        .iter()
+                        .find(|a| a.name == "id" || a.name == "description")
+                        .map(|a| a.value.clone());
+                }
+                "ProcessInstance" => {
+                    let inst = MxmlInstance {
+                        id: attrs.iter().find(|a| a.name == "id").map(|a| a.value.clone()),
+                        entries: Vec::new(),
+                    };
+                    if self_closing {
+                        log.instances.push(inst);
+                    } else {
+                        instance = Some(inst);
+                    }
+                }
+                "AuditTrailEntry" => {
+                    if !self_closing {
+                        entry = Some(MxmlEntry::default());
+                    }
+                }
+                "WorkflowModelElement" => text_target = Some(TextTarget::Element),
+                "EventType" => text_target = Some(TextTarget::EventType),
+                "Timestamp" => text_target = Some(TextTarget::Timestamp),
+                "Originator" => text_target = Some(TextTarget::Originator),
+                _ => {} // Data, Attribute, Source vendor blocks: text ignored
+            },
+            Token::Text(text) => {
+                if let (Some(target), Some(e)) = (text_target, entry.as_mut()) {
+                    let text = text.trim().to_owned();
+                    match target {
+                        TextTarget::Element => e.element = text,
+                        TextTarget::EventType => e.event_type = Some(text),
+                        TextTarget::Timestamp => e.timestamp = Some(text),
+                        TextTarget::Originator => e.originator = Some(text),
+                    }
+                }
+            }
+            Token::EndTag { name } => match name.as_str() {
+                "WorkflowModelElement" | "EventType" | "Timestamp" | "Originator" => {
+                    text_target = None;
+                }
+                "AuditTrailEntry" => {
+                    let e = entry.take().ok_or(XesError::TagMismatch {
+                        expected: "AuditTrailEntry".into(),
+                        found: name,
+                        offset,
+                    })?;
+                    if let Some(inst) = instance.as_mut() {
+                        inst.entries.push(e);
+                    }
+                }
+                "ProcessInstance" => {
+                    let inst = instance.take().ok_or(XesError::TagMismatch {
+                        expected: "ProcessInstance".into(),
+                        found: name,
+                        offset,
+                    })?;
+                    log.instances.push(inst);
+                }
+                _ => {}
+            },
+            Token::Eof => break,
+        }
+    }
+    if !saw_root {
+        return Err(XesError::Structure(
+            "MXML document has no <WorkflowLog> root".into(),
+        ));
+    }
+    if instance.is_some() || entry.is_some() {
+        return Err(XesError::Structure(
+            "unclosed <ProcessInstance> or <AuditTrailEntry>".into(),
+        ));
+    }
+    Ok(log)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum TextTarget {
+    Element,
+    EventType,
+    Timestamp,
+    Originator,
+}
+
+/// Serializes an [`MxmlLog`] back to MXML text (accepted by [`parse_mxml`]).
+pub fn write_mxml(log: &MxmlLog) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<WorkflowLog>\n");
+    let _ = writeln!(
+        out,
+        "  <Process id=\"{}\">",
+        encode_entities(log.process.as_deref().unwrap_or("process"))
+    );
+    for (i, inst) in log.instances.iter().enumerate() {
+        let id = inst
+            .id
+            .clone()
+            .unwrap_or_else(|| format!("case-{}", i + 1));
+        let _ = writeln!(out, "    <ProcessInstance id=\"{}\">", encode_entities(&id));
+        for e in &inst.entries {
+            out.push_str("      <AuditTrailEntry>\n");
+            let _ = writeln!(
+                out,
+                "        <WorkflowModelElement>{}</WorkflowModelElement>",
+                encode_entities(&e.element)
+            );
+            if let Some(t) = &e.event_type {
+                let _ = writeln!(out, "        <EventType>{}</EventType>", encode_entities(t));
+            }
+            if let Some(t) = &e.timestamp {
+                let _ = writeln!(out, "        <Timestamp>{}</Timestamp>", encode_entities(t));
+            }
+            if let Some(o) = &e.originator {
+                let _ = writeln!(
+                    out,
+                    "        <Originator>{}</Originator>",
+                    encode_entities(o)
+                );
+            }
+            out.push_str("      </AuditTrailEntry>\n");
+        }
+        out.push_str("    </ProcessInstance>\n");
+    }
+    out.push_str("  </Process>\n</WorkflowLog>\n");
+    out
+}
+
+/// Projects an MXML log onto the matcher's [`EventLog`], keeping every
+/// audit-trail entry as an event.
+pub fn to_event_log(log: &MxmlLog) -> EventLog {
+    project(log, false)
+}
+
+/// As [`to_event_log`], but keeping only entries whose `<EventType>` is
+/// absent or `complete` (case-insensitive) — the standard one-event-per-
+/// activity view.
+pub fn to_event_log_complete_only(log: &MxmlLog) -> EventLog {
+    project(log, true)
+}
+
+fn project(log: &MxmlLog, complete_only: bool) -> EventLog {
+    let mut out = match &log.process {
+        Some(p) => EventLog::with_name(p.clone()),
+        None => EventLog::new(),
+    };
+    for inst in &log.instances {
+        let events = inst.entries.iter().filter(|e| {
+            !complete_only
+                || e.event_type
+                    .as_deref()
+                    .map(|t| t.eq_ignore_ascii_case("complete"))
+                    .unwrap_or(true)
+        });
+        out.push_trace(events.map(|e| e.element.as_str()));
+    }
+    out
+}
+
+/// Builds an MXML document from an [`EventLog`] (entries typed `complete`).
+pub fn from_event_log(log: &EventLog) -> MxmlLog {
+    MxmlLog {
+        process: log.name().map(str::to_owned),
+        instances: log
+            .traces()
+            .iter()
+            .enumerate()
+            .map(|(i, t)| MxmlInstance {
+                id: Some(format!("case-{}", i + 1)),
+                entries: t
+                    .events()
+                    .iter()
+                    .map(|&e| MxmlEntry {
+                        element: log.name_of(e).to_owned(),
+                        event_type: Some("complete".into()),
+                        timestamp: None,
+                        originator: None,
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<WorkflowLog>
+  <Source program="legacy OA exporter"/>
+  <Process id="turbine orders" description="order processing">
+    <ProcessInstance id="case-1">
+      <AuditTrailEntry>
+        <WorkflowModelElement>Paid by Cash</WorkflowModelElement>
+        <EventType>start</EventType>
+        <Timestamp>2003-06-22T10:00:00</Timestamp>
+      </AuditTrailEntry>
+      <AuditTrailEntry>
+        <WorkflowModelElement>Paid by Cash</WorkflowModelElement>
+        <EventType>complete</EventType>
+        <Originator>clerk-7</Originator>
+      </AuditTrailEntry>
+      <AuditTrailEntry>
+        <WorkflowModelElement>Ship &amp; Email</WorkflowModelElement>
+        <EventType>complete</EventType>
+      </AuditTrailEntry>
+    </ProcessInstance>
+    <ProcessInstance id="case-2"/>
+  </Process>
+</WorkflowLog>"#;
+
+    #[test]
+    fn parses_the_legacy_shape() {
+        let log = parse_mxml(SAMPLE).unwrap();
+        assert_eq!(log.process.as_deref(), Some("turbine orders"));
+        assert_eq!(log.instances.len(), 2);
+        let i0 = &log.instances[0];
+        assert_eq!(i0.id.as_deref(), Some("case-1"));
+        assert_eq!(i0.entries.len(), 3);
+        assert_eq!(i0.entries[0].element, "Paid by Cash");
+        assert_eq!(i0.entries[0].event_type.as_deref(), Some("start"));
+        assert_eq!(
+            i0.entries[0].timestamp.as_deref(),
+            Some("2003-06-22T10:00:00")
+        );
+        assert_eq!(i0.entries[1].originator.as_deref(), Some("clerk-7"));
+        assert_eq!(i0.entries[2].element, "Ship & Email");
+        assert!(log.instances[1].entries.is_empty());
+    }
+
+    #[test]
+    fn complete_only_projection_drops_start_events() {
+        let log = parse_mxml(SAMPLE).unwrap();
+        let all = to_event_log(&log);
+        let complete = to_event_log_complete_only(&log);
+        assert_eq!(all.traces()[0].len(), 3);
+        assert_eq!(complete.traces()[0].len(), 2);
+        assert_eq!(complete.name(), Some("turbine orders"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_model() {
+        let log = parse_mxml(SAMPLE).unwrap();
+        let text = write_mxml(&log);
+        let back = parse_mxml(&text).unwrap();
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn event_log_roundtrip() {
+        let mut log = EventLog::with_name("demo");
+        log.push_trace(["a", "b"]);
+        log.push_trace(["b"]);
+        let mxml = from_event_log(&log);
+        let back = to_event_log_complete_only(&parse_mxml(&write_mxml(&mxml)).unwrap());
+        assert_eq!(back.num_traces(), 2);
+        assert_eq!(back.alphabet_size(), 2);
+        assert_eq!(back.traces()[0].len(), 2);
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        assert!(matches!(
+            parse_mxml("<Process/>"),
+            Err(XesError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn unclosed_instance_is_an_error() {
+        let bad = "<WorkflowLog><Process><ProcessInstance id=\"x\"></Process></WorkflowLog>";
+        // The stray </Process> does not close the instance; EOF leaves it open.
+        assert!(parse_mxml(bad).is_err());
+    }
+
+    #[test]
+    fn vendor_blocks_are_ignored() {
+        let xml = r#"<WorkflowLog>
+          <Source program="x"><Data><Attribute name="k">v</Attribute></Data></Source>
+          <Process><ProcessInstance>
+            <AuditTrailEntry>
+              <Data><Attribute name="noise">zzz</Attribute></Data>
+              <WorkflowModelElement>real</WorkflowModelElement>
+            </AuditTrailEntry>
+          </ProcessInstance></Process>
+        </WorkflowLog>"#;
+        let log = parse_mxml(xml).unwrap();
+        assert_eq!(log.instances[0].entries[0].element, "real");
+    }
+}

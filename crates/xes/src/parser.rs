@@ -1,0 +1,435 @@
+//! Recursive-descent XES parser on top of the [`lexer`](crate::lexer).
+
+use crate::error::{XesError, XesResult};
+use crate::lexer::{Lexer, Token, XmlAttr};
+use crate::model::{AttrValue, Attribute, XesEvent, XesLog, XesTrace};
+
+/// Parses an XES document from a string.
+///
+/// The parser accepts the constructs XES documents actually use: a single
+/// `<log>` root with nested `<trace>` and `<event>` elements and typed
+/// attribute elements (`string`, `date`, `int`, `float`, `boolean`, `id`),
+/// which may nest. Unknown elements (e.g. `<extension>`, `<classifier>`,
+/// `<global>`) are skipped with their subtrees.
+pub fn parse_str(input: &str) -> XesResult<XesLog> {
+    let mut p = Parser {
+        lexer: Lexer::new(input),
+    };
+    let log = p.parse_log()?;
+    // Nothing but whitespace/comments may follow the root element.
+    let (offset, tok) = p.lexer.next_token()?;
+    if tok != Token::Eof {
+        return Err(XesError::Syntax {
+            offset,
+            message: format!("unexpected content after </log>: {tok:?}"),
+        });
+    }
+    Ok(log)
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+}
+
+const ATTR_TAGS: [&str; 6] = ["string", "date", "int", "float", "boolean", "id"];
+
+impl<'a> Parser<'a> {
+    fn parse_log(&mut self) -> XesResult<XesLog> {
+        // Find the root element.
+        let (offset, tok) = self.lexer.next_token()?;
+        let (name, attrs, self_closing) = match tok {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => (name, attrs, self_closing),
+            Token::Eof => return Err(XesError::Structure("empty document".into())),
+            other => {
+                return Err(XesError::Syntax {
+                    offset,
+                    message: format!("expected root element, found {other:?}"),
+                })
+            }
+        };
+        if name != "log" {
+            return Err(XesError::Structure(format!(
+                "root element must be <log>, found <{name}>"
+            )));
+        }
+        let mut log = XesLog {
+            version: xml_attr(&attrs, "xes.version").map(str::to_owned),
+            ..XesLog::default()
+        };
+        if self_closing {
+            return Ok(log);
+        }
+        loop {
+            let (offset, tok) = self.lexer.next_token()?;
+            match tok {
+                Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                } => match name.as_str() {
+                    "trace" => {
+                        let trace = if self_closing {
+                            XesTrace::default()
+                        } else {
+                            self.parse_trace()?
+                        };
+                        log.traces.push(trace);
+                    }
+                    "event" => {
+                        return Err(XesError::Structure(
+                            "<event> must appear inside a <trace>".into(),
+                        ))
+                    }
+                    t if ATTR_TAGS.contains(&t) => {
+                        log.attributes
+                            .push(self.parse_attribute(&name, &attrs, self_closing, offset)?)
+                    }
+                    _ => {
+                        // extension / classifier / global / vendor elements.
+                        if !self_closing {
+                            self.skip_subtree(&name)?;
+                        }
+                    }
+                },
+                Token::EndTag { name } if name == "log" => return Ok(log),
+                Token::EndTag { name } => {
+                    return Err(XesError::TagMismatch {
+                        expected: "log".into(),
+                        found: name,
+                        offset,
+                    })
+                }
+                Token::Text(_) => {} // stray text inside <log> is ignored
+                Token::Eof => {
+                    return Err(XesError::Structure("unclosed <log> element".into()))
+                }
+            }
+        }
+    }
+
+    fn parse_trace(&mut self) -> XesResult<XesTrace> {
+        let mut trace = XesTrace::default();
+        loop {
+            let (offset, tok) = self.lexer.next_token()?;
+            match tok {
+                Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                } => match name.as_str() {
+                    "event" => {
+                        let ev = if self_closing {
+                            XesEvent::default()
+                        } else {
+                            self.parse_event()?
+                        };
+                        trace.events.push(ev);
+                    }
+                    "trace" => {
+                        return Err(XesError::Structure("<trace> cannot nest".into()));
+                    }
+                    t if ATTR_TAGS.contains(&t) => {
+                        trace
+                            .attributes
+                            .push(self.parse_attribute(&name, &attrs, self_closing, offset)?)
+                    }
+                    _ => {
+                        if !self_closing {
+                            self.skip_subtree(&name)?;
+                        }
+                    }
+                },
+                Token::EndTag { name } if name == "trace" => return Ok(trace),
+                Token::EndTag { name } => {
+                    return Err(XesError::TagMismatch {
+                        expected: "trace".into(),
+                        found: name,
+                        offset,
+                    })
+                }
+                Token::Text(_) => {}
+                Token::Eof => {
+                    return Err(XesError::Structure("unclosed <trace> element".into()))
+                }
+            }
+        }
+    }
+
+    fn parse_event(&mut self) -> XesResult<XesEvent> {
+        let mut event = XesEvent::default();
+        loop {
+            let (offset, tok) = self.lexer.next_token()?;
+            match tok {
+                Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                } => {
+                    if ATTR_TAGS.contains(&name.as_str()) {
+                        event
+                            .attributes
+                            .push(self.parse_attribute(&name, &attrs, self_closing, offset)?);
+                    } else if name == "event" || name == "trace" {
+                        return Err(XesError::Structure(format!("<{name}> cannot nest in <event>")));
+                    } else if !self_closing {
+                        self.skip_subtree(&name)?;
+                    }
+                }
+                Token::EndTag { name } if name == "event" => return Ok(event),
+                Token::EndTag { name } => {
+                    return Err(XesError::TagMismatch {
+                        expected: "event".into(),
+                        found: name,
+                        offset,
+                    })
+                }
+                Token::Text(_) => {}
+                Token::Eof => {
+                    return Err(XesError::Structure("unclosed <event> element".into()))
+                }
+            }
+        }
+    }
+
+    fn parse_attribute(
+        &mut self,
+        tag: &str,
+        attrs: &[XmlAttr],
+        self_closing: bool,
+        offset: usize,
+    ) -> XesResult<Attribute> {
+        let key = xml_attr(attrs, "key")
+            .ok_or_else(|| XesError::Structure(format!("<{tag}> missing `key` at byte {offset}")))?
+            .to_owned();
+        let raw = xml_attr(attrs, "value").unwrap_or("");
+        let value = parse_value(tag, raw).map_err(|m| XesError::Structure(format!(
+            "attribute `{key}` at byte {offset}: {m}"
+        )))?;
+        let mut attribute = Attribute {
+            key,
+            value,
+            children: Vec::new(),
+        };
+        if self_closing {
+            return Ok(attribute);
+        }
+        // Nested attributes until the matching end tag.
+        loop {
+            let (offset, tok) = self.lexer.next_token()?;
+            match tok {
+                Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                } => {
+                    if ATTR_TAGS.contains(&name.as_str()) {
+                        attribute
+                            .children
+                            .push(self.parse_attribute(&name, &attrs, self_closing, offset)?);
+                    } else if !self_closing {
+                        self.skip_subtree(&name)?;
+                    }
+                }
+                Token::EndTag { name } if name == tag => return Ok(attribute),
+                Token::EndTag { name } => {
+                    return Err(XesError::TagMismatch {
+                        expected: tag.to_owned(),
+                        found: name,
+                        offset,
+                    })
+                }
+                Token::Text(_) => {}
+                Token::Eof => {
+                    return Err(XesError::Structure(format!("unclosed <{tag}> element")))
+                }
+            }
+        }
+    }
+
+    /// Consumes tokens until the end tag matching an already-consumed start
+    /// tag `name`, handling same-name nesting.
+    fn skip_subtree(&mut self, name: &str) -> XesResult<()> {
+        let mut depth = 1usize;
+        loop {
+            let (_, tok) = self.lexer.next_token()?;
+            match tok {
+                Token::StartTag {
+                    name: n,
+                    self_closing,
+                    ..
+                } if n == name && !self_closing => depth += 1,
+                Token::EndTag { name: n } if n == name => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                Token::Eof => {
+                    return Err(XesError::Structure(format!("unclosed <{name}> element")))
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+fn xml_attr<'x>(attrs: &'x [XmlAttr], name: &str) -> Option<&'x str> {
+    attrs
+        .iter()
+        .find(|a| a.name == name)
+        .map(|a| a.value.as_str())
+}
+
+fn parse_value(tag: &str, raw: &str) -> Result<AttrValue, String> {
+    Ok(match tag {
+        "string" => AttrValue::String(raw.to_owned()),
+        "date" => AttrValue::Date(raw.to_owned()),
+        "id" => AttrValue::Id(raw.to_owned()),
+        "int" => AttrValue::Int(raw.parse().map_err(|_| format!("`{raw}` is not an int"))?),
+        "float" => AttrValue::Float(raw.parse().map_err(|_| format!("`{raw}` is not a float"))?),
+        "boolean" => AttrValue::Boolean(match raw {
+            "true" | "True" | "TRUE" | "1" => true,
+            "false" | "False" | "FALSE" | "0" => false,
+            _ => return Err(format!("`{raw}` is not a boolean")),
+        }),
+        _ => unreachable!("parse_value called with non-attribute tag {tag}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<!-- exported by a heterogeneous OA system -->
+<log xes.version="2.0" xmlns="http://www.xes-standard.org/">
+  <extension name="Concept" prefix="concept" uri="http://..."/>
+  <classifier name="Activity" keys="concept:name"/>
+  <string key="concept:name" value="turbine orders"/>
+  <trace>
+    <string key="concept:name" value="case-1"/>
+    <event>
+      <string key="concept:name" value="Paid by Cash"/>
+      <date key="time:timestamp" value="2014-06-22T10:00:00.000+08:00"/>
+      <int key="org:resource_id" value="42"/>
+    </event>
+    <event>
+      <string key="concept:name" value="Check Inventory"/>
+      <boolean key="auto" value="true"/>
+      <float key="cost" value="12.5"/>
+    </event>
+  </trace>
+  <trace>
+    <event><string key="concept:name" value="?????"/></event>
+  </trace>
+</log>"#;
+
+    #[test]
+    fn parses_full_sample() {
+        let log = parse_str(SAMPLE).unwrap();
+        assert_eq!(log.version.as_deref(), Some("2.0"));
+        assert_eq!(log.name(), Some("turbine orders"));
+        assert_eq!(log.traces.len(), 2);
+        let t0 = &log.traces[0];
+        assert_eq!(t0.name(), Some("case-1"));
+        assert_eq!(t0.events.len(), 2);
+        assert_eq!(t0.events[0].name(), Some("Paid by Cash"));
+        assert_eq!(
+            t0.events[1].attributes[1].value,
+            AttrValue::Boolean(true)
+        );
+        assert_eq!(t0.events[1].attributes[2].value, AttrValue::Float(12.5));
+        // Opaque name survives verbatim.
+        assert_eq!(log.traces[1].events[0].name(), Some("?????"));
+    }
+
+    #[test]
+    fn nested_attributes_parse() {
+        let xml = r#"<log><trace><event>
+            <string key="outer" value="o">
+              <string key="inner" value="i"/>
+            </string>
+        </event></trace></log>"#;
+        let log = parse_str(xml).unwrap();
+        let attr = &log.traces[0].events[0].attributes[0];
+        assert_eq!(attr.key, "outer");
+        assert_eq!(attr.children[0].key, "inner");
+    }
+
+    #[test]
+    fn rejects_non_log_root() {
+        assert!(matches!(
+            parse_str("<trace/>"),
+            Err(XesError::Structure(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_event_outside_trace() {
+        assert!(parse_str("<log><event/></log>").is_err());
+    }
+
+    #[test]
+    fn rejects_nested_trace() {
+        assert!(parse_str("<log><trace><trace/></trace></log>").is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        assert!(matches!(
+            parse_str("<log><trace></log></trace>"),
+            Err(XesError::TagMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unclosed_log() {
+        assert!(parse_str("<log><trace></trace>").is_err());
+        assert!(parse_str("").is_err());
+    }
+
+    #[test]
+    fn attribute_missing_key_is_structural_error() {
+        assert!(parse_str(r#"<log><string value="v"/></log>"#).is_err());
+    }
+
+    #[test]
+    fn bad_typed_values_are_errors() {
+        assert!(parse_str(r#"<log><int key="k" value="NaN"/></log>"#).is_err());
+        assert!(parse_str(r#"<log><boolean key="k" value="maybe"/></log>"#).is_err());
+        assert!(parse_str(r#"<log><float key="k" value="wide"/></log>"#).is_err());
+    }
+
+    #[test]
+    fn self_closing_trace_and_event() {
+        let log = parse_str("<log><trace/><trace><event/></trace></log>").unwrap();
+        assert_eq!(log.traces.len(), 2);
+        assert!(log.traces[0].events.is_empty());
+        assert_eq!(log.traces[1].events.len(), 1);
+    }
+
+    #[test]
+    fn unknown_elements_are_skipped_with_subtrees() {
+        let xml = r#"<log>
+          <global scope="event"><string key="concept:name" value="UNKNOWN"/></global>
+          <trace><event><string key="concept:name" value="a"/></event></trace>
+        </log>"#;
+        let log = parse_str(xml).unwrap();
+        // The global's attribute must NOT leak into log attributes.
+        assert!(log.attributes.is_empty());
+        assert_eq!(log.traces[0].events[0].name(), Some("a"));
+    }
+
+    #[test]
+    fn entities_in_values_are_decoded() {
+        let xml = r#"<log><trace><event>
+            <string key="concept:name" value="Ship &amp; Email &lt;now&gt;"/>
+        </event></trace></log>"#;
+        let log = parse_str(xml).unwrap();
+        assert_eq!(log.traces[0].events[0].name(), Some("Ship & Email <now>"));
+    }
+}

@@ -1,0 +1,274 @@
+//! Streaming XES ingestion: build an [`EventLog`] directly from the token
+//! stream without materializing the document tree.
+//!
+//! Real OA exports run to hundreds of megabytes; the matcher only needs
+//! each event's `concept:name`. This path keeps memory proportional to the
+//! *output* (interned names + traces) rather than the XML tree: attribute
+//! values other than the classifier are never allocated.
+
+use crate::error::{XesError, XesResult};
+use crate::lexer::{Lexer, Token};
+use ems_events::{EventLog, LogBuilder};
+
+/// Parses XES text straight into an [`EventLog`], classifying events by
+/// `concept:name` (events without one become `"<unnamed>"`).
+///
+/// Structural validation matches [`parse_str`](crate::parse_str): a single
+/// `<log>` root, traces not nested, events only inside traces. Unknown
+/// elements are skipped. Equivalent to
+/// `to_event_log(&parse_str(text)?)` but without the intermediate tree.
+pub fn parse_event_log(input: &str) -> XesResult<EventLog> {
+    let mut lexer = Lexer::new(input);
+    let mut builder = LogBuilder::new();
+    let mut log_name: Option<String> = None;
+
+    // Where are we? Depth counters instead of a recursive tree build.
+    let mut in_log = false;
+    let mut in_trace = false;
+    let mut in_event = false;
+    let mut root_closed = false;
+    // Name of the current event, captured from its concept:name attribute.
+    let mut event_name: Option<String> = None;
+    // Depth of skipped unknown subtrees (per containing state).
+    let mut skip_depth = 0usize;
+    let mut skip_tag = String::new();
+    // Depth of nested attribute elements inside the current event; only the
+    // top-level concept:name counts.
+    let mut attr_depth = 0usize;
+
+    loop {
+        let (offset, tok) = lexer.next_token()?;
+        if skip_depth > 0 {
+            match &tok {
+                Token::StartTag {
+                    name, self_closing, ..
+                } if *name == skip_tag && !self_closing => skip_depth += 1,
+                Token::EndTag { name } if *name == skip_tag => skip_depth -= 1,
+                Token::Eof => {
+                    return Err(XesError::Structure(format!(
+                        "unclosed <{skip_tag}> element"
+                    )))
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match tok {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => match name.as_str() {
+                "log" if !in_log && !root_closed => {
+                    in_log = true;
+                    if self_closing {
+                        in_log = false;
+                        root_closed = true;
+                    }
+                }
+                "log" => return Err(XesError::Structure("<log> cannot nest".into())),
+                "trace" if in_log && !in_trace => {
+                    if self_closing {
+                        builder.begin_trace();
+                        builder.end_trace();
+                    } else {
+                        in_trace = true;
+                        builder.begin_trace();
+                    }
+                }
+                "trace" => {
+                    return Err(XesError::Structure(
+                        "<trace> must be directly inside <log>".into(),
+                    ))
+                }
+                "event" if in_trace && !in_event => {
+                    if self_closing {
+                        builder.event("<unnamed>");
+                    } else {
+                        in_event = true;
+                        event_name = None;
+                    }
+                }
+                "event" => {
+                    return Err(XesError::Structure(
+                        "<event> must be directly inside a <trace>".into(),
+                    ))
+                }
+                "string" | "date" | "int" | "float" | "boolean" | "id" => {
+                    // Only top-level concept:name attributes matter: the
+                    // event's (its activity) and the log's (its name).
+                    if attr_depth == 0 {
+                        let mut key = None;
+                        let mut value = None;
+                        for a in &attrs {
+                            match a.name.as_str() {
+                                "key" => key = Some(a.value.as_str()),
+                                "value" => value = Some(a.value.as_str()),
+                                _ => {}
+                            }
+                        }
+                        if key.is_none() {
+                            return Err(XesError::Structure(format!(
+                                "<{name}> missing `key` at byte {offset}"
+                            )));
+                        }
+                        if key == Some("concept:name") {
+                            if in_event {
+                                if let Some(v) = value {
+                                    event_name = Some(v.to_owned());
+                                }
+                            } else if in_log && !in_trace {
+                                if let Some(v) = value {
+                                    log_name = Some(v.to_owned());
+                                }
+                            }
+                        }
+                    }
+                    if !self_closing {
+                        attr_depth += 1;
+                        // Nested children are attribute elements too; track by
+                        // counting any of the six tags uniformly via skip of
+                        // depth — handled by attr_depth on matching EndTag.
+                    }
+                }
+                other => {
+                    if !self_closing {
+                        skip_tag = other.to_owned();
+                        skip_depth = 1;
+                    }
+                }
+            },
+            Token::EndTag { name } => match name.as_str() {
+                "log" if in_log && !in_trace => {
+                    in_log = false;
+                    root_closed = true;
+                }
+                "trace" if in_trace && !in_event => {
+                    in_trace = false;
+                    builder.end_trace();
+                }
+                "event" if in_event && attr_depth == 0 => {
+                    in_event = false;
+                    builder.event(event_name.as_deref().unwrap_or("<unnamed>"));
+                }
+                "string" | "date" | "int" | "float" | "boolean" | "id" if attr_depth > 0 => {
+                    attr_depth -= 1;
+                }
+                other => {
+                    return Err(XesError::TagMismatch {
+                        expected: if in_event {
+                            "event".into()
+                        } else if in_trace {
+                            "trace".into()
+                        } else {
+                            "log".into()
+                        },
+                        found: other.to_owned(),
+                        offset,
+                    })
+                }
+            },
+            Token::Text(_) => {}
+            Token::Eof => {
+                if in_log || in_trace || in_event || attr_depth > 0 {
+                    return Err(XesError::Structure("truncated document".into()));
+                }
+                if !root_closed {
+                    return Err(XesError::Structure("empty document".into()));
+                }
+                break;
+            }
+        }
+    }
+    let mut log = builder.finish();
+    if let Some(n) = log_name.take() {
+        log.set_name(n);
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_str, to_event_log};
+
+    const SAMPLE: &str = r#"<?xml version="1.0"?>
+<log xes.version="2.0">
+  <extension name="Concept" prefix="concept" uri="u"/>
+  <string key="concept:name" value="orders"/>
+  <trace>
+    <string key="concept:name" value="case-1"/>
+    <event>
+      <string key="concept:name" value="pay"/>
+      <date key="time:timestamp" value="2014-01-01"/>
+    </event>
+    <event>
+      <string key="outer" value="o">
+        <string key="concept:name" value="NOT-THE-EVENT-NAME"/>
+      </string>
+      <string key="concept:name" value="ship"/>
+    </event>
+    <event/>
+  </trace>
+  <trace/>
+</log>"#;
+
+    #[test]
+    fn streaming_matches_tree_based_conversion() {
+        let streamed = parse_event_log(SAMPLE).unwrap();
+        let tree = to_event_log(&parse_str(SAMPLE).unwrap());
+        assert_eq!(streamed.num_traces(), tree.num_traces());
+        assert_eq!(streamed.alphabet_size(), tree.alphabet_size());
+        for (a, b) in streamed.traces().iter().zip(tree.traces()) {
+            let na: Vec<&str> = a.events().iter().map(|&e| streamed.name_of(e)).collect();
+            let nb: Vec<&str> = b.events().iter().map(|&e| tree.name_of(e)).collect();
+            assert_eq!(na, nb);
+        }
+    }
+
+    #[test]
+    fn nested_concept_name_does_not_leak() {
+        let log = parse_event_log(SAMPLE).unwrap();
+        assert!(log.id_of("NOT-THE-EVENT-NAME").is_none());
+        assert!(log.id_of("ship").is_some());
+    }
+
+    #[test]
+    fn trace_level_concept_name_is_not_an_event() {
+        let log = parse_event_log(SAMPLE).unwrap();
+        assert!(log.id_of("case-1").is_none());
+        // Events: pay, ship, <unnamed>.
+        assert_eq!(log.alphabet_size(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(parse_event_log("").is_err());
+        assert!(parse_event_log("<log><trace>").is_err());
+        assert!(parse_event_log("<log><event/></log>").is_err());
+        assert!(parse_event_log("<log><trace><trace/></trace></log>").is_err());
+        assert!(parse_event_log("<trace/>").is_err());
+        assert!(parse_event_log("<log></trace></log>").is_err());
+        assert!(parse_event_log("<log><unknown></log>").is_err());
+    }
+
+    #[test]
+    fn large_log_streams_equivalently() {
+        let mut doc = String::from("<log>");
+        for t in 0..100 {
+            doc.push_str("<trace>");
+            for e in 0..10 {
+                doc.push_str(&format!(
+                    "<event><string key=\"concept:name\" value=\"a{}\"/></event>",
+                    (t * e) % 5
+                ));
+            }
+            doc.push_str("</trace>");
+        }
+        doc.push_str("</log>");
+        let streamed = parse_event_log(&doc).unwrap();
+        let tree = to_event_log(&parse_str(&doc).unwrap());
+        assert_eq!(streamed.num_events(), tree.num_events());
+        assert_eq!(streamed.alphabet_size(), tree.alphabet_size());
+    }
+}

@@ -1,0 +1,124 @@
+//! XES serializer producing documents the [`parser`](crate::parser) accepts.
+
+use crate::lexer::encode_entities;
+use crate::model::{Attribute, XesLog};
+use std::fmt::Write as _;
+
+/// Serializes `log` to an XES document string.
+pub fn write_string(log: &XesLog) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    let version = log.version.as_deref().unwrap_or("2.0");
+    let _ = writeln!(
+        out,
+        "<log xes.version=\"{}\" xmlns=\"http://www.xes-standard.org/\">",
+        encode_entities(version)
+    );
+    for attr in &log.attributes {
+        write_attribute(&mut out, attr, 1);
+    }
+    for trace in &log.traces {
+        out.push_str("  <trace>\n");
+        for attr in &trace.attributes {
+            write_attribute(&mut out, attr, 2);
+        }
+        for event in &trace.events {
+            if event.attributes.is_empty() {
+                out.push_str("    <event/>\n");
+                continue;
+            }
+            out.push_str("    <event>\n");
+            for attr in &event.attributes {
+                write_attribute(&mut out, attr, 3);
+            }
+            out.push_str("    </event>\n");
+        }
+        out.push_str("  </trace>\n");
+    }
+    out.push_str("</log>\n");
+    out
+}
+
+fn write_attribute(out: &mut String, attr: &Attribute, depth: usize) {
+    let pad = "  ".repeat(depth);
+    let tag = attr.value.tag();
+    let key = encode_entities(&attr.key);
+    let value = encode_entities(&attr.value.value_text());
+    if attr.children.is_empty() {
+        let _ = writeln!(out, "{pad}<{tag} key=\"{key}\" value=\"{value}\"/>");
+    } else {
+        let _ = writeln!(out, "{pad}<{tag} key=\"{key}\" value=\"{value}\">");
+        for child in &attr.children {
+            write_attribute(out, child, depth + 1);
+        }
+        let _ = writeln!(out, "{pad}</{tag}>");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AttrValue, Attribute, XesEvent, XesLog, XesTrace};
+    use crate::parser::parse_str;
+
+    fn sample_log() -> XesLog {
+        XesLog {
+            version: Some("2.0".into()),
+            attributes: vec![Attribute::string("concept:name", "demo & log")],
+            traces: vec![XesTrace {
+                attributes: vec![Attribute::string("concept:name", "case<1>")],
+                events: vec![
+                    XesEvent::named("Paid \"by\" Cash"),
+                    XesEvent {
+                        attributes: vec![
+                            Attribute::string("concept:name", "Validate"),
+                            Attribute {
+                                key: "cost".into(),
+                                value: AttrValue::Float(1.25),
+                                children: vec![Attribute {
+                                    key: "currency".into(),
+                                    value: AttrValue::String("CNY".into()),
+                                    children: vec![],
+                                }],
+                            },
+                            Attribute {
+                                key: "n".into(),
+                                value: AttrValue::Int(-7),
+                                children: vec![],
+                            },
+                            Attribute {
+                                key: "ok".into(),
+                                value: AttrValue::Boolean(false),
+                                children: vec![],
+                            },
+                        ],
+                    },
+                    XesEvent::default(),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_model() {
+        let log = sample_log();
+        let text = write_string(&log);
+        let parsed = parse_str(&text).unwrap();
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn special_characters_are_escaped() {
+        let text = write_string(&sample_log());
+        assert!(text.contains("demo &amp; log"));
+        assert!(text.contains("case&lt;1&gt;"));
+        assert!(!text.contains("case<1>"));
+    }
+
+    #[test]
+    fn empty_log_serializes() {
+        let text = write_string(&XesLog::default());
+        let parsed = parse_str(&text).unwrap();
+        assert!(parsed.traces.is_empty());
+    }
+}

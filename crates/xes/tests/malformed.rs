@@ -1,0 +1,151 @@
+//! Failure-injection suite: the parser must reject malformed documents with
+//! a descriptive error and must never panic.
+
+use ems_xes::{parse_str, XesError};
+
+fn assert_rejected(input: &str, note: &str) {
+    match parse_str(input) {
+        Err(_) => {}
+        Ok(_) => panic!("accepted malformed input ({note}): {input:?}"),
+    }
+}
+
+#[test]
+fn truncated_documents() {
+    for (input, note) in [
+        ("", "empty"),
+        ("<", "lone angle bracket"),
+        ("<log", "unterminated start tag"),
+        ("<log>", "unclosed root"),
+        ("<log><trace>", "unclosed trace"),
+        ("<log><trace><event>", "unclosed event"),
+        ("<log><trace><event><string key=\"a\" value=\"b\">", "unclosed attribute"),
+        ("<log><!-- comment that never ends", "unterminated comment"),
+        ("<log><![CDATA[ stuck", "unterminated cdata"),
+        ("<?xml version=\"1.0\"", "unterminated declaration"),
+    ] {
+        assert_rejected(input, note);
+    }
+}
+
+#[test]
+fn structural_violations() {
+    for (input, note) in [
+        ("<trace/>", "wrong root"),
+        ("<log></trace>", "mismatched close"),
+        ("<log><event/></log>", "event outside trace"),
+        ("<log><trace><trace/></trace></log>", "nested trace"),
+        (
+            "<log><trace><event><event/></event></trace></log>",
+            "nested event",
+        ),
+        ("<log><string value=\"v\"/></log>", "attribute without key"),
+        ("<log></log></log>", "content after root is a stray close"),
+    ] {
+        assert_rejected(input, note);
+    }
+}
+
+#[test]
+fn bad_typed_values() {
+    for (input, note) in [
+        (r#"<log><int key="k" value="3.5"/></log>"#, "float as int"),
+        (r#"<log><int key="k" value=""/></log>"#, "empty int"),
+        (r#"<log><float key="k" value="1,5"/></log>"#, "comma decimal"),
+        (r#"<log><boolean key="k" value="yes"/></log>"#, "yes boolean"),
+    ] {
+        assert_rejected(input, note);
+    }
+}
+
+#[test]
+fn bad_entities() {
+    for (input, note) in [
+        (r#"<log><string key="k" value="&nbsp;"/></log>"#, "html entity"),
+        (r#"<log><string key="k" value="&#xZZ;"/></log>"#, "bad hex ref"),
+        (r#"<log><string key="k" value="&#2000000000;"/></log>"#, "out of range ref"),
+        (r#"<log><string key="k" value="&unterminated"/></log>"#, "unterminated entity"),
+    ] {
+        assert_rejected(input, note);
+    }
+}
+
+#[test]
+fn errors_carry_positions_or_descriptions() {
+    let err = parse_str("<log><trace></log>").unwrap_err();
+    match err {
+        XesError::TagMismatch {
+            expected, found, ..
+        } => {
+            assert_eq!(expected, "trace");
+            assert_eq!(found, "log");
+        }
+        other => panic!("expected TagMismatch, got {other:?}"),
+    }
+    let err = parse_str("<log attr=\"unterminated></log>").unwrap_err();
+    assert!(matches!(err, XesError::Syntax { .. }));
+    assert!(err.to_string().contains("byte"));
+}
+
+#[test]
+fn weird_but_wellformed_documents_are_accepted() {
+    // Things that look suspicious but are legal in our XES subset.
+    for input in [
+        "<log/>",
+        "<log></log>",
+        "<log>stray text</log>",
+        "<log><trace/><trace/><trace/></log>",
+        "<log><unknown><deeply><nested/></deeply></unknown></log>",
+        "<log xes.version=\"1.0\" randomattr='single quotes'/>",
+        "<log><trace><event><string key=\"k\" value=\"\"/></event></trace></log>",
+        "<log><!--c--><trace><!--c--><event/><!--c--></trace></log>",
+    ] {
+        parse_str(input).unwrap_or_else(|e| panic!("rejected {input:?}: {e}"));
+    }
+}
+
+#[test]
+fn deeply_nested_attributes_do_not_overflow() {
+    // 200 levels of nested <string> attributes: recursion depth check.
+    let mut doc = String::from("<log><trace><event>");
+    for i in 0..200 {
+        doc.push_str(&format!("<string key=\"k{i}\" value=\"v\">"));
+    }
+    for _ in 0..200 {
+        doc.push_str("</string>");
+    }
+    doc.push_str("</event></trace></log>");
+    let log = parse_str(&doc).unwrap();
+    // The chain is preserved.
+    let mut depth = 0;
+    let mut attr = &log.traces[0].events[0].attributes[0];
+    loop {
+        depth += 1;
+        match attr.children.first() {
+            Some(child) => attr = child,
+            None => break,
+        }
+    }
+    assert_eq!(depth, 200);
+}
+
+#[test]
+fn large_flat_document_parses() {
+    let mut doc = String::from("<log>");
+    for t in 0..200 {
+        doc.push_str("<trace>");
+        for e in 0..20 {
+            doc.push_str(&format!(
+                "<event><string key=\"concept:name\" value=\"act{}\"/></event>",
+                (t + e) % 7
+            ));
+        }
+        doc.push_str("</trace>");
+    }
+    doc.push_str("</log>");
+    let log = parse_str(&doc).unwrap();
+    assert_eq!(log.traces.len(), 200);
+    let event_log = ems_xes::to_event_log(&log);
+    assert_eq!(event_log.alphabet_size(), 7);
+    assert_eq!(event_log.num_events(), 4000);
+}

@@ -1,0 +1,95 @@
+//! Property tests: XES serialization round-trips arbitrary documents.
+
+use ems_xes::{parse_str, write_string, AttrValue, Attribute, XesEvent, XesLog, XesTrace};
+use proptest::prelude::*;
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Exercise the escaper: quotes, angle brackets, ampersands, unicode.
+    proptest::string::string_regex("[a-zA-Z0-9 <>&\"'?一-鿿]{0,16}").expect("valid regex")
+}
+
+fn arb_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        arb_text().prop_map(AttrValue::String),
+        arb_text().prop_map(AttrValue::Date),
+        any::<i64>().prop_map(AttrValue::Int),
+        // Finite floats only: NaN breaks equality, infinities don't parse.
+        (-1e12f64..1e12).prop_map(AttrValue::Float),
+        any::<bool>().prop_map(AttrValue::Boolean),
+        arb_text().prop_map(AttrValue::Id),
+    ]
+}
+
+fn arb_key() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z][a-zA-Z0-9:_.-]{0,10}").expect("valid regex")
+}
+
+fn arb_attribute() -> impl Strategy<Value = Attribute> {
+    // One level of nesting is enough to exercise the recursive paths.
+    (arb_key(), arb_value(), prop::collection::vec((arb_key(), arb_value()), 0..3)).prop_map(
+        |(key, value, children)| Attribute {
+            key,
+            value,
+            children: children
+                .into_iter()
+                .map(|(key, value)| Attribute {
+                    key,
+                    value,
+                    children: vec![],
+                })
+                .collect(),
+        },
+    )
+}
+
+fn arb_log() -> impl Strategy<Value = XesLog> {
+    let event = prop::collection::vec(arb_attribute(), 0..3)
+        .prop_map(|attributes| XesEvent { attributes });
+    let trace = (
+        prop::collection::vec(arb_attribute(), 0..2),
+        prop::collection::vec(event, 0..5),
+    )
+        .prop_map(|(attributes, events)| XesTrace { attributes, events });
+    (
+        prop::collection::vec(arb_attribute(), 0..2),
+        prop::collection::vec(trace, 0..5),
+    )
+        .prop_map(|(attributes, traces)| XesLog {
+            version: Some("2.0".into()),
+            attributes,
+            traces,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn write_parse_roundtrip(log in arb_log()) {
+        let text = write_string(&log);
+        let parsed = parse_str(&text).expect("own output must parse");
+        prop_assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn double_roundtrip_is_stable(log in arb_log()) {
+        let once = write_string(&log);
+        let twice = write_string(&parse_str(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn float_roundtrip_preserves_value_exactly() {
+    let log = XesLog {
+        version: None,
+        attributes: vec![Attribute {
+            key: "x".into(),
+            value: AttrValue::Float(0.1 + 0.2),
+            children: vec![],
+        }],
+        traces: vec![],
+    };
+    let parsed = parse_str(&write_string(&log)).unwrap();
+    assert_eq!(parsed.attributes[0].value, AttrValue::Float(0.1 + 0.2));
+}

@@ -1,0 +1,126 @@
+//! All six matchers — EMS, EMS+es, GED, OPQ, BHV and Similarity Flooding —
+//! on the same dislocated, opaque log pair, scored against ground truth.
+//!
+//! ```sh
+//! cargo run --release --example baselines_showdown
+//! ```
+
+use event_matching::assignment::max_total_assignment;
+use event_matching::baselines::bhv::trace_start_anchors;
+use event_matching::baselines::{Bhv, Ged, Opq, OpqParams, SimilarityFlooding};
+use event_matching::core::{Ems, EmsParams, SimMatrix};
+use event_matching::depgraph::DependencyGraph;
+use event_matching::eval::{score, Stopwatch, Table};
+use event_matching::events::EventId;
+use event_matching::labels::LabelMatrix;
+use event_matching::synth::{Dislocation, PairConfig, PairGenerator, TreeConfig};
+
+fn main() {
+    let pair = PairGenerator::new(PairConfig {
+        tree: TreeConfig {
+            num_activities: 18,
+            seed: 51,
+            max_branch: 5,
+            ..TreeConfig::default()
+        },
+        traces_per_log: 80,
+        seed: 151,
+        dislocation: Dislocation::Front(2),
+        opaque_fraction: 1.0,
+        xor_jitter: 0.25,
+        ..PairConfig::default()
+    })
+    .generate();
+    let (l1, l2) = (&pair.log1, &pair.log2);
+    let g1 = DependencyGraph::from_log(l1);
+    let g2 = DependencyGraph::from_log(l2);
+    let labels = LabelMatrix::zeros(g1.num_real(), g2.num_real());
+
+    let score_matrix = |sim: &SimMatrix| -> f64 {
+        let cs = max_total_assignment(sim.rows(), sim.cols(), |i, j| sim.get(i, j), 1e-6);
+        let found: Vec<(String, String)> = cs
+            .iter()
+            .map(|c| {
+                (
+                    l1.name_of(EventId::from_index(c.left)).to_owned(),
+                    l2.name_of(EventId::from_index(c.right)).to_owned(),
+                )
+            })
+            .collect();
+        score(
+            pair.truth.iter(),
+            found.iter().map(|(a, b)| (a.as_str(), b.as_str())),
+        )
+        .f_measure
+    };
+    let score_mapping = |mapping: &[(usize, usize)]| -> f64 {
+        let found: Vec<(String, String)> = mapping
+            .iter()
+            .map(|&(a, b)| {
+                (
+                    l1.name_of(EventId::from_index(a)).to_owned(),
+                    l2.name_of(EventId::from_index(b)).to_owned(),
+                )
+            })
+            .collect();
+        score(
+            pair.truth.iter(),
+            found.iter().map(|(a, b)| (a.as_str(), b.as_str())),
+        )
+        .f_measure
+    };
+
+    let mut table = Table::new(
+        "matcher showdown: 18 events, opaque names, 2 dislocated steps",
+        vec!["method", "f-measure", "time (ms)"],
+    );
+    let mut add = |name: &str, f: f64, secs: f64| {
+        table.row(vec![
+            name.to_owned(),
+            format!("{f:.3}"),
+            format!("{:.1}", secs * 1e3),
+        ]);
+    };
+
+    let (out, t) =
+        Stopwatch::time(|| Ems::new(EmsParams::structural()).match_graphs(&g1, &g2, &labels));
+    add("EMS", score_matrix(&out.similarity), t.as_secs_f64());
+
+    let (out, t) = Stopwatch::time(|| {
+        Ems::new(EmsParams::structural().estimated(5)).match_graphs(&g1, &g2, &labels)
+    });
+    add("EMS+es(I=5)", score_matrix(&out.similarity), t.as_secs_f64());
+
+    let (sim, t) = Stopwatch::time(|| {
+        Bhv::default().similarity_with_anchors(
+            &g1,
+            &g2,
+            &labels,
+            &trace_start_anchors(l1),
+            &trace_start_anchors(l2),
+        )
+    });
+    add("BHV", score_matrix(&sim), t.as_secs_f64());
+
+    let (sim, t) = Stopwatch::time(|| SimilarityFlooding::default().similarity(&g1, &g2, &labels));
+    add("SF", score_matrix(&sim), t.as_secs_f64());
+
+    let (r, t) = Stopwatch::time(|| Ged::default().match_graphs(&g1, &g2, &labels));
+    add("GED", score_mapping(&r.mapping), t.as_secs_f64());
+
+    let (r, t) = Stopwatch::time(|| {
+        Opq::new(OpqParams {
+            node_budget: 2_000_000,
+        })
+        .match_graphs(&g1, &g2)
+    });
+    add(
+        if r.finished { "OPQ" } else { "OPQ (budget)" },
+        score_mapping(&r.mapping),
+        t.as_secs_f64(),
+    );
+
+    print!("{}", table.to_text());
+    println!("\nDislocated beginnings are where EMS's artificial event pays off;");
+    println!("single-direction and local matchers miss the shifted alignment.");
+}

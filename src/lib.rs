@@ -1,0 +1,24 @@
+//! Umbrella crate for the SIGMOD'14 *Matching Heterogeneous Event Data*
+//! reproduction: re-exports the full public API of the workspace.
+//!
+//! ```
+//! use event_matching::core::{Ems, EmsParams};
+//! use event_matching::events::EventLog;
+//!
+//! let mut l1 = EventLog::new();
+//! l1.push_trace(["a", "b"]);
+//! let mut l2 = EventLog::new();
+//! l2.push_trace(["x", "y"]);
+//! let out = Ems::new(EmsParams::structural()).match_logs(&l1, &l2);
+//! assert_eq!(out.similarity.rows(), 2);
+//! ```
+
+pub use ems_assignment as assignment;
+pub use ems_baselines as baselines;
+pub use ems_core as core;
+pub use ems_depgraph as depgraph;
+pub use ems_eval as eval;
+pub use ems_events as events;
+pub use ems_labels as labels;
+pub use ems_synth as synth;
+pub use ems_xes as xes;

@@ -1,0 +1,170 @@
+//! Integration tests pinning the qualitative relationships between EMS and
+//! the baselines that the paper's evaluation rests on.
+
+use event_matching::assignment::max_total_assignment;
+use event_matching::baselines::bhv::trace_start_anchors;
+use event_matching::baselines::{Bhv, Ged, Opq};
+use event_matching::core::{Ems, EmsParams, SimMatrix};
+use event_matching::depgraph::DependencyGraph;
+use event_matching::eval::score;
+use event_matching::events::{EventId, EventLog};
+use event_matching::labels::LabelMatrix;
+use event_matching::synth::{Dislocation, LogPair, PairConfig, PairGenerator, TreeConfig};
+
+fn dislocated_front_pair(seed: u64) -> LogPair {
+    PairGenerator::new(PairConfig {
+        tree: TreeConfig {
+            num_activities: 16,
+            seed,
+            max_branch: 4,
+            ..TreeConfig::default()
+        },
+        traces_per_log: 80,
+        seed: seed + 900,
+        dislocation: Dislocation::Front(2),
+        opaque_fraction: 1.0,
+        ..PairConfig::default()
+    })
+    .generate()
+}
+
+fn f_of(pair: &LogPair, sim: &SimMatrix) -> f64 {
+    let cs = max_total_assignment(sim.rows(), sim.cols(), |i, j| sim.get(i, j), 1e-6);
+    let found: Vec<(String, String)> = cs
+        .iter()
+        .map(|c| {
+            (
+                pair.log1.name_of(EventId::from_index(c.left)).to_owned(),
+                pair.log2.name_of(EventId::from_index(c.right)).to_owned(),
+            )
+        })
+        .collect();
+    score(
+        pair.truth.iter(),
+        found.iter().map(|(a, b)| (a.as_str(), b.as_str())),
+    )
+    .f_measure
+}
+
+fn mapping_f(pair: &LogPair, mapping: &[(usize, usize)]) -> f64 {
+    let found: Vec<(String, String)> = mapping
+        .iter()
+        .map(|&(a, b)| {
+            (
+                pair.log1.name_of(EventId::from_index(a)).to_owned(),
+                pair.log2.name_of(EventId::from_index(b)).to_owned(),
+            )
+        })
+        .collect();
+    score(
+        pair.truth.iter(),
+        found.iter().map(|(a, b)| (a.as_str(), b.as_str())),
+    )
+    .f_measure
+}
+
+/// The paper's central claim (Figures 3 and 9): on dislocated-beginning
+/// pairs, EMS clearly beats BHV and GED, which cannot express dislocation.
+#[test]
+fn ems_beats_bhv_and_ged_on_front_dislocation() {
+    let mut ems_total = 0.0;
+    let mut bhv_total = 0.0;
+    let mut ged_total = 0.0;
+    for seed in [21, 22, 23] {
+        let pair = dislocated_front_pair(seed);
+        let g1 = DependencyGraph::from_log(&pair.log1);
+        let g2 = DependencyGraph::from_log(&pair.log2);
+        let labels = LabelMatrix::zeros(g1.num_real(), g2.num_real());
+
+        let ems = Ems::new(EmsParams::structural()).match_graphs(&g1, &g2, &labels);
+        ems_total += f_of(&pair, &ems.similarity);
+
+        let bhv = Bhv::default().similarity_with_anchors(
+            &g1,
+            &g2,
+            &labels,
+            &trace_start_anchors(&pair.log1),
+            &trace_start_anchors(&pair.log2),
+        );
+        bhv_total += f_of(&pair, &bhv);
+
+        let ged = Ged::default().match_graphs(&g1, &g2, &labels);
+        ged_total += mapping_f(&pair, &ged.mapping);
+    }
+    assert!(
+        ems_total > bhv_total + 0.5,
+        "EMS {ems_total} vs BHV {bhv_total}"
+    );
+    assert!(
+        ems_total > ged_total + 0.5,
+        "EMS {ems_total} vs GED {ged_total}"
+    );
+}
+
+/// OPQ cannot finish beyond small event counts (Figure 8's DNF band).
+#[test]
+fn opq_exhausts_its_budget_on_larger_alphabets() {
+    let pair = PairGenerator::new(PairConfig {
+        tree: TreeConfig {
+            num_activities: 40,
+            seed: 77,
+            max_branch: 8,
+            ..TreeConfig::default()
+        },
+        traces_per_log: 60,
+        seed: 1077,
+        xor_jitter: 0.3,
+        ..PairConfig::default()
+    })
+    .generate();
+    let g1 = DependencyGraph::from_log(&pair.log1);
+    let g2 = DependencyGraph::from_log(&pair.log2);
+    let r = Opq::new(event_matching::baselines::OpqParams {
+        node_budget: 100_000,
+    })
+    .match_graphs(&g1, &g2);
+    assert!(!r.finished, "40-event OPQ should exhaust 100k nodes");
+    assert_eq!(r.nodes_explored, 100_000);
+}
+
+/// Every similarity matrix any matcher produces stays within [0, 1].
+#[test]
+fn similarity_ranges_hold_across_matchers() {
+    let pair = dislocated_front_pair(31);
+    let g1 = DependencyGraph::from_log(&pair.log1);
+    let g2 = DependencyGraph::from_log(&pair.log2);
+    let labels = LabelMatrix::zeros(g1.num_real(), g2.num_real());
+    let check = |sim: &SimMatrix| {
+        for (_, _, v) in sim.iter() {
+            assert!((0.0..=1.0).contains(&v), "out of range: {v}");
+        }
+    };
+    check(
+        &Ems::new(EmsParams::structural())
+            .match_graphs(&g1, &g2, &labels)
+            .similarity,
+    );
+    check(&Bhv::default().similarity(&g1, &g2, &labels));
+}
+
+/// EMS with labels on readable names performs at least as well as any
+/// structure-only baseline.
+#[test]
+fn labeled_ems_dominates_on_readable_names() {
+    let pair = PairGenerator::new(PairConfig {
+        tree: TreeConfig {
+            num_activities: 16,
+            seed: 91,
+            max_branch: 4,
+            ..TreeConfig::default()
+        },
+        traces_per_log: 80,
+        seed: 991,
+        opaque_fraction: 0.0,
+        ..PairConfig::default()
+    })
+    .generate();
+    let out = Ems::new(EmsParams::with_labels(0.5)).match_logs(&pair.log1, &pair.log2);
+    let f = f_of(&pair, &out.similarity);
+    assert!(f > 0.95, "readable identical names: f = {f}");
+}

@@ -1,0 +1,158 @@
+//! Integration tests of the composite-event pipeline: candidate discovery
+//! on synthesized logs, the greedy matcher, name expansion and scoring.
+
+use event_matching::assignment::max_total_assignment;
+use event_matching::core::composite::{
+    discover_candidates, CandidateConfig, CompositeConfig, CompositeMatcher,
+};
+use event_matching::core::{Ems, EmsParams};
+use event_matching::eval::{expand_merged, score};
+use event_matching::events::{EventId, EventLog};
+use std::collections::HashMap;
+
+/// Builds the Figure-1 style pair: log 2 fuses "check" and "validate" into
+/// one composite event.
+fn figure1_pair() -> (EventLog, EventLog) {
+    let mut l1 = EventLog::new();
+    for _ in 0..2 {
+        l1.push_trace(["cash", "check", "validate", "ship", "mail"]);
+    }
+    for _ in 0..3 {
+        l1.push_trace(["card", "check", "validate", "mail", "ship"]);
+    }
+    let mut l2 = EventLog::new();
+    for _ in 0..2 {
+        l2.push_trace(["accept", "e-cash", "chk+val", "e-ship", "e-mail"]);
+    }
+    for _ in 0..3 {
+        l2.push_trace(["accept", "e-card", "chk+val", "e-mail", "e-ship"]);
+    }
+    (l1, l2)
+}
+
+#[test]
+fn candidate_discovery_finds_the_fused_steps() {
+    let (l1, _) = figure1_pair();
+    let cands = discover_candidates(&l1, &CandidateConfig::default());
+    assert!(
+        cands
+            .iter()
+            .any(|c| c.parts == ["check", "validate"]),
+        "candidates: {cands:?}"
+    );
+}
+
+#[test]
+fn greedy_matcher_merges_and_improves_average() {
+    let (l1, l2) = figure1_pair();
+    let cands1 = discover_candidates(&l1, &CandidateConfig::default());
+    let cands2 = discover_candidates(&l2, &CandidateConfig::default());
+    let matcher = CompositeMatcher::new(
+        Ems::new(EmsParams::structural()),
+        CompositeConfig {
+            delta: 0.001,
+            ..CompositeConfig::default()
+        },
+    );
+    let base = Ems::new(EmsParams::structural())
+        .match_logs(&l1, &l2)
+        .similarity
+        .average();
+    let outcome = matcher.match_logs(&l1, &l2, &cands1, &cands2);
+    assert!(
+        outcome
+            .merges
+            .iter()
+            .any(|m| m.side == 1 && m.candidate.parts == ["check", "validate"]),
+        "merges: {:?}",
+        outcome.merges
+    );
+    assert!(outcome.average > base, "{} <= {base}", outcome.average);
+}
+
+#[test]
+fn expanded_correspondences_score_correctly() {
+    let (l1, l2) = figure1_pair();
+    let cands1 = discover_candidates(&l1, &CandidateConfig::default());
+    let matcher = CompositeMatcher::new(
+        Ems::new(EmsParams::structural()),
+        CompositeConfig {
+            delta: 0.001,
+            ..CompositeConfig::default()
+        },
+    );
+    let outcome = matcher.match_logs(&l1, &l2, &cands1, &[]);
+    let sim = &outcome.similarity;
+    let cs = max_total_assignment(sim.rows(), sim.cols(), |i, j| sim.get(i, j), 1e-6);
+    let raw: Vec<(String, String)> = cs
+        .iter()
+        .map(|c| {
+            (
+                outcome
+                    .log1
+                    .name_of(EventId::from_index(c.left))
+                    .to_owned(),
+                outcome
+                    .log2
+                    .name_of(EventId::from_index(c.right))
+                    .to_owned(),
+            )
+        })
+        .collect();
+    let mut left_map = HashMap::new();
+    for m in &outcome.merges {
+        if m.side == 1 {
+            left_map.insert(m.candidate.merged_name(), m.candidate.parts.clone());
+        }
+    }
+    let found = expand_merged(&raw, &left_map, &HashMap::new());
+    let truth = [
+        ("cash", "e-cash"),
+        ("card", "e-card"),
+        ("check", "chk+val"),
+        ("validate", "chk+val"),
+        ("ship", "e-ship"),
+        ("mail", "e-mail"),
+    ];
+    let acc = score(
+        truth.iter().copied(),
+        found.iter().map(|(a, b)| (a.as_str(), b.as_str())),
+    );
+    assert!(acc.f_measure > 0.8, "f-measure {}", acc.f_measure);
+    // The composite's both parts must be found.
+    assert!(found.iter().any(|(l, r)| l == "check" && r == "chk+val"));
+    assert!(found.iter().any(|(l, r)| l == "validate" && r == "chk+val"));
+}
+
+#[test]
+fn pruning_does_not_change_accepted_merges() {
+    let (l1, l2) = figure1_pair();
+    let cands1 = discover_candidates(&l1, &CandidateConfig::default());
+    let run = |uc: bool, bd: bool| {
+        let matcher = CompositeMatcher::new(
+            Ems::new(EmsParams::structural()),
+            CompositeConfig {
+                delta: 0.001,
+                unchanged_pruning: uc,
+                upper_bound_pruning: bd,
+                ..CompositeConfig::default()
+            },
+        );
+        matcher.match_logs(&l1, &l2, &cands1, &[])
+    };
+    let base = run(false, false);
+    for (uc, bd) in [(true, false), (false, true), (true, true)] {
+        let out = run(uc, bd);
+        let names = |o: &event_matching::core::composite::CompositeOutcome| {
+            let mut v: Vec<String> = o
+                .merges
+                .iter()
+                .map(|m| format!("{}:{}", m.side, m.candidate.merged_name()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(names(&base), names(&out), "uc={uc} bd={bd}");
+        assert!((base.average - out.average).abs() < 1e-3);
+    }
+}

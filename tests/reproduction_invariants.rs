@@ -1,0 +1,127 @@
+//! Invariants of the reproduction itself: the experiment harness must be
+//! deterministic (same seeds → same tables) and the headline relationships
+//! the paper reports must hold on the committed workloads.
+
+use event_matching::core::composite::{CandidateConfig, CompositeConfig};
+
+use ems_bench::composite::{run_composite, CompositeMethod};
+use ems_bench::methods::{accuracy, run_method, Method};
+use ems_bench::testbeds::{composite_pairs, dislocation_pairs, Testbed, Workload};
+
+#[test]
+fn method_runs_are_deterministic() {
+    let w = Workload {
+        pairs: 2,
+        ..Workload::default()
+    };
+    let pairs = dislocation_pairs(Testbed::DsB, &w);
+    for method in [Method::Ems, Method::EmsEstimated(5), Method::Ged, Method::Bhv] {
+        let a = run_method(method, &pairs[0], 1.0);
+        let b = run_method(method, &pairs[0], 1.0);
+        assert_eq!(a.found, b.found, "{} nondeterministic", method.name());
+        assert_eq!(a.formula_evals, b.formula_evals);
+    }
+}
+
+#[test]
+fn testbed_generation_is_deterministic() {
+    let w = Workload {
+        pairs: 3,
+        ..Workload::default()
+    };
+    let a = dislocation_pairs(Testbed::DsFb, &w);
+    let b = dislocation_pairs(Testbed::DsFb, &w);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.log1, y.log1);
+        assert_eq!(x.log2, y.log2);
+        assert_eq!(x.truth, y.truth);
+    }
+}
+
+/// The Figure 3/9 headline: on dislocated-beginning workloads EMS beats the
+/// single-direction and local baselines by a wide margin.
+#[test]
+fn headline_dislocation_gap_holds() {
+    let w = Workload {
+        pairs: 4,
+        ..Workload::default()
+    };
+    let pairs = dislocation_pairs(Testbed::DsB, &w);
+    let mean = |method: Method| -> f64 {
+        pairs
+            .iter()
+            .map(|p| accuracy(p, &run_method(method, p, 1.0)).f_measure)
+            .sum::<f64>()
+            / pairs.len() as f64
+    };
+    let ems = mean(Method::Ems);
+    let bhv = mean(Method::Bhv);
+    let ged = mean(Method::Ged);
+    assert!(ems > bhv + 0.3, "EMS {ems} vs BHV {bhv}");
+    assert!(ems > ged + 0.3, "EMS {ems} vs GED {ged}");
+}
+
+/// The Figure 5 headline: estimation accuracy is monotone-ish in I and
+/// EMS+es(MAX-ish) approaches exact EMS.
+#[test]
+fn estimation_accuracy_improves_with_i() {
+    let w = Workload {
+        pairs: 4,
+        ..Workload::default()
+    };
+    let pairs = dislocation_pairs(Testbed::DsFb, &w);
+    let mean = |method: Method| -> f64 {
+        pairs
+            .iter()
+            .map(|p| accuracy(p, &run_method(method, p, 1.0)).f_measure)
+            .sum::<f64>()
+            / pairs.len() as f64
+    };
+    let i0 = mean(Method::EmsEstimated(0));
+    let i10 = mean(Method::EmsEstimated(10));
+    let exact = mean(Method::Ems);
+    assert!(i10 + 1e-9 >= i0, "I=10 ({i10}) worse than I=0 ({i0})");
+    assert!(
+        (i10 - exact).abs() < 0.15,
+        "I=10 ({i10}) far from exact ({exact})"
+    );
+}
+
+/// The Figure 10 pipeline: composite matching runs deterministically end to
+/// end and the EMS variant finds the injected composites' parts.
+#[test]
+fn composite_pipeline_is_deterministic_and_effective() {
+    let w = Workload {
+        pairs: 2,
+        activities: 14,
+        traces: 120,
+        composites: 2,
+        dislocated: 0,
+        ..Workload::default()
+    };
+    let pairs = composite_pairs(&w);
+    let config = CompositeConfig {
+        delta: 0.001,
+        ..CompositeConfig::default()
+    };
+    let (a, ca) = run_composite(
+        CompositeMethod::Ems,
+        &pairs[0],
+        1.0,
+        &CandidateConfig::default(),
+        &config,
+    );
+    let (b, cb) = run_composite(
+        CompositeMethod::Ems,
+        &pairs[0],
+        1.0,
+        &CandidateConfig::default(),
+        &config,
+    );
+    assert_eq!(a.found, b.found);
+    assert_eq!(ca.merges, cb.merges);
+    assert_eq!(ca.evaluations, cb.evaluations);
+    // Accuracy on the committed workload clears the no-composite baseline.
+    let with_merge = accuracy(&pairs[0], &a).f_measure;
+    assert!(with_merge > 0.5, "composite pipeline f = {with_merge}");
+}

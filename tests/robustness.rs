@@ -1,0 +1,111 @@
+//! Robustness integration tests: matching quality under log-quality noise
+//! and format conversions.
+
+use event_matching::assignment::max_total_assignment;
+use event_matching::core::{Ems, EmsParams};
+use event_matching::eval::score;
+use event_matching::events::EventId;
+use event_matching::synth::{
+    apply_noise, NoiseConfig, PairConfig, PairGenerator, TreeConfig,
+};
+use event_matching::xes::mxml;
+
+fn pair(seed: u64) -> event_matching::synth::LogPair {
+    PairGenerator::new(PairConfig {
+        tree: TreeConfig {
+            num_activities: 16,
+            seed,
+            max_branch: 4,
+            ..TreeConfig::default()
+        },
+        traces_per_log: 80,
+        seed: seed + 70,
+        opaque_fraction: 1.0,
+        ..PairConfig::default()
+    })
+    .generate()
+}
+
+fn f_measure(pair: &event_matching::synth::LogPair) -> f64 {
+    let out = Ems::new(EmsParams::structural()).match_logs(&pair.log1, &pair.log2);
+    let sim = &out.similarity;
+    let cs = max_total_assignment(sim.rows(), sim.cols(), |i, j| sim.get(i, j), 1e-6);
+    let found: Vec<(String, String)> = cs
+        .iter()
+        .map(|c| {
+            (
+                pair.log1.name_of(EventId::from_index(c.left)).to_owned(),
+                pair.log2.name_of(EventId::from_index(c.right)).to_owned(),
+            )
+        })
+        .collect();
+    score(
+        pair.truth.iter(),
+        found.iter().map(|(a, b)| (a.as_str(), b.as_str())),
+    )
+    .f_measure
+}
+
+#[test]
+fn mild_noise_degrades_gracefully() {
+    let clean = pair(61);
+    let f_clean = f_measure(&clean);
+    let mut noisy = clean.clone();
+    noisy.log2 = apply_noise(
+        &clean.log2,
+        &NoiseConfig {
+            drop_prob: 0.02,
+            duplicate_prob: 0.02,
+            swap_prob: 0.02,
+            seed: 5,
+        },
+    );
+    let f_noisy = f_measure(&noisy);
+    assert!(f_clean > 0.6, "clean baseline too weak: {f_clean}");
+    assert!(
+        f_noisy > f_clean - 0.35,
+        "2% noise collapsed matching: {f_clean} -> {f_noisy}"
+    );
+}
+
+#[test]
+fn heavy_noise_does_not_panic_or_overflow() {
+    let clean = pair(62);
+    let mut noisy = clean.clone();
+    noisy.log2 = apply_noise(
+        &clean.log2,
+        &NoiseConfig {
+            drop_prob: 0.5,
+            duplicate_prob: 0.5,
+            swap_prob: 0.5,
+            seed: 6,
+        },
+    );
+    let f = f_measure(&noisy);
+    assert!((0.0..=1.0).contains(&f));
+}
+
+#[test]
+fn mxml_conversion_preserves_matching() {
+    let p = pair(63);
+    // Route log 2 through MXML (the legacy exporter path).
+    let text = mxml::write_mxml(&mxml::from_event_log(&p.log2));
+    let back = mxml::to_event_log_complete_only(&mxml::parse_mxml(&text).unwrap());
+    let direct = Ems::new(EmsParams::structural()).match_logs(&p.log1, &p.log2);
+    let routed = Ems::new(EmsParams::structural()).match_logs(&p.log1, &back);
+    assert!(
+        direct.similarity.max_abs_diff(&routed.similarity) < 1e-12,
+        "MXML round-trip changed similarities"
+    );
+}
+
+#[test]
+fn streaming_and_tree_parsers_agree_on_synthetic_logs() {
+    let p = pair(64);
+    let text = event_matching::xes::write_string(&event_matching::xes::from_event_log(&p.log1));
+    let streamed = event_matching::xes::parse_event_log(&text).unwrap();
+    let tree = event_matching::xes::to_event_log(&event_matching::xes::parse_str(&text).unwrap());
+    assert_eq!(streamed.num_traces(), tree.num_traces());
+    assert_eq!(streamed.num_events(), tree.num_events());
+    assert_eq!(streamed.alphabet_size(), tree.alphabet_size());
+}
