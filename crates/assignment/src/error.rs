@@ -1,0 +1,39 @@
+//! Typed errors for correspondence selection.
+
+use ems_error::EmsError;
+use std::fmt;
+
+/// Errors raised when an assignment problem is fed invalid weights.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AssignmentError {
+    /// A similarity weight is NaN or infinite — the Hungarian potentials
+    /// would silently corrupt (or never terminate) on such input.
+    NonFiniteWeight {
+        /// Row index of the offending entry.
+        row: usize,
+        /// Column index of the offending entry.
+        col: usize,
+        /// The invalid weight.
+        value: f64,
+    },
+}
+
+impl fmt::Display for AssignmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssignmentError::NonFiniteWeight { row, col, value } => {
+                write!(f, "non-finite weight {value} at ({row}, {col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AssignmentError {}
+
+impl From<AssignmentError> for EmsError {
+    fn from(e: AssignmentError) -> Self {
+        EmsError::Assignment {
+            message: e.to_string(),
+        }
+    }
+}

@@ -1,6 +1,35 @@
 //! The Munkres/Hungarian algorithm for rectangular assignment, maximization
 //! form, `O(n³)`.
 
+use crate::AssignmentError;
+
+/// Validating variant of [`hungarian_max`]: rejects NaN or infinite weights
+/// up front instead of letting them corrupt the potential updates (a NaN
+/// weight makes every comparison false, so the augmenting-path search can
+/// spin without progress).
+pub fn try_hungarian_max<F>(
+    rows: usize,
+    cols: usize,
+    weight: F,
+) -> Result<Vec<Option<usize>>, AssignmentError>
+where
+    F: Fn(usize, usize) -> f64,
+{
+    for i in 0..rows {
+        for j in 0..cols {
+            let w = weight(i, j);
+            if !w.is_finite() {
+                return Err(AssignmentError::NonFiniteWeight {
+                    row: i,
+                    col: j,
+                    value: w,
+                });
+            }
+        }
+    }
+    Ok(hungarian_max(rows, cols, weight))
+}
+
 /// Solves the rectangular assignment problem **maximizing** total weight.
 ///
 /// `weight(i, j)` gives the benefit of assigning row `i` (0..rows) to column
@@ -87,8 +116,7 @@ where
     }
 
     let mut result = vec![None; rows];
-    for j in 1..=n {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().take(n + 1).skip(1) {
         if i >= 1 && i <= rows && j <= cols {
             result[i - 1] = Some(j - 1);
         }
@@ -108,7 +136,7 @@ mod tests {
 
     #[test]
     fn square_identity_case() {
-        let m = vec![
+        let m = [
             vec![1.0, 0.0, 0.0],
             vec![0.0, 1.0, 0.0],
             vec![0.0, 0.0, 1.0],
@@ -130,7 +158,7 @@ mod tests {
     #[test]
     fn rectangular_wide_matrix() {
         // 2 rows, 4 cols: both rows matched, to distinct columns.
-        let m = vec![vec![0.1, 0.9, 0.2, 0.3], vec![0.2, 0.8, 0.1, 0.05]];
+        let m = [vec![0.1, 0.9, 0.2, 0.3], vec![0.2, 0.8, 0.1, 0.05]];
         let a = hungarian_max(2, 4, |i, j| m[i][j]);
         assert_eq!(a[0], Some(1));
         assert_eq!(a[1], Some(0));
@@ -138,7 +166,7 @@ mod tests {
 
     #[test]
     fn rectangular_tall_matrix_leaves_rows_unmatched() {
-        let m = vec![vec![0.9], vec![0.8], vec![0.7]];
+        let m = [vec![0.9], vec![0.8], vec![0.7]];
         let a = hungarian_max(3, 1, |i, j| m[i][j]);
         let matched: Vec<_> = a.iter().filter(|x| x.is_some()).collect();
         assert_eq!(matched.len(), 1);
@@ -147,7 +175,7 @@ mod tests {
 
     #[test]
     fn columns_are_unique() {
-        let m = vec![
+        let m = [
             vec![0.5, 0.5, 0.5],
             vec![0.5, 0.5, 0.5],
             vec![0.5, 0.5, 0.5],
@@ -189,7 +217,7 @@ mod tests {
                 .flat_map(|i| (0..cols).map(move |j| (i, j)))
                 .map(|(i, j)| (i, j, m[i][j]))
                 .collect();
-            pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+            pairs.sort_by(|a, b| b.2.total_cmp(&a.2));
             let mut used_r = vec![false; rows];
             let mut used_c = vec![false; cols];
             let mut greedy_total = 0.0;

@@ -16,10 +16,18 @@
 //! All selectors can drop pairs below a minimum score, since an assignment
 //! is forced to match everything otherwise — even noise.
 
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+mod error;
 mod hungarian;
 mod select;
 
-pub use hungarian::hungarian_max;
+pub use error::AssignmentError;
+pub use hungarian::{hungarian_max, try_hungarian_max};
 pub use select::{
-    greedy_assignment, max_total_assignment, threshold_selection, Correspondence,
+    greedy_assignment, max_total_assignment, threshold_selection, try_max_total_assignment,
+    Correspondence,
 };

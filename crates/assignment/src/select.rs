@@ -39,18 +39,42 @@ where
         })
         .filter(|c| c.score >= min_score)
         .collect();
-    out.sort_by(|a, b| (a.left, a.right).cmp(&(b.left, b.right)));
+    out.sort_by_key(|c| (c.left, c.right));
     out
 }
 
-/// Greedy 1:1 selection: repeatedly pick the largest remaining pair whose
-/// row and column are both free, stopping below `min_score`.
-pub fn greedy_assignment<F>(
+/// Validating variant of [`max_total_assignment`]: returns a typed error
+/// when any similarity is NaN or infinite instead of corrupting the
+/// underlying Hungarian solve.
+pub fn try_max_total_assignment<F>(
     rows: usize,
     cols: usize,
     sim: F,
     min_score: f64,
-) -> Vec<Correspondence>
+) -> Result<Vec<Correspondence>, crate::AssignmentError>
+where
+    F: Fn(usize, usize) -> f64,
+{
+    let assignment = crate::try_hungarian_max(rows, cols, &sim)?;
+    let mut out: Vec<Correspondence> = assignment
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &j)| {
+            j.map(|j| Correspondence {
+                left: i,
+                right: j,
+                score: sim(i, j),
+            })
+        })
+        .filter(|c| c.score >= min_score)
+        .collect();
+    out.sort_by_key(|c| (c.left, c.right));
+    Ok(out)
+}
+
+/// Greedy 1:1 selection: repeatedly pick the largest remaining pair whose
+/// row and column are both free, stopping below `min_score`.
+pub fn greedy_assignment<F>(rows: usize, cols: usize, sim: F, min_score: f64) -> Vec<Correspondence>
 where
     F: Fn(usize, usize) -> f64,
 {
@@ -65,8 +89,7 @@ where
         .collect();
     pairs.sort_by(|a, b| {
         b.score
-            .partial_cmp(&a.score)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&a.score)
             .then((a.left, a.right).cmp(&(b.left, b.right)))
     });
     let mut used_r = vec![false; rows];
@@ -79,7 +102,7 @@ where
             out.push(c);
         }
     }
-    out.sort_by(|a, b| (a.left, a.right).cmp(&(b.left, b.right)));
+    out.sort_by_key(|c| (c.left, c.right));
     out
 }
 
@@ -109,11 +132,7 @@ where
 mod tests {
     use super::*;
 
-    const M: [[f64; 3]; 3] = [
-        [0.9, 0.2, 0.1],
-        [0.3, 0.8, 0.7],
-        [0.1, 0.75, 0.6],
-    ];
+    const M: [[f64; 3]; 3] = [[0.9, 0.2, 0.1], [0.3, 0.8, 0.7], [0.1, 0.75, 0.6]];
 
     fn sim(i: usize, j: usize) -> f64 {
         M[i][j]
@@ -163,6 +182,16 @@ mod tests {
     #[test]
     fn empty_matrices() {
         assert!(max_total_assignment(0, 0, |_, _| 0.0, 0.0).is_empty());
+        assert!(matches!(
+            try_max_total_assignment(1, 1, |_, _| f64::NAN, 0.0),
+            Err(crate::AssignmentError::NonFiniteWeight { row: 0, col: 0, .. })
+        ));
+        assert_eq!(
+            try_max_total_assignment(2, 2, |i, j| if i == j { 1.0 } else { 0.0 }, 0.5)
+                .unwrap()
+                .len(),
+            2
+        );
         assert!(greedy_assignment(0, 3, |_, _| 0.0, 0.0).is_empty());
         assert!(threshold_selection(3, 0, |_, _| 0.0, 0.0).is_empty());
     }

@@ -69,11 +69,7 @@ impl Bhv {
         let sources = |g: &DependencyGraph| -> Vec<bool> {
             let x = g.artificial();
             (0..g.num_real())
-                .map(|v| {
-                    g.pre(NodeId::from_index(v))
-                        .iter()
-                        .all(|&(s, _)| s == x)
-                })
+                .map(|v| g.pre(NodeId::from_index(v)).iter().all(|&(s, _)| s == x))
                 .collect()
         };
         self.similarity_with_anchors(g1, g2, labels, &sources(g1), &sources(g2))
@@ -126,26 +122,25 @@ impl Bhv {
         let mut next = current.clone();
         for _ in 0..p.max_iterations {
             let mut delta = 0.0_f64;
-            for v1 in 0..n1 {
-                for v2 in 0..n2 {
+            for (v1, p1) in pre1.iter().enumerate().take(n1) {
+                for (v2, p2) in pre2.iter().enumerate().take(n2) {
                     if pinned(v1, v2) {
                         next.set(v1, v2, 1.0);
                         continue;
                     }
-                    let structural = if pre1[v1].is_empty() || pre2[v2].is_empty() {
+                    let structural = if p1.is_empty() || p2.is_empty() {
                         0.0
                     } else {
                         let mut sum = 0.0;
-                        for &u1 in &pre1[v1] {
-                            for &u2 in &pre2[v2] {
+                        for &u1 in p1 {
+                            for &u2 in p2 {
                                 sum += current.get(u1, u2);
                             }
                         }
                         p.c * sum / (pre1[v1].len() * pre2[v2].len()) as f64
                     };
-                    let value = (p.alpha * structural
-                        + (1.0 - p.alpha) * labels.get(v1, v2))
-                    .clamp(0.0, 1.0);
+                    let value = (p.alpha * structural + (1.0 - p.alpha) * labels.get(v1, v2))
+                        .clamp(0.0, 1.0);
                     delta = delta.max((value - current.get(v1, v2)).abs());
                     next.set(v1, v2, value);
                 }

@@ -91,9 +91,7 @@ impl SimilarityFlooding {
             }
         }
 
-        let mut sigma: Vec<f64> = (0..n1 * n2)
-            .map(|k| sigma0(k / n2, k % n2))
-            .collect();
+        let mut sigma: Vec<f64> = (0..n1 * n2).map(|k| sigma0(k / n2, k % n2)).collect();
         let mut next = vec![0.0f64; n1 * n2];
         for _ in 0..self.params.max_iterations {
             // σ' = σ0 + σ + incoming flow.
@@ -174,7 +172,10 @@ mod tests {
             assert!((0.0..=1.0).contains(&v));
             max = max.max(v);
         }
-        assert!((max - 1.0).abs() < 1e-9, "max must normalize to 1, got {max}");
+        assert!(
+            (max - 1.0).abs() < 1e-9,
+            "max must normalize to 1, got {max}"
+        );
     }
 
     #[test]
@@ -183,7 +184,7 @@ mod tests {
         let g1 = DependencyGraph::from_log(&l1);
         let g2 = DependencyGraph::from_log(&l2);
         let mut raw = vec![0.0; 9];
-        raw[0 * 3 + 2] = 1.0; // claim a ~ z typographically
+        raw[2] = 1.0; // row 0, col 2: claim a ~ z typographically
         let labels = LabelMatrix::from_raw(3, 3, raw);
         let sim = SimilarityFlooding::default().similarity(&g1, &g2, &labels);
         // The seeded pair keeps an edge over its row.
@@ -192,8 +193,8 @@ mod tests {
 
     #[test]
     fn empty_graphs_yield_empty_matrix() {
-        let sim = SimilarityFlooding::default()
-            .similarity_of_logs(&EventLog::new(), &EventLog::new());
+        let sim =
+            SimilarityFlooding::default().similarity_of_logs(&EventLog::new(), &EventLog::new());
         assert_eq!(sim.rows(), 0);
     }
 

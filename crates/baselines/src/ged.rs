@@ -260,8 +260,8 @@ impl Ged {
                 if phi[a].is_some() {
                     continue;
                 }
-                for b in 0..n2 {
-                    if !free2[b] {
+                for (b, &free) in free2.iter().enumerate() {
+                    if !free {
                         continue;
                     }
                     let gain = edge_gain(a, b, &phi);
@@ -271,7 +271,7 @@ impl Ged {
                         matched_edge_pairs + gain,
                         sub_cost_sum + sub,
                     );
-                    if d < current - 1e-12 && best.as_ref().map_or(true, |x| d < x.2) {
+                    if d < current - 1e-12 && best.as_ref().is_none_or(|x| d < x.2) {
                         best = Some((a, b, d, gain, sub));
                     }
                 }

@@ -90,14 +90,8 @@ impl Opq {
         // Order the small side's nodes by decreasing total weight so heavy
         // rows are fixed early and pruning bites sooner.
         let mut order: Vec<usize> = (0..ns).collect();
-        let row_mass = |v: usize| -> f64 {
-            (0..ns).map(|u| ws[v * ns + u] + ws[u * ns + v]).sum()
-        };
-        order.sort_by(|&a, &b| {
-            row_mass(b)
-                .partial_cmp(&row_mass(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        let row_mass = |v: usize| -> f64 { (0..ns).map(|u| ws[v * ns + u] + ws[u * ns + v]).sum() };
+        order.sort_by(|&a, &b| row_mass(b).total_cmp(&row_mass(a)));
 
         let mut search = Search {
             ns,
@@ -158,11 +152,7 @@ impl Opq {
         let mut phi: Vec<usize> = vec![usize::MAX; ns];
         let mut used = vec![false; nl];
         let mut small_order: Vec<usize> = (0..ns).collect();
-        small_order.sort_by(|&a, &b| {
-            ws[b * ns + b]
-                .partial_cmp(&ws[a * ns + a])
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        small_order.sort_by(|&a, &b| ws[b * ns + b].total_cmp(&ws[a * ns + a]));
         for &s in &small_order {
             let mut best = usize::MAX;
             let mut best_diff = f64::INFINITY;
@@ -283,11 +273,7 @@ impl Search<'_> {
         if depth == self.ns {
             if cost < self.best_cost {
                 self.best_cost = cost;
-                self.best = self
-                    .order
-                    .iter()
-                    .map(|&s| (s, self.assigned[s]))
-                    .collect();
+                self.best = self.order.iter().map(|&s| (s, self.assigned[s])).collect();
             }
             return;
         }

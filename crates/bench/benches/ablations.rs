@@ -1,9 +1,12 @@
 //! Ablation benchmarks for the design choices DESIGN.md calls out:
 //! early-convergence pruning on/off, one- vs two-direction similarity, and
-//! the composite matcher's pruning combinations.
+//! the composite matcher's pruning combinations. Uses the std-only
+//! `microbench` runner (the offline build cannot fetch Criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ems_core::composite::{discover_candidates, CandidateConfig, CompositeConfig, CompositeMatcher};
+use ems_bench::microbench::{bench, group};
+use ems_core::composite::{
+    discover_candidates, CandidateConfig, CompositeConfig, CompositeMatcher,
+};
 use ems_core::engine::{Engine, RunOptions};
 use ems_core::{Direction, Ems, EmsParams};
 use ems_depgraph::DependencyGraph;
@@ -27,8 +30,8 @@ fn pair(activities: usize) -> (ems_events::EventLog, ems_events::EventLog) {
     (p.log1, p.log2)
 }
 
-fn bench_pruning(c: &mut Criterion) {
-    let mut group = c.benchmark_group("early_convergence_pruning");
+fn main() {
+    group("early_convergence_pruning");
     for &n in &[30usize, 60] {
         let (l1, l2) = pair(n);
         let g1 = DependencyGraph::from_log(&l1);
@@ -40,64 +43,49 @@ fn bench_pruning(c: &mut Criterion) {
             } else {
                 EmsParams::structural().without_pruning()
             };
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, _| {
-                    let engine =
-                        Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
-                    b.iter(|| engine.run(&RunOptions::default()))
-                },
-            );
+            let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+            bench(&format!("{label}/{n}"), || {
+                engine.run(&RunOptions::default());
+            });
         }
     }
-    group.finish();
-}
 
-fn bench_directions(c: &mut Criterion) {
+    group("directions");
     let (l1, l2) = pair(40);
     let g1 = DependencyGraph::from_log(&l1);
     let g2 = DependencyGraph::from_log(&l2);
     let labels = LabelMatrix::zeros(g1.num_real(), g2.num_real());
     let params = EmsParams::structural();
-    let mut group = c.benchmark_group("directions");
-    group.bench_function("forward_only", |b| {
-        let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
-        b.iter(|| engine.run(&RunOptions::default()))
+    let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+    bench("forward_only", || {
+        engine.run(&RunOptions::default());
     });
-    group.bench_function("both_directions", |b| {
-        let ems = Ems::new(params.clone());
-        b.iter(|| ems.match_graphs(&g1, &g2, &labels))
+    let ems = Ems::new(params.clone());
+    bench("both_directions", || {
+        ems.match_graphs(&g1, &g2, &labels);
     });
-    group.finish();
-}
 
-fn bench_composite_prunings(c: &mut Criterion) {
+    group("composite_prunings");
     let (l1, l2) = pair(16);
     let cands1 = discover_candidates(&l1, &CandidateConfig::default());
     let cands2 = discover_candidates(&l2, &CandidateConfig::default());
-    let mut group = c.benchmark_group("composite_prunings");
     for (label, uc, bd) in [
         ("none", false, false),
         ("uc", true, false),
         ("bd", false, true),
         ("uc_bd", true, true),
     ] {
-        group.bench_function(label, |b| {
-            let matcher = CompositeMatcher::new(
-                Ems::new(EmsParams::structural()),
-                CompositeConfig {
-                    delta: 0.001,
-                    unchanged_pruning: uc,
-                    upper_bound_pruning: bd,
-                    ..CompositeConfig::default()
-                },
-            );
-            b.iter(|| matcher.match_logs(&l1, &l2, &cands1, &cands2))
+        let matcher = CompositeMatcher::new(
+            Ems::new(EmsParams::structural()),
+            CompositeConfig {
+                delta: 0.001,
+                unchanged_pruning: uc,
+                upper_bound_pruning: bd,
+                ..CompositeConfig::default()
+            },
+        );
+        bench(label, || {
+            matcher.match_logs(&l1, &l2, &cands1, &cands2);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pruning, bench_directions, bench_composite_prunings);
-criterion_main!(benches);

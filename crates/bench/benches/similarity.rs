@@ -1,8 +1,9 @@
-//! Criterion microbenchmarks of the similarity kernels: exact EMS vs the
-//! estimation variants and the baselines, at two event sizes.
+//! Microbenchmarks of the similarity kernels: exact EMS vs the estimation
+//! variants and the baselines, at two event sizes. Uses the std-only
+//! `microbench` runner (the offline build cannot fetch Criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ems_baselines::{Bhv, Ged};
+use ems_bench::microbench::{bench, group};
 use ems_core::{Ems, EmsParams};
 use ems_depgraph::DependencyGraph;
 use ems_labels::LabelMatrix;
@@ -25,37 +26,33 @@ fn pair(activities: usize) -> (ems_events::EventLog, ems_events::EventLog) {
     (p.log1, p.log2)
 }
 
-fn bench_matchers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matchers");
+fn main() {
+    group("matchers");
     for &n in &[20usize, 50] {
         let (l1, l2) = pair(n);
         let g1 = DependencyGraph::from_log(&l1);
         let g2 = DependencyGraph::from_log(&l2);
         let labels = LabelMatrix::zeros(g1.num_real(), g2.num_real());
 
-        group.bench_with_input(BenchmarkId::new("ems_exact", n), &n, |b, _| {
-            let ems = Ems::new(EmsParams::structural());
-            b.iter(|| ems.match_graphs(&g1, &g2, &labels))
+        let ems = Ems::new(EmsParams::structural());
+        bench(&format!("ems_exact/{n}"), || {
+            ems.match_graphs(&g1, &g2, &labels);
         });
-        group.bench_with_input(BenchmarkId::new("ems_estimated_i5", n), &n, |b, _| {
-            let ems = Ems::new(EmsParams::structural().estimated(5));
-            b.iter(|| ems.match_graphs(&g1, &g2, &labels))
+        let ems_i5 = Ems::new(EmsParams::structural().estimated(5));
+        bench(&format!("ems_estimated_i5/{n}"), || {
+            ems_i5.match_graphs(&g1, &g2, &labels);
         });
-        group.bench_with_input(BenchmarkId::new("ems_estimated_i0", n), &n, |b, _| {
-            let ems = Ems::new(EmsParams::structural().estimated(0));
-            b.iter(|| ems.match_graphs(&g1, &g2, &labels))
+        let ems_i0 = Ems::new(EmsParams::structural().estimated(0));
+        bench(&format!("ems_estimated_i0/{n}"), || {
+            ems_i0.match_graphs(&g1, &g2, &labels);
         });
-        group.bench_with_input(BenchmarkId::new("bhv", n), &n, |b, _| {
-            let bhv = Bhv::default();
-            b.iter(|| bhv.similarity(&g1, &g2, &labels))
+        let bhv = Bhv::default();
+        bench(&format!("bhv/{n}"), || {
+            bhv.similarity(&g1, &g2, &labels);
         });
-        group.bench_with_input(BenchmarkId::new("ged", n), &n, |b, _| {
-            let ged = Ged::default();
-            b.iter(|| ged.match_graphs(&g1, &g2, &labels))
+        let ged = Ged::default();
+        bench(&format!("ged/{n}"), || {
+            ged.match_graphs(&g1, &g2, &labels);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_matchers);
-criterion_main!(benches);

@@ -1,12 +1,13 @@
-//! Criterion microbenchmarks of the substrates: dependency-graph
-//! construction, longest-distance analysis, the Hungarian assignment,
-//! q-gram cosine label matrices and XES parsing throughput.
+//! Microbenchmarks of the substrates: dependency-graph construction,
+//! longest-distance analysis, the Hungarian assignment, q-gram cosine label
+//! matrices and XES parsing throughput. Uses the std-only `microbench`
+//! runner (the offline build cannot fetch Criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ems_assignment::hungarian_max;
+use ems_bench::microbench::{bench, group};
 use ems_depgraph::{longest_distances, DependencyGraph};
 use ems_labels::{LabelMatrix, QgramCosine};
-use ems_synth::{playout, generate_tree, PlayoutConfig, TreeConfig};
+use ems_synth::{generate_tree, playout, PlayoutConfig, TreeConfig};
 use ems_xes::{from_event_log, parse_str, write_string};
 
 fn log_of(activities: usize, traces: usize) -> ems_events::EventLog {
@@ -26,71 +27,50 @@ fn log_of(activities: usize, traces: usize) -> ems_events::EventLog {
     )
 }
 
-fn bench_graph_build(c: &mut Criterion) {
-    let mut group = c.benchmark_group("graph_build");
+fn main() {
+    group("graph_build");
     for &n in &[20usize, 50, 100] {
         let log = log_of(n, 100);
-        group.throughput(Throughput::Elements(log.num_events() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| DependencyGraph::from_log(&log))
+        bench(&format!("graph_build/{n}"), || {
+            DependencyGraph::from_log(&log);
         });
     }
-    group.finish();
-}
 
-fn bench_longest_distances(c: &mut Criterion) {
-    let mut group = c.benchmark_group("longest_distances");
+    group("longest_distances");
     for &n in &[20usize, 100] {
         let g = DependencyGraph::from_log(&log_of(n, 100));
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| longest_distances(&g))
+        bench(&format!("longest_distances/{n}"), || {
+            longest_distances(&g);
         });
     }
-    group.finish();
-}
 
-fn bench_hungarian(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hungarian");
+    group("hungarian");
     for &n in &[20usize, 50, 100] {
         // Deterministic pseudo-random weights.
         let weights: Vec<f64> = (0..n * n)
             .map(|k| ((k * 2654435761) % 1000) as f64 / 1000.0)
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| hungarian_max(n, n, |i, j| weights[i * n + j]))
+        bench(&format!("hungarian/{n}"), || {
+            hungarian_max(n, n, |i, j| weights[i * n + j]);
         });
     }
-    group.finish();
-}
 
-fn bench_labels(c: &mut Criterion) {
+    group("labels");
     let names: Vec<String> = (0..50)
         .map(|i| format!("Business Activity Step {i} (variant)"))
         .collect();
-    c.bench_function("qgram_label_matrix_50x50", |b| {
-        b.iter(|| LabelMatrix::compute(&names, &names, &QgramCosine::default()))
+    bench("qgram_label_matrix_50x50", || {
+        LabelMatrix::compute(&names, &names, &QgramCosine::default());
     });
-}
 
-fn bench_xes(c: &mut Criterion) {
+    group("xes");
     let log = log_of(30, 200);
     let text = write_string(&from_event_log(&log));
-    let mut group = c.benchmark_group("xes");
-    group.throughput(Throughput::Bytes(text.len() as u64));
-    group.bench_function("parse", |b| b.iter(|| parse_str(&text).unwrap()));
-    group.bench_function("write", |b| {
-        let doc = from_event_log(&log);
-        b.iter(|| write_string(&doc))
+    bench("parse", || {
+        parse_str(&text).unwrap();
     });
-    group.finish();
+    let doc = from_event_log(&log);
+    bench("write", || {
+        write_string(&doc);
+    });
 }
-
-criterion_group!(
-    benches,
-    bench_graph_build,
-    bench_longest_distances,
-    bench_hungarian,
-    bench_labels,
-    bench_xes
-);
-criterion_main!(benches);

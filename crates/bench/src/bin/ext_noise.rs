@@ -11,7 +11,12 @@ use ems_eval::Table;
 use ems_synth::{apply_noise, NoiseConfig};
 
 fn main() {
-    let methods = [Method::Ems, Method::EmsEstimated(5), Method::Ged, Method::Bhv];
+    let methods = [
+        Method::Ems,
+        Method::EmsEstimated(5),
+        Method::Ged,
+        Method::Bhv,
+    ];
     let headers: Vec<String> = std::iter::once("noise".to_owned())
         .chain(methods.iter().map(|m| m.name()))
         .collect();

@@ -96,12 +96,8 @@ pub fn run_composite(
             let matcher = CompositeMatcher::new(Ems::new(params), config.clone());
             let (outcome, secs) = Stopwatch::time(|| matcher.match_logs(l1, l2, &cands1, &cands2));
             let raw = select(&outcome.similarity, &outcome.log1, &outcome.log2);
-            let (left_map, right_map) = merge_maps(
-                outcome
-                    .merges
-                    .iter()
-                    .map(|m| (m.side == 1, &m.candidate)),
-            );
+            let (left_map, right_map) =
+                merge_maps(outcome.merges.iter().map(|m| (m.side == 1, &m.candidate)));
             let counters = CompositeCounters {
                 evaluations: outcome.candidates_evaluated,
                 aborted: outcome.candidates_aborted,
@@ -139,10 +135,7 @@ pub fn run_composite(
 /// Builds name-expansion maps from accepted merges.
 fn merge_maps<'a>(
     merges: impl Iterator<Item = (bool, &'a Candidate)>,
-) -> (
-    HashMap<String, Vec<String>>,
-    HashMap<String, Vec<String>>,
-) {
+) -> (HashMap<String, Vec<String>>, HashMap<String, Vec<String>>) {
     let mut left = HashMap::new();
     let mut right = HashMap::new();
     for (is_left, cand) in merges {
@@ -257,8 +250,10 @@ fn generic_greedy(
     let mut remaining2 = cands2.to_vec();
     let mut counters = CompositeCounters::default();
     let mut merges: Vec<(bool, Candidate)> = Vec::new();
+    // (is_left, candidate idx, objective, merged log, found pairs, finished)
+    type BestMerge = (bool, usize, f64, EventLog, Vec<(String, String)>, bool);
     for _ in 0..config.max_rounds {
-        let mut best: Option<(bool, usize, f64, EventLog, Vec<(String, String)>, bool)> = None;
+        let mut best: Option<BestMerge> = None;
         for (is_left, cands) in [(true, &remaining1), (false, &remaining2)] {
             let log = if is_left { &log1 } else { &log2 };
             for (idx, cand) in cands.iter().enumerate() {
@@ -279,9 +274,7 @@ fn generic_greedy(
                 } else {
                     provider.evaluate(&log1, &merged)
                 };
-                if obj > objective + config.delta
-                    && best.as_ref().map_or(true, |b| obj > b.2)
-                {
+                if obj > objective + config.delta && best.as_ref().is_none_or(|b| obj > b.2) {
                     best = Some((is_left, idx, obj, merged, fnd, fin));
                 }
             }
@@ -360,7 +353,10 @@ mod tests {
         // Expanded pairs never carry the matcher's own '+'-joined left names
         // for events that exist separately in log 1.
         for (l, _) in &run.found {
-            assert!(pair.log1.id_of(l).is_some() || !l.contains('+'), "leaked {l}");
+            assert!(
+                pair.log1.id_of(l).is_some() || !l.contains('+'),
+                "leaked {l}"
+            );
         }
     }
 

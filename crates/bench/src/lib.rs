@@ -20,4 +20,5 @@
 
 pub mod composite;
 pub mod methods;
+pub mod microbench;
 pub mod testbeds;

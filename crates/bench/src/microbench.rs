@@ -1,0 +1,47 @@
+//! Tiny dependency-free microbenchmark runner.
+//!
+//! The build environment is offline, so the workspace cannot fetch
+//! Criterion; this module provides the small slice the bench targets
+//! need — warm-up, adaptive iteration counts, and a median-of-samples
+//! ns/iter report — in plain std.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(40);
+/// Measured samples per benchmark.
+const SAMPLES: usize = 7;
+
+/// Times `f` and prints `label: <median> ns/iter (<iters> iters/sample)`.
+///
+/// Returns the median per-iteration time so callers can aggregate.
+pub fn bench<F: FnMut()>(label: &str, mut f: F) -> Duration {
+    // Warm-up and iteration-count calibration: run once, then scale so a
+    // sample lasts roughly SAMPLE_TARGET.
+    let start = Instant::now();
+    f();
+    let once = start.elapsed().max(Duration::from_nanos(1));
+    let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
+
+    let mut samples: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            start.elapsed() / iters as u32
+        })
+        .collect();
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    println!(
+        "{label}: {} ns/iter ({iters} iters/sample, {SAMPLES} samples)",
+        median.as_nanos()
+    );
+    median
+}
+
+/// Prints a group header, mirroring Criterion's group layout in output.
+pub fn group(name: &str) {
+    println!("\n== {name} ==");
+}

@@ -165,9 +165,8 @@ pub fn composite_pairs(w: &Workload) -> Vec<LogPair> {
 /// average-similarity objective of Problem 1 keys on.
 fn figure1_style_pair(w: &Workload, k: u64) -> LogPair {
     use ems_events::{merge_composite, rename_events, EventId};
+    use ems_rng::StdRng;
     use ems_synth::{jitter_weights, playout, GroundTruth, PlayoutConfig, ProcessTree};
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     let seed = w.seed + 31 * k;
     let mut rng = StdRng::seed_from_u64(seed ^ 0xF16);

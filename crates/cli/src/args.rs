@@ -1,5 +1,7 @@
 //! Hand-rolled argument parsing for the `ems` binary.
 
+use ems_core::Budget;
+
 /// Usage text printed on parse errors and `--help`.
 pub const USAGE: &str = "\
 ems — match heterogeneous event logs (SIGMOD'14 EMS reproduction)
@@ -7,10 +9,11 @@ ems — match heterogeneous event logs (SIGMOD'14 EMS reproduction)
 USAGE:
   ems match   <log1.xes> <log2.xes> [OPTIONS]  compute correspondences
   ems compare <log1.xes> <log2.xes> [OPTIONS]  run all matchers side by side
-  ems stats   <log.xes>                        print log statistics
-  ems dot     <log.xes>                        dependency graph as Graphviz DOT
+  ems stats   <log.xes> [--recover]            print log statistics
+  ems dot     <log.xes> [--recover]            dependency graph as Graphviz DOT
   ems synth   [OPTIONS]                        generate a synthetic log pair
-  ems convert <in.(xes|mxml)> <out.(xes|mxml)> convert between formats
+  ems convert <in.(xes|mxml)> <out.(xes|mxml)> [--recover]
+                                               convert between formats
   ems help                                     this text
 
 MATCH OPTIONS:
@@ -22,11 +25,18 @@ MATCH OPTIONS:
   --composites      enable greedy composite-event matching (Algorithm 2)
   --delta <D>       min avg-similarity improvement per merge (default 0.005)
   --csv <FILE>      also write the correspondences as CSV
+  --recover         skip malformed log regions instead of aborting;
+                    each skipped region is reported as a warning on stderr
+  --budget <SPEC>   resource budget per similarity run; on exhaustion the
+                    run degrades gracefully to closed-form estimation.
+                    SPEC is comma-separated limits: iters=<N>, evals=<N>,
+                    ms=<N> (e.g. --budget iters=5,ms=2000)
   --quiet           print only the correspondence lines
 
 COMPARE OPTIONS:
   --alpha <A>       structural weight (default 1)
   --opq-budget <N>  OPQ search budget in nodes (default 1000000)
+  --recover         skip malformed log regions instead of aborting
 
 SYNTH OPTIONS:
   --activities <N>  process size (default 20)      --traces <N>   (default 100)
@@ -43,13 +53,17 @@ pub enum Command {
     /// Run every matcher on two logs.
     Compare(crate::extra::CompareArgs),
     /// Print statistics of one log.
-    Stats { path: String },
+    Stats { path: String, recover: bool },
     /// Print a log's dependency graph as DOT.
-    Dot { path: String },
+    Dot { path: String, recover: bool },
     /// Generate a synthetic heterogeneous log pair.
     Synth(crate::extra::SynthArgs),
     /// Convert between XES and MXML.
-    Convert { input: String, output: String },
+    Convert {
+        input: String,
+        output: String,
+        recover: bool,
+    },
     /// Print usage.
     Help,
 }
@@ -67,6 +81,8 @@ pub struct MatchArgs {
     pub composites: bool,
     pub delta: f64,
     pub csv: Option<String>,
+    pub recover: bool,
+    pub budget: Option<Budget>,
     pub quiet: bool,
 }
 
@@ -77,32 +93,46 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "stats" => {
-            let path = it
-                .next()
-                .ok_or("`ems stats` needs a log path")?
-                .to_owned();
-            expect_end(it)?;
-            Ok(Command::Stats { path })
+            let path = it.next().ok_or("`ems stats` needs a log path")?.to_owned();
+            let recover = recover_flag(it)?;
+            Ok(Command::Stats { path, recover })
         }
         "dot" => {
             let path = it.next().ok_or("`ems dot` needs a log path")?.to_owned();
-            expect_end(it)?;
-            Ok(Command::Dot { path })
+            let recover = recover_flag(it)?;
+            Ok(Command::Dot { path, recover })
         }
         "convert" => {
-            let input = it.next().ok_or("`ems convert` needs input and output")?.to_owned();
-            let output = it.next().ok_or("`ems convert` needs input and output")?.to_owned();
-            expect_end(it)?;
-            Ok(Command::Convert { input, output })
+            let input = it
+                .next()
+                .ok_or("`ems convert` needs input and output")?
+                .to_owned();
+            let output = it
+                .next()
+                .ok_or("`ems convert` needs input and output")?
+                .to_owned();
+            let recover = recover_flag(it)?;
+            Ok(Command::Convert {
+                input,
+                output,
+                recover,
+            })
         }
         "compare" => {
-            let log1 = it.next().ok_or("`ems compare` needs two log paths")?.to_owned();
-            let log2 = it.next().ok_or("`ems compare` needs two log paths")?.to_owned();
+            let log1 = it
+                .next()
+                .ok_or("`ems compare` needs two log paths")?
+                .to_owned();
+            let log2 = it
+                .next()
+                .ok_or("`ems compare` needs two log paths")?
+                .to_owned();
             let mut args = crate::extra::CompareArgs {
                 log1,
                 log2,
                 alpha: 1.0,
                 opq_budget: 1_000_000,
+                recover: false,
             };
             let rest: Vec<&String> = it.collect();
             let mut i = 0;
@@ -110,7 +140,9 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 let flag = rest[i].as_str();
                 let mut value = |name: &str| -> Result<&String, String> {
                     i += 1;
-                    rest.get(i).copied().ok_or_else(|| format!("{name} needs a value"))
+                    rest.get(i)
+                        .copied()
+                        .ok_or_else(|| format!("{name} needs a value"))
                 };
                 match flag {
                     "--alpha" => args.alpha = parse_f64(value("--alpha")?, 0.0, 1.0)?,
@@ -119,6 +151,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             .parse()
                             .map_err(|_| "--opq-budget needs an integer".to_owned())?
                     }
+                    "--recover" => args.recover = true,
                     other => return Err(format!("unknown option `{other}`")),
                 }
                 i += 1;
@@ -144,13 +177,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 let flag = rest[i].as_str();
                 let mut value = |name: &str| -> Result<&String, String> {
                     i += 1;
-                    rest.get(i).copied().ok_or_else(|| format!("{name} needs a value"))
+                    rest.get(i)
+                        .copied()
+                        .ok_or_else(|| format!("{name} needs a value"))
                 };
                 let parse_usize = |s: &str, name: &str| -> Result<usize, String> {
                     s.parse().map_err(|_| format!("{name} needs an integer"))
                 };
                 match flag {
-                    "--activities" => args.activities = parse_usize(value("--activities")?, "--activities")?,
+                    "--activities" => {
+                        args.activities = parse_usize(value("--activities")?, "--activities")?
+                    }
                     "--traces" => args.traces = parse_usize(value("--traces")?, "--traces")?,
                     "--seed" => {
                         args.seed = value("--seed")?
@@ -158,13 +195,17 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             .map_err(|_| "--seed needs an integer".to_owned())?
                     }
                     "--dislocate-front" => {
-                        args.dislocate_front = parse_usize(value("--dislocate-front")?, "--dislocate-front")?
+                        args.dislocate_front =
+                            parse_usize(value("--dislocate-front")?, "--dislocate-front")?
                     }
                     "--dislocate-back" => {
-                        args.dislocate_back = parse_usize(value("--dislocate-back")?, "--dislocate-back")?
+                        args.dislocate_back =
+                            parse_usize(value("--dislocate-back")?, "--dislocate-back")?
                     }
                     "--opaque" => args.opaque = parse_f64(value("--opaque")?, 0.0, 1.0)?,
-                    "--composites" => args.composites = parse_usize(value("--composites")?, "--composites")?,
+                    "--composites" => {
+                        args.composites = parse_usize(value("--composites")?, "--composites")?
+                    }
                     "--out1" => args.out1 = value("--out1")?.to_owned(),
                     "--out2" => args.out2 = value("--out2")?.to_owned(),
                     "--truth" => args.truth_csv = Some(value("--truth")?.to_owned()),
@@ -197,6 +238,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 composites: false,
                 delta: 0.005,
                 csv: None,
+                recover: false,
+                budget: None,
                 quiet: false,
             };
             let rest: Vec<&String> = it.collect();
@@ -224,6 +267,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--delta" => args.delta = parse_f64(value("--delta")?, 0.0, 1.0)?,
                     "--csv" => args.csv = Some(value("--csv")?.to_owned()),
                     "--composites" => args.composites = true,
+                    "--recover" => args.recover = true,
+                    "--budget" => args.budget = Some(parse_budget(value("--budget")?)?),
                     "--quiet" => args.quiet = true,
                     other => return Err(format!("unknown option `{other}`")),
                 }
@@ -235,19 +280,53 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
     }
 }
 
+/// Parses a `--budget` spec: comma-separated `iters=<N>`, `evals=<N>` and
+/// `ms=<N>` limits, each at most once. An empty spec is rejected — an
+/// unlimited budget is expressed by omitting the flag.
+fn parse_budget(spec: &str) -> Result<Budget, String> {
+    let mut budget = Budget::default();
+    if spec.trim().is_empty() {
+        return Err("--budget needs at least one limit (iters=, evals= or ms=)".into());
+    }
+    for part in spec.split(',') {
+        let (key, raw) = part
+            .split_once('=')
+            .ok_or_else(|| format!("budget limit `{part}` is not of the form key=value"))?;
+        let n: u64 = raw
+            .parse()
+            .map_err(|_| format!("budget limit `{part}` needs an integer value"))?;
+        match key.trim() {
+            "iters" => budget.max_iterations = Some(n as usize),
+            "evals" => budget.max_formula_evals = Some(n),
+            "ms" => budget.wall_clock = Some(std::time::Duration::from_millis(n)),
+            other => {
+                return Err(format!(
+                    "unknown budget limit `{other}` (expected iters, evals or ms)"
+                ))
+            }
+        }
+    }
+    Ok(budget)
+}
+
+/// Consumes an optional trailing `--recover` flag, rejecting anything else.
+fn recover_flag<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<bool, String> {
+    let mut recover = false;
+    for arg in it.by_ref() {
+        match arg.as_str() {
+            "--recover" => recover = true,
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(recover)
+}
+
 fn parse_f64(s: &str, lo: f64, hi: f64) -> Result<f64, String> {
     let v: f64 = s.parse().map_err(|_| format!("`{s}` is not a number"))?;
     if !(lo..=hi).contains(&v) {
         return Err(format!("`{s}` must be in [{lo}, {hi}]"));
     }
     Ok(v)
-}
-
-fn expect_end<'a>(mut it: impl Iterator<Item = &'a String>) -> Result<(), String> {
-    match it.next() {
-        Some(extra) => Err(format!("unexpected argument `{extra}`")),
-        None => Ok(()),
-    }
 }
 
 #[cfg(test)]
@@ -261,8 +340,16 @@ mod tests {
     #[test]
     fn parses_match_with_options() {
         let cmd = parse(&sv(&[
-            "match", "a.xes", "b.xes", "--alpha", "0.5", "--estimate", "5", "--composites",
-            "--csv", "out.csv",
+            "match",
+            "a.xes",
+            "b.xes",
+            "--alpha",
+            "0.5",
+            "--estimate",
+            "5",
+            "--composites",
+            "--csv",
+            "out.csv",
         ]))
         .unwrap();
         match cmd {
@@ -281,14 +368,60 @@ mod tests {
     fn parses_stats_and_dot_and_help() {
         assert_eq!(
             parse(&sv(&["stats", "x.xes"])).unwrap(),
-            Command::Stats { path: "x.xes".into() }
+            Command::Stats {
+                path: "x.xes".into(),
+                recover: false
+            }
+        );
+        assert_eq!(
+            parse(&sv(&["stats", "x.xes", "--recover"])).unwrap(),
+            Command::Stats {
+                path: "x.xes".into(),
+                recover: true
+            }
         );
         assert_eq!(
             parse(&sv(&["dot", "x.xes"])).unwrap(),
-            Command::Dot { path: "x.xes".into() }
+            Command::Dot {
+                path: "x.xes".into(),
+                recover: false
+            }
         );
         assert_eq!(parse(&sv(&["help"])).unwrap(), Command::Help);
         assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_recover_and_budget() {
+        match parse(&sv(&[
+            "match",
+            "a.xes",
+            "b.xes",
+            "--recover",
+            "--budget",
+            "iters=5,evals=1000,ms=2000",
+        ]))
+        .unwrap()
+        {
+            Command::Match(m) => {
+                assert!(m.recover);
+                let b = m.budget.unwrap();
+                assert_eq!(b.max_iterations, Some(5));
+                assert_eq!(b.max_formula_evals, Some(1000));
+                assert_eq!(b.wall_clock, Some(std::time::Duration::from_millis(2000)));
+            }
+            c => panic!("unexpected {c:?}"),
+        }
+        match parse(&sv(&["compare", "a.xes", "b.xes", "--recover"])).unwrap() {
+            Command::Compare(c) => assert!(c.recover),
+            c => panic!("unexpected {c:?}"),
+        }
+        // Bad specs are usage errors.
+        assert!(parse(&sv(&["match", "a", "b", "--budget", ""])).is_err());
+        assert!(parse(&sv(&["match", "a", "b", "--budget", "iters"])).is_err());
+        assert!(parse(&sv(&["match", "a", "b", "--budget", "iters=x"])).is_err());
+        assert!(parse(&sv(&["match", "a", "b", "--budget", "bogus=1"])).is_err());
+        assert!(parse(&sv(&["stats", "a.xes", "--bogus"])).is_err());
     }
 
     #[test]
@@ -306,7 +439,11 @@ mod tests {
         }
         assert_eq!(
             parse(&sv(&["convert", "a.mxml", "b.xes"])).unwrap(),
-            Command::Convert { input: "a.mxml".into(), output: "b.xes".into() }
+            Command::Convert {
+                input: "a.mxml".into(),
+                output: "b.xes".into(),
+                recover: false
+            }
         );
     }
 

@@ -2,39 +2,78 @@
 
 use crate::args::{Command, MatchArgs, USAGE};
 use ems_assignment::max_total_assignment;
-use ems_core::composite::{discover_candidates, CandidateConfig, CompositeConfig, CompositeMatcher};
-use ems_core::{Ems, EmsParams};
+use ems_core::composite::{
+    discover_candidates, CandidateConfig, CompositeConfig, CompositeMatcher,
+};
+use ems_core::{Ems, EmsParams, RunOptions};
 use ems_depgraph::{filter_min_frequency, to_dot, DependencyGraph};
-use ems_events::{EventId, EventLog, LogStats};
+use ems_error::EmsError;
 use ems_eval::Table;
+use ems_events::{EventId, EventLog, LogStats};
+use ems_xes::ParseMode;
 
 /// Executes a parsed command.
-pub fn run(cmd: Command) -> Result<(), String> {
+pub fn run(cmd: Command) -> Result<(), EmsError> {
     match cmd {
         Command::Help => {
             println!("{USAGE}");
             Ok(())
         }
-        Command::Stats { path } => stats(&path),
-        Command::Dot { path } => dot(&path),
+        Command::Stats { path, recover } => stats(&path, recover),
+        Command::Dot { path, recover } => dot(&path, recover),
         Command::Match(args) => do_match(&args),
-        Command::Compare(args) => crate::extra::compare(&args, load),
+        Command::Compare(args) => {
+            let recover = args.recover;
+            crate::extra::compare(&args, |p| load(p, recover))
+        }
         Command::Synth(args) => crate::extra::synth(&args),
-        Command::Convert { input, output } => crate::extra::convert(&input, &output),
+        Command::Convert {
+            input,
+            output,
+            recover,
+        } => crate::extra::convert(&input, &output, recover),
     }
 }
 
-fn load(path: &str) -> Result<EventLog, String> {
-    let xes = ems_xes::parse_file(path).map_err(|e| format!("{path}: {e}"))?;
-    let mut log = ems_xes::to_event_log(&xes);
+/// Attaches the file path to errors whose context would otherwise be lost
+/// (a parse error alone does not say *which* of two logs is broken).
+pub(crate) fn with_path(e: EmsError, path: &str) -> EmsError {
+    match e {
+        EmsError::Parse { offset, message } => EmsError::Parse {
+            offset,
+            message: format!("{path}: {message}"),
+        },
+        EmsError::Io { path: p, message } if p.is_empty() => EmsError::Io {
+            path: path.to_owned(),
+            message,
+        },
+        other => other,
+    }
+}
+
+/// Loads an event log, auto-detecting XES vs MXML. In recovery mode,
+/// malformed regions are skipped and reported one-per-line on stderr.
+pub(crate) fn load(path: &str, recover: bool) -> Result<EventLog, EmsError> {
+    let mode = if recover {
+        ParseMode::Recovery
+    } else {
+        ParseMode::Strict
+    };
+    let text = std::fs::read_to_string(path).map_err(|e| EmsError::io(path, e.to_string()))?;
+    let recovered =
+        ems_xes::load_event_log_str(&text, mode).map_err(|e| with_path(e.into(), path))?;
+    for w in &recovered.warnings {
+        eprintln!("ems: warning: {path}: {w}");
+    }
+    let mut log = recovered.log;
     if log.name().is_none() {
         log.set_name(path);
     }
     Ok(log)
 }
 
-fn stats(path: &str) -> Result<(), String> {
-    let log = load(path)?;
+fn stats(path: &str, recover: bool) -> Result<(), EmsError> {
+    let log = load(path, recover)?;
     println!("{}", LogStats::of(&log));
     let g = DependencyGraph::from_log(&log);
     println!(
@@ -49,23 +88,28 @@ fn stats(path: &str) -> Result<(), String> {
             (log.name_of(id).to_owned(), log.event_frequency(id))
         })
         .collect();
-    events.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    events.sort_by(|a, b| b.1.total_cmp(&a.1));
     for (name, f) in events {
         println!("  {f:.3}  {name}");
     }
     Ok(())
 }
 
-fn dot(path: &str) -> Result<(), String> {
-    let log = load(path)?;
+fn dot(path: &str, recover: bool) -> Result<(), EmsError> {
+    let log = load(path, recover)?;
     let g = DependencyGraph::from_log(&log);
     print!("{}", to_dot(&g, log.name().unwrap_or("event log")));
     Ok(())
 }
 
-fn do_match(args: &MatchArgs) -> Result<(), String> {
-    let l1 = load(&args.log1)?;
-    let l2 = load(&args.log2)?;
+fn do_match(args: &MatchArgs) -> Result<(), EmsError> {
+    if args.budget.is_some() && args.composites {
+        return Err(EmsError::usage(
+            "--budget is not supported together with --composites",
+        ));
+    }
+    let l1 = load(&args.log1, args.recover)?;
+    let l2 = load(&args.log2, args.recover)?;
     let mut params = EmsParams {
         alpha: args.alpha,
         c: args.c,
@@ -74,8 +118,7 @@ fn do_match(args: &MatchArgs) -> Result<(), String> {
     if let Some(i) = args.estimate {
         params.estimate_after = Some(i);
     }
-    params.validate()?;
-    let ems = Ems::new(params);
+    let ems = Ems::try_new(params)?;
 
     let (log1, log2, sim) = if args.composites {
         let config = CompositeConfig {
@@ -101,7 +144,18 @@ fn do_match(args: &MatchArgs) -> Result<(), String> {
         let (g1, _) = filter_min_frequency(&g1, args.min_freq);
         let (g2, _) = filter_min_frequency(&g2, args.min_freq);
         let labels = ems.label_matrix(&l1, &l2);
-        let out = ems.match_graphs(&g1, &g2, &labels);
+        let options = RunOptions {
+            budget: args.budget.clone().unwrap_or_default(),
+            ..Default::default()
+        };
+        let out = ems.try_match_graphs_opts(&g1, &g2, &labels, &options, &options)?;
+        if out.stats.degraded {
+            eprintln!(
+                "ems: note: budget exhausted after {} iterations; {} pairs \
+                 finished by closed-form estimation (degraded result)",
+                out.stats.iterations, out.stats.estimated_pairs
+            );
+        }
         (l1, l2, out.similarity)
     };
 
@@ -134,7 +188,7 @@ fn do_match(args: &MatchArgs) -> Result<(), String> {
     if let Some(csv) = &args.csv {
         table
             .write_csv(csv)
-            .map_err(|e| format!("writing {csv}: {e}"))?;
+            .map_err(|e| EmsError::io(csv, e.to_string()))?;
     }
     Ok(())
 }
@@ -190,6 +244,8 @@ mod tests {
             composites: false,
             delta: 0.005,
             csv: Some(dir.join("out.csv").to_string_lossy().into_owned()),
+            recover: false,
+            budget: None,
             quiet: true,
         };
         do_match(&args).unwrap();
@@ -213,6 +269,8 @@ mod tests {
             composites: true,
             delta: 0.001,
             csv: None,
+            recover: false,
+            budget: None,
             quiet: true,
         };
         do_match(&args).unwrap();
@@ -223,16 +281,41 @@ mod tests {
     fn stats_and_dot_run() {
         let dir = tmpdir("stats");
         let (p1, _) = write_sample_logs(&dir);
-        stats(&p1).unwrap();
-        dot(&p1).unwrap();
+        stats(&p1, false).unwrap();
+        dot(&p1, false).unwrap();
         let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
     fn missing_file_is_a_clean_error() {
-        assert!(stats("/nonexistent/nope.xes").is_err());
-        let err = load("/nonexistent/nope.xes").unwrap_err();
-        assert!(err.contains("nope.xes"));
+        assert!(stats("/nonexistent/nope.xes", false).is_err());
+        let err = load("/nonexistent/nope.xes", false).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(err.to_string().contains("nope.xes"));
+    }
+
+    #[test]
+    fn budget_with_composites_is_a_usage_error() {
+        let args = MatchArgs {
+            log1: "a.xes".into(),
+            log2: "b.xes".into(),
+            alpha: 1.0,
+            c: 0.8,
+            estimate: None,
+            min_freq: 0.0,
+            min_score: 0.0,
+            composites: true,
+            delta: 0.005,
+            csv: None,
+            recover: false,
+            budget: Some(ems_core::Budget {
+                max_iterations: Some(1),
+                ..Default::default()
+            }),
+            quiet: true,
+        };
+        let err = do_match(&args).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

@@ -5,6 +5,7 @@ use ems_baselines::bhv::trace_start_anchors;
 use ems_baselines::{Bhv, BhvParams, Ged, Opq, OpqParams, SimilarityFlooding};
 use ems_core::{Ems, EmsParams};
 use ems_depgraph::DependencyGraph;
+use ems_error::EmsError;
 use ems_eval::{Stopwatch, Table};
 use ems_events::EventLog;
 use ems_labels::LabelMatrix;
@@ -18,6 +19,8 @@ pub struct CompareArgs {
     pub alpha: f64,
     /// OPQ branch-and-bound node budget (it is the slow one).
     pub opq_budget: u64,
+    /// Skip malformed log regions instead of aborting.
+    pub recover: bool,
 }
 
 /// Options of `ems synth`.
@@ -36,15 +39,21 @@ pub struct SynthArgs {
 }
 
 /// Runs every matcher on the same pair of logs and prints a comparison.
-pub fn compare(args: &CompareArgs, load: impl Fn(&str) -> Result<EventLog, String>) -> Result<(), String> {
+pub fn compare(
+    args: &CompareArgs,
+    load: impl Fn(&str) -> Result<EventLog, EmsError>,
+) -> Result<(), EmsError> {
     let l1 = load(&args.log1)?;
     let l2 = load(&args.log2)?;
     let g1 = DependencyGraph::from_log(&l1);
     let g2 = DependencyGraph::from_log(&l2);
-    let labels = Ems::new(EmsParams::with_labels(args.alpha.min(0.999)))
-        .label_matrix(&l1, &l2);
+    let labels = Ems::new(EmsParams::with_labels(args.alpha.min(0.999))).label_matrix(&l1, &l2);
     let zero_labels = LabelMatrix::zeros(g1.num_real(), g2.num_real());
-    let labels_ref = if args.alpha < 1.0 { &labels } else { &zero_labels };
+    let labels_ref = if args.alpha < 1.0 {
+        &labels
+    } else {
+        &zero_labels
+    };
 
     let mut table = Table::new(
         format!("method comparison: {} <-> {}", args.log1, args.log2),
@@ -118,7 +127,11 @@ pub fn compare(args: &CompareArgs, load: impl Fn(&str) -> Result<EventLog, Strin
             r.mapping.len(),
             -r.distance,
             t.as_secs_f64(),
-            if r.finished { "optimal" } else { "budget exhausted" },
+            if r.finished {
+                "optimal"
+            } else {
+                "budget exhausted"
+            },
         );
     }
     print!("{}", table.to_text());
@@ -135,7 +148,7 @@ fn ems_params(alpha: f64) -> EmsParams {
 
 /// Generates a heterogeneous log pair, writes both logs as XES and
 /// optionally the ground truth as CSV.
-pub fn synth(args: &SynthArgs) -> Result<(), String> {
+pub fn synth(args: &SynthArgs) -> Result<(), EmsError> {
     let dislocation = match (args.dislocate_front, args.dislocate_back) {
         (0, 0) => Dislocation::None,
         (f, 0) => Dislocation::Front(f),
@@ -158,9 +171,9 @@ pub fn synth(args: &SynthArgs) -> Result<(), String> {
         ..PairConfig::default()
     })
     .generate();
-    let write = |log: &EventLog, path: &str| -> Result<(), String> {
+    let write = |log: &EventLog, path: &str| -> Result<(), EmsError> {
         ems_xes::write_file(&ems_xes::from_event_log(log), path)
-            .map_err(|e| format!("writing {path}: {e}"))
+            .map_err(|e| EmsError::io(path, e.to_string()))
     };
     write(&pair.log1, &args.out1)?;
     write(&pair.log2, &args.out2)?;
@@ -178,30 +191,24 @@ pub fn synth(args: &SynthArgs) -> Result<(), String> {
         for (l, r) in pair.truth.iter() {
             t.row(vec![l.to_owned(), r.to_owned()]);
         }
-        t.write_csv(path).map_err(|e| format!("writing {path}: {e}"))?;
+        t.write_csv(path)
+            .map_err(|e| EmsError::io(path, e.to_string()))?;
         println!("wrote {} truth pairs to {path}", pair.truth.len());
     }
     Ok(())
 }
 
 /// Converts between XES and MXML, detecting the input format from its root
-/// element.
-pub fn convert(input: &str, output: &str) -> Result<(), String> {
-    let text =
-        std::fs::read_to_string(input).map_err(|e| format!("{input}: {e}"))?;
-    let log: EventLog = if text.contains("<WorkflowLog") {
-        ems_xes::mxml::to_event_log_complete_only(
-            &ems_xes::mxml::parse_mxml(&text).map_err(|e| format!("{input}: {e}"))?,
-        )
-    } else {
-        ems_xes::to_event_log(&ems_xes::parse_str(&text).map_err(|e| format!("{input}: {e}"))?)
-    };
+/// element. With `recover`, malformed input regions are skipped (and
+/// reported on stderr) instead of aborting the conversion.
+pub fn convert(input: &str, output: &str, recover: bool) -> Result<(), EmsError> {
+    let log = crate::commands::load(input, recover)?;
     let out_text = if output.ends_with(".mxml") {
         ems_xes::mxml::write_mxml(&ems_xes::mxml::from_event_log(&log))
     } else {
         ems_xes::write_string(&ems_xes::from_event_log(&log))
     };
-    std::fs::write(output, out_text).map_err(|e| format!("{output}: {e}"))?;
+    std::fs::write(output, out_text).map_err(|e| EmsError::io(output, e.to_string()))?;
     println!(
         "converted {} traces / {} events: {input} -> {output}",
         log.num_traces(),
@@ -264,9 +271,10 @@ mod tests {
             log2: args.out2.clone(),
             alpha: 1.0,
             opq_budget: 10_000,
+            recover: false,
         };
         compare(&cargs, |p| {
-            let xes = ems_xes::parse_file(p).map_err(|e| e.to_string())?;
+            let xes = ems_xes::parse_file(p).map_err(EmsError::from)?;
             Ok(ems_xes::to_event_log(&xes))
         })
         .unwrap();
@@ -282,8 +290,8 @@ mod tests {
         let mxml = dir.join("mid.mxml").to_string_lossy().into_owned();
         let back = dir.join("out.xes").to_string_lossy().into_owned();
         ems_xes::write_file(&ems_xes::from_event_log(&log), &xes).unwrap();
-        convert(&xes, &mxml).unwrap();
-        convert(&mxml, &back).unwrap();
+        convert(&xes, &mxml, false).unwrap();
+        convert(&mxml, &back, false).unwrap();
         let final_log = ems_xes::to_event_log(&ems_xes::parse_file(&back).unwrap());
         assert_eq!(final_log.num_traces(), 1);
         assert_eq!(final_log.alphabet_size(), 2);

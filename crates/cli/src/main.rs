@@ -8,26 +8,30 @@
 //! ems dot    <log.xes>
 //! ```
 
+use ems_error::EmsError;
 use std::process::ExitCode;
 
 mod args;
 mod commands;
 mod extra;
 
+/// Every failure path exits through here: one line on stderr, and the
+/// [`EmsError`] class's stable nonzero exit code (usage errors also reprint
+/// the usage text). Exit code 0 is success; 1 is deliberately unused.
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    match args::parse(&argv) {
-        Ok(cmd) => match commands::run(cmd) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("error: {e}");
-                ExitCode::FAILURE
-            }
-        },
+    let result = match args::parse(&argv) {
+        Ok(cmd) => commands::run(cmd),
+        Err(message) => Err(EmsError::usage(message)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("error: {e}\n");
-            eprintln!("{}", args::USAGE);
-            ExitCode::from(2)
+            eprintln!("ems: {e}");
+            if matches!(e, EmsError::Usage { .. }) {
+                eprintln!("\n{}", args::USAGE);
+            }
+            ExitCode::from(e.exit_code())
         }
     }
 }

@@ -33,11 +33,115 @@ fn bad_arguments_exit_nonzero_with_usage() {
 }
 
 #[test]
-fn missing_file_exits_one() {
+fn missing_file_exits_with_io_code() {
     let out = ems().args(["stats", "/no/such/file.xes"]).output().unwrap();
     assert!(!out.status.success());
-    assert_eq!(out.status.code(), Some(1));
-    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+    assert_eq!(out.status.code(), Some(3), "Io errors exit with code 3");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("file.xes"), "stderr: {err}");
+    assert_eq!(err.trim().lines().count(), 1, "one-line stderr: {err:?}");
+}
+
+#[test]
+fn malformed_log_exits_with_parse_code_and_recover_salvages_it() {
+    let dir = tmpdir("malformed");
+    let path = dir.join("broken.xes");
+    // One good trace, then a garbled region, then another good trace with
+    // its closing tags truncated away.
+    std::fs::write(
+        &path,
+        r#"<log>
+  <trace><event><string key="concept:name" value="a"/></event></trace>
+  <trace><event><string key="concept:name" <<<garbage>></event></trace>
+  <trace><event><string key="concept:name" value="b"/></event>"#,
+    )
+    .unwrap();
+    let out = ems()
+        .args(["stats", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "Parse errors exit with code 4");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(err.trim().lines().count(), 1, "one-line stderr: {err:?}");
+    assert!(err.contains("broken.xes"), "stderr names the file: {err}");
+
+    let out = ems()
+        .args(["stats", path.to_str().unwrap(), "--recover"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "recovery succeeds");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("warning"), "warnings on stderr: {err}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dependency graph"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn budget_flag_degrades_gracefully() {
+    let dir = tmpdir("budget");
+    let a = dir.join("a.xes");
+    let b = dir.join("b.xes");
+    let out = ems()
+        .args([
+            "synth",
+            "--activities",
+            "10",
+            "--traces",
+            "30",
+            "--seed",
+            "7",
+            "--out1",
+            a.to_str().unwrap(),
+            "--out2",
+            b.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = ems()
+        .args([
+            "match",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--quiet",
+            "--min-score",
+            "0",
+            "--budget",
+            "iters=1",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("degraded"),
+        "degradation note on stderr: {err}"
+    );
+    // The degraded run still yields a full correspondence listing.
+    let lines = String::from_utf8_lossy(&out.stdout).lines().count();
+    assert!(lines >= 5, "only {lines} correspondences");
+    // Bad budget specs are usage errors (exit 2).
+    let out = ems()
+        .args([
+            "match",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "--budget",
+            "bogus=1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 #[test]
@@ -64,7 +168,11 @@ fn synth_then_match_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(a.exists() && b.exists() && truth.exists());
 
     let out = ems()
@@ -78,7 +186,11 @@ fn synth_then_match_pipeline() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     // Quiet mode: tab-separated triples.
     let lines: Vec<&str> = text.lines().filter(|l| !l.is_empty()).collect();
@@ -95,9 +207,17 @@ fn stats_and_dot_produce_output() {
     let a = dir.join("a.xes");
     ems()
         .args([
-            "synth", "--activities", "8", "--traces", "20", "--seed", "4",
-            "--out1", a.to_str().unwrap(),
-            "--out2", dir.join("b.xes").to_str().unwrap(),
+            "synth",
+            "--activities",
+            "8",
+            "--traces",
+            "20",
+            "--seed",
+            "4",
+            "--out1",
+            a.to_str().unwrap(),
+            "--out2",
+            dir.join("b.xes").to_str().unwrap(),
         ])
         .output()
         .unwrap();
@@ -116,9 +236,17 @@ fn convert_roundtrip_via_binary() {
     let a = dir.join("a.xes");
     ems()
         .args([
-            "synth", "--activities", "6", "--traces", "10", "--seed", "5",
-            "--out1", a.to_str().unwrap(),
-            "--out2", dir.join("b.xes").to_str().unwrap(),
+            "synth",
+            "--activities",
+            "6",
+            "--traces",
+            "10",
+            "--seed",
+            "5",
+            "--out1",
+            a.to_str().unwrap(),
+            "--out2",
+            dir.join("b.xes").to_str().unwrap(),
         ])
         .output()
         .unwrap();
@@ -128,8 +256,14 @@ fn convert_roundtrip_via_binary() {
         .args(["convert", a.to_str().unwrap(), mxml.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
-    assert!(std::fs::read_to_string(&mxml).unwrap().contains("<WorkflowLog>"));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(std::fs::read_to_string(&mxml)
+        .unwrap()
+        .contains("<WorkflowLog>"));
     let out = ems()
         .args(["convert", mxml.to_str().unwrap(), back.to_str().unwrap()])
         .output()

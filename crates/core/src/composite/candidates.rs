@@ -127,17 +127,17 @@ pub fn discover_candidates(log: &EventLog, config: &CandidateConfig) -> Vec<Cand
         }
     }
     // Keep only mutual links (a's chosen next is b and b's chosen prev is a).
-    for a in 0..n {
-        if let Some(b) = next[a] {
+    for (a, slot) in next.iter_mut().enumerate() {
+        if let Some(b) = *slot {
             if prev[b] != Some(a) {
-                next[a] = None;
+                *slot = None;
             }
         }
     }
-    for b in 0..n {
-        if let Some(a) = prev[b] {
+    for (b, slot) in prev.iter_mut().enumerate() {
+        if let Some(a) = *slot {
             if next[a] != Some(b) {
-                prev[b] = None;
+                *slot = None;
             }
         }
     }

@@ -150,7 +150,7 @@ impl CompositeMatcher {
                             let avg = next.outcome.similarity.average();
                             if avg > best_avg {
                                 best_avg = avg;
-                                best = Some((idx, side1, next));
+                                best = Some((idx, side1, *next));
                             }
                         }
                     }
@@ -192,8 +192,8 @@ enum Evaluation {
     Skipped,
     /// Upper-bound pruning stopped the computation early.
     Aborted,
-    /// Full evaluation.
-    Done(State),
+    /// Full evaluation (boxed: `State` is much larger than the other arms).
+    Done(Box<State>),
 }
 
 impl CompositeMatcher {
@@ -306,6 +306,7 @@ impl CompositeMatcher {
         let fwd_opts = RunOptions {
             seed: fwd_seed,
             abort_below: fwd_abort,
+            ..Default::default()
         };
         let fwd = crate::engine::Engine::new(
             g1,
@@ -325,6 +326,7 @@ impl CompositeMatcher {
         let bwd_opts = RunOptions {
             seed: bwd_seed,
             abort_below: bwd_abort,
+            ..Default::default()
         };
         let bwd = crate::engine::Engine::new(
             g1,
@@ -364,7 +366,7 @@ impl CompositeMatcher {
                 outcome,
             }
         };
-        Evaluation::Done(next)
+        Evaluation::Done(Box::new(next))
     }
 }
 
@@ -487,8 +489,8 @@ mod tests {
     fn inapplicable_candidates_are_skipped() {
         let (l1, l2) = composite_pair();
         let cands = vec![
-            Candidate::new(["zz", "qq"]),  // unknown events
-            Candidate::new(["C", "F"]),    // never consecutive
+            Candidate::new(["zz", "qq"]), // unknown events
+            Candidate::new(["C", "F"]),   // never consecutive
         ];
         let out = matcher(CompositeConfig::default()).match_logs(&l1, &l2, &cands, &[]);
         assert!(out.merges.is_empty());
@@ -500,8 +502,7 @@ mod tests {
         let (l1, l2) = composite_pair();
         let cands1 = vec![Candidate::new(["C", "D"])];
         let cands2 = vec![Candidate::new(["5", "6"])];
-        let out =
-            matcher(CompositeConfig::default()).match_logs(&l1, &l2, &cands1, &cands2);
+        let out = matcher(CompositeConfig::default()).match_logs(&l1, &l2, &cands1, &cands2);
         // The true composite on side 1 must be among the accepted merges,
         // and must have been accepted first (highest improvement).
         assert!(!out.merges.is_empty());

@@ -4,6 +4,7 @@
 //! estimation (Section 3.5) and upper-bound abort (Section 4.3).
 
 use crate::bounds::pair_upper_bound;
+use crate::error::CoreError;
 use crate::estimate::extrapolate;
 use crate::params::{Direction, EmsParams};
 use crate::sim::SimMatrix;
@@ -11,6 +12,7 @@ use ems_depgraph::{
     longest_distances, longest_distances_backward, DependencyGraph, Distance, NodeId,
 };
 use ems_labels::LabelMatrix;
+use std::time::{Duration, Instant};
 
 /// Initial state carried into a run — used by the composite matcher to reuse
 /// similarities that Proposition 4 proves unchanged.
@@ -25,6 +27,46 @@ pub struct Seed {
     pub frozen: Vec<bool>,
 }
 
+/// A resource budget for one similarity run.
+///
+/// Each limit is independent and optional; the default budget is unlimited.
+/// Budgets are checked *between* iterations: the iteration count is never
+/// exceeded, while formula evaluations and wall-clock time may overshoot by
+/// at most one iteration's worth of work. When any limit trips, the exact
+/// phase stops and the remaining non-converged pairs are finished with the
+/// closed-form estimation of Section 3.5, so an exhausted run still returns
+/// a usable similarity matrix — flagged via [`RunStats::degraded`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum exact iterations.
+    pub max_iterations: Option<usize>,
+    /// Maximum evaluations of formula (1) ([`RunStats::formula_evals`]).
+    pub max_formula_evals: Option<u64>,
+    /// Maximum elapsed wall-clock time.
+    pub wall_clock: Option<Duration>,
+}
+
+impl Budget {
+    /// An unlimited budget (all limits off).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// True when no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.max_iterations.is_none()
+            && self.max_formula_evals.is_none()
+            && self.wall_clock.is_none()
+    }
+
+    /// True when the observed work exceeds any limit.
+    fn exhausted(&self, iterations: usize, formula_evals: u64, started: Instant) -> bool {
+        self.max_iterations.is_some_and(|m| iterations >= m)
+            || self.max_formula_evals.is_some_and(|m| formula_evals >= m)
+            || self.wall_clock.is_some_and(|m| started.elapsed() >= m)
+    }
+}
+
 /// Options for one similarity run.
 #[derive(Debug, Clone, Default)]
 pub struct RunOptions {
@@ -35,6 +77,8 @@ pub struct RunOptions {
     /// if that optimistic average is already below this threshold, the run
     /// can never beat it and stops early with [`RunStats::aborted`] set.
     pub abort_below: Option<f64>,
+    /// Resource budget; exhaustion degrades gracefully to estimation.
+    pub budget: Budget,
 }
 
 /// Counters describing how much work a run performed — these are the
@@ -55,6 +99,9 @@ pub struct RunStats {
     pub estimated_pairs: u64,
     /// Whether the run stopped early due to `abort_below`.
     pub aborted: bool,
+    /// Whether a [`Budget`] limit tripped and the run fell back to the
+    /// closed-form estimation for pairs that had not yet converged.
+    pub degraded: bool,
 }
 
 impl RunStats {
@@ -66,6 +113,7 @@ impl RunStats {
         self.frozen_evals += other.frozen_evals;
         self.estimated_pairs += other.estimated_pairs;
         self.aborted |= other.aborted;
+        self.degraded |= other.degraded;
     }
 }
 
@@ -99,7 +147,9 @@ impl<'a> Engine<'a> {
     ///
     /// # Panics
     /// If the label matrix shape does not match the graphs' real node counts
-    /// or the parameters fail validation.
+    /// or the parameters fail validation. Use
+    /// [`try_new`](Self::try_new) for a fallible variant.
+    #[allow(clippy::panic)] // documented contract panic; try_new is the fallible path
     pub fn new(
         g1: &'a DependencyGraph,
         g2: &'a DependencyGraph,
@@ -107,11 +157,31 @@ impl<'a> Engine<'a> {
         params: &'a EmsParams,
         direction: Direction,
     ) -> Self {
-        params
-            .validate()
-            .unwrap_or_else(|m| panic!("invalid EMS parameters: {m}"));
-        assert_eq!(labels.rows(), g1.num_real(), "label matrix rows");
-        assert_eq!(labels.cols(), g2.num_real(), "label matrix cols");
+        match Self::try_new(g1, g2, labels, params, direction) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`new`](Self::new): returns
+    /// [`CoreError::InvalidParams`] or [`CoreError::LabelShapeMismatch`]
+    /// instead of panicking.
+    pub fn try_new(
+        g1: &'a DependencyGraph,
+        g2: &'a DependencyGraph,
+        labels: &'a LabelMatrix,
+        params: &'a EmsParams,
+        direction: Direction,
+    ) -> Result<Self, CoreError> {
+        params.validate().map_err(CoreError::InvalidParams)?;
+        if labels.rows() != g1.num_real() || labels.cols() != g2.num_real() {
+            return Err(CoreError::LabelShapeMismatch {
+                rows: labels.rows(),
+                cols: labels.cols(),
+                n1: g1.num_real(),
+                n2: g2.num_real(),
+            });
+        }
         let (l1, l2) = match direction {
             Direction::Forward => (longest_distances(g1), longest_distances(g2)),
             Direction::Backward => (
@@ -119,7 +189,7 @@ impl<'a> Engine<'a> {
                 longest_distances_backward(g2),
             ),
         };
-        Engine {
+        Ok(Engine {
             g1,
             g2,
             labels,
@@ -127,7 +197,7 @@ impl<'a> Engine<'a> {
             direction,
             l1,
             l2,
-        }
+        })
     }
 
     /// The per-pair convergence bound `h = min(l(v1), l(v2))`
@@ -167,18 +237,10 @@ impl<'a> Engine<'a> {
         let c = self.params.c;
         let mut sum = 0.0;
         for &(op, f_o) in outer {
-            let o_art = if swap {
-                op == x2
-            } else {
-                op == x1
-            };
+            let o_art = if swap { op == x2 } else { op == x1 };
             let mut best = 0.0_f64;
             for &(ip, f_i) in inner {
-                let i_art = if swap {
-                    ip == x1
-                } else {
-                    ip == x2
-                };
+                let i_art = if swap { ip == x1 } else { ip == x2 };
                 let s_prev = match (o_art, i_art) {
                     (true, true) => 1.0,
                     (true, false) | (false, true) => 0.0,
@@ -207,26 +269,50 @@ impl<'a> Engine<'a> {
 
     /// Runs the iteration to convergence (or through Algorithm 1's
     /// estimation when `params.estimate_after` is set).
+    ///
+    /// # Panics
+    /// If the seed's shape does not match the run's pair space. Use
+    /// [`try_run`](Self::try_run) for a fallible variant.
+    #[allow(clippy::panic)] // documented contract panic; try_run is the fallible path
     pub fn run(&self, options: &RunOptions) -> RunOutput {
+        match self.try_run(options) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`run`](Self::run): returns
+    /// [`CoreError::SeedShapeMismatch`] instead of panicking.
+    pub fn try_run(&self, options: &RunOptions) -> Result<RunOutput, CoreError> {
         let n1 = self.g1.num_real();
         let n2 = self.g2.num_real();
         let p = self.params;
         let mut stats = RunStats::default();
+        let started = Instant::now();
 
         let (mut current, frozen): (SimMatrix, Vec<bool>) = match &options.seed {
             Some(seed) => {
-                assert_eq!(seed.values.rows(), n1, "seed rows");
-                assert_eq!(seed.values.cols(), n2, "seed cols");
-                assert_eq!(seed.frozen.len(), n1 * n2, "seed mask length");
+                if seed.values.rows() != n1
+                    || seed.values.cols() != n2
+                    || seed.frozen.len() != n1 * n2
+                {
+                    return Err(CoreError::SeedShapeMismatch {
+                        rows: seed.values.rows(),
+                        cols: seed.values.cols(),
+                        mask: seed.frozen.len(),
+                        n1,
+                        n2,
+                    });
+                }
                 (seed.values.clone(), seed.frozen.clone())
             }
             None => (SimMatrix::zeros(n1, n2), vec![false; n1 * n2]),
         };
         if n1 == 0 || n2 == 0 {
-            return RunOutput {
+            return Ok(RunOutput {
                 sim: current,
                 stats,
-            };
+            });
         }
 
         // Global iteration bound (Section 3.4): the whole computation is
@@ -244,7 +330,18 @@ impl<'a> Engine<'a> {
 
         let mut next = current.clone();
         let alpha = p.alpha;
+        let mut exhausted = false;
         for i in 1..=exact_rounds {
+            // Budget check between iterations: the previous iteration's swap
+            // has happened, so `current`/`next` are in the same consistent
+            // state the estimation phase expects.
+            if options
+                .budget
+                .exhausted(stats.iterations, stats.formula_evals, started)
+            {
+                exhausted = true;
+                break;
+            }
             let mut delta = 0.0_f64;
             for v1 in 0..n1 {
                 for v2 in 0..n2 {
@@ -304,10 +401,10 @@ impl<'a> Engine<'a> {
                 let upper_avg = upper_sum / (n1 * n2) as f64;
                 if upper_avg < threshold {
                     stats.aborted = true;
-                    return RunOutput {
+                    return Ok(RunOutput {
                         sim: current,
                         stats,
-                    };
+                    });
                 }
             }
 
@@ -319,16 +416,23 @@ impl<'a> Engine<'a> {
         // Estimation phase (Algorithm 1, lines 6-8). Only pairs that were
         // still moving at iteration I are extrapolated: a pair whose value
         // already stopped changing is its own best estimate, and the crude
-        // recurrence model would only disturb it.
-        if let Some(cap) = p.estimate_after {
+        // recurrence model would only disturb it. A budget-exhausted run
+        // enters this phase even without `estimate_after`: the closed-form
+        // extrapolation finishes the pairs the budget cut off.
+        stats.degraded = exhausted;
+        let estimation_cap = match (p.estimate_after, exhausted) {
+            (Some(cap), _) => Some(cap),
+            (None, true) => Some(stats.iterations),
+            (None, false) => None,
+        };
+        if let Some(cap) = estimation_cap {
             let i_done = stats.iterations.min(cap);
             for v1 in 0..n1 {
                 for v2 in 0..n2 {
                     if frozen[v1 * n2 + v2] {
                         continue;
                     }
-                    if i_done > 0 && (current.get(v1, v2) - next.get(v1, v2)).abs() < p.epsilon
-                    {
+                    if i_done > 0 && (current.get(v1, v2) - next.get(v1, v2)).abs() < p.epsilon {
                         // `next` holds the previous iteration's values after
                         // the final swap: the pair has converged numerically.
                         continue;
@@ -382,10 +486,10 @@ impl<'a> Engine<'a> {
             }
         }
 
-        RunOutput {
+        Ok(RunOutput {
             sim: current,
             stats,
-        }
+        })
     }
 }
 
@@ -398,7 +502,14 @@ mod tests {
     /// frequencies; remaining edges follow the figure's structure.
     fn figure2_g1() -> DependencyGraph {
         DependencyGraph::from_parts(
-            vec!["A".into(), "B".into(), "C".into(), "D".into(), "E".into(), "F".into()],
+            vec![
+                "A".into(),
+                "B".into(),
+                "C".into(),
+                "D".into(),
+                "E".into(),
+                "F".into(),
+            ],
             vec![0.4, 0.6, 1.0, 1.0, 1.0, 1.0],
             &[
                 (0, 2, 0.4), // A -> C
@@ -415,7 +526,14 @@ mod tests {
     /// G2 of Figure 2(b).
     fn figure2_g2() -> DependencyGraph {
         DependencyGraph::from_parts(
-            vec!["1".into(), "2".into(), "3".into(), "4".into(), "5".into(), "6".into()],
+            vec![
+                "1".into(),
+                "2".into(),
+                "3".into(),
+                "4".into(),
+                "5".into(),
+                "6".into(),
+            ],
             vec![1.0, 0.4, 0.6, 1.0, 1.0, 1.0],
             &[
                 (0, 1, 0.4), // 1 -> 2
@@ -491,8 +609,7 @@ mod tests {
         let g1 = figure2_g1();
         let g2 = figure2_g2();
         let with = structural_engine_run(&g1, &g2, &EmsParams::structural());
-        let without =
-            structural_engine_run(&g1, &g2, &EmsParams::structural().without_pruning());
+        let without = structural_engine_run(&g1, &g2, &EmsParams::structural().without_pruning());
         assert!(
             with.sim.max_abs_diff(&without.sim) < 1e-6,
             "pruning changed results by {}",
@@ -508,8 +625,8 @@ mod tests {
         let g2 = figure2_g2();
         let labels = LabelMatrix::zeros(6, 6);
         let params = EmsParams::structural();
-        let fwd = Engine::new(&g1, &g2, &labels, &params, Direction::Forward)
-            .run(&RunOptions::default());
+        let fwd =
+            Engine::new(&g1, &g2, &labels, &params, Direction::Forward).run(&RunOptions::default());
         let bwd = Engine::new(&g1, &g2, &labels, &params, Direction::Backward)
             .run(&RunOptions::default());
         assert!(fwd.sim.max_abs_diff(&bwd.sim) > 1e-3);
@@ -533,8 +650,7 @@ mod tests {
         let g1 = figure2_g1();
         let g2 = figure2_g2();
         let exact = structural_engine_run(&g1, &g2, &EmsParams::structural());
-        let estimated =
-            structural_engine_run(&g1, &g2, &EmsParams::structural().estimated(50));
+        let estimated = structural_engine_run(&g1, &g2, &EmsParams::structural().estimated(50));
         // With I beyond every finite pair bound, estimation only touches
         // infinite-h pairs; finite pairs are exact.
         for v1 in 0..4 {
@@ -577,6 +693,7 @@ mod tests {
         let out = engine.run(&RunOptions {
             seed: Some(seed),
             abort_below: None,
+            ..Default::default()
         });
         assert_eq!(out.stats.formula_evals, 0);
         assert!(out.sim.max_abs_diff(&base.sim) < 1e-15);
@@ -604,6 +721,7 @@ mod tests {
         let out = engine.run(&RunOptions {
             seed: Some(Seed { values, frozen }),
             abort_below: None,
+            ..Default::default()
         });
         // Agreement is up to the convergence threshold: freezing rows at
         // their fixpoint changes the iteration trajectory, not the limit.
@@ -624,6 +742,7 @@ mod tests {
         let out = engine.run(&RunOptions {
             seed: None,
             abort_below: Some(0.99), // unreachable average
+            ..Default::default()
         });
         assert!(out.stats.aborted);
         assert!(out.stats.iterations <= 3);
@@ -639,6 +758,7 @@ mod tests {
         let out = engine.run(&RunOptions {
             seed: None,
             abort_below: Some(0.0),
+            ..Default::default()
         });
         assert!(!out.stats.aborted);
     }
@@ -670,5 +790,122 @@ mod tests {
         let out = engine.run(&RunOptions::default());
         assert_eq!(out.sim.rows(), 0);
         assert_eq!(out.stats.iterations, 0);
+    }
+
+    fn budget_run(budget: Budget) -> RunOutput {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let params = EmsParams::structural();
+        let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+        engine.run(&RunOptions {
+            budget,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn unlimited_budget_never_degrades() {
+        let out = budget_run(Budget::unlimited());
+        assert!(!out.stats.degraded);
+        assert!(Budget::default().is_unlimited());
+    }
+
+    #[test]
+    fn zero_iteration_budget_still_returns_usable_estimates() {
+        let out = budget_run(Budget {
+            max_iterations: Some(0),
+            ..Default::default()
+        });
+        assert!(out.stats.degraded);
+        assert_eq!(out.stats.iterations, 0);
+        assert!(out.stats.estimated_pairs > 0);
+        for (_, _, v) in out.sim.iter() {
+            assert!((0.0..=1.0).contains(&v), "value {v} out of range");
+        }
+    }
+
+    #[test]
+    fn iteration_budget_matches_explicit_estimation() {
+        // A budget of I iterations must land exactly where `estimated(I)`
+        // lands: same exact prefix, same closed-form tail.
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let budgeted = budget_run(Budget {
+            max_iterations: Some(2),
+            ..Default::default()
+        });
+        let explicit = structural_engine_run(&g1, &g2, &EmsParams::structural().estimated(2));
+        assert!(budgeted.stats.degraded);
+        assert!(!explicit.stats.degraded);
+        assert_eq!(budgeted.stats.iterations, 2);
+        assert!(budgeted.sim.max_abs_diff(&explicit.sim) < 1e-12);
+    }
+
+    #[test]
+    fn formula_eval_budget_trips_and_degrades() {
+        let out = budget_run(Budget {
+            max_formula_evals: Some(1),
+            ..Default::default()
+        });
+        assert!(out.stats.degraded);
+        // The check is between iterations: one full iteration may complete.
+        assert!(out.stats.iterations <= 1);
+        for (_, _, v) in out.sim.iter() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zero_wall_clock_budget_degrades_immediately() {
+        let out = budget_run(Budget {
+            wall_clock: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        });
+        assert!(out.stats.degraded);
+        assert_eq!(out.stats.iterations, 0);
+        assert!(out.stats.estimated_pairs > 0);
+    }
+
+    #[test]
+    fn try_new_reports_bad_params_and_shapes() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let mut bad = EmsParams::structural();
+        bad.c = 2.0;
+        assert!(matches!(
+            Engine::try_new(&g1, &g2, &labels, &bad, Direction::Forward),
+            Err(crate::CoreError::InvalidParams(_))
+        ));
+        let params = EmsParams::structural();
+        let small = LabelMatrix::zeros(2, 6);
+        assert!(matches!(
+            Engine::try_new(&g1, &g2, &small, &params, Direction::Forward),
+            Err(crate::CoreError::LabelShapeMismatch { rows: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn try_run_reports_seed_shape_mismatch() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let params = EmsParams::structural();
+        let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+        let seed = Seed {
+            values: SimMatrix::zeros(6, 6),
+            frozen: vec![false; 7], // wrong mask length
+        };
+        let err = engine
+            .try_run(&RunOptions {
+                seed: Some(seed),
+                ..Default::default()
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::CoreError::SeedShapeMismatch { mask: 7, .. }
+        ));
     }
 }

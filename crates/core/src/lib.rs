@@ -43,15 +43,23 @@
 //! assert!(sim.get(check, 2) >= sim.get(check, 1));
 //! ```
 
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 pub mod bounds;
 pub mod composite;
 pub mod diagnostics;
 pub mod engine;
+mod error;
 pub mod estimate;
 mod matcher;
 mod params;
 mod sim;
 
+pub use engine::{Budget, RunOptions, RunStats};
+pub use error::CoreError;
 pub use matcher::{Ems, MatchOutcome};
 pub use params::{Aggregation, Direction, EmsParams};
 pub use sim::SimMatrix;

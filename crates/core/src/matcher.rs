@@ -1,7 +1,8 @@
 //! The user-facing EMS matcher: builds dependency graphs, runs the forward
 //! and backward similarity engines and aggregates them (Section 3.6).
 
-use crate::engine::{Engine, RunOptions, RunStats};
+use crate::engine::{Budget, Engine, RunOptions, RunStats};
+use crate::error::CoreError;
 use crate::params::{Direction, EmsParams};
 use crate::sim::SimMatrix;
 use ems_depgraph::DependencyGraph;
@@ -45,12 +46,21 @@ impl Ems {
     /// Creates a matcher with the given parameters.
     ///
     /// # Panics
-    /// If the parameters are invalid (see [`EmsParams::validate`]).
+    /// If the parameters are invalid (see [`EmsParams::validate`]). Use
+    /// [`try_new`](Self::try_new) for a fallible variant.
+    #[allow(clippy::panic)] // documented contract panic; try_new is the fallible path
     pub fn new(params: EmsParams) -> Self {
-        params
-            .validate()
-            .unwrap_or_else(|m| panic!("invalid EMS parameters: {m}"));
-        Ems { params }
+        match Self::try_new(params) {
+            Ok(ems) => ems,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`new`](Self::new): returns
+    /// [`CoreError::InvalidParams`] instead of panicking.
+    pub fn try_new(params: EmsParams) -> Result<Self, CoreError> {
+        params.validate().map_err(CoreError::InvalidParams)?;
+        Ok(Ems { params })
     }
 
     /// The matcher's parameters.
@@ -85,20 +95,76 @@ impl Ems {
         self.match_graphs(&g1, &g2, &labels)
     }
 
+    /// As [`match_logs`](Self::match_logs) under a resource [`Budget`].
+    ///
+    /// The budget applies to each direction's run separately (so the total
+    /// spend is at most twice the limits). When a limit trips, the affected
+    /// run finishes its remaining pairs with the closed-form estimation of
+    /// Section 3.5 and the outcome's [`RunStats::degraded`] flag is set —
+    /// the similarity matrix is always fully populated and usable.
+    pub fn match_logs_budgeted(
+        &self,
+        l1: &EventLog,
+        l2: &EventLog,
+        budget: &Budget,
+    ) -> MatchOutcome {
+        let g1 = DependencyGraph::from_log(l1);
+        let g2 = DependencyGraph::from_log(l2);
+        let labels = self.label_matrix(l1, l2);
+        let options = RunOptions {
+            budget: budget.clone(),
+            ..Default::default()
+        };
+        self.match_graphs_opts(&g1, &g2, &labels, &options, &options)
+    }
+
     /// Matches two prebuilt dependency graphs with a precomputed label
     /// matrix (shape `g1.num_real() × g2.num_real()`).
+    ///
+    /// # Panics
+    /// If the label matrix shape does not match the graphs. Use
+    /// [`try_match_graphs`](Self::try_match_graphs) for a fallible variant.
     pub fn match_graphs(
         &self,
         g1: &DependencyGraph,
         g2: &DependencyGraph,
         labels: &LabelMatrix,
     ) -> MatchOutcome {
-        self.match_graphs_opts(g1, g2, labels, &RunOptions::default(), &RunOptions::default())
+        self.match_graphs_opts(
+            g1,
+            g2,
+            labels,
+            &RunOptions::default(),
+            &RunOptions::default(),
+        )
+    }
+
+    /// Fallible variant of [`match_graphs`](Self::match_graphs): returns
+    /// [`CoreError::LabelShapeMismatch`] instead of panicking.
+    pub fn try_match_graphs(
+        &self,
+        g1: &DependencyGraph,
+        g2: &DependencyGraph,
+        labels: &LabelMatrix,
+    ) -> Result<MatchOutcome, CoreError> {
+        self.try_match_graphs_opts(
+            g1,
+            g2,
+            labels,
+            &RunOptions::default(),
+            &RunOptions::default(),
+        )
     }
 
     /// Full-control variant: separate [`RunOptions`] for the forward and
     /// backward runs (the composite matcher threads seeds and abort
     /// thresholds through here).
+    ///
+    /// # Panics
+    /// If the label matrix or a seed's shape does not match the graphs. Use
+    /// [`try_match_graphs_opts`](Self::try_match_graphs_opts) for a
+    /// fallible variant.
+    #[allow(clippy::panic)] // documented contract panic; try_match_graphs_opts is the fallible path
     pub fn match_graphs_opts(
         &self,
         g1: &DependencyGraph,
@@ -107,8 +173,25 @@ impl Ems {
         fwd_options: &RunOptions,
         bwd_options: &RunOptions,
     ) -> MatchOutcome {
-        let fwd = Engine::new(g1, g2, labels, &self.params, Direction::Forward).run(fwd_options);
-        let bwd = Engine::new(g1, g2, labels, &self.params, Direction::Backward).run(bwd_options);
+        match self.try_match_graphs_opts(g1, g2, labels, fwd_options, bwd_options) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`match_graphs_opts`](Self::match_graphs_opts).
+    pub fn try_match_graphs_opts(
+        &self,
+        g1: &DependencyGraph,
+        g2: &DependencyGraph,
+        labels: &LabelMatrix,
+        fwd_options: &RunOptions,
+        bwd_options: &RunOptions,
+    ) -> Result<MatchOutcome, CoreError> {
+        let fwd = Engine::try_new(g1, g2, labels, &self.params, Direction::Forward)?
+            .try_run(fwd_options)?;
+        let bwd = Engine::try_new(g1, g2, labels, &self.params, Direction::Backward)?
+            .try_run(bwd_options)?;
         let mut stats = fwd.stats.clone();
         stats.merge(&bwd.stats);
         let agg = self.params.aggregation;
@@ -116,12 +199,12 @@ impl Ems {
         for (i, j, f) in fwd.sim.iter() {
             similarity.set(i, j, agg.combine(f, bwd.sim.get(i, j)));
         }
-        MatchOutcome {
+        Ok(MatchOutcome {
             similarity,
             forward: fwd.sim,
             backward: bwd.sim,
             stats,
-        }
+        })
     }
 
     /// The label matrix this matcher would use for two logs: q-gram cosine
@@ -244,8 +327,56 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid EMS parameters")]
     fn invalid_params_panic_at_construction() {
-        let mut p = EmsParams::default();
-        p.c = 2.0;
+        let p = EmsParams {
+            c: 2.0,
+            ..EmsParams::default()
+        };
         let _ = Ems::new(p);
+    }
+
+    #[test]
+    fn try_new_returns_typed_error() {
+        let p = EmsParams {
+            alpha: -0.5,
+            ..EmsParams::default()
+        };
+        assert!(matches!(Ems::try_new(p), Err(CoreError::InvalidParams(_))));
+        assert!(Ems::try_new(EmsParams::structural()).is_ok());
+    }
+
+    #[test]
+    fn try_match_graphs_rejects_label_shape_mismatch() {
+        let (l1, l2) = dislocated_pair();
+        let g1 = DependencyGraph::from_log(&l1);
+        let g2 = DependencyGraph::from_log(&l2);
+        let labels = LabelMatrix::zeros(1, 1);
+        let ems = Ems::new(EmsParams::structural());
+        assert!(matches!(
+            ems.try_match_graphs(&g1, &g2, &labels),
+            Err(CoreError::LabelShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn budgeted_match_degrades_but_stays_usable() {
+        let (l1, l2) = dislocated_pair();
+        let ems = Ems::new(EmsParams::structural());
+        let full = ems.match_logs(&l1, &l2);
+        assert!(!full.stats.degraded);
+        let budget = crate::Budget {
+            max_iterations: Some(0),
+            ..Default::default()
+        };
+        let out = ems.match_logs_budgeted(&l1, &l2, &budget);
+        assert!(out.stats.degraded);
+        assert_eq!(out.stats.iterations, 0);
+        assert!(out.stats.estimated_pairs > 0);
+        assert_eq!(out.similarity.rows(), full.similarity.rows());
+        for (_, _, v) in out.similarity.iter() {
+            assert!((0.0..=1.0).contains(&v));
+        }
+        // An unlimited budget is the plain match.
+        let same = ems.match_logs_budgeted(&l1, &l2, &crate::Budget::unlimited());
+        assert!(same.similarity.max_abs_diff(&full.similarity) < 1e-15);
     }
 }

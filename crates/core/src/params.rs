@@ -117,7 +117,7 @@ impl EmsParams {
         if !(self.c > 0.0 && self.c < 1.0) {
             return Err(format!("c must be in (0,1), got {}", self.c));
         }
-        if !(self.epsilon > 0.0) {
+        if self.epsilon.is_nan() || self.epsilon <= 0.0 {
             return Err(format!("epsilon must be positive, got {}", self.epsilon));
         }
         if self.max_iterations == 0 {
@@ -178,17 +178,26 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_ranges() {
-        let mut p = EmsParams::default();
-        p.alpha = 1.5;
-        assert!(p.validate().is_err());
-        let mut p = EmsParams::default();
-        p.c = 1.0;
-        assert!(p.validate().is_err());
-        let mut p = EmsParams::default();
-        p.epsilon = 0.0;
-        assert!(p.validate().is_err());
-        let mut p = EmsParams::default();
-        p.max_iterations = 0;
-        assert!(p.validate().is_err());
+        let base = EmsParams::default();
+        for p in [
+            EmsParams {
+                alpha: 1.5,
+                ..base.clone()
+            },
+            EmsParams {
+                c: 1.0,
+                ..base.clone()
+            },
+            EmsParams {
+                epsilon: 0.0,
+                ..base.clone()
+            },
+            EmsParams {
+                max_iterations: 0,
+                ..base
+            },
+        ] {
+            assert!(p.validate().is_err());
+        }
     }
 }

@@ -1,27 +1,39 @@
-//! Property tests of the EMS similarity engine's theoretical guarantees:
-//! Theorem 1 (monotone, bounded convergence), Proposition 2 (early
-//! convergence), Lemma 5 / Proposition 6 (upper bounds) and the estimation
-//! bounds — all checked on randomly generated event-log pairs.
+//! Randomized property tests of the EMS similarity engine's theoretical
+//! guarantees: Theorem 1 (monotone, bounded convergence), Proposition 2
+//! (early convergence), Lemma 5 / Proposition 6 (upper bounds) and the
+//! estimation bounds — all checked on randomly generated event-log pairs
+//! driven by the deterministic `ems-rng` generator.
 
 use ems_core::engine::{Engine, RunOptions};
 use ems_core::{Direction, Ems, EmsParams, SimMatrix};
 use ems_depgraph::DependencyGraph;
 use ems_labels::LabelMatrix;
-use proptest::prelude::*;
+use ems_rng::StdRng;
 
-/// Strategy: a pair of small logs over a shared-ish alphabet.
-fn arb_log_pair() -> impl Strategy<Value = (ems_events::EventLog, ems_events::EventLog)> {
-    let traces = || prop::collection::vec(prop::collection::vec(0usize..6, 1..8), 1..10);
-    (traces(), traces()).prop_map(|(t1, t2)| {
-        let build = |ts: Vec<Vec<usize>>| {
-            let mut log = ems_events::EventLog::new();
-            for t in ts {
-                log.push_trace(t.iter().map(|i| format!("e{i}")));
-            }
-            log
-        };
-        (build(t1), build(t2))
-    })
+fn random_traces(rng: &mut StdRng) -> Vec<Vec<usize>> {
+    let n = rng.gen_range(1..10usize);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(1..8usize);
+            (0..len).map(|_| rng.gen_range(0..6usize)).collect()
+        })
+        .collect()
+}
+
+fn build_log(ts: &[Vec<usize>]) -> ems_events::EventLog {
+    let mut log = ems_events::EventLog::new();
+    for t in ts {
+        log.push_trace(t.iter().map(|i| format!("e{i}")));
+    }
+    log
+}
+
+/// A pair of small logs over a shared-ish alphabet.
+fn random_log_pair(rng: &mut StdRng) -> (ems_events::EventLog, ems_events::EventLog) {
+    (
+        build_log(&random_traces(rng)),
+        build_log(&random_traces(rng)),
+    )
 }
 
 fn run_rounds(
@@ -42,20 +54,20 @@ fn run_rounds(
         .sim
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Theorem 1: iteration is monotone and bounded in [0, 1].
-    #[test]
-    fn similarity_is_monotone_and_bounded((l1, l2) in arb_log_pair()) {
+/// Theorem 1: iteration is monotone and bounded in [0, 1].
+#[test]
+fn similarity_is_monotone_and_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xC01);
+    for _ in 0..32 {
+        let (l1, l2) = random_log_pair(&mut rng);
         let g1 = DependencyGraph::from_log(&l1);
         let g2 = DependencyGraph::from_log(&l2);
         let mut prev = SimMatrix::zeros(g1.num_real(), g2.num_real());
         for rounds in 1..=5 {
             let cur = run_rounds(&g1, &g2, rounds, false);
             for (i, j, v) in cur.iter() {
-                prop_assert!((0.0..=1.0).contains(&v), "({i},{j}) = {v}");
-                prop_assert!(
+                assert!((0.0..=1.0).contains(&v), "({i},{j}) = {v}");
+                assert!(
                     v + 1e-9 >= prev.get(i, j),
                     "monotonicity violated at ({i},{j}): {v} < {}",
                     prev.get(i, j)
@@ -64,10 +76,14 @@ proptest! {
             prev = cur;
         }
     }
+}
 
-    /// Lemma 5: per-iteration growth is bounded by (αc)^n.
-    #[test]
-    fn growth_bound_holds((l1, l2) in arb_log_pair()) {
+/// Lemma 5: per-iteration growth is bounded by (αc)^n.
+#[test]
+fn growth_bound_holds() {
+    let mut rng = StdRng::seed_from_u64(0xC02);
+    for _ in 0..32 {
+        let (l1, l2) = random_log_pair(&mut rng);
         let g1 = DependencyGraph::from_log(&l1);
         let g2 = DependencyGraph::from_log(&l2);
         let mut prev = SimMatrix::zeros(g1.num_real(), g2.num_real());
@@ -75,7 +91,7 @@ proptest! {
             let cur = run_rounds(&g1, &g2, n, false);
             let bound = 0.8f64.powi(n as i32) + 1e-9;
             for (i, j, v) in cur.iter() {
-                prop_assert!(
+                assert!(
                     v - prev.get(i, j) <= bound,
                     "iteration {n}: growth {} > {bound}",
                     v - prev.get(i, j)
@@ -84,26 +100,34 @@ proptest! {
             prev = cur;
         }
     }
+}
 
-    /// Proposition 2 / pruning soundness: the pruned computation reaches the
-    /// same fixpoint as the unpruned one.
-    #[test]
-    fn pruning_is_sound((l1, l2) in arb_log_pair()) {
+/// Proposition 2 / pruning soundness: the pruned computation reaches the
+/// same fixpoint as the unpruned one.
+#[test]
+fn pruning_is_sound() {
+    let mut rng = StdRng::seed_from_u64(0xC03);
+    for _ in 0..32 {
+        let (l1, l2) = random_log_pair(&mut rng);
         let g1 = DependencyGraph::from_log(&l1);
         let g2 = DependencyGraph::from_log(&l2);
         let with = run_rounds(&g1, &g2, 60, true);
         let without = run_rounds(&g1, &g2, 60, false);
-        prop_assert!(
+        assert!(
             with.max_abs_diff(&without) < 1e-6,
             "pruning changed the fixpoint by {}",
             with.max_abs_diff(&without)
         );
     }
+}
 
-    /// Proposition 6: the limit never exceeds the upper bound computed from
-    /// any intermediate iteration.
-    #[test]
-    fn upper_bounds_dominate_the_limit((l1, l2) in arb_log_pair()) {
+/// Proposition 6: the limit never exceeds the upper bound computed from
+/// any intermediate iteration.
+#[test]
+fn upper_bounds_dominate_the_limit() {
+    let mut rng = StdRng::seed_from_u64(0xC04);
+    for _ in 0..16 {
+        let (l1, l2) = random_log_pair(&mut rng);
         let g1 = DependencyGraph::from_log(&l1);
         let g2 = DependencyGraph::from_log(&l2);
         let limit = run_rounds(&g1, &g2, 80, false);
@@ -111,29 +135,36 @@ proptest! {
             let at_k = run_rounds(&g1, &g2, k, false);
             for (i, j, v) in limit.iter() {
                 let bound = ems_core::bounds::general_upper_bound(at_k.get(i, j), k, 1.0, 0.8);
-                prop_assert!(
+                assert!(
                     v <= bound + 1e-9,
                     "limit {v} exceeds bound {bound} from k={k} at ({i},{j})"
                 );
             }
         }
     }
+}
 
-    /// Matching a log against itself yields a symmetric matrix: Definition 2
-    /// averages s(v1,v2) and s(v2,v1), so identical graphs make S symmetric.
-    /// (Note: unlike SimRank, EMS does NOT guarantee the diagonal dominates
-    /// each row — self-similarity is not pinned to 1.)
-    #[test]
-    fn self_match_is_symmetric(ts in prop::collection::vec(prop::collection::vec(0usize..5, 2..8), 2..8)) {
-        let mut log = ems_events::EventLog::new();
-        for t in &ts {
-            log.push_trace(t.iter().map(|i| format!("e{i}")));
-        }
+/// Matching a log against itself yields a symmetric matrix: Definition 2
+/// averages s(v1,v2) and s(v2,v1), so identical graphs make S symmetric.
+/// (Note: unlike SimRank, EMS does NOT guarantee the diagonal dominates
+/// each row — self-similarity is not pinned to 1.)
+#[test]
+fn self_match_is_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0xC05);
+    for _ in 0..32 {
+        let n = rng.gen_range(2..8usize);
+        let ts: Vec<Vec<usize>> = (0..n)
+            .map(|_| {
+                let len = rng.gen_range(2..8usize);
+                (0..len).map(|_| rng.gen_range(0..5usize)).collect()
+            })
+            .collect();
+        let log = build_log(&ts);
         let out = Ems::new(EmsParams::structural()).match_logs(&log, &log);
         let sim = &out.similarity;
         for i in 0..sim.rows() {
             for j in 0..sim.cols() {
-                prop_assert!(
+                assert!(
                     (sim.get(i, j) - sim.get(j, i)).abs() < 1e-9,
                     "asymmetric self-match at ({i},{j}): {} vs {}",
                     sim.get(i, j),
@@ -142,15 +173,20 @@ proptest! {
             }
         }
     }
+}
 
-    /// Estimation yields values in range and exact values where horizons are
-    /// reached.
-    #[test]
-    fn estimation_is_bounded((l1, l2) in arb_log_pair(), i in 0usize..6) {
+/// Estimation yields values in range and exact values where horizons are
+/// reached.
+#[test]
+fn estimation_is_bounded() {
+    let mut rng = StdRng::seed_from_u64(0xC06);
+    for _ in 0..32 {
+        let (l1, l2) = random_log_pair(&mut rng);
+        let i = rng.gen_range(0..6usize);
         let params = EmsParams::structural().estimated(i);
         let out = Ems::new(params).match_logs(&l1, &l2);
         for (_, _, v) in out.similarity.iter() {
-            prop_assert!((0.0..=1.0).contains(&v));
+            assert!((0.0..=1.0).contains(&v));
         }
     }
 }

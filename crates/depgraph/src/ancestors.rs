@@ -40,7 +40,7 @@ fn reachability_sets(g: &DependencyGraph, ancestors: bool) -> Vec<Vec<NodeId>> {
     };
     let mut result = vec![Vec::new(); n];
     let mut visited = vec![false; n];
-    for v in 0..n {
+    for (v, out) in result.iter_mut().enumerate() {
         if v == x.index() {
             continue;
         }
@@ -61,7 +61,7 @@ fn reachability_sets(g: &DependencyGraph, ancestors: bool) -> Vec<Vec<NodeId>> {
                 }
             }
         }
-        result[v] = (0..n)
+        *out = (0..n)
             .filter(|&u| visited[u])
             .map(NodeId::from_index)
             .collect();
@@ -120,8 +120,8 @@ mod tests {
         let g = DependencyGraph::from_log(&log);
         let an = ancestor_sets(&g);
         let dn = descendant_sets(&g);
-        for v in 0..g.num_real() {
-            for &u in &an[v] {
+        for (v, set) in an.iter().enumerate().take(g.num_real()) {
+            for &u in set {
                 assert!(dn[u.index()].iter().any(|&w| w.index() == v));
             }
         }

@@ -26,7 +26,11 @@ pub fn to_dot(g: &DependencyGraph, title: &str) -> String {
     );
     for v in g.real_nodes() {
         for &(t, f) in g.post(v) {
-            let style = if g.is_artificial(t) { ", style=dashed" } else { "" };
+            let style = if g.is_artificial(t) {
+                ", style=dashed"
+            } else {
+                ""
+            };
             let _ = writeln!(
                 out,
                 "  n{} -> n{} [label=\"{:.2}\"{}];",

@@ -1,0 +1,103 @@
+//! Typed errors for dependency-graph construction and (de)serialization.
+
+use ems_error::EmsError;
+use std::fmt;
+
+/// Errors raised when building or validating a [`crate::DependencyGraph`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// `names` and `node_freq` disagree in length.
+    ShapeMismatch {
+        /// Number of node names supplied.
+        names: usize,
+        /// Number of node frequencies supplied.
+        freqs: usize,
+    },
+    /// An edge references a node index outside `0..nodes`.
+    EndpointOutOfRange {
+        /// Edge source index.
+        from: usize,
+        /// Edge target index.
+        to: usize,
+        /// Number of real nodes.
+        nodes: usize,
+    },
+    /// A node frequency is NaN, infinite, or outside `[0, 1]`.
+    ///
+    /// Normalized frequencies (Definition 1) are fractions of traces; zero is
+    /// legal for alphabet entries that never occur.
+    BadNodeFrequency {
+        /// Name of the offending node.
+        node: String,
+        /// The invalid frequency value.
+        value: f64,
+    },
+    /// An edge frequency is NaN, infinite, or outside `(0, 1]`.
+    ///
+    /// An edge exists only when its pair occurs in at least one trace, so a
+    /// zero (or negative) edge frequency is always invalid.
+    BadEdgeFrequency {
+        /// Name of the edge's source node.
+        from: String,
+        /// Name of the edge's target node.
+        to: String,
+        /// The invalid frequency value.
+        value: f64,
+    },
+    /// The source log has no traces, so no frequencies can be normalized.
+    EmptyLog,
+    /// A CSV edge list could not be parsed (line numbers are 1-based; 0 means
+    /// the document itself was unusable).
+    Csv {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::ShapeMismatch { names, freqs } => {
+                write!(f, "{names} node names but {freqs} node frequencies")
+            }
+            GraphError::EndpointOutOfRange { from, to, nodes } => {
+                write!(f, "edge ({from}, {to}) out of range for {nodes} nodes")
+            }
+            GraphError::BadNodeFrequency { node, value } => {
+                write!(
+                    f,
+                    "node {node:?} has invalid frequency {value} (want [0, 1])"
+                )
+            }
+            GraphError::BadEdgeFrequency { from, to, value } => {
+                write!(
+                    f,
+                    "edge ({from:?}, {to:?}) has invalid frequency {value} (want (0, 1])"
+                )
+            }
+            GraphError::EmptyLog => write!(f, "event log has no traces"),
+            GraphError::Csv { line, message } => write!(f, "CSV line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<GraphError> for EmsError {
+    fn from(e: GraphError) -> Self {
+        match e {
+            GraphError::Csv { line, message } => EmsError::Parse {
+                offset: Some(line),
+                message,
+            },
+            GraphError::EmptyLog => EmsError::Input {
+                message: e.to_string(),
+            },
+            other => EmsError::Graph {
+                message: other.to_string(),
+            },
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! The dependency graph structure and its construction from event logs.
 
+use crate::GraphError;
 use ems_events::{EventId, EventLog};
 
 /// Index of a node in a [`DependencyGraph`].
@@ -94,7 +95,13 @@ impl DependencyGraph {
         }
         let node_freq: Vec<f64> = node_count
             .iter()
-            .map(|&c| if total == 0 { 0.0 } else { c as f64 / total as f64 })
+            .map(|&c| {
+                if total == 0 {
+                    0.0
+                } else {
+                    c as f64 / total as f64
+                }
+            })
             .collect();
         let mut g = DependencyGraph {
             names: (0..n)
@@ -130,11 +137,26 @@ impl DependencyGraph {
         g
     }
 
+    /// Builds the graph of a log like [`from_log`](Self::from_log), but
+    /// rejects logs with no traces — frequencies cannot be normalized over an
+    /// empty trace multiset.
+    pub fn try_from_log(log: &EventLog) -> Result<Self, GraphError> {
+        if log.num_traces() == 0 {
+            return Err(GraphError::EmptyLog);
+        }
+        Ok(Self::from_log(log))
+    }
+
     /// Builds a graph directly from explicit parts — used by tests and by the
     /// composite matcher when patching graphs.
     ///
     /// `edges` are `(from, to, frequency)` over real node indices; artificial
     /// edges are added automatically from `node_freq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes disagree or an edge endpoint is out of range. Use
+    /// [`try_from_parts`](Self::try_from_parts) for untrusted inputs.
     pub fn from_parts(
         names: Vec<String>,
         node_freq: Vec<f64>,
@@ -165,6 +187,80 @@ impl DependencyGraph {
             }
         }
         g
+    }
+
+    /// Validating variant of [`from_parts`](Self::from_parts): returns a
+    /// typed error instead of panicking, and additionally rejects NaN,
+    /// infinite, negative, or out-of-range frequencies (node frequencies must
+    /// lie in `[0, 1]`, edge frequencies in `(0, 1]`).
+    pub fn try_from_parts(
+        names: Vec<String>,
+        node_freq: Vec<f64>,
+        edges: &[(usize, usize, f64)],
+    ) -> Result<Self, GraphError> {
+        if names.len() != node_freq.len() {
+            return Err(GraphError::ShapeMismatch {
+                names: names.len(),
+                freqs: node_freq.len(),
+            });
+        }
+        let n = names.len();
+        for (i, &f) in node_freq.iter().enumerate() {
+            if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                return Err(GraphError::BadNodeFrequency {
+                    node: names[i].clone(),
+                    value: f,
+                });
+            }
+        }
+        for &(a, b, f) in edges {
+            if a >= n || b >= n {
+                return Err(GraphError::EndpointOutOfRange {
+                    from: a,
+                    to: b,
+                    nodes: n,
+                });
+            }
+            if !f.is_finite() || f <= 0.0 || f > 1.0 {
+                return Err(GraphError::BadEdgeFrequency {
+                    from: names[a].clone(),
+                    to: names[b].clone(),
+                    value: f,
+                });
+            }
+        }
+        Ok(Self::from_parts(names, node_freq, edges))
+    }
+
+    /// Checks the frequency-labeling invariants of Definition 1: every node
+    /// frequency finite and in `[0, 1]`, every real edge frequency finite and
+    /// in `(0, 1]`.
+    ///
+    /// Graphs built by [`from_log`](Self::from_log) always validate; this is
+    /// a guard for graphs deserialized or assembled from untrusted parts.
+    /// Cycles are *not* an error: nodes on or downstream of a cycle simply
+    /// get `l(v) = ∞` (see [`crate::longest_distances`]) and are never frozen
+    /// early by Proposition 2.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        for v in self.real_nodes() {
+            let f = self.node_frequency(v);
+            if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                return Err(GraphError::BadNodeFrequency {
+                    node: self.name(v).to_owned(),
+                    value: f,
+                });
+            }
+        }
+        for (a, b, f) in self.real_edges() {
+            if !f.is_finite() || f <= 0.0 || f > 1.0 {
+                return Err(GraphError::BadEdgeFrequency {
+                    from: self.name(a).to_owned(),
+                    to: self.name(b).to_owned(),
+                    value: f,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Number of real (non-artificial) nodes.
@@ -396,6 +492,65 @@ mod tests {
         assert_eq!(g.edge_frequency(NodeId(0), NodeId(1)), None);
         assert!(!g.pre(NodeId(1)).iter().any(|&(s, _)| s == NodeId(0)));
         assert!(!g.remove_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn try_from_parts_rejects_bad_inputs() {
+        let names = || vec!["a".to_string(), "b".to_string()];
+        assert_eq!(
+            DependencyGraph::try_from_parts(names(), vec![1.0], &[]),
+            Err(GraphError::ShapeMismatch { names: 2, freqs: 1 })
+        );
+        assert_eq!(
+            DependencyGraph::try_from_parts(names(), vec![1.0, 0.5], &[(0, 2, 0.5)]),
+            Err(GraphError::EndpointOutOfRange {
+                from: 0,
+                to: 2,
+                nodes: 2
+            })
+        );
+        assert!(matches!(
+            DependencyGraph::try_from_parts(names(), vec![f64::NAN, 0.5], &[]),
+            Err(GraphError::BadNodeFrequency { .. })
+        ));
+        assert!(matches!(
+            DependencyGraph::try_from_parts(names(), vec![-0.1, 0.5], &[]),
+            Err(GraphError::BadNodeFrequency { .. })
+        ));
+        assert!(matches!(
+            DependencyGraph::try_from_parts(names(), vec![1.0, 0.5], &[(0, 1, 0.0)]),
+            Err(GraphError::BadEdgeFrequency { .. })
+        ));
+        assert!(matches!(
+            DependencyGraph::try_from_parts(names(), vec![1.0, 0.5], &[(0, 1, f64::NAN)]),
+            Err(GraphError::BadEdgeFrequency { .. })
+        ));
+        let ok = DependencyGraph::try_from_parts(names(), vec![1.0, 0.5], &[(0, 1, 0.5)]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn try_from_log_rejects_empty_log() {
+        assert_eq!(
+            DependencyGraph::try_from_log(&EventLog::new()),
+            Err(GraphError::EmptyLog)
+        );
+        assert!(DependencyGraph::try_from_log(&figure1_l1()).is_ok());
+    }
+
+    #[test]
+    fn validate_accepts_log_graphs_and_rejects_corrupt_parts() {
+        assert_eq!(DependencyGraph::from_log(&figure1_l1()).validate(), Ok(()));
+        // Bypass try_from_parts to simulate corruption after construction.
+        let g = DependencyGraph::from_parts(
+            vec!["a".into(), "b".into()],
+            vec![1.0, 0.5],
+            &[(0, 1, 7.5)],
+        );
+        assert!(matches!(
+            g.validate(),
+            Err(GraphError::BadEdgeFrequency { .. })
+        ));
     }
 
     #[test]

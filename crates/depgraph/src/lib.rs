@@ -40,8 +40,14 @@
 //! assert_eq!(g.pre(c).len(), 3);
 //! ```
 
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 mod ancestors;
 mod dot;
+mod error;
 mod filter;
 mod graph;
 mod longest;
@@ -49,6 +55,7 @@ mod metrics;
 
 pub use ancestors::{ancestor_sets, descendant_sets};
 pub use dot::to_dot;
+pub use error::GraphError;
 pub use filter::filter_min_frequency;
 pub use graph::{DependencyGraph, NodeId};
 pub use longest::{longest_distances, longest_distances_backward, Distance};

@@ -113,9 +113,7 @@ fn longest_distances_dir(g: &DependencyGraph, backward: bool) -> Vec<Distance> {
     }
     let mut inf = vec![false; n];
     let mut queue: Vec<usize> = (0..n)
-        .filter(|&v| {
-            reachable[v] && (comp_size[scc.comp[v]] > 1 || has_self_loop[scc.comp[v]])
-        })
+        .filter(|&v| reachable[v] && (comp_size[scc.comp[v]] > 1 || has_self_loop[scc.comp[v]]))
         .collect();
     for &v in &queue {
         inf[v] = true;
@@ -133,9 +131,7 @@ fn longest_distances_dir(g: &DependencyGraph, backward: bool) -> Vec<Distance> {
     // Tarjan emits sink-most components first, so decreasing component id is
     // a topological order of the condensation; acyclic reachable nodes are
     // singleton components, so this orders them topologically too.
-    let mut order: Vec<usize> = (0..n)
-        .filter(|&v| reachable[v] && !inf[v])
-        .collect();
+    let mut order: Vec<usize> = (0..n).filter(|&v| reachable[v] && !inf[v]).collect();
     order.sort_by(|&a, &b| scc.comp[b].cmp(&scc.comp[a]));
     let mut dist = vec![0u32; n];
     for &v in &order {
@@ -207,8 +203,9 @@ fn tarjan_scc(adj: &[Vec<usize>]) -> SccResult {
                     low[parent] = low[parent].min(low[v]);
                 }
                 if low[v] == index[v] {
-                    loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
+                    // v is on the stack by the Tarjan invariant, so this
+                    // drains at most down to v and never underflows.
+                    while let Some(w) = stack.pop() {
                         on_stack[w] = false;
                         comp[w] = count;
                         if w == v {

@@ -4,6 +4,7 @@
 
 use crate::graph::{DependencyGraph, NodeId};
 use crate::longest::{longest_distances, Distance};
+use crate::GraphError;
 
 /// Aggregate structural metrics of a dependency graph (real nodes/edges
 /// only; the artificial event is excluded everywhere).
@@ -41,12 +42,8 @@ impl GraphMetrics {
         let n = g.num_real();
         let edges = g.real_edges();
         let x = g.artificial();
-        let real_out = |v: NodeId| {
-            g.post(v).iter().filter(|&&(t, _)| t != x).count()
-        };
-        let real_in = |v: NodeId| {
-            g.pre(v).iter().filter(|&&(s, _)| s != x).count()
-        };
+        let real_out = |v: NodeId| g.post(v).iter().filter(|&&(t, _)| t != x).count();
+        let real_in = |v: NodeId| g.pre(v).iter().filter(|&&(s, _)| s != x).count();
         let mut reciprocal = 0usize;
         for &(a, b, _) in &edges {
             if a < b && g.edge_frequency(b, a).is_some() {
@@ -131,42 +128,45 @@ pub fn to_edge_csv(g: &DependencyGraph) -> String {
 /// Accepts exactly the dialect `to_edge_csv` writes: a `from,to,frequency`
 /// header, node rows with an empty `to` field, then edge rows. Quoted fields
 /// may contain commas and doubled quotes.
-pub fn from_edge_csv(csv: &str) -> Result<DependencyGraph, String> {
+pub fn from_edge_csv(csv: &str) -> Result<DependencyGraph, GraphError> {
+    let err = |line: usize, message: String| GraphError::Csv { line, message };
     let mut lines = csv.lines();
-    let header = lines.next().ok_or("empty CSV")?;
+    let header = lines.next().ok_or_else(|| err(0, "empty CSV".into()))?;
     if header.trim() != "from,to,frequency" {
-        return Err(format!("unexpected header `{header}`"));
+        return Err(err(1, format!("unexpected header `{header}`")));
     }
     let mut names: Vec<String> = Vec::new();
     let mut freqs: Vec<f64> = Vec::new();
     let mut edges: Vec<(usize, usize, f64)> = Vec::new();
-    let index_of = |names: &[String], n: &str| -> Result<usize, String> {
+    let index_of = |names: &[String], n: &str, line: usize| -> Result<usize, GraphError> {
         names
             .iter()
             .position(|x| x == n)
-            .ok_or_else(|| format!("edge references unknown node `{n}`"))
+            .ok_or_else(|| err(line, format!("edge references unknown node `{n}`")))
     };
     for (lineno, line) in lines.enumerate() {
         if line.trim().is_empty() {
             continue;
         }
-        let fields = split_csv_line(line).map_err(|m| format!("line {}: {m}", lineno + 2))?;
+        let fields = split_csv_line(line).map_err(|m| err(lineno + 2, m))?;
         if fields.len() != 3 {
-            return Err(format!("line {}: expected 3 fields", lineno + 2));
+            return Err(err(lineno + 2, "expected 3 fields".into()));
         }
         let f: f64 = fields[2]
             .parse()
-            .map_err(|_| format!("line {}: bad frequency `{}`", lineno + 2, fields[2]))?;
+            .map_err(|_| err(lineno + 2, format!("bad frequency `{}`", fields[2])))?;
         if fields[1].is_empty() {
             names.push(fields[0].clone());
             freqs.push(f);
         } else {
-            let a = index_of(&names, &fields[0])?;
-            let b = index_of(&names, &fields[1])?;
+            let a = index_of(&names, &fields[0], lineno + 2)?;
+            let b = index_of(&names, &fields[1], lineno + 2)?;
             edges.push((a, b, f));
         }
     }
-    Ok(DependencyGraph::from_parts(names, freqs, &edges))
+    // Validating construction: a CSV can smuggle in NaN/negative/oversized
+    // frequencies that `parse::<f64>` accepts.
+    DependencyGraph::try_from_parts(names, freqs, &edges)
 }
 
 fn split_csv_line(line: &str) -> Result<Vec<String>, String> {
@@ -197,7 +197,10 @@ fn split_csv_line(line: &str) -> Result<Vec<String>, String> {
                 chars.next();
                 fields.push(std::mem::take(&mut cur));
             }
-            Some(_) => cur.push(chars.next().expect("peeked")),
+            Some(&c) => {
+                chars.next();
+                cur.push(c);
+            }
         }
     }
 }

@@ -1,0 +1,204 @@
+//! Unified error taxonomy for the event-matching workspace.
+//!
+//! Every library crate defines its own error enum (`XesError`,
+//! `EventsError`, `GraphError`, `LabelsError`, `AssignmentError`,
+//! `CoreError`) and provides a `From` conversion into [`EmsError`], the
+//! single type the CLI and umbrella crate surface to callers. The
+//! taxonomy is std-only: the build environment is offline, so no
+//! `thiserror`/`anyhow` — plain enums with hand-written `Display`.
+//!
+//! Each variant maps to a distinct, stable process exit code via
+//! [`EmsError::exit_code`], so scripts can branch on failure class:
+//!
+//! | variant      | code | meaning                                        |
+//! |--------------|------|------------------------------------------------|
+//! | `Usage`      | 2    | bad command line (flags, missing arguments)    |
+//! | `Io`         | 3    | file could not be read or written              |
+//! | `Parse`      | 4    | malformed XES/MXML input                       |
+//! | `Input`      | 5    | well-formed but invalid data (empty log, NaN)  |
+//! | `Params`     | 6    | invalid algorithm parameters                   |
+//! | `Graph`      | 7    | dependency-graph construction/validation error |
+//! | `Assignment` | 8    | correspondence-selection failure               |
+//! | `Internal`   | 9    | invariant violation — a bug, please report     |
+//!
+//! Exit code 1 is deliberately unused so `EmsError` failures are
+//! distinguishable from generic shell/panic failures.
+
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+use std::fmt;
+
+/// Workspace-wide error: every fallible public API in the matching
+/// pipeline ultimately yields one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EmsError {
+    /// Command-line usage error (unknown flag, missing operand).
+    Usage { message: String },
+    /// File-system failure, with the offending path when known.
+    Io { path: String, message: String },
+    /// Syntactically malformed input document.
+    Parse {
+        offset: Option<usize>,
+        message: String,
+    },
+    /// Well-formed but semantically invalid input data.
+    Input { message: String },
+    /// Invalid algorithm parameters or configuration.
+    Params { message: String },
+    /// Dependency-graph construction or validation failure.
+    Graph { message: String },
+    /// Correspondence-selection (assignment) failure.
+    Assignment { message: String },
+    /// Broken internal invariant: a bug in this workspace, not bad input.
+    Internal { message: String },
+}
+
+impl EmsError {
+    /// Stable, distinct process exit code for this failure class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            EmsError::Usage { .. } => 2,
+            EmsError::Io { .. } => 3,
+            EmsError::Parse { .. } => 4,
+            EmsError::Input { .. } => 5,
+            EmsError::Params { .. } => 6,
+            EmsError::Graph { .. } => 7,
+            EmsError::Assignment { .. } => 8,
+            EmsError::Internal { .. } => 9,
+        }
+    }
+
+    /// Short lowercase class name (used as the stderr message prefix).
+    pub fn class(&self) -> &'static str {
+        match self {
+            EmsError::Usage { .. } => "usage",
+            EmsError::Io { .. } => "io",
+            EmsError::Parse { .. } => "parse",
+            EmsError::Input { .. } => "input",
+            EmsError::Params { .. } => "params",
+            EmsError::Graph { .. } => "graph",
+            EmsError::Assignment { .. } => "assignment",
+            EmsError::Internal { .. } => "internal",
+        }
+    }
+
+    /// Convenience constructor for [`EmsError::Internal`].
+    pub fn internal(message: impl Into<String>) -> Self {
+        EmsError::Internal {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`EmsError::Usage`].
+    pub fn usage(message: impl Into<String>) -> Self {
+        EmsError::Usage {
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`EmsError::Io`].
+    pub fn io(path: impl Into<String>, message: impl Into<String>) -> Self {
+        EmsError::Io {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for EmsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmsError::Usage { message } => write!(f, "usage error: {message}"),
+            EmsError::Io { path, message } if path.is_empty() => {
+                write!(f, "io error: {message}")
+            }
+            EmsError::Io { path, message } => write!(f, "io error: {path}: {message}"),
+            EmsError::Parse {
+                offset: Some(o),
+                message,
+            } => write!(f, "parse error at byte {o}: {message}"),
+            EmsError::Parse {
+                offset: None,
+                message,
+            } => write!(f, "parse error: {message}"),
+            EmsError::Input { message } => write!(f, "invalid input: {message}"),
+            EmsError::Params { message } => write!(f, "invalid parameters: {message}"),
+            EmsError::Graph { message } => write!(f, "dependency graph error: {message}"),
+            EmsError::Assignment { message } => write!(f, "assignment error: {message}"),
+            EmsError::Internal { message } => {
+                write!(f, "internal error (this is a bug): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EmsError {}
+
+impl From<std::io::Error> for EmsError {
+    fn from(e: std::io::Error) -> Self {
+        EmsError::Io {
+            path: String::new(),
+            message: e.to_string(),
+        }
+    }
+}
+
+/// Workspace-wide result alias.
+pub type EmsResult<T> = Result<T, EmsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<EmsError> {
+        vec![
+            EmsError::usage("u"),
+            EmsError::io("p", "m"),
+            EmsError::Parse {
+                offset: Some(3),
+                message: "m".into(),
+            },
+            EmsError::Input {
+                message: "m".into(),
+            },
+            EmsError::Params {
+                message: "m".into(),
+            },
+            EmsError::Graph {
+                message: "m".into(),
+            },
+            EmsError::Assignment {
+                message: "m".into(),
+            },
+            EmsError::internal("m"),
+        ]
+    }
+
+    #[test]
+    fn exit_codes_are_distinct_and_nonzero() {
+        let codes: Vec<u8> = all_variants().iter().map(|e| e.exit_code()).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), codes.len(), "exit codes collide: {codes:?}");
+        assert!(codes.iter().all(|&c| c >= 2), "codes 0/1 are reserved");
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        for e in all_variants() {
+            let s = e.to_string();
+            assert!(!s.contains('\n'), "multi-line message: {s:?}");
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let e: EmsError = std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        assert_eq!(e.exit_code(), 3);
+    }
+}

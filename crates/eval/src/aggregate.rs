@@ -87,7 +87,7 @@ pub fn bootstrap_mean_ci(
         }
         means.push(sum / n as f64);
     }
-    means.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    means.sort_by(|a, b| a.total_cmp(b));
     let alpha = (1.0 - confidence) / 2.0;
     let lo_idx = ((resamples as f64) * alpha) as usize;
     let hi_idx = (((resamples as f64) * (1.0 - alpha)) as usize).min(resamples - 1);

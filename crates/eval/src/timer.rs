@@ -32,11 +32,7 @@ impl Stopwatch {
 
     /// Total measured time (includes the running span if started).
     pub fn elapsed(&self) -> Duration {
-        self.accumulated
-            + self
-                .started
-                .map(|s| s.elapsed())
-                .unwrap_or(Duration::ZERO)
+        self.accumulated + self.started.map(|s| s.elapsed()).unwrap_or(Duration::ZERO)
     }
 
     /// Times a closure and returns `(result, duration)`.

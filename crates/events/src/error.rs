@@ -1,0 +1,62 @@
+//! Typed errors for the event model.
+
+use ems_error::EmsError;
+use std::fmt;
+
+/// Errors raised by event-model operations on invalid data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventsError {
+    /// A composite merge was requested with an empty part list.
+    EmptyComposite,
+    /// A rename supplied the wrong number of names for the alphabet.
+    NameCountMismatch {
+        /// Alphabet size of the log.
+        expected: usize,
+        /// Number of names supplied.
+        got: usize,
+    },
+    /// An [`crate::EventId`] does not belong to this log's alphabet.
+    IdOutOfRange {
+        /// The offending id's index.
+        id: usize,
+        /// The log's alphabet size.
+        alphabet: usize,
+    },
+    /// A named event does not occur in the log.
+    UnknownEvent {
+        /// The name that was looked up.
+        name: String,
+    },
+}
+
+impl fmt::Display for EventsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventsError::EmptyComposite => {
+                write!(f, "composite must have at least one part")
+            }
+            EventsError::NameCountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "need exactly one new name per event: expected {expected}, got {got}"
+                )
+            }
+            EventsError::IdOutOfRange { id, alphabet } => {
+                write!(f, "event id {id} out of range for alphabet of {alphabet}")
+            }
+            EventsError::UnknownEvent { name } => {
+                write!(f, "event {name:?} does not occur in the log")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EventsError {}
+
+impl From<EventsError> for EmsError {
+    fn from(e: EventsError) -> Self {
+        EmsError::Input {
+            message: e.to_string(),
+        }
+    }
+}

@@ -103,7 +103,10 @@ mod tests {
         let mut it = Interner::new();
         it.intern("a");
         it.intern("b");
-        let collected: Vec<_> = it.iter().map(|(id, n)| (id.index(), n.to_owned())).collect();
+        let collected: Vec<_> = it
+            .iter()
+            .map(|(id, n)| (id.index(), n.to_owned()))
+            .collect();
         assert_eq!(collected, vec![(0, "a".to_owned()), (1, "b".to_owned())]);
     }
 

@@ -24,6 +24,12 @@
 //! assert_eq!(log.event_frequency(id), 1.0);
 //! ```
 
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+mod error;
 mod id;
 mod interner;
 mod log;
@@ -32,12 +38,14 @@ mod trace;
 mod transform;
 mod variants;
 
+pub use error::EventsError;
 pub use id::EventId;
 pub use interner::Interner;
 pub use log::{EventLog, LogBuilder};
 pub use stats::LogStats;
 pub use trace::Trace;
 pub use transform::{
-    cut_prefix, cut_suffix, merge_composite, opaque_rename, rename_events, OpaqueStyle,
+    cut_prefix, cut_suffix, merge_composite, opaque_rename, rename_events, try_merge_composite,
+    try_rename_events, OpaqueStyle,
 };
 pub use variants::{Variant, Variants};

@@ -63,7 +63,10 @@ impl EventLog {
     /// (debug-asserted).
     pub fn push_trace_ids(&mut self, trace: Trace) {
         debug_assert!(
-            trace.events().iter().all(|e| e.index() < self.interner.len()),
+            trace
+                .events()
+                .iter()
+                .all(|e| e.index() < self.interner.len()),
             "trace contains ids outside this log's alphabet"
         );
         self.traces.push(trace);
@@ -100,8 +103,24 @@ impl EventLog {
     }
 
     /// Name of `id` (panics if out of range).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was not produced by this log's interner. Use
+    /// [`EventLog::try_name_of`] when the id may come from another log.
     pub fn name_of(&self, id: EventId) -> &str {
         self.interner.resolve(id)
+    }
+
+    /// Name of `id`, or a typed error when `id` is outside this log's
+    /// alphabet (e.g. an id produced by a different log).
+    pub fn try_name_of(&self, id: EventId) -> Result<&str, crate::EventsError> {
+        self.interner
+            .name(id)
+            .ok_or(crate::EventsError::IdOutOfRange {
+                id: id.index(),
+                alphabet: self.interner.len(),
+            })
     }
 
     /// Fraction of traces that contain `id` at least once — the normalized

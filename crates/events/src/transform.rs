@@ -58,6 +58,33 @@ pub fn merge_composite(
     merged_name: &str,
 ) -> (EventLog, Option<EventId>) {
     assert!(!parts.is_empty(), "composite must have at least one part");
+    merge_composite_inner(log, parts, merged_name)
+}
+
+/// Non-panicking variant of [`merge_composite`]: returns a typed error when
+/// `parts` is empty or references ids outside `log`'s alphabet.
+pub fn try_merge_composite(
+    log: &EventLog,
+    parts: &[EventId],
+    merged_name: &str,
+) -> Result<(EventLog, Option<EventId>), crate::EventsError> {
+    if parts.is_empty() {
+        return Err(crate::EventsError::EmptyComposite);
+    }
+    if let Some(bad) = parts.iter().find(|p| p.index() >= log.alphabet_size()) {
+        return Err(crate::EventsError::IdOutOfRange {
+            id: bad.index(),
+            alphabet: log.alphabet_size(),
+        });
+    }
+    Ok(merge_composite_inner(log, parts, merged_name))
+}
+
+fn merge_composite_inner(
+    log: &EventLog,
+    parts: &[EventId],
+    merged_name: &str,
+) -> (EventLog, Option<EventId>) {
     let mut out = EventLog::new();
     if let Some(n) = log.name() {
         out.set_name(n);
@@ -124,6 +151,22 @@ pub fn rename_events(log: &EventLog, names: &[String]) -> EventLog {
         log.alphabet_size(),
         "need exactly one new name per event"
     );
+    rename_events_inner(log, names)
+}
+
+/// Non-panicking variant of [`rename_events`]: returns a typed error when
+/// `names` does not supply exactly one entry per alphabet slot.
+pub fn try_rename_events(log: &EventLog, names: &[String]) -> Result<EventLog, crate::EventsError> {
+    if names.len() != log.alphabet_size() {
+        return Err(crate::EventsError::NameCountMismatch {
+            expected: log.alphabet_size(),
+            got: names.len(),
+        });
+    }
+    Ok(rename_events_inner(log, names))
+}
+
+fn rename_events_inner(log: &EventLog, names: &[String]) -> EventLog {
     let mut out = EventLog::new();
     if let Some(n) = log.name() {
         out.set_name(n);
@@ -224,7 +267,7 @@ mod tests {
         let mut log = EventLog::new();
         log.push_trace(["abc"]);
         let (op, _) = opaque_rename(&log, OpaqueStyle::Reversed);
-        assert_eq!(op.id_of("cba").is_some(), true);
+        assert!(op.id_of("cba").is_some());
     }
 
     #[test]

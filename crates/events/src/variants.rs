@@ -149,7 +149,11 @@ mod tests {
         assert_eq!(d.num_traces(), 3);
         assert_eq!(d.name(), Some("demo (variants)"));
         // Most frequent variant first.
-        let names: Vec<&str> = d.traces()[0].events().iter().map(|&e| d.name_of(e)).collect();
+        let names: Vec<&str> = d.traces()[0]
+            .events()
+            .iter()
+            .map(|&e| d.name_of(e))
+            .collect();
         assert_eq!(names, ["a", "b", "c"]);
     }
 

@@ -1,113 +1,142 @@
-//! Property tests of the event model's invariants.
+//! Randomized property tests of the event model's invariants, driven by the
+//! deterministic `ems-rng` generator.
 
 use ems_events::{cut_prefix, cut_suffix, merge_composite, EventId, EventLog, Trace};
-use proptest::prelude::*;
+use ems_rng::StdRng;
 
-/// Strategy: a log of 1..20 traces over a small alphabet.
-fn arb_log() -> impl Strategy<Value = EventLog> {
-    prop::collection::vec(
-        prop::collection::vec(0usize..8, 0..12),
-        1..20,
-    )
-    .prop_map(|traces| {
-        let mut log = EventLog::new();
-        for t in traces {
-            log.push_trace(t.iter().map(|i| format!("ev{i}")));
-        }
-        log
-    })
+/// A log of 1..20 traces over a small alphabet.
+fn random_log(rng: &mut StdRng) -> EventLog {
+    let num_traces = rng.gen_range(1..20usize);
+    let mut log = EventLog::new();
+    for _ in 0..num_traces {
+        let len = rng.gen_range(0..12usize);
+        log.push_trace((0..len).map(|_| format!("ev{}", rng.gen_range(0..8usize))));
+    }
+    log
 }
 
-proptest! {
-    #[test]
-    fn frequencies_are_normalized(log in arb_log()) {
+#[test]
+fn frequencies_are_normalized() {
+    let mut rng = StdRng::seed_from_u64(0xE1);
+    for _ in 0..64 {
+        let log = random_log(&mut rng);
         for i in 0..log.alphabet_size() {
             let id = EventId::from_index(i);
             let f = log.event_frequency(id);
-            prop_assert!((0.0..=1.0).contains(&f));
+            assert!((0.0..=1.0).contains(&f));
             for j in 0..log.alphabet_size() {
                 let pf = log.pair_frequency(id, EventId::from_index(j));
-                prop_assert!((0.0..=1.0).contains(&pf));
+                assert!((0.0..=1.0).contains(&pf));
             }
         }
     }
+}
 
-    /// A trace with the pair `ab` contains both `a` and `b`:
-    /// f(a,b) ≤ min(f(a), f(b)).
-    #[test]
-    fn pair_frequency_bounded_by_node_frequencies(log in arb_log()) {
+/// A trace with the pair `ab` contains both `a` and `b`:
+/// f(a,b) ≤ min(f(a), f(b)).
+#[test]
+fn pair_frequency_bounded_by_node_frequencies() {
+    let mut rng = StdRng::seed_from_u64(0xE2);
+    for _ in 0..64 {
+        let log = random_log(&mut rng);
         for i in 0..log.alphabet_size() {
             for j in 0..log.alphabet_size() {
                 let a = EventId::from_index(i);
                 let b = EventId::from_index(j);
                 let pf = log.pair_frequency(a, b);
-                prop_assert!(pf <= log.event_frequency(a) + 1e-12);
-                prop_assert!(pf <= log.event_frequency(b) + 1e-12);
+                assert!(pf <= log.event_frequency(a) + 1e-12);
+                assert!(pf <= log.event_frequency(b) + 1e-12);
             }
         }
     }
+}
 
-    #[test]
-    fn cut_prefix_removes_exactly_m_or_everything(log in arb_log(), m in 0usize..6) {
+#[test]
+fn cut_prefix_removes_exactly_m_or_everything() {
+    let mut rng = StdRng::seed_from_u64(0xE3);
+    for _ in 0..64 {
+        let log = random_log(&mut rng);
+        let m = rng.gen_range(0..6usize);
         let (cut, _) = cut_prefix(&log, m);
-        prop_assert_eq!(cut.num_traces(), log.num_traces());
+        assert_eq!(cut.num_traces(), log.num_traces());
         for (orig, cut_t) in log.traces().iter().zip(cut.traces()) {
-            prop_assert_eq!(cut_t.len(), orig.len().saturating_sub(m));
+            assert_eq!(cut_t.len(), orig.len().saturating_sub(m));
         }
     }
+}
 
-    #[test]
-    fn cut_suffix_preserves_prefixes(log in arb_log(), m in 0usize..6) {
+#[test]
+fn cut_suffix_preserves_prefixes() {
+    let mut rng = StdRng::seed_from_u64(0xE4);
+    for _ in 0..64 {
+        let log = random_log(&mut rng);
+        let m = rng.gen_range(0..6usize);
         let (cut, _) = cut_suffix(&log, m);
         for (orig, cut_t) in log.traces().iter().zip(cut.traces()) {
             for (k, &e) in cut_t.events().iter().enumerate() {
-                prop_assert_eq!(cut.name_of(e), log.name_of(orig.events()[k]));
+                assert_eq!(cut.name_of(e), log.name_of(orig.events()[k]));
             }
         }
     }
+}
 
-    /// Merging then counting: every replaced occurrence shrinks the trace by
-    /// |parts| - 1; total event count is conserved accordingly.
-    #[test]
-    fn merge_composite_conserves_unmatched_events(log in arb_log()) {
-        prop_assume!(log.alphabet_size() >= 2);
+/// Merging then counting: every replaced occurrence shrinks the trace by
+/// |parts| - 1; total event count is conserved accordingly.
+#[test]
+fn merge_composite_conserves_unmatched_events() {
+    let mut rng = StdRng::seed_from_u64(0xE5);
+    let mut checked = 0;
+    while checked < 64 {
+        let log = random_log(&mut rng);
+        if log.alphabet_size() < 2 {
+            continue;
+        }
+        checked += 1;
         let a = EventId::from_index(0);
         let b = EventId::from_index(1);
         let (merged, merged_id) = merge_composite(&log, &[a, b], "a+b");
-        prop_assert_eq!(merged.num_traces(), log.num_traces());
+        assert_eq!(merged.num_traces(), log.num_traces());
         match merged_id {
             None => {
                 // Nothing merged: same shape.
                 for (o, m) in log.traces().iter().zip(merged.traces()) {
-                    prop_assert_eq!(o.len(), m.len());
+                    assert_eq!(o.len(), m.len());
                 }
             }
             Some(id) => {
                 for (o, m) in log.traces().iter().zip(merged.traces()) {
                     let replaced = m.events().iter().filter(|&&e| e == id).count();
-                    prop_assert_eq!(o.len(), m.len() + replaced);
+                    assert_eq!(o.len(), m.len() + replaced);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn compact_preserves_trace_shapes_and_names(log in arb_log()) {
+#[test]
+fn compact_preserves_trace_shapes_and_names() {
+    let mut rng = StdRng::seed_from_u64(0xE6);
+    for _ in 0..64 {
+        let log = random_log(&mut rng);
         let (compacted, map) = log.compact();
-        prop_assert_eq!(compacted.num_traces(), log.num_traces());
+        assert_eq!(compacted.num_traces(), log.num_traces());
         for (o, c) in log.traces().iter().zip(compacted.traces()) {
-            prop_assert_eq!(o.len(), c.len());
+            assert_eq!(o.len(), c.len());
             for (&oe, &ce) in o.events().iter().zip(c.events()) {
-                prop_assert_eq!(log.name_of(oe), compacted.name_of(ce));
-                prop_assert_eq!(map[oe.index()], Some(ce));
+                assert_eq!(log.name_of(oe), compacted.name_of(ce));
+                assert_eq!(map[oe.index()], Some(ce));
             }
         }
     }
+}
 
-    #[test]
-    fn consecutive_pairs_count(events in prop::collection::vec(0u32..5, 0..20)) {
-        let trace: Trace = events.iter().map(|&e| EventId(e)).collect();
-        prop_assert_eq!(
+#[test]
+fn consecutive_pairs_count() {
+    let mut rng = StdRng::seed_from_u64(0xE7);
+    for _ in 0..64 {
+        let len = rng.gen_range(0..20usize);
+        let trace: Trace = (0..len).map(|_| EventId(rng.gen_range(0..5u32))).collect();
+        assert_eq!(
             trace.consecutive_pairs().count(),
             trace.len().saturating_sub(1)
         );

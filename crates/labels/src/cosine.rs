@@ -10,12 +10,17 @@ use std::collections::HashMap;
 /// of `#` (prefix) and `$` (suffix) so that boundary characters contribute as
 /// many grams as interior ones. Operates on `char`s, so multi-byte labels
 /// (e.g. the paper's garbled `?????`) are handled correctly.
+///
+/// # Panics
+///
+/// Panics when `q == 0`; see [`crate::LabelsError::ZeroQ`] for the typed
+/// counterpart used by validating callers.
 pub fn qgram_profile(s: &str, q: usize) -> HashMap<Vec<char>, u32> {
     assert!(q >= 1, "q must be at least 1");
     let mut padded: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * (q - 1));
-    padded.extend(std::iter::repeat('#').take(q - 1));
+    padded.extend(std::iter::repeat_n('#', q - 1));
     padded.extend(s.chars());
-    padded.extend(std::iter::repeat('$').take(q - 1));
+    padded.extend(std::iter::repeat_n('$', q - 1));
     let mut profile = HashMap::new();
     if padded.len() >= q {
         for w in padded.windows(q) {
@@ -36,7 +41,11 @@ pub fn qgram_cosine(a: &str, b: &str, q: usize) -> f64 {
     let pa = qgram_profile(a, q);
     let pb = qgram_profile(b, q);
     if pa.is_empty() || pb.is_empty() {
-        return if pa.is_empty() && pb.is_empty() { 1.0 } else { 0.0 };
+        return if pa.is_empty() && pb.is_empty() {
+            1.0
+        } else {
+            0.0
+        };
     }
     let dot: f64 = pa
         .iter()

@@ -1,0 +1,45 @@
+//! Typed errors for label-similarity structures.
+
+use ems_error::EmsError;
+use std::fmt;
+
+/// Errors raised when assembling label-similarity data from untrusted parts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LabelsError {
+    /// Raw matrix data does not match the declared `rows × cols` shape.
+    ShapeMismatch {
+        /// Declared number of rows.
+        rows: usize,
+        /// Declared number of columns.
+        cols: usize,
+        /// Actual number of data entries supplied.
+        len: usize,
+    },
+    /// A q-gram length of zero was requested (q must be at least 1).
+    ZeroQ,
+}
+
+impl fmt::Display for LabelsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LabelsError::ShapeMismatch { rows, cols, len } => {
+                write!(
+                    f,
+                    "label matrix shape mismatch: {rows}x{cols} needs {} entries, got {len}",
+                    rows * cols
+                )
+            }
+            LabelsError::ZeroQ => write!(f, "q must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for LabelsError {}
+
+impl From<LabelsError> for EmsError {
+    fn from(e: LabelsError) -> Self {
+        EmsError::Params {
+            message: e.to_string(),
+        }
+    }
+}

@@ -17,8 +17,14 @@
 //! All similarity functions return values in `[0, 1]`, are symmetric, and
 //! give `1.0` exactly on equal inputs (property-tested).
 
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 mod cosine;
 mod edit;
+mod error;
 mod jaro;
 mod matrix;
 mod tfidf;
@@ -26,6 +32,7 @@ mod token;
 
 pub use cosine::{qgram_cosine, qgram_profile, QgramCosine};
 pub use edit::{levenshtein, levenshtein_similarity, Levenshtein};
+pub use error::LabelsError;
 pub use jaro::{jaro, jaro_winkler, JaroWinkler};
 pub use matrix::LabelMatrix;
 pub use tfidf::TfIdf;

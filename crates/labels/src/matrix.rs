@@ -43,10 +43,28 @@ impl LabelMatrix {
     /// Builds a matrix from raw row-major data.
     ///
     /// # Panics
-    /// If `data.len() != rows * cols`.
+    /// If `data.len() != rows * cols`. Use
+    /// [`try_from_raw`](Self::try_from_raw) for untrusted data.
     pub fn from_raw(rows: usize, cols: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), rows * cols, "label matrix shape mismatch");
         LabelMatrix { rows, cols, data }
+    }
+
+    /// Non-panicking variant of [`from_raw`](Self::from_raw): returns a typed
+    /// error when the data length disagrees with the declared shape.
+    pub fn try_from_raw(
+        rows: usize,
+        cols: usize,
+        data: Vec<f64>,
+    ) -> Result<Self, crate::LabelsError> {
+        if data.len() != rows * cols {
+            return Err(crate::LabelsError::ShapeMismatch {
+                rows,
+                cols,
+                len: data.len(),
+            });
+        }
+        Ok(LabelMatrix { rows, cols, data })
     }
 
     /// The similarity at `(i, j)`.

@@ -42,10 +42,7 @@ impl TfIdf {
                 (t, ((1.0 + n as f64) / (1.0 + d as f64)).ln() + 1.0)
             })
             .collect();
-        TfIdf {
-            idf,
-            num_docs: n,
-        }
+        TfIdf { idf, num_docs: n }
     }
 
     /// Number of documents the model saw.

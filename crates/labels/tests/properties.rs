@@ -1,20 +1,36 @@
-//! Property tests: every label similarity is symmetric, bounded in [0, 1],
-//! and maximal on identical inputs.
+//! Randomized property tests: every label similarity is symmetric, bounded
+//! in [0, 1], and maximal on identical inputs. Driven by the deterministic
+//! `ems-rng` generator.
 
 use ems_labels::{
     jaro, jaro_winkler, levenshtein, levenshtein_similarity, qgram_cosine, token_jaccard,
 };
-use proptest::prelude::*;
+use ems_rng::StdRng;
 
-fn arb_label() -> impl Strategy<Value = String> {
-    // Printable labels incl. spaces, punctuation and some CJK.
-    proptest::string::string_regex("[a-zA-Z0-9 &()+?一-鿿]{0,12}").expect("valid regex")
+/// Printable labels incl. spaces, punctuation and some CJK, length 0..=12.
+fn random_label(rng: &mut StdRng) -> String {
+    const ASCII: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 &()+?";
+    let len = rng.gen_range(0..=12usize);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool(0.1) {
+                // A CJK codepoint from the unified-ideograph block.
+                char::from_u32(0x4E00 + rng.gen_range(0..0x2000u32)).unwrap_or('一')
+            } else {
+                ASCII[rng.gen_range(0..ASCII.len())] as char
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn all_measures_bounded_and_symmetric(a in arb_label(), b in arb_label()) {
-        let measures: [(&str, fn(&str, &str) -> f64); 4] = [
+#[test]
+fn all_measures_bounded_and_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0x1AB1);
+    for _ in 0..256 {
+        let a = random_label(&mut rng);
+        let b = random_label(&mut rng);
+        type Measure = fn(&str, &str) -> f64;
+        let measures: [(&str, Measure); 4] = [
             ("qgram", |x, y| qgram_cosine(x, y, 3)),
             ("lev", levenshtein_similarity),
             ("jw", jaro_winkler),
@@ -23,36 +39,57 @@ proptest! {
         for (name, m) in measures {
             let ab = m(&a, &b);
             let ba = m(&b, &a);
-            prop_assert!((0.0..=1.0).contains(&ab), "{name}: {ab}");
-            prop_assert!((ab - ba).abs() < 1e-12, "{name} asymmetric: {ab} vs {ba}");
+            assert!((0.0..=1.0).contains(&ab), "{name}: {ab}");
+            assert!((ab - ba).abs() < 1e-12, "{name} asymmetric: {ab} vs {ba}");
         }
     }
+}
 
-    #[test]
-    fn identity_is_maximal(a in arb_label()) {
-        prop_assert_eq!(qgram_cosine(&a, &a, 3), 1.0);
-        prop_assert_eq!(levenshtein_similarity(&a, &a), 1.0);
-        prop_assert_eq!(jaro(&a, &a), 1.0);
-        prop_assert_eq!(token_jaccard(&a, &a), 1.0);
+#[test]
+fn identity_is_maximal() {
+    let mut rng = StdRng::seed_from_u64(0x1AB2);
+    for _ in 0..256 {
+        let a = random_label(&mut rng);
+        assert_eq!(qgram_cosine(&a, &a, 3), 1.0);
+        assert_eq!(levenshtein_similarity(&a, &a), 1.0);
+        assert_eq!(jaro(&a, &a), 1.0);
+        assert_eq!(token_jaccard(&a, &a), 1.0);
     }
+}
 
-    #[test]
-    fn levenshtein_triangle_inequality(
-        a in arb_label(),
-        b in arb_label(),
-        c in arb_label(),
-    ) {
-        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+#[test]
+fn levenshtein_triangle_inequality() {
+    let mut rng = StdRng::seed_from_u64(0x1AB3);
+    for _ in 0..256 {
+        let a = random_label(&mut rng);
+        let b = random_label(&mut rng);
+        let c = random_label(&mut rng);
+        assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
     }
+}
 
-    #[test]
-    fn levenshtein_zero_iff_equal(a in arb_label(), b in arb_label()) {
-        prop_assert_eq!(levenshtein(&a, &b) == 0, a == b);
+#[test]
+fn levenshtein_zero_iff_equal() {
+    let mut rng = StdRng::seed_from_u64(0x1AB4);
+    for _ in 0..256 {
+        let a = random_label(&mut rng);
+        // Mix of independent pairs and forced-equal pairs.
+        let b = if rng.gen_bool(0.2) {
+            a.clone()
+        } else {
+            random_label(&mut rng)
+        };
+        assert_eq!(levenshtein(&a, &b) == 0, a == b);
     }
+}
 
-    #[test]
-    fn levenshtein_bounded_by_longer_length(a in arb_label(), b in arb_label()) {
+#[test]
+fn levenshtein_bounded_by_longer_length() {
+    let mut rng = StdRng::seed_from_u64(0x1AB5);
+    for _ in 0..256 {
+        let a = random_label(&mut rng);
+        let b = random_label(&mut rng);
         let bound = a.chars().count().max(b.chars().count());
-        prop_assert!(levenshtein(&a, &b) <= bound);
+        assert!(levenshtein(&a, &b) <= bound);
     }
 }

@@ -4,8 +4,7 @@
 //! `swap_noise` already built into [`PairConfig`](crate::PairConfig)).
 
 use ems_events::{EventId, EventLog};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ems_rng::StdRng;
 
 /// Noise configuration: each probability applies independently per event
 /// occurrence.
@@ -161,8 +160,15 @@ mod tests {
         }
         // And at least one order changed.
         assert_ne!(
-            l.traces().iter().map(|t| t.events().to_vec()).collect::<Vec<_>>(),
-            swapped.traces().iter().map(|t| t.events().to_vec()).collect::<Vec<_>>()
+            l.traces()
+                .iter()
+                .map(|t| t.events().to_vec())
+                .collect::<Vec<_>>(),
+            swapped
+                .traces()
+                .iter()
+                .map(|t| t.events().to_vec())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -2,8 +2,7 @@
 
 use crate::tree::ProcessTree;
 use ems_events::EventLog;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ems_rng::StdRng;
 
 /// Parameters of a playout run.
 #[derive(Debug, Clone, PartialEq)]

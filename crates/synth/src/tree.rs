@@ -1,7 +1,6 @@
 //! Block-structured process trees and their random generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ems_rng::StdRng;
 
 /// A block-structured process specification.
 ///
@@ -165,7 +164,10 @@ fn build(
 /// same process with different branch preferences, so that the two logs'
 /// frequencies differ systematically, not just by sampling noise.
 pub fn jitter_weights(tree: &ProcessTree, amount: f64, rng: &mut StdRng) -> ProcessTree {
-    assert!((0.0..1.0).contains(&amount), "jitter amount must be in [0,1)");
+    assert!(
+        (0.0..1.0).contains(&amount),
+        "jitter amount must be in [0,1)"
+    );
     match tree {
         ProcessTree::Activity(a) => ProcessTree::Activity(a.clone()),
         ProcessTree::Sequence(cs) => {
@@ -242,10 +244,7 @@ fn try_insert(tree: &mut ProcessTree, leaf: ProcessTree, rng: &mut StdRng) -> bo
         ProcessTree::Xor(cs) => {
             // Inserting under XOR would make the extra event rare; try the
             // heaviest branch only.
-            if let Some((c, _)) = cs
-                .iter_mut()
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
-            {
+            if let Some((c, _)) = cs.iter_mut().max_by(|a, b| a.1.total_cmp(&b.1)) {
                 try_insert(c, leaf, rng)
             } else {
                 false
@@ -336,7 +335,10 @@ mod tests {
         });
         let acts = tree.activities();
         let expected: Vec<String> = (0..30).map(|i| format!("a{i}")).collect();
-        assert_eq!(acts, expected.iter().map(String::as_str).collect::<Vec<_>>());
+        assert_eq!(
+            acts,
+            expected.iter().map(String::as_str).collect::<Vec<_>>()
+        );
     }
 
     #[test]

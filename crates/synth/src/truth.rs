@@ -36,9 +36,7 @@ impl GroundTruth {
     /// Whether `(left, right)` is a true correspondence.
     pub fn contains(&self, left: &str, right: &str) -> bool {
         // BTreeSet<(String, String)> lookup without allocating.
-        self.pairs
-            .iter()
-            .any(|(l, r)| l == left && r == right)
+        self.pairs.iter().any(|(l, r)| l == left && r == right)
     }
 
     /// Number of true pairs.
@@ -105,9 +103,12 @@ mod tests {
 
     #[test]
     fn iteration_is_sorted() {
-        let t: GroundTruth = [("b".to_owned(), "2".to_owned()), ("a".to_owned(), "1".to_owned())]
-            .into_iter()
-            .collect();
+        let t: GroundTruth = [
+            ("b".to_owned(), "2".to_owned()),
+            ("a".to_owned(), "1".to_owned()),
+        ]
+        .into_iter()
+        .collect();
         let v: Vec<_> = t.iter().collect();
         assert_eq!(v, vec![("a", "1"), ("b", "2")]);
     }

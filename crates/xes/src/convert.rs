@@ -15,12 +15,7 @@ pub fn to_event_log(log: &XesLog) -> EventLog {
         None => EventLog::new(),
     };
     for trace in &log.traces {
-        out.push_trace(
-            trace
-                .events
-                .iter()
-                .map(|e| e.name().unwrap_or("<unnamed>")),
-        );
+        out.push_trace(trace.events.iter().map(|e| e.name().unwrap_or("<unnamed>")));
     }
     out
 }
@@ -62,7 +57,11 @@ mod tests {
             attributes: vec![Attribute::string("concept:name", "orders")],
             traces: vec![XesTrace {
                 attributes: vec![],
-                events: vec![XesEvent::named("a"), XesEvent::default(), XesEvent::named("a")],
+                events: vec![
+                    XesEvent::named("a"),
+                    XesEvent::default(),
+                    XesEvent::named("a"),
+                ],
             }],
         };
         let log = to_event_log(&xes);

@@ -54,6 +54,29 @@ impl fmt::Display for XesError {
 
 impl std::error::Error for XesError {}
 
+impl From<XesError> for ems_error::EmsError {
+    fn from(e: XesError) -> Self {
+        match e {
+            XesError::Syntax { offset, message } => ems_error::EmsError::Parse {
+                offset: Some(offset),
+                message,
+            },
+            XesError::TagMismatch { offset, .. } => ems_error::EmsError::Parse {
+                offset: Some(offset),
+                message: e.to_string(),
+            },
+            XesError::Structure(message) => ems_error::EmsError::Parse {
+                offset: None,
+                message,
+            },
+            XesError::Io(message) => ems_error::EmsError::Io {
+                path: String::new(),
+                message,
+            },
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

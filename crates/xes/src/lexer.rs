@@ -65,6 +65,21 @@ impl<'a> Lexer<'a> {
         self.pos
     }
 
+    /// Re-synchronizes after a tokenization error: advances to the next `<`
+    /// (or EOF) so recovery-mode parsing can resume at a tag boundary.
+    ///
+    /// Guarantees progress in combination with [`next_token`](Self::next_token):
+    /// a failing `next_token` always consumes at least the `<` it started on,
+    /// and `resync` consumes everything up to the next tag boundary.
+    pub fn resync(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b'<' {
+                return;
+            }
+            self.pos += 1;
+        }
+    }
+
     fn err(&self, message: impl Into<String>) -> XesError {
         XesError::Syntax {
             offset: self.pos,
@@ -254,9 +269,7 @@ impl<'a> Lexer<'a> {
 }
 
 fn find_sub(haystack: &[u8], needle: &[u8]) -> Option<usize> {
-    haystack
-        .windows(needle.len())
-        .position(|w| w == needle)
+    haystack.windows(needle.len()).position(|w| w == needle)
 }
 
 /// Decodes the five predefined XML entities and numeric character references.
@@ -377,9 +390,8 @@ mod tests {
 
     #[test]
     fn skips_declaration_comment_doctype_and_whitespace() {
-        let toks = all_tokens(
-            "<?xml version=\"1.0\"?>\n<!DOCTYPE log>\n<!-- a comment -->\n  <log/>  ",
-        );
+        let toks =
+            all_tokens("<?xml version=\"1.0\"?>\n<!DOCTYPE log>\n<!-- a comment -->\n  <log/>  ");
         assert_eq!(toks.len(), 2);
         assert!(matches!(&toks[0], Token::StartTag { name, .. } if name == "log"));
     }
@@ -418,7 +430,10 @@ mod tests {
     #[test]
     fn encode_decode_roundtrip() {
         let original = r#"a<b>&"quote"&'apos'"#;
-        assert_eq!(decode_entities(&encode_entities(original)).unwrap(), original);
+        assert_eq!(
+            decode_entities(&encode_entities(original)).unwrap(),
+            original
+        );
     }
 
     #[test]

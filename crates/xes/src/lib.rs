@@ -36,12 +36,18 @@
 //! assert_eq!(event_log.alphabet_size(), 2);
 //! ```
 
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
 mod convert;
 mod error;
 pub mod lexer;
 mod model;
 pub mod mxml;
 mod parser;
+pub mod recover;
 pub mod streaming;
 mod writer;
 
@@ -49,10 +55,77 @@ pub use convert::{from_event_log, to_event_log};
 pub use error::{XesError, XesResult};
 pub use model::{AttrValue, Attribute, XesEvent, XesLog, XesTrace};
 pub use parser::parse_str;
+pub use recover::{
+    parse_event_log_recovering, parse_mxml_recovering, ParseMode, Recovered, Warning, WarningKind,
+};
 pub use streaming::parse_event_log;
 pub use writer::write_string;
 
 use std::path::Path;
+
+/// The two log interchange formats this crate reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFormat {
+    /// IEEE XES (`<log>` root).
+    Xes,
+    /// Legacy ProM MXML (`<WorkflowLog>` root).
+    Mxml,
+}
+
+/// Sniffs whether `text` is XES or MXML by its root element. Defaults to XES
+/// when neither root is recognizable (strict parsing will then produce a
+/// precise error; recovery will salvage whatever trace structure exists).
+pub fn detect_format(text: &str) -> LogFormat {
+    let xes = text.find("<log");
+    let mxml = text.find("<WorkflowLog");
+    match (xes, mxml) {
+        (Some(x), Some(m)) => {
+            if m < x {
+                LogFormat::Mxml
+            } else {
+                LogFormat::Xes
+            }
+        }
+        (None, Some(_)) => LogFormat::Mxml,
+        _ => LogFormat::Xes,
+    }
+}
+
+/// Loads an event log from disk, auto-detecting XES vs MXML.
+///
+/// In [`ParseMode::Strict`], any malformation aborts with a typed
+/// [`XesError`] and the returned warning list is empty. In
+/// [`ParseMode::Recovery`], malformed regions are skipped and reported as
+/// [`Warning`]s; only I/O failures are errors. MXML audit-trail entries are
+/// projected complete-only (the standard one-event-per-activity view) in
+/// both modes.
+pub fn load_event_log(path: impl AsRef<Path>, mode: ParseMode) -> XesResult<Recovered> {
+    let text = std::fs::read_to_string(path.as_ref())
+        .map_err(|e| XesError::Io(format!("{}: {e}", path.as_ref().display())))?;
+    load_event_log_str(&text, mode)
+}
+
+/// As [`load_event_log`], over already-read text.
+pub fn load_event_log_str(text: &str, mode: ParseMode) -> XesResult<Recovered> {
+    match (detect_format(text), mode) {
+        (LogFormat::Xes, ParseMode::Strict) => Ok(Recovered {
+            log: parse_event_log(text)?,
+            warnings: Vec::new(),
+        }),
+        (LogFormat::Xes, ParseMode::Recovery) => Ok(parse_event_log_recovering(text)),
+        (LogFormat::Mxml, ParseMode::Strict) => Ok(Recovered {
+            log: mxml::to_event_log_complete_only(&mxml::parse_mxml(text)?),
+            warnings: Vec::new(),
+        }),
+        (LogFormat::Mxml, ParseMode::Recovery) => {
+            let (m, warnings) = parse_mxml_recovering(text);
+            Ok(Recovered {
+                log: mxml::to_event_log_complete_only(&m),
+                warnings,
+            })
+        }
+    }
+}
 
 /// Parses an XES file from disk.
 pub fn parse_file(path: impl AsRef<Path>) -> XesResult<XesLog> {

@@ -166,17 +166,22 @@ mod tests {
     #[test]
     fn trace_and_log_names() {
         let mut t = XesTrace::default();
-        t.attributes.push(Attribute::string("concept:name", "case-9"));
+        t.attributes
+            .push(Attribute::string("concept:name", "case-9"));
         assert_eq!(t.name(), Some("case-9"));
         let mut l = XesLog::default();
         assert_eq!(l.name(), None);
-        l.attributes.push(Attribute::string("concept:name", "orders"));
+        l.attributes
+            .push(Attribute::string("concept:name", "orders"));
         assert_eq!(l.name(), Some("orders"));
     }
 
     #[test]
     fn as_str_only_for_stringlike() {
-        assert_eq!(AttrValue::Date("2014-06-22".into()).as_str(), Some("2014-06-22"));
+        assert_eq!(
+            AttrValue::Date("2014-06-22".into()).as_str(),
+            Some("2014-06-22")
+        );
         assert_eq!(AttrValue::Int(5).as_str(), None);
     }
 }

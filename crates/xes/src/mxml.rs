@@ -79,7 +79,10 @@ pub fn parse_mxml(input: &str) -> XesResult<MxmlLog> {
                 }
                 "ProcessInstance" => {
                     let inst = MxmlInstance {
-                        id: attrs.iter().find(|a| a.name == "id").map(|a| a.value.clone()),
+                        id: attrs
+                            .iter()
+                            .find(|a| a.name == "id")
+                            .map(|a| a.value.clone()),
                         entries: Vec::new(),
                     };
                     if self_closing {
@@ -88,10 +91,8 @@ pub fn parse_mxml(input: &str) -> XesResult<MxmlLog> {
                         instance = Some(inst);
                     }
                 }
-                "AuditTrailEntry" => {
-                    if !self_closing {
-                        entry = Some(MxmlEntry::default());
-                    }
+                "AuditTrailEntry" if !self_closing => {
+                    entry = Some(MxmlEntry::default());
                 }
                 "WorkflowModelElement" => text_target = Some(TextTarget::Element),
                 "EventType" => text_target = Some(TextTarget::EventType),
@@ -168,10 +169,7 @@ pub fn write_mxml(log: &MxmlLog) -> String {
         encode_entities(log.process.as_deref().unwrap_or("process"))
     );
     for (i, inst) in log.instances.iter().enumerate() {
-        let id = inst
-            .id
-            .clone()
-            .unwrap_or_else(|| format!("case-{}", i + 1));
+        let id = inst.id.clone().unwrap_or_else(|| format!("case-{}", i + 1));
         let _ = writeln!(out, "    <ProcessInstance id=\"{}\">", encode_entities(&id));
         for e in &inst.entries {
             out.push_str("      <AuditTrailEntry>\n");

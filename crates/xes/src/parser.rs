@@ -84,10 +84,12 @@ impl<'a> Parser<'a> {
                             "<event> must appear inside a <trace>".into(),
                         ))
                     }
-                    t if ATTR_TAGS.contains(&t) => {
-                        log.attributes
-                            .push(self.parse_attribute(&name, &attrs, self_closing, offset)?)
-                    }
+                    t if ATTR_TAGS.contains(&t) => log.attributes.push(self.parse_attribute(
+                        &name,
+                        &attrs,
+                        self_closing,
+                        offset,
+                    )?),
                     _ => {
                         // extension / classifier / global / vendor elements.
                         if !self_closing {
@@ -104,9 +106,7 @@ impl<'a> Parser<'a> {
                     })
                 }
                 Token::Text(_) => {} // stray text inside <log> is ignored
-                Token::Eof => {
-                    return Err(XesError::Structure("unclosed <log> element".into()))
-                }
+                Token::Eof => return Err(XesError::Structure("unclosed <log> element".into())),
             }
         }
     }
@@ -120,29 +120,29 @@ impl<'a> Parser<'a> {
                     name,
                     attrs,
                     self_closing,
-                } => match name.as_str() {
-                    "event" => {
-                        let ev = if self_closing {
-                            XesEvent::default()
-                        } else {
-                            self.parse_event()?
-                        };
-                        trace.events.push(ev);
-                    }
-                    "trace" => {
-                        return Err(XesError::Structure("<trace> cannot nest".into()));
-                    }
-                    t if ATTR_TAGS.contains(&t) => {
-                        trace
+                } => {
+                    match name.as_str() {
+                        "event" => {
+                            let ev = if self_closing {
+                                XesEvent::default()
+                            } else {
+                                self.parse_event()?
+                            };
+                            trace.events.push(ev);
+                        }
+                        "trace" => {
+                            return Err(XesError::Structure("<trace> cannot nest".into()));
+                        }
+                        t if ATTR_TAGS.contains(&t) => trace
                             .attributes
-                            .push(self.parse_attribute(&name, &attrs, self_closing, offset)?)
-                    }
-                    _ => {
-                        if !self_closing {
-                            self.skip_subtree(&name)?;
+                            .push(self.parse_attribute(&name, &attrs, self_closing, offset)?),
+                        _ => {
+                            if !self_closing {
+                                self.skip_subtree(&name)?;
+                            }
                         }
                     }
-                },
+                }
                 Token::EndTag { name } if name == "trace" => return Ok(trace),
                 Token::EndTag { name } => {
                     return Err(XesError::TagMismatch {
@@ -152,9 +152,7 @@ impl<'a> Parser<'a> {
                     })
                 }
                 Token::Text(_) => {}
-                Token::Eof => {
-                    return Err(XesError::Structure("unclosed <trace> element".into()))
-                }
+                Token::Eof => return Err(XesError::Structure("unclosed <trace> element".into())),
             }
         }
     }
@@ -170,11 +168,16 @@ impl<'a> Parser<'a> {
                     self_closing,
                 } => {
                     if ATTR_TAGS.contains(&name.as_str()) {
-                        event
-                            .attributes
-                            .push(self.parse_attribute(&name, &attrs, self_closing, offset)?);
+                        event.attributes.push(self.parse_attribute(
+                            &name,
+                            &attrs,
+                            self_closing,
+                            offset,
+                        )?);
                     } else if name == "event" || name == "trace" {
-                        return Err(XesError::Structure(format!("<{name}> cannot nest in <event>")));
+                        return Err(XesError::Structure(format!(
+                            "<{name}> cannot nest in <event>"
+                        )));
                     } else if !self_closing {
                         self.skip_subtree(&name)?;
                     }
@@ -188,9 +191,7 @@ impl<'a> Parser<'a> {
                     })
                 }
                 Token::Text(_) => {}
-                Token::Eof => {
-                    return Err(XesError::Structure("unclosed <event> element".into()))
-                }
+                Token::Eof => return Err(XesError::Structure("unclosed <event> element".into())),
             }
         }
     }
@@ -206,9 +207,8 @@ impl<'a> Parser<'a> {
             .ok_or_else(|| XesError::Structure(format!("<{tag}> missing `key` at byte {offset}")))?
             .to_owned();
         let raw = xml_attr(attrs, "value").unwrap_or("");
-        let value = parse_value(tag, raw).map_err(|m| XesError::Structure(format!(
-            "attribute `{key}` at byte {offset}: {m}"
-        )))?;
+        let value = parse_value(tag, raw)
+            .map_err(|m| XesError::Structure(format!("attribute `{key}` at byte {offset}: {m}")))?;
         let mut attribute = Attribute {
             key,
             value,
@@ -227,9 +227,12 @@ impl<'a> Parser<'a> {
                     self_closing,
                 } => {
                     if ATTR_TAGS.contains(&name.as_str()) {
-                        attribute
-                            .children
-                            .push(self.parse_attribute(&name, &attrs, self_closing, offset)?);
+                        attribute.children.push(self.parse_attribute(
+                            &name,
+                            &attrs,
+                            self_closing,
+                            offset,
+                        )?);
                     } else if !self_closing {
                         self.skip_subtree(&name)?;
                     }
@@ -243,9 +246,7 @@ impl<'a> Parser<'a> {
                     })
                 }
                 Token::Text(_) => {}
-                Token::Eof => {
-                    return Err(XesError::Structure(format!("unclosed <{tag}> element")))
-                }
+                Token::Eof => return Err(XesError::Structure(format!("unclosed <{tag}> element"))),
             }
         }
     }
@@ -296,7 +297,9 @@ fn parse_value(tag: &str, raw: &str) -> Result<AttrValue, String> {
             "false" | "False" | "FALSE" | "0" => false,
             _ => return Err(format!("`{raw}` is not a boolean")),
         }),
-        _ => unreachable!("parse_value called with non-attribute tag {tag}"),
+        // Callers only pass tags from ATTR_TAGS; a typed error beats an
+        // unreachable! if that invariant ever breaks.
+        _ => return Err(format!("`{tag}` is not an attribute element")),
     })
 }
 
@@ -338,10 +341,7 @@ mod tests {
         assert_eq!(t0.name(), Some("case-1"));
         assert_eq!(t0.events.len(), 2);
         assert_eq!(t0.events[0].name(), Some("Paid by Cash"));
-        assert_eq!(
-            t0.events[1].attributes[1].value,
-            AttrValue::Boolean(true)
-        );
+        assert_eq!(t0.events[1].attributes[1].value, AttrValue::Boolean(true));
         assert_eq!(t0.events[1].attributes[2].value, AttrValue::Float(12.5));
         // Opaque name survives verbatim.
         assert_eq!(log.traces[1].events[0].name(), Some("?????"));
@@ -362,10 +362,7 @@ mod tests {
 
     #[test]
     fn rejects_non_log_root() {
-        assert!(matches!(
-            parse_str("<trace/>"),
-            Err(XesError::Structure(_))
-        ));
+        assert!(matches!(parse_str("<trace/>"), Err(XesError::Structure(_))));
     }
 
     #[test]

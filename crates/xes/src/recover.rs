@@ -1,0 +1,786 @@
+//! Recovering ingestion: parse damaged XES/MXML and keep what can be kept.
+//!
+//! Real OA exports are frequently truncated, mis-nested, or corrupted in
+//! transit; the matcher downstream works on *frequencies over traces*, so a
+//! partial log is far more useful than no log. This module re-runs the
+//! streaming state machines of [`crate::streaming`] and [`crate::mxml`] in a
+//! mode where every error becomes a structured [`Warning`] instead of
+//! aborting the load:
+//!
+//! * tokenizer errors re-synchronize at the next tag boundary
+//!   ([`crate::lexer::Lexer::resync`]) and drop only the garbled region;
+//! * mis-nested elements are repaired by implicitly closing what the
+//!   document forgot to close;
+//! * truncated documents commit whatever trace was open at EOF.
+//!
+//! The result is a [`Recovered`] log plus the warning report, so callers can
+//! decide whether the damage was acceptable.
+
+use crate::error::XesError;
+use crate::lexer::{Lexer, Token};
+use crate::mxml::{MxmlEntry, MxmlInstance, MxmlLog};
+use ems_events::{EventLog, LogBuilder};
+
+/// How the loaders treat malformed input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseMode {
+    /// Any malformation aborts the load with a typed [`XesError`].
+    #[default]
+    Strict,
+    /// Malformed regions are skipped and reported as [`Warning`]s; the load
+    /// always produces a (possibly empty) partial log.
+    Recovery,
+}
+
+/// What went wrong at one point of a damaged document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WarningKind {
+    /// The tokenizer hit malformed XML and re-synchronized at the next tag.
+    Syntax {
+        /// Description of the malformation.
+        message: String,
+    },
+    /// A closing tag did not match the open element; the open element was
+    /// closed implicitly.
+    TagMismatch {
+        /// The element that was open.
+        expected: String,
+        /// The closing tag that was found.
+        found: String,
+    },
+    /// An element appeared where the format forbids it and was repaired or
+    /// skipped.
+    Structure {
+        /// Description of the violation.
+        message: String,
+    },
+    /// A typed attribute was unusable (e.g. missing its `key`).
+    BadAttribute {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The document ended with elements still open; the open trace was
+    /// committed as-is.
+    Truncated,
+}
+
+/// One recovery diagnostic: where the damage was and what was done about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Warning {
+    /// Byte offset into the input, when the tokenizer could attribute one.
+    pub offset: Option<usize>,
+    /// Index of the trace being parsed when the damage was found, if any.
+    pub trace: Option<usize>,
+    /// The category and details of the damage.
+    pub kind: WarningKind,
+}
+
+impl std::fmt::Display for Warning {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            WarningKind::Syntax { message } => write!(f, "syntax: {message}")?,
+            WarningKind::TagMismatch { expected, found } => {
+                write!(f, "expected </{expected}>, found </{found}>")?
+            }
+            WarningKind::Structure { message } => write!(f, "structure: {message}")?,
+            WarningKind::BadAttribute { message } => write!(f, "attribute: {message}")?,
+            WarningKind::Truncated => write!(f, "document truncated")?,
+        }
+        if let Some(o) = self.offset {
+            write!(f, " (byte {o})")?;
+        }
+        if let Some(t) = self.trace {
+            write!(f, " (trace {t})")?;
+        }
+        Ok(())
+    }
+}
+
+/// A partially recovered event log with its damage report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recovered {
+    /// The events that could be salvaged.
+    pub log: EventLog,
+    /// Every repair made along the way; empty means the document was clean.
+    pub warnings: Vec<Warning>,
+}
+
+impl Recovered {
+    /// Whether the document parsed without a single repair.
+    pub fn is_clean(&self) -> bool {
+        self.warnings.is_empty()
+    }
+}
+
+/// Converts a strict-mode error into the equivalent recovery warning.
+fn warn_of(e: XesError, trace: Option<usize>) -> Warning {
+    match e {
+        XesError::Syntax { offset, message } => Warning {
+            offset: Some(offset),
+            trace,
+            kind: WarningKind::Syntax { message },
+        },
+        XesError::TagMismatch {
+            expected,
+            found,
+            offset,
+        } => Warning {
+            offset: Some(offset),
+            trace,
+            kind: WarningKind::TagMismatch { expected, found },
+        },
+        XesError::Structure(message) | XesError::Io(message) => Warning {
+            offset: None,
+            trace,
+            kind: WarningKind::Structure { message },
+        },
+    }
+}
+
+/// Parses XES text into an [`EventLog`], skipping and reporting damaged
+/// regions instead of failing. Never returns an error: the worst possible
+/// input yields an empty log and a warning per damaged region.
+///
+/// Classification matches [`crate::parse_event_log`]: events are named by
+/// their top-level `concept:name` (or `"<unnamed>"`), the log by its own
+/// `concept:name` attribute.
+pub fn parse_event_log_recovering(input: &str) -> Recovered {
+    let mut lexer = Lexer::new(input);
+    let mut warnings: Vec<Warning> = Vec::new();
+    let mut builder = LogBuilder::new();
+    let mut log_name: Option<String> = None;
+
+    let mut in_log = false;
+    let mut in_trace = false;
+    let mut in_event = false;
+    let mut root_closed = false;
+    let mut event_name: Option<String> = None;
+    let mut skip_depth = 0usize;
+    let mut skip_tag = String::new();
+    let mut attr_depth = 0usize;
+    let mut traces_started = 0usize;
+
+    macro_rules! cur_trace {
+        () => {
+            if in_trace {
+                Some(traces_started - 1)
+            } else {
+                None
+            }
+        };
+    }
+    macro_rules! warn {
+        ($offset:expr, $kind:expr) => {
+            warnings.push(Warning {
+                offset: $offset,
+                trace: cur_trace!(),
+                kind: $kind,
+            })
+        };
+    }
+
+    loop {
+        let (offset, tok) = match lexer.next_token() {
+            Ok(t) => t,
+            Err(e) => {
+                warnings.push(warn_of(e, cur_trace!()));
+                lexer.resync();
+                continue;
+            }
+        };
+        if skip_depth > 0 {
+            match &tok {
+                Token::StartTag {
+                    name, self_closing, ..
+                } if *name == skip_tag && !self_closing => skip_depth += 1,
+                Token::EndTag { name } if *name == skip_tag => skip_depth -= 1,
+                Token::Eof => {
+                    warn!(Some(offset), WarningKind::Truncated);
+                    if in_event {
+                        builder.event(event_name.take().as_deref().unwrap_or("<unnamed>"));
+                    }
+                    builder.end_trace();
+                    break;
+                }
+                _ => {}
+            }
+            continue;
+        }
+        match tok {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => match name.as_str() {
+                "log" if !in_log && !root_closed => {
+                    in_log = true;
+                    if self_closing {
+                        in_log = false;
+                        root_closed = true;
+                    }
+                }
+                "log" => {
+                    // Nested or repeated root: ignore the tag itself; its
+                    // contents parse in the current context.
+                    warn!(
+                        Some(offset),
+                        WarningKind::Structure {
+                            message: "<log> cannot nest; tag ignored".into(),
+                        }
+                    );
+                }
+                "trace" => {
+                    if in_event {
+                        // Missing </event>: commit the open event first.
+                        warn!(
+                            Some(offset),
+                            WarningKind::Structure {
+                                message: "<trace> opened inside <event>; event closed implicitly"
+                                    .into(),
+                            }
+                        );
+                        builder.event(event_name.take().as_deref().unwrap_or("<unnamed>"));
+                        in_event = false;
+                        attr_depth = 0;
+                        builder.end_trace();
+                        in_trace = false;
+                    } else if in_trace {
+                        // Missing </trace>: treat as a sibling trace.
+                        warn!(
+                            Some(offset),
+                            WarningKind::Structure {
+                                message: "<trace> cannot nest; previous trace closed implicitly"
+                                    .into(),
+                            }
+                        );
+                        builder.end_trace();
+                        in_trace = false;
+                    } else if !in_log {
+                        // Damaged or missing header: open the log implicitly.
+                        warn!(
+                            Some(offset),
+                            WarningKind::Structure {
+                                message: "<trace> outside <log>; log opened implicitly".into(),
+                            }
+                        );
+                        in_log = true;
+                        root_closed = false;
+                    }
+                    if self_closing {
+                        builder.begin_trace();
+                        builder.end_trace();
+                    } else {
+                        in_trace = true;
+                        traces_started += 1;
+                        builder.begin_trace();
+                    }
+                }
+                "event" => {
+                    if in_event {
+                        // Missing </event>: commit and start the next one.
+                        warn!(
+                            Some(offset),
+                            WarningKind::Structure {
+                                message: "<event> cannot nest; previous event closed implicitly"
+                                    .into(),
+                            }
+                        );
+                        builder.event(event_name.take().as_deref().unwrap_or("<unnamed>"));
+                        attr_depth = 0;
+                    } else if !in_trace {
+                        // An event with no surrounding trace would change the
+                        // trace multiset arbitrarily: drop it.
+                        warn!(
+                            Some(offset),
+                            WarningKind::Structure {
+                                message: "<event> outside <trace>; event dropped".into(),
+                            }
+                        );
+                        if !self_closing {
+                            skip_tag = name;
+                            skip_depth = 1;
+                        }
+                        continue;
+                    }
+                    if self_closing {
+                        builder.event("<unnamed>");
+                        in_event = false;
+                    } else {
+                        in_event = true;
+                        event_name = None;
+                    }
+                }
+                "string" | "date" | "int" | "float" | "boolean" | "id" => {
+                    if attr_depth == 0 {
+                        let mut key = None;
+                        let mut value = None;
+                        for a in &attrs {
+                            match a.name.as_str() {
+                                "key" => key = Some(a.value.as_str()),
+                                "value" => value = Some(a.value.as_str()),
+                                _ => {}
+                            }
+                        }
+                        if key.is_none() {
+                            warn!(
+                                Some(offset),
+                                WarningKind::BadAttribute {
+                                    message: format!("<{name}> missing `key`; attribute ignored"),
+                                }
+                            );
+                        }
+                        if key == Some("concept:name") {
+                            if in_event {
+                                if let Some(v) = value {
+                                    event_name = Some(v.to_owned());
+                                }
+                            } else if in_log && !in_trace {
+                                if let Some(v) = value {
+                                    log_name = Some(v.to_owned());
+                                }
+                            }
+                        }
+                    }
+                    if !self_closing {
+                        attr_depth += 1;
+                    }
+                }
+                other => {
+                    if !self_closing {
+                        skip_tag = other.to_owned();
+                        skip_depth = 1;
+                    }
+                }
+            },
+            Token::EndTag { name } => match name.as_str() {
+                "log" if in_log && !in_trace => {
+                    in_log = false;
+                    root_closed = true;
+                }
+                "log" if in_trace => {
+                    // Missing </trace> (and possibly </event>): close all.
+                    warn!(
+                        Some(offset),
+                        WarningKind::TagMismatch {
+                            expected: if in_event {
+                                "event".into()
+                            } else {
+                                "trace".into()
+                            },
+                            found: name,
+                        }
+                    );
+                    if in_event {
+                        builder.event(event_name.take().as_deref().unwrap_or("<unnamed>"));
+                        in_event = false;
+                        attr_depth = 0;
+                    }
+                    builder.end_trace();
+                    in_trace = false;
+                    in_log = false;
+                    root_closed = true;
+                }
+                "trace" if in_trace && !in_event => {
+                    in_trace = false;
+                    builder.end_trace();
+                }
+                "trace" if in_event => {
+                    // Missing </event>: commit the event, close the trace.
+                    warn!(
+                        Some(offset),
+                        WarningKind::TagMismatch {
+                            expected: "event".into(),
+                            found: name,
+                        }
+                    );
+                    builder.event(event_name.take().as_deref().unwrap_or("<unnamed>"));
+                    in_event = false;
+                    attr_depth = 0;
+                    builder.end_trace();
+                    in_trace = false;
+                }
+                "event" if in_event && attr_depth == 0 => {
+                    in_event = false;
+                    builder.event(event_name.take().as_deref().unwrap_or("<unnamed>"));
+                }
+                "event" if in_event => {
+                    // Unclosed attribute elements inside the event.
+                    warn!(
+                        Some(offset),
+                        WarningKind::Structure {
+                            message: "unclosed attribute element inside <event>".into(),
+                        }
+                    );
+                    attr_depth = 0;
+                    in_event = false;
+                    builder.event(event_name.take().as_deref().unwrap_or("<unnamed>"));
+                }
+                "string" | "date" | "int" | "float" | "boolean" | "id" if attr_depth > 0 => {
+                    attr_depth -= 1;
+                }
+                other => {
+                    warn!(
+                        Some(offset),
+                        WarningKind::Structure {
+                            message: format!("stray closing tag </{other}> ignored"),
+                        }
+                    );
+                }
+            },
+            Token::Text(_) => {}
+            Token::Eof => {
+                if in_event || in_trace || in_log || attr_depth > 0 {
+                    warn!(Some(offset), WarningKind::Truncated);
+                    if in_event {
+                        builder.event(event_name.take().as_deref().unwrap_or("<unnamed>"));
+                    }
+                    builder.end_trace();
+                } else if !root_closed && warnings.is_empty() {
+                    warn!(
+                        Some(offset),
+                        WarningKind::Structure {
+                            message: "empty document".into(),
+                        }
+                    );
+                }
+                break;
+            }
+        }
+    }
+    let mut log = builder.finish();
+    if let Some(n) = log_name.take() {
+        log.set_name(n);
+    }
+    Recovered { log, warnings }
+}
+
+/// Parses MXML text, skipping and reporting damaged regions. Returns the
+/// salvaged document model and the warning report; project it with
+/// [`crate::mxml::to_event_log`] or
+/// [`crate::mxml::to_event_log_complete_only`].
+pub fn parse_mxml_recovering(input: &str) -> (MxmlLog, Vec<Warning>) {
+    let mut lexer = Lexer::new(input);
+    let mut warnings: Vec<Warning> = Vec::new();
+    let mut log = MxmlLog::default();
+    let mut instance: Option<MxmlInstance> = None;
+    let mut entry: Option<MxmlEntry> = None;
+    let mut text_target: Option<MxmlText> = None;
+    let mut saw_root = false;
+
+    loop {
+        let cur_trace = instance.as_ref().map(|_| log.instances.len());
+        let (offset, tok) = match lexer.next_token() {
+            Ok(t) => t,
+            Err(e) => {
+                warnings.push(warn_of(e, cur_trace));
+                lexer.resync();
+                continue;
+            }
+        };
+        match tok {
+            Token::StartTag {
+                name,
+                attrs,
+                self_closing,
+            } => match name.as_str() {
+                "WorkflowLog" => saw_root = true,
+                "Process" => {
+                    log.process = attrs
+                        .iter()
+                        .find(|a| a.name == "id" || a.name == "description")
+                        .map(|a| a.value.clone());
+                }
+                "ProcessInstance" => {
+                    if let Some(open) = instance.take() {
+                        warnings.push(Warning {
+                            offset: Some(offset),
+                            trace: cur_trace,
+                            kind: WarningKind::Structure {
+                                message: "<ProcessInstance> cannot nest; previous instance closed"
+                                    .into(),
+                            },
+                        });
+                        log.instances.push(open);
+                    }
+                    let inst = MxmlInstance {
+                        id: attrs
+                            .iter()
+                            .find(|a| a.name == "id")
+                            .map(|a| a.value.clone()),
+                        entries: Vec::new(),
+                    };
+                    if self_closing {
+                        log.instances.push(inst);
+                    } else {
+                        instance = Some(inst);
+                    }
+                }
+                "AuditTrailEntry" => {
+                    if let (Some(open), Some(inst)) = (entry.take(), instance.as_mut()) {
+                        warnings.push(Warning {
+                            offset: Some(offset),
+                            trace: cur_trace,
+                            kind: WarningKind::Structure {
+                                message: "<AuditTrailEntry> cannot nest; previous entry closed"
+                                    .into(),
+                            },
+                        });
+                        inst.entries.push(open);
+                    }
+                    if !self_closing {
+                        entry = Some(MxmlEntry::default());
+                    }
+                }
+                "WorkflowModelElement" => text_target = Some(MxmlText::Element),
+                "EventType" => text_target = Some(MxmlText::EventType),
+                "Timestamp" => text_target = Some(MxmlText::Timestamp),
+                "Originator" => text_target = Some(MxmlText::Originator),
+                _ => {}
+            },
+            Token::Text(text) => {
+                if let (Some(target), Some(e)) = (text_target, entry.as_mut()) {
+                    let text = text.trim().to_owned();
+                    match target {
+                        MxmlText::Element => e.element = text,
+                        MxmlText::EventType => e.event_type = Some(text),
+                        MxmlText::Timestamp => e.timestamp = Some(text),
+                        MxmlText::Originator => e.originator = Some(text),
+                    }
+                }
+            }
+            Token::EndTag { name } => match name.as_str() {
+                "WorkflowModelElement" | "EventType" | "Timestamp" | "Originator" => {
+                    text_target = None;
+                }
+                "AuditTrailEntry" => match entry.take() {
+                    Some(e) => {
+                        if let Some(inst) = instance.as_mut() {
+                            inst.entries.push(e);
+                        }
+                    }
+                    None => warnings.push(Warning {
+                        offset: Some(offset),
+                        trace: cur_trace,
+                        kind: WarningKind::Structure {
+                            message: "stray </AuditTrailEntry> ignored".into(),
+                        },
+                    }),
+                },
+                "ProcessInstance" => match instance.take() {
+                    Some(inst) => log.instances.push(inst),
+                    None => warnings.push(Warning {
+                        offset: Some(offset),
+                        trace: cur_trace,
+                        kind: WarningKind::Structure {
+                            message: "stray </ProcessInstance> ignored".into(),
+                        },
+                    }),
+                },
+                _ => {}
+            },
+            Token::Eof => {
+                if entry.is_some() || instance.is_some() {
+                    warnings.push(Warning {
+                        offset: Some(offset),
+                        trace: cur_trace,
+                        kind: WarningKind::Truncated,
+                    });
+                    if let (Some(e), Some(inst)) = (entry.take(), instance.as_mut()) {
+                        inst.entries.push(e);
+                    }
+                    if let Some(inst) = instance.take() {
+                        log.instances.push(inst);
+                    }
+                }
+                break;
+            }
+        }
+    }
+    if !saw_root {
+        warnings.push(Warning {
+            offset: None,
+            trace: None,
+            kind: WarningKind::Structure {
+                message: "MXML document has no <WorkflowLog> root".into(),
+            },
+        });
+    }
+    (log, warnings)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum MxmlText {
+    Element,
+    EventType,
+    Timestamp,
+    Originator,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(log: &EventLog) -> Vec<Vec<String>> {
+        log.traces()
+            .iter()
+            .map(|t| {
+                t.events()
+                    .iter()
+                    .map(|&e| log.name_of(e).to_owned())
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn clean_document_has_no_warnings() {
+        let xml = r#"<log><trace>
+            <event><string key="concept:name" value="a"/></event>
+            <event><string key="concept:name" value="b"/></event>
+        </trace></log>"#;
+        let r = parse_event_log_recovering(xml);
+        assert!(r.is_clean(), "{:?}", r.warnings);
+        assert_eq!(names(&r.log), vec![vec!["a".to_string(), "b".to_string()]]);
+    }
+
+    #[test]
+    fn truncated_document_commits_open_trace() {
+        let xml = r#"<log><trace>
+            <event><string key="concept:name" value="a"/></event>
+            <event><string key="concept:name" value="b"/>"#;
+        let r = parse_event_log_recovering(xml);
+        assert!(!r.is_clean());
+        assert!(r.warnings.iter().any(|w| w.kind == WarningKind::Truncated));
+        // The open event commits too (its name was already seen).
+        assert_eq!(names(&r.log), vec![vec!["a".to_string(), "b".to_string()]]);
+    }
+
+    #[test]
+    fn garbled_region_is_skipped_and_reported() {
+        let xml = r#"<log><trace>
+            <event><string key="concept:name" value="a"/></event>
+            <event><string key="concept:name" value=b0rken/></event>
+            <event><string key="concept:name" value="c"/></event>
+        </trace></log>"#;
+        let r = parse_event_log_recovering(xml);
+        assert!(r
+            .warnings
+            .iter()
+            .any(|w| matches!(w.kind, WarningKind::Syntax { .. })));
+        let flat: Vec<Vec<String>> = names(&r.log);
+        // "a" and "c" survive; the garbled event degrades but the trace lives.
+        assert!(flat[0].contains(&"a".to_string()));
+        assert!(flat[0].contains(&"c".to_string()));
+    }
+
+    #[test]
+    fn missing_trace_end_is_repaired() {
+        let xml = r#"<log>
+            <trace><event><string key="concept:name" value="a"/></event>
+            <trace><event><string key="concept:name" value="b"/></event></trace>
+        </log>"#;
+        let r = parse_event_log_recovering(xml);
+        assert!(!r.is_clean());
+        assert_eq!(
+            names(&r.log),
+            vec![vec!["a".to_string()], vec!["b".to_string()]]
+        );
+    }
+
+    #[test]
+    fn event_outside_trace_is_dropped_with_warning() {
+        let xml = r#"<log><event><string key="concept:name" value="x"/></event>
+            <trace><event><string key="concept:name" value="a"/></event></trace></log>"#;
+        let r = parse_event_log_recovering(xml);
+        assert!(!r.is_clean());
+        assert_eq!(names(&r.log), vec![vec!["a".to_string()]]);
+    }
+
+    #[test]
+    fn trace_without_log_header_opens_log_implicitly() {
+        let xml = r#"<trace><event><string key="concept:name" value="a"/></event></trace>"#;
+        let r = parse_event_log_recovering(xml);
+        assert!(!r.is_clean());
+        assert_eq!(names(&r.log), vec![vec!["a".to_string()]]);
+    }
+
+    #[test]
+    fn warning_carries_trace_index() {
+        let xml = r#"<log>
+            <trace><event><string key="concept:name" value="a"/></event></trace>
+            <trace><event><string key="concept:name" value=bad/></event></trace>
+        </log>"#;
+        let r = parse_event_log_recovering(xml);
+        let w = r
+            .warnings
+            .iter()
+            .find(|w| matches!(w.kind, WarningKind::Syntax { .. }))
+            .expect("syntax warning");
+        assert_eq!(w.trace, Some(1));
+        assert!(w.offset.is_some());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_log_plus_warning() {
+        let r = parse_event_log_recovering("");
+        assert_eq!(r.log.num_traces(), 0);
+        assert_eq!(r.warnings.len(), 1);
+    }
+
+    #[test]
+    fn pure_garbage_never_panics() {
+        for input in ["<<<<>>>>", "&&&;;;", "\u{0}\u{1}\u{2}", "<log a=", "</"] {
+            let r = parse_event_log_recovering(input);
+            assert_eq!(r.log.num_events(), 0);
+        }
+    }
+
+    #[test]
+    fn mxml_truncation_commits_partial_instance() {
+        let xml = r#"<WorkflowLog><Process><ProcessInstance id="c1">
+            <AuditTrailEntry><WorkflowModelElement>pay</WorkflowModelElement>
+            </AuditTrailEntry>
+            <AuditTrailEntry><WorkflowModelElement>ship</WorkflowModelElement>"#;
+        let (log, warnings) = parse_mxml_recovering(xml);
+        assert!(warnings.iter().any(|w| w.kind == WarningKind::Truncated));
+        assert_eq!(log.instances.len(), 1);
+        let entries: Vec<&str> = log.instances[0]
+            .entries
+            .iter()
+            .map(|e| e.element.as_str())
+            .collect();
+        assert_eq!(entries, vec!["pay", "ship"]);
+    }
+
+    #[test]
+    fn mxml_missing_root_is_reported_not_fatal() {
+        let xml = r#"<Process><ProcessInstance>
+            <AuditTrailEntry><WorkflowModelElement>a</WorkflowModelElement></AuditTrailEntry>
+        </ProcessInstance></Process>"#;
+        let (log, warnings) = parse_mxml_recovering(xml);
+        assert!(!warnings.is_empty());
+        assert_eq!(log.instances[0].entries[0].element, "a");
+    }
+
+    #[test]
+    fn recovery_matches_strict_on_clean_mxml() {
+        let xml = r#"<WorkflowLog><Process id="p"><ProcessInstance id="c">
+            <AuditTrailEntry><WorkflowModelElement>a</WorkflowModelElement>
+            <EventType>complete</EventType></AuditTrailEntry>
+        </ProcessInstance></Process></WorkflowLog>"#;
+        let strict = crate::mxml::parse_mxml(xml).unwrap();
+        let (recovered, warnings) = parse_mxml_recovering(xml);
+        assert!(warnings.is_empty());
+        assert_eq!(strict, recovered);
+    }
+
+    #[test]
+    fn warning_display_is_single_line() {
+        let r = parse_event_log_recovering("<log><trace>");
+        for w in &r.warnings {
+            let s = w.to_string();
+            assert!(!s.contains('\n'));
+            assert!(!s.is_empty());
+        }
+    }
+}

@@ -19,7 +19,10 @@ fn truncated_documents() {
         ("<log>", "unclosed root"),
         ("<log><trace>", "unclosed trace"),
         ("<log><trace><event>", "unclosed event"),
-        ("<log><trace><event><string key=\"a\" value=\"b\">", "unclosed attribute"),
+        (
+            "<log><trace><event><string key=\"a\" value=\"b\">",
+            "unclosed attribute",
+        ),
         ("<log><!-- comment that never ends", "unterminated comment"),
         ("<log><![CDATA[ stuck", "unterminated cdata"),
         ("<?xml version=\"1.0\"", "unterminated declaration"),
@@ -51,8 +54,14 @@ fn bad_typed_values() {
     for (input, note) in [
         (r#"<log><int key="k" value="3.5"/></log>"#, "float as int"),
         (r#"<log><int key="k" value=""/></log>"#, "empty int"),
-        (r#"<log><float key="k" value="1,5"/></log>"#, "comma decimal"),
-        (r#"<log><boolean key="k" value="yes"/></log>"#, "yes boolean"),
+        (
+            r#"<log><float key="k" value="1,5"/></log>"#,
+            "comma decimal",
+        ),
+        (
+            r#"<log><boolean key="k" value="yes"/></log>"#,
+            "yes boolean",
+        ),
     ] {
         assert_rejected(input, note);
     }
@@ -61,10 +70,22 @@ fn bad_typed_values() {
 #[test]
 fn bad_entities() {
     for (input, note) in [
-        (r#"<log><string key="k" value="&nbsp;"/></log>"#, "html entity"),
-        (r#"<log><string key="k" value="&#xZZ;"/></log>"#, "bad hex ref"),
-        (r#"<log><string key="k" value="&#2000000000;"/></log>"#, "out of range ref"),
-        (r#"<log><string key="k" value="&unterminated"/></log>"#, "unterminated entity"),
+        (
+            r#"<log><string key="k" value="&nbsp;"/></log>"#,
+            "html entity",
+        ),
+        (
+            r#"<log><string key="k" value="&#xZZ;"/></log>"#,
+            "bad hex ref",
+        ),
+        (
+            r#"<log><string key="k" value="&#2000000000;"/></log>"#,
+            "out of range ref",
+        ),
+        (
+            r#"<log><string key="k" value="&unterminated"/></log>"#,
+            "unterminated entity",
+        ),
     ] {
         assert_rejected(input, note);
     }
@@ -148,4 +169,194 @@ fn large_flat_document_parses() {
     let event_log = ems_xes::to_event_log(&log);
     assert_eq!(event_log.alphabet_size(), 7);
     assert_eq!(event_log.num_events(), 4000);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery mode: the same damage classes must yield partial logs + warnings.
+// ---------------------------------------------------------------------------
+
+use ems_xes::{load_event_log_str, ParseMode, WarningKind};
+
+/// Asserts that recovery mode accepts `input`, reports at least one warning,
+/// and salvages exactly `traces` traces.
+fn assert_recovered(input: &str, traces: usize, note: &str) {
+    let r = load_event_log_str(input, ParseMode::Recovery)
+        .unwrap_or_else(|e| panic!("recovery failed ({note}): {e}"));
+    assert!(!r.is_clean(), "no warnings for damaged input ({note})");
+    assert_eq!(
+        r.log.num_traces(),
+        traces,
+        "salvaged traces ({note}): {:?}",
+        r.warnings
+    );
+}
+
+const GOOD_TRACE: &str = r#"<trace><event><string key="concept:name" value="a"/></event></trace>"#;
+
+#[test]
+fn recovery_salvages_truncated_xes() {
+    // A good trace followed by damage: the good trace always survives.
+    // An open trace at EOF is committed as a partial trace (hence 2), while
+    // damage outside any trace leaves just the one good trace.
+    for (suffix, traces, note) in [
+        ("<trace><event>", 2, "truncated mid-trace"),
+        (
+            "<trace><event><string key=\"x\" value=\"y\">",
+            2,
+            "unclosed attribute",
+        ),
+        ("<!-- never closed", 1, "unterminated trailing comment"),
+        ("<![CDATA[ stuck", 1, "unterminated trailing cdata"),
+    ] {
+        let doc = format!("<log>{GOOD_TRACE}{suffix}");
+        assert_recovered(&doc, traces, note);
+    }
+    // Strict mode still rejects every one of them.
+    for suffix in ["<trace><event>", "<!-- never closed"] {
+        let doc = format!("<log>{GOOD_TRACE}{suffix}");
+        assert!(load_event_log_str(&doc, ParseMode::Strict).is_err());
+    }
+}
+
+#[test]
+fn recovery_repairs_mis_nesting() {
+    // Mis-nested closing tags: open elements are closed implicitly and the
+    // events seen so far are kept.
+    let doc = format!(
+        "<log>{GOOD_TRACE}\
+         <trace><event><string key=\"concept:name\" value=\"b\"/></event></log>"
+    );
+    let r = load_event_log_str(&doc, ParseMode::Recovery).unwrap();
+    assert_eq!(r.log.num_traces(), 2, "{:?}", r.warnings);
+    assert!(
+        r.warnings
+            .iter()
+            .any(|w| matches!(w.kind, WarningKind::TagMismatch { .. })),
+        "expected a tag-mismatch diagnostic: {:?}",
+        r.warnings
+    );
+    // Nested traces and events-outside-traces are structural repairs.
+    for (doc, note) in [
+        (
+            format!("<log><trace>{GOOD_TRACE}</trace></log>"),
+            "nested trace",
+        ),
+        (
+            format!("<log><event/>{GOOD_TRACE}</log>"),
+            "event outside trace",
+        ),
+    ] {
+        let r =
+            load_event_log_str(&doc, ParseMode::Recovery).unwrap_or_else(|e| panic!("{note}: {e}"));
+        assert!(!r.is_clean(), "{note} must warn");
+        assert!(r.log.num_traces() >= 1, "{note} salvages the good trace");
+    }
+}
+
+#[test]
+fn entity_definitions_are_never_expanded() {
+    // Billion-laughs shape: entity definitions are not supported, so the
+    // classic expansion bomb cannot detonate. Strict mode rejects the use of
+    // an undefined entity; recovery warns and moves on without expanding.
+    let mut doc = String::from("<!DOCTYPE log [\n");
+    doc.push_str("<!ENTITY lol \"lollollollollollollollollollol\">\n");
+    for i in 1..10 {
+        doc.push_str(&format!(
+            "<!ENTITY lol{i} \"&lol{};&lol{};&lol{};&lol{};&lol{};\">\n",
+            i - 1,
+            i - 1,
+            i - 1,
+            i - 1,
+            i - 1
+        ));
+    }
+    doc.push_str("]>\n<log><trace><event>");
+    doc.push_str("<string key=\"concept:name\" value=\"&lol9;\"/>");
+    doc.push_str("</event></trace></log>");
+
+    assert!(
+        load_event_log_str(&doc, ParseMode::Strict).is_err(),
+        "strict mode must reject undefined entity references"
+    );
+    let r = load_event_log_str(&doc, ParseMode::Recovery).unwrap();
+    assert!(!r.is_clean());
+    // Nothing was expanded: total salvaged text stays tiny.
+    for t in r.log.traces() {
+        assert!(t.len() <= 1);
+    }
+}
+
+#[test]
+fn encoding_damage_is_survivable() {
+    // Encoding-broken bytes reach the parser as U+FFFD replacement chars
+    // (files are read lossily in recovery pipelines). Damage inside markup is
+    // a syntax error; damage inside values is preserved as data.
+    let in_markup = format!("<log>{GOOD_TRACE}<tra\u{FFFD}ce><event/></trace></log>");
+    assert!(load_event_log_str(&in_markup, ParseMode::Strict).is_err());
+    let r = load_event_log_str(&in_markup, ParseMode::Recovery).unwrap();
+    assert!(!r.is_clean());
+    assert!(r.log.num_traces() >= 1);
+
+    let in_value =
+        "<log><trace><event><string key=\"concept:name\" value=\"a\u{FFFD}b\"/></event></trace></log>";
+    let r = load_event_log_str(in_value, ParseMode::Recovery).unwrap();
+    assert!(r.is_clean(), "data damage is not a parse error");
+    assert_eq!(r.log.num_traces(), 1);
+}
+
+#[test]
+fn mxml_recovery_salvages_partial_documents() {
+    let good = "<ProcessInstance><AuditTrailEntry>\
+                <WorkflowModelElement>A</WorkflowModelElement>\
+                <EventType>complete</EventType>\
+                </AuditTrailEntry></ProcessInstance>";
+    // A truncated open instance is committed as a partial trace; damage
+    // outside any instance leaves only the good one.
+    for (doc, traces, events, note) in [
+        (
+            format!("<WorkflowLog><Process>{good}<ProcessInstance><AuditTrailEntry>"),
+            2,
+            2,
+            "truncated mid-instance",
+        ),
+        (
+            format!("<WorkflowLog><Process>{good}</AuditTrailEntry></Process></WorkflowLog>"),
+            1,
+            1,
+            "stray entry close",
+        ),
+        (
+            "<WorkflowLog><Process><ProcessInstance><AuditTrailEntry>\
+             <WorkflowModelElement>A</WorkflowModelElement>\
+             <EventType>complete</EventType></AuditTrailEntry>\
+             <ProcessInstance/></ProcessInstance></Process></WorkflowLog>"
+                .to_string(),
+            2,
+            1,
+            "nested instance",
+        ),
+    ] {
+        let r =
+            load_event_log_str(&doc, ParseMode::Recovery).unwrap_or_else(|e| panic!("{note}: {e}"));
+        assert!(!r.is_clean(), "{note} must warn: {:?}", r.warnings);
+        assert_eq!(r.log.num_traces(), traces, "{note}: {:?}", r.warnings);
+        assert_eq!(r.log.num_events(), events, "{note}");
+    }
+    // Strict mode rejects the truncated variant with a typed error.
+    let doc = format!("<WorkflowLog><Process>{good}<ProcessInstance>");
+    assert!(load_event_log_str(&doc, ParseMode::Strict).is_err());
+}
+
+#[test]
+fn recovery_warnings_locate_the_damage() {
+    let doc = format!("<log>{GOOD_TRACE}<trace><event><<<</event></trace></log>");
+    let r = load_event_log_str(&doc, ParseMode::Recovery).unwrap();
+    assert!(!r.is_clean());
+    let w = &r.warnings[0];
+    assert!(
+        w.offset.is_some() || w.trace.is_some(),
+        "warning carries no location: {w:?}"
+    );
+    let rendered = w.to_string();
+    assert!(!rendered.is_empty());
 }

@@ -1,81 +1,102 @@
-//! Property tests: XES serialization round-trips arbitrary documents.
+//! Randomized property tests: XES serialization round-trips arbitrary
+//! documents. Driven by the deterministic `ems-rng` generator.
 
+use ems_rng::StdRng;
 use ems_xes::{parse_str, write_string, AttrValue, Attribute, XesEvent, XesLog, XesTrace};
-use proptest::prelude::*;
 
-fn arb_text() -> impl Strategy<Value = String> {
-    // Exercise the escaper: quotes, angle brackets, ampersands, unicode.
-    proptest::string::string_regex("[a-zA-Z0-9 <>&\"'?一-鿿]{0,16}").expect("valid regex")
+/// Text that exercises the escaper: quotes, angle brackets, ampersands,
+/// unicode.
+fn random_text(rng: &mut StdRng) -> String {
+    const CHARS: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '9', ' ', '<', '>', '&', '"', '\'', '?', '一', '事', '鿿',
+    ];
+    let len = rng.gen_range(0..=16usize);
+    (0..len)
+        .map(|_| CHARS[rng.gen_range(0..CHARS.len())])
+        .collect()
 }
 
-fn arb_value() -> impl Strategy<Value = AttrValue> {
-    prop_oneof![
-        arb_text().prop_map(AttrValue::String),
-        arb_text().prop_map(AttrValue::Date),
-        any::<i64>().prop_map(AttrValue::Int),
+fn random_value(rng: &mut StdRng) -> AttrValue {
+    match rng.gen_range(0..6u32) {
+        0 => AttrValue::String(random_text(rng)),
+        1 => AttrValue::Date(random_text(rng)),
+        2 => AttrValue::Int(rng.gen::<u64>() as i64),
         // Finite floats only: NaN breaks equality, infinities don't parse.
-        (-1e12f64..1e12).prop_map(AttrValue::Float),
-        any::<bool>().prop_map(AttrValue::Boolean),
-        arb_text().prop_map(AttrValue::Id),
-    ]
+        3 => AttrValue::Float(rng.gen_range(-1e12..1e12)),
+        4 => AttrValue::Boolean(rng.gen::<bool>()),
+        _ => AttrValue::Id(random_text(rng)),
+    }
 }
 
-fn arb_key() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-zA-Z][a-zA-Z0-9:_.-]{0,10}").expect("valid regex")
+fn random_key(rng: &mut StdRng) -> String {
+    const HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+    const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789:_.-";
+    let mut s = String::new();
+    s.push(HEAD[rng.gen_range(0..HEAD.len())] as char);
+    for _ in 0..rng.gen_range(0..=10usize) {
+        s.push(TAIL[rng.gen_range(0..TAIL.len())] as char);
+    }
+    s
 }
 
-fn arb_attribute() -> impl Strategy<Value = Attribute> {
+fn random_attribute(rng: &mut StdRng) -> Attribute {
     // One level of nesting is enough to exercise the recursive paths.
-    (arb_key(), arb_value(), prop::collection::vec((arb_key(), arb_value()), 0..3)).prop_map(
-        |(key, value, children)| Attribute {
-            key,
-            value,
-            children: children
-                .into_iter()
-                .map(|(key, value)| Attribute {
-                    key,
-                    value,
-                    children: vec![],
+    Attribute {
+        key: random_key(rng),
+        value: random_value(rng),
+        children: (0..rng.gen_range(0..3usize))
+            .map(|_| Attribute {
+                key: random_key(rng),
+                value: random_value(rng),
+                children: vec![],
+            })
+            .collect(),
+    }
+}
+
+fn random_xes_log(rng: &mut StdRng) -> XesLog {
+    let attrs = |rng: &mut StdRng, max: usize| -> Vec<Attribute> {
+        (0..rng.gen_range(0..max))
+            .map(|_| random_attribute(rng))
+            .collect()
+    };
+    let traces = (0..rng.gen_range(0..5usize))
+        .map(|_| {
+            let attributes = attrs(rng, 2);
+            let events = (0..rng.gen_range(0..5usize))
+                .map(|_| XesEvent {
+                    attributes: attrs(rng, 3),
                 })
-                .collect(),
-        },
-    )
-}
-
-fn arb_log() -> impl Strategy<Value = XesLog> {
-    let event = prop::collection::vec(arb_attribute(), 0..3)
-        .prop_map(|attributes| XesEvent { attributes });
-    let trace = (
-        prop::collection::vec(arb_attribute(), 0..2),
-        prop::collection::vec(event, 0..5),
-    )
-        .prop_map(|(attributes, events)| XesTrace { attributes, events });
-    (
-        prop::collection::vec(arb_attribute(), 0..2),
-        prop::collection::vec(trace, 0..5),
-    )
-        .prop_map(|(attributes, traces)| XesLog {
-            version: Some("2.0".into()),
-            attributes,
-            traces,
+                .collect();
+            XesTrace { attributes, events }
         })
+        .collect();
+    XesLog {
+        version: Some("2.0".into()),
+        attributes: attrs(rng, 2),
+        traces,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn write_parse_roundtrip(log in arb_log()) {
+#[test]
+fn write_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x7E51);
+    for _ in 0..64 {
+        let log = random_xes_log(&mut rng);
         let text = write_string(&log);
         let parsed = parse_str(&text).expect("own output must parse");
-        prop_assert_eq!(parsed, log);
+        assert_eq!(parsed, log);
     }
+}
 
-    #[test]
-    fn double_roundtrip_is_stable(log in arb_log()) {
+#[test]
+fn double_roundtrip_is_stable() {
+    let mut rng = StdRng::seed_from_u64(0x7E52);
+    for _ in 0..64 {
+        let log = random_xes_log(&mut rng);
         let once = write_string(&log);
         let twice = write_string(&parse_str(&once).unwrap());
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
 }
 

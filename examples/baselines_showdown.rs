@@ -89,7 +89,11 @@ fn main() {
     let (out, t) = Stopwatch::time(|| {
         Ems::new(EmsParams::structural().estimated(5)).match_graphs(&g1, &g2, &labels)
     });
-    add("EMS+es(I=5)", score_matrix(&out.similarity), t.as_secs_f64());
+    add(
+        "EMS+es(I=5)",
+        score_matrix(&out.similarity),
+        t.as_secs_f64(),
+    );
 
     let (sim, t) = Stopwatch::time(|| {
         Bhv::default().similarity_with_anchors(

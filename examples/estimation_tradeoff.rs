@@ -23,9 +23,8 @@ fn main() {
     })
     .generate();
 
-    let (exact, exact_time) = Stopwatch::time(|| {
-        Ems::new(EmsParams::structural()).match_logs(&pair.log1, &pair.log2)
-    });
+    let (exact, exact_time) =
+        Stopwatch::time(|| Ems::new(EmsParams::structural()).match_logs(&pair.log1, &pair.log2));
     println!(
         "exact:       max-iter fixpoint, {:7} formula evals, {:6.2} ms",
         exact.stats.formula_evals,

@@ -49,7 +49,11 @@ fn main() {
         outcome.merges.len()
     );
     for m in &outcome.merges {
-        println!("  accepted merge in log {}: {}", m.side, m.candidate.merged_name());
+        println!(
+            "  accepted merge in log {}: {}",
+            m.side,
+            m.candidate.merged_name()
+        );
     }
 
     let sim = &outcome.similarity;

@@ -40,7 +40,10 @@ fn main() {
     );
     print!("{:>10}", "");
     for j in 0..sim.cols() {
-        print!("{:>9}", l2.name_of(event_matching::events::EventId::from_index(j)));
+        print!(
+            "{:>9}",
+            l2.name_of(event_matching::events::EventId::from_index(j))
+        );
     }
     println!();
     for i in 0..sim.rows() {

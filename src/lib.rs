@@ -17,6 +17,7 @@ pub use ems_assignment as assignment;
 pub use ems_baselines as baselines;
 pub use ems_core as core;
 pub use ems_depgraph as depgraph;
+pub use ems_error as error;
 pub use ems_eval as eval;
 pub use ems_events as events;
 pub use ems_labels as labels;

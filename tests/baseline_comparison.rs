@@ -7,7 +7,7 @@ use event_matching::baselines::{Bhv, Ged, Opq};
 use event_matching::core::{Ems, EmsParams, SimMatrix};
 use event_matching::depgraph::DependencyGraph;
 use event_matching::eval::score;
-use event_matching::events::{EventId, EventLog};
+use event_matching::events::EventId;
 use event_matching::labels::LabelMatrix;
 use event_matching::synth::{Dislocation, LogPair, PairConfig, PairGenerator, TreeConfig};
 

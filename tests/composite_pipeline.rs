@@ -35,9 +35,7 @@ fn candidate_discovery_finds_the_fused_steps() {
     let (l1, _) = figure1_pair();
     let cands = discover_candidates(&l1, &CandidateConfig::default());
     assert!(
-        cands
-            .iter()
-            .any(|c| c.parts == ["check", "validate"]),
+        cands.iter().any(|c| c.parts == ["check", "validate"]),
         "candidates: {cands:?}"
     );
 }
@@ -88,10 +86,7 @@ fn expanded_correspondences_score_correctly() {
         .iter()
         .map(|c| {
             (
-                outcome
-                    .log1
-                    .name_of(EventId::from_index(c.left))
-                    .to_owned(),
+                outcome.log1.name_of(EventId::from_index(c.left)).to_owned(),
                 outcome
                     .log2
                     .name_of(EventId::from_index(c.right))

@@ -1,0 +1,204 @@
+//! Fault-injection harness: corrupts well-formed inputs and exhausts
+//! budgets, asserting that every library entry point either succeeds, or
+//! fails with a *typed* error — never a panic — and that recovery mode
+//! always returns a usable (possibly partial) result.
+
+use ems_rng::StdRng;
+use event_matching::core::{Budget, Ems, EmsParams};
+use event_matching::depgraph::DependencyGraph;
+use event_matching::error::EmsError;
+use event_matching::synth::{PairConfig, PairGenerator, TreeConfig};
+use event_matching::xes::{self, ParseMode};
+
+/// A small but structurally rich well-formed XES document.
+fn wellformed_xes(seed: u64) -> String {
+    let pair = PairGenerator::new(PairConfig {
+        tree: TreeConfig {
+            num_activities: 10,
+            seed,
+            max_branch: 4,
+            ..TreeConfig::default()
+        },
+        traces_per_log: 12,
+        seed: seed + 500,
+        opaque_fraction: 1.0,
+        ..PairConfig::default()
+    })
+    .generate();
+    xes::write_string(&xes::from_event_log(&pair.log1))
+}
+
+/// Applies one random byte-level corruption: overwrite, insert, delete, or
+/// truncate. Returns the corrupted document as a (lossy) string, the way a
+/// file with encoding damage would reach the parser.
+fn corrupt(doc: &str, rng: &mut StdRng) -> String {
+    let mut bytes = doc.as_bytes().to_vec();
+    if bytes.is_empty() {
+        return String::new();
+    }
+    let n_edits = rng.gen_range(1..8usize);
+    for _ in 0..n_edits {
+        if bytes.is_empty() {
+            break;
+        }
+        let pos = rng.gen_range(0..bytes.len());
+        match rng.gen_range(0..4u32) {
+            0 => bytes[pos] = (rng.next_u32() & 0xff) as u8,
+            1 => bytes.insert(pos, (rng.next_u32() & 0xff) as u8),
+            2 => {
+                bytes.remove(pos);
+            }
+            _ => bytes.truncate(pos),
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn random_byte_mutations_never_panic_and_strict_errors_are_typed() {
+    let doc = wellformed_xes(11);
+    let mut rng = StdRng::seed_from_u64(0xFA17);
+    for _ in 0..300 {
+        let broken = corrupt(&doc, &mut rng);
+        // Strict mode: parse or a typed error that converts into the
+        // workspace taxonomy with a stable nonzero exit code.
+        if let Err(e) = xes::load_event_log_str(&broken, ParseMode::Strict) {
+            let ems: EmsError = e.into();
+            assert!(ems.exit_code() >= 2, "exit code for {ems}");
+        }
+        // Recovery mode: always a (possibly empty) log, and whatever was
+        // salvaged feeds the rest of the pipeline without panicking.
+        let recovered = xes::load_event_log_str(&broken, ParseMode::Recovery)
+            .expect("recovery only fails on I/O");
+        let g = DependencyGraph::from_log(&recovered.log);
+        g.validate().expect("recovered log builds a valid graph");
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_is_handled() {
+    let doc = wellformed_xes(12);
+    let full = xes::load_event_log_str(&doc, ParseMode::Strict)
+        .expect("well-formed")
+        .log;
+    // Sample prefixes densely (every boundary on a small doc is O(n²) work).
+    let step = (doc.len() / 400).max(1);
+    for end in (0..doc.len()).step_by(step) {
+        if !doc.is_char_boundary(end) {
+            continue;
+        }
+        let prefix = &doc[..end];
+        let _ = xes::load_event_log_str(prefix, ParseMode::Strict);
+        let recovered = xes::load_event_log_str(prefix, ParseMode::Recovery).expect("recovery");
+        assert!(
+            recovered.log.num_traces() <= full.num_traces(),
+            "truncated prefix produced more traces than the full document"
+        );
+        if end < doc.len() {
+            assert!(
+                !recovered.warnings.is_empty()
+                    || recovered.log.num_traces() == 0
+                    || prefix.trim_end().ends_with("</trace>"),
+                "a strict prefix that lost data must warn (end={end})"
+            );
+        }
+    }
+}
+
+#[test]
+fn recovery_is_silent_and_identical_on_clean_input() {
+    for seed in [21, 22, 23] {
+        let doc = wellformed_xes(seed);
+        let strict = xes::load_event_log_str(&doc, ParseMode::Strict).unwrap();
+        let recovered = xes::load_event_log_str(&doc, ParseMode::Recovery).unwrap();
+        assert!(
+            recovered.is_clean(),
+            "warnings on clean input: {:?}",
+            recovered.warnings
+        );
+        assert_eq!(strict.log.num_traces(), recovered.log.num_traces());
+        assert_eq!(strict.log.num_events(), recovered.log.num_events());
+        assert_eq!(strict.log.alphabet_size(), recovered.log.alphabet_size());
+    }
+}
+
+#[test]
+fn exhausted_budget_still_returns_usable_degraded_result() {
+    let pair = PairGenerator::new(PairConfig {
+        tree: TreeConfig {
+            num_activities: 12,
+            seed: 31,
+            max_branch: 4,
+            ..TreeConfig::default()
+        },
+        traces_per_log: 40,
+        seed: 531,
+        opaque_fraction: 1.0,
+        ..PairConfig::default()
+    })
+    .generate();
+    let ems = Ems::new(EmsParams::structural());
+    let full = ems.match_logs(&pair.log1, &pair.log2);
+    for budget in [
+        Budget {
+            max_iterations: Some(0),
+            ..Default::default()
+        },
+        Budget {
+            max_formula_evals: Some(1),
+            ..Default::default()
+        },
+        Budget {
+            wall_clock: Some(std::time::Duration::ZERO),
+            ..Default::default()
+        },
+    ] {
+        let out = ems.match_logs_budgeted(&pair.log1, &pair.log2, &budget);
+        assert!(out.stats.degraded, "budget {budget:?} did not degrade");
+        assert_eq!(out.similarity.rows(), full.similarity.rows());
+        assert_eq!(out.similarity.cols(), full.similarity.cols());
+        for (_, _, v) in out.similarity.iter() {
+            assert!((0.0..=1.0).contains(&v), "out-of-range similarity {v}");
+        }
+        // The degraded matrix supports correspondence selection.
+        let cs = event_matching::assignment::max_total_assignment(
+            out.similarity.rows(),
+            out.similarity.cols(),
+            |i, j| out.similarity.get(i, j),
+            0.0,
+        );
+        assert!(!cs.is_empty());
+    }
+    assert!(!full.stats.degraded);
+}
+
+#[test]
+fn corrupt_numeric_inputs_yield_typed_errors_with_distinct_codes() {
+    // Graph layer: NaN frequency.
+    let g_err = DependencyGraph::try_from_parts(
+        vec!["a".into(), "b".into()],
+        vec![f64::NAN, 1.0],
+        &[(0, 1, 0.5)],
+    )
+    .unwrap_err();
+    // Core layer: invalid parameters.
+    let bad = EmsParams {
+        c: f64::NAN,
+        ..EmsParams::default()
+    };
+    let p_err = Ems::try_new(bad).unwrap_err();
+    // Assignment layer: non-finite weight.
+    let a_err =
+        event_matching::assignment::try_hungarian_max(1, 1, |_, _| f64::INFINITY).unwrap_err();
+    let codes: Vec<u8> = [
+        EmsError::from(g_err).exit_code(),
+        EmsError::from(p_err).exit_code(),
+        EmsError::from(a_err).exit_code(),
+    ]
+    .into();
+    let mut dedup = codes.clone();
+    dedup.sort_unstable();
+    dedup.dedup();
+    assert_eq!(dedup.len(), codes.len(), "colliding exit codes {codes:?}");
+    assert!(codes.iter().all(|&c| c >= 2));
+}

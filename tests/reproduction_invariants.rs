@@ -15,7 +15,12 @@ fn method_runs_are_deterministic() {
         ..Workload::default()
     };
     let pairs = dislocation_pairs(Testbed::DsB, &w);
-    for method in [Method::Ems, Method::EmsEstimated(5), Method::Ged, Method::Bhv] {
+    for method in [
+        Method::Ems,
+        Method::EmsEstimated(5),
+        Method::Ged,
+        Method::Bhv,
+    ] {
         let a = run_method(method, &pairs[0], 1.0);
         let b = run_method(method, &pairs[0], 1.0);
         assert_eq!(a.found, b.found, "{} nondeterministic", method.name());

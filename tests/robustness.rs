@@ -5,9 +5,7 @@ use event_matching::assignment::max_total_assignment;
 use event_matching::core::{Ems, EmsParams};
 use event_matching::eval::score;
 use event_matching::events::EventId;
-use event_matching::synth::{
-    apply_noise, NoiseConfig, PairConfig, PairGenerator, TreeConfig,
-};
+use event_matching::synth::{apply_noise, NoiseConfig, PairConfig, PairGenerator, TreeConfig};
 use event_matching::xes::mxml;
 
 fn pair(seed: u64) -> event_matching::synth::LogPair {
