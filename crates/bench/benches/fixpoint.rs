@@ -1,0 +1,61 @@
+//! Microbenchmarks of the fixpoint kernels: the seed reference
+//! implementation vs the precomputed worklist kernel, serial and parallel,
+//! at three problem sizes. Uses the std-only `microbench` runner.
+//!
+//! The iteration count is pinned (`max_iterations`, tiny `epsilon` so the
+//! cap always binds) so every variant does the same number of rounds and
+//! the comparison measures per-iteration throughput, not convergence luck.
+
+use ems_bench::microbench::{bench, group};
+use ems_core::engine::{Engine, RunOptions};
+use ems_core::{Direction, EmsParams};
+use ems_depgraph::DependencyGraph;
+use ems_labels::LabelMatrix;
+use ems_synth::{PairConfig, PairGenerator, TreeConfig};
+
+fn pair(activities: usize) -> (ems_events::EventLog, ems_events::EventLog) {
+    let p = PairGenerator::new(PairConfig {
+        tree: TreeConfig {
+            num_activities: activities,
+            seed: 7,
+            max_branch: (activities / 4).max(4),
+            ..TreeConfig::default()
+        },
+        traces_per_log: 60,
+        seed: 17,
+        xor_jitter: 0.25,
+        ..PairConfig::default()
+    })
+    .generate();
+    (p.log1, p.log2)
+}
+
+fn main() {
+    group("fixpoint");
+    for &n in &[50usize, 200, 800] {
+        let (l1, l2) = pair(n);
+        let g1 = DependencyGraph::from_log(&l1);
+        let g2 = DependencyGraph::from_log(&l2);
+        let labels = LabelMatrix::zeros(g1.num_real(), g2.num_real());
+        let mut params = EmsParams::structural();
+        params.max_iterations = 6;
+        params.epsilon = 1e-15;
+        let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+
+        bench(&format!("reference/{n}"), || {
+            engine.run_reference(&RunOptions::default());
+        });
+        bench(&format!("precomputed_serial/{n}"), || {
+            engine.run(&RunOptions {
+                threads: Some(1),
+                ..RunOptions::default()
+            });
+        });
+        bench(&format!("precomputed_parallel/{n}"), || {
+            engine.run(&RunOptions {
+                threads: Some(0), // all available cores
+                ..RunOptions::default()
+            });
+        });
+    }
+}

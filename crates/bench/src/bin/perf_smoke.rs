@@ -1,0 +1,190 @@
+//! CI perf smoke: times the seed reference kernel against the precomputed
+//! worklist kernel (serial and parallel) on synthetic log pairs and writes
+//! the results as `BENCH_pr2.json` (path overridable via the first CLI
+//! argument). Intended to catch large kernel regressions, not to be a
+//! rigorous benchmark — each configuration is timed best-of-N wall clock.
+
+use ems_core::engine::{Engine, RunOptions, RunOutput};
+use ems_core::{Direction, EmsParams};
+use ems_depgraph::DependencyGraph;
+use ems_labels::LabelMatrix;
+use ems_synth::{PairConfig, PairGenerator, TreeConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const SIZES: &[usize] = &[50, 200, 800];
+
+fn pair(activities: usize) -> (ems_events::EventLog, ems_events::EventLog) {
+    let p = PairGenerator::new(PairConfig {
+        tree: TreeConfig {
+            num_activities: activities,
+            seed: 7,
+            max_branch: (activities / 4).max(4),
+            ..TreeConfig::default()
+        },
+        traces_per_log: 60,
+        seed: 17,
+        xor_jitter: 0.25,
+        ..PairConfig::default()
+    })
+    .generate();
+    (p.log1, p.log2)
+}
+
+/// Best-of-`rounds` wall-clock milliseconds for each of the three kernel
+/// variants, plus each variant's last output. One warm-up run, then the
+/// variants are timed *interleaved* — reference, serial, parallel within
+/// every round — so slow drifts in shared-machine load hit all three
+/// equally instead of skewing whichever happened to run last.
+fn time_round_robin(
+    rounds: usize,
+    fns: [&mut dyn FnMut() -> RunOutput; 3],
+) -> ([f64; 3], [RunOutput; 3]) {
+    let [f0, f1, f2] = fns;
+    let mut best = [f64::INFINITY; 3];
+    let mut outs = [f0(), f1(), f2()];
+    for _ in 0..rounds {
+        for (i, f) in [&mut *f0, &mut *f1, &mut *f2].into_iter().enumerate() {
+            let start = Instant::now();
+            outs[i] = f();
+            best[i] = best[i].min(start.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+    (best, outs)
+}
+
+struct SizeReport {
+    n: usize,
+    pairs: usize,
+    iterations: usize,
+    formula_evals: u64,
+    setup_ms: f64,
+    reference_ms: f64,
+    serial_ms: f64,
+    parallel_ms: f64,
+}
+
+impl SizeReport {
+    fn pairs_per_sec(&self, wall_ms: f64) -> f64 {
+        if wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.formula_evals as f64 / (wall_ms / 1e3)
+        }
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr2.json".to_owned());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut reports = Vec::new();
+    for &n in SIZES {
+        let (l1, l2) = pair(n);
+        let g1 = DependencyGraph::from_log(&l1);
+        let g2 = DependencyGraph::from_log(&l2);
+        let labels = LabelMatrix::zeros(g1.num_real(), g2.num_real());
+        let mut params = EmsParams::structural();
+        // Pin the round count so every kernel does identical work.
+        params.max_iterations = 6;
+        params.epsilon = 1e-15;
+        let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+        let rounds = if n >= 800 { 3 } else { 5 };
+
+        let serial_opts = RunOptions {
+            threads: Some(1),
+            ..RunOptions::default()
+        };
+        let parallel_opts = RunOptions {
+            threads: Some(0),
+            ..RunOptions::default()
+        };
+        let ([reference_ms, serial_ms, parallel_ms], [ref_out, serial_out, parallel_out]) =
+            time_round_robin(
+                rounds,
+                [
+                    &mut || engine.run_reference(&RunOptions::default()),
+                    &mut || engine.run(&serial_opts),
+                    &mut || engine.run(&parallel_opts),
+                ],
+            );
+
+        // Smoke-check the equivalence contract while we are here.
+        assert_eq!(ref_out.sim.data(), serial_out.sim.data());
+        assert_eq!(serial_out.sim.data(), parallel_out.sim.data());
+        assert_eq!(ref_out.stats.iterations, parallel_out.stats.iterations);
+
+        let report = SizeReport {
+            n,
+            pairs: g1.num_real() * g2.num_real(),
+            iterations: serial_out.stats.iterations,
+            formula_evals: serial_out.stats.formula_evals,
+            setup_ms: serial_out.stats.phase_times.setup.as_secs_f64() * 1e3,
+            reference_ms,
+            serial_ms,
+            parallel_ms,
+        };
+        eprintln!(
+            "n={n}: reference {reference_ms:.1} ms, serial {serial_ms:.1} ms \
+             ({:.2}x), parallel {parallel_ms:.1} ms ({:.2}x, {threads} threads)",
+            reference_ms / serial_ms,
+            reference_ms / parallel_ms,
+        );
+        reports.push(report);
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"pr2_fixpoint_kernel\",\n");
+    let _ = writeln!(json, "  \"parallel_threads\": {threads},");
+    json.push_str("  \"sizes\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"n\": {},", r.n);
+        let _ = writeln!(json, "      \"pairs\": {},", r.pairs);
+        let _ = writeln!(json, "      \"iterations\": {},", r.iterations);
+        let _ = writeln!(json, "      \"formula_evals\": {},", r.formula_evals);
+        let _ = writeln!(json, "      \"setup_ms\": {:.3},", r.setup_ms);
+        let _ = writeln!(json, "      \"reference_wall_ms\": {:.3},", r.reference_ms);
+        let _ = writeln!(json, "      \"serial_wall_ms\": {:.3},", r.serial_ms);
+        let _ = writeln!(json, "      \"parallel_wall_ms\": {:.3},", r.parallel_ms);
+        let _ = writeln!(
+            json,
+            "      \"reference_pairs_per_sec\": {:.0},",
+            r.pairs_per_sec(r.reference_ms)
+        );
+        let _ = writeln!(
+            json,
+            "      \"serial_pairs_per_sec\": {:.0},",
+            r.pairs_per_sec(r.serial_ms)
+        );
+        let _ = writeln!(
+            json,
+            "      \"parallel_pairs_per_sec\": {:.0},",
+            r.pairs_per_sec(r.parallel_ms)
+        );
+        let _ = writeln!(
+            json,
+            "      \"speedup_serial_vs_reference\": {:.2},",
+            r.reference_ms / r.serial_ms
+        );
+        let _ = writeln!(
+            json,
+            "      \"speedup_parallel_vs_reference\": {:.2}",
+            r.reference_ms / r.parallel_ms
+        );
+        json.push_str(if i + 1 == reports.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("perf_smoke: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

@@ -31,6 +31,9 @@ MATCH OPTIONS:
                     run degrades gracefully to closed-form estimation.
                     SPEC is comma-separated limits: iters=<N>, evals=<N>,
                     ms=<N> (e.g. --budget iters=5,ms=2000)
+  --threads <N>     worker threads for the fixpoint iteration; 0 = all
+                    available cores (default), 1 = serial. Results are
+                    bit-identical for every value
   --quiet           print only the correspondence lines
 
 COMPARE OPTIONS:
@@ -83,6 +86,7 @@ pub struct MatchArgs {
     pub csv: Option<String>,
     pub recover: bool,
     pub budget: Option<Budget>,
+    pub threads: usize,
     pub quiet: bool,
 }
 
@@ -240,6 +244,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 csv: None,
                 recover: false,
                 budget: None,
+                threads: 0,
                 quiet: false,
             };
             let rest: Vec<&String> = it.collect();
@@ -269,6 +274,11 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     "--composites" => args.composites = true,
                     "--recover" => args.recover = true,
                     "--budget" => args.budget = Some(parse_budget(value("--budget")?)?),
+                    "--threads" => {
+                        args.threads = value("--threads")?
+                            .parse()
+                            .map_err(|_| "--threads needs a non-negative integer".to_owned())?
+                    }
                     "--quiet" => args.quiet = true,
                     other => return Err(format!("unknown option `{other}`")),
                 }
@@ -350,6 +360,8 @@ mod tests {
             "--composites",
             "--csv",
             "out.csv",
+            "--threads",
+            "4",
         ]))
         .unwrap();
         match cmd {
@@ -359,9 +371,17 @@ mod tests {
                 assert_eq!(m.estimate, Some(5));
                 assert!(m.composites);
                 assert_eq!(m.csv.as_deref(), Some("out.csv"));
+                assert_eq!(m.threads, 4);
             }
             c => panic!("unexpected {c:?}"),
         }
+        // Default is 0 (all available cores); bad values are usage errors.
+        match parse(&sv(&["match", "a.xes", "b.xes"])).unwrap() {
+            Command::Match(m) => assert_eq!(m.threads, 0),
+            c => panic!("unexpected {c:?}"),
+        }
+        assert!(parse(&sv(&["match", "a", "b", "--threads", "-1"])).is_err());
+        assert!(parse(&sv(&["match", "a", "b", "--threads"])).is_err());
     }
 
     #[test]

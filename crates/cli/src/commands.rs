@@ -113,6 +113,7 @@ fn do_match(args: &MatchArgs) -> Result<(), EmsError> {
     let mut params = EmsParams {
         alpha: args.alpha,
         c: args.c,
+        threads: args.threads,
         ..EmsParams::default()
     };
     if let Some(i) = args.estimate {
@@ -246,6 +247,7 @@ mod tests {
             csv: Some(dir.join("out.csv").to_string_lossy().into_owned()),
             recover: false,
             budget: None,
+            threads: 0,
             quiet: true,
         };
         do_match(&args).unwrap();
@@ -271,6 +273,7 @@ mod tests {
             csv: None,
             recover: false,
             budget: None,
+            threads: 0,
             quiet: true,
         };
         do_match(&args).unwrap();
@@ -312,6 +315,7 @@ mod tests {
                 max_iterations: Some(1),
                 ..Default::default()
             }),
+            threads: 0,
             quiet: true,
         };
         let err = do_match(&args).unwrap_err();

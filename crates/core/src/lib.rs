@@ -54,11 +54,13 @@ pub mod diagnostics;
 pub mod engine;
 mod error;
 pub mod estimate;
+mod kernel;
 mod matcher;
+pub mod numeric;
 mod params;
 mod sim;
 
-pub use engine::{Budget, RunOptions, RunStats};
+pub use engine::{Budget, PhaseTimes, RunOptions, RunStats};
 pub use error::CoreError;
 pub use matcher::{Ems, MatchOutcome};
 pub use params::{Aggregation, Direction, EmsParams};

@@ -1,0 +1,107 @@
+//! Compensated floating-point summation.
+//!
+//! The objective `avg(S)` (Problem 1) and the upper-bound abort test
+//! (Section 4.3) sum up to `|V1|·|V2|` doubles. Naive left-to-right
+//! accumulation drifts by `O(n·ulp)` — at a million pairs that is enough
+//! to flip threshold comparisons near the decision boundary. This module
+//! provides Neumaier's improved Kahan–Babuška summation: a running
+//! compensation term captures the low-order bits each add loses, bringing
+//! the error down to `O(ulp)` independent of length, at the cost of a few
+//! extra flops per element.
+
+/// A streaming Neumaier (improved Kahan–Babuška) accumulator.
+///
+/// ```
+/// use ems_core::numeric::NeumaierSum;
+/// let mut acc = NeumaierSum::new();
+/// for _ in 0..1_000_000 {
+///     acc.add(0.1);
+/// }
+/// assert!((acc.value() - 100_000.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeumaierSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl NeumaierSum {
+    /// A zeroed accumulator.
+    pub fn new() -> Self {
+        NeumaierSum::default()
+    }
+
+    /// Adds one term.
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        // Whichever operand is larger in magnitude determines which low
+        // bits were lost; recover them into the compensation.
+        if self.sum.abs() >= x.abs() {
+            self.compensation += (self.sum - t) + x;
+        } else {
+            self.compensation += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated total.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+/// Compensated sum of an iterator of terms.
+pub fn compensated_sum<I: IntoIterator<Item = f64>>(terms: I) -> f64 {
+    let mut acc = NeumaierSum::new();
+    for x in terms {
+        acc.add(x);
+    }
+    acc.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_exact_sum_on_small_inputs() {
+        assert_eq!(compensated_sum([1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(compensated_sum(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn recovers_catastrophic_cancellation() {
+        // Naive summation loses the 1.0 entirely: 1e100 + 1 - 1e100 = 0.
+        assert_eq!(compensated_sum([1e100, 1.0, -1e100]), 1.0);
+    }
+
+    #[test]
+    fn million_tenths_within_1e12() {
+        let total = compensated_sum(std::iter::repeat_n(0.1, 1_000_000));
+        assert!((total - 100_000.0).abs() < 1e-12, "total = {total}");
+        // The naive sum demonstrably drifts beyond that tolerance.
+        let naive: f64 = std::iter::repeat_n(0.1, 1_000_000).sum();
+        assert!((naive - 100_000.0).abs() > 1e-12, "naive = {naive}");
+    }
+
+    #[test]
+    fn random_magnitude_mix_close_to_sorted_reference() {
+        use ems_rng::StdRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        let values: Vec<f64> = (0..50_000)
+            .map(|_| {
+                let mag = 10f64.powi(rng.gen_range(-8..9));
+                (rng.gen::<f64>() - 0.5) * mag
+            })
+            .collect();
+        // Reference: sum by ascending magnitude, itself compensated.
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.abs().total_cmp(&b.abs()));
+        let reference = compensated_sum(sorted.iter().copied());
+        let ours = compensated_sum(values.iter().copied());
+        let tolerance = 1e-9 * values.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        assert!((ours - reference).abs() <= tolerance);
+    }
+}

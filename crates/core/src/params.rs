@@ -76,6 +76,11 @@ pub struct EmsParams {
     pub estimate_after: Option<usize>,
     /// How forward and backward similarities are aggregated (Section 3.6).
     pub aggregation: Aggregation,
+    /// Worker threads for the fixpoint iteration: `0` uses all available
+    /// parallelism, `1` forces the exact serial path. Results are
+    /// bit-identical for every value — the knob trades wall-clock time
+    /// only. Overridable per run via `RunOptions::threads`.
+    pub threads: usize,
 }
 
 impl EmsParams {
@@ -105,6 +110,12 @@ impl EmsParams {
     /// Disables early-convergence pruning (for the Figure 6 ablation).
     pub fn without_pruning(mut self) -> Self {
         self.pruning = false;
+        self
+    }
+
+    /// Sets the worker-thread knob (`0` = all available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -138,6 +149,7 @@ impl Default for EmsParams {
             pruning: true,
             estimate_after: None,
             aggregation: Aggregation::Average,
+            threads: 0,
         }
     }
 }
@@ -158,10 +170,15 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let p = EmsParams::with_labels(0.5).estimated(5).without_pruning();
+        let p = EmsParams::with_labels(0.5)
+            .estimated(5)
+            .without_pruning()
+            .with_threads(2);
         assert_eq!(p.alpha, 0.5);
         assert_eq!(p.estimate_after, Some(5));
         assert!(!p.pruning);
+        assert_eq!(p.threads, 2);
+        assert_eq!(EmsParams::default().threads, 0);
     }
 
     #[test]

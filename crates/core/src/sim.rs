@@ -62,14 +62,23 @@ impl SimMatrix {
         &self.data
     }
 
+    /// Mutable raw row-major data — the engine's scatter path writes
+    /// worklist results through this.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Average over all pairs — the `avg(S)` objective of Problem 1.
+    ///
+    /// Uses compensated (Neumaier) summation so the result stays within
+    /// `O(ulp)` of the exact mean regardless of matrix size.
     ///
     /// Returns 0 for an empty matrix.
     pub fn average(&self) -> f64 {
         if self.data.is_empty() {
             0.0
         } else {
-            self.data.iter().sum::<f64>() / self.data.len() as f64
+            crate::numeric::compensated_sum(self.data.iter().copied()) / self.data.len() as f64
         }
     }
 
@@ -135,6 +144,21 @@ mod tests {
         let m = SimMatrix::from_raw(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
         assert_eq!(m.average(), 0.5);
         assert_eq!(SimMatrix::zeros(0, 5).average(), 0.0);
+    }
+
+    /// Satellite property: averaging a million entries of 0.1 is exact to
+    /// 1e-12 — naive accumulation drifts well past that.
+    #[test]
+    fn average_is_compensated_at_scale() {
+        let m = SimMatrix::from_raw(1000, 1000, vec![0.1; 1_000_000]);
+        assert!((m.average() - 0.1).abs() < 1e-12, "avg = {}", m.average());
+    }
+
+    #[test]
+    fn data_mut_writes_through() {
+        let mut m = SimMatrix::zeros(2, 2);
+        m.data_mut()[3] = 0.7;
+        assert_eq!(m.get(1, 1), 0.7);
     }
 
     #[test]

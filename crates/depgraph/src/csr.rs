@@ -1,0 +1,215 @@
+//! Flat CSR export of the neighbor structure, consumed by the similarity
+//! kernel's precomputation (`PairContext` in `ems-core`).
+//!
+//! The nested `Vec<Vec<(NodeId, f64)>>` adjacency is ideal for graph
+//! construction and mutation, but the fixpoint kernel scans every pre-set
+//! (or post-set) of every *real* node millions of times per run. This
+//! module flattens those lists once into contiguous arrays:
+//!
+//! * **entries** — the neighbor list of each real node in its original
+//!   order, where each entry is either a *lane* id (a real-source edge) or
+//!   the sentinel [`ARTIFICIAL_ENTRY`] for the artificial event `v^X`;
+//! * **lanes** — real-source edges numbered densely in CSR order, so the
+//!   lanes of one node form a contiguous range and a per-edge-pair
+//!   compatibility table can be indexed `lane1 * num_lanes2 + lane2` with a
+//!   contiguous inner stride;
+//! * **artificial frequencies** — the edge frequency of each node's
+//!   `v^X` neighbor (`NaN` when absent), kept out of the lanes because the
+//!   artificial event's similarity is pinned and never read from a matrix.
+//!
+//! Only the neighbor lists of *real* nodes are exported: similarity pairs
+//! range over real events, so the artificial node's own pre/post-sets are
+//! never an outer or inner set.
+
+use crate::graph::{DependencyGraph, NodeId};
+use std::ops::Range;
+
+/// Sentinel entry marking the artificial event `v^X` in a neighbor list.
+pub const ARTIFICIAL_ENTRY: u32 = u32::MAX;
+
+/// A flattened, direction-resolved neighbor structure over the real nodes
+/// of one [`DependencyGraph`] — see the [module docs](self) for the layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NeighborCsr {
+    /// Entry ranges per real node (`len = num_nodes + 1`).
+    off: Vec<u32>,
+    /// Per entry: lane id of a real-source edge, or [`ARTIFICIAL_ENTRY`].
+    ent_lane: Vec<u32>,
+    /// Lane ranges per real node (`len = num_nodes + 1`).
+    lane_off: Vec<u32>,
+    /// Per lane: the neighbor's node index.
+    lane_src: Vec<u32>,
+    /// Per lane: the edge's normalized frequency.
+    lane_freq: Vec<f64>,
+    /// Per real node: frequency of the artificial neighbor edge, `NaN`
+    /// when the node has no artificial neighbor (zero-frequency events).
+    art_freq: Vec<f64>,
+}
+
+impl NeighborCsr {
+    fn build<'g>(
+        g: &'g DependencyGraph,
+        neighbors: impl Fn(NodeId) -> &'g [(NodeId, f64)],
+    ) -> Self {
+        let n = g.num_real();
+        let mut off = Vec::with_capacity(n + 1);
+        let mut lane_off = Vec::with_capacity(n + 1);
+        let mut ent_lane = Vec::new();
+        let mut lane_src = Vec::new();
+        let mut lane_freq = Vec::new();
+        let mut art_freq = vec![f64::NAN; n];
+        off.push(0);
+        lane_off.push(0);
+        for (v, af) in art_freq.iter_mut().enumerate() {
+            for &(u, f) in neighbors(NodeId::from_index(v)) {
+                if g.is_artificial(u) {
+                    ent_lane.push(ARTIFICIAL_ENTRY);
+                    *af = f;
+                } else {
+                    ent_lane.push(lane_src.len() as u32);
+                    lane_src.push(u.0);
+                    lane_freq.push(f);
+                }
+            }
+            off.push(ent_lane.len() as u32);
+            lane_off.push(lane_src.len() as u32);
+        }
+        NeighborCsr {
+            off,
+            ent_lane,
+            lane_off,
+            lane_src,
+            lane_freq,
+            art_freq,
+        }
+    }
+
+    /// Number of real nodes covered.
+    pub fn num_nodes(&self) -> usize {
+        self.art_freq.len()
+    }
+
+    /// Total number of lanes (real-source edges) across all nodes.
+    pub fn num_lanes(&self) -> usize {
+        self.lane_src.len()
+    }
+
+    /// The neighbor entries of real node `v`, in original adjacency order:
+    /// lane ids, with [`ARTIFICIAL_ENTRY`] marking the artificial neighbor.
+    pub fn entries(&self, v: usize) -> &[u32] {
+        &self.ent_lane[self.off[v] as usize..self.off[v + 1] as usize]
+    }
+
+    /// The contiguous lane range of real node `v`.
+    pub fn lane_range(&self, v: usize) -> Range<usize> {
+        self.lane_off[v] as usize..self.lane_off[v + 1] as usize
+    }
+
+    /// Neighbor node index per lane.
+    pub fn lane_src(&self) -> &[u32] {
+        &self.lane_src
+    }
+
+    /// Edge frequency per lane.
+    pub fn lane_freq(&self) -> &[f64] {
+        &self.lane_freq
+    }
+
+    /// Frequency of `v`'s artificial neighbor edge; `NaN` when absent.
+    pub fn art_freq(&self, v: usize) -> f64 {
+        self.art_freq[v]
+    }
+}
+
+impl DependencyGraph {
+    /// Flattens the pre-sets of all real nodes into a [`NeighborCsr`]
+    /// (the forward-similarity substrate).
+    pub fn pre_csr(&self) -> NeighborCsr {
+        NeighborCsr::build(self, |v| self.pre(v))
+    }
+
+    /// Flattens the post-sets of all real nodes into a [`NeighborCsr`]
+    /// (the backward-similarity substrate).
+    pub fn post_csr(&self) -> NeighborCsr {
+        NeighborCsr::build(self, |v| self.post(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ems_events::EventLog;
+
+    fn sample_graph() -> DependencyGraph {
+        let mut log = EventLog::new();
+        log.push_trace(["A", "C", "D"]);
+        log.push_trace(["B", "C", "D"]);
+        DependencyGraph::from_log(&log)
+    }
+
+    #[test]
+    fn csr_mirrors_adjacency_in_order() {
+        let g = sample_graph();
+        let csr = g.pre_csr();
+        assert_eq!(csr.num_nodes(), g.num_real());
+        for v in 0..g.num_real() {
+            let adj = g.pre(NodeId::from_index(v));
+            let ents = csr.entries(v);
+            assert_eq!(ents.len(), adj.len());
+            let mut lane_cursor = csr.lane_range(v).start;
+            for (&(u, f), &e) in adj.iter().zip(ents) {
+                if g.is_artificial(u) {
+                    assert_eq!(e, ARTIFICIAL_ENTRY);
+                    assert_eq!(csr.art_freq(v), f);
+                } else {
+                    assert_eq!(e as usize, lane_cursor);
+                    assert_eq!(csr.lane_src()[e as usize] as usize, u.index());
+                    assert_eq!(csr.lane_freq()[e as usize], f);
+                    lane_cursor += 1;
+                }
+            }
+            assert_eq!(lane_cursor, csr.lane_range(v).end);
+        }
+    }
+
+    #[test]
+    fn post_csr_covers_out_edges() {
+        let g = sample_graph();
+        let csr = g.post_csr();
+        let total_real: usize = (0..g.num_real())
+            .map(|v| {
+                g.post(NodeId::from_index(v))
+                    .iter()
+                    .filter(|&&(u, _)| !g.is_artificial(u))
+                    .count()
+            })
+            .sum();
+        assert_eq!(csr.num_lanes(), total_real);
+    }
+
+    #[test]
+    fn zero_frequency_node_has_no_artificial_entry() {
+        let mut log = EventLog::new();
+        let _ghost = log.intern("ghost");
+        log.push_trace(["a"]);
+        let g = DependencyGraph::from_log(&log);
+        let ghost = g.node_by_name("ghost").unwrap().index();
+        let csr = g.pre_csr();
+        assert!(csr.entries(ghost).is_empty());
+        assert!(csr.art_freq(ghost).is_nan());
+        assert!(csr.lane_range(ghost).is_empty());
+    }
+
+    #[test]
+    fn lanes_are_contiguous_per_node() {
+        let g = sample_graph();
+        let csr = g.pre_csr();
+        let mut seen = 0usize;
+        for v in 0..csr.num_nodes() {
+            let r = csr.lane_range(v);
+            assert_eq!(r.start, seen);
+            seen = r.end;
+        }
+        assert_eq!(seen, csr.num_lanes());
+    }
+}

@@ -46,6 +46,7 @@
 )]
 
 mod ancestors;
+mod csr;
 mod dot;
 mod error;
 mod filter;
@@ -54,6 +55,7 @@ mod longest;
 mod metrics;
 
 pub use ancestors::{ancestor_sets, descendant_sets};
+pub use csr::{NeighborCsr, ARTIFICIAL_ENTRY};
 pub use dot::to_dot;
 pub use error::GraphError;
 pub use filter::filter_min_frequency;

@@ -130,5 +130,11 @@ fn matching_is_deterministic() {
     let a = Ems::new(EmsParams::structural()).match_logs(&pair.log1, &pair.log2);
     let b = Ems::new(EmsParams::structural()).match_logs(&pair.log1, &pair.log2);
     assert_eq!(a.similarity.data(), b.similarity.data());
-    assert_eq!(a.stats, b.stats);
+    // Wall-clock phase times legitimately differ between runs; every
+    // work counter must not.
+    let mut sa = a.stats.clone();
+    let mut sb = b.stats.clone();
+    sa.phase_times = Default::default();
+    sb.phase_times = Default::default();
+    assert_eq!(sa, sb);
 }
