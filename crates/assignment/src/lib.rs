@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Correspondence selection from pairwise similarity matrices.
 //!
 //! After EMS (or a baseline) produces the pairwise similarities of two event

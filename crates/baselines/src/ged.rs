@@ -271,7 +271,7 @@ impl Ged {
                         matched_edge_pairs + gain,
                         sub_cost_sum + sub,
                     );
-                    if d < current - 1e-12 && best.as_ref().is_none_or(|x| d < x.2) {
+                    if d < current - 1e-12 && best.as_ref().map_or(true, |x| d < x.2) {
                         best = Some((a, b, d, gain, sub));
                     }
                 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Baseline event matchers from the paper's evaluation (Section 5).
 //!
 //! EMS is compared against three prior approaches, all reimplemented here

@@ -47,7 +47,10 @@ fn time_round_robin(
         for (i, f) in [&mut *f0, &mut *f1, &mut *f2].into_iter().enumerate() {
             let start = Instant::now();
             outs[i] = f();
-            best[i] = best[i].min(start.elapsed().as_secs_f64() * 1e3);
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            if elapsed_ms < best[i] {
+                best[i] = elapsed_ms;
+            }
         }
     }
     (best, outs)

@@ -123,6 +123,7 @@ pub fn run_composite(
                     budget: 200_000,
                 }),
                 CompositeMethod::Bhv => Box::new(BhvProvider { alpha }),
+                // ems-lint: allow(panic-surface, this dispatcher is only entered for the greedy methods matched above; other variants take the non-greedy path)
                 _ => unreachable!(),
             };
             let (run, counters) =
@@ -274,7 +275,7 @@ fn generic_greedy(
                 } else {
                     provider.evaluate(&log1, &merged)
                 };
-                if obj > objective + config.delta && best.as_ref().is_none_or(|b| obj > b.2) {
+                if obj > objective + config.delta && best.as_ref().map_or(true, |b| obj > b.2) {
                     best = Some((is_left, idx, obj, merged, fnd, fin));
                 }
             }

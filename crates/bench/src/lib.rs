@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Experiment harness reproducing the paper's evaluation (Figures 3–14).
 //!
 //! Each figure has a binary (`cargo run --release -p ems-bench --bin figNN`)

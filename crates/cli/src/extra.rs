@@ -47,6 +47,7 @@ pub fn compare(
     let l2 = load(&args.log2)?;
     let g1 = DependencyGraph::from_log(&l1);
     let g2 = DependencyGraph::from_log(&l2);
+    // ems-lint: allow(float-ordering, IEEE min deliberately sanitizes a NaN alpha from the CLI down to 0.999 before it reaches the engine)
     let labels = Ems::new(EmsParams::with_labels(args.alpha.min(0.999))).label_matrix(&l1, &l2);
     let zero_labels = LabelMatrix::zeros(g1.num_real(), g2.num_real());
     let labels_ref = if args.alpha < 1.0 {

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! `ems` — match two heterogeneous XES event logs from the command line.
 //!
 //! ```text

@@ -18,7 +18,12 @@ pub fn general_upper_bound(s_k: f64, k: usize, alpha: f64, c: f64) -> f64 {
     if ac >= 1.0 {
         return 1.0; // degenerate parameters: only the trivial bound holds
     }
-    (s_k + ac.powi(k as i32) / (1.0 - ac)).min(1.0)
+    let bound = s_k + ac.powi(k as i32) / (1.0 - ac);
+    if bound > 1.0 {
+        1.0
+    } else {
+        bound
+    }
 }
 
 /// The horizon-aware bound of Corollary 7 for a pair with finite convergence
@@ -33,7 +38,12 @@ pub fn horizon_upper_bound(s_k: f64, k: usize, h: u32, alpha: f64, c: f64) -> f6
     if ac >= 1.0 {
         return 1.0;
     }
-    (s_k + (ac.powi(k as i32) - ac.powi(h as i32)) / (1.0 - ac)).min(1.0)
+    let bound = s_k + (ac.powi(k as i32) - ac.powi(h as i32)) / (1.0 - ac);
+    if bound > 1.0 {
+        1.0
+    } else {
+        bound
+    }
 }
 
 /// Dispatches to the tightest applicable bound for a pair with horizon `h`.

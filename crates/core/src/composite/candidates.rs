@@ -7,7 +7,7 @@
 //! a candidate.
 
 use ems_events::{EventId, EventLog};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A composite-event candidate: an ordered run of singleton events that may
 /// be merged into one node.
@@ -86,7 +86,7 @@ pub fn discover_candidates(log: &EventLog, config: &CandidateConfig) -> Vec<Cand
     }
     // Occurrence counts and immediate-follow counts.
     let mut occ = vec![0u32; n];
-    let mut follows: HashMap<(usize, usize), u32> = HashMap::new();
+    let mut follows: BTreeMap<(usize, usize), u32> = BTreeMap::new();
     for trace in log.traces() {
         for &e in trace.events() {
             occ[e.index()] += 1;
@@ -99,7 +99,7 @@ pub fn discover_candidates(log: &EventLog, config: &CandidateConfig) -> Vec<Cand
     // itself is a loop, not a composite.
     let mut next: Vec<Option<usize>> = vec![None; n];
     let mut prev: Vec<Option<usize>> = vec![None; n];
-    let mut pair_support: HashMap<(usize, usize), u32> = HashMap::new();
+    let mut pair_support: BTreeMap<(usize, usize), u32> = BTreeMap::new();
     for (&(a, b), &cnt) in &follows {
         if a == b || occ[a] == 0 || occ[b] == 0 {
             continue;

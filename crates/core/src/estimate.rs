@@ -75,7 +75,14 @@ pub fn extrapolate(
     let (q, a_closed) = coefficients(a_deg, b_deg, f1, f2, label, params);
     debug_assert!((0.0..1.0).contains(&q), "q must be in [0,1), got {q}");
     let a = match s_prev {
-        Some(prev) if i >= 1 => (s_i - q * prev).max(0.0),
+        Some(prev) if i >= 1 => {
+            let raw = s_i - q * prev;
+            if raw > 0.0 {
+                raw
+            } else {
+                0.0
+            }
+        }
         _ => a_closed,
     };
     match h {

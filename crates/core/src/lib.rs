@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Event Matching Similarity (EMS) — the core contribution of *Matching
 //! Heterogeneous Event Data* (SIGMOD 2014).
 //!

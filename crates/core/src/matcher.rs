@@ -52,6 +52,7 @@ impl Ems {
     pub fn new(params: EmsParams) -> Self {
         match Self::try_new(params) {
             Ok(ems) => ems,
+            // ems-lint: allow(panic-surface, documented contract panic; try_new is the fallible path)
             Err(e) => panic!("{e}"),
         }
     }
@@ -175,6 +176,7 @@ impl Ems {
     ) -> MatchOutcome {
         match self.try_match_graphs_opts(g1, g2, labels, fwd_options, bwd_options) {
             Ok(out) => out,
+            // ems-lint: allow(panic-surface, documented contract panic; try_match_graphs_opts is the fallible path)
             Err(e) => panic!("{e}"),
         }
     }

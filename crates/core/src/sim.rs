@@ -89,11 +89,14 @@ impl SimMatrix {
     pub fn max_abs_diff(&self, other: &SimMatrix) -> f64 {
         assert_eq!(self.n1, other.n1);
         assert_eq!(self.n2, other.n2);
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        let mut worst = 0.0_f64;
+        for (a, b) in self.data.iter().zip(&other.data) {
+            let d = (a - b).abs();
+            if d > worst {
+                worst = d;
+            }
+        }
+        worst
     }
 
     /// Elementwise average of two matrices — used to aggregate forward and
@@ -149,6 +152,7 @@ mod tests {
     /// Satellite property: averaging a million entries of 0.1 is exact to
     /// 1e-12 — naive accumulation drifts well past that.
     #[test]
+    #[cfg_attr(miri, ignore)] // million-element matrix: minutes under interpretation
     fn average_is_compensated_at_scale() {
         let m = SimMatrix::from_raw(1000, 1000, vec![0.1; 1_000_000]);
         assert!((m.average() - 0.1).abs() < 1e-12, "avg = {}", m.average());

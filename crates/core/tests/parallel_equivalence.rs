@@ -92,6 +92,7 @@ fn assert_same_work(a: &RunStats, b: &RunStats, what: &str) {
 /// The worklist kernel is bitwise-equal to the reference implementation
 /// across random graphs, parameters, budgets, seeds and both directions.
 #[test]
+#[cfg_attr(miri, ignore)] // 60 random fixpoint cases: minutes under interpretation
 fn kernel_matches_reference_bitwise() {
     let mut rng = StdRng::seed_from_u64(0xD01);
     for case in 0..60 {
@@ -112,6 +113,7 @@ fn kernel_matches_reference_bitwise() {
 /// `threads = 1` and `threads = N` produce bit-identical similarity
 /// matrices and identical work counters (including `iterations`).
 #[test]
+#[cfg_attr(miri, ignore)] // 40 random multi-thread cases: minutes under interpretation
 fn thread_count_never_changes_results() {
     let mut rng = StdRng::seed_from_u64(0xD02);
     for case in 0..40 {
@@ -152,6 +154,7 @@ fn thread_count_never_changes_results() {
 /// bitwise between 1 and 8 threads — this exercises the sharded path with
 /// real thread spawns rather than the small-grid serial fallback.
 #[test]
+#[cfg_attr(miri, ignore)] // large-grid thread spawns: minutes under interpretation
 fn large_grid_parallel_path_is_bit_identical() {
     let mut rng = StdRng::seed_from_u64(0xD03);
     let mut big_log = |alphabet: usize| {

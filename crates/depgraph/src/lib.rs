@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Event dependency graphs (Definition 1 of *Matching Heterogeneous Event
 //! Data*, SIGMOD 2014) with the artificial-event augmentation that enables
 //! dislocated matching.

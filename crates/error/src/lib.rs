@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Unified error taxonomy for the event-matching workspace.
 //!
 //! Every library crate defines its own error enum (`XesError`,

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Evaluation harness: accuracy metrics, timing, result tables.
 //!
 //! The paper scores matchers with precision, recall and F-measure against

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Event model for heterogeneous event-log matching.
 //!
 //! This crate provides the data model shared by every other crate in the

@@ -33,6 +33,7 @@ impl Variants {
         for t in log.traces() {
             *counts.entry(t).or_insert(0) += 1;
         }
+        // ems-lint: allow(nondeterminism, drained into a Vec that is fully sorted under a total order before any consumer sees it)
         let mut variants: Vec<Variant> = counts
             .into_iter()
             .map(|(trace, count)| Variant {

@@ -2,7 +2,7 @@
 //! evaluation uses for `S^L` ("cosine similarity with q-grams" \[9\]).
 
 use crate::LabelSimilarity;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Builds the q-gram multiset profile of `s`.
 ///
@@ -15,13 +15,13 @@ use std::collections::HashMap;
 ///
 /// Panics when `q == 0`; see [`crate::LabelsError::ZeroQ`] for the typed
 /// counterpart used by validating callers.
-pub fn qgram_profile(s: &str, q: usize) -> HashMap<Vec<char>, u32> {
+pub fn qgram_profile(s: &str, q: usize) -> BTreeMap<Vec<char>, u32> {
     assert!(q >= 1, "q must be at least 1");
     let mut padded: Vec<char> = Vec::with_capacity(s.chars().count() + 2 * (q - 1));
-    padded.extend(std::iter::repeat_n('#', q - 1));
+    padded.extend(std::iter::repeat('#').take(q - 1));
     padded.extend(s.chars());
-    padded.extend(std::iter::repeat_n('$', q - 1));
-    let mut profile = HashMap::new();
+    padded.extend(std::iter::repeat('$').take(q - 1));
+    let mut profile = BTreeMap::new();
     if padded.len() >= q {
         for w in padded.windows(q) {
             *profile.entry(w.to_vec()).or_insert(0) += 1;

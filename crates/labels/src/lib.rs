@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Typographic (label) similarities for event names.
 //!
 //! The paper's similarity function (Definition 2) accepts an optional label

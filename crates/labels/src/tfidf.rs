@@ -3,14 +3,14 @@
 //! rare ones ("turbine", "escrow"). Standard practice for multi-word labels
 //! in schema matching; complements the character-level q-gram cosine.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A TF-IDF model fitted over a corpus of labels (typically the union of
 /// both logs' event names).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TfIdf {
     /// Smoothed inverse document frequency per token.
-    idf: HashMap<String, f64>,
+    idf: BTreeMap<String, f64>,
     /// Number of documents the model was fitted on.
     num_docs: usize,
 }
@@ -25,7 +25,7 @@ fn tokens(s: &str) -> Vec<String> {
 impl TfIdf {
     /// Fits the model: one document per label.
     pub fn fit<S: AsRef<str>>(corpus: &[S]) -> Self {
-        let mut df: HashMap<String, usize> = HashMap::new();
+        let mut df: BTreeMap<String, usize> = BTreeMap::new();
         for doc in corpus {
             let mut seen: Vec<String> = tokens(doc.as_ref());
             seen.sort_unstable();
@@ -56,9 +56,9 @@ impl TfIdf {
         self.idf.get(&token.to_lowercase()).copied()
     }
 
-    fn vector(&self, s: &str) -> HashMap<String, f64> {
+    fn vector(&self, s: &str) -> BTreeMap<String, f64> {
         let toks = tokens(s);
-        let mut tf: HashMap<String, f64> = HashMap::new();
+        let mut tf: BTreeMap<String, f64> = BTreeMap::new();
         for t in &toks {
             *tf.entry(t.clone()).or_insert(0.0) += 1.0;
         }

@@ -1,0 +1,10 @@
+//@ path: crates/core/src/bounds.rs
+pub fn clamp01(x: f64) -> f64 {
+    x.min(1.0) //~ float-ordering
+}
+pub fn biggest(x: f64, y: f64) -> f64 {
+    f64::max(x, y) //~ float-ordering
+}
+pub fn order(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b) //~ float-ordering
+}

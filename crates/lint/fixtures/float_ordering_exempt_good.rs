@@ -1,0 +1,9 @@
+//@ path: crates/core/src/numeric.rs
+// numeric.rs is the one blessed home for raw float ordering: the helpers
+// that the rest of the workspace is steered towards live here.
+pub fn raw_max(a: f64, b: f64) -> f64 {
+    f64::max(a, b)
+}
+pub fn raw_order(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b)
+}

@@ -1,0 +1,14 @@
+//@ path: crates/core/src/bounds.rs
+pub fn order(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+pub fn bigger_int(x: u32, y: u32) -> u32 {
+    x.max(y)
+}
+pub fn clamp01(x: f64) -> f64 {
+    if x > 1.0 {
+        1.0
+    } else {
+        x
+    }
+}

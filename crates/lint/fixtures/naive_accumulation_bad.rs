@@ -1,0 +1,14 @@
+//@ path: crates/core/src/kernel.rs
+pub fn total(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for &x in xs {
+        sum += x; //~ naive-accumulation
+    }
+    sum
+}
+pub fn iterator_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum() //~ naive-accumulation
+}
+pub fn folded(xs: &[f64]) -> f64 {
+    xs.iter().fold(0.0, |a, b| a + b) //~ naive-accumulation
+}

@@ -1,0 +1,12 @@
+//@ path: crates/core/src/kernel.rs
+use crate::numeric::NeumaierSum;
+pub fn total(xs: &[f64]) -> f64 {
+    let mut acc = NeumaierSum::new();
+    for &x in xs {
+        acc.add(x);
+    }
+    acc.value()
+}
+pub fn count(xs: &[u32]) -> u32 {
+    xs.iter().copied().sum::<u32>()
+}

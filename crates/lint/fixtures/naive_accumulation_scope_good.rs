@@ -1,0 +1,10 @@
+//@ path: crates/eval/src/report.rs
+// Outside the watched hot paths (kernel/engine/sim) bare accumulation is
+// allowed: report aggregation is not similarity arithmetic.
+pub fn total(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for &x in xs {
+        sum += x;
+    }
+    sum
+}

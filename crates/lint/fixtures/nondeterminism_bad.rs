@@ -1,0 +1,16 @@
+//@ path: crates/depgraph/src/graph2.rs
+use std::collections::HashMap;
+pub fn weights(pairs: &[(u32, f64)]) -> Vec<f64> {
+    let mut m: HashMap<u32, f64> = HashMap::new();
+    for &(k, v) in pairs {
+        m.insert(k, v);
+    }
+    let mut out = Vec::new();
+    for (_k, v) in m.iter() { //~ nondeterminism
+        out.push(*v);
+    }
+    out
+}
+pub fn expose() -> HashMap<u32, f64> { //~ nondeterminism
+    HashMap::new()
+}

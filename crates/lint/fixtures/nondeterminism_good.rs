@@ -1,0 +1,17 @@
+//@ path: crates/depgraph/src/graph2.rs
+use std::collections::{BTreeMap, HashMap};
+pub fn weights(pairs: &[(u32, f64)]) -> Vec<f64> {
+    let mut m: BTreeMap<u32, f64> = BTreeMap::new();
+    for &(k, v) in pairs {
+        m.insert(k, v);
+    }
+    m.into_values().collect()
+}
+pub fn count_only(pairs: &[(u32, f64)]) -> usize {
+    // Lookup-only use of a hash map never observes iteration order.
+    let mut seen: HashMap<u32, f64> = HashMap::new();
+    for &(k, v) in pairs {
+        seen.insert(k, v);
+    }
+    seen.len()
+}

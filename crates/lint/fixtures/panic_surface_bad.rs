@@ -1,0 +1,19 @@
+//@ path: crates/events/src/lib.rs
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap() //~ panic-surface
+}
+pub fn must(x: Option<u32>) -> u32 {
+    x.expect("present") //~ panic-surface
+}
+pub fn boom() {
+    panic!("boom"); //~ panic-surface
+}
+pub fn later() {
+    todo!() //~ panic-surface
+}
+pub fn dead_end(x: u32) -> u32 {
+    match x {
+        0 => 1,
+        _ => unreachable!(), //~ panic-surface
+    }
+}

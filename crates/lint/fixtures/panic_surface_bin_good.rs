@@ -1,0 +1,8 @@
+//@ path: crates/cli/src/main.rs
+// Binaries own their process: a panic at the CLI surface is an exit with a
+// message, not an aborted library caller.
+pub fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let first = args.first().unwrap();
+    println!("{first}");
+}

@@ -1,0 +1,14 @@
+//@ path: crates/events/src/lib.rs
+pub fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_freely() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+        let r: Result<u32, ()> = Ok(2);
+        assert_eq!(r.expect("ok"), 2);
+    }
+}

@@ -1,0 +1,13 @@
+//@ path: crates/events/src/lib.rs
+//~v suppression
+// ems-lint: allow(panic-surface)
+pub fn missing_reason() {}
+//~v suppression
+// ems-lint: allow(panic-surface, )
+pub fn empty_reason() {}
+//~v suppression
+// ems-lint: allow(no-such-rule, reason here)
+pub fn unknown_rule() {}
+//~v suppression
+// ems-lint: allow(panic-surface, nothing panics below)
+pub fn unused_directive() {}

@@ -1,0 +1,8 @@
+//@ path: crates/events/src/lib.rs
+pub fn f(v: &[u32]) -> u32 {
+    // ems-lint: allow(panic-surface, slice is checked non-empty by all callers)
+    *v.first().unwrap()
+}
+pub fn g(v: &[u32]) -> u32 {
+    v[0].checked_mul(2).unwrap() // ems-lint: allow(panic-surface, product bounded by construction)
+}

@@ -1,0 +1,4 @@
+//@ path: crates/xes/src/reader2.rs
+pub fn reinterpret(x: &[u8]) -> u32 {
+    unsafe { std::ptr::read_unaligned(x.as_ptr() as *const u32) } //~ unsafe-audit
+}

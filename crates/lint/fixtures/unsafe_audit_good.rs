@@ -1,0 +1,6 @@
+//@ path: crates/xes/src/reader2.rs
+pub fn reinterpret(x: &[u8]) -> u32 {
+    assert!(x.len() >= 4);
+    // SAFETY: length checked above; read_unaligned has no alignment requirement.
+    unsafe { std::ptr::read_unaligned(x.as_ptr() as *const u32) }
+}

@@ -1,0 +1,12 @@
+//@ path: crates/core/src/profile.rs
+pub fn measure() -> f64 {
+    let t = std::time::Instant::now(); //~ wall-clock-randomness
+    t.elapsed().as_secs_f64()
+}
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now() //~ wall-clock-randomness
+}
+pub fn entropy() -> u64 {
+    let mut rng = thread_rng(); //~ wall-clock-randomness
+    rng.next_u64()
+}

@@ -1,0 +1,7 @@
+//@ path: crates/synth/src/jitter.rs
+// synth is generator territory: seeded randomness is its whole point and
+// the crate is excluded from the clock/randomness watch list.
+pub fn jitter(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,7 @@
+//@ path: crates/eval/src/timer.rs
+// eval::timer is the blessed measurement module; clock reads belong here.
+pub fn measure<F: FnOnce()>(f: F) -> f64 {
+    let t = std::time::Instant::now();
+    f();
+    t.elapsed().as_secs_f64()
+}

@@ -1,0 +1,134 @@
+//! Suppression directives — the audited escape hatch.
+//!
+//! A finding is suppressed by a comment of the form
+//! `ems-lint: allow(<rule>, <reason>)` placed either on the offending line
+//! (trailing) or on the line directly above it. The reason is mandatory;
+//! a suppression that names an unknown rule, omits its reason, or matches
+//! no finding is itself reported under the `suppression` rule — there is
+//! no way to turn a rule off silently.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Lexed;
+use crate::rules::rule_ids;
+
+/// The rule id under which directive problems are reported.
+pub const SUPPRESSION_RULE: &str = "suppression";
+
+/// One parsed, well-formed suppression.
+#[derive(Debug)]
+pub struct Suppression {
+    /// Rule this suppression targets.
+    pub rule: String,
+    /// Code line the suppression covers.
+    pub effective_line: u32,
+    /// Source line of the directive (for unused reporting).
+    pub directive_line: u32,
+    /// Whether any finding consumed it.
+    pub used: bool,
+}
+
+/// Extracts suppressions from comments. Malformed directives are returned
+/// as diagnostics immediately.
+pub fn parse_suppressions(lexed: &Lexed, path: &str) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut diags = Vec::new();
+    for c in &lexed.comments {
+        let body = c
+            .text
+            .trim()
+            .trim_start_matches('!')
+            .trim_start_matches('/');
+        let trimmed = body.trim();
+        let Some(rest) = trimmed.strip_prefix("ems-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let mut fail = |msg: &str| {
+            diags.push(Diagnostic {
+                rule: SUPPRESSION_RULE,
+                path: path.to_string(),
+                line: c.line,
+                col: 1,
+                message: msg.to_string(),
+            });
+        };
+        let Some(inner) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.strip_suffix(')'))
+        else {
+            fail("malformed directive: expected `ems-lint: allow(<rule>, <reason>)`");
+            continue;
+        };
+        let Some((rule, reason)) = inner.split_once(',') else {
+            fail("suppression without a reason: `allow(<rule>, <reason>)` requires both");
+            continue;
+        };
+        let rule = rule.trim();
+        let reason = reason.trim();
+        if reason.is_empty() {
+            fail("suppression without a reason: the reason may not be empty");
+            continue;
+        }
+        if !rule_ids().contains(&rule) {
+            diags.push(Diagnostic {
+                rule: SUPPRESSION_RULE,
+                path: path.to_string(),
+                line: c.line,
+                col: 1,
+                message: format!("unknown rule `{rule}` in suppression"),
+            });
+            continue;
+        }
+        // A trailing directive covers its own line; a standalone one covers
+        // the next line that holds any code token.
+        let effective_line = if c.trailing {
+            c.line
+        } else {
+            lexed
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > c.line)
+                .unwrap_or(c.line)
+        };
+        sups.push(Suppression {
+            rule: rule.to_string(),
+            effective_line,
+            directive_line: c.line,
+            used: false,
+        });
+    }
+    (sups, diags)
+}
+
+/// Applies suppressions to `diags`: matching findings are dropped and the
+/// suppression marked used; afterwards every unused suppression becomes a
+/// finding of its own.
+pub fn apply_suppressions(
+    mut diags: Vec<Diagnostic>,
+    sups: &mut [Suppression],
+    path: &str,
+) -> Vec<Diagnostic> {
+    diags.retain(|d| {
+        for s in sups.iter_mut() {
+            if s.rule == d.rule && s.effective_line == d.line {
+                s.used = true;
+                return false;
+            }
+        }
+        true
+    });
+    for s in sups.iter().filter(|s| !s.used) {
+        diags.push(Diagnostic {
+            rule: SUPPRESSION_RULE,
+            path: path.to_string(),
+            line: s.directive_line,
+            col: 1,
+            message: format!(
+                "unused suppression for `{}`: no finding on the covered line — remove it",
+                s.rule
+            ),
+        });
+    }
+    diags
+}

@@ -1,0 +1,131 @@
+//! Repo-specific scoping: which crates and files each rule watches.
+//!
+//! These tables *are* the configuration — the lint is purpose-built for
+//! this workspace, so scoping lives in code (reviewed like code) rather
+//! than in a config file that can drift silently.
+
+/// How a file participates in linting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source — every rule applies.
+    Library,
+    /// Binary entry points (`main.rs`, `src/bin/`) — panic-surface rules
+    /// are relaxed (a CLI may die loudly), contract rules still apply.
+    Binary,
+    /// Tests, benches, examples, build scripts — only lexical hygiene
+    /// (suppression syntax) is checked.
+    Test,
+}
+
+/// Classification of one workspace file.
+#[derive(Debug, Clone)]
+pub struct FileClass {
+    /// Crate name (directory under `crates/`), or `event-matching` for the
+    /// umbrella crate's own `src`/`tests`.
+    pub crate_name: String,
+    /// Participation kind.
+    pub kind: FileKind,
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+}
+
+/// Classifies a workspace-relative path (using `/` separators).
+pub fn classify(rel_path: &str) -> FileClass {
+    let norm = rel_path.replace('\\', "/");
+    let parts: Vec<&str> = norm.split('/').collect();
+    let crate_name = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1].to_string()
+    } else {
+        "event-matching".to_string()
+    };
+    let in_dir = |d: &str| parts.contains(&d);
+    let file = parts.last().copied().unwrap_or("");
+    let kind = if in_dir("tests") || in_dir("benches") || in_dir("examples") || file == "build.rs" {
+        FileKind::Test
+    } else if file == "main.rs" || in_dir("bin") {
+        FileKind::Binary
+    } else {
+        FileKind::Library
+    };
+    FileClass {
+        crate_name,
+        kind,
+        rel_path: norm,
+    }
+}
+
+/// `float-ordering` exempt files: the numeric module owns the one place
+/// where ordering primitives may be wrapped.
+pub const FLOAT_ORDERING_EXEMPT: &[&str] = &["crates/core/src/numeric.rs"];
+
+/// `naive-accumulation` watched files: the kernel hot paths whose sums
+/// feed Theorem 1's monotone convergence; everywhere else short f64 sums
+/// are reviewed case by case.
+pub const ACCUMULATION_WATCHED: &[&str] = &[
+    "crates/core/src/kernel.rs",
+    "crates/core/src/engine.rs",
+    "crates/core/src/sim.rs",
+];
+
+/// `nondeterminism` watched crates: everything whose output feeds
+/// reported similarity/matching results (including `synth`, whose outputs
+/// must be reproducible from the seed alone).
+pub const NONDET_CRATES: &[&str] = &[
+    "core",
+    "depgraph",
+    "labels",
+    "assignment",
+    "baselines",
+    "events",
+    "xes",
+    "eval",
+    "synth",
+];
+
+/// `wall-clock-randomness` watched crates: result-producing code may not
+/// read clocks or draw randomness. `synth`/`rng` are excluded (seeded
+/// generation is their purpose); `eval` participates except its dedicated
+/// timer module; `bench`/`cli` are reporting layers.
+pub const CLOCK_CRATES: &[&str] = &[
+    "core",
+    "depgraph",
+    "labels",
+    "assignment",
+    "baselines",
+    "events",
+    "xes",
+    "eval",
+];
+
+/// `wall-clock-randomness` exempt files: the timing infrastructure itself.
+pub const CLOCK_EXEMPT: &[&str] = &["crates/eval/src/timer.rs"];
+
+/// Whether `rel_path` ends with one of the watched suffixes.
+pub fn path_matches(rel_path: &str, suffixes: &[&str]) -> bool {
+    suffixes.iter().any(|s| rel_path.ends_with(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_crate_library() {
+        let c = classify("crates/core/src/kernel.rs");
+        assert_eq!(c.crate_name, "core");
+        assert_eq!(c.kind, FileKind::Library);
+    }
+
+    #[test]
+    fn classify_tests_benches_bins() {
+        assert_eq!(classify("crates/core/tests/x.rs").kind, FileKind::Test);
+        assert_eq!(classify("crates/bench/benches/x.rs").kind, FileKind::Test);
+        assert_eq!(classify("crates/cli/src/main.rs").kind, FileKind::Binary);
+        assert_eq!(
+            classify("crates/bench/src/bin/perf.rs").kind,
+            FileKind::Binary
+        );
+        assert_eq!(classify("tests/end_to_end.rs").kind, FileKind::Test);
+        assert_eq!(classify("src/lib.rs").crate_name, "event-matching");
+    }
+}

@@ -1,0 +1,33 @@
+//! Diagnostics: rule-tagged findings with file:line:col spans.
+
+use std::fmt;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (e.g. `float-ordering`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation, including the required replacement.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "error[{}]: {}", self.rule, self.message)?;
+        write!(f, "  --> {}:{}:{}", self.path, self.line, self.col)
+    }
+}
+
+/// Sorts diagnostics into the stable reporting order (path, line, col,
+/// rule) so output is deterministic across runs and platforms.
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+}

@@ -1,0 +1,507 @@
+//! A minimal Rust lexer — just enough structure for token-pattern rules.
+//!
+//! The workspace vendors no third-party crates, so a full AST (syn) is not
+//! available; the rules in [`crate::rules`] are written against a token
+//! stream instead. The lexer handles everything that would otherwise make
+//! token matching unsound: nested block comments, raw/byte strings, char
+//! literals vs lifetimes, and float vs integer literals. Comments are kept
+//! on the side — suppression directives and `SAFETY:` audits live there.
+
+/// Token categories relevant to the rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Punctuation (single char, or one of the composed operators).
+    Punct,
+    /// Numeric literal; `float` distinguishes `1.0`/`1e9`/`2f64` from `1`.
+    Num {
+        /// Whether the literal is a floating-point literal.
+        float: bool,
+    },
+    /// String literal of any flavor (contents not retained).
+    Str,
+    /// Char literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Category.
+    pub kind: TokKind,
+    /// Literal text (empty for string contents).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+
+    /// Whether this token is the punctuation `p`.
+    pub fn is_punct(&self, p: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == p
+    }
+}
+
+/// One comment (line or block), with the line it starts on and whether any
+/// code token precedes it on that line (a *trailing* comment).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers, untrimmed.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether a code token precedes the comment on its line.
+    pub trailing: bool,
+}
+
+/// Lexer output: the code token stream plus the comment side channel.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Two-character operators composed into single tokens (longest match
+/// first is unnecessary — none is a prefix of another here except handled
+/// `..=`).
+const TWO_CHAR_OPS: &[&str] = &[
+    "::", "->", "=>", "+=", "-=", "*=", "/=", "%=", "==", "!=", "<=", ">=", "&&", "||", "..",
+];
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs are closed at end of input (the rules operate on whatever
+/// structure is recoverable).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut last_code_line: u32 = 0;
+
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            bump!();
+            continue;
+        }
+        // Line comment (including doc comments).
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
+            let start_line = line;
+            let mut text = String::new();
+            bump!();
+            bump!();
+            while i < chars.len() && chars[i] != '\n' {
+                text.push(chars[i]);
+                bump!();
+            }
+            out.comments.push(Comment {
+                text,
+                line: start_line,
+                trailing: last_code_line == start_line,
+            });
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            let start_line = line;
+            let mut text = String::new();
+            let mut depth = 1usize;
+            bump!();
+            bump!();
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
+                    depth += 1;
+                    bump!();
+                    bump!();
+                } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
+                    depth -= 1;
+                    bump!();
+                    bump!();
+                } else {
+                    text.push(chars[i]);
+                    bump!();
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line: start_line,
+                trailing: last_code_line == start_line,
+            });
+            continue;
+        }
+        let (tok_line, tok_col) = (line, col);
+        // Raw / byte strings: r"", r#""#, b"", br#""#.
+        if (c == 'r' || c == 'b') && is_raw_or_byte_string(&chars, i) {
+            consume_string_like(&chars, &mut i, &mut line, &mut col);
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: tok_line,
+                col: tok_col,
+            });
+            last_code_line = tok_line;
+            continue;
+        }
+        // Plain string.
+        if c == '"' {
+            consume_quoted(&chars, &mut i, &mut line, &mut col, '"');
+            out.tokens.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line: tok_line,
+                col: tok_col,
+            });
+            last_code_line = tok_line;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_lifetime = match (next, after) {
+                (Some(n), a) if n == '_' || n.is_alphabetic() => a != Some('\''),
+                _ => false,
+            };
+            if is_lifetime {
+                bump!();
+                let mut text = String::new();
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line: tok_line,
+                    col: tok_col,
+                });
+            } else {
+                consume_quoted(&chars, &mut i, &mut line, &mut col, '\'');
+                out.tokens.push(Token {
+                    kind: TokKind::Char,
+                    text: String::new(),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            last_code_line = tok_line;
+            continue;
+        }
+        // Identifier / keyword.
+        if c == '_' || c.is_alphabetic() {
+            let mut text = String::new();
+            while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                text.push(chars[i]);
+                bump!();
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Ident,
+                text,
+                line: tok_line,
+                col: tok_col,
+            });
+            last_code_line = tok_line;
+            continue;
+        }
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            let mut float = false;
+            if c == '0' && matches!(chars.get(i + 1), Some('x' | 'o' | 'b')) {
+                // Radix literal: consume prefix + digits/underscores.
+                text.push(chars[i]);
+                bump!();
+                text.push(chars[i]);
+                bump!();
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    text.push(chars[i]);
+                    bump!();
+                }
+            } else {
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    text.push(chars[i]);
+                    bump!();
+                }
+                // Fractional part only when a digit follows the dot —
+                // `1.max(2)` and `0..n` stay integer.
+                if i < chars.len()
+                    && chars[i] == '.'
+                    && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                {
+                    float = true;
+                    text.push(chars[i]);
+                    bump!();
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        text.push(chars[i]);
+                        bump!();
+                    }
+                }
+                // Exponent.
+                if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                    let mut j = i + 1;
+                    if matches!(chars.get(j), Some('+' | '-')) {
+                        j += 1;
+                    }
+                    if chars.get(j).is_some_and(|d| d.is_ascii_digit()) {
+                        float = true;
+                        while i < j {
+                            text.push(chars[i]);
+                            bump!();
+                        }
+                        while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                            text.push(chars[i]);
+                            bump!();
+                        }
+                    }
+                }
+                // Type suffix (`f64`, `u32`, `_f64`, ...).
+                let mut suffix = String::new();
+                while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                    suffix.push(chars[i]);
+                    bump!();
+                }
+                if suffix.contains("f32") || suffix.contains("f64") {
+                    float = true;
+                }
+                text.push_str(&suffix);
+            }
+            out.tokens.push(Token {
+                kind: TokKind::Num { float },
+                text,
+                line: tok_line,
+                col: tok_col,
+            });
+            last_code_line = tok_line;
+            continue;
+        }
+        // Punctuation — compose two-char operators, prefer `..=`.
+        let pair: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        if pair == ".." && chars.get(i + 2) == Some(&'=') {
+            bump!();
+            bump!();
+            bump!();
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: "..=".to_string(),
+                line: tok_line,
+                col: tok_col,
+            });
+        } else if TWO_CHAR_OPS.contains(&pair.as_str()) {
+            bump!();
+            bump!();
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: pair,
+                line: tok_line,
+                col: tok_col,
+            });
+        } else {
+            bump!();
+            out.tokens.push(Token {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line: tok_line,
+                col: tok_col,
+            });
+        }
+        last_code_line = tok_line;
+    }
+    out
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw or byte string.
+fn is_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    // Followed directly by a quote — and not a plain identifier like `radius`.
+    chars.get(j) == Some(&'"') && j > i
+}
+
+/// Consumes a raw/byte string starting at `*i` (at the `r`/`b` marker).
+fn consume_string_like(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32) {
+    let mut step = |i: &mut usize| {
+        if chars[*i] == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+    let mut hashes = 0usize;
+    let mut raw = false;
+    while *i < chars.len() && chars[*i] != '"' {
+        if chars[*i] == '#' {
+            hashes += 1;
+        }
+        if chars[*i] == 'r' {
+            raw = true;
+        }
+        step(i);
+    }
+    if *i < chars.len() {
+        step(i); // opening quote
+    }
+    while *i < chars.len() {
+        if chars[*i] == '\\' && !raw {
+            step(i);
+            if *i < chars.len() {
+                step(i);
+            }
+            continue;
+        }
+        if chars[*i] == '"' {
+            // Raw strings close only with the matching number of hashes.
+            let mut j = *i + 1;
+            let mut seen = 0usize;
+            while seen < hashes && chars.get(j) == Some(&'#') {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                while *i < j {
+                    step(i);
+                }
+                return;
+            }
+        }
+        step(i);
+    }
+}
+
+/// Consumes a quoted literal (string or char) starting at the quote.
+fn consume_quoted(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32, quote: char) {
+    let mut step = |i: &mut usize| {
+        if chars[*i] == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+    step(i); // opening quote
+    while *i < chars.len() {
+        if chars[*i] == '\\' {
+            step(i);
+            if *i < chars.len() {
+                step(i);
+            }
+            continue;
+        }
+        if chars[*i] == quote {
+            step(i);
+            return;
+        }
+        step(i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let lexed = lex("let x = \"partial_cmp\"; // partial_cmp here\n/* partial_cmp */ let y;");
+        assert!(lexed.tokens.iter().all(|t| t.text != "partial_cmp"));
+        assert_eq!(
+            idents("let x = \"partial_cmp\"; // partial_cmp here\n/* partial_cmp */ let y;"),
+            vec!["let", "x", "let", "y"]
+        );
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn float_vs_integer_literals() {
+        let toks = lex("1 1.0 1e9 2f64 0x1f 0..n 1.max(2) 100_000.0").tokens;
+        let floats: Vec<bool> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Num { float } => Some(float),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            floats,
+            vec![false, true, true, true, false, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }").tokens;
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let lexed = lex("let s = r#\"has \"quotes\" and partial_cmp\"#; let t = 1;");
+        assert!(lexed.tokens.iter().all(|t| t.text != "partial_cmp"));
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("t")));
+    }
+
+    #[test]
+    fn composed_operators() {
+        let toks = lex("a += b; c..=d; e::f; g -> h").tokens;
+        assert!(toks.iter().any(|t| t.is_punct("+=")));
+        assert!(toks.iter().any(|t| t.is_punct("..=")));
+        assert!(toks.iter().any(|t| t.is_punct("::")));
+        assert!(toks.iter().any(|t| t.is_punct("->")));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("ab\n  cd").tokens;
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+}

@@ -1,0 +1,128 @@
+#![forbid(unsafe_code)]
+//! `ems-lint` — repo-specific static analysis for the event-matching
+//! workspace.
+//!
+//! The parallel fixpoint kernel's correctness rests on invariants the
+//! compiler cannot check: bit-identical results at every thread count,
+//! NaN-safe float ordering, compensated accumulation on the similarity
+//! hot paths, no panics escaping library crates, and no iteration-order
+//! or clock dependence in anything that feeds reported results. This
+//! crate turns those contracts (DESIGN.md §9) into machine-checked rules
+//! over the workspace's token streams, with an audited suppression
+//! syntax (`ems-lint: allow(<rule>, <reason>)`) as the only escape hatch.
+//!
+//! Run it as `cargo run -p ems-lint -- check`.
+
+pub mod allow;
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+
+use diag::Diagnostic;
+use rules::FileCtx;
+use std::path::{Path, PathBuf};
+
+/// Lints one file's source under a (possibly virtual) workspace-relative
+/// path. The path drives rule scoping; self-tests use it to lint fixture
+/// sources as if they lived in the crates the rules watch.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let class = config::classify(rel_path);
+    let lexed = lexer::lex(source);
+    let test_regions = rules::find_test_regions(&lexed.tokens);
+    let ctx = FileCtx {
+        class: &class,
+        lexed: &lexed,
+        test_regions,
+    };
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    for rule in rules::RULES {
+        diags.extend((rule.check)(&ctx));
+    }
+    let (mut sups, sup_diags) = allow::parse_suppressions(&lexed, rel_path);
+    let mut diags = allow::apply_suppressions(diags, &mut sups, rel_path);
+    diags.extend(sup_diags);
+    diag::sort_diagnostics(&mut diags);
+    diags
+}
+
+/// Directories never descended into during the workspace walk.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "results", "node_modules"];
+
+/// Collects every `.rs` file under `root` (sorted, workspace-relative).
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lints the whole workspace rooted at `root`. Returns all findings in
+/// stable order. IO errors abort — a file the lint cannot read is a
+/// failure, not a silent skip.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut all = Vec::new();
+    for path in workspace_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        all.extend(lint_source(&rel, &source));
+    }
+    diag::sort_diagnostics(&mut all);
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_source_yields_no_findings() {
+        let diags = lint_source(
+            "crates/core/src/sim.rs",
+            "pub fn f(xs: &[f64]) -> f64 { xs.iter().copied().fold(f64::NEG_INFINITY, f64::max) }",
+        );
+        // `fold` here is not seeded by a float literal and `f64::max` is a
+        // path value, not a call — outside this rule set's patterns.
+        assert!(
+            diags.iter().all(|d| d.rule != "naive-accumulation"),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn suppression_consumes_finding() {
+        let src = "\
+// ems-lint: allow(panic-surface, the slice is checked non-empty one line above)
+pub fn f(v: &[u32]) -> u32 { v.first().copied().map(|x| x).unwrap() }
+";
+        let diags = lint_source("crates/events/src/x.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unused_suppression_is_reported() {
+        let src = "// ems-lint: allow(panic-surface, nothing here panics)\npub fn f() {}\n";
+        let diags = lint_source("crates/events/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, allow::SUPPRESSION_RULE);
+    }
+}

@@ -1,0 +1,74 @@
+//! CLI for the workspace lint: `cargo run -p ems-lint -- check`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or IO error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: ems-lint <command>\n\
+         \n\
+         commands:\n\
+         \x20 check [--root <dir>]   lint every .rs file under <dir> (default: workspace root)\n\
+         \x20 rules                  list rule ids and what they enforce\n\
+         \n\
+         Suppress a finding with `ems-lint: allow(<rule>, <reason>)` on or above the line."
+    );
+    ExitCode::from(2)
+}
+
+/// The workspace root: `--root` if given, else two levels above this
+/// crate's manifest (crates/lint -> workspace).
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or(manifest)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("rules") => {
+            for rule in ems_lint::rules::RULES {
+                println!("{:<24} {}", rule.id, rule.summary);
+            }
+            println!(
+                "{:<24} malformed, reason-less, unknown-rule, or unused suppression directives",
+                ems_lint::allow::SUPPRESSION_RULE
+            );
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let root = match args.get(1).map(String::as_str) {
+                Some("--root") => match args.get(2) {
+                    Some(dir) => PathBuf::from(dir),
+                    None => return usage(),
+                },
+                Some(_) => return usage(),
+                None => default_root(),
+            };
+            let diags = match ems_lint::lint_workspace(&root) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("ems-lint: cannot read workspace at {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            if diags.is_empty() {
+                println!("ems-lint: clean ({})", root.display());
+                ExitCode::SUCCESS
+            } else {
+                for d in &diags {
+                    println!("{d}\n");
+                }
+                eprintln!("ems-lint: {} finding(s)", diags.len());
+                ExitCode::FAILURE
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,584 @@
+//! The rule set. Each rule is a pure function over one file's token
+//! stream; findings carry the rule id, a span, and the required fix.
+//!
+//! Token-pattern analysis is deliberately conservative where types are
+//! invisible: `float-ordering` flags `.max(...)`/`.min(...)` only when the
+//! argument list carries float evidence (a float literal or an `f64::`
+//! path), and `naive-accumulation` tracks accumulators it can prove are
+//! `f64` from their declaration. Misses are possible; false findings are
+//! not supposed to happen, and when one does the audited suppression in
+//! [`crate::allow`] is the out.
+
+use crate::config::{self, FileClass, FileKind};
+use crate::diag::Diagnostic;
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// Everything a rule needs about one file.
+pub struct FileCtx<'a> {
+    /// Path-derived classification.
+    pub class: &'a FileClass,
+    /// Token stream + comments.
+    pub lexed: &'a Lexed,
+    /// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(usize, usize)>,
+}
+
+impl FileCtx<'_> {
+    /// Whether token `i` sits inside a test-only item.
+    pub fn in_test(&self, i: usize) -> bool {
+        self.class.kind == FileKind::Test
+            || self.test_regions.iter().any(|&(lo, hi)| i >= lo && i < hi)
+    }
+
+    fn diag(&self, rule: &'static str, tok: &Token, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: self.class.rel_path.clone(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        }
+    }
+}
+
+/// One registered rule.
+pub struct Rule {
+    /// Stable identifier used in diagnostics and suppressions.
+    pub id: &'static str,
+    /// One-line description for `ems-lint rules`.
+    pub summary: &'static str,
+    /// The check itself.
+    pub check: fn(&FileCtx<'_>) -> Vec<Diagnostic>,
+}
+
+/// The registry, in reporting order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        id: "float-ordering",
+        summary: "NaN-unsafe f64 ordering (partial_cmp, float max/min) outside numeric.rs — use total_cmp",
+        check: float_ordering,
+    },
+    Rule {
+        id: "naive-accumulation",
+        summary: "bare f64 accumulation in kernel/engine/sim hot paths — use NeumaierSum/compensated_sum",
+        check: naive_accumulation,
+    },
+    Rule {
+        id: "panic-surface",
+        summary: "unwrap/expect/panic-family macros in library code outside tests",
+        check: panic_surface,
+    },
+    Rule {
+        id: "nondeterminism",
+        summary: "iteration over HashMap/HashSet in result-producing crates — use BTreeMap/BTreeSet or sort",
+        check: nondeterminism,
+    },
+    Rule {
+        id: "wall-clock-randomness",
+        summary: "clock reads or RNG in result-producing paths",
+        check: wall_clock_randomness,
+    },
+    Rule {
+        id: "unsafe-audit",
+        summary: "`unsafe` without an adjacent `// SAFETY:` audit comment",
+        check: unsafe_audit,
+    },
+];
+
+/// All valid rule ids, including the directive-hygiene pseudo-rule.
+pub fn rule_ids() -> Vec<&'static str> {
+    let mut ids: Vec<&'static str> = RULES.iter().map(|r| r.id).collect();
+    ids.push(crate::allow::SUPPRESSION_RULE);
+    ids
+}
+
+/// Finds token ranges of items gated on test builds: an attribute whose
+/// tokens include `cfg`+`test` (or bare `#[test]`), covering the item
+/// that follows through its closing brace or semicolon.
+pub fn find_test_regions(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("["))) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body to its matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut has_cfg_test = false;
+        let is_bare_test = tokens.get(j).is_some_and(|t| t.is_ident("test"))
+            && tokens.get(j + 1).is_some_and(|t| t.is_punct("]"));
+        let mut saw_cfg = false;
+        while j < tokens.len() && depth > 0 {
+            let t = &tokens[j];
+            if t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct("]") {
+                depth -= 1;
+            } else if t.is_ident("cfg") || t.is_ident("cfg_attr") {
+                saw_cfg = true;
+            } else if t.is_ident("test") && saw_cfg {
+                has_cfg_test = true;
+            }
+            j += 1;
+        }
+        if !(has_cfg_test || is_bare_test) {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes between the cfg and the item.
+        let mut k = j;
+        while k < tokens.len()
+            && tokens[k].is_punct("#")
+            && tokens.get(k + 1).is_some_and(|t| t.is_punct("["))
+        {
+            let mut d = 1usize;
+            k += 2;
+            while k < tokens.len() && d > 0 {
+                if tokens[k].is_punct("[") {
+                    d += 1;
+                } else if tokens[k].is_punct("]") {
+                    d -= 1;
+                }
+                k += 1;
+            }
+        }
+        // The item runs to its matching close brace, or to `;` for
+        // brace-less items (`mod tests;`, `use ...;`).
+        let mut end = k;
+        let mut brace_depth = 0usize;
+        let mut entered = false;
+        while end < tokens.len() {
+            let t = &tokens[end];
+            if t.is_punct("{") {
+                brace_depth += 1;
+                entered = true;
+            } else if t.is_punct("}") {
+                brace_depth = brace_depth.saturating_sub(1);
+                if entered && brace_depth == 0 {
+                    end += 1;
+                    break;
+                }
+            } else if t.is_punct(";") && !entered {
+                end += 1;
+                break;
+            }
+            end += 1;
+        }
+        regions.push((i, end));
+        i = end;
+    }
+    regions
+}
+
+/// Whether the argument tokens of a call carry float evidence: a float
+/// literal, an `f64::`/`f32::` path, or a float special constant.
+fn args_have_float_evidence(tokens: &[Token], open_paren: usize) -> bool {
+    let mut depth = 0usize;
+    let mut j = open_paren;
+    while j < tokens.len() {
+        let t = &tokens[j];
+        if t.is_punct("(") {
+            depth += 1;
+        } else if t.is_punct(")") {
+            depth -= 1;
+            if depth == 0 {
+                return false;
+            }
+        } else {
+            let float_path = (t.is_ident("f64") || t.is_ident("f32"))
+                && tokens.get(j + 1).is_some_and(|n| n.is_punct("::"));
+            let float_const =
+                t.is_ident("NAN") || t.is_ident("INFINITY") || t.is_ident("NEG_INFINITY");
+            if matches!(t.kind, TokKind::Num { float: true }) || float_path || float_const {
+                return true;
+            }
+        }
+        j += 1;
+    }
+    false
+}
+
+fn float_ordering(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if config::path_matches(&ctx.class.rel_path, config::FLOAT_ORDERING_EXEMPT) {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        if t.text == "partial_cmp" {
+            out.push(
+                ctx.diag(
+                    "float-ordering",
+                    t,
+                    "`partial_cmp` is NaN-unsafe (Theorem 1's monotone convergence breaks under \
+                 unordered comparisons) — use `total_cmp`"
+                        .to_string(),
+                ),
+            );
+            continue;
+        }
+        if (t.text == "max" || t.text == "min")
+            && i > 0
+            && (toks[i - 1].is_punct(".")
+                || (toks[i - 1].is_punct("::") && i >= 2 && toks[i - 2].is_ident("f64")))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && (toks[i - 1].is_punct("::") || args_have_float_evidence(toks, i + 1))
+        {
+            out.push(ctx.diag(
+                "float-ordering",
+                t,
+                format!(
+                    "float `{}` silently drops NaN operands — fold with `total_cmp` (or justify \
+                     NaN-freedom with a suppression)",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn naive_accumulation(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !config::path_matches(&ctx.class.rel_path, config::ACCUMULATION_WATCHED) {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    // Pass 1: accumulators provably declared `f64` — `let mut X = <float>`
+    // or `let mut X: f64`.
+    let mut float_accs: Vec<&str> = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("let") || !toks.get(i + 1).is_some_and(|t| t.is_ident("mut")) {
+            continue;
+        }
+        let Some(name) = toks.get(i + 2).filter(|t| t.kind == TokKind::Ident) else {
+            continue;
+        };
+        let is_float = match toks.get(i + 3) {
+            Some(t) if t.is_punct(":") => toks.get(i + 4).is_some_and(|t| t.is_ident("f64")),
+            Some(t) if t.is_punct("=") => toks
+                .get(i + 4)
+                .is_some_and(|t| matches!(t.kind, TokKind::Num { float: true })),
+            _ => false,
+        };
+        if is_float {
+            float_accs.push(&name.text);
+        }
+    }
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) {
+            continue;
+        }
+        // `X += ...` on a proven-f64 accumulator.
+        if t.kind == TokKind::Ident
+            && float_accs.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("+="))
+        {
+            out.push(ctx.diag(
+                "naive-accumulation",
+                t,
+                format!(
+                    "bare `+=` on f64 accumulator `{}` drifts O(n·ulp) — accumulate through \
+                     `NeumaierSum` (crates/core/src/numeric.rs) or justify with a suppression",
+                    t.text
+                ),
+            ));
+        }
+        // `.sum(...)` / `.sum::<f64>()` — iterator sums in the hot paths.
+        // Integer sums are exact; an explicit integer turbofish passes.
+        let integer_turbofish = toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct("<"))
+            && toks
+                .get(i + 3)
+                .is_some_and(|n| n.kind == TokKind::Ident && n.text != "f64" && n.text != "f32");
+        if t.is_ident("sum") && i > 0 && toks[i - 1].is_punct(".") && !integer_turbofish {
+            out.push(
+                ctx.diag(
+                    "naive-accumulation",
+                    t,
+                    "iterator `.sum()` over similarity values is uncompensated — use \
+                 `compensated_sum` from crates/core/src/numeric.rs"
+                        .to_string(),
+                ),
+            );
+        }
+        // `.fold(0.0, ...)` — a sum in disguise.
+        if t.is_ident("fold")
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && toks
+                .get(i + 2)
+                .is_some_and(|n| matches!(n.kind, TokKind::Num { float: true }))
+        {
+            out.push(
+                ctx.diag(
+                    "naive-accumulation",
+                    t,
+                    "float `.fold(...)` seeded with a literal is an uncompensated reduction — use \
+                 `NeumaierSum`"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+    out
+}
+
+fn panic_surface(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if ctx.class.kind != FileKind::Library {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        let method_call =
+            i > 0 && toks[i - 1].is_punct(".") && toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+        if method_call
+            && matches!(
+                t.text.as_str(),
+                "unwrap" | "expect" | "unwrap_err" | "expect_err"
+            )
+        {
+            out.push(ctx.diag(
+                "panic-surface",
+                t,
+                format!(
+                    "`.{}()` can panic in library code — return the crate's error type (PR 1 \
+                     taxonomy) or justify the invariant with a suppression",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        if matches!(
+            t.text.as_str(),
+            "panic" | "unreachable" | "todo" | "unimplemented"
+        ) && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            out.push(ctx.diag(
+                "panic-surface",
+                t,
+                format!(
+                    "`{}!` in library code aborts the caller — return an error or justify with \
+                     a suppression",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Hash-collection iteration methods whose visit order is seeded per
+/// process by `RandomState`.
+const HASH_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "retain",
+];
+
+fn nondeterminism(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !config::NONDET_CRATES.contains(&ctx.class.crate_name.as_str())
+        || ctx.class.kind != FileKind::Library
+    {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    // Pass 1: identifiers bound to a hash collection, from `name: HashMap`
+    // (let/field/param) or `name = HashMap::...` declarations. The type
+    // path may be qualified (`std::collections::HashMap`).
+    let mut hash_idents: Vec<&str> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over a leading path (`std :: collections ::`).
+        let mut head = i;
+        while head >= 2 && toks[head - 1].is_punct("::") && toks[head - 2].kind == TokKind::Ident {
+            head -= 2;
+        }
+        if head == 0 {
+            continue;
+        }
+        let before = &toks[head - 1];
+        let binder = if (before.is_punct(":") || before.is_punct("=")) && head >= 2 {
+            Some(&toks[head - 2])
+        } else if before.is_punct("&") && head >= 3 && toks[head - 2].is_punct(":") {
+            Some(&toks[head - 3])
+        } else {
+            None
+        };
+        if let Some(b) = binder {
+            if b.kind == TokKind::Ident {
+                hash_idents.push(&b.text);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        let tracked = hash_idents.contains(&t.text.as_str());
+        // `map.iter()` / `map.values()` / ... on a tracked binding.
+        if tracked
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("."))
+            && toks
+                .get(i + 2)
+                .is_some_and(|m| HASH_ITER_METHODS.contains(&m.text.as_str()))
+            && toks.get(i + 3).is_some_and(|n| n.is_punct("("))
+        {
+            out.push(ctx.diag(
+                "nondeterminism",
+                t,
+                format!(
+                    "iterating hash collection `{}`: visit order is randomized per process — \
+                     use BTreeMap/BTreeSet, or sort before consuming and justify with a \
+                     suppression",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        // `for ... in [&][mut] map`.
+        if tracked && i > 0 {
+            let mut j = i;
+            while j > 0 && (toks[j - 1].is_punct("&") || toks[j - 1].is_ident("mut")) {
+                j -= 1;
+            }
+            if j > 0 && toks[j - 1].is_ident("in") {
+                out.push(ctx.diag(
+                    "nondeterminism",
+                    t,
+                    format!(
+                        "`for` over hash collection `{}`: visit order is randomized per \
+                         process — use BTreeMap/BTreeSet",
+                        t.text
+                    ),
+                ));
+                continue;
+            }
+        }
+        // `pub fn ... -> ... HashMap/HashSet`: callers inherit the
+        // randomized order. (`pub(crate)` visibility qualifiers included.)
+        if t.is_ident("pub") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|n| n.is_punct("(")) {
+                while j < toks.len() && !toks[j].is_punct(")") {
+                    j += 1;
+                }
+                j += 1;
+            }
+            if !toks.get(j).is_some_and(|n| n.is_ident("fn")) {
+                continue;
+            }
+            let fn_name = j + 1;
+            let mut j = fn_name;
+            let mut arrow = false;
+            while j < toks.len() && !toks[j].is_punct("{") && !toks[j].is_punct(";") {
+                if toks[j].is_punct("->") {
+                    arrow = true;
+                }
+                if arrow && (toks[j].is_ident("HashMap") || toks[j].is_ident("HashSet")) {
+                    out.push(
+                        ctx.diag(
+                            "nondeterminism",
+                            &toks[fn_name],
+                            "public fn returns a hash collection: callers inherit randomized \
+                         iteration order — return BTreeMap/BTreeSet or a sorted Vec"
+                                .to_string(),
+                        ),
+                    );
+                    break;
+                }
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+fn wall_clock_randomness(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !config::CLOCK_CRATES.contains(&ctx.class.crate_name.as_str())
+        || ctx.class.kind != FileKind::Library
+        || config::path_matches(&ctx.class.rel_path, config::CLOCK_EXEMPT)
+    {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) || t.kind != TokKind::Ident {
+            continue;
+        }
+        if (t.is_ident("Instant") || t.is_ident("SystemTime"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("now"))
+        {
+            out.push(ctx.diag(
+                "wall-clock-randomness",
+                t,
+                format!(
+                    "`{}::now()` in a result-producing path makes output depend on the host \
+                     clock — confine timing to RunStats/eval::timer and justify with a \
+                     suppression",
+                    t.text
+                ),
+            ));
+            continue;
+        }
+        if t.is_ident("StdRng") || t.is_ident("ems_rng") || t.is_ident("thread_rng") {
+            out.push(ctx.diag(
+                "wall-clock-randomness",
+                t,
+                format!(
+                    "`{}` in a result-producing crate: randomness must enter only through \
+                     seeded generators in `synth`/`rng`",
+                    t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn unsafe_audit(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i) || !t.is_ident("unsafe") {
+            continue;
+        }
+        let audited = ctx.lexed.comments.iter().any(|c| {
+            c.text.trim().starts_with("SAFETY:")
+                && c.line <= t.line
+                && t.line.saturating_sub(c.line) <= 3
+        });
+        if !audited {
+            out.push(
+                ctx.diag(
+                    "unsafe-audit",
+                    t,
+                    "`unsafe` without an adjacent `// SAFETY:` comment — document the invariant \
+                 that makes this sound (and keep `#![forbid(unsafe_code)]` wherever possible)"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+    out
+}

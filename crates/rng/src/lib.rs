@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Deterministic, dependency-free pseudo-random numbers.
 //!
 //! The workspace is built in offline environments, so it cannot pull the

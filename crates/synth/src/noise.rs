@@ -58,6 +58,7 @@ impl NoiseConfig {
 pub fn apply_noise(log: &EventLog, config: &NoiseConfig) -> EventLog {
     config
         .validate()
+        // ems-lint: allow(panic-surface, documented '# Panics' contract for invalid generator configs; validate() is the fallible path)
         .unwrap_or_else(|m| panic!("invalid noise config: {m}"));
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut out = EventLog::new();

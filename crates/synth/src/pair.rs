@@ -5,7 +5,7 @@ use crate::tree::{generate_tree, insert_extras, jitter_weights, reorder_blocks, 
 use crate::truth::GroundTruth;
 use ems_events::{cut_prefix, cut_suffix, merge_composite, rename_events, EventId, EventLog};
 use ems_rng::StdRng;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Where dislocation is injected — which part of log 2's traces is removed,
 /// mirroring the paper's DS-F / DS-B / DS-FB testbeds and the Figure 9
@@ -176,7 +176,7 @@ impl PairGenerator {
                 }
                 run = vec![a, b];
                 while run.len() < want_len {
-                    let last = *run.last().expect("run is non-empty");
+                    let Some(&last) = run.last() else { break };
                     match pairs.iter().find(|&&(x, _)| x == last) {
                         Some(&(_, nxt)) if !run.contains(&nxt) => run.push(nxt),
                         _ => break,
@@ -316,7 +316,7 @@ fn alphabet(log: &EventLog) -> Vec<String> {
 fn always_consecutive_pairs(log: &EventLog) -> Vec<(EventId, EventId)> {
     let n = log.alphabet_size();
     let mut occ = vec![0u32; n];
-    let mut follows: HashMap<(usize, usize), u32> = HashMap::new();
+    let mut follows: BTreeMap<(usize, usize), u32> = BTreeMap::new();
     for trace in log.traces() {
         for &e in trace.events() {
             occ[e.index()] += 1;

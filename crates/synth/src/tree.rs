@@ -152,6 +152,7 @@ fn build(
                         .collect();
                     ProcessTree::Xor(weighted)
                 }
+                // ems-lint: allow(panic-surface, Op::Loop is rewritten into tail recursion before this match; reaching it is a generator bug worth aborting on)
                 Op::Loop => unreachable!(),
             }
         }

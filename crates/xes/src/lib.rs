@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Hand-written XES event-log parser and serializer.
 //!
 //! [XES](https://xes-standard.org/) (eXtensible Event Stream) is the IEEE

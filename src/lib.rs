@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Umbrella crate for the SIGMOD'14 *Matching Heterogeneous Event Data*
 //! reproduction: re-exports the full public API of the workspace.
 //!
