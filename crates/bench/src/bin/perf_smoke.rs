@@ -1,15 +1,20 @@
 //! CI perf smoke: times the seed reference kernel against the precomputed
 //! worklist kernel (serial and parallel) on synthetic log pairs and writes
-//! the results as `BENCH_pr2.json` (path overridable via the first CLI
-//! argument). Intended to catch large kernel regressions, not to be a
-//! rigorous benchmark — each configuration is timed best-of-N wall clock.
+//! the results as `BENCH_pr4.json` (path overridable via `--out PATH` or a
+//! bare positional argument). A Prometheus-text metrics file is written
+//! alongside (same stem, `.prom` extension), and every size's JSON entry
+//! carries the per-iteration convergence telemetry of an untimed traced
+//! run. Intended to catch large kernel regressions, not to be a rigorous
+//! benchmark — each configuration is timed best-of-N wall clock.
 
 use ems_core::engine::{Engine, RunOptions, RunOutput};
 use ems_core::{Direction, EmsParams};
 use ems_depgraph::DependencyGraph;
 use ems_labels::LabelMatrix;
+use ems_obs::{IterationRecord, Record, Recorder};
 use ems_synth::{PairConfig, PairGenerator, TreeConfig};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 const SIZES: &[usize] = &[50, 200, 800];
@@ -65,6 +70,7 @@ struct SizeReport {
     reference_ms: f64,
     serial_ms: f64,
     parallel_ms: f64,
+    convergence: Vec<IterationRecord>,
 }
 
 impl SizeReport {
@@ -77,13 +83,36 @@ impl SizeReport {
     }
 }
 
+/// Parses `[--out PATH]` (or a bare positional path, kept for
+/// back-compatibility with the PR2 invocation) from `argv`.
+fn parse_out_path(args: impl Iterator<Item = String>) -> Result<String, String> {
+    let mut out_path = "BENCH_pr4.json".to_owned();
+    let mut args = args.peekable();
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => return Err("--out requires a path".to_owned()),
+            },
+            other if !other.starts_with('-') => out_path = other.to_owned(),
+            other => return Err(format!("unknown flag {other} (expected --out PATH)")),
+        }
+    }
+    Ok(out_path)
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pr2.json".to_owned());
+    let out_path = match parse_out_path(std::env::args().skip(1)) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("perf_smoke: {e}");
+            std::process::exit(2);
+        }
+    };
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let metrics = Recorder::new();
     let mut reports = Vec::new();
     for &n in SIZES {
         let (l1, l2) = pair(n);
@@ -120,6 +149,37 @@ fn main() {
         assert_eq!(serial_out.sim.data(), parallel_out.sim.data());
         assert_eq!(ref_out.stats.iterations, parallel_out.stats.iterations);
 
+        // One untimed traced run per size captures the convergence curve
+        // (the timed runs stay recorder-free so instrumentation cost never
+        // leaks into the wall-clock numbers).
+        let recorder = Arc::new(Recorder::new());
+        let traced_opts = RunOptions {
+            threads: Some(1),
+            recorder: Some(Arc::clone(&recorder)),
+            ..RunOptions::default()
+        };
+        let traced_out = engine.run(&traced_opts);
+        assert_eq!(traced_out.sim.data(), serial_out.sim.data());
+        let convergence: Vec<IterationRecord> = recorder
+            .records()
+            .into_iter()
+            .filter_map(|r| match r {
+                Record::Iteration(ir) => Some(ir),
+                _ => None,
+            })
+            .collect();
+
+        let size_labels =
+            |kernel: &str| ems_obs::labels(&[("n", &n.to_string()), ("kernel", kernel)]);
+        metrics.gauge_set("bench_wall_ms", size_labels("reference"), reference_ms);
+        metrics.gauge_set("bench_wall_ms", size_labels("serial"), serial_ms);
+        metrics.gauge_set("bench_wall_ms", size_labels("parallel"), parallel_ms);
+        metrics.gauge_set(
+            "bench_formula_evals",
+            ems_obs::labels(&[("n", &n.to_string())]),
+            serial_out.stats.formula_evals as f64,
+        );
+
         let report = SizeReport {
             n,
             pairs: g1.num_real() * g2.num_real(),
@@ -129,6 +189,7 @@ fn main() {
             reference_ms,
             serial_ms,
             parallel_ms,
+            convergence,
         };
         eprintln!(
             "n={n}: reference {reference_ms:.1} ms, serial {serial_ms:.1} ms \
@@ -140,7 +201,7 @@ fn main() {
     }
 
     let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"pr2_fixpoint_kernel\",\n");
+    json.push_str("{\n  \"bench\": \"pr4_fixpoint_kernel\",\n");
     let _ = writeln!(json, "  \"parallel_threads\": {threads},");
     json.push_str("  \"sizes\": [\n");
     for (i, r) in reports.iter().enumerate() {
@@ -175,9 +236,32 @@ fn main() {
         );
         let _ = writeln!(
             json,
-            "      \"speedup_parallel_vs_reference\": {:.2}",
+            "      \"speedup_parallel_vs_reference\": {:.2},",
             r.reference_ms / r.parallel_ms
         );
+        json.push_str("      \"convergence\": [\n");
+        for (j, it) in r.convergence.iter().enumerate() {
+            let _ = write!(
+                json,
+                "        {{\"iteration\": {}, \"max_delta\": ",
+                it.iteration
+            );
+            ems_obs::json::write_f64(&mut json, it.max_delta);
+            json.push_str(", \"mean_delta\": ");
+            ems_obs::json::write_f64(&mut json, it.mean_delta);
+            let _ = write!(
+                json,
+                ", \"active_pairs\": {}, \"retired_pairs\": {}, \
+                 \"frozen_pairs\": {}, \"formula_evals\": {}}}",
+                it.active_pairs, it.retired_pairs, it.frozen_pairs, it.formula_evals
+            );
+            json.push_str(if j + 1 == r.convergence.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        json.push_str("      ]\n");
         json.push_str(if i + 1 == reports.len() {
             "    }\n"
         } else {
@@ -189,5 +273,13 @@ fn main() {
         eprintln!("perf_smoke: cannot write {out_path}: {e}");
         std::process::exit(1);
     }
-    println!("wrote {out_path}");
+    let prom_path = match out_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.prom"),
+        None => format!("{out_path}.prom"),
+    };
+    if let Err(e) = std::fs::write(&prom_path, ems_obs::prom::write(&metrics.records())) {
+        eprintln!("perf_smoke: cannot write {prom_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path} and {prom_path}");
 }

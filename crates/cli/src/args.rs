@@ -14,6 +14,8 @@ USAGE:
   ems synth   [OPTIONS]                        generate a synthetic log pair
   ems convert <in.(xes|mxml)> <out.(xes|mxml)> [--recover]
                                                convert between formats
+  ems report  <trace.jsonl>                    render a recorded run trace as a
+                                               human-readable report
   ems help                                     this text
 
 MATCH OPTIONS:
@@ -34,6 +36,10 @@ MATCH OPTIONS:
   --threads <N>     worker threads for the fixpoint iteration; 0 = all
                     available cores (default), 1 = serial. Results are
                     bit-identical for every value
+  --trace <FILE>    write a JSONL run trace (per-iteration convergence,
+                    phases, events; schema ems-trace/1) — render it with
+                    `ems report`
+  --metrics <FILE>  write Prometheus-style text metrics
   --quiet           print only the correspondence lines
 
 COMPARE OPTIONS:
@@ -67,6 +73,8 @@ pub enum Command {
         output: String,
         recover: bool,
     },
+    /// Render a recorded JSONL trace as a human-readable run report.
+    Report { path: String },
     /// Print usage.
     Help,
 }
@@ -87,6 +95,8 @@ pub struct MatchArgs {
     pub recover: bool,
     pub budget: Option<Budget>,
     pub threads: usize,
+    pub trace: Option<String>,
+    pub metrics: Option<String>,
     pub quiet: bool,
 }
 
@@ -105,6 +115,16 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             let path = it.next().ok_or("`ems dot` needs a log path")?.to_owned();
             let recover = recover_flag(it)?;
             Ok(Command::Dot { path, recover })
+        }
+        "report" => {
+            let path = it
+                .next()
+                .ok_or("`ems report` needs a trace path")?
+                .to_owned();
+            if let Some(extra) = it.next() {
+                return Err(format!("unexpected argument `{extra}`"));
+            }
+            Ok(Command::Report { path })
         }
         "convert" => {
             let input = it
@@ -245,6 +265,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 recover: false,
                 budget: None,
                 threads: 0,
+                trace: None,
+                metrics: None,
                 quiet: false,
             };
             let rest: Vec<&String> = it.collect();
@@ -279,6 +301,8 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                             .parse()
                             .map_err(|_| "--threads needs a non-negative integer".to_owned())?
                     }
+                    "--trace" => args.trace = Some(value("--trace")?.to_owned()),
+                    "--metrics" => args.metrics = Some(value("--metrics")?.to_owned()),
                     "--quiet" => args.quiet = true,
                     other => return Err(format!("unknown option `{other}`")),
                 }
@@ -465,6 +489,36 @@ mod tests {
                 recover: false
             }
         );
+    }
+
+    #[test]
+    fn parses_trace_metrics_and_report() {
+        match parse(&sv(&[
+            "match",
+            "a.xes",
+            "b.xes",
+            "--trace",
+            "run.jsonl",
+            "--metrics",
+            "run.prom",
+        ]))
+        .unwrap()
+        {
+            Command::Match(m) => {
+                assert_eq!(m.trace.as_deref(), Some("run.jsonl"));
+                assert_eq!(m.metrics.as_deref(), Some("run.prom"));
+            }
+            c => panic!("unexpected {c:?}"),
+        }
+        assert_eq!(
+            parse(&sv(&["report", "run.jsonl"])).unwrap(),
+            Command::Report {
+                path: "run.jsonl".into()
+            }
+        );
+        assert!(parse(&sv(&["report"])).is_err());
+        assert!(parse(&sv(&["report", "a", "b"])).is_err());
+        assert!(parse(&sv(&["match", "a", "b", "--trace"])).is_err());
     }
 
     #[test]

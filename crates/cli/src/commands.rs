@@ -6,11 +6,13 @@ use ems_core::composite::{
     discover_candidates, CandidateConfig, CompositeConfig, CompositeMatcher,
 };
 use ems_core::{Ems, EmsParams, RunOptions};
-use ems_depgraph::{filter_min_frequency, to_dot, DependencyGraph};
+use ems_depgraph::{filter_min_frequency, observe_graph, to_dot, DependencyGraph};
 use ems_error::EmsError;
 use ems_eval::Table;
 use ems_events::{EventId, EventLog, LogStats};
+use ems_obs::Recorder;
 use ems_xes::ParseMode;
+use std::sync::Arc;
 
 /// Executes a parsed command.
 pub fn run(cmd: Command) -> Result<(), EmsError> {
@@ -32,7 +34,17 @@ pub fn run(cmd: Command) -> Result<(), EmsError> {
             output,
             recover,
         } => crate::extra::convert(&input, &output, recover),
+        Command::Report { path } => report(&path),
     }
+}
+
+/// Renders a human-readable run report from a `--trace` JSONL file.
+fn report(path: &str) -> Result<(), EmsError> {
+    let text = std::fs::read_to_string(path).map_err(|e| EmsError::io(path, e.to_string()))?;
+    let records = ems_obs::jsonl::parse_records(&text)
+        .map_err(|e| EmsError::usage(format!("{path}: not a valid ems trace: {e}")))?;
+    print!("{}", ems_obs::report::render(&records));
+    Ok(())
 }
 
 /// Attaches the file path to errors whose context would otherwise be lost
@@ -54,6 +66,16 @@ pub(crate) fn with_path(e: EmsError, path: &str) -> EmsError {
 /// Loads an event log, auto-detecting XES vs MXML. In recovery mode,
 /// malformed regions are skipped and reported one-per-line on stderr.
 pub(crate) fn load(path: &str, recover: bool) -> Result<EventLog, EmsError> {
+    load_traced(path, recover, None)
+}
+
+/// Like [`load`], but additionally tallies ingestion warning counts into a
+/// [`Recorder`] (as `xes_warnings{kind,log}` counters) when one is given.
+fn load_traced(
+    path: &str,
+    recover: bool,
+    trace: Option<(&Recorder, &str)>,
+) -> Result<EventLog, EmsError> {
     let mode = if recover {
         ParseMode::Recovery
     } else {
@@ -64,6 +86,9 @@ pub(crate) fn load(path: &str, recover: bool) -> Result<EventLog, EmsError> {
         ems_xes::load_event_log_str(&text, mode).map_err(|e| with_path(e.into(), path))?;
     for w in &recovered.warnings {
         eprintln!("ems: warning: {path}: {w}");
+    }
+    if let Some((recorder, label)) = trace {
+        ems_xes::record_ingestion(recorder, label, &recovered);
     }
     let mut log = recovered.log;
     if log.name().is_none() {
@@ -108,8 +133,11 @@ fn do_match(args: &MatchArgs) -> Result<(), EmsError> {
             "--budget is not supported together with --composites",
         ));
     }
-    let l1 = load(&args.log1, args.recover)?;
-    let l2 = load(&args.log2, args.recover)?;
+    let recorder =
+        (args.trace.is_some() || args.metrics.is_some()).then(|| Arc::new(Recorder::new()));
+    let rec = recorder.as_deref();
+    let l1 = load_traced(&args.log1, args.recover, rec.map(|r| (r, "log1")))?;
+    let l2 = load_traced(&args.log2, args.recover, rec.map(|r| (r, "log2")))?;
     let mut params = EmsParams {
         alpha: args.alpha,
         c: args.c,
@@ -128,7 +156,8 @@ fn do_match(args: &MatchArgs) -> Result<(), EmsError> {
         };
         let cands1 = discover_candidates(&l1, &CandidateConfig::default());
         let cands2 = discover_candidates(&l2, &CandidateConfig::default());
-        let outcome = CompositeMatcher::new(ems, config).match_logs(&l1, &l2, &cands1, &cands2);
+        let outcome =
+            CompositeMatcher::new(ems, config).match_logs_recorded(&l1, &l2, &cands1, &cands2, rec);
         if !args.quiet {
             for m in &outcome.merges {
                 println!(
@@ -142,11 +171,19 @@ fn do_match(args: &MatchArgs) -> Result<(), EmsError> {
     } else {
         let g1 = DependencyGraph::from_log(&l1);
         let g2 = DependencyGraph::from_log(&l2);
-        let (g1, _) = filter_min_frequency(&g1, args.min_freq);
-        let (g2, _) = filter_min_frequency(&g2, args.min_freq);
+        let (g1, removed1) = filter_min_frequency(&g1, args.min_freq);
+        let (g2, removed2) = filter_min_frequency(&g2, args.min_freq);
+        if let Some(r) = rec {
+            observe_graph(&g1, r, "log1");
+            observe_graph(&g2, r, "log2");
+            let filtered = |side| ems_obs::labels(&[("side", side)]);
+            r.counter_add("graph_filtered_vertices", filtered("log1"), removed1 as u64);
+            r.counter_add("graph_filtered_vertices", filtered("log2"), removed2 as u64);
+        }
         let labels = ems.label_matrix(&l1, &l2);
         let options = RunOptions {
             budget: args.budget.clone().unwrap_or_default(),
+            recorder: recorder.clone(),
             ..Default::default()
         };
         let out = ems.try_match_graphs_opts(&g1, &g2, &labels, &options, &options)?;
@@ -190,6 +227,17 @@ fn do_match(args: &MatchArgs) -> Result<(), EmsError> {
         table
             .write_csv(csv)
             .map_err(|e| EmsError::io(csv, e.to_string()))?;
+    }
+    if let Some(r) = &recorder {
+        let records = r.records();
+        if let Some(path) = &args.trace {
+            std::fs::write(path, ems_obs::jsonl::write(&records))
+                .map_err(|e| EmsError::io(path, e.to_string()))?;
+        }
+        if let Some(path) = &args.metrics {
+            std::fs::write(path, ems_obs::prom::write(&records))
+                .map_err(|e| EmsError::io(path, e.to_string()))?;
+        }
     }
     Ok(())
 }
@@ -249,6 +297,8 @@ mod tests {
             budget: None,
             threads: 0,
             quiet: true,
+            trace: None,
+            metrics: None,
         };
         do_match(&args).unwrap();
         let csv = std::fs::read_to_string(dir.join("out.csv")).unwrap();
@@ -275,8 +325,54 @@ mod tests {
             budget: None,
             threads: 0,
             quiet: true,
+            trace: None,
+            metrics: None,
         };
         do_match(&args).unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn traced_match_exports_valid_trace_and_metrics() {
+        let dir = tmpdir("traced");
+        let (p1, p2) = write_sample_logs(&dir);
+        let trace_path = dir.join("run.jsonl").to_string_lossy().into_owned();
+        let metrics_path = dir.join("run.prom").to_string_lossy().into_owned();
+        let args = MatchArgs {
+            log1: p1,
+            log2: p2,
+            alpha: 1.0,
+            c: 0.8,
+            estimate: None,
+            min_freq: 0.0,
+            min_score: 0.0,
+            composites: false,
+            delta: 0.005,
+            csv: None,
+            recover: false,
+            budget: None,
+            threads: 0,
+            quiet: true,
+            trace: Some(trace_path.clone()),
+            metrics: Some(metrics_path.clone()),
+        };
+        do_match(&args).unwrap();
+
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        let records = ems_obs::jsonl::parse_records(&trace).unwrap();
+        // Both engines must report a convergence curve with non-increasing
+        // max deltas, and the graph/run instrumentation must be present.
+        let curves = ems_obs::jsonl::check_convergence(&records).unwrap();
+        assert_eq!(curves.len(), 2, "expected forward + backward curves");
+        assert!(trace.contains("graph_vertices"));
+        assert!(trace.contains("run.iterations"));
+
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(metrics.contains("# TYPE ems_graph_vertices gauge"));
+        assert!(metrics.contains("ems_run_iterations"));
+
+        // The report subcommand renders the same trace.
+        report(&trace_path).unwrap();
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -317,6 +413,8 @@ mod tests {
             }),
             threads: 0,
             quiet: true,
+            trace: None,
+            metrics: None,
         };
         let err = do_match(&args).unwrap_err();
         assert_eq!(err.exit_code(), 2);

@@ -8,6 +8,7 @@ use crate::matcher::{Ems, MatchOutcome};
 use crate::sim::SimMatrix;
 use ems_depgraph::{ancestor_sets, descendant_sets, DependencyGraph};
 use ems_events::{merge_composite, EventLog};
+use ems_obs::Recorder;
 
 /// Configuration of the greedy composite search.
 #[derive(Debug, Clone, PartialEq)]
@@ -108,6 +109,24 @@ impl CompositeMatcher {
         cands1: &[Candidate],
         cands2: &[Candidate],
     ) -> CompositeOutcome {
+        self.match_logs_recorded(l1, l2, cands1, cands2, None)
+    }
+
+    /// As [`match_logs`](Self::match_logs), additionally reporting search
+    /// telemetry to `recorder`: accepted-merge events and round/candidate
+    /// tallies. The inner per-candidate engine runs are intentionally
+    /// *not* traced — a composite search performs dozens of throwaway
+    /// similarity computations, and iteration-level records for each would
+    /// drown the trace in discarded work; the aggregated engine counters
+    /// are still available via [`CompositeOutcome::stats`].
+    pub fn match_logs_recorded(
+        &self,
+        l1: &EventLog,
+        l2: &EventLog,
+        cands1: &[Candidate],
+        cands2: &[Candidate],
+        recorder: Option<&Recorder>,
+    ) -> CompositeOutcome {
         let g1 = DependencyGraph::from_log(l1);
         let g2 = DependencyGraph::from_log(l2);
         let labels = self.ems.label_matrix(l1, l2);
@@ -173,8 +192,26 @@ impl CompositeMatcher {
             }
         }
 
+        let average = state.outcome.similarity.average();
+        if let Some(rec) = recorder {
+            for m in &merges {
+                rec.event(
+                    "composite.merge",
+                    vec![
+                        ("side".to_string(), m.side.to_string()),
+                        ("name".to_string(), m.candidate.merged_name()),
+                    ],
+                );
+            }
+            rec.counter_add("composite.rounds", vec![], rounds as u64);
+            rec.counter_add("composite.candidates_evaluated", vec![], evaluated as u64);
+            rec.counter_add("composite.candidates_aborted", vec![], aborted as u64);
+            rec.counter_add("composite.merges", vec![], merges.len() as u64);
+            rec.gauge_set("composite.average", vec![], average);
+        }
+
         CompositeOutcome {
-            average: state.outcome.similarity.average(),
+            average,
             similarity: state.outcome.similarity,
             log1: state.log1,
             log2: state.log2,

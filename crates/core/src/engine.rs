@@ -32,7 +32,8 @@ use ems_depgraph::{
     longest_distances, longest_distances_backward, DependencyGraph, Distance, NodeId,
 };
 use ems_labels::LabelMatrix;
-use std::sync::Mutex;
+use ems_obs::{IterationRecord, Recorder};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Below this many active pairs an iteration runs serially even when more
@@ -108,6 +109,14 @@ pub struct RunOptions {
     /// [`EmsParams::threads`]. `Some(1)` forces the serial path, `Some(0)`
     /// uses all available parallelism.
     pub threads: Option<usize>,
+    /// Optional telemetry sink. When set, the run emits per-iteration
+    /// convergence records, budget/abort events, phase spans and work
+    /// counters. The recorded content (except span durations) is
+    /// bit-identical across the reference kernel, the serial worklist
+    /// kernel and the parallel kernel at any thread count: the mean delta
+    /// is Neumaier-summed over the evaluated pair set in ascending pair
+    /// order, which both kernels share.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 /// Wall-clock time spent in each phase of a run.
@@ -123,6 +132,20 @@ pub struct PhaseTimes {
 }
 
 impl PhaseTimes {
+    /// Merge is **by sum**, phase by phase. This is the right semantics
+    /// for aggregating *distinct* work (forward + backward engines, or
+    /// composite candidate runs), but note two consequences:
+    ///
+    /// * `setup` is paid once per [`Engine`] yet *reported* with every
+    ///   run of that engine, so merging N runs of the same engine counts
+    ///   the one real setup N times. The merged value answers "how much
+    ///   setup time do the merged reports claim", not "how much setup
+    ///   work happened".
+    /// * Runs that executed concurrently sum to more than the wall-clock
+    ///   interval they occupied; the merged total is CPU-time-like.
+    ///
+    /// See `merge_sums_phase_times_documenting_double_count` in the tests
+    /// for the pinned behavior.
     fn merge(&mut self, other: &PhaseTimes) {
         self.setup += other.setup;
         self.exact += other.exact;
@@ -156,7 +179,11 @@ pub struct RunStats {
 }
 
 impl RunStats {
-    /// Merges counters from another run (e.g. forward + backward).
+    /// Merges counters from another run (e.g. forward + backward):
+    /// `iterations` takes the max, the work counters and flags accumulate,
+    /// and `phase_times` merges **by sum** — see [`PhaseTimes`] for the
+    /// double-counting caveat when the merged runs share one engine's
+    /// setup.
     pub fn merge(&mut self, other: &RunStats) {
         self.iterations = self.iterations.max(other.iterations);
         self.formula_evals += other.formula_evals;
@@ -276,6 +303,38 @@ impl<'a> Engine<'a> {
     /// (Proposition 2).
     pub fn pair_bound(&self, v1: usize, v2: usize) -> Distance {
         Distance::min(self.l1[v1], self.l2[v2])
+    }
+
+    /// Telemetry label for this engine's direction.
+    fn engine_label(&self) -> &'static str {
+        match self.direction {
+            Direction::Forward => "forward",
+            Direction::Backward => "backward",
+        }
+    }
+
+    fn engine_attrs(&self) -> Vec<(String, String)> {
+        vec![("engine".to_string(), self.engine_label().to_string())]
+    }
+
+    /// Emits the end-of-run phase spans (from the already-measured
+    /// `PhaseTimes` — no clock reads here) and work counters. The counter
+    /// values equal the `RunStats` fields, so the recorded content is
+    /// identical across kernels and thread counts.
+    fn record_run_summary(&self, rec: &Recorder, stats: &RunStats) {
+        let attrs = self.engine_attrs();
+        rec.span_closed("phase.setup", attrs.clone(), stats.phase_times.setup);
+        rec.span_closed("phase.exact", attrs.clone(), stats.phase_times.exact);
+        rec.span_closed(
+            "phase.estimation",
+            attrs.clone(),
+            stats.phase_times.estimation,
+        );
+        rec.counter_add("run.iterations", attrs.clone(), stats.iterations as u64);
+        rec.counter_add("run.formula_evals", attrs.clone(), stats.formula_evals);
+        rec.counter_add("run.pruned_evals", attrs.clone(), stats.pruned_evals);
+        rec.counter_add("run.frozen_evals", attrs.clone(), stats.frozen_evals);
+        rec.counter_add("run.estimated_pairs", attrs, stats.estimated_pairs);
     }
 
     fn neighbors(&self, side1: bool, v: NodeId) -> &[(NodeId, f64)] {
@@ -513,6 +572,9 @@ impl<'a> Engine<'a> {
                 .budget
                 .exhausted(stats.iterations, stats.formula_evals, started)
             {
+                if let Some(rec) = options.recorder.as_deref() {
+                    rec.event("budget.exhausted", self.engine_attrs());
+                }
                 exhausted = true;
                 break;
             }
@@ -619,6 +681,38 @@ impl<'a> Engine<'a> {
             stats.iterations = i;
             prev_known_zero = false;
 
+            if let Some(rec) = options.recorder.as_deref() {
+                // After the swap `next` holds the previous iterate for
+                // every active pair (retired pairs were synced at
+                // retirement), so the mean delta can be taken here without
+                // touching the hot loop. Summation runs over the worklist
+                // in ascending pair order with Neumaier compensation — the
+                // same order and arithmetic the reference kernel's scan
+                // uses, so the value is bit-identical across kernels and
+                // thread counts.
+                let cur_data = current.data();
+                let prev_data = next.data();
+                let mut delta_sum = NeumaierSum::new();
+                for ap in &work {
+                    delta_sum.add((cur_data[ap.k as usize] - prev_data[ap.k as usize]).abs());
+                }
+                let mean_delta = if work.is_empty() {
+                    0.0
+                } else {
+                    delta_sum.value() / work.len() as f64
+                };
+                rec.iteration(IterationRecord {
+                    engine: self.engine_label().to_string(),
+                    iteration: i,
+                    max_delta: delta,
+                    mean_delta,
+                    active_pairs: work.len(),
+                    retired_pairs: retired_count,
+                    frozen_pairs: frozen_count,
+                    formula_evals: stats.formula_evals,
+                });
+            }
+
             if let Some(threshold) = options.abort_below {
                 // Incremental upper-bound average: retired pairs carry
                 // their (constant) value via `retired_sum`; only frozen and
@@ -647,6 +741,10 @@ impl<'a> Engine<'a> {
                 if upper_avg < threshold {
                     stats.aborted = true;
                     stats.phase_times.exact = exact_started.elapsed();
+                    if let Some(rec) = options.recorder.as_deref() {
+                        rec.event("run.aborted", self.engine_attrs());
+                        self.record_run_summary(rec, &stats);
+                    }
                     return Ok(RunOutput {
                         sim: current,
                         stats,
@@ -661,10 +759,28 @@ impl<'a> Engine<'a> {
         stats.phase_times.exact = exact_started.elapsed();
 
         stats.degraded = exhausted;
+        let recorder = options.recorder.as_deref();
+        if exhausted {
+            if let Some(rec) = recorder {
+                rec.event("run.degraded", self.engine_attrs());
+            }
+        }
         // ems-lint: allow(wall-clock-randomness, phase timing feeds RunStats telemetry only, never similarity values)
         let est_started = Instant::now();
-        self.estimation_phase(&mut stats, &mut current, &next, &frozen, exhausted, n1, n2);
+        self.estimation_phase(
+            &mut stats,
+            &mut current,
+            &next,
+            &frozen,
+            exhausted,
+            n1,
+            n2,
+            recorder,
+        );
         stats.phase_times.estimation = est_started.elapsed();
+        if let Some(rec) = recorder {
+            self.record_run_summary(rec, &stats);
+        }
 
         Ok(RunOutput {
             sim: current,
@@ -688,6 +804,7 @@ impl<'a> Engine<'a> {
         exhausted: bool,
         n1: usize,
         n2: usize,
+        recorder: Option<&Recorder>,
     ) {
         let p = self.params;
         let estimation_cap = match (p.estimate_after, exhausted) {
@@ -699,6 +816,11 @@ impl<'a> Engine<'a> {
             return;
         };
         let i_done = stats.iterations.min(cap);
+        if let Some(rec) = recorder {
+            let mut attrs = self.engine_attrs();
+            attrs.push(("after_iteration".to_string(), i_done.to_string()));
+            rec.event("estimation.start", attrs);
+        }
         for v1 in 0..n1 {
             for v2 in 0..n2 {
                 if frozen[v1 * n2 + v2] {
@@ -794,32 +916,46 @@ impl<'a> Engine<'a> {
         let exact_rounds = self.exact_rounds();
         let mut next = current.clone();
         let alpha = p.alpha;
+        let recorder = options.recorder.as_deref();
         let mut exhausted = false;
         for i in 1..=exact_rounds {
             if options
                 .budget
                 .exhausted(stats.iterations, stats.formula_evals, started)
             {
+                if let Some(rec) = recorder {
+                    rec.event("budget.exhausted", self.engine_attrs());
+                }
                 exhausted = true;
                 break;
             }
             let mut delta = 0.0_f64;
+            // Per-round telemetry tallies (only consumed when a recorder
+            // is attached): the scan visits pairs in ascending pair order,
+            // matching the worklist kernel's summation order exactly.
+            let mut round_evals = 0u64;
+            let mut round_pruned = 0u64;
+            let mut round_frozen = 0u64;
+            let mut delta_sum = NeumaierSum::new();
             for v1 in 0..n1 {
                 for v2 in 0..n2 {
                     let k = v1 * n2 + v2;
                     if frozen[k] {
                         stats.frozen_evals += 1;
+                        round_frozen += 1;
                         continue;
                     }
                     if p.pruning {
                         if let Distance::Finite(h) = self.pair_bound(v1, v2) {
                             if i > h as usize {
                                 stats.pruned_evals += 1;
+                                round_pruned += 1;
                                 continue;
                             }
                         }
                     }
                     stats.formula_evals += 1;
+                    round_evals += 1;
                     let s12 = self.one_side(&current, v1, v2, false);
                     let s21 = self.one_side(&current, v1, v2, true);
                     let mut value =
@@ -827,6 +963,9 @@ impl<'a> Engine<'a> {
                     // Numerical safety: theory guarantees [0,1].
                     value = value.clamp(0.0, 1.0);
                     delta = delta.max((value - current.get(v1, v2)).abs());
+                    if recorder.is_some() {
+                        delta_sum.add((value - current.get(v1, v2)).abs());
+                    }
                     next.set(v1, v2, value);
                 }
             }
@@ -846,6 +985,24 @@ impl<'a> Engine<'a> {
             std::mem::swap(&mut current, &mut next);
             stats.iterations = i;
 
+            if let Some(rec) = recorder {
+                let mean_delta = if round_evals == 0 {
+                    0.0
+                } else {
+                    delta_sum.value() / round_evals as f64
+                };
+                rec.iteration(IterationRecord {
+                    engine: self.engine_label().to_string(),
+                    iteration: i,
+                    max_delta: delta,
+                    mean_delta,
+                    active_pairs: round_evals as usize,
+                    retired_pairs: round_pruned,
+                    frozen_pairs: round_frozen,
+                    formula_evals: stats.formula_evals,
+                });
+            }
+
             if let Some(threshold) = options.abort_below {
                 let mut upper_sum = 0.0;
                 for v1 in 0..n1 {
@@ -863,6 +1020,10 @@ impl<'a> Engine<'a> {
                 let upper_avg = upper_sum / (n1 * n2) as f64;
                 if upper_avg < threshold {
                     stats.aborted = true;
+                    if let Some(rec) = recorder {
+                        rec.event("run.aborted", self.engine_attrs());
+                        self.record_run_summary(rec, &stats);
+                    }
                     return Ok(RunOutput {
                         sim: current,
                         stats,
@@ -876,7 +1037,24 @@ impl<'a> Engine<'a> {
         }
 
         stats.degraded = exhausted;
-        self.estimation_phase(&mut stats, &mut current, &next, &frozen, exhausted, n1, n2);
+        if exhausted {
+            if let Some(rec) = recorder {
+                rec.event("run.degraded", self.engine_attrs());
+            }
+        }
+        self.estimation_phase(
+            &mut stats,
+            &mut current,
+            &next,
+            &frozen,
+            exhausted,
+            n1,
+            n2,
+            recorder,
+        );
+        if let Some(rec) = recorder {
+            self.record_run_summary(rec, &stats);
+        }
 
         Ok(RunOutput {
             sim: current,
@@ -1444,6 +1622,94 @@ mod tests {
             assert_eq!(reference.stats.iterations, kernel.stats.iterations);
             assert_bit_identical(&reference.sim, &kernel.sim);
         }
+    }
+
+    /// Pins the documented `PhaseTimes` merge-by-sum semantics: merging
+    /// two reports that share one engine's setup counts that setup twice.
+    /// The merged value is "total reported time", not "distinct work" —
+    /// callers aggregating runs of a single engine must subtract the
+    /// duplicated setup themselves if they want wall-clock-like numbers.
+    #[test]
+    fn merge_sums_phase_times_documenting_double_count() {
+        let mut a = RunStats {
+            phase_times: PhaseTimes {
+                setup: Duration::from_micros(100),
+                exact: Duration::from_micros(10),
+                estimation: Duration::from_micros(1),
+            },
+            ..RunStats::default()
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.phase_times.setup, Duration::from_micros(200));
+        assert_eq!(a.phase_times.exact, Duration::from_micros(20));
+        assert_eq!(a.phase_times.estimation, Duration::from_micros(2));
+    }
+
+    /// The recorded telemetry (everything except span durations) must be
+    /// identical across the reference kernel, the serial worklist kernel
+    /// and the parallel kernel — the trace is part of the determinism
+    /// contract, not a best-effort diagnostic.
+    #[test]
+    fn telemetry_is_identical_across_kernels_and_threads() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let params = EmsParams::structural();
+        for direction in [Direction::Forward, Direction::Backward] {
+            let engine = Engine::new(&g1, &g2, &labels, &params, direction);
+            let trace_of = |kernel: &str, threads: usize| {
+                let rec = Arc::new(Recorder::new());
+                let opts = RunOptions {
+                    recorder: Some(Arc::clone(&rec)),
+                    threads: Some(threads),
+                    ..Default::default()
+                };
+                if kernel == "reference" {
+                    engine.run_reference(&opts);
+                } else {
+                    engine.run(&opts);
+                }
+                ems_obs::jsonl::write_redacted(&rec.records())
+            };
+            let reference = trace_of("reference", 1);
+            let serial = trace_of("worklist", 1);
+            let parallel = trace_of("worklist", 4);
+            assert_eq!(reference, serial, "reference vs serial trace");
+            assert_eq!(serial, parallel, "serial vs parallel trace");
+            assert!(serial.contains("\"type\":\"iteration\""));
+        }
+    }
+
+    /// A budget-exhausted run narrates its degradation through events.
+    #[test]
+    fn budget_exhaustion_emits_events() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let params = EmsParams::structural();
+        let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+        let rec = Arc::new(Recorder::new());
+        let out = engine.run(&RunOptions {
+            budget: Budget {
+                max_iterations: Some(1),
+                ..Default::default()
+            },
+            recorder: Some(Arc::clone(&rec)),
+            ..Default::default()
+        });
+        assert!(out.stats.degraded);
+        let names: Vec<String> = rec
+            .records()
+            .iter()
+            .filter_map(|r| match r {
+                ems_obs::Record::Event { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"budget.exhausted".to_string()), "{names:?}");
+        assert!(names.contains(&"run.degraded".to_string()), "{names:?}");
+        assert!(names.contains(&"estimation.start".to_string()), "{names:?}");
     }
 
     #[test]

@@ -54,6 +54,7 @@ mod filter;
 mod graph;
 mod longest;
 mod metrics;
+mod obs;
 
 pub use ancestors::{ancestor_sets, descendant_sets};
 pub use csr::{NeighborCsr, ARTIFICIAL_ENTRY};
@@ -63,3 +64,4 @@ pub use filter::filter_min_frequency;
 pub use graph::{DependencyGraph, NodeId};
 pub use longest::{longest_distances, longest_distances_backward, Distance};
 pub use metrics::{from_edge_csv, to_edge_csv, GraphMetrics};
+pub use obs::observe_graph;

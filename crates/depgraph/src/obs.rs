@@ -1,0 +1,53 @@
+//! Graph-construction telemetry: one call reports a built graph's shape
+//! to an [`ems_obs::Recorder`] so a `--trace` run can explain downstream
+//! engine cost (the pair space is `vertices(g1) × vertices(g2)`).
+
+use crate::graph::DependencyGraph;
+use ems_obs::Recorder;
+
+/// Records `graph_vertices`, `graph_edges` and `graph_avg_degree` gauges
+/// labeled with `side` (conventionally `"log1"` / `"log2"`).
+pub fn observe_graph(g: &DependencyGraph, recorder: &Recorder, side: &str) {
+    let labels = vec![("side".to_string(), side.to_string())];
+    recorder.gauge_set("graph_vertices", labels.clone(), g.num_real() as f64);
+    recorder.gauge_set("graph_edges", labels.clone(), g.real_edges().len() as f64);
+    recorder.gauge_set("graph_avg_degree", labels, g.avg_degree());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ems_obs::Record;
+
+    #[test]
+    fn observe_reports_shape_gauges() {
+        let g = DependencyGraph::from_parts(
+            vec!["a".into(), "b".into()],
+            vec![1.0, 1.0],
+            &[(0, 1, 1.0)],
+        );
+        let rec = Recorder::new();
+        observe_graph(&g, &rec, "log1");
+        let records = rec.records();
+        assert_eq!(records.len(), 3);
+        match &records[0] {
+            Record::Gauge {
+                name,
+                labels,
+                value,
+            } => {
+                assert_eq!(name, "graph_vertices");
+                assert_eq!(labels[0], ("side".to_string(), "log1".to_string()));
+                assert_eq!(*value, 2.0);
+            }
+            other => panic!("expected gauge, got {other:?}"),
+        }
+        match &records[1] {
+            Record::Gauge { name, value, .. } => {
+                assert_eq!(name, "graph_edges");
+                assert_eq!(*value, 1.0);
+            }
+            other => panic!("expected gauge, got {other:?}"),
+        }
+    }
+}

@@ -80,12 +80,17 @@ pub const NONDET_CRATES: &[&str] = &[
     "xes",
     "eval",
     "synth",
+    "obs",
 ];
 
 /// `wall-clock-randomness` watched crates: result-producing code may not
 /// read clocks or draw randomness. `synth`/`rng` are excluded (seeded
 /// generation is their purpose); `eval` participates except its dedicated
-/// timer module; `bench`/`cli` are reporting layers.
+/// timer module; `bench`/`cli` are reporting layers. `obs` participates
+/// so that its two span-timing clock reads must each carry an explicit
+/// `allow(wall-clock-randomness, ...)` with a reason — timing stays
+/// quarantined in the span `dur_us` field, which every deterministic
+/// export redacts.
 pub const CLOCK_CRATES: &[&str] = &[
     "core",
     "depgraph",
@@ -95,6 +100,7 @@ pub const CLOCK_CRATES: &[&str] = &[
     "events",
     "xes",
     "eval",
+    "obs",
 ];
 
 /// `wall-clock-randomness` exempt files: the timing infrastructure itself.

@@ -1,0 +1,70 @@
+//! Validates an `ems-trace/1` JSONL trace file.
+//!
+//! Usage: `trace_check TRACE.jsonl [--check-convergence]`
+//!
+//! Exit codes: 0 valid, 1 invalid trace or failed convergence check,
+//! 2 usage error. Used by CI's observability job to gate the smoke trace.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut path: Option<&str> = None;
+    let mut check_convergence = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--check-convergence" => check_convergence = true,
+            "--help" | "-h" => {
+                println!("usage: trace_check TRACE.jsonl [--check-convergence]");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && path.is_none() => path = Some(other),
+            other => {
+                eprintln!("trace_check: unexpected argument '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("usage: trace_check TRACE.jsonl [--check-convergence]");
+        return ExitCode::from(2);
+    };
+    let input = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let records = match ems_obs::jsonl::parse_records(&input) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace_check: INVALID: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "trace_check: {path}: {} record(s), schema ok",
+        records.len()
+    );
+    if check_convergence {
+        match ems_obs::jsonl::check_convergence(&records) {
+            Ok(counts) => {
+                if counts.is_empty() {
+                    eprintln!("trace_check: INVALID: no iteration records to check");
+                    return ExitCode::FAILURE;
+                }
+                for (engine, n) in counts {
+                    println!(
+                        "trace_check: engine {engine}: {n} iteration(s), max_delta non-increasing"
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("trace_check: INVALID: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,438 @@
+//! JSON-lines trace format (`--trace PATH`).
+//!
+//! Line 0 is a meta record; every subsequent line is one [`Record`] with a
+//! strictly increasing `seq`. Field order within a line is fixed by the
+//! writer, so identical runs produce byte-identical traces once the
+//! timing field is redacted ([`write_redacted`] zeroes `dur_us`).
+//!
+//! Schema (`"schema": "ems-trace/1"`):
+//!
+//! ```text
+//! {"schema":"ems-trace/1","type":"meta","seq":0}
+//! {"type":"span","seq":N,"name":S,"attrs":{..},"dur_us":U}
+//! {"type":"counter","seq":N,"name":S,"labels":{..},"value":U}
+//! {"type":"gauge","seq":N,"name":S,"labels":{..},"value":F|null}
+//! {"type":"event","seq":N,"name":S,"attrs":{..}}
+//! {"type":"iteration","seq":N,"engine":S,"iteration":U,"max_delta":F,
+//!  "mean_delta":F,"active_pairs":U,"retired_pairs":U,"frozen_pairs":U,
+//!  "formula_evals":U}
+//! ```
+
+use crate::json::{self, Value};
+use crate::record::{IterationRecord, Labels, Record};
+
+/// Schema identifier written into the meta line.
+pub const SCHEMA: &str = "ems-trace/1";
+
+/// Renders a full trace: meta line then one line per record.
+pub fn write(records: &[Record]) -> String {
+    render(records, false)
+}
+
+/// Renders a trace with `dur_us` fields forced to 0 — byte-identical
+/// across runs that performed the same work.
+pub fn write_redacted(records: &[Record]) -> String {
+    render(records, true)
+}
+
+fn render(records: &[Record], redact: bool) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"");
+    out.push_str(SCHEMA);
+    out.push_str("\",\"type\":\"meta\",\"seq\":0}\n");
+    for (i, rec) in records.iter().enumerate() {
+        write_record(&mut out, rec, i + 1, redact);
+        out.push('\n');
+    }
+    out
+}
+
+fn write_labels(out: &mut String, labels: &Labels) {
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json::write_escaped(out, k);
+        out.push(':');
+        json::write_escaped(out, v);
+    }
+    out.push('}');
+}
+
+fn write_record(out: &mut String, rec: &Record, seq: usize, redact: bool) {
+    match rec {
+        Record::Span {
+            name,
+            attrs,
+            dur_us,
+        } => {
+            out.push_str("{\"type\":\"span\",\"seq\":");
+            out.push_str(&seq.to_string());
+            out.push_str(",\"name\":");
+            json::write_escaped(out, name);
+            out.push_str(",\"attrs\":");
+            write_labels(out, attrs);
+            out.push_str(",\"dur_us\":");
+            out.push_str(&if redact { 0 } else { *dur_us }.to_string());
+            out.push('}');
+        }
+        Record::Counter {
+            name,
+            labels,
+            value,
+        } => {
+            out.push_str("{\"type\":\"counter\",\"seq\":");
+            out.push_str(&seq.to_string());
+            out.push_str(",\"name\":");
+            json::write_escaped(out, name);
+            out.push_str(",\"labels\":");
+            write_labels(out, labels);
+            out.push_str(",\"value\":");
+            out.push_str(&value.to_string());
+            out.push('}');
+        }
+        Record::Gauge {
+            name,
+            labels,
+            value,
+        } => {
+            out.push_str("{\"type\":\"gauge\",\"seq\":");
+            out.push_str(&seq.to_string());
+            out.push_str(",\"name\":");
+            json::write_escaped(out, name);
+            out.push_str(",\"labels\":");
+            write_labels(out, labels);
+            out.push_str(",\"value\":");
+            json::write_f64(out, *value);
+            out.push('}');
+        }
+        Record::Event { name, attrs } => {
+            out.push_str("{\"type\":\"event\",\"seq\":");
+            out.push_str(&seq.to_string());
+            out.push_str(",\"name\":");
+            json::write_escaped(out, name);
+            out.push_str(",\"attrs\":");
+            write_labels(out, attrs);
+            out.push('}');
+        }
+        Record::Iteration(it) => {
+            out.push_str("{\"type\":\"iteration\",\"seq\":");
+            out.push_str(&seq.to_string());
+            out.push_str(",\"engine\":");
+            json::write_escaped(out, &it.engine);
+            out.push_str(",\"iteration\":");
+            out.push_str(&it.iteration.to_string());
+            out.push_str(",\"max_delta\":");
+            json::write_f64(out, it.max_delta);
+            out.push_str(",\"mean_delta\":");
+            json::write_f64(out, it.mean_delta);
+            out.push_str(",\"active_pairs\":");
+            out.push_str(&it.active_pairs.to_string());
+            out.push_str(",\"retired_pairs\":");
+            out.push_str(&it.retired_pairs.to_string());
+            out.push_str(",\"frozen_pairs\":");
+            out.push_str(&it.frozen_pairs.to_string());
+            out.push_str(",\"formula_evals\":");
+            out.push_str(&it.formula_evals.to_string());
+            out.push('}');
+        }
+    }
+}
+
+/// A problem found while validating a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+fn terr(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn labels_from(v: &Value, line: usize, field: &str) -> Result<Labels, TraceError> {
+    let obj = v
+        .as_object()
+        .ok_or_else(|| terr(line, format!("'{field}' must be an object")))?;
+    let mut out = Vec::new();
+    for (k, val) in obj {
+        let s = val
+            .as_str()
+            .ok_or_else(|| terr(line, format!("'{field}' values must be strings")))?;
+        out.push((k.clone(), s.to_string()));
+    }
+    Ok(out)
+}
+
+fn req_str(v: &Value, key: &str, line: usize) -> Result<String, TraceError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| terr(line, format!("missing string field '{key}'")))
+}
+
+fn req_u64(v: &Value, key: &str, line: usize) -> Result<u64, TraceError> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| terr(line, format!("missing integer field '{key}'")))
+}
+
+fn req_f64(v: &Value, key: &str, line: usize) -> Result<f64, TraceError> {
+    match v.get(key) {
+        Some(Value::Number(n)) => Ok(*n),
+        Some(Value::Null) => Ok(f64::NAN),
+        _ => Err(terr(line, format!("missing number field '{key}'"))),
+    }
+}
+
+/// Parses and validates a trace document: meta line first, known types
+/// only, required fields present, `seq` strictly increasing from 1.
+/// Returns the records (timing preserved).
+pub fn parse_records(input: &str) -> Result<Vec<Record>, TraceError> {
+    let mut lines = input.lines().enumerate();
+    let (idx, first) = lines
+        .next()
+        .ok_or_else(|| terr(1, "empty trace: missing meta line"))?;
+    let meta = json::parse(first).map_err(|e| terr(idx + 1, format!("invalid json: {e}")))?;
+    if meta.get("type").and_then(Value::as_str) != Some("meta") {
+        return Err(terr(idx + 1, "first line must have type 'meta'"));
+    }
+    match meta.get("schema").and_then(Value::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(terr(idx + 1, format!("unsupported schema '{s}'"))),
+        None => return Err(terr(idx + 1, "meta line missing 'schema'")),
+    }
+    if meta.get("seq").and_then(Value::as_u64) != Some(0) {
+        return Err(terr(idx + 1, "meta line must have seq 0"));
+    }
+
+    let mut records = Vec::new();
+    let mut expected_seq = 1u64;
+    for (idx, raw) in lines {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(raw).map_err(|e| terr(line, format!("invalid json: {e}")))?;
+        let seq = req_u64(&v, "seq", line)?;
+        if seq != expected_seq {
+            return Err(terr(
+                line,
+                format!("seq {seq} out of order (expected {expected_seq})"),
+            ));
+        }
+        expected_seq += 1;
+        let ty = req_str(&v, "type", line)?;
+        let rec = match ty.as_str() {
+            "span" => Record::Span {
+                name: req_str(&v, "name", line)?,
+                attrs: labels_from(v.get("attrs").unwrap_or(&Value::Null), line, "attrs")?,
+                dur_us: req_u64(&v, "dur_us", line)?,
+            },
+            "counter" => Record::Counter {
+                name: req_str(&v, "name", line)?,
+                labels: labels_from(v.get("labels").unwrap_or(&Value::Null), line, "labels")?,
+                value: req_u64(&v, "value", line)?,
+            },
+            "gauge" => Record::Gauge {
+                name: req_str(&v, "name", line)?,
+                labels: labels_from(v.get("labels").unwrap_or(&Value::Null), line, "labels")?,
+                value: req_f64(&v, "value", line)?,
+            },
+            "event" => Record::Event {
+                name: req_str(&v, "name", line)?,
+                attrs: labels_from(v.get("attrs").unwrap_or(&Value::Null), line, "attrs")?,
+            },
+            "iteration" => Record::Iteration(IterationRecord {
+                engine: req_str(&v, "engine", line)?,
+                iteration: req_u64(&v, "iteration", line)? as usize,
+                max_delta: req_f64(&v, "max_delta", line)?,
+                mean_delta: req_f64(&v, "mean_delta", line)?,
+                active_pairs: req_u64(&v, "active_pairs", line)? as usize,
+                retired_pairs: req_u64(&v, "retired_pairs", line)?,
+                frozen_pairs: req_u64(&v, "frozen_pairs", line)?,
+                formula_evals: req_u64(&v, "formula_evals", line)?,
+            }),
+            other => return Err(terr(line, format!("unknown record type '{other}'"))),
+        };
+        records.push(rec);
+    }
+    Ok(records)
+}
+
+/// Validates trace structure without materializing records.
+pub fn validate_trace(input: &str) -> Result<usize, TraceError> {
+    parse_records(input).map(|r| r.len())
+}
+
+/// Checks the acceptance-criterion convergence shape: for each engine,
+/// `max_delta` must be non-increasing from the second iteration record on
+/// (the first iteration's delta starts from the seed values and may be
+/// anything). Returns the per-engine iteration counts.
+pub fn check_convergence(records: &[Record]) -> Result<Vec<(String, usize)>, String> {
+    use std::collections::BTreeMap;
+    let mut last: BTreeMap<String, (usize, f64)> = BTreeMap::new();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for rec in records {
+        if let Record::Iteration(it) = rec {
+            *counts.entry(it.engine.clone()).or_insert(0) += 1;
+            if let Some((prev_iter, prev_delta)) = last.get(&it.engine) {
+                if it.iteration != prev_iter + 1 {
+                    return Err(format!(
+                        "engine {}: iteration {} follows {} (not consecutive)",
+                        it.engine, it.iteration, prev_iter
+                    ));
+                }
+                if *prev_iter >= 2 && it.max_delta > *prev_delta {
+                    return Err(format!(
+                        "engine {}: max_delta increased at iteration {} ({} > {})",
+                        it.engine, it.iteration, it.max_delta, prev_delta
+                    ));
+                }
+            } else if it.iteration != 1 {
+                return Err(format!(
+                    "engine {}: first iteration record is {} (expected 1)",
+                    it.engine, it.iteration
+                ));
+            }
+            last.insert(it.engine.clone(), (it.iteration, it.max_delta));
+        }
+    }
+    Ok(counts.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::labels;
+
+    fn sample() -> Vec<Record> {
+        vec![
+            Record::Counter {
+                name: "xes_warnings".into(),
+                labels: labels(&[("kind", "syntax"), ("log", "log1")]),
+                value: 3,
+            },
+            Record::Span {
+                name: "phase.setup".into(),
+                attrs: labels(&[("engine", "forward")]),
+                dur_us: 1234,
+            },
+            Record::Iteration(IterationRecord {
+                engine: "forward".into(),
+                iteration: 1,
+                max_delta: 0.5,
+                mean_delta: 0.125,
+                active_pairs: 10,
+                retired_pairs: 0,
+                frozen_pairs: 2,
+                formula_evals: 10,
+            }),
+            Record::Event {
+                name: "budget.exhausted".into(),
+                attrs: labels(&[("reason", "max_iterations")]),
+            },
+            Record::Gauge {
+                name: "graph_vertices".into(),
+                labels: labels(&[("side", "log1")]),
+                value: 42.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let recs = sample();
+        let text = write(&recs);
+        let parsed = parse_records(&text).unwrap();
+        assert_eq!(parsed, recs);
+    }
+
+    #[test]
+    fn redaction_zeroes_dur_only() {
+        let recs = sample();
+        let redacted = write_redacted(&recs);
+        assert!(redacted.contains("\"dur_us\":0"));
+        assert!(!redacted.contains("1234"));
+        let parsed = parse_records(&redacted).unwrap();
+        match &parsed[1] {
+            Record::Span { dur_us, name, .. } => {
+                assert_eq!(*dur_us, 0);
+                assert_eq!(name, "phase.setup");
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_meta() {
+        assert!(parse_records("").is_err());
+        assert!(parse_records("{\"type\":\"span\",\"seq\":0}\n").is_err());
+        assert!(
+            parse_records("{\"schema\":\"ems-trace/2\",\"type\":\"meta\",\"seq\":0}\n").is_err()
+        );
+    }
+
+    #[test]
+    fn rejects_seq_gap() {
+        let mut text = write(&sample());
+        text.push_str("{\"type\":\"event\",\"seq\":99,\"name\":\"x\",\"attrs\":{}}\n");
+        let err = parse_records(&text).unwrap_err();
+        assert!(err.message.contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn convergence_check_accepts_decreasing() {
+        let recs: Vec<Record> = (1..=4)
+            .map(|i| {
+                Record::Iteration(IterationRecord {
+                    engine: "forward".into(),
+                    iteration: i,
+                    max_delta: 1.0 / i as f64,
+                    mean_delta: 0.0,
+                    active_pairs: 5,
+                    retired_pairs: 0,
+                    frozen_pairs: 0,
+                    formula_evals: 5 * i as u64,
+                })
+            })
+            .collect();
+        let counts = check_convergence(&recs).unwrap();
+        assert_eq!(counts, vec![("forward".to_string(), 4)]);
+    }
+
+    #[test]
+    fn convergence_check_rejects_increase() {
+        let mk = |i: usize, d: f64| {
+            Record::Iteration(IterationRecord {
+                engine: "forward".into(),
+                iteration: i,
+                max_delta: d,
+                mean_delta: 0.0,
+                active_pairs: 5,
+                retired_pairs: 0,
+                frozen_pairs: 0,
+                formula_evals: 0,
+            })
+        };
+        // Rise from iter 2 to 3 must be rejected; iter 1 -> 2 may rise.
+        let ok = vec![mk(1, 0.1), mk(2, 0.5), mk(3, 0.4)];
+        assert!(check_convergence(&ok).is_ok());
+        let bad = vec![mk(1, 0.5), mk(2, 0.3), mk(3, 0.4)];
+        assert!(check_convergence(&bad).is_err());
+    }
+}

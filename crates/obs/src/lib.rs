@@ -1,0 +1,42 @@
+#![forbid(unsafe_code)]
+//! `ems-obs` — structured observability for the event-matching pipeline.
+//!
+//! The engine's [`RunStats`](../ems_core/struct.RunStats.html) answers *how
+//! much* work a run performed; this crate answers *why*: which iteration the
+//! fixpoint converged at, how fast the residual shrank, when the worklist
+//! retired pairs, where wall-clock went, and what the ingestion layer had to
+//! repair. It provides:
+//!
+//! * a thread-safe [`Recorder`] collecting [`Record`]s — spans, counters,
+//!   gauges, events and per-iteration [`IterationRecord`]s — in a single
+//!   deterministic sequence;
+//! * a JSON-lines trace exporter ([`jsonl`]) and a Prometheus-style text
+//!   metrics exporter ([`prom`]);
+//! * a human-readable run report renderer ([`report`]).
+//!
+//! # Determinism contract
+//!
+//! Everything the recorder captures is deterministic — record order,
+//! counts, names, labels and convergence values — **except** span
+//! durations, which are wall-clock measurements and are confined to the
+//! single `dur_us` field of [`Record::Span`]. Exporters expose a redacting
+//! mode ([`jsonl::write_redacted`], [`prom::write_deterministic`]) that
+//! zeroes/omits the timing fields; two runs of the same work produce
+//! byte-identical redacted exports regardless of thread count or host
+//! speed. This mirrors how `RunStats` isolates its `phase_times` from the
+//! work counters, and is what lets ems-lint's wall-clock rule stay honest:
+//! the only clock reads live in [`record`]'s span implementation, under
+//! audited suppressions.
+
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+pub mod json;
+pub mod jsonl;
+pub mod prom;
+pub mod record;
+pub mod report;
+
+pub use record::{labels, Counter, Gauge, IterationRecord, Labels, Record, Recorder, Span};

@@ -1,0 +1,325 @@
+//! Prometheus-style text metrics (`--metrics PATH`).
+//!
+//! Aggregation happens at export time: counter records with the same name
+//! and label set are summed, gauges keep the last write, and span
+//! durations are summed into `<name>_microseconds` counters. Output is
+//! fully sorted (`BTreeMap` keys), so it is deterministic; the timing
+//! metrics are the only values that vary between identical runs and
+//! [`write_deterministic`] omits them.
+//!
+//! Metric names are sanitized to `[a-zA-Z0-9_:]` and prefixed `ems_`;
+//! label values escape `\`, `"` and newline per the Prometheus exposition
+//! format.
+
+use std::collections::BTreeMap;
+
+use crate::json;
+use crate::record::{Labels, Record};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricKind {
+    Counter,
+    Gauge,
+}
+
+/// Renders all metrics, including wall-clock span durations.
+pub fn write(records: &[Record]) -> String {
+    render(records, true)
+}
+
+/// Renders only the deterministic metrics (no span durations) — identical
+/// across runs performing the same work.
+pub fn write_deterministic(records: &[Record]) -> String {
+    render(records, false)
+}
+
+fn render(records: &[Record], include_timing: bool) -> String {
+    // name -> (kind, series: labels-key -> value)
+    let mut metrics: BTreeMap<String, (MetricKind, BTreeMap<String, f64>)> = BTreeMap::new();
+    let mut add = |name: String, kind: MetricKind, labels: &Labels, value: f64| {
+        let series = &mut metrics
+            .entry(name)
+            .or_insert_with(|| (kind, BTreeMap::new()))
+            .1;
+        let key = label_key(labels);
+        match kind {
+            MetricKind::Counter => *series.entry(key).or_insert(0.0) += value,
+            MetricKind::Gauge => {
+                series.insert(key, value);
+            }
+        }
+    };
+
+    for rec in records {
+        match rec {
+            Record::Counter {
+                name,
+                labels,
+                value,
+            } => add(
+                metric_name(name, ""),
+                MetricKind::Counter,
+                labels,
+                *value as f64,
+            ),
+            Record::Gauge {
+                name,
+                labels,
+                value,
+            } => add(metric_name(name, ""), MetricKind::Gauge, labels, *value),
+            Record::Span {
+                name,
+                attrs,
+                dur_us,
+            } if include_timing => add(
+                metric_name(name, "_microseconds"),
+                MetricKind::Counter,
+                attrs,
+                *dur_us as f64,
+            ),
+            Record::Span { .. } => {}
+            Record::Event { name, attrs } => add(
+                metric_name(name, "_events"),
+                MetricKind::Counter,
+                attrs,
+                1.0,
+            ),
+            Record::Iteration(it) => {
+                let l = vec![("engine".to_string(), it.engine.clone())];
+                add(
+                    "ems_engine_iterations".to_string(),
+                    MetricKind::Gauge,
+                    &l,
+                    it.iteration as f64,
+                );
+                add(
+                    "ems_engine_last_max_delta".to_string(),
+                    MetricKind::Gauge,
+                    &l,
+                    it.max_delta,
+                );
+                add(
+                    "ems_engine_active_pairs".to_string(),
+                    MetricKind::Gauge,
+                    &l,
+                    it.active_pairs as f64,
+                );
+                add(
+                    "ems_engine_retired_pairs".to_string(),
+                    MetricKind::Gauge,
+                    &l,
+                    it.retired_pairs as f64,
+                );
+                add(
+                    "ems_engine_frozen_pairs".to_string(),
+                    MetricKind::Gauge,
+                    &l,
+                    it.frozen_pairs as f64,
+                );
+                add(
+                    "ems_engine_formula_evals".to_string(),
+                    MetricKind::Gauge,
+                    &l,
+                    it.formula_evals as f64,
+                );
+            }
+        }
+    }
+
+    let mut out = String::new();
+    for (name, (kind, series)) in &metrics {
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(match kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        });
+        out.push('\n');
+        for (labels_key, value) in series {
+            out.push_str(name);
+            out.push_str(labels_key);
+            out.push(' ');
+            format_value(&mut out, *value);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Sanitizes a record name into a Prometheus metric name with the `ems_`
+/// namespace prefix and an optional unit suffix.
+fn metric_name(raw: &str, suffix: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + suffix.len() + 4);
+    if !raw.starts_with("ems_") {
+        out.push_str("ems_");
+    }
+    for c in raw.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out.push_str(suffix);
+    out
+}
+
+/// Renders the `{k="v",...}` label block (empty string when no labels).
+/// Labels are sorted by key so the series key is canonical.
+fn label_key(labels: &Labels) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<&(String, String)> = labels.iter().collect();
+    sorted.sort();
+    let mut out = String::from("{");
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        for c in k.chars() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                out.push(c);
+            } else {
+                out.push('_');
+            }
+        }
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+fn format_value(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v.is_infinite() {
+        out.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        let mut s = String::new();
+        json::write_f64(&mut s, v);
+        out.push_str(&s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{labels, IterationRecord};
+
+    #[test]
+    fn counters_sum_gauges_last_win() {
+        let recs = vec![
+            Record::Counter {
+                name: "warnings".into(),
+                labels: labels(&[("kind", "syntax")]),
+                value: 2,
+            },
+            Record::Counter {
+                name: "warnings".into(),
+                labels: labels(&[("kind", "syntax")]),
+                value: 3,
+            },
+            Record::Gauge {
+                name: "active".into(),
+                labels: vec![],
+                value: 10.0,
+            },
+            Record::Gauge {
+                name: "active".into(),
+                labels: vec![],
+                value: 4.0,
+            },
+        ];
+        let text = write(&recs);
+        assert!(text.contains("ems_warnings{kind=\"syntax\"} 5"), "{text}");
+        assert!(text.contains("\nems_active 4\n"), "{text}");
+    }
+
+    #[test]
+    fn deterministic_omits_spans() {
+        let recs = vec![Record::Span {
+            name: "phase.setup".into(),
+            attrs: vec![],
+            dur_us: 99,
+        }];
+        let full = write(&recs);
+        assert!(full.contains("ems_phase_setup_microseconds 99"), "{full}");
+        let det = write_deterministic(&recs);
+        assert!(!det.contains("microseconds"), "{det}");
+    }
+
+    #[test]
+    fn label_escaping() {
+        let recs = vec![Record::Counter {
+            name: "odd".into(),
+            labels: labels(&[("file", "a\"b\\c\nd")]),
+            value: 1,
+        }];
+        let text = write(&recs);
+        assert!(text.contains(r#"{file="a\"b\\c\nd"} 1"#), "{text}");
+    }
+
+    #[test]
+    fn output_sorted_by_metric_then_labels() {
+        let recs = vec![
+            Record::Counter {
+                name: "zzz".into(),
+                labels: vec![],
+                value: 1,
+            },
+            Record::Counter {
+                name: "aaa".into(),
+                labels: labels(&[("side", "log2")]),
+                value: 1,
+            },
+            Record::Counter {
+                name: "aaa".into(),
+                labels: labels(&[("side", "log1")]),
+                value: 1,
+            },
+        ];
+        let text = write(&recs);
+        let a = text.find("ems_aaa{side=\"log1\"}").unwrap();
+        let b = text.find("ems_aaa{side=\"log2\"}").unwrap();
+        let z = text.find("ems_zzz").unwrap();
+        assert!(a < b && b < z, "{text}");
+    }
+
+    #[test]
+    fn iteration_exports_last_values() {
+        let mk = |i: usize, d: f64| {
+            Record::Iteration(IterationRecord {
+                engine: "forward".into(),
+                iteration: i,
+                max_delta: d,
+                mean_delta: d / 2.0,
+                active_pairs: 10 - i,
+                retired_pairs: i as u64,
+                frozen_pairs: 1,
+                formula_evals: (10 * i) as u64,
+            })
+        };
+        let text = write(&[mk(1, 0.5), mk(2, 0.25)]);
+        assert!(
+            text.contains("ems_engine_iterations{engine=\"forward\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("ems_engine_last_max_delta{engine=\"forward\"} 0.25"),
+            "{text}"
+        );
+    }
+}

@@ -1,0 +1,372 @@
+//! The recorder: a thread-safe, deterministic append-log of observations.
+//!
+//! All instrumentation funnels into one `Mutex<Vec<Record>>`. The pipeline
+//! records from a single logical thread at a time (the engine's parallel
+//! workers never touch the recorder; telemetry is computed after each
+//! Jacobi sweep on the coordinating thread), so record *order* is a pure
+//! function of the work performed — the mutex exists so sharing an
+//! `Arc<Recorder>` across components is safe, not to serialize racing
+//! writers.
+//!
+//! Wall-clock only enters through [`Recorder::span`]'s RAII guard; every
+//! other constructor takes caller-supplied values. Components that already
+//! measure their own phases (the engine's `PhaseTimes`) report them via
+//! [`Recorder::span_closed`] so no new clock reads are added to
+//! result-producing crates.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Label set attached to counters and gauges, e.g. `[("side", "log1")]`.
+pub type Labels = Vec<(String, String)>;
+
+/// One observation. The only non-deterministic field across identical runs
+/// is `Span::dur_us`; everything else — including the order records appear
+/// in — depends only on the work performed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A named timed region. `attrs` are deterministic; `dur_us` is the
+    /// measured wall-clock duration in microseconds (the single
+    /// non-deterministic field in the model).
+    Span {
+        name: String,
+        attrs: Labels,
+        dur_us: u64,
+    },
+    /// Monotonic count contribution; the exporter sums same-name+labels.
+    Counter {
+        name: String,
+        labels: Labels,
+        value: u64,
+    },
+    /// Point-in-time value; the exporter keeps the last write.
+    Gauge {
+        name: String,
+        labels: Labels,
+        value: f64,
+    },
+    /// A discrete occurrence (budget exhaustion, abort, degradation).
+    Event { name: String, attrs: Labels },
+    /// Per-iteration convergence telemetry from a fixpoint engine.
+    Iteration(IterationRecord),
+}
+
+/// Convergence telemetry for one Jacobi iteration of one engine.
+///
+/// All values are bit-identical across the reference kernel, the serial
+/// worklist kernel, and the parallel kernel at any thread count: deltas
+/// are reduced with exact `f64::max` / Neumaier summation in ascending
+/// pair order, and the pair values themselves depend only on the previous
+/// iterate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// Engine direction: `"forward"` or `"backward"`.
+    pub engine: String,
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Maximum absolute change over active pairs this iteration.
+    pub max_delta: f64,
+    /// Mean absolute change over active pairs (Neumaier-summed in
+    /// ascending pair order).
+    pub mean_delta: f64,
+    /// Pairs still on the worklist after this iteration's retirement.
+    pub active_pairs: usize,
+    /// Cumulative pairs retired from the worklist so far.
+    pub retired_pairs: u64,
+    /// Pairs frozen by Proposition 4 before the run (constant per run).
+    pub frozen_pairs: u64,
+    /// Cumulative formula evaluations so far.
+    pub formula_evals: u64,
+}
+
+/// Thread-safe append-log of [`Record`]s.
+///
+/// Cheap to share as `Arc<Recorder>`; all methods take `&self`. A poisoned
+/// mutex (a panicking instrumented thread) degrades to using the inner
+/// data — observability must never take the pipeline down.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    records: Mutex<Vec<Record>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&self, r: Record) {
+        let mut guard = match self.records.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.push(r);
+    }
+
+    /// Adds `value` to the counter `name` with `labels`.
+    pub fn counter_add(&self, name: &str, labels: Labels, value: u64) {
+        self.push(Record::Counter {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+
+    /// Sets the gauge `name` with `labels` to `value`.
+    pub fn gauge_set(&self, name: &str, labels: Labels, value: f64) {
+        self.push(Record::Gauge {
+            name: name.to_string(),
+            labels,
+            value,
+        });
+    }
+
+    /// Records a discrete event.
+    pub fn event(&self, name: &str, attrs: Labels) {
+        self.push(Record::Event {
+            name: name.to_string(),
+            attrs,
+        });
+    }
+
+    /// Records per-iteration convergence telemetry.
+    pub fn iteration(&self, rec: IterationRecord) {
+        self.push(Record::Iteration(rec));
+    }
+
+    /// Starts a timed span; the duration is recorded when the returned
+    /// guard is dropped (or [`Span::finish`] is called).
+    pub fn span<'a>(&'a self, name: &str, attrs: Labels) -> Span<'a> {
+        Span {
+            recorder: self,
+            name: name.to_string(),
+            attrs,
+            // ems-lint: allow(wall-clock-randomness, span timing is observability-only; the duration lands in the isolated dur_us field and never feeds similarity values)
+            started: Instant::now(),
+            finished: false,
+        }
+    }
+
+    /// Records a span whose duration was measured by the caller — used by
+    /// components (like the engine) that already track phase times, so no
+    /// additional clock reads are introduced there.
+    pub fn span_closed(&self, name: &str, attrs: Labels, dur: std::time::Duration) {
+        self.push(Record::Span {
+            name: name.to_string(),
+            attrs,
+            dur_us: duration_us(dur),
+        });
+    }
+
+    /// Returns a borrow-style counter handle bound to this recorder.
+    pub fn counter<'a>(&'a self, name: &str, labels: Labels) -> Counter<'a> {
+        Counter {
+            recorder: self,
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Returns a borrow-style gauge handle bound to this recorder.
+    pub fn gauge<'a>(&'a self, name: &str, labels: Labels) -> Gauge<'a> {
+        Gauge {
+            recorder: self,
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Snapshot of all records in append order.
+    pub fn records(&self) -> Vec<Record> {
+        let guard = match self.records.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.clone()
+    }
+
+    /// Number of records captured so far.
+    pub fn len(&self) -> usize {
+        let guard = match self.records.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        guard.len()
+    }
+
+    /// Whether no records have been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Saturating `Duration` → whole microseconds.
+pub fn duration_us(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// RAII guard for a timed region; records a [`Record::Span`] on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    recorder: &'a Recorder,
+    name: String,
+    attrs: Labels,
+    started: Instant,
+    finished: bool,
+}
+
+impl Span<'_> {
+    /// Ends the span now and records it.
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        // Timing is observability-only: the elapsed duration lands in the
+        // isolated `dur_us` field and never feeds similarity values.
+        let dur = self.started.elapsed();
+        self.recorder.push(Record::Span {
+            name: std::mem::take(&mut self.name),
+            attrs: std::mem::take(&mut self.attrs),
+            dur_us: duration_us(dur),
+        });
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Borrow-style handle adding to one named counter.
+#[derive(Debug)]
+pub struct Counter<'a> {
+    recorder: &'a Recorder,
+    name: String,
+    labels: Labels,
+}
+
+impl Counter<'_> {
+    /// Adds `value` to the counter.
+    pub fn add(&self, value: u64) {
+        self.recorder
+            .counter_add(&self.name, self.labels.clone(), value);
+    }
+
+    /// Adds 1 to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+}
+
+/// Borrow-style handle setting one named gauge.
+#[derive(Debug)]
+pub struct Gauge<'a> {
+    recorder: &'a Recorder,
+    name: String,
+    labels: Labels,
+}
+
+impl Gauge<'_> {
+    /// Sets the gauge to `value`.
+    pub fn set(&self, value: f64) {
+        self.recorder
+            .gauge_set(&self.name, self.labels.clone(), value);
+    }
+}
+
+/// Convenience constructor for a label set.
+pub fn labels(pairs: &[(&str, &str)]) -> Labels {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_preserve_append_order() {
+        let r = Recorder::new();
+        r.counter_add("a", vec![], 1);
+        r.event("b", vec![]);
+        r.gauge_set("c", vec![], 2.0);
+        let recs = r.records();
+        assert_eq!(recs.len(), 3);
+        assert!(matches!(recs[0], Record::Counter { .. }));
+        assert!(matches!(recs[1], Record::Event { .. }));
+        assert!(matches!(recs[2], Record::Gauge { .. }));
+    }
+
+    #[test]
+    fn span_guard_records_on_drop() {
+        let r = Recorder::new();
+        {
+            let _s = r.span("phase.test", labels(&[("engine", "forward")]));
+        }
+        let recs = r.records();
+        assert_eq!(recs.len(), 1);
+        match &recs[0] {
+            Record::Span { name, attrs, .. } => {
+                assert_eq!(name, "phase.test");
+                assert_eq!(attrs[0].0, "engine");
+            }
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_finish_records_once() {
+        let r = Recorder::new();
+        let s = r.span("once", vec![]);
+        s.finish();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn span_closed_uses_caller_duration() {
+        let r = Recorder::new();
+        r.span_closed("phase.setup", vec![], std::time::Duration::from_micros(42));
+        match &r.records()[0] {
+            Record::Span { dur_us, .. } => assert_eq!(*dur_us, 42),
+            other => panic!("expected span, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn handles_share_recorder() {
+        let r = Recorder::new();
+        let c = r.counter("evals", labels(&[("engine", "forward")]));
+        c.inc();
+        c.add(5);
+        let g = r.gauge("active", vec![]);
+        g.set(7.0);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        use std::sync::Arc;
+        let r = Arc::new(Recorder::new());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let rc = Arc::clone(&r);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    rc.counter_add("n", vec![], 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.len(), 400);
+    }
+}

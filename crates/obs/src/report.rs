@@ -1,0 +1,327 @@
+//! Human-readable run report (`ems report TRACE`).
+//!
+//! Renders a recorded trace into sections: ingestion warnings, graph
+//! shape, phase breakdown, per-engine convergence (table plus an ASCII
+//! curve of `max_delta`), notable events, and remaining counters. Pure
+//! function of the records, so it works equally on a live recorder
+//! snapshot or a parsed `--trace` file.
+
+use std::collections::BTreeMap;
+
+use crate::record::{IterationRecord, Labels, Record};
+
+fn fmt_labels(labels: &Labels) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let parts: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{{{}}}", parts.join(", "))
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.3}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.3}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+fn fmt_delta(d: f64) -> String {
+    if d.is_nan() {
+        "-".to_string()
+    } else if d == 0.0 {
+        "0".to_string()
+    } else {
+        format!("{d:.3e}")
+    }
+}
+
+/// Renders the full report.
+pub fn render(records: &[Record]) -> String {
+    let mut out = String::new();
+    out.push_str("event-matching run report\n");
+    out.push_str("=========================\n");
+
+    render_ingestion(&mut out, records);
+    render_graphs(&mut out, records);
+    render_phases(&mut out, records);
+    render_convergence(&mut out, records);
+    render_events(&mut out, records);
+    render_counters(&mut out, records);
+    out
+}
+
+/// Counter tallies whose names start with `prefix`, aggregated by
+/// (name, labels) in sorted order.
+fn counter_tallies(records: &[Record], pred: impl Fn(&str) -> bool) -> Vec<(String, u64)> {
+    let mut tallies: BTreeMap<String, u64> = BTreeMap::new();
+    for rec in records {
+        if let Record::Counter {
+            name,
+            labels,
+            value,
+        } = rec
+        {
+            if pred(name) {
+                *tallies
+                    .entry(format!("{name}{}", fmt_labels(labels)))
+                    .or_insert(0) += value;
+            }
+        }
+    }
+    tallies.into_iter().collect()
+}
+
+fn render_ingestion(out: &mut String, records: &[Record]) {
+    let warnings = counter_tallies(records, |n| n.starts_with("xes_warnings"));
+    out.push_str("\nIngestion\n---------\n");
+    if warnings.is_empty() {
+        out.push_str("  no parse warnings recorded\n");
+        return;
+    }
+    let total: u64 = warnings.iter().map(|(_, v)| v).sum();
+    out.push_str(&format!("  {total} parse warning(s) recovered:\n"));
+    for (key, count) in warnings {
+        out.push_str(&format!("    {key:<48} {count}\n"));
+    }
+}
+
+fn render_graphs(out: &mut String, records: &[Record]) {
+    // last-wins gauges for graph_* metrics, grouped by side label
+    let mut gauges: BTreeMap<String, f64> = BTreeMap::new();
+    for rec in records {
+        if let Record::Gauge {
+            name,
+            labels,
+            value,
+        } = rec
+        {
+            if name.starts_with("graph_") {
+                gauges.insert(format!("{name}{}", fmt_labels(labels)), *value);
+            }
+        }
+    }
+    if gauges.is_empty() {
+        return;
+    }
+    out.push_str("\nDependency graphs\n-----------------\n");
+    for (key, value) in gauges {
+        if value == value.trunc() {
+            out.push_str(&format!("  {key:<48} {}\n", value as i64));
+        } else {
+            out.push_str(&format!("  {key:<48} {value:.3}\n"));
+        }
+    }
+}
+
+fn render_phases(out: &mut String, records: &[Record]) {
+    let mut spans: Vec<(String, u64)> = Vec::new();
+    for rec in records {
+        if let Record::Span {
+            name,
+            attrs,
+            dur_us,
+        } = rec
+        {
+            spans.push((format!("{name}{}", fmt_labels(attrs)), *dur_us));
+        }
+    }
+    if spans.is_empty() {
+        return;
+    }
+    let total: u64 = spans.iter().map(|(_, d)| d).sum();
+    out.push_str("\nPhase breakdown\n---------------\n");
+    for (key, dur) in &spans {
+        let pct = if total > 0 {
+            *dur as f64 * 100.0 / total as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!("  {key:<48} {:>10}  {pct:5.1}%\n", fmt_us(*dur)));
+    }
+    out.push_str(&format!("  {:<48} {:>10}\n", "total", fmt_us(total)));
+}
+
+fn render_convergence(out: &mut String, records: &[Record]) {
+    let mut by_engine: BTreeMap<String, Vec<&IterationRecord>> = BTreeMap::new();
+    for rec in records {
+        if let Record::Iteration(it) = rec {
+            by_engine.entry(it.engine.clone()).or_default().push(it);
+        }
+    }
+    if by_engine.is_empty() {
+        return;
+    }
+    out.push_str("\nConvergence\n-----------\n");
+    for (engine, iters) in by_engine {
+        out.push_str(&format!("  engine: {engine}\n"));
+        out.push_str("    iter   max_delta    mean_delta   active   retired   frozen   evals\n");
+        for it in &iters {
+            out.push_str(&format!(
+                "    {:>4}   {:>9}    {:>9}   {:>6}   {:>7}   {:>6}   {}\n",
+                it.iteration,
+                fmt_delta(it.max_delta),
+                fmt_delta(it.mean_delta),
+                it.active_pairs,
+                it.retired_pairs,
+                it.frozen_pairs,
+                it.formula_evals,
+            ));
+        }
+        render_curve(out, &iters);
+    }
+}
+
+/// ASCII bar chart of max_delta on a log-ish scale: each bar is scaled to
+/// the engine's first-iteration delta.
+fn render_curve(out: &mut String, iters: &[&IterationRecord]) {
+    const WIDTH: usize = 40;
+    let base = iters
+        .iter()
+        .map(|it| it.max_delta)
+        .find(|d| d.is_finite() && *d > 0.0);
+    let base = match base {
+        Some(b) => b,
+        None => return,
+    };
+    out.push_str("    max_delta curve (relative to iteration 1):\n");
+    for it in iters {
+        let frac = if it.max_delta.is_finite() && it.max_delta > 0.0 {
+            (it.max_delta / base).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let bars = ((frac * WIDTH as f64).ceil() as usize).min(WIDTH);
+        out.push_str(&format!(
+            "    {:>4} |{:<width$}| {}\n",
+            it.iteration,
+            "#".repeat(bars),
+            fmt_delta(it.max_delta),
+            width = WIDTH
+        ));
+    }
+}
+
+fn render_events(out: &mut String, records: &[Record]) {
+    let events: Vec<&Record> = records
+        .iter()
+        .filter(|r| matches!(r, Record::Event { .. }))
+        .collect();
+    if events.is_empty() {
+        return;
+    }
+    out.push_str("\nEvents\n------\n");
+    for rec in events {
+        if let Record::Event { name, attrs } = rec {
+            out.push_str(&format!("  {name}{}\n", fmt_labels(attrs)));
+        }
+    }
+}
+
+fn render_counters(out: &mut String, records: &[Record]) {
+    let rest = counter_tallies(records, |n| !n.starts_with("xes_warnings"));
+    if rest.is_empty() {
+        return;
+    }
+    out.push_str("\nCounters\n--------\n");
+    for (key, count) in rest {
+        out.push_str(&format!("  {key:<48} {count}\n"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::labels;
+
+    #[test]
+    fn report_sections_appear() {
+        let records = vec![
+            Record::Counter {
+                name: "xes_warnings".into(),
+                labels: labels(&[("kind", "syntax"), ("log", "log1")]),
+                value: 2,
+            },
+            Record::Gauge {
+                name: "graph_vertices".into(),
+                labels: labels(&[("side", "log1")]),
+                value: 12.0,
+            },
+            Record::Span {
+                name: "phase.setup".into(),
+                attrs: labels(&[("engine", "forward")]),
+                dur_us: 500,
+            },
+            Record::Iteration(IterationRecord {
+                engine: "forward".into(),
+                iteration: 1,
+                max_delta: 0.5,
+                mean_delta: 0.1,
+                active_pairs: 9,
+                retired_pairs: 0,
+                frozen_pairs: 1,
+                formula_evals: 9,
+            }),
+            Record::Iteration(IterationRecord {
+                engine: "forward".into(),
+                iteration: 2,
+                max_delta: 0.25,
+                mean_delta: 0.05,
+                active_pairs: 7,
+                retired_pairs: 2,
+                frozen_pairs: 1,
+                formula_evals: 18,
+            }),
+            Record::Event {
+                name: "budget.exhausted".into(),
+                attrs: labels(&[("reason", "max_iterations")]),
+            },
+            Record::Counter {
+                name: "composite_rounds".into(),
+                labels: vec![],
+                value: 3,
+            },
+        ];
+        let text = render(&records);
+        assert!(text.contains("Ingestion"), "{text}");
+        assert!(text.contains("2 parse warning(s)"), "{text}");
+        assert!(text.contains("Dependency graphs"), "{text}");
+        assert!(text.contains("graph_vertices{side=log1}"), "{text}");
+        assert!(text.contains("Phase breakdown"), "{text}");
+        assert!(text.contains("Convergence"), "{text}");
+        assert!(text.contains("engine: forward"), "{text}");
+        assert!(text.contains("max_delta curve"), "{text}");
+        assert!(text.contains("budget.exhausted"), "{text}");
+        assert!(text.contains("composite_rounds"), "{text}");
+    }
+
+    #[test]
+    fn empty_records_render() {
+        let text = render(&[]);
+        assert!(text.contains("no parse warnings"), "{text}");
+    }
+
+    #[test]
+    fn curve_scales_to_first_delta() {
+        let mk = |i: usize, d: f64| IterationRecord {
+            engine: "f".into(),
+            iteration: i,
+            max_delta: d,
+            mean_delta: 0.0,
+            active_pairs: 1,
+            retired_pairs: 0,
+            frozen_pairs: 0,
+            formula_evals: 0,
+        };
+        let iters = [mk(1, 0.8), mk(2, 0.4), mk(3, 0.0)];
+        let refs: Vec<&IterationRecord> = iters.iter().collect();
+        let mut out = String::new();
+        render_curve(&mut out, &refs);
+        let lines: Vec<&str> = out.lines().collect();
+        // first bar full width, second half, third empty
+        assert!(lines[1].contains(&"#".repeat(40)), "{out}");
+        assert!(lines[3].contains("| 0"), "{out}");
+    }
+}

@@ -1,0 +1,173 @@
+//! Golden tests pinning the exact bytes of the JSONL trace schema and the
+//! Prometheus text format. These strings are the wire contract consumed
+//! by `trace_check`, CI, and any downstream tooling — change them only
+//! with a schema version bump.
+
+use ems_obs::record::{labels, IterationRecord, Record, Recorder};
+use ems_obs::{jsonl, prom};
+
+/// A fixed record sequence exercising every record type, label escaping,
+/// and non-finite floats.
+fn fixture() -> Vec<Record> {
+    vec![
+        Record::Counter {
+            name: "xes_warnings".into(),
+            labels: labels(&[("kind", "tag-mismatch"), ("log", "log1")]),
+            value: 2,
+        },
+        Record::Gauge {
+            name: "graph_vertices".into(),
+            labels: labels(&[("side", "log1")]),
+            value: 42.0,
+        },
+        Record::Span {
+            name: "phase.setup".into(),
+            attrs: labels(&[("engine", "forward")]),
+            dur_us: 1234,
+        },
+        Record::Iteration(IterationRecord {
+            engine: "forward".into(),
+            iteration: 1,
+            max_delta: 0.5,
+            mean_delta: 0.0625,
+            active_pairs: 12,
+            retired_pairs: 3,
+            frozen_pairs: 1,
+            formula_evals: 12,
+        }),
+        Record::Event {
+            name: "budget.exhausted".into(),
+            attrs: labels(&[("reason", "max_iterations")]),
+        },
+        Record::Gauge {
+            name: "weird \"value\"".into(),
+            labels: labels(&[("path", "a\\b\nc")]),
+            value: f64::NAN,
+        },
+    ]
+}
+
+#[test]
+fn jsonl_golden() {
+    let got = jsonl::write(&fixture());
+    let want = concat!(
+        "{\"schema\":\"ems-trace/1\",\"type\":\"meta\",\"seq\":0}\n",
+        "{\"type\":\"counter\",\"seq\":1,\"name\":\"xes_warnings\",\"labels\":{\"kind\":\"tag-mismatch\",\"log\":\"log1\"},\"value\":2}\n",
+        "{\"type\":\"gauge\",\"seq\":2,\"name\":\"graph_vertices\",\"labels\":{\"side\":\"log1\"},\"value\":42.0}\n",
+        "{\"type\":\"span\",\"seq\":3,\"name\":\"phase.setup\",\"attrs\":{\"engine\":\"forward\"},\"dur_us\":1234}\n",
+        "{\"type\":\"iteration\",\"seq\":4,\"engine\":\"forward\",\"iteration\":1,\"max_delta\":0.5,\"mean_delta\":0.0625,\"active_pairs\":12,\"retired_pairs\":3,\"frozen_pairs\":1,\"formula_evals\":12}\n",
+        "{\"type\":\"event\",\"seq\":5,\"name\":\"budget.exhausted\",\"attrs\":{\"reason\":\"max_iterations\"}}\n",
+        "{\"type\":\"gauge\",\"seq\":6,\"name\":\"weird \\\"value\\\"\",\"labels\":{\"path\":\"a\\\\b\\nc\"},\"value\":null}\n",
+    );
+    assert_eq!(got, want);
+}
+
+#[test]
+fn jsonl_redacted_golden() {
+    let got = jsonl::write_redacted(&fixture());
+    assert!(got.contains("\"dur_us\":0"));
+    assert!(!got.contains("1234"));
+    // Redaction touches only the span line.
+    let full = jsonl::write(&fixture());
+    let full_lines: Vec<&str> = full.lines().collect();
+    let red_lines: Vec<&str> = got.lines().collect();
+    assert_eq!(full_lines.len(), red_lines.len());
+    for (f, r) in full_lines.iter().zip(&red_lines) {
+        if f.contains("\"type\":\"span\"") {
+            assert_ne!(f, r);
+        } else {
+            assert_eq!(f, r);
+        }
+    }
+}
+
+#[test]
+fn jsonl_roundtrips_through_parser() {
+    let recs = fixture();
+    let parsed = jsonl::parse_records(&jsonl::write(&recs)).unwrap();
+    assert_eq!(parsed.len(), recs.len());
+    // NaN gauge breaks PartialEq on the full vec; compare the rest.
+    assert_eq!(parsed[..5], recs[..5]);
+    match &parsed[5] {
+        Record::Gauge { value, .. } => assert!(value.is_nan()),
+        other => panic!("expected gauge, got {other:?}"),
+    }
+}
+
+#[test]
+fn prom_golden() {
+    let got = prom::write(&fixture());
+    let want = concat!(
+        "# TYPE ems_budget_exhausted_events counter\n",
+        "ems_budget_exhausted_events{reason=\"max_iterations\"} 1\n",
+        "# TYPE ems_engine_active_pairs gauge\n",
+        "ems_engine_active_pairs{engine=\"forward\"} 12\n",
+        "# TYPE ems_engine_formula_evals gauge\n",
+        "ems_engine_formula_evals{engine=\"forward\"} 12\n",
+        "# TYPE ems_engine_frozen_pairs gauge\n",
+        "ems_engine_frozen_pairs{engine=\"forward\"} 1\n",
+        "# TYPE ems_engine_iterations gauge\n",
+        "ems_engine_iterations{engine=\"forward\"} 1\n",
+        "# TYPE ems_engine_last_max_delta gauge\n",
+        "ems_engine_last_max_delta{engine=\"forward\"} 0.5\n",
+        "# TYPE ems_engine_retired_pairs gauge\n",
+        "ems_engine_retired_pairs{engine=\"forward\"} 3\n",
+        "# TYPE ems_graph_vertices gauge\n",
+        "ems_graph_vertices{side=\"log1\"} 42\n",
+        "# TYPE ems_phase_setup_microseconds counter\n",
+        "ems_phase_setup_microseconds{engine=\"forward\"} 1234\n",
+        "# TYPE ems_weird__value_ gauge\n",
+        "ems_weird__value_{path=\"a\\\\b\\nc\"} NaN\n",
+        "# TYPE ems_xes_warnings counter\n",
+        "ems_xes_warnings{kind=\"tag-mismatch\",log=\"log1\"} 2\n",
+    );
+    assert_eq!(got, want);
+}
+
+#[test]
+fn prom_deterministic_drops_only_timing() {
+    let full = prom::write(&fixture());
+    let det = prom::write_deterministic(&fixture());
+    assert!(full.contains("microseconds"));
+    assert!(!det.contains("microseconds"));
+    let det_expected: String = full
+        .lines()
+        .filter(|l| !l.contains("microseconds"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(det, det_expected);
+}
+
+#[test]
+fn identical_work_yields_identical_redacted_exports() {
+    let run = || {
+        let r = Recorder::new();
+        {
+            let _s = r.span("phase.setup", labels(&[("engine", "forward")]));
+            r.counter_add("formula_evals", labels(&[("engine", "forward")]), 100);
+        }
+        r.gauge_set("graph_vertices", labels(&[("side", "log1")]), 7.0);
+        r.iteration(IterationRecord {
+            engine: "forward".into(),
+            iteration: 1,
+            max_delta: 0.25,
+            mean_delta: 0.125,
+            active_pairs: 4,
+            retired_pairs: 0,
+            frozen_pairs: 0,
+            formula_evals: 100,
+        });
+        r.records()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(jsonl::write_redacted(&a), jsonl::write_redacted(&b));
+    assert_eq!(prom::write_deterministic(&a), prom::write_deterministic(&b));
+    // The unredacted traces differ at most in dur_us.
+    let ja = jsonl::write(&a);
+    let jb = jsonl::write(&b);
+    for (la, lb) in ja.lines().zip(jb.lines()) {
+        if !la.contains("dur_us") {
+            assert_eq!(la, lb);
+        }
+    }
+}

@@ -57,7 +57,8 @@ pub use error::{XesError, XesResult};
 pub use model::{AttrValue, Attribute, XesEvent, XesLog, XesTrace};
 pub use parser::parse_str;
 pub use recover::{
-    parse_event_log_recovering, parse_mxml_recovering, ParseMode, Recovered, Warning, WarningKind,
+    parse_event_log_recovering, parse_mxml_recovering, record_ingestion, ParseMode, Recovered,
+    Warning, WarningKind,
 };
 pub use streaming::parse_event_log;
 pub use writer::write_string;

@@ -64,6 +64,20 @@ pub enum WarningKind {
     Truncated,
 }
 
+impl WarningKind {
+    /// Stable telemetry label for this warning category — used as the
+    /// `kind` label of the `xes_warnings` counter.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WarningKind::Syntax { .. } => "syntax",
+            WarningKind::TagMismatch { .. } => "tag-mismatch",
+            WarningKind::Structure { .. } => "structure",
+            WarningKind::BadAttribute { .. } => "bad-attribute",
+            WarningKind::Truncated => "truncated",
+        }
+    }
+}
+
 /// One recovery diagnostic: where the damage was and what was done about it.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Warning {
@@ -110,6 +124,33 @@ impl Recovered {
     pub fn is_clean(&self) -> bool {
         self.warnings.is_empty()
     }
+}
+
+/// Tallies `warnings` by [`WarningKind::label`] into the recorder as
+/// `xes_warnings{kind, log}` counters (plus an `xes_traces{log}` gauge for
+/// the salvaged trace count). Emission order is sorted by kind label, so
+/// identical ingestions produce identical traces.
+pub fn record_ingestion(recorder: &ems_obs::Recorder, log_label: &str, recovered: &Recovered) {
+    let mut by_kind: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    for w in &recovered.warnings {
+        *by_kind.entry(w.kind.label()).or_insert(0) += 1;
+    }
+    for (kind, count) in by_kind {
+        recorder.counter_add(
+            "xes_warnings",
+            vec![
+                ("kind".to_string(), kind.to_string()),
+                ("log".to_string(), log_label.to_string()),
+            ],
+            count,
+        );
+    }
+    recorder.gauge_set(
+        "xes_traces",
+        vec![("log".to_string(), log_label.to_string())],
+        recovered.log.num_traces() as f64,
+    );
 }
 
 /// Converts a strict-mode error into the equivalent recovery warning.
@@ -641,6 +682,71 @@ mod tests {
         let r = parse_event_log_recovering(xml);
         assert!(r.is_clean(), "{:?}", r.warnings);
         assert_eq!(names(&r.log), vec![vec!["a".to_string(), "b".to_string()]]);
+    }
+
+    #[test]
+    fn record_ingestion_tallies_warnings_by_kind() {
+        let xml = r#"<log><trace>
+            <event><string key="concept:name" value="a"/></event>
+            <event><string key="concept:name" value="b"/>"#;
+        let r = parse_event_log_recovering(xml);
+        assert!(!r.is_clean());
+        let rec = ems_obs::Recorder::new();
+        record_ingestion(&rec, "log1", &r);
+        let records = rec.records();
+        let truncated = records.iter().any(|rec| {
+            matches!(
+                rec,
+                ems_obs::Record::Counter { name, labels, value }
+                    if name == "xes_warnings"
+                        && *value >= 1
+                        && labels.contains(&("kind".to_string(), "truncated".to_string()))
+                        && labels.contains(&("log".to_string(), "log1".to_string()))
+            )
+        });
+        assert!(truncated, "records: {records:?}");
+        let traces = records.iter().any(|rec| {
+            matches!(
+                rec,
+                ems_obs::Record::Gauge { name, value, .. }
+                    if name == "xes_traces" && *value == 1.0
+            )
+        });
+        assert!(traces, "records: {records:?}");
+    }
+
+    #[test]
+    fn warning_kind_labels_are_stable() {
+        assert_eq!(
+            WarningKind::Syntax {
+                message: String::new()
+            }
+            .label(),
+            "syntax"
+        );
+        assert_eq!(
+            WarningKind::TagMismatch {
+                expected: String::new(),
+                found: String::new()
+            }
+            .label(),
+            "tag-mismatch"
+        );
+        assert_eq!(
+            WarningKind::Structure {
+                message: String::new()
+            }
+            .label(),
+            "structure"
+        );
+        assert_eq!(
+            WarningKind::BadAttribute {
+                message: String::new()
+            }
+            .label(),
+            "bad-attribute"
+        );
+        assert_eq!(WarningKind::Truncated.label(), "truncated");
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! Cross-crate observability contract (PR4 acceptance criteria):
+//!
+//! - a traced run on the synthetic corpus emits a valid `ems-trace/1`
+//!   JSONL stream whose per-engine `max_delta` is non-increasing after
+//!   the first iteration;
+//! - the non-timing trace content is byte-identical across thread
+//!   counts (`--threads N` vs `--threads 1`), i.e. telemetry inherits
+//!   the kernel's bit-identity guarantee.
+
+use ems_core::{Ems, EmsParams, RunOptions};
+use ems_depgraph::{observe_graph, DependencyGraph};
+use ems_events::EventLog;
+use ems_obs::{jsonl, prom, Record, Recorder};
+use ems_synth::{PairConfig, PairGenerator, TreeConfig};
+use std::sync::Arc;
+
+fn synth_pair() -> (EventLog, EventLog) {
+    let p = PairGenerator::new(PairConfig {
+        tree: TreeConfig {
+            num_activities: 24,
+            seed: 11,
+            ..TreeConfig::default()
+        },
+        traces_per_log: 40,
+        seed: 23,
+        xor_jitter: 0.2,
+        ..PairConfig::default()
+    })
+    .generate();
+    (p.log1, p.log2)
+}
+
+/// Runs the full non-composite matching pipeline with `threads` worker
+/// threads and a recorder attached, mirroring the CLI's `--trace` path.
+fn traced_match(threads: usize) -> Vec<Record> {
+    let (l1, l2) = synth_pair();
+    let recorder = Arc::new(Recorder::new());
+    let g1 = DependencyGraph::from_log(&l1);
+    let g2 = DependencyGraph::from_log(&l2);
+    observe_graph(&g1, &recorder, "log1");
+    observe_graph(&g2, &recorder, "log2");
+    let params = EmsParams {
+        threads,
+        ..EmsParams::default()
+    };
+    let ems = Ems::try_new(params).expect("default-ish params are valid");
+    let labels = ems.label_matrix(&l1, &l2);
+    let options = RunOptions {
+        recorder: Some(Arc::clone(&recorder)),
+        ..RunOptions::default()
+    };
+    ems.try_match_graphs_opts(&g1, &g2, &labels, &options, &options)
+        .expect("matching succeeds on the synthetic corpus");
+    recorder.records()
+}
+
+#[test]
+fn traced_run_emits_valid_jsonl_with_non_increasing_max_delta() {
+    let records = traced_match(1);
+    let trace = jsonl::write(&records);
+
+    // The stream round-trips through the schema validator.
+    let parsed = jsonl::parse_records(&trace).expect("trace conforms to ems-trace/1");
+    assert_eq!(parsed.len(), records.len());
+
+    // Both directions report a convergence curve, and each curve's
+    // max_delta never increases after the first iteration.
+    let curves = jsonl::check_convergence(&parsed).expect("max_delta is non-increasing");
+    assert_eq!(curves.len(), 2, "expected forward + backward engines");
+    for (engine, iterations) in &curves {
+        assert!(*iterations >= 1, "engine {engine} recorded no iterations");
+    }
+
+    // The instrumentation covers graph construction and the run summary.
+    assert!(records.iter().any(|r| matches!(
+        r,
+        Record::Gauge { name, .. } if name == "graph_vertices"
+    )));
+    assert!(records.iter().any(|r| matches!(
+        r,
+        Record::Counter { name, .. } if name == "run.iterations"
+    )));
+}
+
+#[test]
+fn trace_content_is_identical_across_thread_counts() {
+    let serial = traced_match(1);
+    let parallel = traced_match(4);
+
+    // Redacted JSONL (dur_us zeroed) must be byte-identical: same
+    // records, same order, same floating-point deltas.
+    assert_eq!(
+        jsonl::write_redacted(&serial),
+        jsonl::write_redacted(&parallel),
+        "per-iteration telemetry must not depend on the thread count"
+    );
+
+    // The deterministic Prometheus view (span timings omitted) agrees too.
+    assert_eq!(
+        prom::write_deterministic(&serial),
+        prom::write_deterministic(&parallel)
+    );
+}
