@@ -1,14 +1,16 @@
 //! CI perf smoke: times the seed reference kernel against the precomputed
-//! worklist kernel (serial and parallel) on synthetic log pairs and writes
-//! the results as `BENCH_pr4.json` (path overridable via `--out PATH` or a
-//! bare positional argument). A Prometheus-text metrics file is written
-//! alongside (same stem, `.prom` extension), and every size's JSON entry
-//! carries the per-iteration convergence telemetry of an untimed traced
-//! run. Intended to catch large kernel regressions, not to be a rigorous
-//! benchmark — each configuration is timed best-of-N wall clock.
+//! worklist kernel (serial and parallel) on synthetic log pairs, plus the
+//! PR5 session pipeline (cold build vs cached re-match vs warm-started
+//! re-match), and writes the results to the path given by the mandatory
+//! `--out PATH` argument (CI passes `BENCH_pr5.json`). A Prometheus-text
+//! metrics file is written alongside (same stem, `.prom` extension), and
+//! every size's JSON entry carries the per-iteration convergence telemetry
+//! of an untimed traced run. Intended to catch large kernel regressions,
+//! not to be a rigorous benchmark — each configuration is timed best-of-N
+//! wall clock.
 
 use ems_core::engine::{Engine, RunOptions, RunOutput};
-use ems_core::{Direction, EmsParams};
+use ems_core::{Direction, EmsParams, MatchSession, SessionOptions};
 use ems_depgraph::DependencyGraph;
 use ems_labels::LabelMatrix;
 use ems_obs::{IterationRecord, Record, Recorder};
@@ -70,6 +72,9 @@ struct SizeReport {
     reference_ms: f64,
     serial_ms: f64,
     parallel_ms: f64,
+    session_cold_ms: f64,
+    session_cached_ms: f64,
+    session_warm_ms: f64,
     convergence: Vec<IterationRecord>,
 }
 
@@ -83,22 +88,25 @@ impl SizeReport {
     }
 }
 
-/// Parses `[--out PATH]` (or a bare positional path, kept for
-/// back-compatibility with the PR2 invocation) from `argv`.
+/// Parses the mandatory `--out PATH` (a bare positional path is also
+/// accepted, kept for back-compatibility with the PR2 invocation). There
+/// is deliberately no default: every trajectory file in CI names its PR
+/// explicitly, so a stale default can never silently overwrite an earlier
+/// PR's numbers.
 fn parse_out_path(args: impl Iterator<Item = String>) -> Result<String, String> {
-    let mut out_path = "BENCH_pr4.json".to_owned();
+    let mut out_path = None;
     let mut args = args.peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
             "--out" => match args.next() {
-                Some(p) => out_path = p,
+                Some(p) => out_path = Some(p),
                 None => return Err("--out requires a path".to_owned()),
             },
-            other if !other.starts_with('-') => out_path = other.to_owned(),
+            other if !other.starts_with('-') => out_path = Some(other.to_owned()),
             other => return Err(format!("unknown flag {other} (expected --out PATH)")),
         }
     }
-    Ok(out_path)
+    out_path.ok_or_else(|| "missing mandatory --out PATH (e.g. --out BENCH_pr5.json)".to_owned())
 }
 
 fn main() {
@@ -169,11 +177,71 @@ fn main() {
             })
             .collect();
 
+        // PR5 session pipeline: cold (graph + substrate + label build +
+        // both solves) vs cached re-match (builds skipped, solves only)
+        // vs warm-started re-match (solves seeded at the prior fixpoint,
+        // sound by Theorem 1 monotonicity). Cold needs a fresh session
+        // every round; cached and warm reuse that round's session. Unlike
+        // the kernel rows above (iteration count pinned for identical
+        // work), the session trio runs the default convergence params —
+        // the warm win only exists when the prior actually converged.
+        let session_params = EmsParams::structural();
+        let mut session_cold_ms = f64::INFINITY;
+        let mut session_cached_ms = f64::INFINITY;
+        let mut session_warm_ms = f64::INFINITY;
+        for _ in 0..rounds {
+            let mut session =
+                MatchSession::try_new(session_params.clone()).expect("params are valid");
+            let h1 = session.ingest(l1.clone());
+            let h2 = session.ingest(l2.clone());
+            let warm_opts = SessionOptions {
+                warm_start: true,
+                ..SessionOptions::default()
+            };
+            let start = Instant::now();
+            let cold = session.match_pair(h1, h2).expect("session match succeeds");
+            let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+            if cold_ms < session_cold_ms {
+                session_cold_ms = cold_ms;
+            }
+            let start = Instant::now();
+            let cached = session.match_pair(h1, h2).expect("session match succeeds");
+            let cached_ms = start.elapsed().as_secs_f64() * 1e3;
+            if cached_ms < session_cached_ms {
+                session_cached_ms = cached_ms;
+            }
+            let start = Instant::now();
+            let _warm = session
+                .match_pair_opts(h1, h2, &warm_opts)
+                .expect("session match succeeds");
+            let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+            if warm_ms < session_warm_ms {
+                session_warm_ms = warm_ms;
+            }
+            // The cached re-match must be a pure cache hit: bit-identical.
+            assert_eq!(cold.similarity.data(), cached.similarity.data());
+        }
+
         let size_labels =
             |kernel: &str| ems_obs::labels(&[("n", &n.to_string()), ("kernel", kernel)]);
         metrics.gauge_set("bench_wall_ms", size_labels("reference"), reference_ms);
         metrics.gauge_set("bench_wall_ms", size_labels("serial"), serial_ms);
         metrics.gauge_set("bench_wall_ms", size_labels("parallel"), parallel_ms);
+        metrics.gauge_set(
+            "bench_wall_ms",
+            size_labels("session_cold"),
+            session_cold_ms,
+        );
+        metrics.gauge_set(
+            "bench_wall_ms",
+            size_labels("session_cached"),
+            session_cached_ms,
+        );
+        metrics.gauge_set(
+            "bench_wall_ms",
+            size_labels("session_warm"),
+            session_warm_ms,
+        );
         metrics.gauge_set(
             "bench_formula_evals",
             ems_obs::labels(&[("n", &n.to_string())]),
@@ -189,11 +257,16 @@ fn main() {
             reference_ms,
             serial_ms,
             parallel_ms,
+            session_cold_ms,
+            session_cached_ms,
+            session_warm_ms,
             convergence,
         };
         eprintln!(
             "n={n}: reference {reference_ms:.1} ms, serial {serial_ms:.1} ms \
-             ({:.2}x), parallel {parallel_ms:.1} ms ({:.2}x, {threads} threads)",
+             ({:.2}x), parallel {parallel_ms:.1} ms ({:.2}x, {threads} threads); \
+             session cold {session_cold_ms:.1} ms, cached {session_cached_ms:.1} ms, \
+             warm {session_warm_ms:.1} ms",
             reference_ms / serial_ms,
             reference_ms / parallel_ms,
         );
@@ -201,7 +274,7 @@ fn main() {
     }
 
     let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"pr4_fixpoint_kernel\",\n");
+    json.push_str("{\n  \"bench\": \"pr5_session_pipeline\",\n");
     let _ = writeln!(json, "  \"parallel_threads\": {threads},");
     json.push_str("  \"sizes\": [\n");
     for (i, r) in reports.iter().enumerate() {
@@ -214,6 +287,21 @@ fn main() {
         let _ = writeln!(json, "      \"reference_wall_ms\": {:.3},", r.reference_ms);
         let _ = writeln!(json, "      \"serial_wall_ms\": {:.3},", r.serial_ms);
         let _ = writeln!(json, "      \"parallel_wall_ms\": {:.3},", r.parallel_ms);
+        let _ = writeln!(
+            json,
+            "      \"session_cold_wall_ms\": {:.3},",
+            r.session_cold_ms
+        );
+        let _ = writeln!(
+            json,
+            "      \"session_cached_wall_ms\": {:.3},",
+            r.session_cached_ms
+        );
+        let _ = writeln!(
+            json,
+            "      \"session_warm_wall_ms\": {:.3},",
+            r.session_warm_ms
+        );
         let _ = writeln!(
             json,
             "      \"reference_pairs_per_sec\": {:.0},",

@@ -5,8 +5,8 @@ use ems_assignment::max_total_assignment;
 use ems_core::composite::{
     discover_candidates, CandidateConfig, CompositeConfig, CompositeMatcher,
 };
-use ems_core::{Ems, EmsParams, RunOptions};
-use ems_depgraph::{filter_min_frequency, observe_graph, to_dot, DependencyGraph};
+use ems_core::{Ems, EmsParams, MatchSession, SessionOptions};
+use ems_depgraph::{to_dot, DependencyGraph};
 use ems_error::EmsError;
 use ems_eval::Table;
 use ems_events::{EventId, EventLog, LogStats};
@@ -147,9 +147,9 @@ fn do_match(args: &MatchArgs) -> Result<(), EmsError> {
     if let Some(i) = args.estimate {
         params.estimate_after = Some(i);
     }
-    let ems = Ems::try_new(params)?;
 
     let (log1, log2, sim) = if args.composites {
+        let ems = Ems::try_new(params)?;
         let config = CompositeConfig {
             delta: args.delta,
             ..CompositeConfig::default()
@@ -169,24 +169,22 @@ fn do_match(args: &MatchArgs) -> Result<(), EmsError> {
         }
         (outcome.log1, outcome.log2, outcome.similarity)
     } else {
-        let g1 = DependencyGraph::from_log(&l1);
-        let g2 = DependencyGraph::from_log(&l2);
-        let (g1, removed1) = filter_min_frequency(&g1, args.min_freq);
-        let (g2, removed2) = filter_min_frequency(&g2, args.min_freq);
-        if let Some(r) = rec {
-            observe_graph(&g1, r, "log1");
-            observe_graph(&g2, r, "log2");
-            let filtered = |side| ems_obs::labels(&[("side", side)]);
-            r.counter_add("graph_filtered_vertices", filtered("log1"), removed1 as u64);
-            r.counter_add("graph_filtered_vertices", filtered("log2"), removed2 as u64);
+        // The staged pipeline: ingest → model → substrate → solve →
+        // aggregate. One recorder serves both roles here — session stage
+        // telemetry (graph gauges, cache counters) and the engine trace
+        // land in the same output files.
+        let mut session = MatchSession::try_new(params)?.with_min_frequency(args.min_freq);
+        if let Some(r) = &recorder {
+            session = session.with_recorder(Arc::clone(r));
         }
-        let labels = ems.label_matrix(&l1, &l2);
-        let options = RunOptions {
+        let h1 = session.ingest(l1.clone());
+        let h2 = session.ingest(l2.clone());
+        let options = SessionOptions {
             budget: args.budget.clone().unwrap_or_default(),
             recorder: recorder.clone(),
-            ..Default::default()
+            ..SessionOptions::default()
         };
-        let out = ems.try_match_graphs_opts(&g1, &g2, &labels, &options, &options)?;
+        let out = session.match_pair_opts(h1, h2, &options)?;
         if out.stats.degraded {
             eprintln!(
                 "ems: note: budget exhausted after {} iterations; {} pairs \

@@ -7,8 +7,27 @@ use crate::engine::{RunOptions, RunStats, Seed};
 use crate::matcher::{Ems, MatchOutcome};
 use crate::sim::SimMatrix;
 use ems_depgraph::{ancestor_sets, descendant_sets, DependencyGraph};
-use ems_events::{merge_composite, EventLog};
+use ems_events::{merge_composite, EventLog, LabelSym, SymbolTable};
 use ems_obs::Recorder;
+use std::collections::HashMap;
+
+/// New-index → old-index remap between two graphs sharing one
+/// [`SymbolTable`]: a symbol-keyed lookup, so re-matching events across a
+/// tentative merge never compares strings (the parse edge interned them
+/// once).
+fn remap_by_symbol(new_g: &DependencyGraph, old_g: &DependencyGraph) -> Vec<Option<usize>> {
+    let old_index: HashMap<LabelSym, usize> = old_g
+        .syms()
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i))
+        .collect();
+    new_g
+        .syms()
+        .iter()
+        .map(|s| old_index.get(s).copied())
+        .collect()
+}
 
 /// Configuration of the greedy composite search.
 #[derive(Debug, Clone, PartialEq)]
@@ -127,8 +146,11 @@ impl CompositeMatcher {
         cands2: &[Candidate],
         recorder: Option<&Recorder>,
     ) -> CompositeOutcome {
-        let g1 = DependencyGraph::from_log(l1);
-        let g2 = DependencyGraph::from_log(l2);
+        // One symbol table spans the whole search: every tentative merge's
+        // graph shares it, so cross-graph event identity is a `u32` compare.
+        let mut table = SymbolTable::new();
+        let g1 = DependencyGraph::from_log_in(l1, &mut table);
+        let g2 = DependencyGraph::from_log_in(l2, &mut table);
         let labels = self.ems.label_matrix(l1, l2);
         let outcome = self.ems.match_graphs(&g1, &g2, &labels);
         let mut stats = outcome.stats.clone();
@@ -158,7 +180,7 @@ impl CompositeMatcher {
                     } else {
                         None
                     };
-                    match self.evaluate(&state, side1, cand, target, &mut stats) {
+                    match self.evaluate(&state, side1, cand, target, &mut stats, &mut table) {
                         Evaluation::Skipped => {}
                         Evaluation::Aborted => {
                             evaluated += 1;
@@ -243,6 +265,7 @@ impl CompositeMatcher {
         cand: &Candidate,
         abort_target: Option<f64>,
         stats: &mut RunStats,
+        table: &mut SymbolTable,
     ) -> Evaluation {
         let (merge_log, old_graph) = if side1 {
             (&state.log1, &state.g1)
@@ -263,7 +286,7 @@ impl CompositeMatcher {
             return Evaluation::Skipped; // the run never occurs consecutively
         }
         let (new_log, _) = new_log.compact();
-        let new_graph = DependencyGraph::from_log(&new_log);
+        let new_graph = DependencyGraph::from_log_in(&new_log, table);
         let (l1, l2, g1, g2) = if side1 {
             (&new_log, &state.log2, &new_graph, &state.g2)
         } else {
@@ -278,50 +301,48 @@ impl CompositeMatcher {
             let parts: Vec<_> = part_ids.iter().map(|&e| e.index()).collect();
             let an = ancestor_sets(old_graph);
             let dn = descendant_sets(old_graph);
+            // All graphs in the search share one symbol table, so the
+            // merged-side remap (new node index → old node index) is a
+            // symbol lookup; the composite's symbol is the only new one.
+            let merged_sym = new_graph.symbols().get(&merged_name);
+            let to_old = remap_by_symbol(&new_graph, old_graph);
             let frozen_for = |sets: &[Vec<ems_depgraph::NodeId>]| -> Vec<bool> {
                 new_graph
                     .real_nodes()
                     .map(|v_new| {
-                        let name = new_graph.name(v_new);
-                        if name == merged_name {
+                        if merged_sym == Some(new_graph.sym(v_new)) {
                             return false;
                         }
-                        let Some(old_id) = merge_log.id_of(name) else {
+                        let Some(old_id) = to_old[v_new.index()] else {
                             return false;
                         };
-                        if parts.contains(&old_id.index()) {
+                        if parts.contains(&old_id) {
                             return false;
                         }
-                        !sets[old_id.index()]
-                            .iter()
-                            .any(|a| parts.contains(&a.index()))
+                        !sets[old_id].iter().any(|a| parts.contains(&a.index()))
                     })
                     .collect()
             };
             let fwd_rows = frozen_for(&an);
             let bwd_rows = frozen_for(&dn);
+            // Map new indices to old matrix indices on the merged side; the
+            // other side is untouched, but indices may still shift after
+            // compaction, so remap both by symbol.
+            let to_old1 = remap_by_symbol(g1, &state.g1);
+            let to_old2 = remap_by_symbol(g2, &state.g2);
             let build_seed = |rows: &[bool], prev: &SimMatrix| -> Seed {
                 let n1 = g1.num_real();
                 let n2 = g2.num_real();
                 let mut values = SimMatrix::zeros(n1, n2);
                 let mut frozen = vec![false; n1 * n2];
-                // Map new indices to old matrix indices by name on the merged
-                // side; the other side is untouched (indices may still shift
-                // after compaction, so map by name there too).
-                let old_l1 = &state.log1;
-                let old_l2 = &state.log2;
                 for i in 0..n1 {
                     for j in 0..n2 {
                         let node_frozen = if side1 { rows[i] } else { rows[j] };
                         if !node_frozen {
                             continue;
                         }
-                        let (old_i, old_j) = (
-                            old_l1.id_of(g1.name(ems_depgraph::NodeId::from_index(i))),
-                            old_l2.id_of(g2.name(ems_depgraph::NodeId::from_index(j))),
-                        );
-                        if let (Some(oi), Some(oj)) = (old_i, old_j) {
-                            values.set(i, j, prev.get(oi.index(), oj.index()));
+                        if let (Some(oi), Some(oj)) = (to_old1[i], to_old2[j]) {
+                            values.set(i, j, prev.get(oi, oj));
                             frozen[i * n2 + j] = true;
                         }
                     }

@@ -22,195 +22,32 @@ use crate::bounds::pair_upper_bound;
 use crate::error::CoreError;
 use crate::estimate::extrapolate;
 use crate::kernel::{
-    eval_chunk, resolve_threads, transpose_into, ActivePair, DenseScratch, PairContext, PairEval,
-    H_INFINITE,
+    eval_chunk, resolve_threads, transpose_into, ActivePair, DenseScratch, PairEval, H_INFINITE,
 };
 use crate::numeric::NeumaierSum;
 use crate::params::{Direction, EmsParams};
 use crate::sim::SimMatrix;
-use ems_depgraph::{
-    longest_distances, longest_distances_backward, DependencyGraph, Distance, NodeId,
-};
+use crate::substrate::EngineSubstrate;
+use ems_depgraph::{DependencyGraph, Distance, NodeId};
 use ems_labels::LabelMatrix;
 use ems_obs::{IterationRecord, Recorder};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+pub use crate::stats::{Budget, PhaseTimes, RunOptions, RunOutput, RunStats, Seed};
+
 /// Below this many active pairs an iteration runs serially even when more
 /// threads are available — spawn overhead would dominate the update.
 const PAR_MIN_PAIRS: usize = 4096;
 
-/// Initial state carried into a run — used by the composite matcher to reuse
-/// similarities that Proposition 4 proves unchanged.
-#[derive(Debug, Clone)]
-pub struct Seed {
-    /// Initial values: frozen pairs hold their known-correct similarities,
-    /// all other pairs must be `0` (the `S^0` of Section 3.2 — monotone
-    /// convergence relies on starting from below).
-    pub values: SimMatrix,
-    /// Per-pair freeze mask (row-major, `n1 * n2`): `true` pairs are never
-    /// updated but still feed their values into neighbors' computations.
-    pub frozen: Vec<bool>,
-}
-
-/// A resource budget for one similarity run.
-///
-/// Each limit is independent and optional; the default budget is unlimited.
-/// Budgets are checked *between* iterations: the iteration count is never
-/// exceeded, while formula evaluations and wall-clock time may overshoot by
-/// at most one iteration's worth of work. When any limit trips, the exact
-/// phase stops and the remaining non-converged pairs are finished with the
-/// closed-form estimation of Section 3.5, so an exhausted run still returns
-/// a usable similarity matrix — flagged via [`RunStats::degraded`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct Budget {
-    /// Maximum exact iterations.
-    pub max_iterations: Option<usize>,
-    /// Maximum evaluations of formula (1) ([`RunStats::formula_evals`]).
-    pub max_formula_evals: Option<u64>,
-    /// Maximum elapsed wall-clock time.
-    pub wall_clock: Option<Duration>,
-}
-
-impl Budget {
-    /// An unlimited budget (all limits off).
-    pub fn unlimited() -> Self {
-        Budget::default()
-    }
-
-    /// True when no limit is set.
-    pub fn is_unlimited(&self) -> bool {
-        self.max_iterations.is_none()
-            && self.max_formula_evals.is_none()
-            && self.wall_clock.is_none()
-    }
-
-    /// True when the observed work exceeds any limit.
-    fn exhausted(&self, iterations: usize, formula_evals: u64, started: Instant) -> bool {
-        self.max_iterations.is_some_and(|m| iterations >= m)
-            || self.max_formula_evals.is_some_and(|m| formula_evals >= m)
-            || self.wall_clock.is_some_and(|m| started.elapsed() >= m)
-    }
-}
-
-/// Options for one similarity run.
-#[derive(Debug, Clone, Default)]
-pub struct RunOptions {
-    /// Reused values + freeze mask (Proposition 4).
-    pub seed: Option<Seed>,
-    /// Abort threshold for upper-bound pruning (Section 4.3): after each
-    /// iteration the run computes the average of the per-pair *upper bounds*;
-    /// if that optimistic average is already below this threshold, the run
-    /// can never beat it and stops early with [`RunStats::aborted`] set.
-    pub abort_below: Option<f64>,
-    /// Resource budget; exhaustion degrades gracefully to estimation.
-    pub budget: Budget,
-    /// Per-run thread-count override; `None` defers to
-    /// [`EmsParams::threads`]. `Some(1)` forces the serial path, `Some(0)`
-    /// uses all available parallelism.
-    pub threads: Option<usize>,
-    /// Optional telemetry sink. When set, the run emits per-iteration
-    /// convergence records, budget/abort events, phase spans and work
-    /// counters. The recorded content (except span durations) is
-    /// bit-identical across the reference kernel, the serial worklist
-    /// kernel and the parallel kernel at any thread count: the mean delta
-    /// is Neumaier-summed over the evaluated pair set in ascending pair
-    /// order, which both kernels share.
-    pub recorder: Option<Arc<Recorder>>,
-}
-
-/// Wall-clock time spent in each phase of a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct PhaseTimes {
-    /// Building the precomputed kernel substrate (CSR export + compatibility
-    /// tables). Paid once per [`Engine`], reported with every run.
-    pub setup: Duration,
-    /// The exact fixpoint iteration.
-    pub exact: Duration,
-    /// The closed-form estimation tail (zero when no estimation ran).
-    pub estimation: Duration,
-}
-
-impl PhaseTimes {
-    /// Merge is **by sum**, phase by phase. This is the right semantics
-    /// for aggregating *distinct* work (forward + backward engines, or
-    /// composite candidate runs), but note two consequences:
-    ///
-    /// * `setup` is paid once per [`Engine`] yet *reported* with every
-    ///   run of that engine, so merging N runs of the same engine counts
-    ///   the one real setup N times. The merged value answers "how much
-    ///   setup time do the merged reports claim", not "how much setup
-    ///   work happened".
-    /// * Runs that executed concurrently sum to more than the wall-clock
-    ///   interval they occupied; the merged total is CPU-time-like.
-    ///
-    /// See `merge_sums_phase_times_documenting_double_count` in the tests
-    /// for the pinned behavior.
-    fn merge(&mut self, other: &PhaseTimes) {
-        self.setup += other.setup;
-        self.exact += other.exact;
-        self.estimation += other.estimation;
-    }
-}
-
-/// Counters describing how much work a run performed — these are the
-/// quantities Figures 6 and 12 of the paper report.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct RunStats {
-    /// Iterations executed (exact phase).
-    pub iterations: usize,
-    /// Number of evaluations of formula (1) — one per non-skipped pair per
-    /// iteration. This is the paper's "total number of iterations w.r.t. all
-    /// event pairs".
-    pub formula_evals: u64,
-    /// Evaluations skipped by early-convergence pruning.
-    pub pruned_evals: u64,
-    /// Evaluations skipped because the pair was frozen by a [`Seed`].
-    pub frozen_evals: u64,
-    /// Pairs whose final value came from the closed-form estimation.
-    pub estimated_pairs: u64,
-    /// Whether the run stopped early due to `abort_below`.
-    pub aborted: bool,
-    /// Whether a [`Budget`] limit tripped and the run fell back to the
-    /// closed-form estimation for pairs that had not yet converged.
-    pub degraded: bool,
-    /// Wall-clock time per phase (setup / exact / estimation).
-    pub phase_times: PhaseTimes,
-}
-
-impl RunStats {
-    /// Merges counters from another run (e.g. forward + backward):
-    /// `iterations` takes the max, the work counters and flags accumulate,
-    /// and `phase_times` merges **by sum** — see [`PhaseTimes`] for the
-    /// double-counting caveat when the merged runs share one engine's
-    /// setup.
-    pub fn merge(&mut self, other: &RunStats) {
-        self.iterations = self.iterations.max(other.iterations);
-        self.formula_evals += other.formula_evals;
-        self.pruned_evals += other.pruned_evals;
-        self.frozen_evals += other.frozen_evals;
-        self.estimated_pairs += other.estimated_pairs;
-        self.aborted |= other.aborted;
-        self.degraded |= other.degraded;
-        self.phase_times.merge(&other.phase_times);
-    }
-}
-
-/// Result of one similarity run.
-#[derive(Debug, Clone)]
-pub struct RunOutput {
-    /// The computed similarity matrix over real events.
-    pub sim: SimMatrix,
-    /// Work counters.
-    pub stats: RunStats,
-}
-
 /// One-direction similarity engine over a fixed pair of dependency graphs.
 ///
 /// The engine owns nothing graph-shaped: it borrows the graphs and the label
-/// matrix, precomputes the `l(v)` distances and the [`PairContext`] kernel
-/// substrate for its direction, and can then run any number of times (the
-/// composite matcher runs it once per candidate).
+/// matrix, and either builds its [`EngineSubstrate`] (the `l(v)` distances
+/// and `PairContext` kernel tables) itself via [`try_new`](Self::try_new) or
+/// receives a cached one via
+/// [`try_with_substrate`](Self::try_with_substrate). It can then run any
+/// number of times (the composite matcher runs it once per candidate).
 #[derive(Debug)]
 pub struct Engine<'a> {
     g1: &'a DependencyGraph,
@@ -218,15 +55,17 @@ pub struct Engine<'a> {
     labels: &'a LabelMatrix,
     params: &'a EmsParams,
     direction: Direction,
-    l1: Vec<Distance>,
-    l2: Vec<Distance>,
-    ctx: PairContext,
+    substrate: Arc<EngineSubstrate>,
     /// Dense-substrate buffers, retained across runs so repeated runs
     /// (sweeps, benchmarks) skip the 2×`L·n` allocation and page-fault
     /// cost. `try_lock` with a local fallback — concurrent runs on one
     /// engine stay correct, the loser just allocates fresh.
     scratch: Mutex<DenseScratch>,
-    setup_time: Duration,
+    /// Setup time charged to this engine's runs: the substrate build time
+    /// when this engine performed the build, zero when it received a cached
+    /// substrate (the cache owner attributes the build once — see
+    /// [`PhaseTimes::setup`]).
+    charged_setup: Duration,
 }
 
 impl<'a> Engine<'a> {
@@ -253,7 +92,8 @@ impl<'a> Engine<'a> {
 
     /// Fallible variant of [`new`](Self::new): returns
     /// [`CoreError::InvalidParams`] or [`CoreError::LabelShapeMismatch`]
-    /// instead of panicking.
+    /// instead of panicking. Builds the [`EngineSubstrate`] itself and
+    /// charges its build time to this engine's runs.
     pub fn try_new(
         g1: &'a DependencyGraph,
         g2: &'a DependencyGraph,
@@ -261,6 +101,84 @@ impl<'a> Engine<'a> {
         params: &'a EmsParams,
         direction: Direction,
     ) -> Result<Self, CoreError> {
+        Self::validate_inputs(g1, g2, labels, params)?;
+        let substrate = Arc::new(EngineSubstrate::build(g1, g2, direction, params.c));
+        let charged_setup = substrate.build_time();
+        Ok(Engine {
+            g1,
+            g2,
+            labels,
+            params,
+            direction,
+            substrate,
+            scratch: Mutex::new(DenseScratch::default()),
+            charged_setup,
+        })
+    }
+
+    /// Creates an engine over a cached [`EngineSubstrate`] — the session
+    /// fast path. The substrate must structurally fit the run: its shape
+    /// must equal the graphs' real node counts, and its direction and
+    /// damping constant must match the request bit-for-bit; otherwise
+    /// [`CoreError::SubstrateMismatch`] is returned. No setup time is
+    /// charged to this engine's runs — the substrate owner attributes the
+    /// build once (see [`PhaseTimes::setup`]).
+    pub fn try_with_substrate(
+        g1: &'a DependencyGraph,
+        g2: &'a DependencyGraph,
+        labels: &'a LabelMatrix,
+        params: &'a EmsParams,
+        direction: Direction,
+        substrate: Arc<EngineSubstrate>,
+    ) -> Result<Self, CoreError> {
+        Self::validate_inputs(g1, g2, labels, params)?;
+        if substrate.rows() != g1.num_real() || substrate.cols() != g2.num_real() {
+            return Err(CoreError::SubstrateMismatch {
+                message: format!(
+                    "substrate is {}x{} but the graphs have {}x{} real nodes",
+                    substrate.rows(),
+                    substrate.cols(),
+                    g1.num_real(),
+                    g2.num_real()
+                ),
+            });
+        }
+        if substrate.direction() != direction {
+            return Err(CoreError::SubstrateMismatch {
+                message: format!(
+                    "substrate was built for direction {:?}, run requests {:?}",
+                    substrate.direction(),
+                    direction
+                ),
+            });
+        }
+        if substrate.c().to_bits() != params.c.to_bits() {
+            return Err(CoreError::SubstrateMismatch {
+                message: format!(
+                    "substrate was built with c = {}, run requests c = {}",
+                    substrate.c(),
+                    params.c
+                ),
+            });
+        }
+        Ok(Engine {
+            g1,
+            g2,
+            labels,
+            params,
+            direction,
+            substrate,
+            scratch: Mutex::new(DenseScratch::default()),
+            charged_setup: Duration::ZERO,
+        })
+    }
+
+    fn validate_inputs(
+        g1: &DependencyGraph,
+        g2: &DependencyGraph,
+        labels: &LabelMatrix,
+        params: &EmsParams,
+    ) -> Result<(), CoreError> {
         params.validate().map_err(CoreError::InvalidParams)?;
         if labels.rows() != g1.num_real() || labels.cols() != g2.num_real() {
             return Err(CoreError::LabelShapeMismatch {
@@ -270,39 +188,19 @@ impl<'a> Engine<'a> {
                 n2: g2.num_real(),
             });
         }
-        // ems-lint: allow(wall-clock-randomness, setup timing feeds RunStats telemetry only, never similarity values)
-        let setup_started = Instant::now();
-        let (l1, l2) = match direction {
-            Direction::Forward => (longest_distances(g1), longest_distances(g2)),
-            Direction::Backward => (
-                longest_distances_backward(g1),
-                longest_distances_backward(g2),
-            ),
-        };
-        let (csr1, csr2) = match direction {
-            Direction::Forward => (g1.pre_csr(), g2.pre_csr()),
-            Direction::Backward => (g1.post_csr(), g2.post_csr()),
-        };
-        let ctx = PairContext::new(csr1, csr2, params.c);
-        let setup_time = setup_started.elapsed();
-        Ok(Engine {
-            g1,
-            g2,
-            labels,
-            params,
-            direction,
-            l1,
-            l2,
-            ctx,
-            scratch: Mutex::new(DenseScratch::default()),
-            setup_time,
-        })
+        Ok(())
+    }
+
+    /// The substrate this engine runs on — shareable with further engines
+    /// over the same `(g1, g2, direction)`.
+    pub fn substrate(&self) -> &Arc<EngineSubstrate> {
+        &self.substrate
     }
 
     /// The per-pair convergence bound `h = min(l(v1), l(v2))`
     /// (Proposition 2).
     pub fn pair_bound(&self, v1: usize, v2: usize) -> Distance {
-        Distance::min(self.l1[v1], self.l2[v2])
+        self.substrate.pair_bound(v1, v2)
     }
 
     /// Telemetry label for this engine's direction.
@@ -431,8 +329,9 @@ impl<'a> Engine<'a> {
     /// bound, capped by `max_iterations` and `estimate_after`).
     fn exact_rounds(&self) -> usize {
         let p = self.params;
-        let max_l1 = self.l1.iter().copied().max().unwrap_or(Distance::Finite(0));
-        let max_l2 = self.l2.iter().copied().max().unwrap_or(Distance::Finite(0));
+        let s = &self.substrate;
+        let max_l1 = s.l1.iter().copied().max().unwrap_or(Distance::Finite(0));
+        let max_l2 = s.l2.iter().copied().max().unwrap_or(Distance::Finite(0));
         let global_bound = match (p.pruning, Distance::min(max_l1, max_l2)) {
             (true, Distance::Finite(h)) => (h as usize).min(p.max_iterations),
             _ => p.max_iterations,
@@ -470,7 +369,7 @@ impl<'a> Engine<'a> {
         let p = self.params;
         let mut stats = RunStats {
             phase_times: PhaseTimes {
-                setup: self.setup_time,
+                setup: self.charged_setup,
                 ..PhaseTimes::default()
             },
             ..RunStats::default()
@@ -547,7 +446,7 @@ impl<'a> Engine<'a> {
         // operand non-negative and finite (and not `-0.0`); iterated
         // values are clamped to [0, 1], so only a user seed can violate
         // that — check it once.
-        let dense_available = self.ctx.dense_available()
+        let dense_available = self.substrate.ctx.dense_available()
             && options.seed.as_ref().map_or(true, |s| {
                 s.values
                     .data()
@@ -612,9 +511,9 @@ impl<'a> Engine<'a> {
             // worklist still covers a sizable fraction of the grid.
             let eval = if dense_available && work.len() * 4 >= n1 * n2 {
                 if prev_known_zero {
-                    self.ctx.dense_fill_zero(dense_scratch);
+                    self.substrate.ctx.dense_fill_zero(dense_scratch);
                 } else {
-                    self.ctx.dense_fill(current.data(), dense_scratch);
+                    self.substrate.ctx.dense_fill(current.data(), dense_scratch);
                 }
                 dense_scratch.as_eval()
             } else {
@@ -631,7 +530,15 @@ impl<'a> Engine<'a> {
                 }
                 let prev_data = current.data();
                 let buf = &mut bufs[0];
-                let delta = eval_chunk(&self.ctx, prev_data, &eval, self.labels, alpha, &work, buf);
+                let delta = eval_chunk(
+                    &self.substrate.ctx,
+                    prev_data,
+                    &eval,
+                    self.labels,
+                    alpha,
+                    &work,
+                    buf,
+                );
                 let next_data = next.data_mut();
                 for (ap, &value) in work.iter().zip(buf.iter()) {
                     next_data[ap.k as usize] = value;
@@ -650,7 +557,7 @@ impl<'a> Engine<'a> {
                 let chunk_size = work.len().div_ceil(t_eff);
                 let prev_data = current.data();
                 let eval = &eval;
-                let ctx = &self.ctx;
+                let ctx = &self.substrate.ctx;
                 let labels = self.labels;
                 let delta = std::thread::scope(|scope| {
                     let mut handles = Vec::with_capacity(t_eff);
@@ -1463,6 +1370,73 @@ mod tests {
             Engine::try_new(&g1, &g2, &small, &params, Direction::Forward),
             Err(crate::CoreError::LabelShapeMismatch { rows: 2, .. })
         ));
+    }
+
+    #[test]
+    fn try_with_substrate_validates_fit_and_charges_no_setup() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let params = EmsParams::structural();
+        let sub = Arc::new(EngineSubstrate::build(
+            &g1,
+            &g2,
+            Direction::Forward,
+            params.c,
+        ));
+
+        // Wrong direction.
+        assert!(matches!(
+            Engine::try_with_substrate(
+                &g1,
+                &g2,
+                &labels,
+                &params,
+                Direction::Backward,
+                Arc::clone(&sub)
+            ),
+            Err(crate::CoreError::SubstrateMismatch { .. })
+        ));
+        // Wrong damping constant (bit-exact comparison).
+        let mut other_c = params.clone();
+        other_c.c = params.c * 0.5;
+        assert!(matches!(
+            Engine::try_with_substrate(
+                &g1,
+                &g2,
+                &labels,
+                &other_c,
+                Direction::Forward,
+                Arc::clone(&sub)
+            ),
+            Err(crate::CoreError::SubstrateMismatch { .. })
+        ));
+        // Wrong shape: substrate over a smaller graph pair.
+        let mut small_log = ems_events::EventLog::new();
+        small_log.push_trace(["a", "b"]);
+        let small = DependencyGraph::from_log(&small_log);
+        let small_sub = Arc::new(EngineSubstrate::build(
+            &small,
+            &g2,
+            Direction::Forward,
+            params.c,
+        ));
+        assert!(matches!(
+            Engine::try_with_substrate(&g1, &g2, &labels, &params, Direction::Forward, small_sub),
+            Err(crate::CoreError::SubstrateMismatch { .. })
+        ));
+
+        // A fitting substrate runs bit-identically to a self-built engine
+        // and charges zero setup (the cache owner attributes the build).
+        let owned = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+        let injected =
+            Engine::try_with_substrate(&g1, &g2, &labels, &params, Direction::Forward, sub)
+                .unwrap();
+        let a = owned.run(&RunOptions::default());
+        let b = injected.run(&RunOptions::default());
+        assert_bit_identical(&a.sim, &b.sim);
+        assert!(owned.run(&RunOptions::default()).stats.phase_times.setup > Duration::ZERO);
+        assert_eq!(b.stats.phase_times.setup, Duration::ZERO);
     }
 
     #[test]

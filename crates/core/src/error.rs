@@ -18,6 +18,19 @@ pub enum CoreError {
         /// Real nodes of graph 2.
         n2: usize,
     },
+    /// A cached [`crate::substrate::EngineSubstrate`] does not fit the
+    /// graphs/parameters it was asked to serve.
+    SubstrateMismatch {
+        /// What disagreed (shape, direction or damping constant).
+        message: String,
+    },
+    /// A [`crate::session::LogHandle`] does not belong to the session.
+    UnknownLog {
+        /// The offending handle's index.
+        handle: u32,
+        /// Number of logs the session has ingested.
+        logs: usize,
+    },
     /// A [`crate::engine::Seed`] does not match the run's pair space.
     SeedShapeMismatch {
         /// Seed matrix rows.
@@ -41,6 +54,15 @@ impl fmt::Display for CoreError {
                 f,
                 "label matrix is {rows}x{cols} but the graphs have {n1}x{n2} real nodes"
             ),
+            CoreError::SubstrateMismatch { message } => {
+                write!(f, "cached substrate does not fit this run: {message}")
+            }
+            CoreError::UnknownLog { handle, logs } => {
+                write!(
+                    f,
+                    "log handle {handle} is unknown (session has {logs} logs)"
+                )
+            }
             CoreError::SeedShapeMismatch {
                 rows,
                 cols,
@@ -61,11 +83,12 @@ impl From<CoreError> for ems_error::EmsError {
     fn from(e: CoreError) -> Self {
         match e {
             CoreError::InvalidParams(message) => ems_error::EmsError::Params { message },
-            e @ (CoreError::LabelShapeMismatch { .. } | CoreError::SeedShapeMismatch { .. }) => {
-                ems_error::EmsError::Input {
-                    message: e.to_string(),
-                }
-            }
+            e @ (CoreError::LabelShapeMismatch { .. }
+            | CoreError::SeedShapeMismatch { .. }
+            | CoreError::SubstrateMismatch { .. }
+            | CoreError::UnknownLog { .. }) => ems_error::EmsError::Input {
+                message: e.to_string(),
+            },
         }
     }
 }

@@ -18,6 +18,10 @@
 //!   Corollary 7) that let the composite matcher abort hopeless candidates;
 //! * `matcher` — the user-facing [`Ems`] API aggregating forward and
 //!   backward similarities (Section 3.6);
+//! * [`session`] — the staged, reusable pipeline: a [`MatchSession`] interns
+//!   labels once, caches dependency graphs and [`substrate`] products by
+//!   content fingerprint, and warm-starts re-matches from prior fixpoints
+//!   (Theorem 1);
 //! * [`composite`] — SEQ-pattern candidate discovery and the greedy composite
 //!   matcher of Algorithm 2 with both pruning techniques (Section 4);
 //! * [`diagnostics`] — empirical estimation-error bounds, the investigation
@@ -59,10 +63,15 @@ mod kernel;
 mod matcher;
 pub mod numeric;
 mod params;
+pub mod session;
 mod sim;
+mod stats;
+pub mod substrate;
 
 pub use engine::{Budget, PhaseTimes, RunOptions, RunStats};
 pub use error::CoreError;
 pub use matcher::{Ems, MatchOutcome};
 pub use params::{Aggregation, Direction, EmsParams};
+pub use session::{LogHandle, MatchSession, SessionOptions, SessionStats};
 pub use sim::SimMatrix;
+pub use substrate::EngineSubstrate;

@@ -1,13 +1,48 @@
 //! The user-facing EMS matcher: builds dependency graphs, runs the forward
 //! and backward similarity engines and aggregates them (Section 3.6).
 
-use crate::engine::{Budget, Engine, RunOptions, RunStats};
+use crate::engine::{Budget, Engine, RunOptions, RunOutput, RunStats};
 use crate::error::CoreError;
 use crate::params::{Direction, EmsParams};
 use crate::sim::SimMatrix;
 use ems_depgraph::DependencyGraph;
 use ems_events::{EventId, EventLog};
 use ems_labels::{LabelMatrix, LabelSimilarity, QgramCosine};
+
+/// Combines the outputs of a forward and a backward run into a
+/// [`MatchOutcome`] (Section 3.6 aggregation). Shared by [`Ems`] and the
+/// session's solve stage so both paths aggregate identically.
+pub(crate) fn aggregate_directions(
+    params: &EmsParams,
+    fwd: RunOutput,
+    bwd: RunOutput,
+) -> MatchOutcome {
+    let mut stats = fwd.stats.clone();
+    stats.merge(&bwd.stats);
+    let agg = params.aggregation;
+    let mut similarity = SimMatrix::zeros(fwd.sim.rows(), fwd.sim.cols());
+    for (i, j, f) in fwd.sim.iter() {
+        similarity.set(i, j, agg.combine(f, bwd.sim.get(i, j)));
+    }
+    MatchOutcome {
+        similarity,
+        forward: fwd.sim,
+        backward: bwd.sim,
+        stats,
+    }
+}
+
+/// The label matrix EMS uses for two logs under `params`: q-gram cosine
+/// when labels carry weight (`α < 1`), zeros otherwise.
+pub(crate) fn label_matrix_for(params: &EmsParams, l1: &EventLog, l2: &EventLog) -> LabelMatrix {
+    if params.alpha < 1.0 {
+        let names1 = alphabet(l1);
+        let names2 = alphabet(l2);
+        LabelMatrix::compute(&names1, &names2, &QgramCosine::default())
+    } else {
+        LabelMatrix::zeros(l1.alphabet_size(), l2.alphabet_size())
+    }
+}
 
 /// The result of matching two logs or graphs.
 #[derive(Debug, Clone)]
@@ -194,31 +229,13 @@ impl Ems {
             .try_run(fwd_options)?;
         let bwd = Engine::try_new(g1, g2, labels, &self.params, Direction::Backward)?
             .try_run(bwd_options)?;
-        let mut stats = fwd.stats.clone();
-        stats.merge(&bwd.stats);
-        let agg = self.params.aggregation;
-        let mut similarity = SimMatrix::zeros(fwd.sim.rows(), fwd.sim.cols());
-        for (i, j, f) in fwd.sim.iter() {
-            similarity.set(i, j, agg.combine(f, bwd.sim.get(i, j)));
-        }
-        Ok(MatchOutcome {
-            similarity,
-            forward: fwd.sim,
-            backward: bwd.sim,
-            stats,
-        })
+        Ok(aggregate_directions(&self.params, fwd, bwd))
     }
 
     /// The label matrix this matcher would use for two logs: q-gram cosine
     /// when labels carry weight (`α < 1`), zeros otherwise.
     pub fn label_matrix(&self, l1: &EventLog, l2: &EventLog) -> LabelMatrix {
-        if self.params.alpha < 1.0 {
-            let names1 = alphabet(l1);
-            let names2 = alphabet(l2);
-            LabelMatrix::compute(&names1, &names2, &QgramCosine::default())
-        } else {
-            LabelMatrix::zeros(l1.alphabet_size(), l2.alphabet_size())
-        }
+        label_matrix_for(&self.params, l1, l2)
     }
 }
 

@@ -1,0 +1,705 @@
+//! The staged, reusable matching pipeline: **ingest → model → substrate →
+//! solve → aggregate**.
+//!
+//! [`crate::Ems`] is one-shot: every call re-derives the dependency graphs,
+//! the label matrix and the kernel substrate even when the inputs did not
+//! change. A [`MatchSession`] makes each stage's product explicit and caches
+//! it by *content fingerprint* (FNV-1a over names, frequencies and
+//! adjacency — see [`ems_events::fingerprint_log`] and
+//! [`ems_depgraph::DependencyGraph::fingerprint`]), so matching N logs
+//! against one reference builds the reference-side model once, and
+//! re-matching an unchanged pair is pure solve work.
+//!
+//! Symbols are interned once per session ([`SymbolTable`]): every graph the
+//! session builds shares one table, so label identity across logs is a `u32`
+//! comparison, never a string comparison.
+//!
+//! # Warm starts
+//!
+//! With [`SessionOptions::warm_start`] set, a re-match seeds both direction
+//! runs from the pair's previous fixpoint. This is sound by Theorem 1: the
+//! similarity update is monotone with a unique fixpoint, so iteration
+//! converges to the same matrix from any start at or below it — and a
+//! previously converged matrix of the same pair space is such a start. On
+//! graphs whose pairs all have finite Proposition-2 horizons (acyclic
+//! dependency graphs) with pruning enabled, the warm run is bitwise
+//! stationary: every pair's neighbors retire strictly before the pair's own
+//! horizon, so re-evaluating the old fixpoint reproduces it exactly and the
+//! run converges in one iteration with a bit-identical matrix (pinned by the
+//! `session_reuse` golden tests).
+//!
+//! # Telemetry
+//!
+//! Two recorders with distinct roles:
+//!
+//! * the **session recorder** ([`MatchSession::with_recorder`]) receives the
+//!   stage spans (`session.model`, `session.substrate`) and the cache
+//!   counters (`session.graph_cache`, `session.substrate_cache`,
+//!   `session.label_cache`, `session.warm_start`) that prove which stages
+//!   were skipped;
+//! * the **engine recorder** ([`SessionOptions::recorder`]) is handed to the
+//!   solve stage only, so a cached re-match emits an engine trace
+//!   byte-identical to the cold run's.
+//!
+//! ```
+//! use ems_core::{EmsParams, MatchSession};
+//! use ems_events::EventLog;
+//!
+//! let mut reference = EventLog::new();
+//! reference.push_trace(["a", "b", "c"]);
+//! let mut observed = EventLog::new();
+//! observed.push_trace(["x", "y", "z"]);
+//!
+//! let mut session = MatchSession::new(EmsParams::structural());
+//! let r = session.ingest(reference);
+//! let o = session.ingest(observed);
+//! let cold = session.match_pair(r, o).unwrap();
+//! let cached = session.match_pair(r, o).unwrap(); // no graph/substrate rebuild
+//! assert!(cold.similarity.max_abs_diff(&cached.similarity) == 0.0);
+//! assert_eq!(session.stats().graph_builds, 2);
+//! assert_eq!(session.stats().substrate_builds, 2); // one per direction — built once
+//! ```
+
+use crate::engine::{Budget, Engine, RunOptions, Seed};
+use crate::error::CoreError;
+use crate::matcher::{aggregate_directions, label_matrix_for, MatchOutcome};
+use crate::params::{Direction, EmsParams};
+use crate::substrate::EngineSubstrate;
+use ems_depgraph::{filter_min_frequency, observe_graph, DependencyGraph};
+use ems_events::{fingerprint_log, EventLog, SymbolTable};
+use ems_labels::LabelMatrix;
+use ems_obs::Recorder;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Identifies a log ingested into a [`MatchSession`]. Handles are stable for
+/// the session's lifetime and survive [`MatchSession::append_traces`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LogHandle(u32);
+
+impl LogHandle {
+    /// Zero-based ingestion index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Per-call options for [`MatchSession::match_pair_opts`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    /// Per-call thread-count override; `None` defers to
+    /// [`EmsParams::threads`].
+    pub threads: Option<usize>,
+    /// Seed both direction runs from this pair's previous fixpoint when one
+    /// of matching shape exists (see the module docs for why this is sound).
+    pub warm_start: bool,
+    /// Resource budget for each direction's run.
+    pub budget: Budget,
+    /// Engine-level telemetry sink, passed through to the solve stage only —
+    /// session stage spans and cache counters go to the *session* recorder
+    /// ([`MatchSession::with_recorder`]), keeping this trace byte-comparable
+    /// between cold and cached runs.
+    pub recorder: Option<Arc<Recorder>>,
+}
+
+/// Counters describing the session's cache behavior and the setup work it
+/// performed, attributed once at session level (runs executed against cached
+/// substrates report zero setup in their own [`crate::PhaseTimes`] — see
+/// `session_attributes_setup_once` in the tests).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Dependency graphs built (model-stage cache misses).
+    pub graph_builds: u64,
+    /// Model-stage cache hits.
+    pub graph_cache_hits: u64,
+    /// [`EngineSubstrate`]s built (substrate-stage cache misses).
+    pub substrate_builds: u64,
+    /// Substrate-stage cache hits.
+    pub substrate_cache_hits: u64,
+    /// Label matrices computed.
+    pub label_builds: u64,
+    /// Label-stage cache hits.
+    pub label_cache_hits: u64,
+    /// Solve-stage runs seeded from a prior fixpoint.
+    pub warm_starts: u64,
+    /// Total wall-clock setup the session performed (graph + substrate
+    /// builds) — the single authoritative setup attribution for all runs
+    /// the session executed.
+    pub setup: Duration,
+}
+
+#[derive(Debug)]
+struct SessionLog {
+    log: EventLog,
+    fingerprint: u64,
+}
+
+/// The previous fixpoint of one handle pair — the warm-start source.
+#[derive(Debug)]
+struct Prior {
+    forward: crate::sim::SimMatrix,
+    backward: crate::sim::SimMatrix,
+}
+
+/// A reusable, staged matching pipeline over a set of ingested logs. See
+/// the module docs for the stage/caching model.
+#[derive(Debug)]
+pub struct MatchSession {
+    params: EmsParams,
+    min_frequency: f64,
+    table: SymbolTable,
+    logs: Vec<SessionLog>,
+    /// Model cache: log content fingerprint → dependency graph (with the
+    /// session's min-frequency filter applied). `min_frequency` and the
+    /// parameters are session constants, so they are not part of the key.
+    graphs: BTreeMap<u64, Arc<DependencyGraph>>,
+    /// Substrate cache: (graph fp 1, graph fp 2, direction) → substrate.
+    substrates: BTreeMap<(u64, u64, u8), Arc<EngineSubstrate>>,
+    /// Label cache: (log fp 1, log fp 2) → label matrix.
+    labels: BTreeMap<(u64, u64), Arc<LabelMatrix>>,
+    /// Prior fixpoints by handle pair — survives `append_traces` (the warm
+    /// seed for the re-match), unlike the fingerprint-keyed caches which the
+    /// new content simply misses.
+    priors: BTreeMap<(u32, u32), Prior>,
+    stats: SessionStats,
+    recorder: Option<Arc<Recorder>>,
+}
+
+impl MatchSession {
+    /// Creates a session with the given parameters.
+    ///
+    /// # Panics
+    /// If the parameters are invalid (see [`EmsParams::validate`]). Use
+    /// [`try_new`](Self::try_new) for a fallible variant.
+    #[allow(clippy::panic)] // documented contract panic; try_new is the fallible path
+    pub fn new(params: EmsParams) -> Self {
+        match Self::try_new(params) {
+            Ok(session) => session,
+            // ems-lint: allow(panic-surface, documented contract panic; try_new is the fallible path)
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`new`](Self::new): returns
+    /// [`CoreError::InvalidParams`] instead of panicking.
+    pub fn try_new(params: EmsParams) -> Result<Self, CoreError> {
+        params.validate().map_err(CoreError::InvalidParams)?;
+        Ok(MatchSession {
+            params,
+            min_frequency: 0.0,
+            table: SymbolTable::new(),
+            logs: Vec::new(),
+            graphs: BTreeMap::new(),
+            substrates: BTreeMap::new(),
+            labels: BTreeMap::new(),
+            priors: BTreeMap::new(),
+            stats: SessionStats::default(),
+            recorder: None,
+        })
+    }
+
+    /// Attaches the session telemetry sink (stage spans, cache counters).
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Sets the minimum edge frequency applied when building graphs
+    /// (Section 2 filtering). A session constant: it participates in every
+    /// model-stage build, so it is deliberately not part of the cache keys.
+    pub fn with_min_frequency(mut self, threshold: f64) -> Self {
+        self.min_frequency = threshold;
+        self
+    }
+
+    /// The session's parameters.
+    pub fn params(&self) -> &EmsParams {
+        &self.params
+    }
+
+    /// The session-wide symbol table. Grows as logs are modeled; symbols
+    /// are shared across every graph the session builds.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.table
+    }
+
+    /// Cache and setup counters accumulated so far.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Takes ownership of a log and returns its handle.
+    pub fn ingest(&mut self, log: EventLog) -> LogHandle {
+        let fingerprint = fingerprint_log(&log);
+        let handle = LogHandle(u32::try_from(self.logs.len()).unwrap_or(u32::MAX));
+        debug_assert!((handle.0 as usize) == self.logs.len(), "session log limit");
+        self.logs.push(SessionLog { log, fingerprint });
+        handle
+    }
+
+    /// The log behind a handle.
+    pub fn log(&self, handle: LogHandle) -> Result<&EventLog, CoreError> {
+        self.session_log(handle).map(|s| &s.log)
+    }
+
+    /// Appends traces to an ingested log and re-fingerprints it. The
+    /// handle's cached graph/substrate/label products are not invalidated —
+    /// the new fingerprint simply misses them — but the pair's prior
+    /// fixpoint is kept as the warm-start source for the re-match.
+    pub fn append_traces<I, T, S>(&mut self, handle: LogHandle, traces: I) -> Result<(), CoreError>
+    where
+        I: IntoIterator<Item = T>,
+        T: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        self.session_log(handle)?;
+        let entry = &mut self.logs[handle.index()];
+        for trace in traces {
+            entry.log.push_trace(trace);
+        }
+        entry.fingerprint = fingerprint_log(&entry.log);
+        Ok(())
+    }
+
+    /// Matches two ingested logs with default options.
+    pub fn match_pair(&mut self, h1: LogHandle, h2: LogHandle) -> Result<MatchOutcome, CoreError> {
+        self.match_pair_opts(h1, h2, &SessionOptions::default())
+    }
+
+    /// Matches two ingested logs: model, substrate and label products are
+    /// served from the session caches when their fingerprints match, and the
+    /// solve stage optionally warm-starts from the pair's prior fixpoint.
+    pub fn match_pair_opts(
+        &mut self,
+        h1: LogHandle,
+        h2: LogHandle,
+        options: &SessionOptions,
+    ) -> Result<MatchOutcome, CoreError> {
+        self.session_log(h1)?;
+        self.session_log(h2)?;
+
+        // Model stage: one dependency graph per distinct log content.
+        let g1 = self.model_stage(h1);
+        let g2 = self.model_stage(h2);
+
+        // Substrate stage: one kernel substrate per (graphs, direction).
+        let fwd_sub = self.substrate_stage(&g1, &g2, Direction::Forward);
+        let bwd_sub = self.substrate_stage(&g1, &g2, Direction::Backward);
+
+        // Label stage: one label matrix per log-content pair.
+        let labels = self.label_stage(h1, h2);
+
+        // Solve stage: run both directions on cached substrates; the
+        // engines charge zero setup (the session already attributed it).
+        let seed = options
+            .warm_start
+            .then(|| self.warm_seed(h1, h2, &g1, &g2))
+            .flatten();
+        let run_options = |seed: Option<Seed>| RunOptions {
+            seed,
+            abort_below: None,
+            budget: options.budget.clone(),
+            threads: options.threads,
+            recorder: options.recorder.clone(),
+        };
+        let (fwd_seed, bwd_seed) = match seed {
+            Some((f, b)) => {
+                self.stats.warm_starts += 1;
+                if let Some(rec) = self.recorder.as_deref() {
+                    rec.counter_add("session.warm_start", ems_obs::labels(&[]), 1);
+                }
+                (Some(f), Some(b))
+            }
+            None => (None, None),
+        };
+        let fwd = Engine::try_with_substrate(
+            &g1,
+            &g2,
+            &labels,
+            &self.params,
+            Direction::Forward,
+            fwd_sub,
+        )?
+        .try_run(&run_options(fwd_seed))?;
+        let bwd = Engine::try_with_substrate(
+            &g1,
+            &g2,
+            &labels,
+            &self.params,
+            Direction::Backward,
+            bwd_sub,
+        )?
+        .try_run(&run_options(bwd_seed))?;
+
+        // Aggregate stage — identical combine to `Ems`, then remember the
+        // fixpoint as the pair's warm-start source.
+        let outcome = aggregate_directions(&self.params, fwd, bwd);
+        self.priors.insert(
+            (h1.0, h2.0),
+            Prior {
+                forward: outcome.forward.clone(),
+                backward: outcome.backward.clone(),
+            },
+        );
+        Ok(outcome)
+    }
+
+    fn session_log(&self, handle: LogHandle) -> Result<&SessionLog, CoreError> {
+        self.logs.get(handle.index()).ok_or(CoreError::UnknownLog {
+            handle: handle.0,
+            logs: self.logs.len(),
+        })
+    }
+
+    /// Builds (or fetches) the dependency graph of a log, keyed by its
+    /// content fingerprint.
+    fn model_stage(&mut self, handle: LogHandle) -> Arc<DependencyGraph> {
+        let fp = self.logs[handle.index()].fingerprint;
+        let side = format!("log{}", handle.0 + 1);
+        if let Some(g) = self.graphs.get(&fp) {
+            self.stats.graph_cache_hits += 1;
+            if let Some(rec) = self.recorder.as_deref() {
+                rec.counter_add(
+                    "session.graph_cache",
+                    ems_obs::labels(&[("result", "hit"), ("side", &side)]),
+                    1,
+                );
+            }
+            return Arc::clone(g);
+        }
+        // ems-lint: allow(wall-clock-randomness, stage timing feeds session telemetry only, never similarity values)
+        let started = Instant::now();
+        let built = DependencyGraph::from_log_in(&self.logs[handle.index()].log, &mut self.table);
+        let (graph, removed) = if self.min_frequency > 0.0 {
+            filter_min_frequency(&built, self.min_frequency)
+        } else {
+            (built, 0)
+        };
+        let elapsed = started.elapsed();
+        self.stats.graph_builds += 1;
+        self.stats.setup += elapsed;
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.counter_add(
+                "session.graph_cache",
+                ems_obs::labels(&[("result", "miss"), ("side", &side)]),
+                1,
+            );
+            rec.span_closed(
+                "session.model",
+                ems_obs::labels(&[("side", &side)]),
+                elapsed,
+            );
+            observe_graph(&graph, rec, &side);
+            rec.counter_add(
+                "graph_filtered_vertices",
+                ems_obs::labels(&[("side", &side)]),
+                removed as u64,
+            );
+        }
+        let graph = Arc::new(graph);
+        self.graphs.insert(fp, Arc::clone(&graph));
+        graph
+    }
+
+    /// Builds (or fetches) the kernel substrate of a graph pair for one
+    /// direction, keyed by the graphs' content fingerprints.
+    fn substrate_stage(
+        &mut self,
+        g1: &Arc<DependencyGraph>,
+        g2: &Arc<DependencyGraph>,
+        direction: Direction,
+    ) -> Arc<EngineSubstrate> {
+        let dir_label = match direction {
+            Direction::Forward => "forward",
+            Direction::Backward => "backward",
+        };
+        let key = (g1.fingerprint(), g2.fingerprint(), direction as u8);
+        if let Some(sub) = self.substrates.get(&key) {
+            self.stats.substrate_cache_hits += 1;
+            if let Some(rec) = self.recorder.as_deref() {
+                rec.counter_add(
+                    "session.substrate_cache",
+                    ems_obs::labels(&[("result", "hit"), ("direction", dir_label)]),
+                    1,
+                );
+            }
+            return Arc::clone(sub);
+        }
+        let sub = Arc::new(EngineSubstrate::build(g1, g2, direction, self.params.c));
+        self.stats.substrate_builds += 1;
+        self.stats.setup += sub.build_time();
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.counter_add(
+                "session.substrate_cache",
+                ems_obs::labels(&[("result", "miss"), ("direction", dir_label)]),
+                1,
+            );
+            rec.span_closed(
+                "session.substrate",
+                ems_obs::labels(&[("direction", dir_label)]),
+                sub.build_time(),
+            );
+        }
+        self.substrates.insert(key, Arc::clone(&sub));
+        sub
+    }
+
+    /// Builds (or fetches) the label matrix of a log pair, keyed by the
+    /// logs' content fingerprints.
+    fn label_stage(&mut self, h1: LogHandle, h2: LogHandle) -> Arc<LabelMatrix> {
+        let key = (
+            self.logs[h1.index()].fingerprint,
+            self.logs[h2.index()].fingerprint,
+        );
+        if let Some(m) = self.labels.get(&key) {
+            self.stats.label_cache_hits += 1;
+            if let Some(rec) = self.recorder.as_deref() {
+                rec.counter_add(
+                    "session.label_cache",
+                    ems_obs::labels(&[("result", "hit")]),
+                    1,
+                );
+            }
+            return Arc::clone(m);
+        }
+        let m = Arc::new(label_matrix_for(
+            &self.params,
+            &self.logs[h1.index()].log,
+            &self.logs[h2.index()].log,
+        ));
+        self.stats.label_builds += 1;
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.counter_add(
+                "session.label_cache",
+                ems_obs::labels(&[("result", "miss")]),
+                1,
+            );
+        }
+        self.labels.insert(key, Arc::clone(&m));
+        m
+    }
+
+    /// The warm seeds for a pair: its prior fixpoint, if one exists and
+    /// still fits the current pair space (an append can change the alphabet
+    /// and with it the matrix shape — a stale-shaped prior is skipped, not
+    /// an error).
+    fn warm_seed(
+        &self,
+        h1: LogHandle,
+        h2: LogHandle,
+        g1: &DependencyGraph,
+        g2: &DependencyGraph,
+    ) -> Option<(Seed, Seed)> {
+        let prior = self.priors.get(&(h1.0, h2.0))?;
+        let (n1, n2) = (g1.num_real(), g2.num_real());
+        if prior.forward.rows() != n1 || prior.forward.cols() != n2 {
+            return None;
+        }
+        let unfrozen = vec![false; n1 * n2];
+        Some((
+            Seed {
+                values: prior.forward.clone(),
+                frozen: unfrozen.clone(),
+            },
+            Seed {
+                values: prior.backward.clone(),
+                frozen: unfrozen,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::Ems;
+
+    /// Acyclic logs (every trace visits distinct names), so every pair has
+    /// a finite Proposition-2 horizon — the precondition for the warm-start
+    /// bitwise-stationarity argument in the module docs.
+    fn dag_logs() -> (EventLog, EventLog) {
+        let mut l1 = EventLog::new();
+        l1.push_trace(["cash", "validate", "ship"]);
+        l1.push_trace(["cash", "validate", "ship"]);
+        l1.push_trace(["card", "validate", "ship"]);
+        let mut l2 = EventLog::new();
+        l2.push_trace(["e0", "e1", "e3", "e4"]);
+        l2.push_trace(["e0", "e2", "e3", "e4"]);
+        (l1, l2)
+    }
+
+    /// Tiny epsilon so the exact phase never stops before every pair has
+    /// reached its horizon (required for warm bit-identity).
+    fn exact_params() -> EmsParams {
+        EmsParams {
+            epsilon: 1e-300,
+            ..EmsParams::structural()
+        }
+    }
+
+    #[test]
+    fn session_matches_one_shot_ems_bitwise() {
+        let (l1, l2) = dag_logs();
+        let one_shot = Ems::new(exact_params()).match_logs(&l1, &l2);
+        let mut session = MatchSession::new(exact_params());
+        let h1 = session.ingest(l1);
+        let h2 = session.ingest(l2);
+        let out = session.match_pair(h1, h2).unwrap();
+        assert_eq!(out.similarity.max_abs_diff(&one_shot.similarity), 0.0);
+        assert_eq!(out.forward.max_abs_diff(&one_shot.forward), 0.0);
+        assert_eq!(out.backward.max_abs_diff(&one_shot.backward), 0.0);
+    }
+
+    #[test]
+    fn cached_rematch_skips_every_build_stage() {
+        let (l1, l2) = dag_logs();
+        let mut session = MatchSession::new(exact_params());
+        let h1 = session.ingest(l1);
+        let h2 = session.ingest(l2);
+        let cold = session.match_pair(h1, h2).unwrap();
+        let cached = session.match_pair(h1, h2).unwrap();
+        assert_eq!(cold.similarity.max_abs_diff(&cached.similarity), 0.0);
+        let stats = session.stats();
+        assert_eq!(stats.graph_builds, 2);
+        assert_eq!(stats.graph_cache_hits, 2);
+        assert_eq!(stats.substrate_builds, 2);
+        assert_eq!(stats.substrate_cache_hits, 2);
+        assert_eq!(stats.label_builds, 1);
+        assert_eq!(stats.label_cache_hits, 1);
+    }
+
+    #[test]
+    fn session_attributes_setup_once() {
+        let (l1, l2) = dag_logs();
+        let mut session = MatchSession::new(exact_params());
+        let h1 = session.ingest(l1);
+        let h2 = session.ingest(l2);
+        let cold = session.match_pair(h1, h2).unwrap();
+        // Runs executed against session-owned substrates charge no setup of
+        // their own — merging them can never double-count the build.
+        assert_eq!(cold.stats.phase_times.setup, Duration::ZERO);
+        let setup_after_cold = session.stats().setup;
+        let cached = session.match_pair(h1, h2).unwrap();
+        assert_eq!(cached.stats.phase_times.setup, Duration::ZERO);
+        // The cached re-match performed no setup work at all.
+        assert_eq!(session.stats().setup, setup_after_cold);
+    }
+
+    #[test]
+    fn warm_rematch_is_bitwise_stationary_and_converges_in_one_iteration() {
+        let (l1, l2) = dag_logs();
+        let mut session = MatchSession::new(exact_params());
+        let h1 = session.ingest(l1);
+        let h2 = session.ingest(l2);
+        let cold = session.match_pair(h1, h2).unwrap();
+        assert!(cold.stats.iterations > 1);
+        let warm_opts = SessionOptions {
+            warm_start: true,
+            ..SessionOptions::default()
+        };
+        let warm = session.match_pair_opts(h1, h2, &warm_opts).unwrap();
+        assert_eq!(warm.similarity.max_abs_diff(&cold.similarity), 0.0);
+        assert_eq!(warm.forward.max_abs_diff(&cold.forward), 0.0);
+        assert_eq!(warm.backward.max_abs_diff(&cold.backward), 0.0);
+        // Re-evaluating the fixpoint changes nothing: delta is exactly zero
+        // after the first sweep in each direction.
+        assert_eq!(warm.stats.iterations, 1);
+        assert_eq!(session.stats().warm_starts, 1);
+    }
+
+    #[test]
+    fn warm_start_without_prior_or_with_stale_shape_is_skipped() {
+        let (l1, l2) = dag_logs();
+        let mut session = MatchSession::new(exact_params());
+        let h1 = session.ingest(l1);
+        let h2 = session.ingest(l2);
+        let warm_opts = SessionOptions {
+            warm_start: true,
+            ..SessionOptions::default()
+        };
+        // No prior yet: runs cold, no warm-start counted.
+        session.match_pair_opts(h1, h2, &warm_opts).unwrap();
+        assert_eq!(session.stats().warm_starts, 0);
+        // Append grows log 2's alphabet, so the prior's shape is stale and
+        // must be skipped rather than rejected.
+        session
+            .append_traces(h2, [["e0", "e9", "e3", "e4"]])
+            .unwrap();
+        session.match_pair_opts(h1, h2, &warm_opts).unwrap();
+        assert_eq!(session.stats().warm_starts, 0);
+        // The alphabet-preserving append keeps the shape: now it warm-starts.
+        session
+            .append_traces(h2, [["e0", "e1", "e3", "e4"]])
+            .unwrap();
+        session.match_pair_opts(h1, h2, &warm_opts).unwrap();
+        assert_eq!(session.stats().warm_starts, 1);
+        // Each append rebuilt log 2's model (fingerprint miss); log 1 hit.
+        assert_eq!(session.stats().graph_builds, 4);
+    }
+
+    #[test]
+    fn append_traces_changes_the_result() {
+        let (l1, l2) = dag_logs();
+        let mut session = MatchSession::new(exact_params());
+        let h1 = session.ingest(l1);
+        let h2 = session.ingest(l2);
+        let before = session.match_pair(h1, h2).unwrap();
+        session
+            .append_traces(h2, [["e0", "e1", "e3", "e4"], ["e0", "e1", "e3", "e4"]])
+            .unwrap();
+        let after = session.match_pair(h1, h2).unwrap();
+        assert!(before.similarity.max_abs_diff(&after.similarity) > 0.0);
+    }
+
+    #[test]
+    fn unknown_handles_are_rejected() {
+        let (l1, _) = dag_logs();
+        let mut session = MatchSession::new(exact_params());
+        let h1 = session.ingest(l1);
+        let bogus = LogHandle(7);
+        assert!(matches!(
+            session.match_pair(h1, bogus),
+            Err(CoreError::UnknownLog { handle: 7, logs: 1 })
+        ));
+        assert!(session.log(bogus).is_err());
+        assert!(session.append_traces(bogus, [["a"]]).is_err());
+    }
+
+    #[test]
+    fn session_recorder_documents_cache_behavior() {
+        let (l1, l2) = dag_logs();
+        let recorder = Arc::new(Recorder::new());
+        let mut session = MatchSession::new(exact_params()).with_recorder(Arc::clone(&recorder));
+        let h1 = session.ingest(l1);
+        let h2 = session.ingest(l2);
+        session.match_pair(h1, h2).unwrap();
+        session.match_pair(h1, h2).unwrap();
+        let trace = ems_obs::jsonl::write(&recorder.records());
+        assert!(trace.contains("session.graph_cache"));
+        assert!(trace.contains("\"result\":\"miss\""));
+        assert!(trace.contains("\"result\":\"hit\""));
+        assert!(trace.contains("session.model"));
+        assert!(trace.contains("session.substrate"));
+        assert!(trace.contains("graph_vertices"));
+    }
+
+    #[test]
+    fn shared_symbol_table_spans_all_session_graphs() {
+        let (l1, l2) = dag_logs();
+        let mut session = MatchSession::new(exact_params());
+        let h1 = session.ingest(l1);
+        let h2 = session.ingest(l2);
+        session.match_pair(h1, h2).unwrap();
+        // Both alphabets landed in one table: 4 + 5 distinct names.
+        assert_eq!(session.symbols().len(), 9);
+        let threads_opts = SessionOptions {
+            threads: Some(4),
+            ..SessionOptions::default()
+        };
+        // Thread count does not disturb determinism through the session.
+        let a = session.match_pair(h1, h2).unwrap();
+        let b = session.match_pair_opts(h1, h2, &threads_opts).unwrap();
+        assert_eq!(a.similarity.max_abs_diff(&b.similarity), 0.0);
+    }
+}

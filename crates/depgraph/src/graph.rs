@@ -1,7 +1,8 @@
 //! The dependency graph structure and its construction from event logs.
 
 use crate::GraphError;
-use ems_events::{EventId, EventLog};
+use ems_events::{EventId, EventLog, Fnv1a, LabelSym, SymbolTable};
+use std::sync::Arc;
 
 /// Index of a node in a [`DependencyGraph`].
 ///
@@ -40,10 +41,18 @@ impl From<EventId> for NodeId {
 /// direction and post-sets for the backward direction. Each adjacency entry
 /// carries the edge's normalized frequency, so the similarity kernel never
 /// needs a hash lookup.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Node labels are stored columnar as interned [`LabelSym`]s against a
+/// [`SymbolTable`] snapshot; strings are materialized only at the report edge
+/// (via [`name`](Self::name)). Graphs built through
+/// [`from_log_in`](Self::from_log_in) share one session-wide table, so equal
+/// labels compare equal as `u32`s across graphs.
+#[derive(Debug, Clone)]
 pub struct DependencyGraph {
-    /// Names of real nodes; `names.len()` is the number of real events.
-    names: Vec<String>,
+    /// Label symbols of real nodes; `syms.len()` is the number of real events.
+    syms: Vec<LabelSym>,
+    /// Resolves `syms` to names (may contain symbols of other session logs).
+    table: Arc<SymbolTable>,
     /// Normalized event frequency `f(v)` per real node.
     node_freq: Vec<f64>,
     /// In-neighbors of each node: `(source, f(source, node))`.
@@ -59,6 +68,16 @@ impl DependencyGraph {
     /// Real node `i` corresponds to the log's event id `i`; the artificial
     /// node is [`artificial`](Self::artificial).
     pub fn from_log(log: &EventLog) -> Self {
+        let mut table = SymbolTable::new();
+        Self::from_log_in(log, &mut table)
+    }
+
+    /// Like [`from_log`](Self::from_log), but interns labels into a shared
+    /// (typically session-owned) `table`, so symbols compare equal across all
+    /// graphs built against it. The graph keeps a snapshot of the table for
+    /// report-edge name resolution; later growth of `table` does not affect
+    /// the snapshot.
+    pub fn from_log_in(log: &EventLog, table: &mut SymbolTable) -> Self {
         let n = log.alphabet_size();
         let total = log.num_traces();
         let mut node_count = vec![0usize; n];
@@ -104,9 +123,8 @@ impl DependencyGraph {
             })
             .collect();
         let mut g = DependencyGraph {
-            names: (0..n)
-                .map(|i| log.name_of(EventId::from_index(i)).to_owned())
-                .collect(),
+            syms: table.symbolize(log),
+            table: Arc::new(table.clone()),
             node_freq,
             pre: vec![Vec::new(); n + 1],
             post: vec![Vec::new(); n + 1],
@@ -164,8 +182,11 @@ impl DependencyGraph {
     ) -> Self {
         assert_eq!(names.len(), node_freq.len());
         let n = names.len();
+        let mut table = SymbolTable::new();
+        let syms = names.iter().map(|name| table.intern(name)).collect();
         let mut g = DependencyGraph {
-            names,
+            syms,
+            table: Arc::new(table),
             node_freq,
             pre: vec![Vec::new(); n + 1],
             post: vec![Vec::new(); n + 1],
@@ -265,39 +286,84 @@ impl DependencyGraph {
 
     /// Number of real (non-artificial) nodes.
     pub fn num_real(&self) -> usize {
-        self.names.len()
+        self.syms.len()
     }
 
     /// Total node count including the artificial event.
     pub fn num_nodes(&self) -> usize {
-        self.names.len() + 1
+        self.syms.len() + 1
     }
 
     /// The artificial event `v^X`.
     pub fn artificial(&self) -> NodeId {
-        NodeId::from_index(self.names.len())
+        NodeId::from_index(self.syms.len())
     }
 
     /// Whether `v` is the artificial event.
     pub fn is_artificial(&self, v: NodeId) -> bool {
-        v.index() == self.names.len()
+        v.index() == self.syms.len()
     }
 
     /// The name of a real node; the artificial node is rendered `"v^X"`.
+    /// This is the report edge — hot paths should compare symbols instead.
     pub fn name(&self, v: NodeId) -> &str {
         if self.is_artificial(v) {
             "v^X"
         } else {
-            &self.names[v.index()]
+            self.table.resolve(self.syms[v.index()])
         }
     }
 
-    /// Finds a real node by name.
-    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
-        self.names
+    /// The label symbol of a real node, meaningful relative to
+    /// [`symbols`](Self::symbols) (and to any table this graph was built in).
+    pub fn sym(&self, v: NodeId) -> LabelSym {
+        self.syms[v.index()]
+    }
+
+    /// The per-node label-symbol column for real nodes.
+    pub fn syms(&self) -> &[LabelSym] {
+        &self.syms
+    }
+
+    /// The symbol-table snapshot resolving this graph's labels.
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.table
+    }
+
+    /// Finds a real node by label symbol.
+    pub fn node_by_sym(&self, sym: LabelSym) -> Option<NodeId> {
+        self.syms
             .iter()
-            .position(|n| n == name)
+            .position(|&s| s == sym)
             .map(NodeId::from_index)
+    }
+
+    /// Finds a real node by name (report/test edge; `O(1)` table lookup plus
+    /// an `O(n)` position scan over the small alphabet).
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.table.get(name).and_then(|s| self.node_by_sym(s))
+    }
+
+    /// Content fingerprint over names, frequencies, and adjacency, stable
+    /// across processes (FNV-1a). Two graphs with equal fingerprints are
+    /// equal for matching purposes; used as a substrate cache key.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write_usize(self.num_real());
+        for v in self.real_nodes() {
+            let name = self.name(v);
+            h.write_usize(name.len());
+            h.write(name.as_bytes());
+            h.write_u64(self.node_freq[v.index()].to_bits());
+        }
+        for post in &self.post {
+            h.write_usize(post.len());
+            for &(t, f) in post {
+                h.write_u32(t.0);
+                h.write_u64(f.to_bits());
+            }
+        }
+        h.finish()
     }
 
     /// Normalized frequency `f(v)` of a real node (1.0 for the artificial
@@ -322,7 +388,7 @@ impl DependencyGraph {
 
     /// Iterates all real nodes.
     pub fn real_nodes(&self) -> impl Iterator<Item = NodeId> {
-        (0..self.names.len()).map(NodeId::from_index)
+        (0..self.syms.len()).map(NodeId::from_index)
     }
 
     /// Looks up the frequency of edge `(a, b)`, if present.
@@ -369,6 +435,23 @@ impl DependencyGraph {
             }
         }
         out
+    }
+}
+
+impl PartialEq for DependencyGraph {
+    /// Structural equality: two graphs are equal when they have the same
+    /// node names (in order), frequencies, and adjacency — regardless of
+    /// which symbol table each was interned into.
+    fn eq(&self, other: &Self) -> bool {
+        self.node_freq == other.node_freq
+            && self.pre == other.pre
+            && self.post == other.post
+            && self.syms.len() == other.syms.len()
+            && self
+                .syms
+                .iter()
+                .zip(&other.syms)
+                .all(|(&a, &b)| self.table.resolve(a) == other.table.resolve(b))
     }
 }
 
@@ -551,6 +634,42 @@ mod tests {
             g.validate(),
             Err(GraphError::BadEdgeFrequency { .. })
         ));
+    }
+
+    #[test]
+    fn shared_table_symbols_align_across_graphs() {
+        let mut table = SymbolTable::new();
+        let mut l1 = EventLog::new();
+        l1.push_trace(["B", "A"]);
+        let mut l2 = EventLog::new();
+        l2.push_trace(["A", "C"]);
+        let g1 = DependencyGraph::from_log_in(&l1, &mut table);
+        let g2 = DependencyGraph::from_log_in(&l2, &mut table);
+        let a1 = g1.node_by_name("A").unwrap();
+        let a2 = g2.node_by_name("A").unwrap();
+        assert_eq!(g1.sym(a1), g2.sym(a2));
+        assert_ne!(g1.sym(g1.node_by_name("B").unwrap()), g2.sym(a2));
+        assert_eq!(g1.node_by_sym(g1.sym(a1)), Some(a1));
+        // "C" is in the shared table but not in g1.
+        assert_eq!(g1.node_by_name("C"), None);
+        // Equality is structural, independent of the interning table.
+        assert_eq!(g1, DependencyGraph::from_log(&l1));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_symbol_table() {
+        let log = figure1_l1();
+        let mut table = SymbolTable::new();
+        table.intern("padding-so-symbol-ids-shift");
+        let g1 = DependencyGraph::from_log(&log);
+        let g2 = DependencyGraph::from_log_in(&log, &mut table);
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+        let mut other = figure1_l1();
+        other.push_trace(["A"]);
+        assert_ne!(
+            g1.fingerprint(),
+            DependencyGraph::from_log(&other).fingerprint()
+        );
     }
 
     #[test]

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Interner {
     names: Vec<String>,
+    // ems-lint: allow(string-keyed-map, this interner IS the parse edge: one string probe per event at ingest; everything downstream keys by EventId)
     index: HashMap<String, EventId>,
 }
 

@@ -35,6 +35,7 @@ mod id;
 mod interner;
 mod log;
 mod stats;
+mod sym;
 mod trace;
 mod transform;
 mod variants;
@@ -44,6 +45,7 @@ pub use id::EventId;
 pub use interner::Interner;
 pub use log::{EventLog, LogBuilder};
 pub use stats::LogStats;
+pub use sym::{fingerprint_log, Fnv1a, LabelSym, SymbolTable};
 pub use trace::Trace;
 pub use transform::{
     cut_prefix, cut_suffix, merge_composite, opaque_rename, rename_events, try_merge_composite,

@@ -1,0 +1,20 @@
+//@ path: crates/core/src/candidates.rs
+//! Fixture: string-keyed collections in a hot-path crate. Every probe of
+//! these re-hashes or re-compares the full label text; the interned data
+//! model keys by `LabelSym`/`EventId` instead.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+pub struct NameIndex {
+    by_name: HashMap<String, usize>, //~ string-keyed-map
+    ranked: BTreeMap<String, f64>,   //~ string-keyed-map
+    seen: BTreeSet<String>,          //~ string-keyed-map
+}
+
+pub struct BorrowedIndex<'a> {
+    by_name: HashMap<&'a str, usize>, //~ string-keyed-map
+}
+
+pub fn lookup(index: &NameIndex, name: &str) -> Option<usize> {
+    index.by_name.get(name).copied()
+}

@@ -1,0 +1,22 @@
+//@ path: crates/depgraph/src/index.rs
+//! Fixture: the symbol-keyed shapes the rule wants, plus the audited
+//! escape hatch at a parse edge. String *values* are fine — only keys
+//! (and set elements) pay the per-probe hashing cost.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub struct LabelSym(pub u32);
+
+pub struct SymIndex {
+    by_sym: BTreeMap<u32, usize>,
+    names: BTreeMap<u32, String>,
+}
+
+pub struct ParseEdge {
+    // ems-lint: allow(string-keyed-map, this is the parse edge: one string lookup per unique label at intern time; everything downstream keys by id)
+    index: HashMap<String, u32>,
+}
+
+pub fn resolve(index: &SymIndex, sym: u32) -> Option<usize> {
+    index.by_sym.get(&sym).copied()
+}

@@ -106,6 +106,12 @@ pub const CLOCK_CRATES: &[&str] = &[
 /// `wall-clock-randomness` exempt files: the timing infrastructure itself.
 pub const CLOCK_EXEMPT: &[&str] = &["crates/eval/src/timer.rs"];
 
+/// `string-keyed-map` watched crates: the hot-path crates (PR 5's interned
+/// data model keys everything by `LabelSym`/`EventId`) plus `events`, which
+/// hosts the two interners — the *only* sanctioned string→id edges, each
+/// carrying an audited suppression.
+pub const STRING_KEY_CRATES: &[&str] = &["core", "depgraph", "events"];
+
 /// Whether `rel_path` ends with one of the watched suffixes.
 pub fn path_matches(rel_path: &str, suffixes: &[&str]) -> bool {
     suffixes.iter().any(|s| rel_path.ends_with(s))

@@ -79,6 +79,11 @@ pub const RULES: &[Rule] = &[
         check: wall_clock_randomness,
     },
     Rule {
+        id: "string-keyed-map",
+        summary: "String/str-keyed map or set in a hot-path crate — key by interned LabelSym/EventId",
+        check: string_keyed_map,
+    },
+    Rule {
         id: "unsafe-audit",
         summary: "`unsafe` without an adjacent `// SAFETY:` audit comment",
         check: unsafe_audit,
@@ -549,6 +554,54 @@ fn wall_clock_randomness(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
                     "`{}` in a result-producing crate: randomness must enter only through \
                      seeded generators in `synth`/`rng`",
                     t.text
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Keyed collections whose first generic argument is the key (for sets,
+/// the element — probing one still hashes/compares the full string).
+const KEYED_COLLECTIONS: &[&str] = &["HashMap", "BTreeMap", "HashSet", "BTreeSet"];
+
+fn string_keyed_map(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !config::STRING_KEY_CRATES.contains(&ctx.class.crate_name.as_str())
+        || ctx.class.kind != FileKind::Library
+    {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(i)
+            || t.kind != TokKind::Ident
+            || !KEYED_COLLECTIONS.contains(&t.text.as_str())
+            || !toks.get(i + 1).is_some_and(|n| n.is_punct("<"))
+        {
+            continue;
+        }
+        // The key type, skipping reference sigils and lifetimes
+        // (`HashMap<&'a str, _>` is still a string-keyed probe).
+        let mut j = i + 2;
+        while toks
+            .get(j)
+            .is_some_and(|n| n.is_punct("&") || n.kind == TokKind::Lifetime)
+        {
+            j += 1;
+        }
+        let Some(key) = toks.get(j) else {
+            continue;
+        };
+        if key.is_ident("String") || key.is_ident("str") {
+            out.push(ctx.diag(
+                "string-keyed-map",
+                t,
+                format!(
+                    "`{}` keyed by `{}` hashes/compares label text on every probe — key by \
+                     interned `LabelSym`/`EventId` (crates/events/src/sym.rs) and resolve \
+                     strings only at the parse/report edges",
+                    t.text, key.text
                 ),
             ));
         }

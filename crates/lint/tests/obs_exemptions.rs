@@ -71,11 +71,14 @@ fn obs_clock_suppressions_are_load_bearing() {
     );
 }
 
-/// Similarity-producing crates may not grow new clock reads: the only
-/// audited timing site among them is `crates/core/src/engine.rs` (the
-/// `RunStats`/`PhaseTimes` measurement the obs spans re-export), and its
-/// suppression reasons must say the timing stays telemetry-only. Any new
-/// suppression elsewhere fails this test and forces a review.
+/// Similarity-producing crates may not grow new clock reads: the audited
+/// timing sites among them are the solve-phase measurement in
+/// `crates/core/src/engine.rs`, the substrate build timer in
+/// `crates/core/src/substrate.rs` and the session stage timers in
+/// `crates/core/src/session.rs` (all of which feed `RunStats`/
+/// `SessionStats`/obs spans only), and their suppression reasons must say
+/// the timing stays telemetry-only. Any new suppression elsewhere fails
+/// this test and forces a review.
 #[test]
 fn similarity_crates_never_read_the_clock() {
     let root = workspace_root();
@@ -110,10 +113,16 @@ fn similarity_crates_never_read_the_clock() {
         }
         suppressing_files.push(rel);
     }
+    suppressing_files.sort();
     assert_eq!(
         suppressing_files,
-        vec!["crates/core/src/engine.rs".to_string()],
-        "only engine.rs phase timing may suppress the wall-clock rule in \
-         similarity-producing crates; route any new timing through ems-obs spans"
+        vec![
+            "crates/core/src/engine.rs".to_string(),
+            "crates/core/src/session.rs".to_string(),
+            "crates/core/src/substrate.rs".to_string(),
+        ],
+        "only the engine/substrate/session phase timing may suppress the \
+         wall-clock rule in similarity-producing crates; route any new \
+         timing through ems-obs spans"
     );
 }

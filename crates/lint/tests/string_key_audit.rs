@@ -1,0 +1,65 @@
+//! PR5 scoping audit for `string-keyed-map`: the two interners in
+//! `ems-events` are the *only* sanctioned string→id edges in the watched
+//! hot-path crates. Any new `String`/`str`-keyed map elsewhere must either
+//! be converted to `LabelSym`/`EventId` keys or grow an entry here after
+//! review.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn hot_path_crates_are_watched_for_string_keys() {
+    for c in ["core", "depgraph", "events"] {
+        assert!(
+            ems_lint::config::STRING_KEY_CRATES.contains(&c),
+            "{c} must stay in STRING_KEY_CRATES: its maps sit on the match hot path"
+        );
+    }
+}
+
+/// Every `string-keyed-map` suppression in the workspace lives at a parse
+/// edge in `ems-events`, and each one says so.
+#[test]
+fn only_the_interners_may_keep_string_keys() {
+    let root = workspace_root();
+    let mut suppressing_files = Vec::new();
+    for file in ems_lint::workspace_files(&root).expect("workspace is readable") {
+        let rel = file
+            .strip_prefix(&root)
+            .expect("workspace file under root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file).expect("readable workspace file");
+        // Built in two pieces so this test's own source never matches.
+        let needle = format!("ems-lint: allow({}", "string-keyed-map");
+        let directives: Vec<&str> = source.lines().filter(|l| l.contains(&needle)).collect();
+        if directives.is_empty() {
+            continue;
+        }
+        for d in &directives {
+            assert!(
+                d.contains("parse edge"),
+                "{rel}: a string-keyed-map suppression must identify its parse/report \
+                 edge: {d}"
+            );
+        }
+        suppressing_files.push(rel);
+    }
+    suppressing_files.sort();
+    assert_eq!(
+        suppressing_files,
+        vec![
+            "crates/events/src/interner.rs".to_string(),
+            "crates/events/src/sym.rs".to_string(),
+        ],
+        "only the two interners may suppress string-keyed-map; convert new maps \
+         to LabelSym/EventId keys instead"
+    );
+}
