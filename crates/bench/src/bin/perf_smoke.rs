@@ -1,8 +1,10 @@
 //! CI perf smoke: times the seed reference kernel against the precomputed
 //! worklist kernel (serial and parallel) on synthetic log pairs, plus the
-//! PR5 session pipeline (cold build vs cached re-match vs warm-started
-//! re-match), and writes the results to the path given by the mandatory
-//! `--out PATH` argument (CI passes `BENCH_pr5.json`). A Prometheus-text
+//! session pipeline (cold build vs cached re-match vs warm-started
+//! re-match vs PR6's disk-warm: a fresh session rehydrating every build
+//! product from the durable catalog store), and writes the results to the
+//! path given by the mandatory `--out PATH` argument (CI passes
+//! `BENCH_pr6.json`). A Prometheus-text
 //! metrics file is written alongside (same stem, `.prom` extension), and
 //! every size's JSON entry carries the per-iteration convergence telemetry
 //! of an untimed traced run. Intended to catch large kernel regressions,
@@ -14,6 +16,7 @@ use ems_core::{Direction, EmsParams, MatchSession, SessionOptions};
 use ems_depgraph::DependencyGraph;
 use ems_labels::LabelMatrix;
 use ems_obs::{IterationRecord, Record, Recorder};
+use ems_store::CatalogStore;
 use ems_synth::{PairConfig, PairGenerator, TreeConfig};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -75,6 +78,7 @@ struct SizeReport {
     session_cold_ms: f64,
     session_cached_ms: f64,
     session_warm_ms: f64,
+    session_disk_ms: f64,
     convergence: Vec<IterationRecord>,
 }
 
@@ -222,6 +226,46 @@ fn main() {
             assert_eq!(cold.similarity.data(), cached.similarity.data());
         }
 
+        // PR6 disk-warm row: one session populates the durable catalog
+        // store (untimed), then a *fresh* session — no shared memory, only
+        // the store directory — is timed rehydrating every build product
+        // from checksummed snapshots. The gap to `session_cold_ms` is the
+        // build work the store saves; the gap to `session_cached_ms` is
+        // the decode cost of the disk tier.
+        let mut session_disk_ms = f64::INFINITY;
+        let store_root =
+            std::env::temp_dir().join(format!("ems-perf-store-{}-{n}", std::process::id()));
+        for _ in 0..rounds {
+            let _ = std::fs::remove_dir_all(&store_root);
+            let store = Arc::new(CatalogStore::open(&store_root).expect("store opens"));
+            let mut populate = MatchSession::try_new(session_params.clone())
+                .expect("params are valid")
+                .with_store(store);
+            let h1 = populate.ingest(l1.clone());
+            let h2 = populate.ingest(l2.clone());
+            let cold = populate.match_pair(h1, h2).expect("session match succeeds");
+            drop(populate);
+            // Reopen the store as a fresh process would.
+            let store = Arc::new(CatalogStore::open(&store_root).expect("store reopens"));
+            let mut fresh = MatchSession::try_new(session_params.clone())
+                .expect("params are valid")
+                .with_store(store);
+            let h1 = fresh.ingest(l1.clone());
+            let h2 = fresh.ingest(l2.clone());
+            let start = Instant::now();
+            let disk = fresh.match_pair(h1, h2).expect("session match succeeds");
+            let disk_ms = start.elapsed().as_secs_f64() * 1e3;
+            if disk_ms < session_disk_ms {
+                session_disk_ms = disk_ms;
+            }
+            // The disk-warm run must be a pure rehydration: nothing built,
+            // scores bit-identical to the populating cold run.
+            assert_eq!(fresh.stats().graph_builds, 0);
+            assert_eq!(fresh.stats().substrate_builds, 0);
+            assert_eq!(cold.similarity.data(), disk.similarity.data());
+        }
+        let _ = std::fs::remove_dir_all(&store_root);
+
         let size_labels =
             |kernel: &str| ems_obs::labels(&[("n", &n.to_string()), ("kernel", kernel)]);
         metrics.gauge_set("bench_wall_ms", size_labels("reference"), reference_ms);
@@ -243,6 +287,11 @@ fn main() {
             session_warm_ms,
         );
         metrics.gauge_set(
+            "bench_wall_ms",
+            size_labels("session_disk"),
+            session_disk_ms,
+        );
+        metrics.gauge_set(
             "bench_formula_evals",
             ems_obs::labels(&[("n", &n.to_string())]),
             serial_out.stats.formula_evals as f64,
@@ -260,13 +309,14 @@ fn main() {
             session_cold_ms,
             session_cached_ms,
             session_warm_ms,
+            session_disk_ms,
             convergence,
         };
         eprintln!(
             "n={n}: reference {reference_ms:.1} ms, serial {serial_ms:.1} ms \
              ({:.2}x), parallel {parallel_ms:.1} ms ({:.2}x, {threads} threads); \
              session cold {session_cold_ms:.1} ms, cached {session_cached_ms:.1} ms, \
-             warm {session_warm_ms:.1} ms",
+             warm {session_warm_ms:.1} ms, disk-warm {session_disk_ms:.1} ms",
             reference_ms / serial_ms,
             reference_ms / parallel_ms,
         );
@@ -274,7 +324,7 @@ fn main() {
     }
 
     let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"pr5_session_pipeline\",\n");
+    json.push_str("{\n  \"bench\": \"pr6_session_pipeline\",\n");
     let _ = writeln!(json, "  \"parallel_threads\": {threads},");
     json.push_str("  \"sizes\": [\n");
     for (i, r) in reports.iter().enumerate() {
@@ -301,6 +351,11 @@ fn main() {
             json,
             "      \"session_warm_wall_ms\": {:.3},",
             r.session_warm_ms
+        );
+        let _ = writeln!(
+            json,
+            "      \"session_disk_wall_ms\": {:.3},",
+            r.session_disk_ms
         );
         let _ = writeln!(
             json,

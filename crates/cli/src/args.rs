@@ -16,6 +16,8 @@ USAGE:
                                                convert between formats
   ems report  <trace.jsonl>                    render a recorded run trace as a
                                                human-readable report
+  ems catalog <add|list|verify|gc> --store <DIR> [ARGS]
+                                               manage a durable snapshot catalog
   ems help                                     this text
 
 MATCH OPTIONS:
@@ -40,6 +42,10 @@ MATCH OPTIONS:
                     phases, events; schema ems-trace/1) — render it with
                     `ems report`
   --metrics <FILE>  write Prometheus-style text metrics
+  --store <DIR>     durable snapshot catalog: serve graphs/substrates/labels
+                    from checksummed on-disk snapshots when present, persist
+                    what gets rebuilt. Corrupt snapshots are quarantined and
+                    rebuilt from source — never fatal
   --quiet           print only the correspondence lines
 
 COMPARE OPTIONS:
@@ -52,7 +58,20 @@ SYNTH OPTIONS:
   --seed <N>        RNG seed (default 42)           --opaque <F>   (default 1.0)
   --dislocate-front <M> / --dislocate-back <M>      --composites <N>
   --out1 <FILE> --out2 <FILE> (default pair1.xes/pair2.xes)
-  --truth <FILE>    also write the ground truth as CSV";
+  --truth <FILE>    also write the ground truth as CSV
+
+CATALOG ACTIONS (all take --store <DIR>):
+  add <log.xes>     snapshot the log and its dependency graph into the store
+                    ([--recover] [--min-freq <F>] as for match)
+  list              print every snapshot with its integrity status
+  verify            check every snapshot's checksum; exit 10 if any is corrupt
+  gc                remove quarantined snapshots and torn temp files
+
+EXIT CODES:
+  0 success          2 usage            3 I/O              4 malformed log
+  5 invalid input    6 bad parameters   7 graph error      8 assignment
+  9 internal         10 store corruption (quarantined snapshot, failed verify)
+  11 store I/O failure (catalog unreadable/unwritable); exit 1 is never used";
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,8 +94,35 @@ pub enum Command {
     },
     /// Render a recorded JSONL trace as a human-readable run report.
     Report { path: String },
+    /// Manage a durable snapshot catalog.
+    Catalog(CatalogArgs),
     /// Print usage.
     Help,
+}
+
+/// Options of `ems catalog`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CatalogArgs {
+    /// The catalog root directory (`--store`).
+    pub store: String,
+    pub action: CatalogAction,
+}
+
+/// The `ems catalog` action verbs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CatalogAction {
+    /// Snapshot a log and its dependency graph into the store.
+    Add {
+        path: String,
+        recover: bool,
+        min_freq: f64,
+    },
+    /// Print every snapshot with its integrity status.
+    List,
+    /// Check every snapshot's checksum.
+    Verify,
+    /// Remove quarantined snapshots and torn temp files.
+    Gc,
 }
 
 /// Options of `ems match`.
@@ -97,6 +143,7 @@ pub struct MatchArgs {
     pub threads: usize,
     pub trace: Option<String>,
     pub metrics: Option<String>,
+    pub store: Option<String>,
     pub quiet: bool,
 }
 
@@ -267,6 +314,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 threads: 0,
                 trace: None,
                 metrics: None,
+                store: None,
                 quiet: false,
             };
             let rest: Vec<&String> = it.collect();
@@ -303,12 +351,79 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                     }
                     "--trace" => args.trace = Some(value("--trace")?.to_owned()),
                     "--metrics" => args.metrics = Some(value("--metrics")?.to_owned()),
+                    "--store" => args.store = Some(value("--store")?.to_owned()),
                     "--quiet" => args.quiet = true,
                     other => return Err(format!("unknown option `{other}`")),
                 }
                 i += 1;
             }
             Ok(Command::Match(args))
+        }
+        "catalog" => {
+            // The action verb is the first positional, but flags may come
+            // anywhere: `catalog --store c list` == `catalog list --store c`.
+            let rest: Vec<&String> = it.collect();
+            let mut store: Option<String> = None;
+            let mut verb: Option<String> = None;
+            let mut path: Option<String> = None;
+            let mut recover = false;
+            let mut min_freq = 0.0;
+            let mut i = 0;
+            while i < rest.len() {
+                let arg = rest[i].as_str();
+                let mut value = |name: &str| -> Result<&String, String> {
+                    i += 1;
+                    rest.get(i)
+                        .copied()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match arg {
+                    "--store" => store = Some(value("--store")?.to_owned()),
+                    "--recover" => recover = true,
+                    "--min-freq" => min_freq = parse_f64(value("--min-freq")?, 0.0, 1.0)?,
+                    flag if flag.starts_with("--") => {
+                        return Err(format!("unknown option `{flag}`"))
+                    }
+                    positional => {
+                        if verb.is_none() {
+                            verb = Some(positional.to_owned());
+                        } else if path.replace(positional.to_owned()).is_some() {
+                            return Err(format!("unexpected argument `{positional}`"));
+                        }
+                    }
+                }
+                i += 1;
+            }
+            let verb = verb.ok_or("`ems catalog` needs an action (add, list, verify or gc)")?;
+            let store = store.ok_or("`ems catalog` needs --store <DIR>")?;
+            let action = match verb.as_str() {
+                "add" => CatalogAction::Add {
+                    path: path.ok_or("`ems catalog add` needs a log path")?,
+                    recover,
+                    min_freq,
+                },
+                "list" | "verify" | "gc" => {
+                    if path.is_some() {
+                        return Err(format!("`ems catalog {verb}` takes no log path"));
+                    }
+                    if recover || min_freq != 0.0 {
+                        return Err(format!(
+                            "--recover/--min-freq only apply to `ems catalog add`, not `{verb}`"
+                        ));
+                    }
+                    match verb.as_str() {
+                        "list" => CatalogAction::List,
+                        "verify" => CatalogAction::Verify,
+                        _ => CatalogAction::Gc,
+                    }
+                }
+                other => {
+                    return Err(format!(
+                        "unknown catalog action `{other}` (expected add, list, verify or gc)"
+                    ))
+                }
+            };
+            Ok(Command::Catalog(CatalogArgs { store, action }))
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }
@@ -516,9 +631,79 @@ mod tests {
                 path: "run.jsonl".into()
             }
         );
+        match parse(&sv(&["match", "a.xes", "b.xes", "--store", "cat"])).unwrap() {
+            Command::Match(m) => assert_eq!(m.store.as_deref(), Some("cat")),
+            c => panic!("unexpected {c:?}"),
+        }
         assert!(parse(&sv(&["report"])).is_err());
         assert!(parse(&sv(&["report", "a", "b"])).is_err());
         assert!(parse(&sv(&["match", "a", "b", "--trace"])).is_err());
+    }
+
+    #[test]
+    fn parses_catalog_actions() {
+        assert_eq!(
+            parse(&sv(&[
+                "catalog",
+                "add",
+                "a.xes",
+                "--store",
+                "cat",
+                "--recover",
+                "--min-freq",
+                "0.2",
+            ]))
+            .unwrap(),
+            Command::Catalog(CatalogArgs {
+                store: "cat".into(),
+                action: CatalogAction::Add {
+                    path: "a.xes".into(),
+                    recover: true,
+                    min_freq: 0.2,
+                },
+            })
+        );
+        // Flag order does not matter.
+        assert_eq!(
+            parse(&sv(&["catalog", "add", "--store", "cat", "a.xes"])).unwrap(),
+            Command::Catalog(CatalogArgs {
+                store: "cat".into(),
+                action: CatalogAction::Add {
+                    path: "a.xes".into(),
+                    recover: false,
+                    min_freq: 0.0,
+                },
+            })
+        );
+        for (verb, action) in [
+            ("list", CatalogAction::List),
+            ("verify", CatalogAction::Verify),
+            ("gc", CatalogAction::Gc),
+        ] {
+            assert_eq!(
+                parse(&sv(&["catalog", verb, "--store", "cat"])).unwrap(),
+                Command::Catalog(CatalogArgs {
+                    store: "cat".into(),
+                    action: action.clone(),
+                })
+            );
+            // The verb may also follow the flag.
+            assert_eq!(
+                parse(&sv(&["catalog", "--store", "cat", verb])).unwrap(),
+                Command::Catalog(CatalogArgs {
+                    store: "cat".into(),
+                    action,
+                })
+            );
+        }
+        // Usage errors: missing store/action/path, stray args.
+        assert!(parse(&sv(&["catalog"])).is_err());
+        assert!(parse(&sv(&["catalog", "add", "a.xes"])).is_err());
+        assert!(parse(&sv(&["catalog", "add", "--store", "cat"])).is_err());
+        assert!(parse(&sv(&["catalog", "list", "a.xes", "--store", "c"])).is_err());
+        assert!(parse(&sv(&["catalog", "list", "--store", "c", "--recover"])).is_err());
+        assert!(parse(&sv(&["catalog", "frob", "--store", "c"])).is_err());
+        assert!(parse(&sv(&["catalog", "add", "a", "b", "--store", "c"])).is_err());
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! Command implementations for the `ems` binary.
 
-use crate::args::{Command, MatchArgs, USAGE};
+use crate::args::{CatalogAction, CatalogArgs, Command, MatchArgs, USAGE};
 use ems_assignment::max_total_assignment;
 use ems_core::composite::{
     discover_candidates, CandidateConfig, CompositeConfig, CompositeMatcher,
 };
-use ems_core::{Ems, EmsParams, MatchSession, SessionOptions};
-use ems_depgraph::{to_dot, DependencyGraph};
+use ems_core::{persist, Ems, EmsParams, MatchSession, SessionOptions};
+use ems_depgraph::{filter_min_frequency, to_dot, DependencyGraph};
 use ems_error::EmsError;
 use ems_eval::Table;
-use ems_events::{EventId, EventLog, LogStats};
+use ems_events::{fingerprint_log, EventId, EventLog, LogStats, SymbolTable};
 use ems_obs::Recorder;
+use ems_store::{CatalogStore, EntryStatus, SnapshotKind};
 use ems_xes::ParseMode;
 use std::sync::Arc;
 
@@ -35,6 +36,101 @@ pub fn run(cmd: Command) -> Result<(), EmsError> {
             recover,
         } => crate::extra::convert(&input, &output, recover),
         Command::Report { path } => report(&path),
+        Command::Catalog(args) => catalog(&args),
+    }
+}
+
+/// Implements `ems catalog add|list|verify|gc`.
+fn catalog(args: &CatalogArgs) -> Result<(), EmsError> {
+    let store = CatalogStore::open(&args.store)?;
+    match &args.action {
+        CatalogAction::Add {
+            path,
+            recover,
+            min_freq,
+        } => {
+            let log = load(path, *recover)?;
+            let fp = fingerprint_log(&log);
+            store.put(
+                SnapshotKind::Log,
+                persist::log_store_key(fp),
+                persist::LOG_PAYLOAD_VERSION,
+                &persist::encode_log(&log),
+            )?;
+            let mut table = SymbolTable::new();
+            let built = DependencyGraph::from_log_in(&log, &mut table);
+            let (graph, removed) = if *min_freq > 0.0 {
+                filter_min_frequency(&built, *min_freq)
+            } else {
+                (built, 0)
+            };
+            store.put(
+                SnapshotKind::Graph,
+                persist::graph_store_key(fp, *min_freq),
+                persist::GRAPH_PAYLOAD_VERSION,
+                &persist::encode_graph(&graph),
+            )?;
+            println!(
+                "added {}: log {:016x} ({} traces, {} events), graph {} nodes, \
+                 {} edges ({} filtered)",
+                path,
+                fp,
+                log.num_traces(),
+                log.alphabet_size(),
+                graph.num_real(),
+                graph.real_edges().len(),
+                removed
+            );
+            Ok(())
+        }
+        CatalogAction::List => {
+            let entries = store.list()?;
+            if entries.is_empty() {
+                println!("catalog {} is empty", args.store);
+                return Ok(());
+            }
+            for e in &entries {
+                let kind = e.kind.map_or("?", |k| k.name());
+                let key = e.key.map_or("-".to_owned(), |k| format!("{k:016x}"));
+                let status = match &e.status {
+                    EntryStatus::Ok => "ok".to_owned(),
+                    EntryStatus::Corrupt(reason) => format!("CORRUPT: {reason}"),
+                };
+                println!(
+                    "{:<12} {}  {:>8} B  {}  {}",
+                    kind, key, e.bytes, e.file, status
+                );
+            }
+            Ok(())
+        }
+        CatalogAction::Verify => {
+            let report = store.verify()?;
+            println!(
+                "verified {}: {} ok, {} corrupt",
+                args.store,
+                report.ok,
+                report.corrupt.len()
+            );
+            for (file, reason) in &report.corrupt {
+                println!("  CORRUPT {file}: {reason}");
+            }
+            if report.corrupt.is_empty() {
+                Ok(())
+            } else {
+                Err(EmsError::store_corrupt(
+                    &args.store,
+                    format!("{} corrupt snapshot(s)", report.corrupt.len()),
+                ))
+            }
+        }
+        CatalogAction::Gc => {
+            let report = store.gc()?;
+            println!(
+                "gc {}: removed {} torn temp file(s), {} quarantined snapshot(s)",
+                args.store, report.removed_tmp, report.removed_quarantined
+            );
+            Ok(())
+        }
     }
 }
 
@@ -177,6 +273,13 @@ fn do_match(args: &MatchArgs) -> Result<(), EmsError> {
         if let Some(r) = &recorder {
             session = session.with_recorder(Arc::clone(r));
         }
+        if let Some(dir) = &args.store {
+            let mut store = CatalogStore::open(dir)?;
+            if let Some(r) = &recorder {
+                store = store.with_recorder(Arc::clone(r));
+            }
+            session = session.with_store(Arc::new(store));
+        }
         let h1 = session.ingest(l1.clone());
         let h2 = session.ingest(l2.clone());
         let options = SessionOptions {
@@ -297,6 +400,7 @@ mod tests {
             quiet: true,
             trace: None,
             metrics: None,
+            store: None,
         };
         do_match(&args).unwrap();
         let csv = std::fs::read_to_string(dir.join("out.csv")).unwrap();
@@ -325,6 +429,7 @@ mod tests {
             quiet: true,
             trace: None,
             metrics: None,
+            store: None,
         };
         do_match(&args).unwrap();
         let _ = std::fs::remove_dir_all(dir);
@@ -353,6 +458,7 @@ mod tests {
             quiet: true,
             trace: Some(trace_path.clone()),
             metrics: Some(metrics_path.clone()),
+            store: None,
         };
         do_match(&args).unwrap();
 
@@ -413,6 +519,7 @@ mod tests {
             quiet: true,
             trace: None,
             metrics: None,
+            store: None,
         };
         let err = do_match(&args).unwrap_err();
         assert_eq!(err.exit_code(), 2);
@@ -421,5 +528,86 @@ mod tests {
     #[test]
     fn help_prints() {
         run(Command::Help).unwrap();
+    }
+
+    #[test]
+    fn catalog_workflow_and_store_backed_match() {
+        let dir = tmpdir("catalog");
+        let (p1, p2) = write_sample_logs(&dir);
+        let store_dir = dir.join("catalog").to_string_lossy().into_owned();
+        // add + list + verify + gc run clean on a fresh store.
+        catalog(&CatalogArgs {
+            store: store_dir.clone(),
+            action: CatalogAction::Add {
+                path: p1.clone(),
+                recover: false,
+                min_freq: 0.0,
+            },
+        })
+        .unwrap();
+        catalog(&CatalogArgs {
+            store: store_dir.clone(),
+            action: CatalogAction::List,
+        })
+        .unwrap();
+        catalog(&CatalogArgs {
+            store: store_dir.clone(),
+            action: CatalogAction::Verify,
+        })
+        .unwrap();
+        catalog(&CatalogArgs {
+            store: store_dir.clone(),
+            action: CatalogAction::Gc,
+        })
+        .unwrap();
+        // A store-backed match persists the remaining products…
+        let args = MatchArgs {
+            log1: p1,
+            log2: p2,
+            alpha: 1.0,
+            c: 0.8,
+            estimate: None,
+            min_freq: 0.0,
+            min_score: 0.0,
+            composites: false,
+            delta: 0.005,
+            csv: None,
+            recover: false,
+            budget: None,
+            threads: 0,
+            quiet: true,
+            trace: None,
+            metrics: None,
+            store: Some(store_dir.clone()),
+        };
+        do_match(&args).unwrap();
+        do_match(&args).unwrap(); // …and a re-run disk-warms from them.
+                                  // Corrupting a snapshot makes verify fail with the store-corrupt
+                                  // exit code; gc then reclaims the quarantined copy once a reader
+                                  // trips over it.
+        let objects = std::path::Path::new(&store_dir).join("objects");
+        let snap = std::fs::read_dir(&objects)
+            .unwrap()
+            .filter_map(|e| Some(e.ok()?.path()))
+            .find(|p| p.extension().is_some_and(|e| e == "snap"))
+            .unwrap();
+        let mut bytes = std::fs::read(&snap).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&snap, &bytes).unwrap();
+        let err = catalog(&CatalogArgs {
+            store: store_dir.clone(),
+            action: CatalogAction::Verify,
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 10);
+        // The match still succeeds: corrupt snapshots rebuild from source.
+        do_match(&args).unwrap();
+        catalog(&CatalogArgs {
+            store: store_dir,
+            action: CatalogAction::Gc,
+        })
+        .unwrap();
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -31,6 +31,21 @@ pub enum CoreError {
         /// Number of logs the session has ingested.
         logs: usize,
     },
+    /// A durable snapshot's payload failed structural validation while
+    /// being rehydrated (the envelope checksum passed, the content did
+    /// not) — the entry must be quarantined and rebuilt from source.
+    SnapshotDecode {
+        /// What failed to decode.
+        message: String,
+    },
+    /// A deterministic fault-injection plan fired a terminal fault at a
+    /// pipeline stage boundary (chaos testing only; never in production).
+    FaultInjected {
+        /// The fault site's name.
+        site: String,
+        /// The fault kind's name.
+        kind: String,
+    },
     /// A [`crate::engine::Seed`] does not match the run's pair space.
     SeedShapeMismatch {
         /// Seed matrix rows.
@@ -63,6 +78,12 @@ impl fmt::Display for CoreError {
                     "log handle {handle} is unknown (session has {logs} logs)"
                 )
             }
+            CoreError::SnapshotDecode { message } => {
+                write!(f, "snapshot payload failed validation: {message}")
+            }
+            CoreError::FaultInjected { site, kind } => {
+                write!(f, "injected {kind} fault at {site}")
+            }
             CoreError::SeedShapeMismatch {
                 rows,
                 cols,
@@ -83,6 +104,14 @@ impl From<CoreError> for ems_error::EmsError {
     fn from(e: CoreError) -> Self {
         match e {
             CoreError::InvalidParams(message) => ems_error::EmsError::Params { message },
+            e @ CoreError::SnapshotDecode { .. } => ems_error::EmsError::StoreCorrupt {
+                path: String::new(),
+                message: e.to_string(),
+            },
+            e @ CoreError::FaultInjected { .. } => ems_error::EmsError::Io {
+                path: String::new(),
+                message: e.to_string(),
+            },
             e @ (CoreError::LabelShapeMismatch { .. }
             | CoreError::SeedShapeMismatch { .. }
             | CoreError::SubstrateMismatch { .. }

@@ -212,6 +212,13 @@ impl PairContext {
         Self::with_cap(csr1, csr2, c, MAX_COMPAT_ENTRIES)
     }
 
+    /// The direction-resolved CSR exports this context was built from
+    /// (serialization edge: everything else in the context is derived
+    /// deterministically from these plus `c`).
+    pub(crate) fn csrs(&self) -> (&NeighborCsr, &NeighborCsr) {
+        (&self.csr1, &self.csr2)
+    }
+
     /// Builder with an explicit table cap — exposed for tests that force
     /// the on-the-fly fallback path.
     pub fn with_cap(csr1: NeighborCsr, csr2: NeighborCsr, c: f64, cap: usize) -> Self {

@@ -63,6 +63,7 @@ mod kernel;
 mod matcher;
 pub mod numeric;
 mod params;
+pub mod persist;
 pub mod session;
 mod sim;
 mod stats;

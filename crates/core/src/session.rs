@@ -28,6 +28,17 @@
 //! run converges in one iteration with a bit-identical matrix (pinned by the
 //! `session_reuse` golden tests).
 //!
+//! # Durable tier
+//!
+//! With a catalog store attached ([`MatchSession::with_store`]) every build
+//! stage gains a disk tier between the in-memory cache and a rebuild:
+//! memory hit → store hit (decode a checksummed snapshot) → rebuild (and
+//! best-effort re-persist). Store failures never fail a match — a corrupt
+//! snapshot is quarantined and the product rebuilt from source, an I/O
+//! failure simply degrades to a rebuild — so the durable tier is purely an
+//! availability optimization with no effect on results (pinned by the
+//! disk-warm bit-identity tests and the `chaos_store` sweep).
+//!
 //! # Telemetry
 //!
 //! Two recorders with distinct roles:
@@ -64,11 +75,15 @@ use crate::engine::{Budget, Engine, RunOptions, Seed};
 use crate::error::CoreError;
 use crate::matcher::{aggregate_directions, label_matrix_for, MatchOutcome};
 use crate::params::{Direction, EmsParams};
+use crate::persist;
 use crate::substrate::EngineSubstrate;
 use ems_depgraph::{filter_min_frequency, observe_graph, DependencyGraph};
+use ems_error::EmsError;
 use ems_events::{fingerprint_log, EventLog, SymbolTable};
+use ems_faults::{FaultInjector, FaultKind, FaultSite};
 use ems_labels::LabelMatrix;
 use ems_obs::Recorder;
+use ems_store::{CatalogStore, SnapshotKind};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -101,6 +116,14 @@ pub struct SessionOptions {
     /// ([`MatchSession::with_recorder`]), keeping this trace byte-comparable
     /// between cold and cached runs.
     pub recorder: Option<Arc<Recorder>>,
+    /// Deterministic fault injector consulted at the ingest and solve stage
+    /// boundaries (store-level sites are consulted by the store itself —
+    /// share one injector between both for a coherent schedule). A transient
+    /// ingest fault is absorbed; a terminal one surfaces as
+    /// [`CoreError::FaultInjected`]. A solve-stage budget-exhaustion fault
+    /// clamps the run budget so the engine degrades to estimation instead
+    /// of failing.
+    pub injector: Option<Arc<FaultInjector>>,
 }
 
 /// Counters describing the session's cache behavior and the setup work it
@@ -123,6 +146,18 @@ pub struct SessionStats {
     pub label_cache_hits: u64,
     /// Solve-stage runs seeded from a prior fixpoint.
     pub warm_starts: u64,
+    /// Build products served from the durable store (snapshot decoded).
+    pub store_hits: u64,
+    /// Durable-store lookups that found no snapshot.
+    pub store_misses: u64,
+    /// Snapshots quarantined (envelope- or payload-level corruption) and
+    /// rebuilt from source.
+    pub store_quarantines: u64,
+    /// Durable-store reads that failed with an I/O error (degraded to a
+    /// rebuild).
+    pub store_read_failures: u64,
+    /// Best-effort snapshot writes that failed (the match still succeeded).
+    pub store_write_failures: u64,
     /// Total wall-clock setup the session performed (graph + substrate
     /// builds) — the single authoritative setup attribution for all runs
     /// the session executed.
@@ -162,6 +197,9 @@ pub struct MatchSession {
     /// seed for the re-match), unlike the fingerprint-keyed caches which the
     /// new content simply misses.
     priors: BTreeMap<(u32, u32), Prior>,
+    /// Optional durable tier behind the in-memory caches: every build stage
+    /// consults it on a memory miss and re-persists what it rebuilds.
+    store: Option<Arc<CatalogStore>>,
     stats: SessionStats,
     recorder: Option<Arc<Recorder>>,
 }
@@ -194,6 +232,7 @@ impl MatchSession {
             substrates: BTreeMap::new(),
             labels: BTreeMap::new(),
             priors: BTreeMap::new(),
+            store: None,
             stats: SessionStats::default(),
             recorder: None,
         })
@@ -202,6 +241,15 @@ impl MatchSession {
     /// Attaches the session telemetry sink (stage spans, cache counters).
     pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
         self.recorder = Some(recorder);
+        self
+    }
+
+    /// Attaches a durable catalog store as the tier between the in-memory
+    /// caches and a rebuild (see the module docs). Store failures never
+    /// fail a match: corruption quarantines the snapshot and rebuilds, I/O
+    /// errors degrade to a rebuild.
+    pub fn with_store(mut self, store: Arc<CatalogStore>) -> Self {
+        self.store = Some(store);
         self
     }
 
@@ -279,6 +327,20 @@ impl MatchSession {
         self.session_log(h1)?;
         self.session_log(h2)?;
 
+        // Ingest-boundary fault point: a transient fault is absorbed (the
+        // stage "retries" by simply proceeding — the inputs are already in
+        // memory); a terminal one surfaces as a typed error.
+        if let Some(injector) = options.injector.as_deref() {
+            if let Some(kind) = injector.next_op(FaultSite::Ingest) {
+                if !kind.is_transient() {
+                    return Err(CoreError::FaultInjected {
+                        site: FaultSite::Ingest.name().to_string(),
+                        kind: kind.name().to_string(),
+                    });
+                }
+            }
+        }
+
         // Model stage: one dependency graph per distinct log content.
         let g1 = self.model_stage(h1);
         let g2 = self.model_stage(h2);
@@ -290,6 +352,28 @@ impl MatchSession {
         // Label stage: one label matrix per log-content pair.
         let labels = self.label_stage(h1, h2);
 
+        // Solve-boundary fault point: budget exhaustion clamps the run
+        // budget — the engine degrades to estimation (a defined, typed-error
+        // -free outcome) rather than failing the match.
+        let mut budget = options.budget.clone();
+        if let Some(injector) = options.injector.as_deref() {
+            match injector.next_op(FaultSite::Solve) {
+                Some(FaultKind::BudgetExhaust) => {
+                    budget = Budget {
+                        max_iterations: Some(1),
+                        ..budget
+                    };
+                }
+                Some(kind) if !kind.is_transient() => {
+                    return Err(CoreError::FaultInjected {
+                        site: FaultSite::Solve.name().to_string(),
+                        kind: kind.name().to_string(),
+                    });
+                }
+                _ => {}
+            }
+        }
+
         // Solve stage: run both directions on cached substrates; the
         // engines charge zero setup (the session already attributed it).
         let seed = options
@@ -299,7 +383,7 @@ impl MatchSession {
         let run_options = |seed: Option<Seed>| RunOptions {
             seed,
             abort_below: None,
-            budget: options.budget.clone(),
+            budget: budget.clone(),
             threads: options.threads,
             recorder: options.recorder.clone(),
         };
@@ -368,6 +452,31 @@ impl MatchSession {
             }
             return Arc::clone(g);
         }
+        // Disk tier: a snapshot keyed by (log content, min-frequency filter)
+        // rehydrates the graph into the session's shared symbol table.
+        let store_key = persist::graph_store_key(fp, self.min_frequency);
+        if let Some(bytes) = self.store_fetch(
+            SnapshotKind::Graph,
+            store_key,
+            persist::GRAPH_PAYLOAD_VERSION,
+        ) {
+            match persist::decode_graph_in(&bytes, &mut self.table) {
+                Ok(graph) => {
+                    self.stats.store_hits += 1;
+                    if let Some(rec) = self.recorder.as_deref() {
+                        rec.counter_add(
+                            "session.graph_cache",
+                            ems_obs::labels(&[("result", "disk"), ("side", &side)]),
+                            1,
+                        );
+                    }
+                    let graph = Arc::new(graph);
+                    self.graphs.insert(fp, Arc::clone(&graph));
+                    return graph;
+                }
+                Err(e) => self.store_quarantine(SnapshotKind::Graph, store_key, &e.to_string()),
+            }
+        }
         // ems-lint: allow(wall-clock-randomness, stage timing feeds session telemetry only, never similarity values)
         let started = Instant::now();
         let built = DependencyGraph::from_log_in(&self.logs[handle.index()].log, &mut self.table);
@@ -398,6 +507,12 @@ impl MatchSession {
             );
         }
         let graph = Arc::new(graph);
+        self.store_put(
+            SnapshotKind::Graph,
+            store_key,
+            persist::GRAPH_PAYLOAD_VERSION,
+            || persist::encode_graph(&graph),
+        );
         self.graphs.insert(fp, Arc::clone(&graph));
         graph
     }
@@ -426,6 +541,44 @@ impl MatchSession {
             }
             return Arc::clone(sub);
         }
+        // Disk tier: the snapshot embeds direction and damping constant, and
+        // a decoded substrate must still fit the graphs it will be paired
+        // with — a shape disagreement means the key collided or the entry is
+        // stale, either way quarantine-and-rebuild territory.
+        let store_key = persist::substrate_store_key(key.0, key.1, direction, self.params.c);
+        if let Some(bytes) = self.store_fetch(
+            SnapshotKind::Substrate,
+            store_key,
+            persist::SUBSTRATE_PAYLOAD_VERSION,
+        ) {
+            match persist::decode_substrate(&bytes, direction, self.params.c) {
+                Ok(sub) if sub.rows() == g1.num_real() && sub.cols() == g2.num_real() => {
+                    self.stats.store_hits += 1;
+                    if let Some(rec) = self.recorder.as_deref() {
+                        rec.counter_add(
+                            "session.substrate_cache",
+                            ems_obs::labels(&[("result", "disk"), ("direction", dir_label)]),
+                            1,
+                        );
+                    }
+                    let sub = Arc::new(sub);
+                    self.substrates.insert(key, Arc::clone(&sub));
+                    return sub;
+                }
+                Ok(sub) => self.store_quarantine(
+                    SnapshotKind::Substrate,
+                    store_key,
+                    &format!(
+                        "substrate shape {}x{} does not fit graphs {}x{}",
+                        sub.rows(),
+                        sub.cols(),
+                        g1.num_real(),
+                        g2.num_real()
+                    ),
+                ),
+                Err(e) => self.store_quarantine(SnapshotKind::Substrate, store_key, &e.to_string()),
+            }
+        }
         let sub = Arc::new(EngineSubstrate::build(g1, g2, direction, self.params.c));
         self.stats.substrate_builds += 1;
         self.stats.setup += sub.build_time();
@@ -441,6 +594,12 @@ impl MatchSession {
                 sub.build_time(),
             );
         }
+        self.store_put(
+            SnapshotKind::Substrate,
+            store_key,
+            persist::SUBSTRATE_PAYLOAD_VERSION,
+            || persist::encode_substrate(&sub),
+        );
         self.substrates.insert(key, Arc::clone(&sub));
         sub
     }
@@ -463,6 +622,46 @@ impl MatchSession {
             }
             return Arc::clone(m);
         }
+        // Disk tier: the key separates labeled from purely structural runs
+        // (alpha = 1 stores an all-zeros matrix), and a decoded matrix must
+        // still fit the two alphabets.
+        let labeled = self.params.alpha < 1.0;
+        let store_key = persist::labels_store_key(key.0, key.1, labeled);
+        let (rows, cols) = (
+            self.logs[h1.index()].log.alphabet_size(),
+            self.logs[h2.index()].log.alphabet_size(),
+        );
+        if let Some(bytes) = self.store_fetch(
+            SnapshotKind::Labels,
+            store_key,
+            persist::LABELS_PAYLOAD_VERSION,
+        ) {
+            match persist::decode_labels(&bytes) {
+                Ok(m) if m.rows() == rows && m.cols() == cols => {
+                    self.stats.store_hits += 1;
+                    if let Some(rec) = self.recorder.as_deref() {
+                        rec.counter_add(
+                            "session.label_cache",
+                            ems_obs::labels(&[("result", "disk")]),
+                            1,
+                        );
+                    }
+                    let m = Arc::new(m);
+                    self.labels.insert(key, Arc::clone(&m));
+                    return m;
+                }
+                Ok(m) => self.store_quarantine(
+                    SnapshotKind::Labels,
+                    store_key,
+                    &format!(
+                        "label matrix shape {}x{} does not fit alphabets {rows}x{cols}",
+                        m.rows(),
+                        m.cols()
+                    ),
+                ),
+                Err(e) => self.store_quarantine(SnapshotKind::Labels, store_key, &e.to_string()),
+            }
+        }
         let m = Arc::new(label_matrix_for(
             &self.params,
             &self.logs[h1.index()].log,
@@ -476,8 +675,63 @@ impl MatchSession {
                 1,
             );
         }
+        self.store_put(
+            SnapshotKind::Labels,
+            store_key,
+            persist::LABELS_PAYLOAD_VERSION,
+            || persist::encode_labels(&m),
+        );
         self.labels.insert(key, Arc::clone(&m));
         m
+    }
+
+    /// Disk-tier read: the payload of a valid snapshot, or `None` with the
+    /// matching counter bumped. Envelope-level corruption was already
+    /// quarantined by the store itself; every failure class degrades to a
+    /// rebuild.
+    fn store_fetch(&mut self, kind: SnapshotKind, key: u64, version: u32) -> Option<Vec<u8>> {
+        let store = Arc::clone(self.store.as_ref()?);
+        match store.get(kind, key, version) {
+            Ok(Some(bytes)) => Some(bytes),
+            Ok(None) => {
+                self.stats.store_misses += 1;
+                None
+            }
+            Err(EmsError::StoreCorrupt { .. }) => {
+                self.stats.store_quarantines += 1;
+                None
+            }
+            Err(_) => {
+                self.stats.store_read_failures += 1;
+                None
+            }
+        }
+    }
+
+    /// Quarantines a snapshot whose payload failed decode-side validation
+    /// (the envelope checksum passed, so the store could not have caught it).
+    fn store_quarantine(&mut self, kind: SnapshotKind, key: u64, reason: &str) {
+        if let Some(store) = &self.store {
+            store.quarantine_entry(kind, key, reason);
+            self.stats.store_quarantines += 1;
+        }
+    }
+
+    /// Best-effort snapshot write after a rebuild: a failure only counts —
+    /// the durable tier must never fail a match. `encode` runs only when a
+    /// store is attached.
+    fn store_put(
+        &mut self,
+        kind: SnapshotKind,
+        key: u64,
+        version: u32,
+        encode: impl FnOnce() -> Vec<u8>,
+    ) {
+        if let Some(store) = &self.store {
+            if store.put(kind, key, version, &encode()).is_err() {
+                self.stats.store_write_failures += 1;
+            }
+        }
     }
 
     /// The warm seeds for a pair: its prior fixpoint, if one exists and
@@ -514,6 +768,19 @@ impl MatchSession {
 mod tests {
     use super::*;
     use crate::matcher::Ems;
+    use ems_faults::{FaultPlan, PlannedFault};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A fresh, collision-free store root under the system temp dir.
+    fn tmp_store_root(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("ems-session-{tag}-{}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
 
     /// Acyclic logs (every trace visits distinct names), so every pair has
     /// a finite Proposition-2 horizon — the precondition for the warm-start
@@ -682,6 +949,155 @@ mod tests {
         assert!(trace.contains("session.model"));
         assert!(trace.contains("session.substrate"));
         assert!(trace.contains("graph_vertices"));
+    }
+
+    #[test]
+    fn fresh_session_warms_every_build_stage_from_disk() {
+        let root = tmp_store_root("diskwarm");
+        let (l1, l2) = dag_logs();
+        // Session A populates the store while matching cold.
+        let store = Arc::new(CatalogStore::open(&root).unwrap());
+        let mut a = MatchSession::new(exact_params()).with_store(Arc::clone(&store));
+        let ha1 = a.ingest(l1.clone());
+        let ha2 = a.ingest(l2.clone());
+        let cold = a.match_pair(ha1, ha2).unwrap();
+        assert_eq!(a.stats().store_misses, 5); // 2 graphs + 2 substrates + 1 labels
+        assert_eq!(a.stats().store_write_failures, 0);
+        drop(a);
+        drop(store);
+        // Session B shares nothing in memory — only the store directory —
+        // yet builds nothing and reproduces the scores bit-identically.
+        let store = Arc::new(CatalogStore::open(&root).unwrap());
+        let mut b = MatchSession::new(exact_params()).with_store(store);
+        let hb1 = b.ingest(l1);
+        let hb2 = b.ingest(l2);
+        let warm = b.match_pair(hb1, hb2).unwrap();
+        assert_eq!(warm.similarity.max_abs_diff(&cold.similarity), 0.0);
+        assert_eq!(warm.forward.max_abs_diff(&cold.forward), 0.0);
+        assert_eq!(warm.backward.max_abs_diff(&cold.backward), 0.0);
+        let stats = b.stats();
+        assert_eq!(stats.store_hits, 5);
+        assert_eq!(stats.graph_builds, 0);
+        assert_eq!(stats.substrate_builds, 0);
+        assert_eq!(stats.label_builds, 0);
+        // Disk rehydration interns into the shared table like a build would.
+        assert_eq!(b.symbols().len(), 9);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupted_snapshots_degrade_to_rebuild_with_identical_scores() {
+        let root = tmp_store_root("corrupt");
+        let (l1, l2) = dag_logs();
+        let mut clean = MatchSession::new(exact_params());
+        let hc1 = clean.ingest(l1.clone());
+        let hc2 = clean.ingest(l2.clone());
+        let baseline = clean.match_pair(hc1, hc2).unwrap();
+        {
+            let store = Arc::new(CatalogStore::open(&root).unwrap());
+            let mut a = MatchSession::new(exact_params()).with_store(store);
+            let h1 = a.ingest(l1.clone());
+            let h2 = a.ingest(l2.clone());
+            a.match_pair(h1, h2).unwrap();
+        }
+        // Flip one payload byte in every snapshot on disk.
+        let objects = root.join("objects");
+        let mut corrupted = 0;
+        for entry in std::fs::read_dir(&objects).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "snap") {
+                let mut bytes = std::fs::read(&path).unwrap();
+                let last = bytes.len() - 1;
+                bytes[last] ^= 0x01;
+                std::fs::write(&path, &bytes).unwrap();
+                corrupted += 1;
+            }
+        }
+        assert_eq!(corrupted, 5);
+        // A fresh session quarantines every corrupt entry, rebuilds from
+        // source, re-persists, and still reproduces the clean scores.
+        let store = Arc::new(CatalogStore::open(&root).unwrap());
+        let mut b = MatchSession::new(exact_params()).with_store(Arc::clone(&store));
+        let h1 = b.ingest(l1.clone());
+        let h2 = b.ingest(l2.clone());
+        let recovered = b.match_pair(h1, h2).unwrap();
+        assert_eq!(recovered.similarity.max_abs_diff(&baseline.similarity), 0.0);
+        assert_eq!(b.stats().store_quarantines, 5);
+        assert_eq!(b.stats().store_hits, 0);
+        assert_eq!(b.stats().graph_builds, 2);
+        // The rebuilds were re-persisted: a third session disk-warms fully.
+        drop(b);
+        let mut c = MatchSession::new(exact_params()).with_store(store);
+        let h1 = c.ingest(l1);
+        let h2 = c.ingest(l2);
+        let rewarmed = c.match_pair(h1, h2).unwrap();
+        assert_eq!(rewarmed.similarity.max_abs_diff(&baseline.similarity), 0.0);
+        assert_eq!(c.stats().store_hits, 5);
+        assert_eq!(c.stats().graph_builds, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_stage_faults_are_typed_or_degrade() {
+        let (l1, l2) = dag_logs();
+        // Terminal ingest fault: the match fails with the typed error.
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![PlannedFault {
+                site: FaultSite::Ingest,
+                op: 0,
+                kind: FaultKind::NoSpace,
+            }],
+        };
+        let opts = SessionOptions {
+            injector: Some(Arc::new(FaultInjector::new(plan))),
+            ..SessionOptions::default()
+        };
+        let mut session = MatchSession::new(exact_params());
+        let h1 = session.ingest(l1.clone());
+        let h2 = session.ingest(l2.clone());
+        assert!(matches!(
+            session.match_pair_opts(h1, h2, &opts),
+            Err(CoreError::FaultInjected { .. })
+        ));
+        // The op counter advanced past the fault: the retry succeeds and
+        // matches a fault-free run bit-identically.
+        let retried = session.match_pair_opts(h1, h2, &opts).unwrap();
+        let clean = session.match_pair(h1, h2).unwrap();
+        assert_eq!(retried.similarity.max_abs_diff(&clean.similarity), 0.0);
+
+        // Transient ingest fault: absorbed, the match proceeds.
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![PlannedFault {
+                site: FaultSite::Ingest,
+                op: 0,
+                kind: FaultKind::TransientIo,
+            }],
+        };
+        let opts = SessionOptions {
+            injector: Some(Arc::new(FaultInjector::new(plan))),
+            ..SessionOptions::default()
+        };
+        let absorbed = session.match_pair_opts(h1, h2, &opts).unwrap();
+        assert_eq!(absorbed.similarity.max_abs_diff(&clean.similarity), 0.0);
+
+        // Solve-stage budget exhaustion: degrades to estimation (a defined
+        // outcome with `degraded` flagged), never an error.
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![PlannedFault {
+                site: FaultSite::Solve,
+                op: 0,
+                kind: FaultKind::BudgetExhaust,
+            }],
+        };
+        let opts = SessionOptions {
+            injector: Some(Arc::new(FaultInjector::new(plan))),
+            ..SessionOptions::default()
+        };
+        let degraded = session.match_pair_opts(h1, h2, &opts).unwrap();
+        assert!(degraded.stats.degraded);
     }
 
     #[test]

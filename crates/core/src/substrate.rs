@@ -10,9 +10,12 @@
 //! and hands them to engines via `Arc`, turning a re-match against an
 //! already-seen graph pair into pure solve work.
 
+use crate::error::CoreError;
 use crate::kernel::PairContext;
 use crate::params::Direction;
-use ems_depgraph::{longest_distances, longest_distances_backward, DependencyGraph, Distance};
+use ems_depgraph::{
+    longest_distances, longest_distances_backward, DependencyGraph, Distance, NeighborCsr,
+};
 use std::time::{Duration, Instant};
 
 /// The immutable setup product of one `(g1, g2, direction, c)` combination:
@@ -62,6 +65,58 @@ impl EngineSubstrate {
             ctx,
             build_time,
         }
+    }
+
+    /// Rebuilds a substrate from the parts a durable snapshot persists:
+    /// the longest distances and the direction-resolved CSR exports. The
+    /// kernel tables are re-derived deterministically from the CSRs and
+    /// `c`, so a rehydrated substrate is bit-identical in behavior to the
+    /// one originally built from the graphs. Shape disagreements between
+    /// the distance vectors and the CSRs are rejected as
+    /// [`CoreError::SnapshotDecode`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_saved_parts(
+        direction: Direction,
+        c: f64,
+        n1: usize,
+        n2: usize,
+        l1: Vec<Distance>,
+        l2: Vec<Distance>,
+        csr1: NeighborCsr,
+        csr2: NeighborCsr,
+    ) -> Result<Self, CoreError> {
+        let decode = |message: String| CoreError::SnapshotDecode { message };
+        if csr1.num_nodes() != n1 || csr2.num_nodes() != n2 {
+            return Err(decode(format!(
+                "substrate CSRs cover {}x{} nodes but header says {n1}x{n2}",
+                csr1.num_nodes(),
+                csr2.num_nodes()
+            )));
+        }
+        // Distances cover the artificial node too (one extra slot).
+        if l1.len() != n1 + 1 || l2.len() != n2 + 1 {
+            return Err(decode(format!(
+                "substrate distances cover {}/{} nodes, want {}/{}",
+                l1.len(),
+                l2.len(),
+                n1 + 1,
+                n2 + 1
+            )));
+        }
+        if !c.is_finite() || c <= 0.0 || c >= 1.0 {
+            return Err(decode(format!("damping constant {c} outside (0, 1)")));
+        }
+        let ctx = PairContext::new(csr1, csr2, c);
+        Ok(EngineSubstrate {
+            direction,
+            c,
+            n1,
+            n2,
+            l1,
+            l2,
+            ctx,
+            build_time: Duration::ZERO,
+        })
     }
 
     /// The direction this substrate serves.

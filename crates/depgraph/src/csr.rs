@@ -22,6 +22,7 @@
 //! never an outer or inner set.
 
 use crate::graph::{DependencyGraph, NodeId};
+use crate::GraphError;
 use std::ops::Range;
 
 /// Sentinel entry marking the artificial event `v^X` in a neighbor list.
@@ -44,6 +45,28 @@ pub struct NeighborCsr {
     /// Per real node: frequency of the artificial neighbor edge, `NaN`
     /// when the node has no artificial neighbor (zero-frequency events).
     art_freq: Vec<f64>,
+}
+
+/// The raw columns of a [`NeighborCsr`], exposed for (de)serialization.
+///
+/// Round-tripping through parts is lossless: `NeighborCsr::try_from_parts`
+/// re-validates every structural invariant, so parts read from untrusted
+/// bytes (e.g. a durable snapshot) either rebuild the exact original CSR
+/// or fail with [`GraphError::CorruptCsr`](crate::GraphError::CorruptCsr).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrParts {
+    /// Entry ranges per real node (`len = num_nodes + 1`).
+    pub off: Vec<u32>,
+    /// Per entry: lane id, or [`ARTIFICIAL_ENTRY`].
+    pub ent_lane: Vec<u32>,
+    /// Lane ranges per real node (`len = num_nodes + 1`).
+    pub lane_off: Vec<u32>,
+    /// Per lane: the neighbor's node index.
+    pub lane_src: Vec<u32>,
+    /// Per lane: the edge's normalized frequency.
+    pub lane_freq: Vec<f64>,
+    /// Per real node: artificial-neighbor edge frequency (`NaN` if absent).
+    pub art_freq: Vec<f64>,
 }
 
 impl NeighborCsr {
@@ -118,6 +141,119 @@ impl NeighborCsr {
     /// Frequency of `v`'s artificial neighbor edge; `NaN` when absent.
     pub fn art_freq(&self, v: usize) -> f64 {
         self.art_freq[v]
+    }
+
+    /// Decomposes into raw columns for serialization.
+    pub fn to_parts(&self) -> CsrParts {
+        CsrParts {
+            off: self.off.clone(),
+            ent_lane: self.ent_lane.clone(),
+            lane_off: self.lane_off.clone(),
+            lane_src: self.lane_src.clone(),
+            lane_freq: self.lane_freq.clone(),
+            art_freq: self.art_freq.clone(),
+        }
+    }
+
+    /// Rebuilds a CSR from raw columns, re-validating every structural
+    /// invariant [`NeighborCsr::build`] guarantees: shared lengths, dense
+    /// monotone offsets, consecutive lane numbering per node, at most one
+    /// artificial sentinel per node (present exactly when `art_freq` is
+    /// non-NaN), in-range neighbor indices, and finite frequencies.
+    pub fn try_from_parts(parts: CsrParts) -> Result<Self, GraphError> {
+        let corrupt = |message: String| GraphError::CorruptCsr { message };
+        let n = parts.art_freq.len();
+        if parts.off.len() != n + 1 || parts.lane_off.len() != n + 1 {
+            return Err(corrupt(format!(
+                "offset lengths {}/{} do not match {n} nodes",
+                parts.off.len(),
+                parts.lane_off.len()
+            )));
+        }
+        if parts.lane_freq.len() != parts.lane_src.len() {
+            return Err(corrupt(format!(
+                "{} lane sources but {} lane frequencies",
+                parts.lane_src.len(),
+                parts.lane_freq.len()
+            )));
+        }
+        for (name, off, total) in [
+            ("entry", &parts.off, parts.ent_lane.len()),
+            ("lane", &parts.lane_off, parts.lane_src.len()),
+        ] {
+            if off[0] != 0 {
+                return Err(corrupt(format!("{name} offsets do not start at 0")));
+            }
+            if off.windows(2).any(|w| w[0] > w[1]) {
+                return Err(corrupt(format!("{name} offsets are not monotone")));
+            }
+            if off[n] as usize != total {
+                return Err(corrupt(format!(
+                    "{name} offsets end at {} but {total} items exist",
+                    off[n]
+                )));
+            }
+        }
+        for v in 0..n {
+            let mut lane = parts.lane_off[v];
+            let mut sentinels = 0usize;
+            for &e in &parts.ent_lane[parts.off[v] as usize..parts.off[v + 1] as usize] {
+                if e == ARTIFICIAL_ENTRY {
+                    sentinels += 1;
+                } else {
+                    if e != lane {
+                        return Err(corrupt(format!(
+                            "node {v}: entry lane {e} breaks dense numbering (want {lane})"
+                        )));
+                    }
+                    lane += 1;
+                }
+            }
+            if lane != parts.lane_off[v + 1] {
+                return Err(corrupt(format!(
+                    "node {v}: entries cover lanes up to {lane}, lane offset says {}",
+                    parts.lane_off[v + 1]
+                )));
+            }
+            if sentinels > 1 {
+                return Err(corrupt(format!("node {v}: {sentinels} artificial entries")));
+            }
+            if (sentinels == 1) == parts.art_freq[v].is_nan() {
+                return Err(corrupt(format!(
+                    "node {v}: artificial sentinel and art_freq disagree"
+                )));
+            }
+        }
+        for (i, &src) in parts.lane_src.iter().enumerate() {
+            if src as usize >= n {
+                return Err(corrupt(format!(
+                    "lane {i}: neighbor index {src} out of range for {n} nodes"
+                )));
+            }
+        }
+        for (i, &f) in parts.lane_freq.iter().enumerate() {
+            if !f.is_finite() {
+                return Err(corrupt(format!("lane {i}: non-finite frequency {f}")));
+            }
+        }
+        if let Some((v, &f)) = parts
+            .art_freq
+            .iter()
+            .enumerate()
+            .find(|(_, f)| f.is_infinite())
+        {
+            return Err(corrupt(format!(
+                "node {v}: non-finite artificial frequency {f}"
+            )));
+        }
+        Ok(NeighborCsr {
+            off: parts.off,
+            ent_lane: parts.ent_lane,
+            lane_off: parts.lane_off,
+            lane_src: parts.lane_src,
+            lane_freq: parts.lane_freq,
+            art_freq: parts.art_freq,
+        })
     }
 }
 
@@ -198,6 +334,48 @@ mod tests {
         assert!(csr.entries(ghost).is_empty());
         assert!(csr.art_freq(ghost).is_nan());
         assert!(csr.lane_range(ghost).is_empty());
+    }
+
+    #[test]
+    fn parts_round_trip_losslessly() {
+        let g = sample_graph();
+        for csr in [g.pre_csr(), g.post_csr()] {
+            let rebuilt = NeighborCsr::try_from_parts(csr.to_parts()).unwrap();
+            assert_eq!(rebuilt, csr);
+        }
+    }
+
+    #[test]
+    fn corrupt_parts_are_rejected() {
+        let csr = sample_graph().pre_csr();
+        let good = csr.to_parts();
+        type Mutation = Box<dyn Fn(&mut CsrParts)>;
+        let cases: Vec<Mutation> = vec![
+            Box::new(|p| p.off.pop().map(|_| ()).unwrap()),
+            Box::new(|p| p.off[0] = 1),
+            Box::new(|p| {
+                let last = p.off.len() - 1;
+                p.off[last] += 1;
+            }),
+            Box::new(|p| p.lane_off[1] = p.lane_off[2] + 1),
+            Box::new(|p| p.ent_lane[0] = p.ent_lane[0].wrapping_add(1)),
+            Box::new(|p| p.lane_src[0] = 9999),
+            Box::new(|p| p.lane_freq[0] = f64::INFINITY),
+            Box::new(|p| p.lane_freq.pop().map(|_| ()).unwrap()),
+            Box::new(|p| p.art_freq[0] = f64::NAN),
+        ];
+        for (i, mutate) in cases.iter().enumerate() {
+            let mut bad = good.clone();
+            mutate(&mut bad);
+            assert!(
+                matches!(
+                    NeighborCsr::try_from_parts(bad),
+                    Err(GraphError::CorruptCsr { .. })
+                ),
+                "corruption case {i} went undetected"
+            );
+        }
+        assert!(NeighborCsr::try_from_parts(good).is_ok());
     }
 
     #[test]

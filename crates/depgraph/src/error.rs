@@ -54,6 +54,12 @@ pub enum GraphError {
         /// Human-readable description.
         message: String,
     },
+    /// Deserialized CSR parts are structurally inconsistent (length or
+    /// offset invariants violated, lane ids out of range).
+    CorruptCsr {
+        /// Human-readable description of the violated invariant.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -79,6 +85,7 @@ impl fmt::Display for GraphError {
             }
             GraphError::EmptyLog => write!(f, "event log has no traces"),
             GraphError::Csv { line, message } => write!(f, "CSV line {line}: {message}"),
+            GraphError::CorruptCsr { message } => write!(f, "corrupt CSR parts: {message}"),
         }
     }
 }

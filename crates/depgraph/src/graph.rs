@@ -180,13 +180,31 @@ impl DependencyGraph {
         node_freq: Vec<f64>,
         edges: &[(usize, usize, f64)],
     ) -> Self {
+        let mut table = SymbolTable::new();
+        Self::from_parts_in(names, node_freq, edges, &mut table)
+    }
+
+    /// Like [`from_parts`](Self::from_parts), but interns labels into a
+    /// shared (typically session-owned) `table` — the parts-level analogue
+    /// of [`from_log_in`](Self::from_log_in), used when rehydrating graphs
+    /// from durable snapshots inside a session.
+    ///
+    /// # Panics
+    ///
+    /// Panics when shapes disagree or an edge endpoint is out of range. Use
+    /// [`try_from_parts_in`](Self::try_from_parts_in) for untrusted inputs.
+    pub fn from_parts_in(
+        names: Vec<String>,
+        node_freq: Vec<f64>,
+        edges: &[(usize, usize, f64)],
+        table: &mut SymbolTable,
+    ) -> Self {
         assert_eq!(names.len(), node_freq.len());
         let n = names.len();
-        let mut table = SymbolTable::new();
         let syms = names.iter().map(|name| table.intern(name)).collect();
         let mut g = DependencyGraph {
             syms,
-            table: Arc::new(table),
+            table: Arc::new(table.clone()),
             node_freq,
             pre: vec![Vec::new(); n + 1],
             post: vec![Vec::new(); n + 1],
@@ -219,6 +237,18 @@ impl DependencyGraph {
         node_freq: Vec<f64>,
         edges: &[(usize, usize, f64)],
     ) -> Result<Self, GraphError> {
+        let mut table = SymbolTable::new();
+        Self::try_from_parts_in(names, node_freq, edges, &mut table)
+    }
+
+    /// Validating variant of [`from_parts_in`](Self::from_parts_in): the
+    /// shared-table analogue of [`try_from_parts`](Self::try_from_parts).
+    pub fn try_from_parts_in(
+        names: Vec<String>,
+        node_freq: Vec<f64>,
+        edges: &[(usize, usize, f64)],
+        table: &mut SymbolTable,
+    ) -> Result<Self, GraphError> {
         if names.len() != node_freq.len() {
             return Err(GraphError::ShapeMismatch {
                 names: names.len(),
@@ -250,7 +280,7 @@ impl DependencyGraph {
                 });
             }
         }
-        Ok(Self::from_parts(names, node_freq, edges))
+        Ok(Self::from_parts_in(names, node_freq, edges, table))
     }
 
     /// Checks the frequency-labeling invariants of Definition 1: every node
@@ -670,6 +700,23 @@ mod tests {
             g1.fingerprint(),
             DependencyGraph::from_log(&other).fingerprint()
         );
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_fingerprint() {
+        let g = DependencyGraph::from_log(&figure1_l1());
+        let names: Vec<String> = g.real_nodes().map(|v| g.name(v).to_owned()).collect();
+        let freqs: Vec<f64> = g.real_nodes().map(|v| g.node_frequency(v)).collect();
+        let edges: Vec<(usize, usize, f64)> = g
+            .real_edges()
+            .into_iter()
+            .map(|(a, b, f)| (a.index(), b.index(), f))
+            .collect();
+        let mut table = SymbolTable::new();
+        table.intern("unrelated-session-symbol");
+        let rebuilt = DependencyGraph::from_parts_in(names, freqs, &edges, &mut table);
+        assert_eq!(rebuilt, g);
+        assert_eq!(rebuilt.fingerprint(), g.fingerprint());
     }
 
     #[test]

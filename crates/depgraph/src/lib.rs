@@ -57,7 +57,7 @@ mod metrics;
 mod obs;
 
 pub use ancestors::{ancestor_sets, descendant_sets};
-pub use csr::{NeighborCsr, ARTIFICIAL_ENTRY};
+pub use csr::{CsrParts, NeighborCsr, ARTIFICIAL_ENTRY};
 pub use dot::to_dot;
 pub use error::GraphError;
 pub use filter::filter_min_frequency;

@@ -21,6 +21,8 @@
 //! | `Graph`      | 7    | dependency-graph construction/validation error |
 //! | `Assignment` | 8    | correspondence-selection failure               |
 //! | `Internal`   | 9    | invariant violation — a bug, please report     |
+//! | `StoreCorrupt` | 10 | catalog snapshot failed checksum/validation    |
+//! | `StoreIo`    | 11   | catalog store I/O failed after retries         |
 //!
 //! Exit code 1 is deliberately unused so `EmsError` failures are
 //! distinguishable from generic shell/panic failures.
@@ -55,6 +57,11 @@ pub enum EmsError {
     Assignment { message: String },
     /// Broken internal invariant: a bug in this workspace, not bad input.
     Internal { message: String },
+    /// A durable catalog snapshot failed checksum or structural
+    /// validation; the entry was (or should be) quarantined and rebuilt.
+    StoreCorrupt { path: String, message: String },
+    /// Catalog store I/O failed even after transient-fault retries.
+    StoreIo { path: String, message: String },
 }
 
 impl EmsError {
@@ -69,6 +76,8 @@ impl EmsError {
             EmsError::Graph { .. } => 7,
             EmsError::Assignment { .. } => 8,
             EmsError::Internal { .. } => 9,
+            EmsError::StoreCorrupt { .. } => 10,
+            EmsError::StoreIo { .. } => 11,
         }
     }
 
@@ -83,6 +92,8 @@ impl EmsError {
             EmsError::Graph { .. } => "graph",
             EmsError::Assignment { .. } => "assignment",
             EmsError::Internal { .. } => "internal",
+            EmsError::StoreCorrupt { .. } => "store-corrupt",
+            EmsError::StoreIo { .. } => "store-io",
         }
     }
 
@@ -103,6 +114,22 @@ impl EmsError {
     /// Convenience constructor for [`EmsError::Io`].
     pub fn io(path: impl Into<String>, message: impl Into<String>) -> Self {
         EmsError::Io {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`EmsError::StoreCorrupt`].
+    pub fn store_corrupt(path: impl Into<String>, message: impl Into<String>) -> Self {
+        EmsError::StoreCorrupt {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for [`EmsError::StoreIo`].
+    pub fn store_io(path: impl Into<String>, message: impl Into<String>) -> Self {
+        EmsError::StoreIo {
             path: path.into(),
             message: message.into(),
         }
@@ -131,6 +158,18 @@ impl fmt::Display for EmsError {
             EmsError::Assignment { message } => write!(f, "assignment error: {message}"),
             EmsError::Internal { message } => {
                 write!(f, "internal error (this is a bug): {message}")
+            }
+            EmsError::StoreCorrupt { path, message } if path.is_empty() => {
+                write!(f, "store corruption: {message}")
+            }
+            EmsError::StoreCorrupt { path, message } => {
+                write!(f, "store corruption: {path}: {message}")
+            }
+            EmsError::StoreIo { path, message } if path.is_empty() => {
+                write!(f, "store io error: {message}")
+            }
+            EmsError::StoreIo { path, message } => {
+                write!(f, "store io error: {path}: {message}")
             }
         }
     }
@@ -175,6 +214,8 @@ mod tests {
                 message: "m".into(),
             },
             EmsError::internal("m"),
+            EmsError::store_corrupt("p", "m"),
+            EmsError::store_io("p", "m"),
         ]
     }
 

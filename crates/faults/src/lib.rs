@@ -1,0 +1,551 @@
+#![forbid(unsafe_code)]
+//! Deterministic, seeded fault injection for the matching pipeline.
+//!
+//! Storage fails in ugly ways — torn writes, short reads, `ENOSPC`,
+//! transient I/O errors — and a serving system must recover from each of
+//! them without panicking and without changing its answers. This crate
+//! provides the reproducible half of that contract:
+//!
+//! * a [`FaultPlan`] is a finite schedule of faults, derived entirely
+//!   from a `u64` seed ([`FaultPlan::generate`]) — the same seed always
+//!   produces the same faults at the same operation counts, so every
+//!   chaos-test failure is replayable from its seed alone;
+//! * a [`FaultInjector`] arms a plan: instrumented code asks
+//!   [`FaultInjector::next_op`] at each fault site (store write, fsync,
+//!   rename, read; ingest and solve stage boundaries) and receives the
+//!   scheduled [`FaultKind`], if any, for that site's current operation
+//!   index;
+//! * [`run_with_retry`] retries transient faults under a [`RetryPolicy`]
+//!   whose exponential backoff is *virtual*: delays are seeded,
+//!   deterministic numbers recorded in telemetry, never slept — chaos
+//!   sweeps stay fast and bit-reproducible, and no wall clock is read.
+//!
+//! The injector is deliberately oblivious to what the faults *mean*; the
+//! store and session layers decide whether a given kind is survivable
+//! (retry), degradable (rebuild from source), or terminal (typed error).
+
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+// ems-lint: allow(wall-clock-randomness, fault plans are pure functions of their seed; this crate exists to make failure schedules reproducible)
+use ems_rng::StdRng;
+use std::sync::Mutex;
+
+/// An instrumented point in the pipeline where a fault can surface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultSite {
+    /// Stage boundary: log ingestion / model building.
+    Ingest,
+    /// Writing snapshot bytes to a temp file.
+    StoreWrite,
+    /// Flushing a snapshot (file or directory fsync).
+    StoreFsync,
+    /// The atomic rename that commits a snapshot.
+    StoreRename,
+    /// Reading a snapshot back.
+    StoreRead,
+    /// Stage boundary: the fixpoint solve.
+    Solve,
+}
+
+impl FaultSite {
+    /// Every site, in deterministic order.
+    pub const ALL: [FaultSite; 6] = [
+        FaultSite::Ingest,
+        FaultSite::StoreWrite,
+        FaultSite::StoreFsync,
+        FaultSite::StoreRename,
+        FaultSite::StoreRead,
+        FaultSite::Solve,
+    ];
+
+    /// Dense index for per-site operation counters.
+    pub fn index(self) -> usize {
+        match self {
+            FaultSite::Ingest => 0,
+            FaultSite::StoreWrite => 1,
+            FaultSite::StoreFsync => 2,
+            FaultSite::StoreRename => 3,
+            FaultSite::StoreRead => 4,
+            FaultSite::Solve => 5,
+        }
+    }
+
+    /// Stable lowercase name (telemetry labels, error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::Ingest => "ingest",
+            FaultSite::StoreWrite => "store-write",
+            FaultSite::StoreFsync => "store-fsync",
+            FaultSite::StoreRename => "store-rename",
+            FaultSite::StoreRead => "store-read",
+            FaultSite::Solve => "solve",
+        }
+    }
+}
+
+/// What kind of failure is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The write stops partway: only `keep_permille`/1000 of the bytes
+    /// reach the file. Models a crash or partial flush mid-write.
+    TornWrite {
+        /// Fraction of the payload that survives, in permille (0..=999).
+        keep_permille: u16,
+    },
+    /// A read returns fewer bytes than the file holds.
+    ShortRead {
+        /// Fraction of the file that is returned, in permille (0..=999).
+        keep_permille: u16,
+    },
+    /// `ENOSPC`-style hard failure: the device rejects the operation and
+    /// retrying will not help.
+    NoSpace,
+    /// A transient I/O error that a retry is expected to clear.
+    TransientIo,
+    /// Mid-solve resource exhaustion: the run's budget runs out and the
+    /// engine must degrade to closed-form estimation.
+    BudgetExhaust,
+}
+
+impl FaultKind {
+    /// Whether a retry of the same operation is expected to succeed.
+    pub fn is_transient(self) -> bool {
+        matches!(self, FaultKind::TransientIo)
+    }
+
+    /// Stable lowercase name (telemetry labels, error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::TornWrite { .. } => "torn-write",
+            FaultKind::ShortRead { .. } => "short-read",
+            FaultKind::NoSpace => "no-space",
+            FaultKind::TransientIo => "transient-io",
+            FaultKind::BudgetExhaust => "budget-exhaust",
+        }
+    }
+}
+
+/// One scheduled fault: at `site`, on that site's `op`-th operation
+/// (0-based), inject `kind`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedFault {
+    /// Where the fault fires.
+    pub site: FaultSite,
+    /// Zero-based operation index at that site.
+    pub op: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A reproducible schedule of faults, fully determined by its seed.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// The seed this plan was generated from (0 for [`FaultPlan::none`]).
+    pub seed: u64,
+    /// The scheduled faults, sorted by `(site, op)`.
+    pub faults: Vec<PlannedFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults ever fire.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Derives a plan of one to three faults from `seed`. The mapping is
+    /// pure: equal seeds yield equal plans on every platform, so a chaos
+    /// failure is replayed by its seed alone. Kinds are drawn only from
+    /// those meaningful at the chosen site (e.g. [`FaultKind::ShortRead`]
+    /// only at [`FaultSite::StoreRead`], [`FaultKind::BudgetExhaust`]
+    /// only at [`FaultSite::Solve`]), and early operation indices are
+    /// preferred so short pipelines still reach the faults.
+    pub fn generate(seed: u64) -> Self {
+        // ems-lint: allow(wall-clock-randomness, seeded plan generation: the schedule is a pure function of the seed)
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = rng.gen_range(1..=3usize);
+        let mut faults: Vec<PlannedFault> = Vec::new();
+        for _ in 0..count {
+            // Store sites are listed twice: persistence faults are the
+            // interesting bulk of the matrix, stage faults the seasoning.
+            const WEIGHTED: [FaultSite; 10] = [
+                FaultSite::Ingest,
+                FaultSite::StoreWrite,
+                FaultSite::StoreWrite,
+                FaultSite::StoreFsync,
+                FaultSite::StoreFsync,
+                FaultSite::StoreRename,
+                FaultSite::StoreRename,
+                FaultSite::StoreRead,
+                FaultSite::StoreRead,
+                FaultSite::Solve,
+            ];
+            let site = WEIGHTED[rng.gen_range(0..WEIGHTED.len())];
+            let op = rng.gen_range(0..4u64);
+            let kind = match site {
+                FaultSite::Ingest => match rng.gen_range(0..2u8) {
+                    0 => FaultKind::TransientIo,
+                    _ => FaultKind::NoSpace,
+                },
+                FaultSite::StoreWrite => match rng.gen_range(0..3u8) {
+                    0 => FaultKind::TornWrite {
+                        keep_permille: rng.gen_range(0..=999u16),
+                    },
+                    1 => FaultKind::NoSpace,
+                    _ => FaultKind::TransientIo,
+                },
+                FaultSite::StoreFsync | FaultSite::StoreRename => match rng.gen_range(0..2u8) {
+                    0 => FaultKind::NoSpace,
+                    _ => FaultKind::TransientIo,
+                },
+                FaultSite::StoreRead => match rng.gen_range(0..2u8) {
+                    0 => FaultKind::ShortRead {
+                        keep_permille: rng.gen_range(0..=999u16),
+                    },
+                    _ => FaultKind::TransientIo,
+                },
+                FaultSite::Solve => FaultKind::BudgetExhaust,
+            };
+            if !faults.iter().any(|f| f.site == site && f.op == op) {
+                faults.push(PlannedFault { site, op, kind });
+            }
+        }
+        faults.sort_by_key(|f| (f.site, f.op));
+        FaultPlan { seed, faults }
+    }
+
+    /// Whether the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+/// An armed [`FaultPlan`]: counts operations per site and reports which
+/// scheduled faults fire. Thread-safe via interior mutability so one
+/// injector can be shared (`Arc`) between a store and a session.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    ops: Mutex<[u64; FaultSite::ALL.len()]>,
+    fired: Mutex<Vec<PlannedFault>>,
+}
+
+/// Recovers the guarded value even if a panicking thread poisoned the
+/// lock — fault bookkeeping must never compound a failure.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl FaultInjector {
+    /// Arms a plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            ops: Mutex::new([0; FaultSite::ALL.len()]),
+            fired: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// An injector that never fires — the production default.
+    pub fn inert() -> Self {
+        FaultInjector::new(FaultPlan::none())
+    }
+
+    /// The armed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Registers one operation at `site` and returns the fault scheduled
+    /// for that operation index, if any. Every instrumented operation —
+    /// including retries — must call this exactly once, so a transient
+    /// fault is naturally cleared by the retry advancing the counter.
+    pub fn next_op(&self, site: FaultSite) -> Option<FaultKind> {
+        let op = {
+            let mut ops = lock(&self.ops);
+            let op = ops[site.index()];
+            ops[site.index()] += 1;
+            op
+        };
+        let hit = self
+            .plan
+            .faults
+            .iter()
+            .find(|f| f.site == site && f.op == op)
+            .map(|f| f.kind);
+        if let Some(kind) = hit {
+            lock(&self.fired).push(PlannedFault { site, op, kind });
+        }
+        hit
+    }
+
+    /// Operations counted at `site` so far.
+    pub fn ops_at(&self, site: FaultSite) -> u64 {
+        lock(&self.ops)[site.index()]
+    }
+
+    /// The faults that have actually fired, in firing order.
+    pub fn fired(&self) -> Vec<PlannedFault> {
+        lock(&self.fired).clone()
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::inert()
+    }
+}
+
+/// Retry policy for transient faults. Backoff is *virtual*: delays are
+/// deterministic seeded numbers for telemetry and tests, never slept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Base virtual backoff in microseconds; attempt `k` backs off
+    /// `base << k` plus seeded jitter.
+    pub base_us: u64,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_us: 100,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Virtual backoff before retrying after failed attempt `attempt`
+    /// (0-based): exponential in the attempt with seeded jitter, a pure
+    /// function of `(seed, attempt)`.
+    pub fn backoff_us(&self, attempt: u32) -> u64 {
+        // ems-lint: allow(wall-clock-randomness, jitter is a pure function of (policy seed, attempt) — recorded, never slept)
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (u64::from(attempt) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let base = self.base_us.saturating_mul(1u64 << attempt.min(16));
+        base.saturating_add(rng.gen_range(0..=self.base_us.max(1)))
+    }
+}
+
+/// The result of [`run_with_retry`]: the final outcome plus how much
+/// retrying it took.
+#[derive(Debug)]
+pub struct RetryOutcome<T, E> {
+    /// The last attempt's result.
+    pub result: Result<T, E>,
+    /// Attempts performed (1 = first try succeeded or failed terminally).
+    pub attempts: u32,
+    /// Total virtual backoff accumulated across retries, in microseconds.
+    pub backoff_us: u64,
+}
+
+/// Runs `op` up to `policy.max_attempts` times, retrying only failures
+/// `is_transient` accepts and accumulating virtual backoff between
+/// attempts. `op` receives the 0-based attempt index.
+pub fn run_with_retry<T, E>(
+    policy: &RetryPolicy,
+    is_transient: impl Fn(&E) -> bool,
+    mut op: impl FnMut(u32) -> Result<T, E>,
+) -> RetryOutcome<T, E> {
+    let max = policy.max_attempts.max(1);
+    let mut backoff_us = 0u64;
+    let mut attempt = 0u32;
+    loop {
+        match op(attempt) {
+            Ok(v) => {
+                return RetryOutcome {
+                    result: Ok(v),
+                    attempts: attempt + 1,
+                    backoff_us,
+                }
+            }
+            Err(e) if attempt + 1 < max && is_transient(&e) => {
+                backoff_us = backoff_us.saturating_add(policy.backoff_us(attempt));
+                attempt += 1;
+            }
+            Err(e) => {
+                return RetryOutcome {
+                    result: Err(e),
+                    attempts: attempt + 1,
+                    backoff_us,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        for seed in 0..200u64 {
+            let a = FaultPlan::generate(seed);
+            let b = FaultPlan::generate(seed);
+            assert_eq!(a, b, "seed {seed} not reproducible");
+            assert!(!a.is_empty(), "seed {seed} produced an empty plan");
+            assert!(a.faults.len() <= 3);
+        }
+        assert_ne!(FaultPlan::generate(1), FaultPlan::generate(2));
+    }
+
+    #[test]
+    fn plans_are_sorted_and_deduplicated() {
+        for seed in 0..500u64 {
+            let plan = FaultPlan::generate(seed);
+            for w in plan.faults.windows(2) {
+                assert!(
+                    (w[0].site, w[0].op) < (w[1].site, w[1].op),
+                    "seed {seed}: unsorted or duplicate (site, op)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kinds_match_their_sites() {
+        for seed in 0..500u64 {
+            for f in FaultPlan::generate(seed).faults {
+                let ok = match f.site {
+                    FaultSite::Ingest => {
+                        matches!(f.kind, FaultKind::TransientIo | FaultKind::NoSpace)
+                    }
+                    FaultSite::StoreWrite => matches!(
+                        f.kind,
+                        FaultKind::TornWrite { .. } | FaultKind::NoSpace | FaultKind::TransientIo
+                    ),
+                    FaultSite::StoreFsync | FaultSite::StoreRename => {
+                        matches!(f.kind, FaultKind::NoSpace | FaultKind::TransientIo)
+                    }
+                    FaultSite::StoreRead => {
+                        matches!(f.kind, FaultKind::ShortRead { .. } | FaultKind::TransientIo)
+                    }
+                    FaultSite::Solve => matches!(f.kind, FaultKind::BudgetExhaust),
+                };
+                assert!(ok, "seed {seed}: {f:?} at wrong site");
+            }
+        }
+    }
+
+    #[test]
+    fn injector_fires_at_scheduled_op_only() {
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![PlannedFault {
+                site: FaultSite::StoreWrite,
+                op: 2,
+                kind: FaultKind::NoSpace,
+            }],
+        };
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.next_op(FaultSite::StoreWrite), None);
+        assert_eq!(inj.next_op(FaultSite::StoreRead), None);
+        assert_eq!(inj.next_op(FaultSite::StoreWrite), None);
+        assert_eq!(inj.next_op(FaultSite::StoreWrite), Some(FaultKind::NoSpace));
+        assert_eq!(inj.next_op(FaultSite::StoreWrite), None);
+        assert_eq!(inj.ops_at(FaultSite::StoreWrite), 4);
+        assert_eq!(inj.fired().len(), 1);
+    }
+
+    #[test]
+    fn transient_fault_clears_on_retry() {
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![PlannedFault {
+                site: FaultSite::StoreRead,
+                op: 0,
+                kind: FaultKind::TransientIo,
+            }],
+        };
+        let inj = FaultInjector::new(plan);
+        let policy = RetryPolicy::default();
+        let out = run_with_retry(
+            &policy,
+            |k: &FaultKind| k.is_transient(),
+            |_| match inj.next_op(FaultSite::StoreRead) {
+                Some(k) => Err(k),
+                None => Ok(42),
+            },
+        );
+        assert_eq!(out.result, Ok(42));
+        assert_eq!(out.attempts, 2);
+        assert!(out.backoff_us > 0);
+    }
+
+    #[test]
+    fn terminal_fault_is_not_retried() {
+        let plan = FaultPlan {
+            seed: 0,
+            faults: vec![PlannedFault {
+                site: FaultSite::StoreWrite,
+                op: 0,
+                kind: FaultKind::NoSpace,
+            }],
+        };
+        let inj = FaultInjector::new(plan);
+        let out = run_with_retry(
+            &RetryPolicy::default(),
+            |k: &FaultKind| k.is_transient(),
+            |_| match inj.next_op(FaultSite::StoreWrite) {
+                Some(k) => Err(k),
+                None => Ok(()),
+            },
+        );
+        assert_eq!(out.result, Err(FaultKind::NoSpace));
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.backoff_us, 0);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_grows() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_us(0), p.backoff_us(0));
+        assert_eq!(p.backoff_us(3), p.backoff_us(3));
+        assert!(p.backoff_us(4) > p.backoff_us(0));
+        let other = RetryPolicy {
+            seed: 999,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(p.backoff_us(0), other.backoff_us(0));
+    }
+
+    #[test]
+    fn retry_exhaustion_returns_last_error() {
+        let out = run_with_retry(
+            &RetryPolicy {
+                max_attempts: 3,
+                ..RetryPolicy::default()
+            },
+            |_: &&str| true,
+            |attempt| -> Result<(), &str> {
+                assert!(attempt < 3);
+                Err("still down")
+            },
+        );
+        assert_eq!(out.result, Err("still down"));
+        assert_eq!(out.attempts, 3);
+    }
+
+    #[test]
+    fn inert_injector_never_fires() {
+        let inj = FaultInjector::inert();
+        for site in FaultSite::ALL {
+            for _ in 0..10 {
+                assert_eq!(inj.next_op(site), None);
+            }
+        }
+        assert!(inj.fired().is_empty());
+    }
+}

@@ -83,6 +83,12 @@ impl LabelMatrix {
     pub fn cols(&self) -> usize {
         self.cols
     }
+
+    /// The raw row-major similarity data (serialization edge; round-trips
+    /// through [`try_from_raw`](Self::try_from_raw)).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
 }
 
 #[cfg(test)]

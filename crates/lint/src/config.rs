@@ -69,7 +69,9 @@ pub const ACCUMULATION_WATCHED: &[&str] = &[
 
 /// `nondeterminism` watched crates: everything whose output feeds
 /// reported similarity/matching results (including `synth`, whose outputs
-/// must be reproducible from the seed alone).
+/// must be reproducible from the seed alone, and `store`/`faults`, whose
+/// snapshot bytes and fault schedules must be pure functions of content
+/// and seed).
 pub const NONDET_CRATES: &[&str] = &[
     "core",
     "depgraph",
@@ -81,6 +83,8 @@ pub const NONDET_CRATES: &[&str] = &[
     "eval",
     "synth",
     "obs",
+    "store",
+    "faults",
 ];
 
 /// `wall-clock-randomness` watched crates: result-producing code may not
@@ -91,6 +95,10 @@ pub const NONDET_CRATES: &[&str] = &[
 /// `allow(wall-clock-randomness, ...)` with a reason — timing stays
 /// quarantined in the span `dur_us` field, which every deterministic
 /// export redacts.
+/// `store` participates so snapshot bytes can never depend on when they
+/// were written; `faults` participates so its seeded plan/backoff RNG must
+/// carry audited `allow(wall-clock-randomness, ...)` suppressions proving
+/// the schedule is a pure function of the seed.
 pub const CLOCK_CRATES: &[&str] = &[
     "core",
     "depgraph",
@@ -101,6 +109,8 @@ pub const CLOCK_CRATES: &[&str] = &[
     "xes",
     "eval",
     "obs",
+    "store",
+    "faults",
 ];
 
 /// `wall-clock-randomness` exempt files: the timing infrastructure itself.

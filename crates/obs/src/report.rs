@@ -48,6 +48,7 @@ pub fn render(records: &[Record]) -> String {
     render_graphs(&mut out, records);
     render_phases(&mut out, records);
     render_convergence(&mut out, records);
+    render_store(&mut out, records);
     render_events(&mut out, records);
     render_counters(&mut out, records);
     out
@@ -204,6 +205,19 @@ fn render_curve(out: &mut String, iters: &[&IterationRecord]) {
     }
 }
 
+/// Durable-store behavior: cache hits/misses, quarantines, retries and
+/// failures recorded by the catalog store (`store.*` counters).
+fn render_store(out: &mut String, records: &[Record]) {
+    let tallies = counter_tallies(records, |n| n.starts_with("store."));
+    if tallies.is_empty() {
+        return;
+    }
+    out.push_str("\nDurable store\n-------------\n");
+    for (key, count) in tallies {
+        out.push_str(&format!("  {key:<48} {count}\n"));
+    }
+}
+
 fn render_events(out: &mut String, records: &[Record]) {
     let events: Vec<&Record> = records
         .iter()
@@ -221,7 +235,10 @@ fn render_events(out: &mut String, records: &[Record]) {
 }
 
 fn render_counters(out: &mut String, records: &[Record]) {
-    let rest = counter_tallies(records, |n| !n.starts_with("xes_warnings"));
+    // `xes_warnings` and `store.*` already have their own sections.
+    let rest = counter_tallies(records, |n| {
+        !n.starts_with("xes_warnings") && !n.starts_with("store.")
+    });
     if rest.is_empty() {
         return;
     }

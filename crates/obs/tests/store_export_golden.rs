@@ -1,0 +1,121 @@
+//! Golden test pinning the exact bytes the durable-store counters produce
+//! in the Prometheus export and the run report. The record sequence mirrors
+//! what `ems-store` emits during a match that hits, misses, retries,
+//! quarantines and fails — downstream dashboards key on these exact names,
+//! so they change only with a deliberate schema bump.
+
+use ems_obs::record::{labels, Record};
+use ems_obs::{prom, report};
+
+/// One record per store counter class, in store emission order.
+fn store_fixture() -> Vec<Record> {
+    vec![
+        Record::Counter {
+            name: "store.write".into(),
+            labels: labels(&[("kind", "graph")]),
+            value: 2,
+        },
+        Record::Counter {
+            name: "store.write".into(),
+            labels: labels(&[("kind", "substrate")]),
+            value: 2,
+        },
+        Record::Counter {
+            name: "store.cache".into(),
+            labels: labels(&[("result", "miss"), ("kind", "labels")]),
+            value: 1,
+        },
+        Record::Counter {
+            name: "store.cache".into(),
+            labels: labels(&[("result", "hit"), ("kind", "graph")]),
+            value: 2,
+        },
+        Record::Counter {
+            name: "store.retry".into(),
+            labels: vec![],
+            value: 1,
+        },
+        Record::Counter {
+            name: "store.read_failure".into(),
+            labels: labels(&[("kind", "labels")]),
+            value: 1,
+        },
+        Record::Counter {
+            name: "store.quarantine".into(),
+            labels: labels(&[("kind", "substrate")]),
+            value: 1,
+        },
+        Record::Counter {
+            name: "store.write_failure".into(),
+            labels: labels(&[("kind", "labels")]),
+            value: 1,
+        },
+        Record::Event {
+            name: "store.quarantine".into(),
+            attrs: labels(&[
+                ("entry", "substrate-00deadbeef015bad.snap"),
+                ("reason", "checksum mismatch"),
+            ]),
+        },
+    ]
+}
+
+#[test]
+fn prom_export_is_byte_exact() {
+    let got = prom::write_deterministic(&store_fixture());
+    let want = concat!(
+        "# TYPE ems_store_cache counter\n",
+        "ems_store_cache{kind=\"graph\",result=\"hit\"} 2\n",
+        "ems_store_cache{kind=\"labels\",result=\"miss\"} 1\n",
+        "# TYPE ems_store_quarantine counter\n",
+        "ems_store_quarantine{kind=\"substrate\"} 1\n",
+        "# TYPE ems_store_quarantine_events counter\n",
+        "ems_store_quarantine_events{entry=\"substrate-00deadbeef015bad.snap\",reason=\"checksum mismatch\"} 1\n",
+        "# TYPE ems_store_read_failure counter\n",
+        "ems_store_read_failure{kind=\"labels\"} 1\n",
+        "# TYPE ems_store_retry counter\n",
+        "ems_store_retry 1\n",
+        "# TYPE ems_store_write counter\n",
+        "ems_store_write{kind=\"graph\"} 2\n",
+        "ems_store_write{kind=\"substrate\"} 2\n",
+        "# TYPE ems_store_write_failure counter\n",
+        "ems_store_write_failure{kind=\"labels\"} 1\n",
+    );
+    assert_eq!(got, want);
+}
+
+#[test]
+fn report_renders_a_durable_store_section() {
+    let text = report::render(&store_fixture());
+    // The store counters get their own section…
+    let section = text
+        .split("Durable store\n-------------\n")
+        .nth(1)
+        .expect("report has a Durable store section");
+    let section: Vec<&str> = section
+        .lines()
+        .take_while(|l| l.starts_with("  "))
+        .collect();
+    assert_eq!(
+        section,
+        vec![
+            "  store.cache{result=hit, kind=graph}              2",
+            "  store.cache{result=miss, kind=labels}            1",
+            "  store.quarantine{kind=substrate}                 1",
+            "  store.read_failure{kind=labels}                  1",
+            "  store.retry                                      1",
+            "  store.write_failure{kind=labels}                 1",
+            "  store.write{kind=graph}                          2",
+            "  store.write{kind=substrate}                      2",
+        ],
+    );
+    // …and are excluded from the catch-all Counters section.
+    assert!(!text.contains("\nCounters\n"), "{text}");
+    // The quarantine event still shows in the Events section.
+    assert!(
+        text.contains(
+            "store.quarantine{entry=substrate-00deadbeef015bad.snap, reason=checksum mismatch}"
+        ),
+        "{text}"
+    );
+}

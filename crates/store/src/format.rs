@@ -1,0 +1,338 @@
+//! The on-disk snapshot format: one self-validating binary envelope per
+//! catalog entry.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic "EMSSNAP1"
+//!      8     4  format_version (this module's FORMAT_VERSION)
+//!     12     1  kind tag (SnapshotKind)
+//!     13     4  payload_version (the payload codec's version)
+//!     17     8  key (the entry's store key)
+//!     25     8  payload_len
+//!     33     8  checksum: FNV-1a 64 over bytes 8..33 and the payload
+//!     41     …  payload
+//! ```
+//!
+//! Every field after the magic participates in the checksum, so a flipped
+//! kind tag, a truncation, or a stray byte in the payload all surface as
+//! [`SnapshotError::ChecksumMismatch`] (or an earlier structural error).
+//! The key is embedded so a snapshot renamed over another entry's path is
+//! detected even though both files are individually well-formed.
+
+use std::fmt;
+
+/// File magic: identifies an ems-store snapshot, version-agnostic.
+pub const MAGIC: &[u8; 8] = b"EMSSNAP1";
+
+/// Version of this envelope layout.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Envelope header length in bytes (magic through checksum).
+pub const HEADER_LEN: usize = 41;
+
+/// What a snapshot holds. The tag byte is part of the envelope, so a
+/// payload can never be decoded as the wrong kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SnapshotKind {
+    /// An ingested event log (full alphabet + traces).
+    Log,
+    /// A dependency graph (names, frequencies, real edges).
+    Graph,
+    /// An engine substrate (distances + CSR neighbor structures).
+    Substrate,
+    /// A label similarity matrix.
+    Labels,
+}
+
+impl SnapshotKind {
+    /// Every kind, in tag order.
+    pub const ALL: [SnapshotKind; 4] = [
+        SnapshotKind::Log,
+        SnapshotKind::Graph,
+        SnapshotKind::Substrate,
+        SnapshotKind::Labels,
+    ];
+
+    /// The envelope tag byte.
+    pub fn tag(self) -> u8 {
+        match self {
+            SnapshotKind::Log => 1,
+            SnapshotKind::Graph => 2,
+            SnapshotKind::Substrate => 3,
+            SnapshotKind::Labels => 4,
+        }
+    }
+
+    /// Parses a tag byte.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(SnapshotKind::Log),
+            2 => Some(SnapshotKind::Graph),
+            3 => Some(SnapshotKind::Substrate),
+            4 => Some(SnapshotKind::Labels),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase name (file-name prefix, telemetry label).
+    pub fn name(self) -> &'static str {
+        match self {
+            SnapshotKind::Log => "log",
+            SnapshotKind::Graph => "graph",
+            SnapshotKind::Substrate => "substrate",
+            SnapshotKind::Labels => "labels",
+        }
+    }
+
+    /// Parses a file-name prefix.
+    pub fn from_name(name: &str) -> Option<Self> {
+        SnapshotKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// The decoded envelope header of one snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotHeader {
+    /// What the payload holds.
+    pub kind: SnapshotKind,
+    /// The entry's store key.
+    pub key: u64,
+    /// Payload codec version.
+    pub payload_version: u32,
+    /// Payload length in bytes.
+    pub payload_len: u64,
+}
+
+/// Why a snapshot failed to decode. Every variant means the entry is
+/// corrupt and must be quarantined; none is retryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Shorter than a full header, or shorter than the declared payload.
+    Truncated {
+        /// Bytes present.
+        len: usize,
+        /// Bytes required.
+        need: usize,
+    },
+    /// The magic bytes are wrong — not an ems-store snapshot at all.
+    BadMagic,
+    /// Unknown envelope format version.
+    BadFormatVersion(u32),
+    /// Unknown kind tag byte.
+    BadKind(u8),
+    /// Trailing bytes after the declared payload.
+    TrailingBytes(usize),
+    /// The checksum over header + payload does not match.
+    ChecksumMismatch {
+        /// Checksum stored in the envelope.
+        stored: u64,
+        /// Checksum computed from the bytes present.
+        computed: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Truncated { len, need } => {
+                write!(f, "truncated snapshot: {len} bytes, need {need}")
+            }
+            SnapshotError::BadMagic => write!(f, "bad magic: not an ems-store snapshot"),
+            SnapshotError::BadFormatVersion(v) => write!(f, "unknown snapshot format version {v}"),
+            SnapshotError::BadKind(t) => write!(f, "unknown snapshot kind tag {t}"),
+            SnapshotError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after declared payload")
+            }
+            SnapshotError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// FNV-1a 64 — same constants as `ems_events::Fnv1a`, reimplemented here
+/// so the store stays payload-agnostic (it never depends on data crates).
+fn fnv1a(chunks: &[&[u8]]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x1000_0000_01b3;
+    let mut h = OFFSET;
+    for chunk in chunks {
+        for &b in *chunk {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// Encodes `payload` into a full snapshot file image.
+pub fn encode_snapshot(
+    kind: SnapshotKind,
+    key: u64,
+    payload_version: u32,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut head = Vec::with_capacity(HEADER_LEN + payload.len());
+    head.extend_from_slice(MAGIC);
+    head.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    head.push(kind.tag());
+    head.extend_from_slice(&payload_version.to_le_bytes());
+    head.extend_from_slice(&key.to_le_bytes());
+    head.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    let checksum = fnv1a(&[&head[8..], payload]);
+    head.extend_from_slice(&checksum.to_le_bytes());
+    head.extend_from_slice(payload);
+    head
+}
+
+fn le_u32(b: &[u8], at: usize) -> u32 {
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&b[at..at + 4]);
+    u32::from_le_bytes(buf)
+}
+
+fn le_u64(b: &[u8], at: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&b[at..at + 8]);
+    u64::from_le_bytes(buf)
+}
+
+/// Decodes and fully validates a snapshot file image, returning the
+/// header and a view of the payload.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<(SnapshotHeader, &[u8]), SnapshotError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(SnapshotError::Truncated {
+            len: bytes.len(),
+            need: HEADER_LEN,
+        });
+    }
+    if &bytes[..8] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let format_version = le_u32(bytes, 8);
+    if format_version != FORMAT_VERSION {
+        return Err(SnapshotError::BadFormatVersion(format_version));
+    }
+    let kind = SnapshotKind::from_tag(bytes[12]).ok_or(SnapshotError::BadKind(bytes[12]))?;
+    let payload_version = le_u32(bytes, 13);
+    let key = le_u64(bytes, 17);
+    let payload_len = le_u64(bytes, 25);
+    let stored = le_u64(bytes, 33);
+    let need = HEADER_LEN.saturating_add(usize::try_from(payload_len).unwrap_or(usize::MAX));
+    if bytes.len() < need {
+        return Err(SnapshotError::Truncated {
+            len: bytes.len(),
+            need,
+        });
+    }
+    if bytes.len() > need {
+        return Err(SnapshotError::TrailingBytes(bytes.len() - need));
+    }
+    let payload = &bytes[HEADER_LEN..];
+    let computed = fnv1a(&[&bytes[8..33], payload]);
+    if computed != stored {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+    Ok((
+        SnapshotHeader {
+            kind,
+            key,
+            payload_version,
+            payload_len,
+        },
+        payload,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let payload = b"hello snapshot";
+        let bytes = encode_snapshot(SnapshotKind::Graph, 0xDEAD_BEEF, 3, payload);
+        let (head, body) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(head.kind, SnapshotKind::Graph);
+        assert_eq!(head.key, 0xDEAD_BEEF);
+        assert_eq!(head.payload_version, 3);
+        assert_eq!(head.payload_len, payload.len() as u64);
+        assert_eq!(body, payload);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let bytes = encode_snapshot(SnapshotKind::Labels, 1, 1, &[]);
+        let (head, body) = decode_snapshot(&bytes).unwrap();
+        assert_eq!(head.payload_len, 0);
+        assert!(body.is_empty());
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let bytes = encode_snapshot(SnapshotKind::Log, 42, 1, b"payload bytes here");
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0x01;
+            assert!(
+                decode_snapshot(&bad).is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let bytes = encode_snapshot(SnapshotKind::Substrate, 7, 2, b"0123456789");
+        for n in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..n]).is_err(),
+                "truncation to {n} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut bytes = encode_snapshot(SnapshotKind::Log, 7, 1, b"x");
+        bytes.push(0);
+        assert_eq!(
+            decode_snapshot(&bytes),
+            Err(SnapshotError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for kind in SnapshotKind::ALL {
+            assert_eq!(SnapshotKind::from_tag(kind.tag()), Some(kind));
+            assert_eq!(SnapshotKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(SnapshotKind::from_tag(0), None);
+        assert_eq!(SnapshotKind::from_tag(99), None);
+        assert_eq!(SnapshotKind::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn errors_render_one_line() {
+        let errs = [
+            SnapshotError::Truncated { len: 1, need: 41 },
+            SnapshotError::BadMagic,
+            SnapshotError::BadFormatVersion(9),
+            SnapshotError::BadKind(9),
+            SnapshotError::TrailingBytes(3),
+            SnapshotError::ChecksumMismatch {
+                stored: 1,
+                computed: 2,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().contains('\n'));
+        }
+    }
+}

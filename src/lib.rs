@@ -21,6 +21,9 @@ pub use ems_depgraph as depgraph;
 pub use ems_error as error;
 pub use ems_eval as eval;
 pub use ems_events as events;
+pub use ems_faults as faults;
 pub use ems_labels as labels;
+pub use ems_obs as obs;
+pub use ems_store as store;
 pub use ems_synth as synth;
 pub use ems_xes as xes;
