@@ -238,6 +238,8 @@ fn do_match(args: &MatchArgs) -> Result<(), EmsError> {
         alpha: args.alpha,
         c: args.c,
         threads: args.threads,
+        sparse_delta: args.sparse_delta,
+        sparse_warmup: args.sparse_warmup,
         ..EmsParams::default()
     };
     if let Some(i) = args.estimate {
@@ -397,6 +399,8 @@ mod tests {
             recover: false,
             budget: None,
             threads: 0,
+            sparse_delta: None,
+            sparse_warmup: 2,
             quiet: true,
             trace: None,
             metrics: None,
@@ -426,6 +430,8 @@ mod tests {
             recover: false,
             budget: None,
             threads: 0,
+            sparse_delta: None,
+            sparse_warmup: 2,
             quiet: true,
             trace: None,
             metrics: None,
@@ -455,6 +461,8 @@ mod tests {
             recover: false,
             budget: None,
             threads: 0,
+            sparse_delta: None,
+            sparse_warmup: 2,
             quiet: true,
             trace: Some(trace_path.clone()),
             metrics: Some(metrics_path.clone()),
@@ -516,6 +524,8 @@ mod tests {
                 ..Default::default()
             }),
             threads: 0,
+            sparse_delta: None,
+            sparse_warmup: 2,
             quiet: true,
             trace: None,
             metrics: None,
@@ -575,6 +585,8 @@ mod tests {
             recover: false,
             budget: None,
             threads: 0,
+            sparse_delta: None,
+            sparse_warmup: 2,
             quiet: true,
             trace: None,
             metrics: None,

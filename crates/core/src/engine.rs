@@ -22,23 +22,132 @@ use crate::bounds::pair_upper_bound;
 use crate::error::CoreError;
 use crate::estimate::extrapolate;
 use crate::kernel::{
-    eval_chunk, resolve_threads, transpose_into, ActivePair, DenseScratch, PairEval, H_INFINITE,
+    eval_chunk, resolve_threads, transpose_into, ActivePair, DenseScratch, PairContext, PairEval,
+    H_INFINITE,
 };
 use crate::numeric::NeumaierSum;
 use crate::params::{Direction, EmsParams};
 use crate::sim::SimMatrix;
+use crate::sim_sparse::SparseSim;
 use crate::substrate::EngineSubstrate;
 use ems_depgraph::{DependencyGraph, Distance, NodeId};
 use ems_labels::LabelMatrix;
 use ems_obs::{IterationRecord, Recorder};
-use std::sync::{Arc, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 pub use crate::stats::{Budget, PhaseTimes, RunOptions, RunOutput, RunStats, Seed};
 
-/// Below this many active pairs an iteration runs serially even when more
-/// threads are available — spawn overhead would dominate the update.
-const PAR_MIN_PAIRS: usize = 4096;
+/// Size-aware shard granularity: a parallel shard never covers fewer than
+/// this many active pairs. Below the floor an iteration uses fewer shards
+/// (down to one, i.e. fully serial) — synchronization overhead would
+/// otherwise dominate the update.
+const PAIRS_PER_SHARD_FLOOR: usize = 4096;
+
+/// Shared per-iteration state of the persistent worker pool — everything a
+/// shard evaluation reads, behind one `RwLock`. The main thread holds the
+/// write lock through an iteration's serial sections (retirement,
+/// substrate refresh, scatter, swap) and releases it only for the
+/// evaluation window, during which every pool member — main included —
+/// takes a read lock and evaluates its own shard.
+struct PoolState {
+    /// The iterate being read as `prev` during an evaluation window (the
+    /// swap with `next` happens under the write lock).
+    current: SimMatrix,
+    /// Active-pair worklist, ascending in `k` and shrink-only.
+    work: Vec<ActivePair>,
+    /// Dense-substrate buffers (the evaluation input when `use_dense`).
+    scratch: DenseScratch,
+    /// Transposed `prev` for the sparse path (when `!use_dense` and no
+    /// CSR substrate was built).
+    prev_t: Vec<f64>,
+    /// CSR of the transposed `prev` — the post-warm-up substrate of
+    /// δ-sparsified runs ([`EmsParams::sparse_delta`]). Always built at
+    /// `δ = 0` from the already-sparsified `current`, so reading it is
+    /// bit-identical to reading the dense transpose.
+    csr: Option<SparseSim>,
+    /// Which evaluation substrate this iteration's shards read.
+    use_dense: bool,
+    /// Shard layout of the current evaluation window.
+    chunk_size: usize,
+    shards: usize,
+}
+
+/// One pool member's private output slot: the shard's new values, its max
+/// delta, and a captured panic payload re-raised on the main thread.
+#[derive(Default)]
+struct PoolSlot {
+    buf: Vec<f64>,
+    delta: f64,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Evaluates pool member `w`'s shard of the current window into `buf`,
+/// returning the shard's max delta. Members beyond the window's shard
+/// count have nothing to do this round.
+fn eval_shard(
+    ctx: &PairContext,
+    labels: &LabelMatrix,
+    alpha: f64,
+    st: &PoolState,
+    w: usize,
+    buf: &mut Vec<f64>,
+) -> f64 {
+    let start = w * st.chunk_size;
+    if w >= st.shards || start >= st.work.len() {
+        buf.clear();
+        return 0.0;
+    }
+    let end = (start + st.chunk_size).min(st.work.len());
+    let eval = if st.use_dense {
+        st.scratch.as_eval()
+    } else if let Some(csr) = &st.csr {
+        PairEval::Csr { prev_t: csr }
+    } else {
+        PairEval::Sparse { prev_t: &st.prev_t }
+    };
+    eval_chunk(
+        ctx,
+        st.current.data(),
+        &eval,
+        labels,
+        alpha,
+        &st.work[start..end],
+        buf,
+    )
+}
+
+/// One pool member's work inside an evaluation window: read-lock the
+/// state, evaluate the member's shard into its slot. Panics are captured
+/// into the slot instead of unwinding — a pool member that blew through a
+/// barrier would deadlock the others, so the main thread re-raises the
+/// payload after the window closes.
+fn run_shard(
+    state: &RwLock<PoolState>,
+    slot: &Mutex<PoolSlot>,
+    ctx: &PairContext,
+    labels: &LabelMatrix,
+    alpha: f64,
+    w: usize,
+) {
+    let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+    let PoolSlot { buf, delta, panic } = &mut *guard;
+    match catch_unwind(AssertUnwindSafe(|| {
+        let st = state.read().unwrap_or_else(|e| e.into_inner());
+        eval_shard(ctx, labels, alpha, &st, w, buf)
+    })) {
+        Ok(d) => {
+            *delta = d;
+            *panic = None;
+        }
+        Err(p) => {
+            *delta = 0.0;
+            *panic = Some(p);
+        }
+    }
+}
 
 /// One-direction similarity engine over a fixed pair of dependency graphs.
 ///
@@ -377,7 +486,7 @@ impl<'a> Engine<'a> {
         // ems-lint: allow(wall-clock-randomness, phase timing feeds RunStats telemetry only, never similarity values)
         let started = Instant::now();
 
-        let (mut current, frozen) = self.initial_state(options, n1, n2)?;
+        let (current, frozen) = self.initial_state(options, n1, n2)?;
         if n1 == 0 || n2 == 0 {
             return Ok(RunOutput {
                 sim: current,
@@ -436,7 +545,6 @@ impl<'a> Engine<'a> {
         // ems-lint: allow(wall-clock-randomness, phase timing feeds RunStats telemetry only, never similarity values)
         let exact_started = Instant::now();
         let mut exhausted = false;
-        let mut bufs: Vec<Vec<f64>> = Vec::new();
         // Per-iteration evaluation substrates (see the `kernel` module
         // docs): dense inner-maxima tables while the worklist covers most
         // of the grid, a transposed `prev` copy for the sparse per-pair
@@ -453,217 +561,337 @@ impl<'a> Engine<'a> {
                     .iter()
                     .all(|v| v.is_finite() && v.is_sign_positive())
             });
+        // Dense-substrate buffers persist on the engine across runs; a
+        // concurrent run on the same engine loses the `try_lock` race and
+        // works with (and discards) a fresh local set.
         let mut scratch_guard = self.scratch.try_lock();
-        let mut local_scratch = DenseScratch::default();
-        let dense_scratch: &mut DenseScratch = match scratch_guard {
-            Ok(ref mut g) => g,
-            Err(_) => &mut local_scratch,
+        let scratch_taken = match scratch_guard {
+            Ok(ref mut g) => std::mem::take(&mut **g),
+            Err(_) => DenseScratch::default(),
         };
-        let mut prev_t: Vec<f64> = Vec::new();
         // The unseeded initial matrix is all zeros, so the first fill's
         // products are all zero — the substrate can be zeroed wholesale.
         let mut prev_known_zero = options.seed.is_none();
-        for i in 1..=exact_rounds {
-            // Budget check between iterations: the previous iteration's swap
-            // has happened, so `current`/`next` are in the same consistent
-            // state the estimation phase expects.
-            if options
-                .budget
-                .exhausted(stats.iterations, stats.formula_evals, started)
-            {
-                if let Some(rec) = options.recorder.as_deref() {
-                    rec.event("budget.exhausted", self.engine_attrs());
-                }
-                exhausted = true;
-                break;
+
+        // Persistent worker pool, spawned once around the whole iteration
+        // loop (the seed of this module respawned scoped threads every
+        // iteration). Sized by the largest shard count any iteration can
+        // use — worklists only shrink, so `pool` never under-provisions.
+        // Protocol per parallel iteration: the main thread publishes the
+        // iteration state (release the write lock), crosses the start
+        // barrier, evaluates its own shard, crosses the finish barrier,
+        // and re-acquires the write lock to scatter. Serial iterations
+        // never touch the barriers — workers stay parked at the start
+        // barrier. Shutdown raises `done` and crosses the start barrier
+        // one final time.
+        let pool = threads
+            .min(work.len().div_ceil(PAIRS_PER_SHARD_FLOOR))
+            .max(1);
+        let state = RwLock::new(PoolState {
+            current,
+            work,
+            scratch: scratch_taken,
+            prev_t: Vec::new(),
+            csr: None,
+            use_dense: false,
+            chunk_size: 0,
+            shards: 1,
+        });
+        let slots: Vec<Mutex<PoolSlot>> =
+            (0..pool).map(|_| Mutex::new(PoolSlot::default())).collect();
+        let barrier = Barrier::new(pool);
+        let done = AtomicBool::new(false);
+        let ctx = &self.substrate.ctx;
+        let labels = self.labels;
+
+        let main_panic = std::thread::scope(|scope| {
+            for (w, slot) in slots.iter().enumerate().skip(1) {
+                let state = &state;
+                let barrier = &barrier;
+                let done = &done;
+                scope.spawn(move || loop {
+                    barrier.wait();
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    run_shard(state, slot, ctx, labels, alpha, w);
+                    barrier.wait();
+                });
             }
-            let i_h = u32::try_from(i).unwrap_or(H_INFINITE);
-            if p.pruning && min_h < i_h {
-                // Retire pairs past their horizon. Both buffers must agree
-                // on a retired pair's value so the Jacobi swap never
-                // resurfaces a stale one — sync `next` once, here.
-                let cur_data = current.data();
-                let next_data = next.data_mut();
-                let mut remaining_min = H_INFINITE;
-                work.retain(|ap| {
-                    if ap.h < i_h {
-                        next_data[ap.k as usize] = cur_data[ap.k as usize];
-                        retired_count += 1;
-                        if track_bounds {
-                            retired_sum.add(cur_data[ap.k as usize]);
+            // Any panic escaping the loop body is caught here so the pool
+            // can always be woken and shut down before it propagates —
+            // a straight unwind past parked workers would deadlock the
+            // scope join. Shard panics are re-raised inside the loop (in a
+            // serial section), so an escaped panic always finds the
+            // workers parked at the start barrier.
+            let mut main_loop = || {
+                for i in 1..=exact_rounds {
+                    // Budget check between iterations: the previous
+                    // iteration's swap has happened, so `current`/`next`
+                    // are in the consistent state estimation expects.
+                    if options
+                        .budget
+                        .exhausted(stats.iterations, stats.formula_evals, started)
+                    {
+                        if let Some(rec) = options.recorder.as_deref() {
+                            rec.event("budget.exhausted", self.engine_attrs());
                         }
-                        false
+                        exhausted = true;
+                        break;
+                    }
+                    let mut st = state.write().unwrap_or_else(|e| e.into_inner());
+                    if let Some(dlt) = p.sparse_delta {
+                        if dlt > 0.0 && i > p.sparse_warmup {
+                            // δ-sparsification (post-warm-up): drop pairs
+                            // whose score *and* Proposition-2 upper bound
+                            // are both below δ to an exact zero and retire
+                            // them. A dropped pair under-reports by < δ;
+                            // one fixpoint step propagates at most α·c of
+                            // a neighbor's error, so any score's
+                            // steady-state error is bounded by δ/(1−α·c)
+                            // (see the sparse-similarity module docs). The
+                            // zero is synced into both Jacobi buffers and
+                            // contributes nothing to the abort average —
+                            // exactly its new fixed value.
+                            let stm = &mut *st;
+                            let before = stm.work.len();
+                            let cur_data = stm.current.data_mut();
+                            let next_data = next.data_mut();
+                            let mut remaining_min = H_INFINITE;
+                            stm.work.retain(|ap| {
+                                let k = ap.k as usize;
+                                let v = cur_data[k];
+                                if v < dlt
+                                    && pair_upper_bound(v, i - 1, distance_of(ap.h), alpha, p.c)
+                                        < dlt
+                                {
+                                    cur_data[k] = 0.0;
+                                    next_data[k] = 0.0;
+                                    false
+                                } else {
+                                    remaining_min = remaining_min.min(ap.h);
+                                    true
+                                }
+                            });
+                            min_h = remaining_min;
+                            stats.sparsified_pairs += (before - stm.work.len()) as u64;
+                        }
+                    }
+                    let i_h = u32::try_from(i).unwrap_or(H_INFINITE);
+                    if p.pruning && min_h < i_h {
+                        // Retire pairs past their horizon. Both buffers
+                        // must agree on a retired pair's value so the
+                        // Jacobi swap never resurfaces a stale one — sync
+                        // `next` once, here.
+                        let stm = &mut *st;
+                        let cur_data = stm.current.data();
+                        let next_data = next.data_mut();
+                        let mut remaining_min = H_INFINITE;
+                        stm.work.retain(|ap| {
+                            if ap.h < i_h {
+                                next_data[ap.k as usize] = cur_data[ap.k as usize];
+                                retired_count += 1;
+                                if track_bounds {
+                                    retired_sum.add(cur_data[ap.k as usize]);
+                                }
+                                false
+                            } else {
+                                remaining_min = remaining_min.min(ap.h);
+                                true
+                            }
+                        });
+                        min_h = remaining_min;
+                    }
+                    // Same per-iteration accounting as the seed kernel's
+                    // full-grid scans, without the scans.
+                    stats.pruned_evals += retired_count;
+                    stats.frozen_evals += frozen_count;
+                    stats.formula_evals += st.work.len() as u64;
+
+                    // Pick the substrate: materializing the dense inner
+                    // maxima costs one full candidate sweep, so it only
+                    // pays while the worklist still covers a sizable
+                    // fraction of the grid.
+                    {
+                        let stm = &mut *st;
+                        let sparse_mode = p.sparse_delta.is_some() && i > p.sparse_warmup;
+                        if sparse_mode {
+                            // Post-warm-up CSR substrate: the dropped
+                            // pairs are exact zeros in `current`, so the
+                            // δ=0 build is a lossless compression — the
+                            // evaluation stays bit-identical to the dense
+                            // transpose while the working set shrinks to
+                            // O(nnz).
+                            let csr = SparseSim::from_dense_transposed(&stm.current, 0.0);
+                            stm.csr = Some(csr);
+                            stm.use_dense = false;
+                        } else if dense_available && stm.work.len() * 4 >= n1 * n2 {
+                            if prev_known_zero {
+                                ctx.dense_fill_zero(&mut stm.scratch);
+                            } else {
+                                ctx.dense_fill(stm.current.data(), &mut stm.scratch);
+                            }
+                            stm.use_dense = true;
+                            stm.csr = None;
+                        } else {
+                            stm.prev_t.resize(n1 * n2, 0.0);
+                            transpose_into(stm.current.data(), n1, n2, &mut stm.prev_t);
+                            stm.use_dense = false;
+                            stm.csr = None;
+                        }
+                        // Size-aware shard granularity: never split below
+                        // the pairs-per-shard floor.
+                        let shards = pool
+                            .min(stm.work.len().div_ceil(PAIRS_PER_SHARD_FLOOR))
+                            .max(1);
+                        stm.shards = shards;
+                        stm.chunk_size = stm.work.len().div_ceil(shards).max(1);
+                    }
+                    let shards = st.shards;
+                    let chunk_size = st.chunk_size;
+                    stats.pool_shards = stats.pool_shards.max(shards as u64);
+                    let delta = if shards <= 1 {
+                        // Serial window under the write lock: the whole
+                        // worklist is shard 0 of a one-shard layout.
+                        let mut guard0 = slots[0].lock().unwrap_or_else(|e| e.into_inner());
+                        let PoolSlot { buf, .. } = &mut *guard0;
+                        let d = eval_shard(ctx, labels, alpha, &st, 0, buf);
+                        let next_data = next.data_mut();
+                        for (ap, &value) in st.work.iter().zip(buf.iter()) {
+                            next_data[ap.k as usize] = value;
+                        }
+                        d
                     } else {
-                        remaining_min = remaining_min.min(ap.h);
-                        true
-                    }
-                });
-                min_h = remaining_min;
-            }
-            // Same per-iteration accounting as the seed kernel's full-grid
-            // scans, without the scans.
-            stats.pruned_evals += retired_count;
-            stats.frozen_evals += frozen_count;
-            stats.formula_evals += work.len() as u64;
+                        // Parallel window. Each member writes a private
+                        // slot; the scatter below is serial, so no two
+                        // members ever share a destination. Determinism:
+                        // per-pair values depend only on `prev`, and the
+                        // delta reduction is an exact max.
+                        drop(st);
+                        barrier.wait();
+                        run_shard(&state, &slots[0], ctx, labels, alpha, 0);
+                        barrier.wait();
+                        st = state.write().unwrap_or_else(|e| e.into_inner());
+                        let next_data = next.data_mut();
+                        let mut delta = 0.0_f64;
+                        for (w, slot) in slots.iter().take(shards).enumerate() {
+                            let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+                            if let Some(payload) = guard.panic.take() {
+                                resume_unwind(payload);
+                            }
+                            delta = delta.max(guard.delta);
+                            let start = w * chunk_size;
+                            let end = (start + chunk_size).min(st.work.len());
+                            for (ap, &value) in st.work[start..end].iter().zip(guard.buf.iter()) {
+                                next_data[ap.k as usize] = value;
+                            }
+                        }
+                        delta
+                    };
 
-            // Pick the substrate: materializing the dense inner maxima
-            // costs one full candidate sweep, so it only pays while the
-            // worklist still covers a sizable fraction of the grid.
-            let eval = if dense_available && work.len() * 4 >= n1 * n2 {
-                if prev_known_zero {
-                    self.substrate.ctx.dense_fill_zero(dense_scratch);
-                } else {
-                    self.substrate.ctx.dense_fill(current.data(), dense_scratch);
-                }
-                dense_scratch.as_eval()
-            } else {
-                prev_t.resize(n1 * n2, 0.0);
-                transpose_into(current.data(), n1, n2, &mut prev_t);
-                PairEval::Sparse { prev_t: &prev_t }
-            };
-            let delta = if threads <= 1 || work.len() < PAR_MIN_PAIRS {
-                // Single-shard run of the same chunk evaluator the
-                // parallel path uses (it tracks pair coordinates
-                // incrementally), then a scatter into `next`.
-                if bufs.is_empty() {
-                    bufs.push(Vec::new());
-                }
-                let prev_data = current.data();
-                let buf = &mut bufs[0];
-                let delta = eval_chunk(
-                    &self.substrate.ctx,
-                    prev_data,
-                    &eval,
-                    self.labels,
-                    alpha,
-                    &work,
-                    buf,
-                );
-                let next_data = next.data_mut();
-                for (ap, &value) in work.iter().zip(buf.iter()) {
-                    next_data[ap.k as usize] = value;
-                }
-                delta
-            } else {
-                // Shard the worklist into contiguous chunks, one scoped
-                // thread each. Each chunk writes a private buffer; the
-                // scatter below is serial, so no two threads ever share a
-                // destination. Determinism: per-pair values depend only on
-                // `prev`, and the delta reduction is an exact max.
-                let t_eff = threads.min(work.len());
-                if bufs.len() < t_eff {
-                    bufs.resize_with(t_eff, Vec::new);
-                }
-                let chunk_size = work.len().div_ceil(t_eff);
-                let prev_data = current.data();
-                let eval = &eval;
-                let ctx = &self.substrate.ctx;
-                let labels = self.labels;
-                let delta = std::thread::scope(|scope| {
-                    let mut handles = Vec::with_capacity(t_eff);
-                    for (chunk, buf) in work.chunks(chunk_size).zip(bufs.iter_mut()) {
-                        handles.push(scope.spawn(move || {
-                            eval_chunk(ctx, prev_data, eval, labels, alpha, chunk, buf)
-                        }));
+                    std::mem::swap(&mut st.current, &mut next);
+                    stats.iterations = i;
+                    prev_known_zero = false;
+
+                    if let Some(rec) = options.recorder.as_deref() {
+                        // After the swap `next` holds the previous iterate
+                        // for every active pair (retired pairs were synced
+                        // at retirement), so the mean delta can be taken
+                        // here without touching the hot loop. Summation
+                        // runs over the worklist in ascending pair order
+                        // with Neumaier compensation — the same order and
+                        // arithmetic the reference kernel's scan uses, so
+                        // the value is bit-identical across kernels and
+                        // thread counts.
+                        let cur_data = st.current.data();
+                        let prev_data = next.data();
+                        let mut delta_sum = NeumaierSum::new();
+                        for ap in &st.work {
+                            delta_sum
+                                .add((cur_data[ap.k as usize] - prev_data[ap.k as usize]).abs());
+                        }
+                        let mean_delta = if st.work.is_empty() {
+                            0.0
+                        } else {
+                            delta_sum.value() / st.work.len() as f64
+                        };
+                        rec.iteration(IterationRecord {
+                            engine: self.engine_label().to_string(),
+                            iteration: i,
+                            max_delta: delta,
+                            mean_delta,
+                            active_pairs: st.work.len(),
+                            retired_pairs: retired_count,
+                            frozen_pairs: frozen_count,
+                            formula_evals: stats.formula_evals,
+                        });
                     }
-                    let mut delta = 0.0_f64;
-                    for handle in handles {
-                        match handle.join() {
-                            Ok(chunk_delta) => delta = delta.max(chunk_delta),
-                            Err(payload) => std::panic::resume_unwind(payload),
+
+                    if let Some(threshold) = options.abort_below {
+                        // Incremental upper-bound average: retired pairs
+                        // carry their (constant) value via `retired_sum`;
+                        // only frozen and active pairs need fresh bound
+                        // terms each round.
+                        let mut acc = retired_sum;
+                        let cur_data = st.current.data();
+                        for &(k, h) in &frozen_bounds {
+                            acc.add(pair_upper_bound(
+                                cur_data[k as usize],
+                                i,
+                                distance_of(h),
+                                alpha,
+                                p.c,
+                            ));
+                        }
+                        for ap in &st.work {
+                            acc.add(pair_upper_bound(
+                                cur_data[ap.k as usize],
+                                i,
+                                distance_of(ap.h),
+                                alpha,
+                                p.c,
+                            ));
+                        }
+                        let upper_avg = acc.value() / (n1 * n2) as f64;
+                        if upper_avg < threshold {
+                            stats.aborted = true;
+                            break;
                         }
                     }
-                    delta
-                });
-                let next_data = next.data_mut();
-                for (chunk, buf) in work.chunks(chunk_size).zip(bufs.iter()) {
-                    for (ap, &value) in chunk.iter().zip(buf) {
-                        next_data[ap.k as usize] = value;
+
+                    if delta < p.epsilon {
+                        break;
                     }
                 }
-                delta
+                stats.phase_times.exact = exact_started.elapsed();
             };
-
-            std::mem::swap(&mut current, &mut next);
-            stats.iterations = i;
-            prev_known_zero = false;
-
-            if let Some(rec) = options.recorder.as_deref() {
-                // After the swap `next` holds the previous iterate for
-                // every active pair (retired pairs were synced at
-                // retirement), so the mean delta can be taken here without
-                // touching the hot loop. Summation runs over the worklist
-                // in ascending pair order with Neumaier compensation — the
-                // same order and arithmetic the reference kernel's scan
-                // uses, so the value is bit-identical across kernels and
-                // thread counts.
-                let cur_data = current.data();
-                let prev_data = next.data();
-                let mut delta_sum = NeumaierSum::new();
-                for ap in &work {
-                    delta_sum.add((cur_data[ap.k as usize] - prev_data[ap.k as usize]).abs());
-                }
-                let mean_delta = if work.is_empty() {
-                    0.0
-                } else {
-                    delta_sum.value() / work.len() as f64
-                };
-                rec.iteration(IterationRecord {
-                    engine: self.engine_label().to_string(),
-                    iteration: i,
-                    max_delta: delta,
-                    mean_delta,
-                    active_pairs: work.len(),
-                    retired_pairs: retired_count,
-                    frozen_pairs: frozen_count,
-                    formula_evals: stats.formula_evals,
-                });
-            }
-
-            if let Some(threshold) = options.abort_below {
-                // Incremental upper-bound average: retired pairs carry
-                // their (constant) value via `retired_sum`; only frozen and
-                // active pairs need fresh bound terms each round.
-                let mut acc = retired_sum;
-                let cur_data = current.data();
-                for &(k, h) in &frozen_bounds {
-                    acc.add(pair_upper_bound(
-                        cur_data[k as usize],
-                        i,
-                        distance_of(h),
-                        alpha,
-                        p.c,
-                    ));
-                }
-                for ap in &work {
-                    acc.add(pair_upper_bound(
-                        cur_data[ap.k as usize],
-                        i,
-                        distance_of(ap.h),
-                        alpha,
-                        p.c,
-                    ));
-                }
-                let upper_avg = acc.value() / (n1 * n2) as f64;
-                if upper_avg < threshold {
-                    stats.aborted = true;
-                    stats.phase_times.exact = exact_started.elapsed();
-                    if let Some(rec) = options.recorder.as_deref() {
-                        rec.event("run.aborted", self.engine_attrs());
-                        self.record_run_summary(rec, &stats);
-                    }
-                    return Ok(RunOutput {
-                        sim: current,
-                        stats,
-                    });
-                }
-            }
-
-            if delta < p.epsilon {
-                break;
-            }
+            let result = catch_unwind(AssertUnwindSafe(&mut main_loop));
+            done.store(true, Ordering::Release);
+            barrier.wait();
+            result.err()
+        });
+        if let Some(payload) = main_panic {
+            resume_unwind(payload);
         }
-        stats.phase_times.exact = exact_started.elapsed();
+        let PoolState {
+            mut current,
+            scratch: scratch_back,
+            ..
+        } = state.into_inner().unwrap_or_else(|e| e.into_inner());
+        if let Ok(ref mut g) = scratch_guard {
+            **g = scratch_back;
+        }
+
+        if stats.aborted {
+            if let Some(rec) = options.recorder.as_deref() {
+                rec.event("run.aborted", self.engine_attrs());
+                self.record_run_summary(rec, &stats);
+            }
+            return Ok(RunOutput {
+                sim: current,
+                stats,
+            });
+        }
 
         stats.degraded = exhausted;
         let recorder = options.recorder.as_deref();
@@ -1559,7 +1787,7 @@ mod tests {
 
     #[test]
     fn forced_parallel_path_matches_serial_on_small_grid() {
-        // PAR_MIN_PAIRS keeps tiny grids serial; bypass the threshold by
+        // PAIRS_PER_SHARD_FLOOR keeps tiny grids serial; bypass the floor by
         // checking the two thread knobs still agree end to end.
         let g1 = figure2_g1();
         let g2 = figure2_g2();

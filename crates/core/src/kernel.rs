@@ -46,6 +46,7 @@
 //! bit-identical order regardless of substrate or sharding, so results are
 //! bit-identical for every thread count and density threshold.
 
+use crate::sim_sparse::SparseSim;
 use ems_depgraph::{NeighborCsr, ARTIFICIAL_ENTRY};
 use ems_labels::LabelMatrix;
 use std::collections::HashMap;
@@ -60,6 +61,60 @@ const MAX_COMPAT_ENTRIES: usize = 16 << 20;
 /// maxima, 8 bytes each — 32 M entries is 256 MB). Grids too large for
 /// the dense substrate use the sparse per-pair path at every density.
 const MAX_DENSE_ENTRIES: usize = 32 << 20;
+
+/// Fixed unroll width of the kernel's vector lanes: `[f64; 8]` blocks are
+/// one or two SIMD registers on every mainstream target, wide enough to
+/// saturate the autovectorizer without spilling.
+const LANE_WIDTH: usize = 8;
+
+/// Row-tile width of the dense consume: a run of consecutive pairs is
+/// capped at this many columns so the accumulator tile plus the `t12`
+/// rows it streams stay L1-resident across the whole `ents1` walk.
+/// Splitting a run changes no per-pair arithmetic — each column's sum
+/// sees the same terms in the same order — so tiling is bit-invisible.
+const DENSE_TILE: usize = 256;
+
+/// Elementwise `acc[i] += src[i]` in [`LANE_WIDTH`] blocks. The adds are
+/// independent per index (no cross-lane reduction), so the unrolled form
+/// performs the exact scalar operations and stays bit-identical.
+#[inline]
+fn add_assign_lanes(acc: &mut [f64], src: &[f64]) {
+    debug_assert_eq!(acc.len(), src.len());
+    let mut a = acc.chunks_exact_mut(LANE_WIDTH);
+    let mut s = src.chunks_exact(LANE_WIDTH);
+    for (ab, sb) in (&mut a).zip(&mut s) {
+        for (x, &y) in ab.iter_mut().zip(sb) {
+            *x += y;
+        }
+    }
+    for (x, &y) in a.into_remainder().iter_mut().zip(s.remainder()) {
+        *x += y;
+    }
+}
+
+/// Horizontal max of non-negative finite doubles as a `u64` bit pattern,
+/// reduced over [`LANE_WIDTH`] independent accumulators. For strictly
+/// non-negative finite IEEE doubles unsigned bit order equals value
+/// order, and a max fold is order-independent, so the lane-blocked
+/// reduction returns exactly the bit pattern a sequential scan would.
+#[inline]
+fn max_bits_lanes(vals: &[f64]) -> u64 {
+    let mut lanes = [0u64; LANE_WIDTH];
+    let mut chunks = vals.chunks_exact(LANE_WIDTH);
+    for ch in &mut chunks {
+        for (l, &v) in lanes.iter_mut().zip(ch) {
+            *l = (*l).max(v.to_bits());
+        }
+    }
+    let mut best = 0u64;
+    for &v in chunks.remainder() {
+        best = best.max(v.to_bits());
+    }
+    for l in lanes {
+        best = best.max(l);
+    }
+    best
+}
 
 /// The edge-compatibility factor `C(e1, e2) = c·(1 − |Δf|/(f_o + f_i))`
 /// of Definition 2 — the exact expression of the seed kernel, kept in one
@@ -114,6 +169,9 @@ pub(crate) struct DenseScratch {
     /// One `prev` row gathered through side 2's lane sources — shared by
     /// every side-1 lane with the same source node.
     gather: Vec<f64>,
+    /// One lane's candidate products `C · g`, staged so the segmented
+    /// `t12` max reduces over a contiguous buffer in lane blocks.
+    prod: Vec<f64>,
     /// Whether a `t21` row has been written this fill — the first lane of
     /// a node stores instead of max-accumulating, so rows never need
     /// zeroing.
@@ -153,6 +211,15 @@ pub(crate) enum PairEval<'a> {
         t21: &'a [f64],
         /// See [`DenseScratch::zero`].
         zero: bool,
+    },
+    /// Per-pair scans with the swapped orientation reading a CSR of the
+    /// transposed previous matrix instead of a dense transpose. Built at
+    /// `δ = 0` from the (already-sparsified) `prev`, absent entries are
+    /// exact `+0.0` — values the `s_prev <= best` guard skips in every
+    /// substrate — so this path is bit-identical to the others.
+    Csr {
+        /// CSR of the previous matrix's transpose (`n2` rows, `n1` cols).
+        prev_t: &'a SparseSim,
     },
 }
 
@@ -360,28 +427,6 @@ impl PairContext {
         }
     }
 
-    /// Refreshes the dense substrate from `prev` (row-major `n1 × n2`).
-    ///
-    /// One pass over side-1 lanes *grouped by source node*: every lane
-    /// with source `u` weights the same gathered row `g[j] =
-    /// S_prev(u, src2(j))`, so the row is gathered once per source and
-    /// each lane's candidate products `p[j] = C · g[j]` become a purely
-    /// sequential multiply. The products then feed both tables — a
-    /// segmented max per side-2 node fills the lane's `t12` row, and an
-    /// elementwise max into the owning node's `t21` row accumulates the
-    /// swapped orientation. Each candidate is thus computed once and
-    /// consumed twice, where the naive two-pass fill computed it twice
-    /// with a gather each time.
-    ///
-    /// All maxima fold over `u64` bit patterns: the expanded factors are
-    /// validated non-negative at build time and `prev` holds non-negative
-    /// similarities (the engine gates dense mode on the seed), and for
-    /// non-negative IEEE doubles unsigned bit order equals value order.
-    /// `u64::max` is branchless where the float compare-and-branch
-    /// mispredicts heavily once a running max stabilizes, and the max of
-    /// a non-negative set is the same bit pattern in any accumulation
-    /// order — so both tables hold exactly the values the seed kernel's
-    /// `>` scans would produce.
     /// Fills the substrate for an all-zero `prev` — the first iteration of
     /// every unseeded run. Every product `C · S_prev` is zero, so both
     /// tables are zeroed wholesale; one streaming store sweep instead of
@@ -396,6 +441,31 @@ impl PairContext {
         scratch.zero = true;
     }
 
+    /// Refreshes the dense substrate from `prev` (row-major `n1 × n2`).
+    ///
+    /// One pass over side-1 lanes *grouped by source node*: every lane
+    /// with source `u` weights the same gathered row `g[j] =
+    /// S_prev(u, src2(j))`, so the row is gathered once per source. Each
+    /// lane then runs two vector passes over its candidates:
+    ///
+    /// - **Pass A** computes the products `p[j] = C · g[j]` into the
+    ///   staging buffer and elementwise-maxes them into the owning node's
+    ///   `t21` row (the owner's first lane stores outright — products are
+    ///   non-negative, so a store equals a max against zero). The loop has
+    ///   no segment boundaries, so it vectorizes over the full lane range.
+    /// - **Pass B** reduces the staged products per side-2 node segment
+    ///   into the lane's `t12` row via [`max_bits_lanes`] — a
+    ///   [`LANE_WIDTH`]-blocked `u64` bit-pattern max.
+    ///
+    /// Each candidate is thus computed once and consumed twice, and both
+    /// inner loops present the autovectorizer straight-line elementwise
+    /// work. All maxima fold over `u64` bit patterns: the expanded
+    /// factors are validated non-negative at build time and `prev` holds
+    /// non-negative similarities (the engine gates dense mode on the
+    /// seed), and for non-negative IEEE doubles unsigned bit order equals
+    /// value order. The max of a non-negative set is the same bit pattern
+    /// in any accumulation order — so both tables hold exactly the values
+    /// the seed kernel's `>` scans would produce.
     pub fn dense_fill(&self, prev: &[f64], scratch: &mut DenseScratch) {
         let Some(ex) = self.expand.as_deref() else {
             // Guarded by `dense_available` — nothing to fill without the
@@ -405,17 +475,26 @@ impl PairContext {
         let (n1, n2) = (self.csr1.num_nodes(), self.csr2.num_nodes());
         let (l1, l2) = (self.csr1.num_lanes(), self.csr2.num_lanes());
         let src2 = self.csr2.lane_src();
-        scratch.zero = false;
-        scratch.t12.resize(l1 * n2, 0.0);
-        scratch.t21.resize(n1 * l2, 0.0);
-        scratch.gather.resize(l2, 0.0);
-        scratch.row_written.clear();
-        scratch.row_written.resize(n1, false);
+        let DenseScratch {
+            t12,
+            t21,
+            gather,
+            prod,
+            row_written,
+            zero,
+        } = scratch;
+        *zero = false;
+        t12.resize(l1 * n2, 0.0);
+        t21.resize(n1 * l2, 0.0);
+        gather.resize(l2, 0.0);
+        prod.resize(l2, 0.0);
+        row_written.clear();
+        row_written.resize(n1, false);
         // Nodes with no lanes keep an all-zero `t21` row — the value every
         // inner max over an empty candidate set takes.
         for v1 in 0..n1 {
             if self.csr1.lane_range(v1).is_empty() {
-                scratch.t21[v1 * l2..][..l2].fill(0.0);
+                t21[v1 * l2..][..l2].fill(0.0);
             }
         }
         for u in 0..n1 {
@@ -425,47 +504,50 @@ impl PairContext {
                 continue;
             }
             let row = &prev[u * n2..][..n2];
-            for (g, &s) in scratch.gather.iter_mut().zip(src2) {
+            for (g, &s) in gather.iter_mut().zip(src2) {
                 *g = row[s as usize];
             }
             for &e1 in group {
                 let e1 = e1 as usize;
                 let ce = &ex[self.cls1[e1] as usize * l2..][..l2];
-                let gat = &scratch.gather[..l2];
-                // One fused pass per lane: each product `C · g` feeds the
-                // segmented `t12` max (running offset — CSR segments tile
-                // the lane range in order) and the owner's `t21` row in
-                // the same breath, so every candidate is loaded exactly
-                // once. The owner's first lane stores its products
-                // outright (they are non-negative, so the store equals a
-                // max against zero), sparing a zeroing pass and its loads.
-                let out12 = &mut scratch.t12[e1 * n2..][..n2];
+                let gat = &gather[..l2];
+                let stage = &mut prod[..l2];
+                let out12 = &mut t12[e1 * n2..][..n2];
                 let v1o = self.owner1[e1] as usize;
-                let out21 = &mut scratch.t21[v1o * l2..][..l2];
-                let first = !scratch.row_written[v1o];
-                scratch.row_written[v1o] = true;
+                let out21 = &mut t21[v1o * l2..][..l2];
+                let first = !row_written[v1o];
+                row_written[v1o] = true;
+                // Pass A: stage products, accumulate the swapped
+                // orientation. Unsegmented — free to vectorize.
+                if first {
+                    for ((p, o), (&cf, &g)) in stage
+                        .iter_mut()
+                        .zip(out21.iter_mut())
+                        .zip(ce.iter().zip(gat))
+                    {
+                        let v = cf * g;
+                        *p = v;
+                        *o = v;
+                    }
+                } else {
+                    for ((p, o), (&cf, &g)) in stage
+                        .iter_mut()
+                        .zip(out21.iter_mut())
+                        .zip(ce.iter().zip(gat))
+                    {
+                        let v = cf * g;
+                        *p = v;
+                        let s = *o;
+                        *o = if v > s { v } else { s };
+                    }
+                }
+                // Pass B: segmented horizontal max per side-2 node
+                // (running offset — CSR segments tile the lane range in
+                // order), lane-blocked inside each segment.
                 let mut start = 0usize;
                 for (v2, slot) in out12.iter_mut().enumerate() {
                     let end = start + self.csr2.lane_range(v2).len();
-                    let cs = &ce[start..end];
-                    let gs = &gat[start..end];
-                    let os = &mut out21[start..end];
-                    let mut best = 0u64;
-                    if first {
-                        for ((&c, &g), o) in cs.iter().zip(gs).zip(os) {
-                            let p = c * g;
-                            best = best.max(p.to_bits());
-                            *o = p;
-                        }
-                    } else {
-                        for ((&c, &g), o) in cs.iter().zip(gs).zip(os) {
-                            let p = c * g;
-                            best = best.max(p.to_bits());
-                            let s = *o;
-                            *o = if p > s { p } else { s };
-                        }
-                    }
-                    *slot = f64::from_bits(best);
+                    *slot = f64::from_bits(max_bits_lanes(&stage[start..end]));
                     start = end;
                 }
             }
@@ -494,6 +576,13 @@ impl PairContext {
             PairEval::Dense { t12, t21, .. } => (
                 self.one_side_dense(t12, t21, v1, v2, false),
                 self.one_side_dense(t12, t21, v1, v2, true),
+            ),
+            // The plain orientation never touches the transpose (see
+            // `one_side_sparse`), so it runs unchanged against the dense
+            // `prev`; only the swapped orientation goes through the CSR.
+            PairEval::Csr { prev_t } => (
+                self.one_side_sparse(prev, &[], v1, v2, false),
+                self.one_side_csr(prev_t, v1, v2),
             ),
         };
         let value = alpha * (s12 + s21) / 2.0 + (1.0 - alpha) * label;
@@ -561,13 +650,16 @@ impl PairContext {
         sum / entries.len() as f64
     }
 
-    /// Row-oriented dense consume: pairs are processed in maximal runs of
-    /// consecutive `k` within one `v1` row, so the `s(v1, ·)` numerator
-    /// accumulates entry rows of `t12` elementwise (a vectorizable add
-    /// per outer entry, in the same entry order as the pairwise scan
-    /// sums) and all per-`v1` lookups hoist out of the inner loop.
-    /// Retirement gaps only shorten runs — a run of length 1 degenerates
-    /// to exactly the pairwise evaluation.
+    /// Row-oriented dense consume: pairs are processed in runs of
+    /// consecutive `k` within one `v1` row, capped at [`DENSE_TILE`]
+    /// columns so the accumulator tile and the `t12` rows it streams stay
+    /// cache-resident across the whole `ents1` walk. Within a run the
+    /// `s(v1, ·)` numerator accumulates entry rows of `t12` elementwise
+    /// ([`add_assign_lanes`] — independent per-column adds in
+    /// [`LANE_WIDTH`] blocks, in the same entry order as the pairwise
+    /// scan sums) and all per-`v1` lookups hoist out of the inner loop.
+    /// Retirement gaps and tile boundaries only shorten runs — a run of
+    /// length 1 degenerates to exactly the pairwise evaluation.
     /// With `zero` (an all-zero substrate — the first iteration of an
     /// unseeded run), the table reads are skipped outright: every skipped
     /// term is `+ 0.0`, the bitwise identity on the non-negative
@@ -596,7 +688,7 @@ impl PairContext {
             let row_start = v1 * n2;
             let row_end = row_start + n2;
             let mut len = 1usize;
-            while idx + len < chunk.len() {
+            while len < DENSE_TILE && idx + len < chunk.len() {
                 let k = chunk[idx + len].k as usize;
                 if k != k0 + len || k >= row_end {
                     break;
@@ -616,9 +708,7 @@ impl PairContext {
                     }
                 } else if !zero {
                     let trow = &t12[ent as usize * n2 + v2_0..][..len];
-                    for (a, &t) in acc.iter_mut().zip(trow) {
-                        *a += t;
-                    }
+                    add_assign_lanes(acc, trow);
                 }
             }
             let len1 = ents1.len() as f64;
@@ -737,6 +827,75 @@ impl PairContext {
                         let f_o = co.lane_freq()[lane];
                         for (&f_i, &src) in inner_freq.iter().zip(inner_src) {
                             let s_prev = row[src as usize];
+                            if s_prev <= best {
+                                continue;
+                            }
+                            let cand = compat(self.c, f_o, f_i) * s_prev;
+                            if cand > best {
+                                best = cand;
+                            }
+                        }
+                    }
+                }
+                best
+            };
+            // ems-lint: allow(naive-accumulation, must stay bitwise identical to the reference oracle; O(deg) bounded terms in [0,1])
+            sum += best;
+        }
+        sum / entries.len() as f64
+    }
+
+    /// The swapped orientation `s(v2, v1)` against a CSR of the transposed
+    /// previous matrix. Mirrors `one_side_sparse` with `swap = true`,
+    /// fetching each `S_prev` by binary search in the outer node's CSR row
+    /// instead of a dense stride-1 gather. Absent entries read as exact
+    /// `+0.0`, which the `s_prev <= best` guard skips (`best` starts at
+    /// `0.0` and never decreases) just as it skips stored zeros — so the
+    /// sequence of `best` updates, and hence every floating-point result,
+    /// is identical to the dense-transpose scan over the same matrix.
+    fn one_side_csr(&self, prev_t: &SparseSim, v1: usize, v2: usize) -> f64 {
+        let (co, ci) = (&self.csr2, &self.csr1);
+        let entries = co.entries(v2);
+        if entries.is_empty() {
+            return 0.0;
+        }
+        let art_best = self.art_best(v1, v2);
+        let inner = ci.lane_range(v1);
+        let inner_src = &ci.lane_src()[inner.clone()];
+        let inner_cls = &self.cls1[inner.clone()];
+        let inner_freq = &ci.lane_freq()[inner.clone()];
+        let table = self.compat21.as_deref();
+        let mut sum = 0.0;
+        for &ent in entries {
+            let best = if ent == ARTIFICIAL_ENTRY {
+                art_best
+            } else {
+                let lane = ent as usize;
+                let (row_cols, row_vals) = prev_t.row(co.lane_src()[lane] as usize);
+                let fetch = |src: u32| match row_cols.binary_search(&src) {
+                    Ok(i) => row_vals[i],
+                    Err(_) => 0.0,
+                };
+                let mut best = 0.0_f64;
+                match table {
+                    Some(t) => {
+                        let c_row = &t[self.cls2[lane] as usize * self.nc1..][..self.nc1];
+                        for (&cl, &src) in inner_cls.iter().zip(inner_src) {
+                            let s_prev = fetch(src);
+                            if s_prev <= best {
+                                // C < 1, so C * s_prev < s_prev ≤ best.
+                                continue;
+                            }
+                            let cand = c_row[cl as usize] * s_prev;
+                            if cand > best {
+                                best = cand;
+                            }
+                        }
+                    }
+                    None => {
+                        let f_o = co.lane_freq()[lane];
+                        for (&f_i, &src) in inner_freq.iter().zip(inner_src) {
+                            let s_prev = fetch(src);
                             if s_prev <= best {
                                 continue;
                             }
@@ -878,14 +1037,23 @@ mod tests {
             t21: &scratch.t21,
             zero: false,
         };
+        let prev_mat = crate::sim::SimMatrix::from_raw(3, 2, prev.to_vec());
+        let prev_t_csr = SparseSim::from_dense_transposed(&prev_mat, 0.0);
+        let csr = PairEval::Csr {
+            prev_t: &prev_t_csr,
+        };
         for v1 in 0..3 {
             for v2 in 0..2 {
                 let label = labels.get(v1, v2);
                 let a = with.eval_pair(&prev, &sparse, v1, v2, 1.0, label);
                 let b = without.eval_pair(&prev, &sparse, v1, v2, 1.0, label);
                 let c = with.eval_pair(&prev, &dense, v1, v2, 1.0, label);
+                let d = with.eval_pair(&prev, &csr, v1, v2, 1.0, label);
+                let e = without.eval_pair(&prev, &csr, v1, v2, 1.0, label);
                 assert_eq!(a.to_bits(), b.to_bits(), "sparse paths at ({v1},{v2})");
                 assert_eq!(a.to_bits(), c.to_bits(), "dense path at ({v1},{v2})");
+                assert_eq!(a.to_bits(), d.to_bits(), "csr path at ({v1},{v2})");
+                assert_eq!(a.to_bits(), e.to_bits(), "csr fallback at ({v1},{v2})");
             }
         }
     }

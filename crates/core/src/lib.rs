@@ -66,6 +66,7 @@ mod params;
 pub mod persist;
 pub mod session;
 mod sim;
+mod sim_sparse;
 mod stats;
 pub mod substrate;
 
@@ -75,4 +76,5 @@ pub use matcher::{Ems, MatchOutcome};
 pub use params::{Aggregation, Direction, EmsParams};
 pub use session::{LogHandle, MatchSession, SessionOptions, SessionStats};
 pub use sim::SimMatrix;
+pub use sim_sparse::SparseSim;
 pub use substrate::EngineSubstrate;

@@ -155,6 +155,15 @@ pub struct RunStats {
     pub frozen_evals: u64,
     /// Pairs whose final value came from the closed-form estimation.
     pub estimated_pairs: u64,
+    /// Pairs dropped to zero by δ-thresholded sparsification
+    /// ([`crate::EmsParams::sparse_delta`]); `0` when sparsification is
+    /// disabled or never fired.
+    pub sparsified_pairs: u64,
+    /// Largest shard count any iteration's evaluation used — `1` for a
+    /// fully serial run, up to the resolved thread count when the
+    /// worklist stayed above the pairs-per-shard floor. Pool-utilization
+    /// telemetry only; never affects results.
+    pub pool_shards: u64,
     /// Whether the run stopped early due to `abort_below`.
     pub aborted: bool,
     /// Whether a [`Budget`] limit tripped and the run fell back to the
@@ -176,6 +185,8 @@ impl RunStats {
         self.pruned_evals += other.pruned_evals;
         self.frozen_evals += other.frozen_evals;
         self.estimated_pairs += other.estimated_pairs;
+        self.sparsified_pairs += other.sparsified_pairs;
+        self.pool_shards = self.pool_shards.max(other.pool_shards);
         self.aborted |= other.aborted;
         self.degraded |= other.degraded;
         self.phase_times.merge(&other.phase_times);

@@ -60,11 +60,15 @@ pub const FLOAT_ORDERING_EXEMPT: &[&str] = &["crates/core/src/numeric.rs"];
 
 /// `naive-accumulation` watched files: the kernel hot paths whose sums
 /// feed Theorem 1's monotone convergence; everywhere else short f64 sums
-/// are reviewed case by case.
+/// are reviewed case by case. `engine.rs` covers the PR7 worker pool's
+/// shard delta reduction; `sim_sparse.rs` is watched so any future CSR
+/// accumulation (row sums, occupancy-weighted scores) lands under the
+/// same audit as the dense paths it mirrors.
 pub const ACCUMULATION_WATCHED: &[&str] = &[
     "crates/core/src/kernel.rs",
     "crates/core/src/engine.rs",
     "crates/core/src/sim.rs",
+    "crates/core/src/sim_sparse.rs",
 ];
 
 /// `nondeterminism` watched crates: everything whose output feeds
@@ -90,7 +94,10 @@ pub const NONDET_CRATES: &[&str] = &[
 /// `wall-clock-randomness` watched crates: result-producing code may not
 /// read clocks or draw randomness. `synth`/`rng` are excluded (seeded
 /// generation is their purpose); `eval` participates except its dedicated
-/// timer module; `bench`/`cli` are reporting layers. `obs` participates
+/// timer module; `bench`/`cli` are reporting layers (perf_smoke's whole
+/// job is wall-clock timing). `core` participation covers the PR7 worker
+/// pool and sparse kernel: shard scheduling and δ-thresholded drops must
+/// be pure functions of the inputs, never of time or thread races. `obs` participates
 /// so that its two span-timing clock reads must each carry an explicit
 /// `allow(wall-clock-randomness, ...)` with a reason — timing stays
 /// quarantined in the span `dur_us` field, which every deterministic
