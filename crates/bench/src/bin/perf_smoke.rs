@@ -326,6 +326,7 @@ fn dense_size(n: usize, host_parallelism: usize, metrics: &Recorder) -> SizeRepo
         .iter()
         .map(|&t| RunOptions {
             threads: Some(t),
+            oversubscribe: true,
             ..RunOptions::default()
         })
         .collect();
@@ -526,6 +527,7 @@ fn sparse_size(n: usize, metrics: &Recorder) -> SizeReport {
         .iter()
         .map(|&t| RunOptions {
             threads: Some(t),
+            oversubscribe: true,
             ..RunOptions::default()
         })
         .collect();

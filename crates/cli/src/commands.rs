@@ -290,6 +290,14 @@ fn do_match(args: &MatchArgs) -> Result<(), EmsError> {
             ..SessionOptions::default()
         };
         let out = session.match_pair_opts(h1, h2, &options)?;
+        if let Some(c) = out.stats.thread_clamp {
+            eprintln!(
+                "ems: note: --threads {} exceeds the host's {} available \
+                 cores; the pool ran {} wide (results are identical at any \
+                 width)",
+                c.requested, c.clamped_to, c.clamped_to
+            );
+        }
         if out.stats.degraded {
             eprintln!(
                 "ems: note: budget exhausted after {} iterations; {} pairs \

@@ -38,7 +38,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-pub use crate::stats::{Budget, PhaseTimes, RunOptions, RunOutput, RunStats, Seed};
+pub use crate::stats::{Budget, PhaseTimes, RunOptions, RunOutput, RunStats, Seed, ThreadClamp};
 
 /// Size-aware shard granularity: a parallel shard never covers fewer than
 /// this many active pairs. Below the floor an iteration uses fewer shards
@@ -135,6 +135,7 @@ fn run_shard(
     let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
     let PoolSlot { buf, delta, panic } = &mut *guard;
     match catch_unwind(AssertUnwindSafe(|| {
+        // ems-lint: allow(lock-discipline, slot->state nesting is safe: phases are barrier-separated, so the coordinator's state->slot nesting in try_run never runs concurrently with a shard)
         let st = state.read().unwrap_or_else(|e| e.into_inner());
         eval_shard(ctx, labels, alpha, &st, w, buf)
     })) {
@@ -401,7 +402,7 @@ impl<'a> Engine<'a> {
                     best = cand;
                 }
             }
-            // ems-lint: allow(naive-accumulation, seed-kernel arithmetic reproduced bitwise; O(deg) bounded terms in [0,1], drift immaterial)
+            // ems-lint: allow(float-taint, seed-kernel arithmetic reproduced bitwise; O(deg) bounded terms in [0,1], drift immaterial)
             sum += best;
         }
         sum / outer.len() as f64
@@ -496,7 +497,17 @@ impl<'a> Engine<'a> {
         let exact_rounds = self.exact_rounds();
         let mut next = current.clone();
         let alpha = p.alpha;
-        let threads = resolve_threads(options.threads.unwrap_or(p.threads));
+        let (threads, clamp) =
+            resolve_threads(options.threads.unwrap_or(p.threads), options.oversubscribe);
+        if let Some(c) = clamp {
+            stats.thread_clamp = Some(c);
+            if let Some(rec) = options.recorder.as_deref() {
+                let mut attrs = self.engine_attrs();
+                attrs.push(("requested".to_string(), c.requested.to_string()));
+                attrs.push(("clamped_to".to_string(), c.clamped_to.to_string()));
+                rec.event("threads.clamped", attrs);
+            }
+        }
         let track_bounds = options.abort_below.is_some();
 
         // Worklist construction: one pass over the grid classifies every
@@ -753,6 +764,7 @@ impl<'a> Engine<'a> {
                     let delta = if shards <= 1 {
                         // Serial window under the write lock: the whole
                         // worklist is shard 0 of a one-shard layout.
+                        // ems-lint: allow(lock-discipline, state->slot nesting is safe: workers are parked at the barrier during the coordinator's serial window, so run_shard's slot->state nesting cannot interleave)
                         let mut guard0 = slots[0].lock().unwrap_or_else(|e| e.into_inner());
                         let PoolSlot { buf, .. } = &mut *guard0;
                         let d = eval_shard(ctx, labels, alpha, &st, 0, buf);
@@ -1142,7 +1154,6 @@ impl<'a> Engine<'a> {
                 let mut upper_sum = 0.0;
                 for v1 in 0..n1 {
                     for v2 in 0..n2 {
-                        // ems-lint: allow(naive-accumulation, reference oracle preserved verbatim from the seed for differential testing; must not be re-derived)
                         upper_sum += pair_upper_bound(
                             current.get(v1, v2),
                             i,
@@ -1800,10 +1811,53 @@ mod tests {
         });
         let parallel = engine.run(&RunOptions {
             threads: Some(4),
+            oversubscribe: true,
             ..Default::default()
         });
         assert_bit_identical(&serial.sim, &parallel.sim);
         assert_same_work(&serial.stats, &parallel.stats);
+    }
+
+    /// An explicit thread request above host parallelism clamps to the
+    /// host width and records the decision, instead of oversubscribing the
+    /// pool; the `oversubscribe` escape hatch restores the old behavior.
+    /// Either way the similarities are bit-identical — the clamp is a
+    /// scheduling decision, never a results decision.
+    #[test]
+    fn oversized_thread_request_clamps_and_records_warning() {
+        let g1 = figure2_g1();
+        let g2 = figure2_g2();
+        let labels = LabelMatrix::zeros(6, 6);
+        let params = EmsParams::structural();
+        let engine = Engine::new(&g1, &g2, &labels, &params, Direction::Forward);
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let over = host + 3;
+        let clamped = engine.run(&RunOptions {
+            threads: Some(over),
+            ..Default::default()
+        });
+        assert_eq!(
+            clamped.stats.thread_clamp,
+            Some(ThreadClamp {
+                requested: over,
+                clamped_to: host,
+            })
+        );
+        let honored = engine.run(&RunOptions {
+            threads: Some(over),
+            oversubscribe: true,
+            ..Default::default()
+        });
+        assert_eq!(honored.stats.thread_clamp, None);
+        assert_bit_identical(&clamped.sim, &honored.sim);
+        // Requests within the host's width never warn.
+        let within = engine.run(&RunOptions {
+            threads: Some(1),
+            ..Default::default()
+        });
+        assert_eq!(within.stats.thread_clamp, None);
     }
 
     #[test]
@@ -1865,6 +1919,7 @@ mod tests {
                 let opts = RunOptions {
                     recorder: Some(Arc::clone(&rec)),
                     threads: Some(threads),
+                    oversubscribe: true,
                     ..Default::default()
                 };
                 if kernel == "reference" {

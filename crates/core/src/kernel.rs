@@ -47,6 +47,7 @@
 //! bit-identical for every thread count and density threshold.
 
 use crate::sim_sparse::SparseSim;
+use crate::stats::ThreadClamp;
 use ems_depgraph::{NeighborCsr, ARTIFICIAL_ENTRY};
 use ems_labels::LabelMatrix;
 use std::collections::HashMap;
@@ -629,7 +630,7 @@ impl PairContext {
             let l2 = self.csr2.num_lanes();
             let row = &t21[v1 * l2..][..l2];
             for &ent in entries {
-                // ems-lint: allow(naive-accumulation, must stay bitwise identical to the reference oracle; O(deg) bounded terms in [0,1])
+                // ems-lint: allow(float-taint, must stay bitwise identical to the reference oracle; O(deg) bounded terms in [0,1])
                 sum += if ent == ARTIFICIAL_ENTRY {
                     art_best
                 } else {
@@ -639,7 +640,6 @@ impl PairContext {
         } else {
             let n2 = self.csr2.num_nodes();
             for &ent in entries {
-                // ems-lint: allow(naive-accumulation, must stay bitwise identical to the reference oracle; O(deg) bounded terms in [0,1])
                 sum += if ent == ARTIFICIAL_ENTRY {
                     art_best
                 } else {
@@ -729,7 +729,7 @@ impl PairContext {
                 } else {
                     let mut sum = 0.0;
                     for &ent in ents2 {
-                        // ems-lint: allow(naive-accumulation, must stay bitwise identical to the reference oracle; O(deg) bounded terms in [0,1])
+                        // ems-lint: allow(float-taint, must stay bitwise identical to the reference oracle; O(deg) bounded terms in [0,1])
                         sum += if ent == ARTIFICIAL_ENTRY {
                             self.art_best(v1, v2)
                         } else {
@@ -839,7 +839,7 @@ impl PairContext {
                 }
                 best
             };
-            // ems-lint: allow(naive-accumulation, must stay bitwise identical to the reference oracle; O(deg) bounded terms in [0,1])
+            // ems-lint: allow(float-taint, must stay bitwise identical to the reference oracle; O(deg) bounded terms in [0,1])
             sum += best;
         }
         sum / entries.len() as f64
@@ -908,7 +908,7 @@ impl PairContext {
                 }
                 best
             };
-            // ems-lint: allow(naive-accumulation, must stay bitwise identical to the reference oracle; O(deg) bounded terms in [0,1])
+            // ems-lint: allow(float-taint, must stay bitwise identical to the reference oracle; O(deg) bounded terms in [0,1])
             sum += best;
         }
         sum / entries.len() as f64
@@ -974,14 +974,28 @@ pub(crate) fn transpose_into(src: &[f64], n1: usize, n2: usize, dst: &mut [f64])
     }
 }
 
-/// Resolves a thread-count knob: `0` means all available parallelism.
-pub(crate) fn resolve_threads(knob: usize) -> usize {
+/// Resolves a thread-count knob: `0` means all available parallelism,
+/// and an explicit request above host parallelism is clamped (unless
+/// `oversubscribe` opts out) — extra workers on an already-full host only
+/// add scheduling pressure; results are bit-identical at any width. A
+/// clamp is reported so the caller can record the warning in
+/// [`crate::stats::RunStats::thread_clamp`].
+pub(crate) fn resolve_threads(knob: usize, oversubscribe: bool) -> (usize, Option<ThreadClamp>) {
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     if knob == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        (host, None)
+    } else if knob > host && !oversubscribe {
+        (
+            host,
+            Some(ThreadClamp {
+                requested: knob,
+                clamped_to: host,
+            }),
+        )
     } else {
-        knob
+        (knob, None)
     }
 }
 
@@ -1088,7 +1102,34 @@ mod tests {
 
     #[test]
     fn resolve_threads_zero_means_auto() {
-        assert!(resolve_threads(0) >= 1);
-        assert_eq!(resolve_threads(3), 3);
+        let (auto, clamp) = resolve_threads(0, false);
+        assert!(auto >= 1);
+        assert!(clamp.is_none(), "auto-width is never a clamp");
+        // `0` means "all available parallelism" even with the escape hatch.
+        assert_eq!(resolve_threads(0, true), (auto, None));
+    }
+
+    #[test]
+    fn resolve_threads_clamps_oversubscription_and_reports_it() {
+        let host = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        // At or below host parallelism: honored verbatim, no warning.
+        assert_eq!(resolve_threads(1, false), (1, None));
+        assert_eq!(resolve_threads(host, false), (host, None));
+        // Above: clamped, and the clamp names both sides of the decision.
+        let over = host + 7;
+        assert_eq!(
+            resolve_threads(over, false),
+            (
+                host,
+                Some(ThreadClamp {
+                    requested: over,
+                    clamped_to: host,
+                })
+            )
+        );
+        // The opt-out spawns the requested width and reports nothing.
+        assert_eq!(resolve_threads(over, true), (over, None));
     }
 }

@@ -70,11 +70,11 @@ mod sim_sparse;
 mod stats;
 pub mod substrate;
 
-pub use engine::{Budget, PhaseTimes, RunOptions, RunStats};
+pub use engine::{Budget, PhaseTimes, RunOptions, RunStats, ThreadClamp};
 pub use error::CoreError;
 pub use matcher::{Ems, MatchOutcome};
 pub use params::{Aggregation, Direction, EmsParams};
 pub use session::{LogHandle, MatchSession, SessionOptions, SessionStats};
 pub use sim::SimMatrix;
-pub use sim_sparse::SparseSim;
+pub use sim_sparse::{CsrError, SparseSim};
 pub use substrate::EngineSubstrate;

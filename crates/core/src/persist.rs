@@ -550,7 +550,7 @@ pub fn decode_sparse_sim(bytes: &[u8]) -> Result<SparseSim, CoreError> {
     let vals = r.f64_vec()?;
     r.finish()?;
     SparseSim::from_parts(rows, cols, row_off, col_idx, vals)
-        .ok_or_else(|| decode_err("sparse similarity CSR invariants violated"))
+        .map_err(|e| decode_err(format!("sparse similarity CSR rejected: {e}")))
 }
 
 #[cfg(test)]

@@ -107,6 +107,9 @@ pub struct SessionOptions {
     /// Per-call thread-count override; `None` defers to
     /// [`EmsParams::threads`].
     pub threads: Option<usize>,
+    /// Passed through to [`RunOptions::oversubscribe`]: lets an explicit
+    /// thread request exceed host parallelism instead of clamping.
+    pub oversubscribe: bool,
     /// Seed both direction runs from this pair's previous fixpoint when one
     /// of matching shape exists (see the module docs for why this is sound).
     pub warm_start: bool,
@@ -433,6 +436,7 @@ impl MatchSession {
             abort_below: None,
             budget: budget.clone(),
             threads: options.threads,
+            oversubscribe: options.oversubscribe,
             recorder: options.recorder.clone(),
         };
         let (fwd_seed, bwd_seed) = match seed {
@@ -1219,6 +1223,7 @@ mod tests {
         assert_eq!(session.symbols().len(), 9);
         let threads_opts = SessionOptions {
             threads: Some(4),
+            oversubscribe: true,
             ..SessionOptions::default()
         };
         // Thread count does not disturb determinism through the session.

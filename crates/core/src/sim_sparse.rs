@@ -24,6 +24,68 @@
 //! at `δ = 0` to hold warm-start priors losslessly at sparse cost.
 
 use crate::sim::SimMatrix;
+use std::fmt;
+
+/// Why [`SparseSim::from_parts`] rejected a raw CSR triple. Each variant
+/// names one violated invariant and carries enough position detail to
+/// locate the corruption in a persisted payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrError {
+    /// `row_off` must hold exactly `rows + 1` offsets and start at `0`.
+    OffsetShape { rows: usize, len: usize },
+    /// Row offsets must be non-decreasing; row `row`'s start exceeds its end.
+    NonMonotoneOffsets { row: usize },
+    /// The final offset and both entry arrays must agree on `nnz`.
+    LengthMismatch {
+        last_off: usize,
+        cols: usize,
+        vals: usize,
+    },
+    /// A column id in `row` is at or past the declared column count.
+    ColumnOutOfRange { row: usize, col: u32, cols: usize },
+    /// Column ids must be strictly ascending within `row`.
+    UnsortedColumns { row: usize },
+    /// A NaN at entry `index` of `row`: similarity scores are total-ordered
+    /// in `[0, 1]`, so NaN in a payload means corruption, not data.
+    NanScore { row: usize, index: usize },
+}
+
+impl fmt::Display for CsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsrError::OffsetShape { rows, len } => write!(
+                f,
+                "row offsets must hold rows + 1 = {} entries starting at 0, got {len}",
+                rows + 1
+            ),
+            CsrError::NonMonotoneOffsets { row } => {
+                write!(f, "row {row} has non-monotone offsets")
+            }
+            CsrError::LengthMismatch {
+                last_off,
+                cols,
+                vals,
+            } => write!(
+                f,
+                "final offset {last_off} disagrees with {cols} column ids / {vals} values"
+            ),
+            CsrError::ColumnOutOfRange { row, col, cols } => {
+                write!(
+                    f,
+                    "row {row} holds column {col}, but the matrix has {cols} columns"
+                )
+            }
+            CsrError::UnsortedColumns { row } => {
+                write!(f, "row {row}'s column ids are not strictly ascending")
+            }
+            CsrError::NanScore { row, index } => {
+                write!(f, "NaN score at entry {index} of row {row}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
 
 /// A row-major CSR similarity matrix; see the module docs for the two
 /// exactness regimes.
@@ -118,34 +180,58 @@ impl SparseSim {
         }
     }
 
-    /// Rebuilds from raw CSR parts, validating the invariants; used by the
-    /// persist codec.
-    pub(crate) fn from_parts(
+    /// Rebuilds from raw CSR parts — the untrusted edge the persist codec
+    /// decodes through. Every invariant the indexing paths rely on is
+    /// re-validated here (this is the dominating bound check the
+    /// `index-bounds` lint rule keys on), and each rejection names its
+    /// violated invariant; this function never panics on any input.
+    ///
+    /// Unlike the in-memory builds, NaN scores are rejected: `keep` retains
+    /// NaN so a live pathological matrix round-trips through
+    /// [`to_dense`](Self::to_dense), but a NaN arriving from a *payload*
+    /// can only be corruption.
+    pub fn from_parts(
         rows: usize,
         cols: usize,
         row_off: Vec<usize>,
         col_idx: Vec<u32>,
         vals: Vec<f64>,
-    ) -> Option<SparseSim> {
+    ) -> Result<SparseSim, CsrError> {
         if row_off.len() != rows + 1 || row_off.first() != Some(&0) {
-            return None;
+            return Err(CsrError::OffsetShape {
+                rows,
+                len: row_off.len(),
+            });
         }
-        if row_off.windows(2).any(|w| w[0] > w[1]) {
-            return None;
+        if let Some(r) = row_off.windows(2).position(|w| w[0] > w[1]) {
+            return Err(CsrError::NonMonotoneOffsets { row: r });
         }
-        if *row_off.last()? != col_idx.len() || col_idx.len() != vals.len() {
-            return None;
+        let last_off = *row_off.last().unwrap_or(&0);
+        if last_off != col_idx.len() || col_idx.len() != vals.len() {
+            return Err(CsrError::LengthMismatch {
+                last_off,
+                cols: col_idx.len(),
+                vals: vals.len(),
+            });
         }
         for r in 0..rows {
-            let row = &col_idx[row_off[r]..row_off[r + 1]];
-            if row.iter().any(|&c| c as usize >= cols) {
-                return None;
+            let span = row_off[r]..row_off[r + 1];
+            let row = &col_idx[span.clone()];
+            if let Some(&c) = row.iter().find(|&&c| c as usize >= cols) {
+                return Err(CsrError::ColumnOutOfRange {
+                    row: r,
+                    col: c,
+                    cols,
+                });
             }
             if row.windows(2).any(|w| w[0] >= w[1]) {
-                return None;
+                return Err(CsrError::UnsortedColumns { row: r });
+            }
+            if let Some(i) = vals[span].iter().position(|v| v.is_nan()) {
+                return Err(CsrError::NanScore { row: r, index: i });
             }
         }
-        Some(SparseSim {
+        Ok(SparseSim {
             rows,
             cols,
             row_off,
@@ -303,18 +389,56 @@ mod tests {
     }
 
     #[test]
-    fn from_parts_rejects_malformed_csr() {
+    fn from_parts_names_each_rejected_invariant() {
         let ok = SparseSim::from_parts(2, 3, vec![0, 1, 2], vec![1, 0], vec![0.5, 0.25]);
-        assert!(ok.is_some());
-        // Offset length mismatch.
-        assert!(SparseSim::from_parts(2, 3, vec![0, 2], vec![1, 0], vec![0.5, 0.25]).is_none());
-        // Non-monotone offsets.
-        assert!(SparseSim::from_parts(2, 3, vec![0, 2, 1], vec![1, 0], vec![0.5, 0.25]).is_none());
-        // Column out of bounds.
-        assert!(SparseSim::from_parts(2, 3, vec![0, 1, 2], vec![1, 3], vec![0.5, 0.25]).is_none());
-        // Unsorted columns within a row.
-        assert!(SparseSim::from_parts(1, 3, vec![0, 2], vec![2, 1], vec![0.5, 0.25]).is_none());
-        // Value/column length mismatch.
-        assert!(SparseSim::from_parts(2, 3, vec![0, 1, 2], vec![1, 0], vec![0.5]).is_none());
+        assert!(ok.is_ok());
+        assert_eq!(
+            SparseSim::from_parts(2, 3, vec![0, 2], vec![1, 0], vec![0.5, 0.25]),
+            Err(CsrError::OffsetShape { rows: 2, len: 2 })
+        );
+        assert_eq!(
+            SparseSim::from_parts(2, 3, vec![0, 2, 1], vec![1, 0], vec![0.5, 0.25]),
+            Err(CsrError::NonMonotoneOffsets { row: 1 })
+        );
+        assert_eq!(
+            SparseSim::from_parts(2, 3, vec![0, 1, 2], vec![1, 3], vec![0.5, 0.25]),
+            Err(CsrError::ColumnOutOfRange {
+                row: 1,
+                col: 3,
+                cols: 3
+            })
+        );
+        assert_eq!(
+            SparseSim::from_parts(1, 3, vec![0, 2], vec![2, 1], vec![0.5, 0.25]),
+            Err(CsrError::UnsortedColumns { row: 0 })
+        );
+        assert_eq!(
+            SparseSim::from_parts(2, 3, vec![0, 1, 2], vec![1, 0], vec![0.5]),
+            Err(CsrError::LengthMismatch {
+                last_off: 2,
+                cols: 2,
+                vals: 1
+            })
+        );
+        assert_eq!(
+            SparseSim::from_parts(2, 3, vec![0, 1, 2], vec![1, 0], vec![0.5, f64::NAN]),
+            Err(CsrError::NanScore { row: 1, index: 0 })
+        );
+    }
+
+    /// Every rejection path returns, never panics — including offsets that
+    /// point far past the entry arrays, the classic OOB-on-load shape.
+    #[test]
+    fn from_parts_never_panics_on_hostile_offsets() {
+        for bad in [
+            SparseSim::from_parts(2, 3, vec![0, 10, 20], vec![1, 0], vec![0.5, 0.25]),
+            SparseSim::from_parts(1, 3, vec![0, usize::MAX], vec![1], vec![0.5]),
+            SparseSim::from_parts(0, 0, vec![], vec![], vec![]),
+            SparseSim::from_parts(3, 0, vec![0, 0, 0, 0], vec![0], vec![0.5]),
+        ] {
+            assert!(bad.is_err());
+        }
+        // Degenerate-but-valid: zero rows, zero entries.
+        assert!(SparseSim::from_parts(0, 5, vec![0], vec![], vec![]).is_ok());
     }
 }

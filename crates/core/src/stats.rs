@@ -86,8 +86,17 @@ pub struct RunOptions {
     pub budget: Budget,
     /// Per-run thread-count override; `None` defers to
     /// [`crate::EmsParams::threads`]. `Some(1)` forces the serial path,
-    /// `Some(0)` uses all available parallelism.
+    /// `Some(0)` uses all available parallelism. An explicit request
+    /// larger than the host's available parallelism is clamped down and
+    /// reported via [`RunStats::thread_clamp`] unless
+    /// [`oversubscribe`](Self::oversubscribe) is set.
     pub threads: Option<usize>,
+    /// Escape hatch for the thread clamp: when `true`, an explicit thread
+    /// request larger than the host's available parallelism spawns that
+    /// many workers anyway. Meant for bit-equivalence tests and benchmarks
+    /// that deliberately exercise the sharded path on small hosts; results
+    /// are bit-identical either way, only scheduling pressure differs.
+    pub oversubscribe: bool,
     /// Optional telemetry sink. When set, the run emits per-iteration
     /// convergence records, budget/abort events, phase spans and work
     /// counters. The recorded content (except span durations) is
@@ -96,6 +105,17 @@ pub struct RunOptions {
     /// is Neumaier-summed over the evaluated pair set in ascending pair
     /// order, which both kernels share.
     pub recorder: Option<Arc<Recorder>>,
+}
+
+/// Record of a thread request clamped to the host's parallelism — see
+/// [`RunOptions::threads`]. Carried in [`RunStats::thread_clamp`] so
+/// callers (and telemetry) can see that the pool ran narrower than asked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadClamp {
+    /// The explicit thread count the caller asked for.
+    pub requested: usize,
+    /// The host parallelism the pool actually used.
+    pub clamped_to: usize,
 }
 
 /// Wall-clock time spent in each phase of a run.
@@ -169,6 +189,10 @@ pub struct RunStats {
     /// Whether a [`Budget`] limit tripped and the run fell back to the
     /// closed-form estimation for pairs that had not yet converged.
     pub degraded: bool,
+    /// Set when an explicit [`RunOptions::threads`] request exceeded the
+    /// host's available parallelism and was clamped; `None` when the
+    /// request was honored as given.
+    pub thread_clamp: Option<ThreadClamp>,
     /// Wall-clock time per phase (setup / exact / estimation).
     pub phase_times: PhaseTimes,
 }
@@ -189,6 +213,7 @@ impl RunStats {
         self.pool_shards = self.pool_shards.max(other.pool_shards);
         self.aborted |= other.aborted;
         self.degraded |= other.degraded;
+        self.thread_clamp = self.thread_clamp.or(other.thread_clamp);
         self.phase_times.merge(&other.phase_times);
     }
 }

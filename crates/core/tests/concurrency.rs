@@ -131,6 +131,7 @@ fn heterogeneous_concurrent_runs_stay_bit_identical() {
         RunOptions::default(),
         RunOptions {
             threads: Some(4),
+            oversubscribe: true,
             ..RunOptions::default()
         },
         RunOptions {

@@ -134,6 +134,7 @@ fn thread_count_never_changes_results() {
         for n in [2usize, 4, 7] {
             let parallel = engine.run(&RunOptions {
                 threads: Some(n),
+                oversubscribe: true,
                 ..base.clone()
             });
             assert_bitwise(
@@ -180,6 +181,7 @@ fn large_grid_parallel_path_is_bit_identical() {
     });
     let parallel = engine.run(&RunOptions {
         threads: Some(8),
+        oversubscribe: true,
         ..RunOptions::default()
     });
     assert_bitwise(&serial.sim, &parallel.sim, "large grid");
@@ -213,6 +215,7 @@ fn sparse_exact_mode_is_bit_identical_across_threads() {
         for threads in [1usize, 4] {
             let sparse = sparse_engine.run(&RunOptions {
                 threads: Some(threads),
+                oversubscribe: true,
                 ..RunOptions::default()
             });
             let what = format!("case {case}, warmup {warmup}, {threads} threads");
@@ -252,6 +255,7 @@ fn thresholded_sparse_error_is_within_documented_bound() {
         for threads in [1usize, 4] {
             let sparse = sparse_engine.run(&RunOptions {
                 threads: Some(threads),
+                oversubscribe: true,
                 ..RunOptions::default()
             });
             for (d, s) in dense.sim.data().iter().zip(sparse.sim.data()) {
@@ -296,6 +300,7 @@ fn golden_trace_is_identical_for_sparse_and_pooled_kernels() {
         let rec = Arc::new(ems_obs::Recorder::new());
         let out = engine.run(&RunOptions {
             threads: Some(threads),
+            oversubscribe: true,
             recorder: Some(Arc::clone(&rec)),
             ..RunOptions::default()
         });
@@ -350,6 +355,7 @@ fn pool_survives_worklist_collapse_mid_run() {
     });
     let pooled = engine.run(&RunOptions {
         threads: Some(4),
+        oversubscribe: true,
         ..RunOptions::default()
     });
     assert!(

@@ -1,0 +1,52 @@
+//@ path: crates/core/src/kernel.rs
+
+pub struct Scores {
+    pub total: f64,
+}
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for &x in xs {
+        sum += x; //~ float-taint
+    }
+    sum / xs.len() as f64
+}
+
+pub fn rebuilt_sum(xs: &[f64]) -> Scores {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc = acc + x; //~ float-taint
+    }
+    Scores { total: acc }
+}
+
+pub fn through_block_into_store(rows: &[f64], out: &mut f64) {
+    for chunk in rows.chunks(4) {
+        let s = {
+            let mut sum = 0.0;
+            for &x in chunk {
+                sum += x; //~ float-taint
+            }
+            sum / 4.0
+        };
+        let value = s * 0.5;
+        *out = value;
+    }
+}
+
+pub fn carried_slot(xs: &[f64]) -> Vec<f64> {
+    let mut acc = vec![0.0f64; 4];
+    for &x in xs {
+        acc[0] += x; //~ float-taint
+    }
+    acc
+}
+
+pub fn iterator_sum(xs: &[f64]) -> f64 {
+    xs.iter().sum() //~ float-taint
+}
+
+pub fn folded(xs: &[f64]) -> f64 {
+    let t = xs.iter().fold(0.0, |a, b| a + b); //~ float-taint
+    t * 2.0
+}

@@ -1,0 +1,60 @@
+//@ path: crates/core/src/kernel.rs
+//! Raw accumulation that never escapes, compensated routes, integer
+//! sums, and per-element stores — all outside the rule.
+
+pub struct NeumaierSum {
+    sum: f64,
+    comp: f64,
+}
+
+impl NeumaierSum {
+    pub fn new() -> Self {
+        NeumaierSum { sum: 0.0, comp: 0.0 }
+    }
+    pub fn add(&mut self, _x: f64) {}
+    pub fn value(&self) -> f64 {
+        self.sum + self.comp
+    }
+}
+
+/// The accumulator only gates a branch — its precision is never exported.
+pub fn converged(xs: &[f64], threshold: f64) -> bool {
+    let mut upper_sum = 0.0;
+    for &x in xs {
+        upper_sum += x;
+    }
+    let upper_avg = upper_sum / xs.len() as f64;
+    upper_avg < threshold
+}
+
+/// The sanctioned route: compensated accumulation.
+pub fn compensated_mean(xs: &[f64]) -> f64 {
+    let mut ns = NeumaierSum::new();
+    for &x in xs {
+        ns.add(x);
+    }
+    ns.value() / xs.len() as f64
+}
+
+/// Integer accumulation is exact.
+pub fn count_nonzero(xs: &[u32]) -> u64 {
+    let mut n = 0u64;
+    for &x in xs {
+        if x != 0 {
+            n += 1;
+        }
+    }
+    n
+}
+
+/// Per-element add into the iterated slot is not loop-carried.
+pub fn add_assign_lanes(acc: &mut [f64], src: &[f64]) {
+    for (x, y) in acc.iter_mut().zip(src) {
+        *x += y;
+    }
+}
+
+/// Integer turbofish sums are exact.
+pub fn total_width(widths: &[usize]) -> usize {
+    widths.iter().sum::<usize>()
+}

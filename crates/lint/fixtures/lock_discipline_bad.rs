@@ -1,0 +1,45 @@
+//@ path: crates/core/src/engine.rs
+//! Seeded pool-protocol mutations modeled on the PR 7 worker pool:
+//! a guard held across the rendezvous, both nesting orders of the
+//! state/slot locks, and a panic under a held guard outside
+//! `catch_unwind`.
+
+pub struct PoolState {
+    pub epoch: u64,
+}
+
+pub struct PoolSlot {
+    pub delta: f64,
+}
+
+/// The seeded mutation: the shard publishes while still holding the
+/// state guard across the barrier — a panicking peer never arrives and
+/// this thread parks forever with the lock.
+fn run_shard_holding_guard(state: &RwLock<PoolState>, barrier: &Barrier) {
+    let st = state.write().unwrap_or_else(|e| e.into_inner());
+    barrier.wait(); //~ lock-discipline
+    drop(st);
+}
+
+fn shard_then_state(slots: &[Mutex<PoolSlot>], state: &RwLock<PoolState>) {
+    let slot = slots[0].lock().unwrap_or_else(|e| e.into_inner());
+    let st = state.read().unwrap_or_else(|e| e.into_inner()); //~ lock-discipline
+    drop(st);
+    drop(slot);
+}
+
+fn state_then_shard(slots: &[Mutex<PoolSlot>], state: &RwLock<PoolState>) {
+    let st = state.write().unwrap_or_else(|e| e.into_inner());
+    let slot = slots[0].lock().unwrap_or_else(|e| e.into_inner()); //~ lock-discipline
+    drop(slot);
+    drop(st);
+}
+
+fn publish_or_die(slots: &[Mutex<PoolSlot>], ready: bool) {
+    let slot = slots[0].lock().unwrap_or_else(|e| e.into_inner());
+    if !ready {
+        // the next line panics while the slot guard is held //~v lock-discipline
+        panic!("publish outside protocol"); //~ panic-surface
+    }
+    drop(slot);
+}

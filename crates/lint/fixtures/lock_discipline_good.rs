@@ -1,0 +1,65 @@
+//@ path: crates/core/src/engine.rs
+//! The pool protocol done right: guards dropped before the rendezvous,
+//! one global acquisition order, panics absorbed by `catch_unwind`, and
+//! non-blocking `try_lock` everywhere else.
+
+pub struct PoolState {
+    pub epoch: u64,
+}
+
+pub struct PoolSlot {
+    pub delta: f64,
+}
+
+fn rendezvous_clean(state: &RwLock<PoolState>, barrier: &Barrier) {
+    let st = state.write().unwrap_or_else(|e| e.into_inner());
+    drop(st);
+    barrier.wait();
+}
+
+fn consistent_order(slots: &[Mutex<PoolSlot>], state: &RwLock<PoolState>) {
+    let slot = slots[0].lock().unwrap_or_else(|e| e.into_inner());
+    let st = state.read().unwrap_or_else(|e| e.into_inner());
+    drop(st);
+    drop(slot);
+}
+
+fn consistent_order_again(slots: &[Mutex<PoolSlot>], state: &RwLock<PoolState>) {
+    let slot = slots[1].lock().unwrap_or_else(|e| e.into_inner());
+    let st = state.write().unwrap_or_else(|e| e.into_inner());
+    drop(st);
+    drop(slot);
+}
+
+/// The pool's panic protocol: the loop body runs under `catch_unwind`,
+/// so a panic with the guard held is absorbed, recovered, and re-armed.
+fn guarded_apply(state: &RwLock<PoolState>, ready: bool) {
+    let mut main_loop = || {
+        let st = state.write().unwrap_or_else(|e| e.into_inner());
+        if !ready {
+            // ems-lint: allow(panic-surface, pool protocol: absorbed by the catch_unwind below and converted to a poison reset)
+            panic!("apply failed");
+        }
+        drop(st);
+    };
+    let out = catch_unwind(AssertUnwindSafe(&mut main_loop));
+    let _ = out;
+}
+
+/// Spawned workers start with no inherited guards; their own waits are
+/// clean by construction.
+fn spawn_workers(scope: &Scope, state: &RwLock<PoolState>, barrier: &Barrier) {
+    let st = state.write().unwrap_or_else(|e| e.into_inner());
+    scope.spawn(move || {
+        barrier.wait();
+    });
+    drop(st);
+}
+
+/// Non-blocking probes are outside the discipline.
+fn scratch_probe(m: &Mutex<PoolSlot>, barrier: &Barrier) {
+    if let Ok(g) = m.try_lock() {
+        drop(g);
+    }
+    barrier.wait();
+}

@@ -1,0 +1,15 @@
+//@ path: crates/events/src/reach.rs
+//! An unaudited panic site deep in a private helper surfaces at every
+//! public entry point that can reach it.
+
+fn read_header(bytes: &[u8]) -> u8 {
+    bytes.first().copied().unwrap() //~ panic-surface
+}
+
+pub fn parse(bytes: &[u8]) -> u8 { //~ panic-reachability
+    read_header(bytes)
+}
+
+pub fn parse_twice(bytes: &[u8]) -> u8 { //~ panic-reachability
+    parse(bytes).wrapping_add(parse(bytes))
+}

@@ -1,0 +1,21 @@
+//@ path: crates/events/src/reach.rs
+//! Audited or absorbed sites do not propagate: auditing the site audits
+//! every path to it, and `catch_unwind` is an absorbing boundary.
+
+fn read_header(bytes: &[u8]) -> u8 {
+    // ems-lint: allow(panic-surface, callers validate non-empty input at the parse edge)
+    bytes.first().copied().unwrap()
+}
+
+pub fn parse(bytes: &[u8]) -> u8 {
+    read_header(bytes)
+}
+
+/// Absorbed inline: the panic cannot escape this function.
+pub fn parse_or_zero(bytes: &[u8]) -> u8 {
+    catch_unwind(AssertUnwindSafe(|| {
+        // ems-lint: allow(panic-surface, absorbed by the surrounding catch_unwind)
+        bytes.first().copied().unwrap()
+    }))
+    .unwrap_or(0)
+}

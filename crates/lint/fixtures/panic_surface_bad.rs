@@ -1,17 +1,17 @@
 //@ path: crates/events/src/lib.rs
-pub fn first(v: &[u32]) -> u32 {
+pub fn first(v: &[u32]) -> u32 { //~ panic-reachability
     *v.first().unwrap() //~ panic-surface
 }
-pub fn must(x: Option<u32>) -> u32 {
+pub fn must(x: Option<u32>) -> u32 { //~ panic-reachability
     x.expect("present") //~ panic-surface
 }
-pub fn boom() {
+pub fn boom() { //~ panic-reachability
     panic!("boom"); //~ panic-surface
 }
-pub fn later() {
+pub fn later() { //~ panic-reachability
     todo!() //~ panic-surface
 }
-pub fn dead_end(x: u32) -> u32 {
+pub fn dead_end(x: u32) -> u32 { //~ panic-reachability
     match x {
         0 => 1,
         _ => unreachable!(), //~ panic-surface

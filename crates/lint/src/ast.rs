@@ -1,0 +1,563 @@
+//! Lightweight AST for the semantic rules.
+//!
+//! This is deliberately *not* a faithful Rust grammar: it models exactly
+//! the shapes the rules reason about — items, fn bodies, statements, and
+//! an expression tree with calls, method chains, field/index accesses,
+//! closures, and control flow. Anything the parser cannot shape (complex
+//! generics, trait bounds, exotic patterns) degrades to [`Expr::Opaque`]
+//! or [`Stmt::Opaque`] spans rather than failing: the rules treat opaque
+//! regions as unknown, which keeps them sound-by-silence (they may miss
+//! findings inside an opaque region, never invent them).
+//!
+//! Every node carries `tok`: the index into the lexed token stream of its
+//! anchor token, which gives diagnostics their line/column and lets rules
+//! consult [`crate::rules::FileCtx::in_test`].
+
+/// A parsed source file: its top-level items, flattened through modules.
+#[derive(Debug, Default)]
+pub struct File {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// One item. Items the rules do not model parse as [`Item::Other`].
+#[derive(Debug)]
+pub enum Item {
+    /// A function definition (free, or associated inside an impl).
+    Fn(FnDef),
+    /// A struct definition with named fields (tuple structs keep their
+    /// field types with positional names `"0"`, `"1"`, ...).
+    Struct(StructDef),
+    /// An impl block; `self_ty` is the implementing type's base name.
+    Impl(ImplDef),
+    /// An inline module with its items.
+    Mod(ModDef),
+    /// Anything else (use, const, enum, trait, type alias, macro def).
+    Other,
+}
+
+/// A function definition.
+#[derive(Debug)]
+pub struct FnDef {
+    /// Name as written.
+    pub name: String,
+    /// Whether the fn has any `pub` visibility (including `pub(crate)`).
+    pub is_pub: bool,
+    /// Parameters with raw type text; a `self` receiver appears as a
+    /// param named `self` with the impl's self type.
+    pub params: Vec<Param>,
+    /// Raw return type text (`None` for unit).
+    pub ret: Option<String>,
+    /// Body; `None` for trait-required fns without one.
+    pub body: Option<Block>,
+    /// Token index of the fn name (diagnostic anchor).
+    pub tok: usize,
+}
+
+/// A named, typed slot (fn param or struct field). Types are kept as the
+/// raw token text (whitespace-normalized), e.g. `&mut Vec<f64>` — the
+/// resolver pattern-matches on that text rather than on a type grammar.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Name as written (patterns contribute their first binding).
+    pub name: String,
+    /// Raw type text.
+    pub ty: String,
+}
+
+/// A struct definition.
+#[derive(Debug)]
+pub struct StructDef {
+    /// Name as written.
+    pub name: String,
+    /// Fields with raw type text.
+    pub fields: Vec<Param>,
+    /// Token index of the struct name.
+    pub tok: usize,
+}
+
+/// An impl block.
+#[derive(Debug)]
+pub struct ImplDef {
+    /// Base name of the self type (`Engine` for `impl<'a> Engine<'a>`,
+    /// `Diagnostic` for `impl fmt::Display for Diagnostic`).
+    pub self_ty: String,
+    /// Associated items.
+    pub items: Vec<Item>,
+}
+
+/// An inline `mod name { ... }`.
+#[derive(Debug)]
+pub struct ModDef {
+    /// Module name.
+    pub name: String,
+    /// Whether this is a `#[cfg(test)]`-style test module (by name).
+    pub items: Vec<Item>,
+}
+
+/// A block: `{ stmts }`. The final statement is a trailing expression
+/// when [`Stmt::Expr`] has `has_semi == false`.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// One statement.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let [mut] pat[: ty] [= init] [else { .. }];`
+    Let {
+        /// The primary binding: the single name bound when the pattern is
+        /// a plain identifier, `None` for destructuring patterns.
+        primary: Option<String>,
+        /// Every identifier appearing in the pattern (over-approximate).
+        pat_names: Vec<String>,
+        /// Whether declared `mut`.
+        mutable: bool,
+        /// Raw annotation type text, when written.
+        ty: Option<String>,
+        /// Initializer.
+        init: Option<Expr>,
+        /// `let .. else` diverging block.
+        else_block: Option<Block>,
+        /// Token index of the `let` keyword.
+        tok: usize,
+    },
+    /// An expression statement; `has_semi == false` marks a trailing
+    /// expression (the block's value).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Whether a `;` followed.
+        has_semi: bool,
+    },
+    /// A nested item (fn-in-fn, etc.).
+    Item(Box<Item>),
+    /// Unparseable region, skipped tolerantly.
+    Opaque,
+}
+
+/// One expression. `tok` fields anchor diagnostics.
+#[derive(Debug)]
+pub enum Expr {
+    /// `a`, `a::b::c` (turbofish segments dropped).
+    Path {
+        /// Path segments.
+        segs: Vec<String>,
+        /// Anchor token (first segment).
+        tok: usize,
+    },
+    /// Literal; only numeric-ness and float-ness are retained.
+    Lit {
+        /// Whether a float literal.
+        float: bool,
+        /// Anchor token.
+        tok: usize,
+    },
+    /// `callee(args)`.
+    Call {
+        /// Callee expression (usually a path).
+        callee: Box<Expr>,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Anchor token (the opening paren).
+        tok: usize,
+    },
+    /// `recv.method(args)` (turbofish dropped).
+    MethodCall {
+        /// Receiver.
+        recv: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Anchor token (the method name).
+        tok: usize,
+    },
+    /// `name!(...)` / `name![...]` / `name! { ... }`; arguments parse
+    /// best-effort (empty when the contents are not expression-shaped).
+    MacroCall {
+        /// Macro name (last path segment).
+        name: String,
+        /// Best-effort parsed arguments.
+        args: Vec<Expr>,
+        /// Anchor token (the macro name).
+        tok: usize,
+    },
+    /// `base.field` (including tuple fields `t.0`).
+    Field {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Anchor token (the field name).
+        tok: usize,
+    },
+    /// `base[index]`.
+    Index {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+        /// Anchor token (the opening bracket).
+        tok: usize,
+    },
+    /// Prefix `&`/`&mut`/`*`/`!`/`-`.
+    Unary {
+        /// Operator char (`&` covers `&mut`).
+        op: char,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operator (arithmetic, comparison, logical, shift, range).
+    Binary {
+        /// Operator text.
+        op: String,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Anchor token (the operator).
+        tok: usize,
+    },
+    /// `target = value`, `target += value`, ...
+    Assign {
+        /// Operator text (`=`, `+=`, ...).
+        op: String,
+        /// Assignment target.
+        target: Box<Expr>,
+        /// Assigned value.
+        value: Box<Expr>,
+        /// Anchor token (the operator).
+        tok: usize,
+    },
+    /// `expr as Ty`.
+    Cast {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Raw target type text.
+        ty: String,
+    },
+    /// `|a, b| body` / `move || body`.
+    Closure {
+        /// Parameter names.
+        params: Vec<String>,
+        /// Body expression.
+        body: Box<Expr>,
+        /// Anchor token (the opening `|`).
+        tok: usize,
+    },
+    /// Plain `{ ... }` block (incl. `unsafe { ... }`).
+    Block(Block),
+    /// `if cond { .. } [else ..]`; `else_` is a Block or another If.
+    If {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Then-block.
+        then: Block,
+        /// Else branch.
+        else_: Option<Box<Expr>>,
+    },
+    /// `if let` / `while let` condition: `let PAT = expr`.
+    LetCond {
+        /// Identifiers bound by the pattern.
+        pat_names: Vec<String>,
+        /// Scrutinee.
+        expr: Box<Expr>,
+    },
+    /// `while cond { .. }`.
+    While {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Body.
+        body: Block,
+    },
+    /// `loop { .. }`.
+    Loop {
+        /// Body.
+        body: Block,
+    },
+    /// `for pat in iter { .. }`.
+    For {
+        /// Identifiers bound by the loop pattern.
+        pat_names: Vec<String>,
+        /// Iterated expression.
+        iter: Box<Expr>,
+        /// Body.
+        body: Block,
+        /// Anchor token (the `for` keyword).
+        tok: usize,
+    },
+    /// `match scrutinee { arms }`.
+    Match {
+        /// Scrutinee.
+        scrutinee: Box<Expr>,
+        /// Arms.
+        arms: Vec<Arm>,
+    },
+    /// `Path { field: expr, .. }` struct literal.
+    StructLit {
+        /// Struct path (base name last).
+        path: Vec<String>,
+        /// Field initializers; shorthand `x` becomes `("x", Path(x))`.
+        fields: Vec<(String, Expr)>,
+        /// Anchor token (the path head).
+        tok: usize,
+    },
+    /// `return [expr]`.
+    Return {
+        /// Returned value.
+        value: Option<Box<Expr>>,
+        /// Anchor token (the `return` keyword).
+        tok: usize,
+    },
+    /// `(a, b)` tuples and parenthesized groups (1-element = group).
+    Tuple {
+        /// Elements.
+        elems: Vec<Expr>,
+    },
+    /// `[a, b]` / `[v; n]` array literals.
+    Array {
+        /// Elements (repeat form keeps both).
+        elems: Vec<Expr>,
+    },
+    /// `expr?`.
+    Question {
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `lo..hi` / `lo..=hi` with optional ends.
+    Range {
+        /// Lower bound.
+        lo: Option<Box<Expr>>,
+        /// Upper bound.
+        hi: Option<Box<Expr>>,
+        /// Anchor token (the `..`).
+        tok: usize,
+    },
+    /// `break`/`continue` (labels and break-values dropped).
+    Jump,
+    /// Unparseable region. Rules must not look through it.
+    Opaque {
+        /// Anchor token of the region start.
+        tok: usize,
+    },
+}
+
+/// One match arm.
+#[derive(Debug)]
+pub struct Arm {
+    /// Identifiers appearing in the pattern and guard (over-approximate).
+    pub pat_names: Vec<String>,
+    /// Arm body.
+    pub body: Expr,
+}
+
+impl Expr {
+    /// The anchor token index, walking into children when the node has no
+    /// own anchor. Falls back to 0 only for empty composites.
+    pub fn tok(&self) -> usize {
+        match self {
+            Expr::Path { tok, .. }
+            | Expr::Lit { tok, .. }
+            | Expr::Call { tok, .. }
+            | Expr::MethodCall { tok, .. }
+            | Expr::MacroCall { tok, .. }
+            | Expr::Field { tok, .. }
+            | Expr::Index { tok, .. }
+            | Expr::Binary { tok, .. }
+            | Expr::Assign { tok, .. }
+            | Expr::Closure { tok, .. }
+            | Expr::For { tok, .. }
+            | Expr::StructLit { tok, .. }
+            | Expr::Return { tok, .. }
+            | Expr::Range { tok, .. }
+            | Expr::Opaque { tok } => *tok,
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Question { expr } => {
+                expr.tok()
+            }
+            Expr::If { cond, .. } | Expr::While { cond, .. } => cond.tok(),
+            Expr::LetCond { expr, .. } => expr.tok(),
+            Expr::Match { scrutinee, .. } => scrutinee.tok(),
+            Expr::Tuple { elems } | Expr::Array { elems } => elems.first().map_or(0, Expr::tok),
+            Expr::Block(b) | Expr::Loop { body: b } => b
+                .stmts
+                .iter()
+                .find_map(|s| match s {
+                    Stmt::Expr { expr, .. } => Some(expr.tok()),
+                    Stmt::Let { tok, .. } => Some(*tok),
+                    _ => None,
+                })
+                .unwrap_or(0),
+            Expr::Jump => 0,
+        }
+    }
+
+    /// The base path name when this expression is a plain path (`x` or
+    /// `a::b::x` → `x`).
+    pub fn as_path_name(&self) -> Option<&str> {
+        match self {
+            Expr::Path { segs, .. } => segs.last().map(String::as_str),
+            _ => None,
+        }
+    }
+}
+
+/// Walks every expression in a block, depth-first, including nested
+/// control flow and closure bodies. `f` returning `false` prunes the walk
+/// below that expression (children are skipped).
+pub fn walk_block(block: &Block, f: &mut dyn FnMut(&Expr) -> bool) {
+    for stmt in &block.stmts {
+        match stmt {
+            Stmt::Let {
+                init, else_block, ..
+            } => {
+                if let Some(e) = init {
+                    walk_expr(e, f);
+                }
+                if let Some(b) = else_block {
+                    walk_block(b, f);
+                }
+            }
+            Stmt::Expr { expr, .. } => walk_expr(expr, f),
+            Stmt::Item(item) => {
+                if let Item::Fn(fd) = item.as_ref() {
+                    if let Some(b) = &fd.body {
+                        walk_block(b, f);
+                    }
+                }
+            }
+            Stmt::Opaque => {}
+        }
+    }
+}
+
+/// Walks `expr` and its children depth-first (see [`walk_block`]).
+pub fn walk_expr(expr: &Expr, f: &mut dyn FnMut(&Expr) -> bool) {
+    if !f(expr) {
+        return;
+    }
+    match expr {
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Jump | Expr::Opaque { .. } => {}
+        Expr::Call { callee, args, .. } => {
+            walk_expr(callee, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::MethodCall { recv, args, .. } => {
+            walk_expr(recv, f);
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::MacroCall { args, .. } => {
+            for a in args {
+                walk_expr(a, f);
+            }
+        }
+        Expr::Field { base, .. } => walk_expr(base, f),
+        Expr::Index { base, index, .. } => {
+            walk_expr(base, f);
+            walk_expr(index, f);
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Question { expr } => {
+            walk_expr(expr, f)
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            walk_expr(lhs, f);
+            walk_expr(rhs, f);
+        }
+        Expr::Assign { target, value, .. } => {
+            walk_expr(target, f);
+            walk_expr(value, f);
+        }
+        Expr::Closure { body, .. } => walk_expr(body, f),
+        Expr::Block(b) | Expr::Loop { body: b } => walk_block(b, f),
+        Expr::If { cond, then, else_ } => {
+            walk_expr(cond, f);
+            walk_block(then, f);
+            if let Some(e) = else_ {
+                walk_expr(e, f);
+            }
+        }
+        Expr::LetCond { expr, .. } => walk_expr(expr, f),
+        Expr::While { cond, body } => {
+            walk_expr(cond, f);
+            walk_block(body, f);
+        }
+        Expr::For { iter, body, .. } => {
+            walk_expr(iter, f);
+            walk_block(body, f);
+        }
+        Expr::Match { scrutinee, arms } => {
+            walk_expr(scrutinee, f);
+            for arm in arms {
+                walk_expr(&arm.body, f);
+            }
+        }
+        Expr::StructLit { fields, .. } => {
+            for (_, e) in fields {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Return { value, .. } => {
+            if let Some(v) = value {
+                walk_expr(v, f);
+            }
+        }
+        Expr::Tuple { elems } | Expr::Array { elems } => {
+            for e in elems {
+                walk_expr(e, f);
+            }
+        }
+        Expr::Range { lo, hi, .. } => {
+            if let Some(e) = lo {
+                walk_expr(e, f);
+            }
+            if let Some(e) = hi {
+                walk_expr(e, f);
+            }
+        }
+    }
+}
+
+/// Collects every fn in a file, flattened through mods and impls, paired
+/// with its enclosing impl self-type (when associated).
+pub fn all_fns(file: &File) -> Vec<(&FnDef, Option<&str>)> {
+    let mut out = Vec::new();
+    fn rec<'a>(
+        items: &'a [Item],
+        self_ty: Option<&'a str>,
+        out: &mut Vec<(&'a FnDef, Option<&'a str>)>,
+    ) {
+        for item in items {
+            match item {
+                Item::Fn(fd) => out.push((fd, self_ty)),
+                Item::Impl(imp) => rec(&imp.items, Some(&imp.self_ty), out),
+                Item::Mod(m) => rec(&m.items, self_ty, out),
+                _ => {}
+            }
+        }
+    }
+    rec(&file.items, None, &mut out);
+    out
+}
+
+/// Collects every struct in a file, flattened through mods.
+pub fn all_structs(file: &File) -> Vec<&StructDef> {
+    let mut out = Vec::new();
+    fn rec<'a>(items: &'a [Item], out: &mut Vec<&'a StructDef>) {
+        for item in items {
+            match item {
+                Item::Struct(sd) => out.push(sd),
+                Item::Impl(imp) => rec(&imp.items, out),
+                Item::Mod(m) => rec(&m.items, out),
+                _ => {}
+            }
+        }
+    }
+    rec(&file.items, &mut out);
+    out
+}

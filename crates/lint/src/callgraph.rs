@@ -1,0 +1,144 @@
+//! `panic-reachability`: a workspace rule over a name-based call graph.
+//!
+//! A *panic site* is an unwrap/expect call or panic-family macro in
+//! library code outside tests. A site is neutralized when it sits inside
+//! a `catch_unwind` argument (the pool's absorption protocol) or carries
+//! an audited `panic-surface` suppression — auditing the site audits
+//! every path to it. Remaining sites make their function *panicky*;
+//! panickiness propagates backwards over calls (free-fn names and method
+//! names alike — the graph is name-based, so a shared name merges nodes,
+//! which over-approximates reachability and never hides a path). Every
+//! `pub` library function that can reach an unneutralized site is
+//! reported at its declaration.
+
+use crate::allow;
+use crate::ast;
+use crate::config::FileKind;
+use crate::dataflow::{self, LockOp};
+use crate::diag::Diagnostic;
+use crate::FileAnalysis;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule id (also valid in suppressions).
+pub const RULE: &str = "panic-reachability";
+/// One-line summary for `ems-lint rules`.
+pub const SUMMARY: &str =
+    "pub library fn can reach an unaudited unwrap/expect/panic! through the call graph";
+
+#[derive(Default)]
+struct Node {
+    /// First unneutralized panic site among same-named fns:
+    /// (construct, path, line).
+    site: Option<(String, String, u32)>,
+    /// Names this fn calls (free fns and methods).
+    calls: BTreeSet<String>,
+}
+
+/// Runs the rule over all analyzed files.
+pub fn panic_reachability(files: &[FileAnalysis]) -> Vec<Diagnostic> {
+    let mut graph: BTreeMap<String, Node> = BTreeMap::new();
+    // (name, is_pub, tok, file index, calls) per definition, for reporting.
+    let mut defs: Vec<(String, bool, usize, usize, BTreeSet<String>)> = Vec::new();
+
+    for (fi, fa) in files.iter().enumerate() {
+        if fa.class.kind != FileKind::Library {
+            continue;
+        }
+        // Lines with an audited panic-surface suppression: those sites
+        // are deliberately reviewed and do not propagate.
+        let (sups, _) = allow::parse_suppressions(&fa.lexed, &fa.class.rel_path);
+        let audited: BTreeSet<u32> = sups
+            .iter()
+            .filter(|s| s.rule == "panic-surface")
+            .map(|s| s.effective_line)
+            .collect();
+
+        for (fd, self_ty) in ast::all_fns(&fa.ast) {
+            if fa.in_test(fd.tok) {
+                continue;
+            }
+            let mut calls = BTreeSet::new();
+            if let Some(body) = &fd.body {
+                ast::walk_block(body, &mut |e| {
+                    match e {
+                        ast::Expr::Call { callee, .. } => {
+                            if let Some(n) = callee.as_path_name() {
+                                calls.insert(n.to_string());
+                            }
+                        }
+                        ast::Expr::MethodCall { method, .. } => {
+                            calls.insert(method.clone());
+                        }
+                        _ => {}
+                    }
+                    true
+                });
+            }
+            let site = dataflow::scan_locks(fd, self_ty, &fa.info)
+                .into_iter()
+                .find_map(|ev| match ev.op {
+                    LockOp::PanicSite { what } if !ev.absorbed => {
+                        let line = fa.lexed.tokens[ev.tok].line;
+                        (!audited.contains(&line)).then(|| (what, fa.class.rel_path.clone(), line))
+                    }
+                    _ => None,
+                });
+
+            let node = graph.entry(fd.name.clone()).or_default();
+            if node.site.is_none() {
+                node.site = site;
+            }
+            node.calls.extend(calls.iter().cloned());
+            defs.push((fd.name.clone(), fd.is_pub, fd.tok, fi, calls));
+        }
+    }
+
+    // Backward fixpoint: a name is panicky if it has a site or calls a
+    // panicky name.
+    let mut panicky: BTreeSet<String> = graph
+        .iter()
+        .filter(|(_, n)| n.site.is_some())
+        .map(|(k, _)| k.clone())
+        .collect();
+    loop {
+        let mut grew = false;
+        for (name, node) in &graph {
+            if !panicky.contains(name) && node.calls.iter().any(|c| panicky.contains(c)) {
+                panicky.insert(name.clone());
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    let mut out = Vec::new();
+    for (name, is_pub, tok, fi, calls) in &defs {
+        if !is_pub {
+            continue;
+        }
+        let fa = &files[*fi];
+        let own = graph.get(name).and_then(|n| n.site.clone());
+        let reason = if let Some((what, path, line)) = own {
+            format!("contains `{what}` at {path}:{line}")
+        } else if let Some(callee) = calls.iter().find(|c| panicky.contains(*c)) {
+            format!("calls panicky `{callee}`")
+        } else {
+            continue;
+        };
+        let t = &fa.lexed.tokens[*tok];
+        out.push(Diagnostic {
+            rule: RULE,
+            path: fa.class.rel_path.clone(),
+            line: t.line,
+            col: t.col,
+            message: format!(
+                "pub fn `{name}` can reach an unaudited panic ({reason}) — absorb it \
+                 with catch_unwind, return an error, or audit the site with a \
+                 `panic-surface` suppression"
+            ),
+        });
+    }
+    out
+}

@@ -58,17 +58,37 @@ pub fn classify(rel_path: &str) -> FileClass {
 /// where ordering primitives may be wrapped.
 pub const FLOAT_ORDERING_EXEMPT: &[&str] = &["crates/core/src/numeric.rs"];
 
-/// `naive-accumulation` watched files: the kernel hot paths whose sums
-/// feed Theorem 1's monotone convergence; everywhere else short f64 sums
-/// are reviewed case by case. `engine.rs` covers the PR7 worker pool's
-/// shard delta reduction; `sim_sparse.rs` is watched so any future CSR
+/// `float-taint` watched files: the kernel hot paths whose sums feed
+/// Theorem 1's monotone convergence; everywhere else short f64 sums are
+/// reviewed case by case. `engine.rs` covers the PR7 worker pool's shard
+/// delta reduction; `sim_sparse.rs` is watched so any future CSR
 /// accumulation (row sums, occupancy-weighted scores) lands under the
-/// same audit as the dense paths it mirrors.
+/// same audit as the dense paths it mirrors. Unlike the lexical
+/// `naive-accumulation` rule this replaces, only accumulations whose
+/// value *escapes* (returns, struct fields, stores through references)
+/// are findings — a sum that merely gates a branch is not exported
+/// precision.
 pub const ACCUMULATION_WATCHED: &[&str] = &[
     "crates/core/src/kernel.rs",
     "crates/core/src/engine.rs",
     "crates/core/src/sim.rs",
     "crates/core/src/sim_sparse.rs",
+];
+
+/// `lock-discipline` watched files: the PR7 worker pool is the only
+/// sanctioned home for blocking synchronization (DESIGN.md §13), so the
+/// guard-lifetime rules watch it alone. Everything else should not hold
+/// `Mutex`/`RwLock` guards across rendezvous points at all — add files
+/// here as they grow pools of their own.
+pub const LOCK_WATCHED: &[&str] = &["crates/core/src/engine.rs"];
+
+/// `index-bounds` watched files: the CSR hot paths, where `a[i]`
+/// arithmetic is pervasive and a single malformed offsets table turns
+/// every row scan into a panic. Reads must be dominated by a validating
+/// `from_parts`-style constructor or an explicit length check.
+pub const INDEX_BOUNDS_WATCHED: &[&str] = &[
+    "crates/core/src/sim_sparse.rs",
+    "crates/depgraph/src/csr.rs",
 ];
 
 /// `nondeterminism` watched crates: everything whose output feeds

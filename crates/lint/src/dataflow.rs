@@ -1,0 +1,1270 @@
+//! Intraprocedural dataflow: guard-liveness lock scans and float-taint
+//! name flows over one function body.
+//!
+//! Both walkers share the same philosophy as the parser: unknown shapes
+//! contribute nothing. A binding the resolver cannot type never acquires
+//! a lock class and never becomes a float accumulator, so opaque code is
+//! silent, not noisy.
+//!
+//! ## Lock scan
+//!
+//! Walks a fn body in evaluation order tracking which guards are live:
+//! - `E.lock()` / `E.read()` / `E.write()` on a lock-classed receiver is
+//!   an acquisition. Bound to a `let`, the guard lives until `drop(g)`,
+//!   scope end, or rebinding; unbound, it dies at statement end.
+//!   `try_lock` is deliberately untracked — it is non-blocking and the
+//!   engine's scratch-reuse contract allows it anywhere.
+//! - `E.wait()` on a `Barrier` receiver is a wait point.
+//! - unwrap/expect method calls and panic-family macros are panic sites;
+//!   inside a `catch_unwind` argument they are *absorbed*.
+//! - Closures are walked inline where they appear (synchronous-call
+//!   assumption), except arguments to `spawn`, which get a fresh guard
+//!   context (they run on another thread) — the enclosing environment's
+//!   types remain visible, captured by reference. A closure bound to a
+//!   local is walked where it is referenced, which is how the pool's
+//!   `let mut main_loop = || …; catch_unwind(AssertUnwindSafe(&mut
+//!   main_loop))` protocol gets its absorption credit.
+//! - Branches merge by intersection: a guard survives a branch point
+//!   only if every branch keeps it live.
+//!
+//! ## Float-taint scan
+//!
+//! Finds loop-carried f64 accumulations (`acc += …`, `acc = acc + …`,
+//! and `container[i] += …` with a loop-invariant base) plus iterator
+//! reductions (`.sum()`, `.fold(0.0, …)`), then keeps only those whose
+//! value *escapes*: flows — through the let/assign name graph — into a
+//! return value, a struct-literal field, a store through a field, index,
+//! or deref, or an argument to a method on a parameter or `self`.
+//! Comparisons do not propagate taint (a value that only gates a branch
+//! is not exported), and compensated accumulators (`NeumaierSum` /
+//! `KahanSum`) are the sanctioned sink-route, never a source.
+
+use crate::ast::{self, Block, Expr, FnDef, Stmt};
+use crate::resolve::{var_ty_from_type, Env, FileInfo, LockKind, VarTy};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What happened at one point of a lock scan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LockOp {
+    /// A guard was acquired.
+    Acquire {
+        /// Lock primitive.
+        kind: LockKind,
+        /// Lock class (the wrapped type's base name).
+        class: String,
+    },
+    /// A `Barrier::wait` call.
+    Wait,
+    /// A potential panic (unwrap/expect or panic-family macro).
+    PanicSite {
+        /// The panicking construct's name.
+        what: String,
+    },
+}
+
+/// One ordered event from a lock scan.
+#[derive(Debug, Clone)]
+pub struct LockEvent {
+    /// What happened.
+    pub op: LockOp,
+    /// Anchor token index.
+    pub tok: usize,
+    /// Guard classes live at this point (excluding, for acquisitions and
+    /// panic sites, the guard being produced by the same call chain).
+    pub held: Vec<(LockKind, String)>,
+    /// Whether the point sits inside a `catch_unwind` argument.
+    pub absorbed: bool,
+    /// Enclosing fn name (spawned closures get a `::spawn` suffix).
+    pub fn_name: String,
+}
+
+#[derive(Debug, Clone)]
+struct Guard {
+    id: u64,
+    name: Option<String>,
+    kind: LockKind,
+    class: String,
+    scope: usize,
+}
+
+struct LockWalker<'a> {
+    env: Env<'a>,
+    live: Vec<Guard>,
+    next_id: u64,
+    scope: usize,
+    absorbed: usize,
+    fn_name: String,
+    events: Vec<LockEvent>,
+    /// Let-bound closures, walked where referenced instead of where
+    /// defined. The stack guards against self-referential closures.
+    closures: BTreeMap<String, &'a Expr>,
+    closure_stack: Vec<String>,
+}
+
+/// Scans one fn body for lock events. `self_ty` is the enclosing impl's
+/// type, used to resolve `self.field` receivers.
+pub fn scan_locks(fd: &FnDef, self_ty: Option<&str>, info: &FileInfo) -> Vec<LockEvent> {
+    let Some(body) = &fd.body else {
+        return Vec::new();
+    };
+    let mut env = Env::new(info, self_ty);
+    for p in &fd.params {
+        env.bind(&p.name, var_ty_from_type(&p.ty, info));
+    }
+    let mut w = LockWalker {
+        env,
+        live: Vec::new(),
+        next_id: 0,
+        scope: 0,
+        absorbed: 0,
+        fn_name: fd.name.clone(),
+        events: Vec::new(),
+        closures: BTreeMap::new(),
+        closure_stack: Vec::new(),
+    };
+    w.walk_block(body);
+    w.events
+}
+
+impl<'a> LockWalker<'a> {
+    fn held(&self, exclude: Option<u64>) -> Vec<(LockKind, String)> {
+        self.live
+            .iter()
+            .filter(|g| Some(g.id) != exclude)
+            .map(|g| (g.kind, g.class.clone()))
+            .collect()
+    }
+
+    fn walk_block(&mut self, block: &'a Block) {
+        self.scope += 1;
+        let scope = self.scope;
+        for stmt in &block.stmts {
+            self.walk_stmt(stmt);
+            // Unnamed guards die at statement end.
+            self.live.retain(|g| g.name.is_some() || g.scope < scope);
+        }
+        self.live.retain(|g| g.scope < scope);
+        self.scope -= 1;
+    }
+
+    fn walk_stmt(&mut self, stmt: &'a Stmt) {
+        match stmt {
+            Stmt::Let {
+                primary,
+                ty,
+                init,
+                else_block,
+                ..
+            } => {
+                // Let-bound closures are deferred to their references.
+                if let (Some(name), Some(e @ Expr::Closure { .. })) = (primary, init.as_ref()) {
+                    self.closures.insert(name.clone(), e);
+                    self.env.bind(name, VarTy::default());
+                    return;
+                }
+                let fresh = match init {
+                    Some(e) => self.walk_expr(e),
+                    None => None,
+                };
+                let resolved = match (ty, init) {
+                    (Some(t), _) => var_ty_from_type(t, self.env.info),
+                    (None, Some(e)) => self.env.resolve(e),
+                    _ => VarTy::default(),
+                };
+                if let Some(name) = primary {
+                    if let Some(id) = fresh {
+                        // The freshly acquired guard is now named; it
+                        // lives until drop/rebind/scope end.
+                        self.live.retain(|g| g.name.as_deref() != Some(name));
+                        if let Some(g) = self.live.iter_mut().find(|g| g.id == id) {
+                            g.name = Some(name.clone());
+                        }
+                    }
+                    self.env.bind(name, resolved);
+                }
+                if let Some(b) = else_block {
+                    self.walk_block(b);
+                }
+            }
+            Stmt::Expr { expr, .. } => {
+                self.walk_expr(expr);
+            }
+            Stmt::Item(_) | Stmt::Opaque => {}
+        }
+    }
+
+    /// Walks an expression in evaluation order, emitting events. Returns
+    /// the id of the guard this expression evaluates to, when it is a
+    /// fresh acquisition (possibly wrapped in poison-recovery calls).
+    fn walk_expr(&mut self, expr: &'a Expr) -> Option<u64> {
+        match expr {
+            Expr::MethodCall {
+                recv,
+                method,
+                args,
+                tok,
+            } => {
+                let recv_fresh = self.walk_expr(recv);
+                // Acquisition?
+                if matches!(method.as_str(), "lock" | "read" | "write") && args.is_empty() {
+                    let rty = self.env.resolve(recv);
+                    if let Some((kind, class)) = rty.lock {
+                        let id = self.next_id;
+                        self.next_id += 1;
+                        self.events.push(LockEvent {
+                            op: LockOp::Acquire {
+                                kind,
+                                class: class.clone(),
+                            },
+                            tok: *tok,
+                            held: self.held(None),
+                            absorbed: self.absorbed > 0,
+                            fn_name: self.fn_name.clone(),
+                        });
+                        self.live.push(Guard {
+                            id,
+                            name: None,
+                            kind,
+                            class,
+                            scope: self.scope,
+                        });
+                        return Some(id);
+                    }
+                }
+                // Barrier wait?
+                if method == "wait" && args.is_empty() && self.env.resolve(recv).barrier {
+                    self.events.push(LockEvent {
+                        op: LockOp::Wait,
+                        tok: *tok,
+                        held: self.held(None),
+                        absorbed: self.absorbed > 0,
+                        fn_name: self.fn_name.clone(),
+                    });
+                    return None;
+                }
+                // Panic site? A panicking adapter applied directly to the
+                // acquisition chain is poison-handling on the fresh guard,
+                // not a panic while *holding* it — exclude that guard.
+                if matches!(
+                    method.as_str(),
+                    "unwrap" | "expect" | "unwrap_err" | "expect_err"
+                ) {
+                    self.events.push(LockEvent {
+                        op: LockOp::PanicSite {
+                            what: format!(".{method}()"),
+                        },
+                        tok: *tok,
+                        held: self.held(recv_fresh),
+                        absorbed: self.absorbed > 0,
+                        fn_name: self.fn_name.clone(),
+                    });
+                    for a in args {
+                        self.walk_expr(a);
+                    }
+                    return recv_fresh;
+                }
+                // spawn: the closure runs on another thread — fresh guard
+                // context, same type environment.
+                if method == "spawn" {
+                    for a in args {
+                        if let Expr::Closure { body, .. } = a {
+                            self.walk_detached(body);
+                        } else {
+                            self.walk_expr(a);
+                        }
+                    }
+                    return None;
+                }
+                for a in args {
+                    self.walk_expr(a);
+                }
+                // Poison-recovery wrappers keep the guard identity.
+                if matches!(method.as_str(), "unwrap_or_else" | "map_err" | "map") {
+                    return recv_fresh;
+                }
+                None
+            }
+            Expr::Call { callee, args, .. } => {
+                let callee_name = callee.as_path_name().unwrap_or("");
+                if callee_name == "drop" {
+                    if let Some(name) = args.first().and_then(|a| strip_refs(a).as_path_name()) {
+                        self.live.retain(|g| g.name.as_deref() != Some(name));
+                        return None;
+                    }
+                }
+                if callee_name == "catch_unwind" {
+                    self.absorbed += 1;
+                    for a in args {
+                        self.walk_expr(a);
+                    }
+                    self.absorbed -= 1;
+                    return None;
+                }
+                self.walk_expr(callee);
+                let mut fresh = None;
+                for a in args {
+                    let f = self.walk_expr(a);
+                    // AssertUnwindSafe and friends are transparent.
+                    fresh = fresh.or(f);
+                }
+                if matches!(callee_name, "AssertUnwindSafe") {
+                    return fresh;
+                }
+                // A named closure called directly: walk it here.
+                if let Some(body) = self.closure_body(callee_name) {
+                    self.walk_closure_ref(callee_name, body);
+                }
+                None
+            }
+            Expr::MacroCall { name, args, tok } => {
+                if matches!(
+                    name.as_str(),
+                    "panic" | "unreachable" | "todo" | "unimplemented"
+                ) {
+                    self.events.push(LockEvent {
+                        op: LockOp::PanicSite {
+                            what: format!("{name}!"),
+                        },
+                        tok: *tok,
+                        held: self.held(None),
+                        absorbed: self.absorbed > 0,
+                        fn_name: self.fn_name.clone(),
+                    });
+                }
+                for a in args {
+                    self.walk_expr(a);
+                }
+                None
+            }
+            Expr::Path { segs, .. } => {
+                // A reference to a let-bound closure: walk it inline at
+                // the reference point (this is where `catch_unwind(&mut
+                // main_loop)` earns absorption for the loop body).
+                if segs.len() == 1 {
+                    let name = segs[0].clone();
+                    if let Some(body) = self.closure_body(&name) {
+                        self.walk_closure_ref(&name, body);
+                    }
+                }
+                None
+            }
+            Expr::Assign {
+                target, value, op, ..
+            } => {
+                let fresh = self.walk_expr(value);
+                self.walk_expr(target);
+                if let Some(name) = target.as_path_name() {
+                    if op == "=" {
+                        if let Some(id) = fresh {
+                            // Rebinding a guard name: the old guard (if
+                            // any) is replaced by the new acquisition.
+                            self.live
+                                .retain(|g| g.id == id || g.name.as_deref() != Some(name));
+                            if let Some(g) = self.live.iter_mut().find(|g| g.id == id) {
+                                g.name = Some(name.to_string());
+                                // Promote out of statement-temporary
+                                // lifetime into the current scope.
+                                g.scope = self.scope.saturating_sub(1).max(1);
+                            }
+                            let vt = self.env.resolve(value);
+                            self.env.bind(name, vt);
+                        }
+                    }
+                }
+                None
+            }
+            Expr::Closure { body, .. } => {
+                // Immediately-walked closure (argument position).
+                self.walk_expr(body);
+                None
+            }
+            Expr::Block(b) => {
+                self.walk_block(b);
+                None
+            }
+            Expr::If { cond, then, else_ } => {
+                self.walk_expr(cond);
+                let before = self.live.clone();
+                self.walk_block(then);
+                let after_then = self.live.clone();
+                self.live = before.clone();
+                if let Some(e) = else_ {
+                    self.walk_expr(e);
+                    let after_else = std::mem::take(&mut self.live);
+                    self.live = intersect(after_then, &after_else);
+                } else {
+                    let after_none = std::mem::take(&mut self.live);
+                    self.live = intersect(after_then, &after_none);
+                }
+                None
+            }
+            Expr::Match { scrutinee, arms } => {
+                self.walk_expr(scrutinee);
+                let before = self.live.clone();
+                let mut merged: Option<Vec<Guard>> = None;
+                for arm in arms {
+                    self.live = before.clone();
+                    self.walk_expr(&arm.body);
+                    let out = std::mem::take(&mut self.live);
+                    merged = Some(match merged {
+                        None => out,
+                        Some(m) => intersect(m, &out),
+                    });
+                }
+                self.live = merged.unwrap_or(before);
+                None
+            }
+            Expr::While { cond, body } => {
+                self.walk_expr(cond);
+                let before = self.live.clone();
+                self.walk_block(body);
+                let after = std::mem::take(&mut self.live);
+                self.live = intersect(before, &after);
+                None
+            }
+            Expr::Loop { body } => {
+                let before = self.live.clone();
+                self.walk_block(body);
+                let after = std::mem::take(&mut self.live);
+                self.live = intersect(before, &after);
+                None
+            }
+            Expr::For {
+                pat_names,
+                iter,
+                body,
+                ..
+            } => {
+                self.walk_expr(iter);
+                // Loop bindings inherit the iterated container's type
+                // (`for (w, slot) in slots.iter().enumerate()`).
+                let ity = self.env.resolve(iter);
+                for n in pat_names {
+                    self.env.bind(n, ity.clone());
+                }
+                let before = self.live.clone();
+                self.walk_block(body);
+                let after = std::mem::take(&mut self.live);
+                self.live = intersect(before, &after);
+                None
+            }
+            Expr::LetCond { expr, .. } => self.walk_expr(expr),
+            Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Question { expr } => {
+                self.walk_expr(expr)
+            }
+            Expr::Binary { lhs, rhs, .. } => {
+                self.walk_expr(lhs);
+                self.walk_expr(rhs);
+                None
+            }
+            Expr::Field { base, .. } => {
+                self.walk_expr(base);
+                None
+            }
+            Expr::Index { base, index, .. } => {
+                self.walk_expr(base);
+                self.walk_expr(index);
+                None
+            }
+            Expr::StructLit { fields, .. } => {
+                for (_, e) in fields {
+                    self.walk_expr(e);
+                }
+                None
+            }
+            Expr::Return { value, .. } => {
+                if let Some(v) = value {
+                    self.walk_expr(v);
+                }
+                None
+            }
+            Expr::Tuple { elems } | Expr::Array { elems } => {
+                for e in elems {
+                    self.walk_expr(e);
+                }
+                None
+            }
+            Expr::Range { lo, hi, .. } => {
+                if let Some(e) = lo {
+                    self.walk_expr(e);
+                }
+                if let Some(e) = hi {
+                    self.walk_expr(e);
+                }
+                None
+            }
+            Expr::Lit { .. } | Expr::Jump | Expr::Opaque { .. } => None,
+        }
+    }
+
+    fn closure_body(&self, name: &str) -> Option<&'a Expr> {
+        if name.is_empty() || self.closure_stack.iter().any(|n| n == name) {
+            return None;
+        }
+        self.closures.get(name).map(|c| match c {
+            Expr::Closure { body, .. } => body.as_ref(),
+            other => *other,
+        })
+    }
+
+    fn walk_closure_ref(&mut self, name: &str, body: &'a Expr) {
+        self.closure_stack.push(name.to_string());
+        self.walk_expr(body);
+        self.closure_stack.pop();
+    }
+
+    /// Walks a spawned closure body: same types, fresh guards/absorption,
+    /// suffixed fn name.
+    fn walk_detached(&mut self, body: &'a Expr) {
+        let saved_live = std::mem::take(&mut self.live);
+        let saved_absorbed = std::mem::replace(&mut self.absorbed, 0);
+        let saved_name = self.fn_name.clone();
+        self.fn_name = format!("{saved_name}::spawn");
+        self.walk_expr(body);
+        self.fn_name = saved_name;
+        self.absorbed = saved_absorbed;
+        self.live = saved_live;
+    }
+}
+
+/// Guards live in both states (by id).
+fn intersect(a: Vec<Guard>, b: &[Guard]) -> Vec<Guard> {
+    a.into_iter()
+        .filter(|g| b.iter().any(|h| h.id == g.id))
+        .collect()
+}
+
+/// Strips `&`/`&mut`/`*` wrappers.
+fn strip_refs(e: &Expr) -> &Expr {
+    match e {
+        Expr::Unary { expr, .. } => strip_refs(expr),
+        _ => e,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Float taint.
+// ---------------------------------------------------------------------
+
+/// How an accumulation was formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaintKind {
+    /// `acc += …` (or `-=`) in a loop.
+    CompoundAssign,
+    /// `acc = acc + …` in a loop.
+    SelfAssign,
+    /// Iterator `.sum()`.
+    IterSum,
+    /// Iterator `.fold(float, …)`.
+    IterFold,
+}
+
+/// One escaping raw accumulation.
+#[derive(Debug, Clone)]
+pub struct TaintFinding {
+    /// The accumulator's name (or indexed base).
+    pub name: String,
+    /// Anchor token (first tainted update).
+    pub tok: usize,
+    /// Formation kind.
+    pub kind: TaintKind,
+}
+
+#[derive(Default)]
+struct TaintScan {
+    /// Name-flow edges: value name → binding it flows into.
+    edges: Vec<(String, String)>,
+    /// Names whose value escapes the fn.
+    sinks: BTreeSet<String>,
+    /// Candidate accumulators: name → (first tok, kind).
+    accs: BTreeMap<String, (usize, TaintKind)>,
+    /// Iterator reductions: (tok, kind, binding name if let-bound).
+    reductions: Vec<(usize, TaintKind, Option<String>, bool)>,
+}
+
+/// Scans one fn for escaping raw float accumulations. `is_integer_sum`
+/// lets the caller consult the token stream for `.sum::<integer>()`
+/// turbofish (the parser drops turbofish).
+pub fn scan_float_taint(
+    fd: &FnDef,
+    self_ty: Option<&str>,
+    info: &FileInfo,
+    is_integer_sum: &dyn Fn(usize) -> bool,
+) -> Vec<TaintFinding> {
+    let Some(body) = &fd.body else {
+        return Vec::new();
+    };
+    let mut env = Env::new(info, self_ty);
+    for p in &fd.params {
+        env.bind(&p.name, var_ty_from_type(&p.ty, info));
+    }
+    let mut scan = TaintScan::default();
+    scan_block(body, &mut env, &mut scan, 0, true);
+
+    // Sink closure: walk edges backwards from sink-used names.
+    let mut reach: BTreeSet<String> = scan.sinks.clone();
+    loop {
+        let mut grew = false;
+        for (src, dst) in &scan.edges {
+            if reach.contains(dst) && reach.insert(src.clone()) {
+                grew = true;
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+
+    let mut out = Vec::new();
+    for (name, (tok, kind)) in &scan.accs {
+        if reach.contains(name) {
+            out.push(TaintFinding {
+                name: name.clone(),
+                tok: *tok,
+                kind: *kind,
+            });
+        }
+    }
+    for (tok, kind, binding, direct_sink) in &scan.reductions {
+        if *kind == TaintKind::IterSum && is_integer_sum(*tok) {
+            continue;
+        }
+        let escapes = *direct_sink || binding.as_ref().is_some_and(|b| reach.contains(b));
+        if escapes {
+            out.push(TaintFinding {
+                name: binding.clone().unwrap_or_else(|| "<expr>".to_string()),
+                tok: *tok,
+                kind: *kind,
+            });
+        }
+    }
+    out.sort_by_key(|f| f.tok);
+    out
+}
+
+/// Collects every path name in `e`, skipping comparison/logical subtrees
+/// (no taint through comparisons).
+fn value_names(e: &Expr, out: &mut BTreeSet<String>) {
+    ast::walk_expr(e, &mut |e| match e {
+        Expr::Binary { op, .. } => !matches!(
+            op.as_str(),
+            "==" | "!=" | "<" | ">" | "<=" | ">=" | "&&" | "||"
+        ),
+        Expr::Path { segs, .. } => {
+            if let Some(n) = segs.last() {
+                out.insert(n.clone());
+            }
+            true
+        }
+        _ => true,
+    });
+}
+
+/// The name an assignment target stores through, when the target is a
+/// plain binding; stores through fields/indexes/derefs return `None` and
+/// are treated as export sinks instead.
+fn target_name(e: &Expr) -> Option<&str> {
+    e.as_path_name()
+}
+
+/// The base binding of an indexed/deref/field target (`buf[j]` → `buf`).
+fn target_base_name(e: &Expr) -> Option<&str> {
+    match e {
+        Expr::Index { base, .. } | Expr::Field { base, .. } => target_base_name(base),
+        Expr::Unary { expr, .. } => target_base_name(expr),
+        Expr::Path { segs, .. } => segs.last().map(String::as_str),
+        _ => None,
+    }
+}
+
+fn scan_block(
+    block: &Block,
+    env: &mut Env<'_>,
+    scan: &mut TaintScan,
+    loop_depth: usize,
+    fn_tail: bool,
+) {
+    let n = block.stmts.len();
+    for (i, stmt) in block.stmts.iter().enumerate() {
+        match stmt {
+            Stmt::Let {
+                primary,
+                ty,
+                init,
+                else_block,
+                ..
+            } => {
+                if let Some(e) = init {
+                    scan_expr(e, env, scan, loop_depth, None);
+                    if let Some(name) = primary {
+                        let mut names = BTreeSet::new();
+                        value_names(e, &mut names);
+                        for src in names {
+                            scan.edges.push((src, name.clone()));
+                        }
+                        note_reduction_binding(e, name, scan);
+                    }
+                }
+                let resolved = match (ty, init) {
+                    (Some(t), _) => var_ty_from_type(t, env.info),
+                    (None, Some(e)) => env.resolve(e),
+                    _ => VarTy::default(),
+                };
+                if let Some(name) = primary {
+                    env.bind(name, resolved);
+                }
+                if let Some(b) = else_block {
+                    scan_block(b, env, scan, loop_depth, false);
+                }
+            }
+            Stmt::Expr { expr, has_semi } => {
+                let is_tail = fn_tail && !*has_semi && i + 1 == n;
+                scan_expr(expr, env, scan, loop_depth, None);
+                if is_tail {
+                    let mut names = BTreeSet::new();
+                    value_names(expr, &mut names);
+                    scan.sinks.extend(names);
+                    mark_direct_reductions(expr, scan);
+                }
+            }
+            Stmt::Item(_) | Stmt::Opaque => {}
+        }
+    }
+}
+
+/// If a let initializer *is* (or chains onto) an iterator reduction,
+/// attach the binding name to that reduction record.
+fn note_reduction_binding(init: &Expr, name: &str, scan: &mut TaintScan) {
+    ast::walk_expr(init, &mut |e| {
+        if let Expr::MethodCall { tok, .. } = e {
+            for r in scan.reductions.iter_mut() {
+                if r.0 == *tok && r.2.is_none() {
+                    r.2 = Some(name.to_string());
+                }
+            }
+        }
+        true
+    });
+}
+
+/// Marks reductions appearing in a sink expression as directly escaping.
+fn mark_direct_reductions(e: &Expr, scan: &mut TaintScan) {
+    ast::walk_expr(e, &mut |e| {
+        if let Expr::MethodCall { tok, .. } = e {
+            for r in scan.reductions.iter_mut() {
+                if r.0 == *tok {
+                    r.3 = true;
+                }
+            }
+        }
+        true
+    });
+}
+
+/// `for_bound` carries the pattern names of the innermost `for` so that
+/// `*x += y` on a per-iteration binding is not mistaken for a
+/// loop-carried accumulator.
+fn scan_expr(
+    e: &Expr,
+    env: &mut Env<'_>,
+    scan: &mut TaintScan,
+    loop_depth: usize,
+    for_bound: Option<&[String]>,
+) {
+    match e {
+        Expr::Assign {
+            op,
+            target,
+            value,
+            tok,
+        } => {
+            scan_expr(value, env, scan, loop_depth, for_bound);
+            let mut vnames = BTreeSet::new();
+            value_names(value, &mut vnames);
+            if let Some(name) = target_name(target) {
+                // Name-flow edge (compound ops also keep the old value).
+                for src in &vnames {
+                    scan.edges.push((src.clone(), name.to_string()));
+                }
+                let is_acc = match op.as_str() {
+                    "+=" | "-=" => loop_depth > 0,
+                    "=" => {
+                        // `acc = acc + x` self-accumulation.
+                        loop_depth > 0
+                            && matches!(
+                                &**value,
+                                Expr::Binary { op, lhs, rhs, .. }
+                                    if (op == "+" || op == "-")
+                                        && (lhs.as_path_name() == Some(name)
+                                            || rhs.as_path_name() == Some(name))
+                            )
+                    }
+                    _ => false,
+                };
+                if is_acc && env.resolve(target).float {
+                    let kind = if op == "=" {
+                        TaintKind::SelfAssign
+                    } else {
+                        TaintKind::CompoundAssign
+                    };
+                    scan.accs
+                        .entry(name.to_string())
+                        .or_insert((target.tok(), kind));
+                }
+            } else {
+                // Store through a field/index/deref: the value escapes.
+                scan.sinks.extend(vnames);
+                mark_direct_reductions(value, scan);
+                let _ = tok;
+                // A compound store with a loop-invariant base is itself a
+                // loop-carried accumulator (`acc[j] += x` with `acc`
+                // declared outside the loop).
+                if matches!(op.as_str(), "+=" | "-=") && loop_depth > 0 {
+                    if let Some(base) = target_base_name(target) {
+                        let per_iteration =
+                            for_bound.is_some_and(|ns| ns.iter().any(|n| n == base));
+                        if !per_iteration && env.resolve(target).float {
+                            scan.accs
+                                .entry(base.to_string())
+                                .or_insert((target.tok(), TaintKind::CompoundAssign));
+                            // The base escapes by definition (it is a
+                            // container that outlives the loop).
+                            scan.sinks.insert(base.to_string());
+                        }
+                    }
+                }
+            }
+            scan_expr(target, env, scan, loop_depth, for_bound);
+        }
+        Expr::MethodCall {
+            recv,
+            method,
+            args,
+            tok,
+        } => {
+            scan_expr(recv, env, scan, loop_depth, for_bound);
+            for a in args {
+                scan_expr(a, env, scan, loop_depth, for_bound);
+            }
+            // Iterator reductions.
+            if method == "sum" && args.is_empty() {
+                scan.reductions
+                    .push((*tok, TaintKind::IterSum, None, false));
+            }
+            if method == "fold"
+                && args.len() == 2
+                && matches!(args[0], Expr::Lit { float: true, .. })
+            {
+                scan.reductions
+                    .push((*tok, TaintKind::IterFold, None, false));
+            }
+            // Arguments handed to a method on a param/self/field are
+            // exports (`out.push(sum)`, `slot.delta.set(d)`) — unless the
+            // receiver is a compensated accumulator, the sanctioned route.
+            let rty = env.resolve(recv);
+            let receiver_is_binding = matches!(
+                strip_refs(recv),
+                Expr::Path { .. } | Expr::Field { .. } | Expr::Index { .. }
+            );
+            if receiver_is_binding && !rty.compensator && !args.is_empty() {
+                let mut names = BTreeSet::new();
+                for a in args {
+                    value_names(a, &mut names);
+                }
+                scan.sinks.extend(names);
+                for a in args {
+                    mark_direct_reductions(a, scan);
+                }
+            }
+        }
+        Expr::StructLit { fields, .. } => {
+            for (_, v) in fields {
+                scan_expr(v, env, scan, loop_depth, for_bound);
+                let mut names = BTreeSet::new();
+                value_names(v, &mut names);
+                scan.sinks.extend(names);
+                mark_direct_reductions(v, scan);
+            }
+        }
+        Expr::Return { value: Some(v), .. } => {
+            scan_expr(v, env, scan, loop_depth, for_bound);
+            let mut names = BTreeSet::new();
+            value_names(v, &mut names);
+            scan.sinks.extend(names);
+            mark_direct_reductions(v, scan);
+        }
+        Expr::For {
+            pat_names,
+            iter,
+            body,
+            ..
+        } => {
+            scan_expr(iter, env, scan, loop_depth, for_bound);
+            let ity = env.resolve(iter);
+            for n in pat_names {
+                env.bind(n, ity.clone());
+            }
+            scan_for_block(body, env, scan, loop_depth + 1, pat_names);
+        }
+        Expr::While { cond, body } => {
+            scan_expr(cond, env, scan, loop_depth, for_bound);
+            scan_block(body, env, scan, loop_depth + 1, false);
+        }
+        Expr::Loop { body } => {
+            scan_block(body, env, scan, loop_depth + 1, false);
+        }
+        Expr::If { cond, then, else_ } => {
+            scan_expr(cond, env, scan, loop_depth, for_bound);
+            scan_block(then, env, scan, loop_depth, false);
+            if let Some(e) = else_ {
+                scan_expr(e, env, scan, loop_depth, for_bound);
+            }
+        }
+        Expr::Match { scrutinee, arms } => {
+            scan_expr(scrutinee, env, scan, loop_depth, for_bound);
+            for arm in arms {
+                scan_expr(&arm.body, env, scan, loop_depth, for_bound);
+            }
+        }
+        Expr::Block(b) => scan_block(b, env, scan, loop_depth, false),
+        Expr::Closure { body, .. } => scan_expr(body, env, scan, loop_depth, for_bound),
+        Expr::Call { callee, args, .. } => {
+            scan_expr(callee, env, scan, loop_depth, for_bound);
+            for a in args {
+                scan_expr(a, env, scan, loop_depth, for_bound);
+            }
+        }
+        Expr::MacroCall { args, .. } => {
+            for a in args {
+                scan_expr(a, env, scan, loop_depth, for_bound);
+            }
+        }
+        Expr::Unary { expr, .. } | Expr::Cast { expr, .. } | Expr::Question { expr } => {
+            scan_expr(expr, env, scan, loop_depth, for_bound)
+        }
+        Expr::Binary { lhs, rhs, .. } => {
+            scan_expr(lhs, env, scan, loop_depth, for_bound);
+            scan_expr(rhs, env, scan, loop_depth, for_bound);
+        }
+        Expr::Field { base, .. } => scan_expr(base, env, scan, loop_depth, for_bound),
+        Expr::Index { base, index, .. } => {
+            scan_expr(base, env, scan, loop_depth, for_bound);
+            scan_expr(index, env, scan, loop_depth, for_bound);
+        }
+        Expr::LetCond { expr, .. } => scan_expr(expr, env, scan, loop_depth, for_bound),
+        Expr::Tuple { elems } | Expr::Array { elems } => {
+            for e in elems {
+                scan_expr(e, env, scan, loop_depth, for_bound);
+            }
+        }
+        Expr::Range { lo, hi, .. } => {
+            if let Some(e) = lo {
+                scan_expr(e, env, scan, loop_depth, for_bound);
+            }
+            if let Some(e) = hi {
+                scan_expr(e, env, scan, loop_depth, for_bound);
+            }
+        }
+        Expr::Return { value: None, .. } => {}
+        Expr::Path { .. } | Expr::Lit { .. } | Expr::Jump | Expr::Opaque { .. } => {}
+    }
+}
+
+/// A for-body scan that remembers the loop's own bindings.
+fn scan_for_block(
+    block: &Block,
+    env: &mut Env<'_>,
+    scan: &mut TaintScan,
+    loop_depth: usize,
+    pat_names: &[String],
+) {
+    let n = block.stmts.len();
+    for (i, stmt) in block.stmts.iter().enumerate() {
+        let _ = (i, n);
+        match stmt {
+            Stmt::Let {
+                primary,
+                ty,
+                init,
+                else_block,
+                ..
+            } => {
+                if let Some(e) = init {
+                    scan_expr(e, env, scan, loop_depth, Some(pat_names));
+                    if let Some(name) = primary {
+                        let mut names = BTreeSet::new();
+                        value_names(e, &mut names);
+                        for src in names {
+                            scan.edges.push((src, name.clone()));
+                        }
+                        note_reduction_binding(e, name, scan);
+                    }
+                }
+                let resolved = match (ty, init) {
+                    (Some(t), _) => var_ty_from_type(t, env.info),
+                    (None, Some(e)) => env.resolve(e),
+                    _ => VarTy::default(),
+                };
+                if let Some(name) = primary {
+                    env.bind(name, resolved);
+                }
+                if let Some(b) = else_block {
+                    scan_block(b, env, scan, loop_depth, false);
+                }
+            }
+            Stmt::Expr { expr, .. } => {
+                scan_expr(expr, env, scan, loop_depth, Some(pat_names));
+            }
+            Stmt::Item(_) | Stmt::Opaque => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    fn first_fn(src: &str) -> (crate::ast::File, FileInfo) {
+        let file = parse_file(&lex(src));
+        let info = crate::resolve::file_info(&file);
+        (file, info)
+    }
+
+    fn lock_events(src: &str) -> Vec<LockEvent> {
+        let (file, info) = first_fn(src);
+        let fns = crate::ast::all_fns(&file);
+        let mut out = Vec::new();
+        for (fd, self_ty) in fns {
+            out.extend(scan_locks(fd, self_ty, &info));
+        }
+        out
+    }
+
+    #[test]
+    fn guard_across_wait_is_observed() {
+        let ev = lock_events(
+            "fn f(state: &RwLock<PoolState>, barrier: &Barrier) {\n\
+             let st = state.write().unwrap_or_else(|e| e.into_inner());\n\
+             barrier.wait();\n\
+             drop(st);\n\
+             barrier.wait();\n\
+             }",
+        );
+        let waits: Vec<_> = ev.iter().filter(|e| e.op == LockOp::Wait).collect();
+        assert_eq!(waits.len(), 2);
+        assert_eq!(
+            waits[0].held,
+            vec![(LockKind::RwLock, "PoolState".to_string())]
+        );
+        assert!(waits[1].held.is_empty(), "drop must release the guard");
+    }
+
+    #[test]
+    fn drop_before_wait_is_clean_and_reacquire_rearms() {
+        let ev = lock_events(
+            "fn f(state: &RwLock<PoolState>, barrier: &Barrier) {\n\
+             let mut st = state.write().unwrap_or_else(|e| e.into_inner());\n\
+             drop(st);\n\
+             barrier.wait();\n\
+             st = state.write().unwrap_or_else(|e| e.into_inner());\n\
+             barrier.wait();\n\
+             }",
+        );
+        let waits: Vec<_> = ev.iter().filter(|e| e.op == LockOp::Wait).collect();
+        assert!(waits[0].held.is_empty());
+        assert_eq!(waits[1].held.len(), 1, "reassignment rearms the guard");
+    }
+
+    #[test]
+    fn nested_acquisition_records_order_edge() {
+        let ev = lock_events(
+            "fn f(slots: &[Mutex<PoolSlot>], state: &RwLock<PoolState>) {\n\
+             let g = slots[0].lock().unwrap_or_else(|e| e.into_inner());\n\
+             let st = state.read().unwrap_or_else(|e| e.into_inner());\n\
+             }",
+        );
+        let acqs: Vec<_> = ev
+            .iter()
+            .filter_map(|e| match &e.op {
+                LockOp::Acquire { class, .. } => Some((class.clone(), e.held.clone())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(acqs.len(), 2);
+        assert!(acqs[0].1.is_empty());
+        assert_eq!(acqs[1].1, vec![(LockKind::Mutex, "PoolSlot".to_string())]);
+    }
+
+    #[test]
+    fn catch_unwind_absorbs_even_through_named_closures() {
+        let ev = lock_events(
+            "fn f(state: &RwLock<PoolState>) {\n\
+             let mut main_loop = || { state.read().unwrap(); };\n\
+             let out = catch_unwind(AssertUnwindSafe(&mut main_loop));\n\
+             }",
+        );
+        let panics: Vec<_> = ev
+            .iter()
+            .filter(|e| matches!(e.op, LockOp::PanicSite { .. }))
+            .collect();
+        assert_eq!(panics.len(), 1);
+        assert!(panics[0].absorbed, "catch_unwind must absorb the unwrap");
+    }
+
+    #[test]
+    fn unwrap_on_own_acquisition_is_not_held_panic() {
+        let ev = lock_events("fn f(m: &Mutex<Scratch>) { let g = m.lock().unwrap(); }");
+        let p = ev
+            .iter()
+            .find(|e| matches!(e.op, LockOp::PanicSite { .. }))
+            .unwrap();
+        assert!(
+            p.held.is_empty(),
+            "poison-unwrap on the fresh guard is not a held-panic: {p:?}"
+        );
+    }
+
+    #[test]
+    fn spawn_closures_get_fresh_guard_context() {
+        let ev = lock_events(
+            "fn f(m: &Mutex<Scratch>, scope: &Scope, barrier: &Barrier) {\n\
+             let g = m.lock().unwrap_or_else(|e| e.into_inner());\n\
+             scope.spawn(move || { barrier.wait(); });\n\
+             }",
+        );
+        let wait = ev.iter().find(|e| e.op == LockOp::Wait).unwrap();
+        assert!(wait.held.is_empty(), "spawned thread holds nothing");
+        assert!(wait.fn_name.ends_with("::spawn"));
+    }
+
+    #[test]
+    fn try_lock_is_untracked() {
+        let ev = lock_events(
+            "fn f(m: &Mutex<Scratch>, barrier: &Barrier) {\n\
+             let g = m.try_lock();\n\
+             barrier.wait();\n\
+             }",
+        );
+        let wait = ev.iter().find(|e| e.op == LockOp::Wait).unwrap();
+        assert!(wait.held.is_empty());
+        assert!(!ev.iter().any(|e| matches!(e.op, LockOp::Acquire { .. })));
+    }
+
+    fn taints(src: &str) -> Vec<TaintFinding> {
+        let (file, info) = first_fn(src);
+        let fns = crate::ast::all_fns(&file);
+        let mut out = Vec::new();
+        for (fd, self_ty) in fns {
+            out.extend(scan_float_taint(fd, self_ty, &info, &|_| false));
+        }
+        out
+    }
+
+    #[test]
+    fn escaping_accumulator_is_found_once() {
+        let found = taints(
+            "fn f(xs: &[f64]) -> f64 {\n\
+             let mut sum = 0.0;\n\
+             for x in xs { sum += x; sum += 1.0; }\n\
+             sum / xs.len() as f64\n\
+             }",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].name, "sum");
+        assert_eq!(found[0].kind, TaintKind::CompoundAssign);
+    }
+
+    #[test]
+    fn comparison_only_accumulator_is_silent() {
+        let found = taints(
+            "fn f(xs: &[f64], threshold: f64) -> bool {\n\
+             let mut sum = 0.0;\n\
+             for x in xs { sum += x; }\n\
+             let avg = sum / xs.len() as f64;\n\
+             avg < threshold\n\
+             }",
+        );
+        assert!(found.is_empty(), "comparisons must not taint: {found:?}");
+    }
+
+    #[test]
+    fn flow_through_block_value_reaches_deref_store() {
+        let found = taints(
+            "fn f(xs: &[f64], out: &mut f64) {\n\
+             for chunk in xs.chunks(4) {\n\
+             let s = { let mut sum = 0.0; for x in chunk { sum += x; } sum / 4.0 };\n\
+             let value = s * 0.5;\n\
+             *out = value;\n\
+             }\n\
+             }",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].name, "sum");
+    }
+
+    #[test]
+    fn integer_accumulators_are_silent() {
+        let found = taints(
+            "fn f(xs: &[u32]) -> u64 {\n\
+             let mut n = 0u64;\n\
+             for x in xs { n += 1; }\n\
+             n\n\
+             }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn per_iteration_deref_store_is_not_loop_carried() {
+        let found = taints(
+            "fn f(acc: &mut [f64], src: &[f64]) {\n\
+             for (x, y) in acc.iter_mut().zip(src) { *x += y; }\n\
+             }",
+        );
+        assert!(
+            found.is_empty(),
+            "per-slot writes are not carried: {found:?}"
+        );
+    }
+
+    #[test]
+    fn loop_invariant_index_store_is_loop_carried() {
+        let found = taints(
+            "fn f(xs: &[f64]) -> Vec<f64> {\n\
+             let mut acc = vec![0.0f64; 8];\n\
+             for x in xs { acc[0] += x; }\n\
+             acc\n\
+             }",
+        );
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].name, "acc");
+    }
+
+    #[test]
+    fn iter_sum_and_fold_escape_detection() {
+        let found = taints(
+            "fn f(xs: &[f64]) -> f64 { xs.iter().sum() }\n\
+             fn g(xs: &[f64]) -> f64 { let t = xs.iter().fold(0.0, |a, b| a + b); t * 2.0 }\n\
+             fn h(xs: &[f64]) { let _t: f64 = xs.iter().sum(); }",
+        );
+        // f: direct-return sum; g: fold bound then returned; h: bound but
+        // never escapes.
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().any(|f| f.kind == TaintKind::IterSum));
+        assert!(found.iter().any(|f| f.kind == TaintKind::IterFold));
+    }
+
+    #[test]
+    fn compensated_route_is_sanctioned() {
+        let found = taints(
+            "fn f(xs: &[f64]) -> f64 {\n\
+             let mut ns = NeumaierSum::new();\n\
+             for x in xs { ns.add(*x); }\n\
+             ns.value()\n\
+             }",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

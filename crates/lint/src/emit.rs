@@ -1,0 +1,164 @@
+//! Machine-readable output: JSON and SARIF 2.1.0 serialization of
+//! diagnostics, std-only and byte-stable.
+//!
+//! ## JSON schema (`--format json`)
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "findings": [
+//!     { "rule": "float-taint", "path": "crates/core/src/kernel.rs",
+//!       "line": 633, "col": 13, "message": "..." }
+//!   ]
+//! }
+//! ```
+//!
+//! `findings` is sorted by (path, line, col, rule) — the same stable
+//! order the text output uses — so diffing two runs diffs the findings.
+//!
+//! ## SARIF (`--format sarif`)
+//!
+//! A single-run SARIF 2.1.0 log: every registered rule appears under
+//! `tool.driver.rules`, every finding becomes a `result` with `level:
+//! "error"` and one physical location. CI uploads this artifact so
+//! findings annotate pull requests.
+
+use crate::diag::Diagnostic;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal (both formats share JSON
+/// string syntax).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes diagnostics as the versioned JSON report.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{ \"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \"message\": \"{}\" }}",
+            esc(d.rule),
+            esc(&d.path),
+            d.line,
+            d.col,
+            esc(&d.message)
+        );
+    }
+    if diags.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// Serializes diagnostics as a SARIF 2.1.0 log.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"ems-lint\",\n          \"rules\": [",
+    );
+    let mut first = true;
+    for rule in crate::rules::RULES {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n            {{ \"id\": \"{}\", \"shortDescription\": {{ \"text\": \"{}\" }} }}",
+            esc(rule.id),
+            esc(rule.summary)
+        );
+    }
+    let _ = write!(
+        out,
+        ",\n            {{ \"id\": \"{}\", \"shortDescription\": {{ \"text\": \"{}\" }} }}",
+        esc(crate::callgraph::RULE),
+        esc(crate::callgraph::SUMMARY)
+    );
+    let _ = write!(
+        out,
+        ",\n            {{ \"id\": \"{}\", \"shortDescription\": {{ \"text\": \"malformed, reason-less, unknown-rule, or unused suppression directives\" }} }}",
+        esc(crate::allow::SUPPRESSION_RULE)
+    );
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \
+             \"message\": {{ \"text\": \"{}\" }},\n          \"locations\": [\n            {{\n              \
+             \"physicalLocation\": {{\n                \"artifactLocation\": {{ \"uri\": \"{}\" }},\n                \
+             \"region\": {{ \"startLine\": {}, \"startColumn\": {} }}\n              }}\n            }}\n          ]\n        }}",
+            esc(d.rule),
+            esc(&d.message),
+            esc(&d.path),
+            d.line,
+            d.col
+        );
+    }
+    if diags.is_empty() {
+        out.push_str("]\n    }\n  ]\n}\n");
+    } else {
+        out.push_str("\n      ]\n    }\n  ]\n}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![Diagnostic {
+            rule: "float-taint",
+            path: "crates/core/src/kernel.rs".to_string(),
+            line: 7,
+            col: 9,
+            message: "escaping \"sum\"\nsecond line".to_string(),
+        }]
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let j = to_json(&sample());
+        assert!(j.contains("\"version\": 1"));
+        assert!(j.contains("\\\"sum\\\"\\nsecond line"));
+        assert!(j.contains("\"line\": 7"));
+        assert!(to_json(&[]).contains("\"findings\": []"));
+    }
+
+    #[test]
+    fn sarif_lists_every_rule_and_finding() {
+        let s = to_sarif(&sample());
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        for rule in crate::rules::rule_ids() {
+            assert!(s.contains(&format!("\"id\": \"{rule}\"")), "{rule} missing");
+        }
+        assert!(s.contains("\"startLine\": 7"));
+        assert!(to_sarif(&[]).contains("\"results\": []"));
+    }
+}

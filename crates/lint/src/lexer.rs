@@ -1,16 +1,24 @@
-//! A minimal Rust lexer — just enough structure for token-pattern rules.
+//! A minimal Rust lexer — the token stream under both the token-pattern
+//! rules and the v2 recursive-descent parser ([`crate::parser`]).
 //!
 //! The workspace vendors no third-party crates, so a full AST (syn) is not
-//! available; the rules in [`crate::rules`] are written against a token
-//! stream instead. The lexer handles everything that would otherwise make
-//! token matching unsound: nested block comments, raw/byte strings, char
-//! literals vs lifetimes, and float vs integer literals. Comments are kept
-//! on the side — suppression directives and `SAFETY:` audits live there.
+//! available; the lexer provides everything that would otherwise make
+//! token matching unsound: nested block comments, raw/byte strings, byte
+//! chars, raw identifiers, char literals vs lifetimes, and float vs
+//! integer literals. Comments are kept on the side — suppression
+//! directives and `SAFETY:` audits live there.
+//!
+//! Every token and comment carries its **byte span** in the source. The
+//! spans are a checked invariant: `tests/lexer_roundtrip.rs` asserts that
+//! for every source file in the workspace the spans are ascending,
+//! non-overlapping, and cover everything but whitespace — i.e. that the
+//! token stream exactly reconstructs the file.
 
 /// Token categories relevant to the rules.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokKind {
-    /// Identifier or keyword.
+    /// Identifier or keyword (including raw identifiers — `r#type` lexes
+    /// as the identifier `type`, which is what the name refers to).
     Ident,
     /// Punctuation (single char, or one of the composed operators).
     Punct,
@@ -21,23 +29,29 @@ pub enum TokKind {
     },
     /// String literal of any flavor (contents not retained).
     Str,
-    /// Char literal.
+    /// Char or byte-char literal.
     Char,
     /// Lifetime (`'a`).
     Lifetime,
 }
 
-/// One lexed token with its source position (1-based line and column).
+/// One lexed token with its source position (1-based line and column) and
+/// byte span (`start..end` into the source).
 #[derive(Debug, Clone)]
 pub struct Token {
     /// Category.
     pub kind: TokKind,
-    /// Literal text (empty for string contents).
+    /// Literal text (empty for string contents; the referenced name for
+    /// raw identifiers).
     pub text: String,
     /// 1-based source line.
     pub line: u32,
     /// 1-based source column.
     pub col: u32,
+    /// Byte offset of the token's first byte.
+    pub start: u32,
+    /// Byte offset one past the token's last byte.
+    pub end: u32,
 }
 
 impl Token {
@@ -56,12 +70,17 @@ impl Token {
 /// code token precedes it on that line (a *trailing* comment).
 #[derive(Debug, Clone)]
 pub struct Comment {
-    /// Comment text without the `//` / `/*` markers, untrimmed.
+    /// Comment text without the `//` / `/*` markers, untrimmed. Nested
+    /// block-comment delimiters are preserved verbatim.
     pub text: String,
     /// 1-based line the comment starts on.
     pub line: u32,
     /// Whether a code token precedes the comment on its line.
     pub trailing: bool,
+    /// Byte offset of the comment opener.
+    pub start: u32,
+    /// Byte offset one past the comment's last byte.
+    pub end: u32,
 }
 
 /// Lexer output: the code token stream plus the comment side channel.
@@ -85,6 +104,16 @@ const TWO_CHAR_OPS: &[&str] = &[
 /// structure is recoverable).
 pub fn lex(src: &str) -> Lexed {
     let chars: Vec<char> = src.chars().collect();
+    // Byte offset of every char, plus the end-of-input sentinel, so any
+    // char-index range maps straight to a byte span.
+    let mut offs: Vec<u32> = Vec::with_capacity(chars.len() + 1);
+    let mut b = 0u32;
+    for c in &chars {
+        offs.push(b);
+        b += c.len_utf8() as u32;
+    }
+    offs.push(b);
+
     let mut out = Lexed::default();
     let mut i = 0usize;
     let mut line: u32 = 1;
@@ -112,7 +141,7 @@ pub fn lex(src: &str) -> Lexed {
         }
         // Line comment (including doc comments).
         if c == '/' && i + 1 < chars.len() && chars[i + 1] == '/' {
-            let start_line = line;
+            let (start_line, start_i) = (line, i);
             let mut text = String::new();
             bump!();
             bump!();
@@ -124,12 +153,14 @@ pub fn lex(src: &str) -> Lexed {
                 text,
                 line: start_line,
                 trailing: last_code_line == start_line,
+                start: offs[start_i],
+                end: offs[i],
             });
             continue;
         }
         // Block comment (nested).
         if c == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
-            let start_line = line;
+            let (start_line, start_i) = (line, i);
             let mut text = String::new();
             let mut depth = 1usize;
             bump!();
@@ -137,10 +168,14 @@ pub fn lex(src: &str) -> Lexed {
             while i < chars.len() && depth > 0 {
                 if chars[i] == '/' && i + 1 < chars.len() && chars[i + 1] == '*' {
                     depth += 1;
+                    text.push_str("/*");
                     bump!();
                     bump!();
                 } else if chars[i] == '*' && i + 1 < chars.len() && chars[i + 1] == '/' {
                     depth -= 1;
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
                     bump!();
                     bump!();
                 } else {
@@ -152,32 +187,60 @@ pub fn lex(src: &str) -> Lexed {
                 text,
                 line: start_line,
                 trailing: last_code_line == start_line,
+                start: offs[start_i],
+                end: offs[i],
             });
             continue;
         }
-        let (tok_line, tok_col) = (line, col);
+        let (tok_line, tok_col, tok_start) = (line, col, i);
+        macro_rules! push_tok {
+            ($kind:expr, $text:expr) => {{
+                out.tokens.push(Token {
+                    kind: $kind,
+                    text: $text,
+                    line: tok_line,
+                    col: tok_col,
+                    start: offs[tok_start],
+                    end: offs[i],
+                });
+                last_code_line = tok_line;
+            }};
+        }
         // Raw / byte strings: r"", r#""#, b"", br#""#.
         if (c == 'r' || c == 'b') && is_raw_or_byte_string(&chars, i) {
             consume_string_like(&chars, &mut i, &mut line, &mut col);
-            out.tokens.push(Token {
-                kind: TokKind::Str,
-                text: String::new(),
-                line: tok_line,
-                col: tok_col,
-            });
-            last_code_line = tok_line;
+            push_tok!(TokKind::Str, String::new());
+            continue;
+        }
+        // Byte-char literal: b'x', b'\n'.
+        if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+            bump!(); // the `b`
+            consume_quoted(&chars, &mut i, &mut line, &mut col, '\'');
+            push_tok!(TokKind::Char, String::new());
+            continue;
+        }
+        // Raw identifier: r#ident (the token *is* the suffixed name —
+        // `r#type` is the identifier `type`).
+        if c == 'r'
+            && chars.get(i + 1) == Some(&'#')
+            && chars
+                .get(i + 2)
+                .is_some_and(|d| *d == '_' || d.is_alphabetic())
+        {
+            bump!(); // r
+            bump!(); // #
+            let mut text = String::new();
+            while i < chars.len() && (chars[i] == '_' || chars[i].is_alphanumeric()) {
+                text.push(chars[i]);
+                bump!();
+            }
+            push_tok!(TokKind::Ident, text);
             continue;
         }
         // Plain string.
         if c == '"' {
             consume_quoted(&chars, &mut i, &mut line, &mut col, '"');
-            out.tokens.push(Token {
-                kind: TokKind::Str,
-                text: String::new(),
-                line: tok_line,
-                col: tok_col,
-            });
-            last_code_line = tok_line;
+            push_tok!(TokKind::Str, String::new());
             continue;
         }
         // Char literal vs lifetime.
@@ -195,22 +258,11 @@ pub fn lex(src: &str) -> Lexed {
                     text.push(chars[i]);
                     bump!();
                 }
-                out.tokens.push(Token {
-                    kind: TokKind::Lifetime,
-                    text,
-                    line: tok_line,
-                    col: tok_col,
-                });
+                push_tok!(TokKind::Lifetime, text);
             } else {
                 consume_quoted(&chars, &mut i, &mut line, &mut col, '\'');
-                out.tokens.push(Token {
-                    kind: TokKind::Char,
-                    text: String::new(),
-                    line: tok_line,
-                    col: tok_col,
-                });
+                push_tok!(TokKind::Char, String::new());
             }
-            last_code_line = tok_line;
             continue;
         }
         // Identifier / keyword.
@@ -220,13 +272,7 @@ pub fn lex(src: &str) -> Lexed {
                 text.push(chars[i]);
                 bump!();
             }
-            out.tokens.push(Token {
-                kind: TokKind::Ident,
-                text,
-                line: tok_line,
-                col: tok_col,
-            });
-            last_code_line = tok_line;
+            push_tok!(TokKind::Ident, text);
             continue;
         }
         // Numeric literal.
@@ -291,13 +337,7 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 text.push_str(&suffix);
             }
-            out.tokens.push(Token {
-                kind: TokKind::Num { float },
-                text,
-                line: tok_line,
-                col: tok_col,
-            });
-            last_code_line = tok_line;
+            push_tok!(TokKind::Num { float }, text);
             continue;
         }
         // Punctuation — compose two-char operators, prefer `..=`.
@@ -306,31 +346,15 @@ pub fn lex(src: &str) -> Lexed {
             bump!();
             bump!();
             bump!();
-            out.tokens.push(Token {
-                kind: TokKind::Punct,
-                text: "..=".to_string(),
-                line: tok_line,
-                col: tok_col,
-            });
+            push_tok!(TokKind::Punct, "..=".to_string());
         } else if TWO_CHAR_OPS.contains(&pair.as_str()) {
             bump!();
             bump!();
-            out.tokens.push(Token {
-                kind: TokKind::Punct,
-                text: pair,
-                line: tok_line,
-                col: tok_col,
-            });
+            push_tok!(TokKind::Punct, pair);
         } else {
             bump!();
-            out.tokens.push(Token {
-                kind: TokKind::Punct,
-                text: c.to_string(),
-                line: tok_line,
-                col: tok_col,
-            });
+            push_tok!(TokKind::Punct, c.to_string());
         }
-        last_code_line = tok_line;
     }
     out
 }
@@ -444,6 +468,36 @@ mod tests {
             .collect()
     }
 
+    /// Spans must be ascending, non-overlapping, in-bounds, and everything
+    /// between them must be whitespace — the reconstruction invariant the
+    /// workspace-wide property test enforces on real sources.
+    fn assert_spans_reconstruct(src: &str) {
+        let lexed = lex(src);
+        let mut spans: Vec<(u32, u32)> = lexed
+            .tokens
+            .iter()
+            .map(|t| (t.start, t.end))
+            .chain(lexed.comments.iter().map(|c| (c.start, c.end)))
+            .collect();
+        spans.sort();
+        let mut cursor = 0u32;
+        for (start, end) in spans {
+            assert!(start >= cursor, "overlapping spans at byte {start}");
+            assert!(end > start, "empty span at byte {start}");
+            assert!(
+                src[cursor as usize..start as usize]
+                    .chars()
+                    .all(char::is_whitespace),
+                "non-whitespace bytes between spans before {start}"
+            );
+            cursor = end;
+        }
+        assert!(
+            src[cursor as usize..].chars().all(char::is_whitespace),
+            "non-whitespace tail after last span"
+        );
+    }
+
     #[test]
     fn comments_and_strings_hide_tokens() {
         let lexed = lex("let x = \"partial_cmp\"; // partial_cmp here\n/* partial_cmp */ let y;");
@@ -489,6 +543,52 @@ mod tests {
         assert!(lexed.tokens.iter().any(|t| t.is_ident("t")));
     }
 
+    /// Regression (PR 8): `b'x'` used to lex as the identifier `b`
+    /// followed by a char literal, leaking a phantom `b` into ident rules.
+    #[test]
+    fn byte_char_literals_are_single_tokens() {
+        let toks = lex("let x = b'a'; let y = b'\\n'; let b = 1;").tokens;
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Char).count(),
+            2,
+            "{toks:?}"
+        );
+        // Exactly one `b` ident — the real binding, not the literal prefix.
+        assert_eq!(toks.iter().filter(|t| t.is_ident("b")).count(), 1);
+        assert_spans_reconstruct("let x = b'a'; let y = b'\\n'; let b = 1;");
+    }
+
+    /// Regression (PR 8): `r#type` used to lex as ident `r`, punct `#`,
+    /// ident `type` — three phantom tokens for one identifier.
+    #[test]
+    fn raw_identifiers_are_single_tokens() {
+        let src = "let r#type = r#match + radius;";
+        let toks = lex(src).tokens;
+        assert_eq!(idents(src), vec!["let", "type", "match", "radius"]);
+        assert!(toks.iter().all(|t| !t.is_punct("#")), "{toks:?}");
+        assert_spans_reconstruct(src);
+    }
+
+    #[test]
+    fn nested_block_comments_and_raw_strings_reconstruct() {
+        for src in [
+            "/* outer /* inner */ tail */ fn f() {}",
+            "let s = r##\"quote \"# almost\"## ; /* a /* b */ c */",
+            "let s = br#\"bytes\"#; let c = b'q';",
+            "/* unterminated /* nested",
+            "let u = \"\\u{1F600} unicode\"; let w = 'λ';",
+        ] {
+            assert_spans_reconstruct(src);
+        }
+    }
+
+    #[test]
+    fn nested_block_comment_text_keeps_inner_markers() {
+        let lexed = lex("/* a /* ems-lint */ b */");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text, " a /* ems-lint */ b ");
+    }
+
     #[test]
     fn composed_operators() {
         let toks = lex("a += b; c..=d; e::f; g -> h").tokens;
@@ -503,5 +603,21 @@ mod tests {
         let toks = lex("ab\n  cd").tokens;
         assert_eq!((toks[0].line, toks[0].col), (1, 1));
         assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn spans_are_byte_offsets() {
+        let src = "let π = 1.5;";
+        let toks = lex(src).tokens;
+        for t in &toks {
+            let slice = &src[t.start as usize..t.end as usize];
+            match t.kind {
+                TokKind::Ident | TokKind::Punct | TokKind::Num { .. } => {
+                    assert_eq!(slice, t.text, "span text mismatch for {t:?}")
+                }
+                _ => {}
+            }
+        }
+        assert_spans_reconstruct(src);
     }
 }

@@ -10,7 +10,10 @@ fn usage() -> ExitCode {
         "usage: ems-lint <command>\n\
          \n\
          commands:\n\
-         \x20 check [--root <dir>]   lint every .rs file under <dir> (default: workspace root)\n\
+         \x20 check [--root <dir>] [--format text|json|sarif]\n\
+         \x20                        lint every .rs file under <dir> (default: workspace root);\n\
+         \x20                        json/sarif always exit with the finding-derived code and\n\
+         \x20                        print the report to stdout (schema: src/emit.rs)\n\
          \x20 rules                  list rule ids and what they enforce\n\
          \n\
          Suppress a finding with `ems-lint: allow(<rule>, <reason>)` on or above the line."
@@ -29,6 +32,13 @@ fn default_root() -> PathBuf {
         .unwrap_or(manifest)
 }
 
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -37,20 +47,47 @@ fn main() -> ExitCode {
                 println!("{:<24} {}", rule.id, rule.summary);
             }
             println!(
+                "{:<24} {}",
+                ems_lint::callgraph::RULE,
+                ems_lint::callgraph::SUMMARY
+            );
+            println!(
                 "{:<24} malformed, reason-less, unknown-rule, or unused suppression directives",
                 ems_lint::allow::SUPPRESSION_RULE
             );
             ExitCode::SUCCESS
         }
         Some("check") => {
-            let root = match args.get(1).map(String::as_str) {
-                Some("--root") => match args.get(2) {
-                    Some(dir) => PathBuf::from(dir),
-                    None => return usage(),
-                },
-                Some(_) => return usage(),
-                None => default_root(),
-            };
+            let mut root = default_root();
+            let mut format = Format::Text;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--root" => match args.get(i + 1) {
+                        Some(dir) => {
+                            root = PathBuf::from(dir);
+                            i += 2;
+                        }
+                        None => return usage(),
+                    },
+                    "--format" => match args.get(i + 1).map(String::as_str) {
+                        Some("text") => {
+                            format = Format::Text;
+                            i += 2;
+                        }
+                        Some("json") => {
+                            format = Format::Json;
+                            i += 2;
+                        }
+                        Some("sarif") => {
+                            format = Format::Sarif;
+                            i += 2;
+                        }
+                        _ => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
             let diags = match ems_lint::lint_workspace(&root) {
                 Ok(d) => d,
                 Err(e) => {
@@ -58,14 +95,25 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             };
+            match format {
+                Format::Json => print!("{}", ems_lint::emit::to_json(&diags)),
+                Format::Sarif => print!("{}", ems_lint::emit::to_sarif(&diags)),
+                Format::Text => {
+                    if diags.is_empty() {
+                        println!("ems-lint: clean ({})", root.display());
+                    } else {
+                        for d in &diags {
+                            println!("{d}\n");
+                        }
+                    }
+                }
+            }
             if diags.is_empty() {
-                println!("ems-lint: clean ({})", root.display());
                 ExitCode::SUCCESS
             } else {
-                for d in &diags {
-                    println!("{d}\n");
+                if format == Format::Text {
+                    eprintln!("ems-lint: {} finding(s)", diags.len());
                 }
-                eprintln!("ems-lint: {} finding(s)", diags.len());
                 ExitCode::FAILURE
             }
         }

@@ -1,0 +1,1791 @@
+//! Tolerant recursive-descent parser producing the [`crate::ast`] tree.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Never fail, never loop.** Every construct the parser does not
+//!    recognize degrades to an `Opaque` node; every loop has an explicit
+//!    progress guard that force-advances the cursor. A garbled file
+//!    yields a garbled-but-finite AST, not a hang.
+//! 2. **Shape over fidelity.** Types are captured as raw text for the
+//!    resolver to pattern-match; generics, lifetimes, and `where` clauses
+//!    are skipped; patterns contribute their identifier set rather than a
+//!    pattern tree. The semantic rules only need calls, assignments,
+//!    guards, and control flow.
+//! 3. **Statement-position blocks end expressions.** `if`/`match`/`loop`/
+//!    `while`/`for`/`{}` parsed at statement position do not accept
+//!    postfix or binary continuations, matching Rust's statement grammar
+//!    closely enough to avoid gluing two statements into one expression.
+
+use crate::ast::{Arm, Block, Expr, File, FnDef, ImplDef, Item, ModDef, Param, Stmt, StructDef};
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// Parses a lexed file into the lightweight AST.
+pub fn parse_file(lexed: &Lexed) -> File {
+    let mut p = Parser {
+        toks: &lexed.tokens,
+        pos: 0,
+    };
+    File {
+        items: p.parse_items(true),
+    }
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+/// Identifiers that never name a binding inside a pattern.
+const PAT_NOISE: &[&str] = &["_", "ref", "mut", "box", "if"];
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn peek_at(&self, off: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + off)
+    }
+
+    fn bump(&mut self) -> usize {
+        let i = self.pos;
+        if self.pos < self.toks.len() {
+            self.pos += 1;
+        }
+        i
+    }
+
+    fn at_punct(&self, p: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_punct(p))
+    }
+
+    fn at_ident(&self, name: &str) -> bool {
+        self.peek().is_some_and(|t| t.is_ident(name))
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if self.at_punct(p) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, name: &str) -> bool {
+        if self.at_ident(name) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Two adjacent `<` (or `>`) tokens form a shift operator; spans tell
+    /// adjacency apart from `Vec< <T>::X >`-style spacing.
+    fn shift_op(&self, ch: &str) -> bool {
+        match (self.peek(), self.peek_at(1)) {
+            (Some(a), Some(b)) => a.is_punct(ch) && b.is_punct(ch) && a.end == b.start,
+            _ => false,
+        }
+    }
+
+    /// Skips one balanced group starting at the current open delimiter.
+    fn skip_balanced(&mut self) {
+        let (open, close) = match self.peek() {
+            Some(t) if t.is_punct("(") => ("(", ")"),
+            Some(t) if t.is_punct("[") => ("[", "]"),
+            Some(t) if t.is_punct("{") => ("{", "}"),
+            _ => {
+                self.bump();
+                return;
+            }
+        };
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if t.is_punct(open) {
+                depth += 1;
+            } else if t.is_punct(close) {
+                depth -= 1;
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips `<...>` generics starting at `<`. `>=` closes an angle (the
+    /// `=` half is swallowed — only reachable in unspaced `>>=`-free
+    /// type position, where losing it is harmless).
+    fn skip_angles(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if t.is_punct("<") {
+                depth += 1;
+            } else if t.is_punct(">") || t.is_punct(">=") {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    self.bump();
+                    return;
+                }
+            } else if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                self.skip_balanced();
+                continue;
+            } else if t.is_punct(";") {
+                // Runaway guard: a `;` can never occur inside generics.
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    /// Skips `#[...]` / `#![...]` attributes at the cursor.
+    fn skip_attrs(&mut self) {
+        while self.at_punct("#") {
+            self.bump();
+            self.eat_punct("!");
+            if self.at_punct("[") {
+                self.skip_balanced();
+            }
+        }
+    }
+
+    /// Consumes type tokens until a `stop` punct or the ident `where` at
+    /// delimiter depth 0, rendering them as normalized text.
+    fn parse_type_text(&mut self, stops: &[&str]) -> String {
+        let start = self.pos;
+        let mut out = String::new();
+        let mut prev_wordy = false;
+        let mut angle = 0usize;
+        while let Some(t) = self.peek() {
+            if angle == 0
+                && ((t.kind == TokKind::Punct && stops.contains(&t.text.as_str()))
+                    || t.is_ident("where"))
+            {
+                break;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                // Render the group opaquely but keep depth balanced.
+                let from = self.pos;
+                self.skip_balanced();
+                for tk in &self.toks[from..self.pos] {
+                    push_tok_text(&mut out, tk, &mut prev_wordy);
+                }
+                continue;
+            }
+            if t.is_punct("<") {
+                angle += 1;
+            } else if t.is_punct(">") || t.is_punct(">=") {
+                angle = angle.saturating_sub(1);
+            }
+            push_tok_text(&mut out, t, &mut prev_wordy);
+            self.bump();
+        }
+        if self.pos == start {
+            String::new()
+        } else {
+            out
+        }
+    }
+
+    /// Parses items until `}` (or EOF when `top`).
+    fn parse_items(&mut self, top: bool) -> Vec<Item> {
+        let mut items = Vec::new();
+        loop {
+            self.skip_attrs();
+            match self.peek() {
+                None => break,
+                Some(t) if t.is_punct("}") => {
+                    if !top {
+                        break;
+                    }
+                    self.bump(); // stray close at top level: skip
+                    continue;
+                }
+                _ => {}
+            }
+            let before = self.pos;
+            if let Some(item) = self.parse_item() {
+                items.push(item);
+            }
+            if self.pos == before {
+                self.bump(); // progress guard
+            }
+        }
+        items
+    }
+
+    /// Parses one item at the cursor; `None` for skipped/unknown items.
+    fn parse_item(&mut self) -> Option<Item> {
+        let mut is_pub = false;
+        if self.at_ident("pub") {
+            is_pub = true;
+            self.bump();
+            if self.at_punct("(") {
+                self.skip_balanced();
+            }
+        }
+        // fn modifiers.
+        let mut probe = 0usize;
+        while self
+            .peek_at(probe)
+            .is_some_and(|t| matches!(t.text.as_str(), "const" | "unsafe" | "async" | "extern"))
+        {
+            probe += 1;
+            // `extern "C"` string.
+            if self.peek_at(probe).is_some_and(|t| t.kind == TokKind::Str) {
+                probe += 1;
+            }
+        }
+        if self.peek_at(probe).is_some_and(|t| t.is_ident("fn")) {
+            for _ in 0..probe {
+                self.bump();
+            }
+            return Some(Item::Fn(self.parse_fn(is_pub)));
+        }
+        match self.peek() {
+            Some(t) if t.is_ident("struct") => Some(Item::Struct(self.parse_struct())),
+            Some(t) if t.is_ident("impl") => Some(self.parse_impl()),
+            Some(t) if t.is_ident("mod") => {
+                self.bump();
+                let name = self
+                    .peek()
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.clone())
+                    .unwrap_or_default();
+                if !name.is_empty() {
+                    self.bump();
+                }
+                if self.eat_punct("{") {
+                    let items = self.parse_items(false);
+                    self.eat_punct("}");
+                    Some(Item::Mod(ModDef { name, items }))
+                } else {
+                    self.eat_punct(";");
+                    Some(Item::Other)
+                }
+            }
+            Some(t)
+                if matches!(
+                    t.text.as_str(),
+                    "use"
+                        | "const"
+                        | "static"
+                        | "type"
+                        | "enum"
+                        | "trait"
+                        | "union"
+                        | "macro_rules"
+                ) && t.kind == TokKind::Ident =>
+            {
+                self.skip_item_like();
+                Some(Item::Other)
+            }
+            _ => None,
+        }
+    }
+
+    /// Skips a non-modeled item: to `;` at depth 0, or through its body
+    /// braces — whichever comes first.
+    fn skip_item_like(&mut self) {
+        while let Some(t) = self.peek() {
+            if t.is_punct(";") {
+                self.bump();
+                return;
+            }
+            if t.is_punct("{") {
+                self.skip_balanced();
+                return;
+            }
+            if t.is_punct("(") || t.is_punct("[") {
+                self.skip_balanced();
+                continue;
+            }
+            if t.is_punct("<") {
+                self.skip_angles();
+                continue;
+            }
+            if t.is_punct("}") {
+                return; // enclosing block closes: malformed, bail
+            }
+            self.bump();
+        }
+    }
+
+    fn parse_fn(&mut self, is_pub: bool) -> FnDef {
+        self.eat_ident("fn");
+        let tok = self.pos.min(self.toks.len().saturating_sub(1));
+        let name = self
+            .peek()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        if !name.is_empty() {
+            self.bump();
+        }
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        let mut params = Vec::new();
+        if self.eat_punct("(") {
+            loop {
+                self.skip_attrs();
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct(")") => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {}
+                }
+                let before = self.pos;
+                if let Some(p) = self.parse_param() {
+                    params.push(p);
+                }
+                if !self.eat_punct(",") && self.pos == before {
+                    self.bump();
+                }
+            }
+        }
+        let ret = if self.eat_punct("->") {
+            let t = self.parse_type_text(&["{", ";", ","]);
+            if t.is_empty() {
+                None
+            } else {
+                Some(t)
+            }
+        } else {
+            None
+        };
+        if self.at_ident("where") {
+            // Skip the clause up to the body/semicolon.
+            while let Some(t) = self.peek() {
+                if t.is_punct("{") || t.is_punct(";") {
+                    break;
+                }
+                if t.is_punct("(") || t.is_punct("[") {
+                    self.skip_balanced();
+                    continue;
+                }
+                if t.is_punct("<") {
+                    self.skip_angles();
+                    continue;
+                }
+                self.bump();
+            }
+        }
+        let body = if self.at_punct("{") {
+            Some(self.parse_block())
+        } else {
+            self.eat_punct(";");
+            None
+        };
+        FnDef {
+            name,
+            is_pub,
+            params,
+            ret,
+            body,
+            tok,
+        }
+    }
+
+    /// One fn parameter: `self` receivers, plain `name: Ty`, and
+    /// destructuring patterns (first binding wins).
+    fn parse_param(&mut self) -> Option<Param> {
+        // `self`, `&self`, `&'a mut self`, `mut self`.
+        let mut probe = 0usize;
+        while self
+            .peek_at(probe)
+            .is_some_and(|t| t.is_punct("&") || t.kind == TokKind::Lifetime || t.is_ident("mut"))
+        {
+            probe += 1;
+        }
+        if self.peek_at(probe).is_some_and(|t| t.is_ident("self")) {
+            let mut ty = String::new();
+            for _ in 0..=probe {
+                if let Some(t) = self.peek() {
+                    let mut wordy = ty.ends_with(|c: char| c == '_' || c.is_alphanumeric());
+                    push_tok_text(&mut ty, t, &mut wordy);
+                }
+                self.bump();
+            }
+            // `self: Ty` explicit form.
+            if self.eat_punct(":") {
+                ty = self.parse_type_text(&[",", ")"]);
+            }
+            return Some(Param {
+                name: "self".to_string(),
+                ty,
+            });
+        }
+        // Pattern up to `:`.
+        let mut name = String::new();
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if depth == 0 && (t.is_punct(":") || t.is_punct(",") || t.is_punct(")")) {
+                break;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth = depth.saturating_sub(1);
+            } else if t.kind == TokKind::Ident
+                && name.is_empty()
+                && !PAT_NOISE.contains(&t.text.as_str())
+            {
+                name = t.text.clone();
+            }
+            self.bump();
+        }
+        if !self.eat_punct(":") {
+            return None;
+        }
+        let ty = self.parse_type_text(&[",", ")"]);
+        Some(Param { name, ty })
+    }
+
+    fn parse_struct(&mut self) -> StructDef {
+        self.eat_ident("struct");
+        let tok = self.pos.min(self.toks.len().saturating_sub(1));
+        let name = self
+            .peek()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .unwrap_or_default();
+        if !name.is_empty() {
+            self.bump();
+        }
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        let mut fields = Vec::new();
+        if self.at_punct("(") {
+            // Tuple struct: positional field names.
+            self.bump();
+            let mut idx = 0usize;
+            loop {
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct(")") => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {}
+                }
+                self.skip_attrs();
+                if self.at_ident("pub") {
+                    self.bump();
+                    if self.at_punct("(") {
+                        self.skip_balanced();
+                    }
+                }
+                let ty = self.parse_type_text(&[",", ")"]);
+                if ty.is_empty() && !self.at_punct(")") {
+                    self.bump();
+                    continue;
+                }
+                fields.push(Param {
+                    name: idx.to_string(),
+                    ty,
+                });
+                idx += 1;
+                self.eat_punct(",");
+            }
+            self.eat_punct(";");
+        } else {
+            if self.at_ident("where") {
+                while let Some(t) = self.peek() {
+                    if t.is_punct("{") || t.is_punct(";") {
+                        break;
+                    }
+                    self.bump();
+                }
+            }
+            if self.eat_punct("{") {
+                loop {
+                    self.skip_attrs();
+                    match self.peek() {
+                        None => break,
+                        Some(t) if t.is_punct("}") => {
+                            self.bump();
+                            break;
+                        }
+                        _ => {}
+                    }
+                    if self.at_ident("pub") {
+                        self.bump();
+                        if self.at_punct("(") {
+                            self.skip_balanced();
+                        }
+                    }
+                    let before = self.pos;
+                    let fname = self
+                        .peek()
+                        .filter(|t| t.kind == TokKind::Ident)
+                        .map(|t| t.text.clone())
+                        .unwrap_or_default();
+                    if !fname.is_empty() {
+                        self.bump();
+                    }
+                    if self.eat_punct(":") {
+                        let ty = self.parse_type_text(&[",", "}"]);
+                        fields.push(Param { name: fname, ty });
+                    }
+                    self.eat_punct(",");
+                    if self.pos == before {
+                        self.bump();
+                    }
+                }
+            } else {
+                self.eat_punct(";");
+            }
+        }
+        StructDef { name, fields, tok }
+    }
+
+    fn parse_impl(&mut self) -> Item {
+        self.eat_ident("impl");
+        if self.at_punct("<") {
+            self.skip_angles();
+        }
+        let first = self.parse_type_head();
+        let self_ty = if self.eat_ident("for") {
+            self.parse_type_head()
+        } else {
+            first
+        };
+        if self.at_ident("where") {
+            while let Some(t) = self.peek() {
+                if t.is_punct("{") {
+                    break;
+                }
+                if t.is_punct("<") {
+                    self.skip_angles();
+                    continue;
+                }
+                if t.is_punct("(") {
+                    self.skip_balanced();
+                    continue;
+                }
+                self.bump();
+            }
+        }
+        let items = if self.eat_punct("{") {
+            let items = self.parse_items(false);
+            self.eat_punct("}");
+            items
+        } else {
+            Vec::new()
+        };
+        Item::Impl(ImplDef { self_ty, items })
+    }
+
+    /// A type head's base name: `a::b::C<T>` → `C`, `&mut X` → `X`.
+    fn parse_type_head(&mut self) -> String {
+        while self.peek().is_some_and(|t| {
+            t.is_punct("&") || t.kind == TokKind::Lifetime || t.is_ident("mut") || t.is_ident("dyn")
+        }) {
+            self.bump();
+        }
+        let mut last = String::new();
+        loop {
+            match self.peek() {
+                Some(t)
+                    if t.kind == TokKind::Ident && !t.is_ident("for") && !t.is_ident("where") =>
+                {
+                    last = t.text.clone();
+                    self.bump();
+                }
+                _ => break,
+            }
+            if self.at_punct("<") {
+                self.skip_angles();
+            }
+            if !self.eat_punct("::") {
+                break;
+            }
+        }
+        last
+    }
+
+    /// Parses `{ stmts }`; the cursor must be at `{`.
+    fn parse_block(&mut self) -> Block {
+        let mut block = Block::default();
+        if !self.eat_punct("{") {
+            return block;
+        }
+        loop {
+            self.skip_attrs();
+            match self.peek() {
+                None => break,
+                Some(t) if t.is_punct("}") => {
+                    self.bump();
+                    break;
+                }
+                _ => {}
+            }
+            let before = self.pos;
+            let stmt = self.parse_stmt();
+            block.stmts.push(stmt);
+            if self.pos == before {
+                self.bump();
+                if let Some(last) = block.stmts.last_mut() {
+                    *last = Stmt::Opaque;
+                }
+            }
+        }
+        block
+    }
+
+    fn parse_stmt(&mut self) -> Stmt {
+        if self.eat_punct(";") {
+            return Stmt::Opaque;
+        }
+        if self.at_ident("let") {
+            return self.parse_let();
+        }
+        // Nested items.
+        if self.peek().is_some_and(|t| {
+            t.kind == TokKind::Ident
+                && matches!(
+                    t.text.as_str(),
+                    "fn" | "struct" | "impl" | "use" | "mod" | "static" | "trait" | "enum"
+                )
+        }) || (self.at_ident("pub"))
+            || (self.at_ident("const") && self.peek_at(1).is_some_and(|t| !t.is_punct("{")))
+        {
+            let before = self.pos;
+            if let Some(item) = self.parse_item() {
+                return Stmt::Item(Box::new(item));
+            }
+            if self.pos == before {
+                self.bump();
+                return Stmt::Opaque;
+            }
+            return Stmt::Opaque;
+        }
+        // Statement-position block-likes take no continuation.
+        if self.peek().is_some_and(|t| {
+            t.is_punct("{")
+                || (t.kind == TokKind::Ident
+                    && matches!(
+                        t.text.as_str(),
+                        "if" | "match" | "loop" | "while" | "for" | "unsafe"
+                    ))
+        }) || self.peek().is_some_and(|t| t.kind == TokKind::Lifetime)
+        {
+            let expr = self.parse_prefix(false);
+            let has_semi = self.eat_punct(";");
+            return Stmt::Expr { expr, has_semi };
+        }
+        let expr = self.parse_expr(0, false);
+        let has_semi = self.eat_punct(";");
+        Stmt::Expr { expr, has_semi }
+    }
+
+    fn parse_let(&mut self) -> Stmt {
+        let tok = self.bump(); // `let`
+        let mutable = self.eat_ident("mut");
+        let (primary, pat_names) = self.parse_pattern(&[":", "=", ";"]);
+        let ty = if self.eat_punct(":") {
+            let t = self.parse_type_text(&["=", ";"]);
+            if t.is_empty() {
+                None
+            } else {
+                Some(t)
+            }
+        } else {
+            None
+        };
+        let init = if self.eat_punct("=") {
+            Some(self.parse_expr(0, false))
+        } else {
+            None
+        };
+        let else_block = if self.eat_ident("else") {
+            Some(self.parse_block())
+        } else {
+            None
+        };
+        self.eat_punct(";");
+        Stmt::Let {
+            primary,
+            pat_names,
+            mutable,
+            ty,
+            init,
+            else_block,
+            tok,
+        }
+    }
+
+    /// Consumes a pattern until one of `stops` (punct text) or the ident
+    /// `in` at depth 0. Returns (single-ident binding, all idents).
+    fn parse_pattern(&mut self, stops: &[&str]) -> (Option<String>, Vec<String>) {
+        let mut names = Vec::new();
+        let mut depth = 0usize;
+        let mut token_count = 0usize;
+        let mut only_ident = true;
+        while let Some(t) = self.peek() {
+            if depth == 0
+                && ((t.kind == TokKind::Punct && stops.contains(&t.text.as_str()))
+                    || t.is_ident("in")
+                    || t.is_ident("else"))
+            {
+                break;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+                only_ident = false;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                if depth == 0 {
+                    break; // enclosing delimiter: malformed pattern, bail
+                }
+                depth -= 1;
+            } else if t.kind == TokKind::Ident {
+                if !PAT_NOISE.contains(&t.text.as_str()) {
+                    names.push(t.text.clone());
+                } else if t.text != "mut" && t.text != "ref" {
+                    only_ident = false;
+                }
+            } else {
+                only_ident = false;
+            }
+            token_count += 1;
+            self.bump();
+        }
+        let primary = if only_ident && names.len() == 1 && token_count <= 2 {
+            Some(names[0].clone())
+        } else {
+            None
+        };
+        (primary, names)
+    }
+
+    /// Pratt-style expression parser.
+    fn parse_expr(&mut self, min_bp: u8, no_struct: bool) -> Expr {
+        let mut lhs = self.parse_prefix(no_struct);
+        loop {
+            // `as` cast binds tightest of the binary forms.
+            if self.at_ident("as") {
+                if 25 < min_bp {
+                    break;
+                }
+                self.bump();
+                let ty = self.parse_type_text(&[
+                    ";", ",", ")", "]", "}", "=", "+", "-", "*", "/", "%", "<", ">", "<=", ">=",
+                    "==", "!=", "&&", "||", "..", "..=", "?", ".", "&", "|", "^",
+                ]);
+                lhs = Expr::Cast {
+                    expr: Box::new(lhs),
+                    ty,
+                };
+                continue;
+            }
+            let Some(t) = self.peek() else { break };
+            if t.kind != TokKind::Punct {
+                break;
+            }
+            // Adjacent-`<`/`>` shifts.
+            let (op, l_bp, r_bp, extra) = if self.shift_op("<") {
+                ("<<".to_string(), 17, 18, 1)
+            } else if self.shift_op(">") {
+                (">>".to_string(), 17, 18, 1)
+            } else {
+                let (l, r) = match t.text.as_str() {
+                    "=" | "+=" | "-=" | "*=" | "/=" | "%=" => (2, 1),
+                    ".." | "..=" => (3, 4),
+                    "||" => (5, 6),
+                    "&&" => (7, 8),
+                    "==" | "!=" | "<" | ">" | "<=" | ">=" => (9, 10),
+                    "|" => (11, 12),
+                    "^" => (13, 14),
+                    "&" => (15, 16),
+                    "+" | "-" => (19, 20),
+                    "*" | "/" | "%" => (21, 22),
+                    _ => break,
+                };
+                (t.text.clone(), l, r, 0)
+            };
+            if l_bp < min_bp {
+                break;
+            }
+            let tok = self.bump();
+            for _ in 0..extra {
+                self.bump();
+            }
+            if op == ".." || op == "..=" {
+                let hi = if self.range_end_follows() {
+                    Some(Box::new(self.parse_expr(4, no_struct)))
+                } else {
+                    None
+                };
+                lhs = Expr::Range {
+                    lo: Some(Box::new(lhs)),
+                    hi,
+                    tok,
+                };
+                continue;
+            }
+            let rhs = self.parse_expr(r_bp, no_struct);
+            lhs = if matches!(op.as_str(), "=" | "+=" | "-=" | "*=" | "/=" | "%=") {
+                Expr::Assign {
+                    op,
+                    target: Box::new(lhs),
+                    value: Box::new(rhs),
+                    tok,
+                }
+            } else {
+                Expr::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                    tok,
+                }
+            };
+        }
+        lhs
+    }
+
+    /// Whether a range upper bound can start at the cursor.
+    fn range_end_follows(&self) -> bool {
+        match self.peek() {
+            None => false,
+            Some(t) => {
+                !(t.is_punct(")")
+                    || t.is_punct("]")
+                    || t.is_punct("}")
+                    || t.is_punct(",")
+                    || t.is_punct(";")
+                    || t.is_punct("=>"))
+                    && !(t.kind == TokKind::Ident && t.text == "else")
+            }
+        }
+    }
+
+    /// Prefix/atom parsing plus the postfix chain.
+    fn parse_prefix(&mut self, no_struct: bool) -> Expr {
+        let Some(t) = self.peek() else {
+            return Expr::Opaque { tok: self.pos };
+        };
+        let atom: Expr = match t.kind {
+            TokKind::Num { float } => {
+                let tok = self.bump();
+                Expr::Lit { float, tok }
+            }
+            TokKind::Str | TokKind::Char => {
+                let tok = self.bump();
+                Expr::Lit { float: false, tok }
+            }
+            TokKind::Lifetime => {
+                // Loop label: `'outer: loop { ... }`.
+                self.bump();
+                self.eat_punct(":");
+                return self.parse_prefix(no_struct);
+            }
+            TokKind::Punct => match t.text.as_str() {
+                "&" => {
+                    self.bump();
+                    self.eat_ident("mut");
+                    return Expr::Unary {
+                        op: '&',
+                        expr: Box::new(self.parse_expr(23, no_struct)),
+                    };
+                }
+                "*" | "!" | "-" => {
+                    let op = t.text.chars().next().unwrap_or('*');
+                    self.bump();
+                    return Expr::Unary {
+                        op,
+                        expr: Box::new(self.parse_expr(23, no_struct)),
+                    };
+                }
+                "(" => {
+                    self.bump();
+                    let mut elems = Vec::new();
+                    let mut trailing_comma = false;
+                    loop {
+                        match self.peek() {
+                            None => break,
+                            Some(t) if t.is_punct(")") => {
+                                self.bump();
+                                break;
+                            }
+                            _ => {}
+                        }
+                        let before = self.pos;
+                        elems.push(self.parse_expr(0, false));
+                        trailing_comma = self.eat_punct(",");
+                        if self.pos == before {
+                            self.bump();
+                        }
+                    }
+                    match (elems.len(), trailing_comma) {
+                        (1, false) => elems.pop().unwrap_or(Expr::Tuple { elems: Vec::new() }),
+                        _ => Expr::Tuple { elems },
+                    }
+                }
+                "[" => {
+                    self.bump();
+                    let mut elems = Vec::new();
+                    loop {
+                        match self.peek() {
+                            None => break,
+                            Some(t) if t.is_punct("]") => {
+                                self.bump();
+                                break;
+                            }
+                            _ => {}
+                        }
+                        let before = self.pos;
+                        elems.push(self.parse_expr(0, false));
+                        if !self.eat_punct(",") {
+                            self.eat_punct(";");
+                        }
+                        if self.pos == before {
+                            self.bump();
+                        }
+                    }
+                    Expr::Array { elems }
+                }
+                "{" => Expr::Block(self.parse_block()),
+                "|" | "||" => self.parse_closure(),
+                ".." | "..=" => {
+                    let tok = self.bump();
+                    let hi = if self.range_end_follows() {
+                        Some(Box::new(self.parse_expr(4, no_struct)))
+                    } else {
+                        None
+                    };
+                    Expr::Range { lo: None, hi, tok }
+                }
+                "<" => {
+                    // Qualified path `<T as Trait>::method(...)`.
+                    let tok = self.pos;
+                    self.skip_angles();
+                    if self.eat_punct("::") {
+                        let mut segs = vec![String::new()];
+                        while let Some(t) = self.peek() {
+                            if t.kind != TokKind::Ident {
+                                break;
+                            }
+                            segs.push(t.text.clone());
+                            self.bump();
+                            if !self.eat_punct("::") {
+                                break;
+                            }
+                        }
+                        Expr::Path { segs, tok }
+                    } else {
+                        Expr::Opaque { tok }
+                    }
+                }
+                "#" => {
+                    self.skip_attrs();
+                    return self.parse_prefix(no_struct);
+                }
+                // Never consume a closing delimiter or separator: the
+                // enclosing construct owns it. Callers' progress guards
+                // handle the stuck cursor.
+                ")" | "]" | "}" | "," | ";" | "=>" => Expr::Opaque { tok: self.pos },
+                _ => {
+                    let tok = self.bump();
+                    Expr::Opaque { tok }
+                }
+            },
+            TokKind::Ident => match t.text.as_str() {
+                "if" => return self.parse_if(),
+                "while" => {
+                    self.bump();
+                    let cond = self.parse_cond();
+                    let body = self.parse_block();
+                    return Expr::While {
+                        cond: Box::new(cond),
+                        body,
+                    };
+                }
+                "loop" => {
+                    self.bump();
+                    return Expr::Loop {
+                        body: self.parse_block(),
+                    };
+                }
+                "for" => {
+                    let tok = self.bump();
+                    let (_, pat_names) = self.parse_pattern(&["="]);
+                    self.eat_ident("in");
+                    let iter = self.parse_expr(0, true);
+                    let body = self.parse_block();
+                    return Expr::For {
+                        pat_names,
+                        iter: Box::new(iter),
+                        body,
+                        tok,
+                    };
+                }
+                "match" => {
+                    self.bump();
+                    let scrutinee = self.parse_expr(0, true);
+                    let arms = self.parse_arms();
+                    return Expr::Match {
+                        scrutinee: Box::new(scrutinee),
+                        arms,
+                    };
+                }
+                "return" => {
+                    let tok = self.bump();
+                    let value = if self.range_end_follows() && !self.at_punct("{") {
+                        Some(Box::new(self.parse_expr(0, no_struct)))
+                    } else {
+                        None
+                    };
+                    return Expr::Return { value, tok };
+                }
+                "break" | "continue" => {
+                    self.bump();
+                    if self.peek().is_some_and(|t| t.kind == TokKind::Lifetime) {
+                        self.bump();
+                    }
+                    if self.at_ident("break") || self.range_end_follows() && !self.at_punct("{") {
+                        // break-with-value: parse and drop the value.
+                        if self.range_end_follows() && !self.at_punct("{") {
+                            let _ = self.parse_expr(0, no_struct);
+                        }
+                    }
+                    return Expr::Jump;
+                }
+                "move" => {
+                    self.bump();
+                    if self.at_punct("|") || self.at_punct("||") {
+                        self.parse_closure()
+                    } else {
+                        Expr::Opaque { tok: self.pos }
+                    }
+                }
+                "unsafe" => {
+                    self.bump();
+                    if self.at_punct("{") {
+                        Expr::Block(self.parse_block())
+                    } else {
+                        Expr::Opaque { tok: self.pos }
+                    }
+                }
+                "let" => {
+                    // `let PAT = expr` outside a condition: tolerate.
+                    self.bump();
+                    let (_, pat_names) = self.parse_pattern(&["="]);
+                    self.eat_punct("=");
+                    let expr = self.parse_expr(7, true);
+                    Expr::LetCond {
+                        pat_names,
+                        expr: Box::new(expr),
+                    }
+                }
+                "true" | "false" => {
+                    let tok = self.bump();
+                    Expr::Lit { float: false, tok }
+                }
+                _ => self.parse_path_like(no_struct),
+            },
+        };
+        self.parse_postfix(atom)
+    }
+
+    fn parse_if(&mut self) -> Expr {
+        self.eat_ident("if");
+        let cond = self.parse_cond();
+        let then = self.parse_block();
+        let else_ = if self.eat_ident("else") {
+            if self.at_ident("if") {
+                Some(Box::new(self.parse_if()))
+            } else {
+                Some(Box::new(Expr::Block(self.parse_block())))
+            }
+        } else {
+            None
+        };
+        Expr::If {
+            cond: Box::new(cond),
+            then,
+            else_,
+        }
+    }
+
+    /// An `if`/`while` condition: struct literals off, `let` patterns on.
+    fn parse_cond(&mut self) -> Expr {
+        if self.at_ident("let") {
+            self.bump();
+            let (_, pat_names) = self.parse_pattern(&["="]);
+            self.eat_punct("=");
+            let expr = self.parse_expr(7, true);
+            return Expr::LetCond {
+                pat_names,
+                expr: Box::new(expr),
+            };
+        }
+        self.parse_expr(0, true)
+    }
+
+    fn parse_arms(&mut self) -> Vec<Arm> {
+        let mut arms = Vec::new();
+        if !self.eat_punct("{") {
+            return arms;
+        }
+        loop {
+            self.skip_attrs();
+            match self.peek() {
+                None => break,
+                Some(t) if t.is_punct("}") => {
+                    self.bump();
+                    break;
+                }
+                _ => {}
+            }
+            let before = self.pos;
+            let pat_names = self.parse_arm_pattern();
+            self.eat_punct("=>");
+            let body = self.parse_expr(0, false);
+            arms.push(Arm { pat_names, body });
+            self.eat_punct(",");
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        arms
+    }
+
+    /// Collects pattern + guard identifiers until `=>` at depth 0.
+    fn parse_arm_pattern(&mut self) -> Vec<String> {
+        let mut names = Vec::new();
+        let mut depth = 0usize;
+        while let Some(t) = self.peek() {
+            if depth == 0 && (t.is_punct("=>") || t.is_punct("}")) {
+                break;
+            }
+            if t.is_punct("(") || t.is_punct("[") || t.is_punct("{") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") || t.is_punct("}") {
+                depth = depth.saturating_sub(1);
+            } else if t.kind == TokKind::Ident && !PAT_NOISE.contains(&t.text.as_str()) {
+                names.push(t.text.clone());
+            }
+            self.bump();
+        }
+        names
+    }
+
+    fn parse_closure(&mut self) -> Expr {
+        let tok = self.pos;
+        let mut params = Vec::new();
+        if self.eat_punct("||") {
+            // No parameters.
+        } else {
+            self.eat_punct("|");
+            loop {
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct("|") => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {}
+                }
+                let before = self.pos;
+                let (first, names) = self.parse_pattern(&[":", ",", "|"]);
+                if let Some(n) = first.or_else(|| names.first().cloned()) {
+                    params.push(n);
+                }
+                if self.eat_punct(":") {
+                    self.parse_type_text(&[",", "|"]);
+                }
+                self.eat_punct(",");
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+        }
+        if self.eat_punct("->") {
+            self.parse_type_text(&["{"]);
+        }
+        let body = self.parse_expr(0, false);
+        Expr::Closure {
+            params,
+            body: Box::new(body),
+            tok,
+        }
+    }
+
+    /// Path atom: plain paths, macro calls, struct literals.
+    fn parse_path_like(&mut self, no_struct: bool) -> Expr {
+        let tok = self.pos;
+        let mut segs = Vec::new();
+        loop {
+            match self.peek() {
+                Some(t) if t.kind == TokKind::Ident => {
+                    segs.push(t.text.clone());
+                    self.bump();
+                }
+                _ => break,
+            }
+            if self.at_punct("::") {
+                if self.peek_at(1).is_some_and(|t| t.is_punct("<")) {
+                    // Turbofish: `::<T>`.
+                    self.bump();
+                    self.skip_angles();
+                    if !self.eat_punct("::") {
+                        break;
+                    }
+                    continue;
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if segs.is_empty() {
+            let tok = self.bump();
+            return Expr::Opaque { tok };
+        }
+        // Macro call.
+        if self.at_punct("!")
+            && self
+                .peek_at(1)
+                .is_some_and(|t| t.is_punct("(") || t.is_punct("[") || t.is_punct("{"))
+        {
+            self.bump(); // !
+            let name = segs.last().cloned().unwrap_or_default();
+            let close = match self.peek().map(|t| t.text.as_str()) {
+                Some("(") => ")",
+                Some("[") => "]",
+                _ => "}",
+            };
+            self.bump(); // open delim
+            let mut args = Vec::new();
+            loop {
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct(close) => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {}
+                }
+                let before = self.pos;
+                args.push(self.parse_expr(0, false));
+                if !self.eat_punct(",") {
+                    self.eat_punct(";");
+                }
+                if self.pos == before {
+                    // Non-expression macro interior: skip to the close.
+                    let mut depth = 1usize;
+                    let open = match close {
+                        ")" => "(",
+                        "]" => "[",
+                        _ => "{",
+                    };
+                    while let Some(t) = self.peek() {
+                        if t.is_punct(open) {
+                            depth += 1;
+                        } else if t.is_punct(close) {
+                            depth -= 1;
+                            if depth == 0 {
+                                self.bump();
+                                break;
+                            }
+                        }
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            return Expr::MacroCall { name, args, tok };
+        }
+        // Struct literal.
+        if !no_struct && self.at_punct("{") && self.struct_lit_follows(&segs) {
+            self.bump(); // {
+            let mut fields = Vec::new();
+            loop {
+                self.skip_attrs();
+                match self.peek() {
+                    None => break,
+                    Some(t) if t.is_punct("}") => {
+                        self.bump();
+                        break;
+                    }
+                    _ => {}
+                }
+                let before = self.pos;
+                if self.eat_punct("..") {
+                    // `Foo { x, .. }` in `matches!` patterns has no base
+                    // expression; only parse one when it follows.
+                    if !self.at_punct("}") {
+                        let base = self.parse_expr(0, false);
+                        fields.push(("..".to_string(), base));
+                    }
+                } else if self.peek().is_some_and(|t| t.kind == TokKind::Ident) {
+                    let ftok = self.pos;
+                    let fname = self.toks[ftok].text.clone();
+                    self.bump();
+                    if self.eat_punct(":") {
+                        let value = self.parse_expr(0, false);
+                        fields.push((fname, value));
+                    } else {
+                        // Shorthand `Foo { x }`.
+                        let value = Expr::Path {
+                            segs: vec![fname.clone()],
+                            tok: ftok,
+                        };
+                        fields.push((fname, value));
+                    }
+                }
+                self.eat_punct(",");
+                if self.pos == before {
+                    self.bump();
+                }
+            }
+            return Expr::StructLit {
+                path: segs,
+                fields,
+                tok,
+            };
+        }
+        Expr::Path { segs, tok }
+    }
+
+    /// Struct-literal lookahead: the path ends in an uppercase name and
+    /// the brace interior starts like field syntax.
+    fn struct_lit_follows(&self, segs: &[String]) -> bool {
+        let capitalized = segs
+            .last()
+            .and_then(|s| s.chars().next())
+            .is_some_and(|c| c.is_uppercase());
+        if !capitalized {
+            return false;
+        }
+        // After `{`: `}`, `..`, `ident:`, `ident,`, `ident}`.
+        match self.peek_at(1) {
+            Some(t) if t.is_punct("}") || t.is_punct("..") => true,
+            Some(t) if t.kind == TokKind::Ident => matches!(
+                self.peek_at(2),
+                Some(n) if n.is_punct(":") || n.is_punct(",") || n.is_punct("}")
+            ),
+            _ => false,
+        }
+    }
+
+    /// Postfix chain: field/method access, calls, indexing, `?`.
+    fn parse_postfix(&mut self, mut lhs: Expr) -> Expr {
+        loop {
+            match self.peek() {
+                Some(t) if t.is_punct(".") => {
+                    self.bump();
+                    match self.peek() {
+                        Some(t) if t.kind == TokKind::Ident => {
+                            let tok = self.pos;
+                            let name = t.text.clone();
+                            self.bump();
+                            // Turbofish: `.collect::<Vec<_>>()`.
+                            if self.at_punct("::")
+                                && self.peek_at(1).is_some_and(|t| t.is_punct("<"))
+                            {
+                                self.bump();
+                                self.skip_angles();
+                            }
+                            if self.at_punct("(") {
+                                let args = self.parse_call_args();
+                                lhs = Expr::MethodCall {
+                                    recv: Box::new(lhs),
+                                    method: name,
+                                    args,
+                                    tok,
+                                };
+                            } else {
+                                lhs = Expr::Field {
+                                    base: Box::new(lhs),
+                                    name,
+                                    tok,
+                                };
+                            }
+                        }
+                        Some(t) if matches!(t.kind, TokKind::Num { .. }) => {
+                            // Tuple fields; `t.0.1` lexes the index pair
+                            // as the float `0.1` — split it back.
+                            let tok = self.pos;
+                            let text = t.text.clone();
+                            self.bump();
+                            for part in text.split('.') {
+                                lhs = Expr::Field {
+                                    base: Box::new(lhs),
+                                    name: part.to_string(),
+                                    tok,
+                                };
+                            }
+                        }
+                        _ => {
+                            return lhs;
+                        }
+                    }
+                }
+                Some(t) if t.is_punct("(") => {
+                    let tok = self.pos;
+                    let args = self.parse_call_args();
+                    lhs = Expr::Call {
+                        callee: Box::new(lhs),
+                        args,
+                        tok,
+                    };
+                }
+                Some(t) if t.is_punct("[") => {
+                    let tok = self.bump();
+                    let index = self.parse_expr(0, false);
+                    self.eat_punct("]");
+                    lhs = Expr::Index {
+                        base: Box::new(lhs),
+                        index: Box::new(index),
+                        tok,
+                    };
+                }
+                Some(t) if t.is_punct("?") => {
+                    self.bump();
+                    lhs = Expr::Question {
+                        expr: Box::new(lhs),
+                    };
+                }
+                _ => break,
+            }
+        }
+        lhs
+    }
+
+    /// Parses `( arg, ... )`; the cursor must be at `(`.
+    fn parse_call_args(&mut self) -> Vec<Expr> {
+        let mut args = Vec::new();
+        if !self.eat_punct("(") {
+            return args;
+        }
+        loop {
+            match self.peek() {
+                None => break,
+                Some(t) if t.is_punct(")") => {
+                    self.bump();
+                    break;
+                }
+                _ => {}
+            }
+            let before = self.pos;
+            args.push(self.parse_expr(0, false));
+            self.eat_punct(",");
+            if self.pos == before {
+                self.bump();
+            }
+        }
+        args
+    }
+}
+
+/// Appends a token's surface text, inserting a space between adjacent
+/// word-like tokens so `&mut Vec<f64>` renders readably.
+fn push_tok_text(out: &mut String, t: &Token, prev_wordy: &mut bool) {
+    let (head, wordy): (String, bool) = match t.kind {
+        TokKind::Lifetime => (format!("'{}", t.text), true),
+        TokKind::Str => ("\"..\"".to_string(), false),
+        TokKind::Char => ("'.'".to_string(), false),
+        _ => (
+            t.text.clone(),
+            t.text
+                .chars()
+                .next()
+                .is_some_and(|c| c == '_' || c.is_alphanumeric()),
+        ),
+    };
+    if *prev_wordy && wordy {
+        out.push(' ');
+    }
+    out.push_str(&head);
+    *prev_wordy = head
+        .chars()
+        .last()
+        .is_some_and(|c| c == '_' || c.is_alphanumeric());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> File {
+        parse_file(&lex(src))
+    }
+
+    #[test]
+    fn fn_signature_and_body_shapes() {
+        let f = parse(
+            "pub(crate) fn resolve(knob: usize, caps: &[f64]) -> usize {\n\
+             let mut total = 0.0f64;\n\
+             for c in caps { total += *c; }\n\
+             total as usize\n\
+             }",
+        );
+        let fns = ast::all_fns(&f);
+        assert_eq!(fns.len(), 1);
+        let (fd, _) = fns[0];
+        assert_eq!(fd.name, "resolve");
+        assert!(fd.is_pub);
+        assert_eq!(fd.params.len(), 2);
+        assert_eq!(fd.params[1].ty, "&[f64]");
+        assert_eq!(fd.ret.as_deref(), Some("usize"));
+        let body = fd.body.as_ref().unwrap();
+        assert_eq!(body.stmts.len(), 3);
+        match &body.stmts[0] {
+            Stmt::Let {
+                primary,
+                mutable,
+                init,
+                ..
+            } => {
+                assert_eq!(primary.as_deref(), Some("total"));
+                assert!(*mutable);
+                assert!(matches!(init, Some(Expr::Lit { float: true, .. })));
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+        // `total += *c` inside the for body.
+        let mut saw_add_assign = false;
+        ast::walk_block(body, &mut |e| {
+            if let Expr::Assign { op, target, .. } = e {
+                assert_eq!(op, "+=");
+                assert_eq!(target.as_path_name(), Some("total"));
+                saw_add_assign = true;
+            }
+            true
+        });
+        assert!(saw_add_assign);
+    }
+
+    #[test]
+    fn impl_blocks_methods_and_struct_fields() {
+        let f = parse(
+            "struct PoolState { sim: Vec<f64>, shards: Vec<(usize, usize)> }\n\
+             impl<'a> Engine<'a> {\n\
+             fn eval(&mut self, state: &RwLock<PoolState>) -> f64 {\n\
+             let st = state.read().unwrap_or_else(|e| e.into_inner());\n\
+             st.sim.iter().sum::<f64>()\n\
+             } }",
+        );
+        let structs = ast::all_structs(&f);
+        assert_eq!(structs.len(), 1);
+        assert_eq!(structs[0].fields[0].ty, "Vec<f64>");
+        let fns = ast::all_fns(&f);
+        assert_eq!(fns.len(), 1);
+        let (fd, self_ty) = fns[0];
+        assert_eq!(self_ty, Some("Engine"));
+        assert_eq!(fd.params[0].name, "self");
+        assert_eq!(fd.params[1].ty, "&RwLock<PoolState>");
+        // Method chain with closure arg and turbofish parses cleanly.
+        let mut methods = Vec::new();
+        ast::walk_block(fd.body.as_ref().unwrap(), &mut |e| {
+            if let Expr::MethodCall { method, .. } = e {
+                methods.push(method.clone());
+            }
+            true
+        });
+        for m in ["read", "unwrap_or_else", "into_inner", "iter", "sum"] {
+            assert!(methods.iter().any(|x| x == m), "missing {m} in {methods:?}");
+        }
+    }
+
+    #[test]
+    fn control_flow_and_patterns() {
+        let f = parse(
+            "fn main_loop(slots: &[Mutex<PoolSlot>]) {\n\
+             let mut go = move || {\n\
+             if let Some(d) = pick() { use_it(d); } else { return; }\n\
+             match kind { Distance::Finite(h) => (h as usize).min(3), _ => 0 };\n\
+             for (w, slot) in slots.iter().enumerate().skip(1) {\n\
+             let PoolSlot { buf, delta } = &mut *slot.lock().unwrap();\n\
+             buf[w] = delta + w as f64;\n\
+             } };\n\
+             go();\n\
+             }",
+        );
+        let fns = ast::all_fns(&f);
+        let body = fns[0].0.body.as_ref().unwrap();
+        let mut saw = (false, false, false, false, false);
+        ast::walk_block(body, &mut |e| {
+            match e {
+                Expr::Closure { .. } => saw.0 = true,
+                Expr::LetCond { pat_names, .. } => {
+                    assert!(pat_names.iter().any(|n| n == "d"));
+                    saw.1 = true;
+                }
+                Expr::Match { arms, .. } => {
+                    assert_eq!(arms.len(), 2);
+                    saw.2 = true;
+                }
+                Expr::For { pat_names, .. } => {
+                    assert!(pat_names.contains(&"slot".to_string()));
+                    saw.3 = true;
+                }
+                Expr::Index { .. } => saw.4 = true,
+                _ => {}
+            }
+            true
+        });
+        assert_eq!(saw, (true, true, true, true, true), "missing shapes");
+        // The destructuring let binds buf and delta.
+        let mut found_destructure = false;
+        ast::walk_block(body, &mut |_| true);
+        for s in collect_lets(body) {
+            if let Stmt::Let {
+                pat_names, primary, ..
+            } = s
+            {
+                if pat_names.contains(&"buf".to_string()) {
+                    assert!(primary.is_none());
+                    found_destructure = true;
+                }
+            }
+        }
+        assert!(found_destructure);
+    }
+
+    fn collect_lets(block: &Block) -> Vec<&Stmt> {
+        fn rec_expr<'a>(e: &'a Expr, out: &mut Vec<&'a Stmt>) {
+            match e {
+                Expr::Block(b) | Expr::Loop { body: b } => rec(b, out),
+                Expr::While { cond, body } => {
+                    rec_expr(cond, out);
+                    rec(body, out);
+                }
+                Expr::For { iter, body, .. } => {
+                    rec_expr(iter, out);
+                    rec(body, out);
+                }
+                Expr::If { cond, then, else_ } => {
+                    rec_expr(cond, out);
+                    rec(then, out);
+                    if let Some(e) = else_ {
+                        rec_expr(e, out);
+                    }
+                }
+                Expr::Closure { body, .. } => rec_expr(body, out),
+                Expr::Call { args, .. } => {
+                    for a in args {
+                        rec_expr(a, out);
+                    }
+                }
+                Expr::MethodCall { recv, args, .. } => {
+                    rec_expr(recv, out);
+                    for a in args {
+                        rec_expr(a, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        fn rec<'a>(b: &'a Block, out: &mut Vec<&'a Stmt>) {
+            for s in &b.stmts {
+                if matches!(s, Stmt::Let { .. }) {
+                    out.push(s);
+                }
+                match s {
+                    Stmt::Let { init: Some(e), .. } | Stmt::Expr { expr: e, .. } => {
+                        rec_expr(e, out)
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut out = Vec::new();
+        rec(block, &mut out);
+        out
+    }
+
+    #[test]
+    fn macros_struct_literals_and_ranges() {
+        let f = parse(
+            "fn f() -> Engine {\n\
+             assert!(a <= b, \"bad {a}\");\n\
+             let v = vec![0.0f64; n];\n\
+             let r = 0..n;\n\
+             Engine { sim: v, shards: Vec::new(), ..Default::default() }\n\
+             }",
+        );
+        let body = ast::all_fns(&f)[0].0.body.as_ref().unwrap();
+        let mut saw_macro = 0;
+        let mut saw_struct = false;
+        let mut saw_range = false;
+        ast::walk_block(body, &mut |e| {
+            match e {
+                Expr::MacroCall { name, .. } => {
+                    assert!(name == "assert" || name == "vec");
+                    saw_macro += 1;
+                }
+                Expr::StructLit { path, fields, .. } => {
+                    assert_eq!(path.last().unwrap(), "Engine");
+                    assert_eq!(fields.len(), 3);
+                    saw_struct = true;
+                }
+                Expr::Range {
+                    lo: Some(_),
+                    hi: Some(_),
+                    ..
+                } => saw_range = true,
+                _ => {}
+            }
+            true
+        });
+        assert_eq!(saw_macro, 2);
+        assert!(saw_struct);
+        assert!(saw_range);
+        // Trailing struct literal is the fn's value.
+        match body.stmts.last().unwrap() {
+            Stmt::Expr { has_semi, .. } => assert!(!has_semi),
+            other => panic!("expected trailing expr, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn match_braces_do_not_swallow_struct_literals() {
+        // `match x { .. }` scrutinee must not parse `x {` as a literal.
+        let f = parse("fn f(x: Kind) -> u32 { match x { Kind::A => 1, _ => 0 } }");
+        let body = ast::all_fns(&f)[0].0.body.as_ref().unwrap();
+        assert!(matches!(
+            body.stmts.last().unwrap(),
+            Stmt::Expr {
+                expr: Expr::Match { .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn opaque_recovery_keeps_parsing() {
+        // Garbage in the middle must not lose the following fn.
+        let f = parse("fn a() {} @@@ ::: fn b() {}");
+        let names: Vec<_> = ast::all_fns(&f)
+            .iter()
+            .map(|(f, _)| f.name.clone())
+            .collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn shift_ops_do_not_derail_expressions() {
+        let f = parse("fn f(x: u64, k: u32) -> u64 { (x << k) | (x >> 3) }");
+        let body = ast::all_fns(&f)[0].0.body.as_ref().unwrap();
+        let mut shifts = Vec::new();
+        ast::walk_block(body, &mut |e| {
+            if let Expr::Binary { op, .. } = e {
+                shifts.push(op.clone());
+            }
+            true
+        });
+        assert!(shifts.contains(&"<<".to_string()), "{shifts:?}");
+        assert!(shifts.contains(&">>".to_string()), "{shifts:?}");
+    }
+}

@@ -1,0 +1,417 @@
+//! Per-file symbol and type resolution for the semantic rules.
+//!
+//! The workspace vendors no compiler libraries, so "types" here are the
+//! raw type texts the parser captured, interpreted by pattern: `Mutex<X>`
+//! / `RwLock<X>` anywhere in a type makes the binding a lock over class
+//! `X`, `Barrier` makes it a barrier, `f64`/`f32` makes it float-bearing.
+//! Struct definitions in the same file give `self.field` and
+//! `binding.field` their declared types; impl blocks give `self` its
+//! type. Everything unresolvable is [`VarTy::default`], which the rules
+//! treat as *unknown* — unknown never produces a finding.
+
+use crate::ast::{self, Expr, File};
+use std::collections::BTreeMap;
+
+/// Which lock primitive a class-bearing type wraps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockKind {
+    /// `std::sync::Mutex`.
+    Mutex,
+    /// `std::sync::RwLock`.
+    RwLock,
+}
+
+impl LockKind {
+    /// Display name matching the std type.
+    pub fn name(self) -> &'static str {
+        match self {
+            LockKind::Mutex => "Mutex",
+            LockKind::RwLock => "RwLock",
+        }
+    }
+}
+
+/// What resolution knows about one binding or expression.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct VarTy {
+    /// The binding is (or contains) a lock over this class.
+    pub lock: Option<(LockKind, String)>,
+    /// The binding is a live guard acquired from this class (set by the
+    /// dataflow walker, not by type text).
+    pub guard: Option<(LockKind, String)>,
+    /// The binding is (or references) a `Barrier`.
+    pub barrier: bool,
+    /// The binding carries f64/f32 values.
+    pub float: bool,
+    /// The binding is a compensated accumulator (`NeumaierSum`/`KahanSum`).
+    pub compensator: bool,
+    /// Base struct name, when the type names a struct defined in-file.
+    pub struct_name: Option<String>,
+}
+
+/// Per-file resolution tables.
+#[derive(Debug, Default)]
+pub struct FileInfo {
+    /// Struct name → field name → raw type text.
+    pub structs: BTreeMap<String, BTreeMap<String, String>>,
+}
+
+/// Builds the per-file tables from the AST.
+pub fn file_info(file: &File) -> FileInfo {
+    let mut info = FileInfo::default();
+    for sd in ast::all_structs(file) {
+        let fields = sd
+            .fields
+            .iter()
+            .map(|f| (f.name.clone(), f.ty.clone()))
+            .collect();
+        info.structs.insert(sd.name.clone(), fields);
+    }
+    info
+}
+
+/// First identifier after `needle<` in `ty`, e.g. the lock class.
+fn inner_of(ty: &str, needle: &str) -> Option<String> {
+    let pos = find_word(ty, needle)?;
+    let rest = &ty[pos + needle.len()..];
+    let rest = rest.strip_prefix('<')?;
+    let inner: String = rest
+        .chars()
+        .skip_while(|c| *c == '&' || *c == '\'' || c.is_whitespace())
+        .take_while(|c| *c == '_' || c.is_alphanumeric())
+        .collect();
+    if inner.is_empty() {
+        None
+    } else {
+        Some(inner)
+    }
+}
+
+/// Finds `word` in `ty` at an identifier boundary.
+fn find_word(ty: &str, word: &str) -> Option<usize> {
+    let bytes = ty.as_bytes();
+    let mut from = 0usize;
+    while let Some(off) = ty[from..].find(word) {
+        let start = from + off;
+        let end = start + word.len();
+        let pre_ok = start == 0 || {
+            let c = bytes[start - 1] as char;
+            !(c == '_' || c.is_alphanumeric())
+        };
+        let post_ok = end >= ty.len() || {
+            let c = bytes[end] as char;
+            !(c == '_' || c.is_alphanumeric())
+        };
+        if pre_ok && post_ok {
+            return Some(start);
+        }
+        from = end;
+    }
+    None
+}
+
+/// Interprets raw type text into a [`VarTy`].
+pub fn var_ty_from_type(ty: &str, info: &FileInfo) -> VarTy {
+    let mut v = VarTy::default();
+    if let Some(class) = inner_of(ty, "Mutex") {
+        v.lock = Some((LockKind::Mutex, class));
+    } else if let Some(class) = inner_of(ty, "RwLock") {
+        v.lock = Some((LockKind::RwLock, class));
+    }
+    if find_word(ty, "Barrier").is_some() {
+        v.barrier = true;
+    }
+    if find_word(ty, "f64").is_some() || find_word(ty, "f32").is_some() {
+        v.float = true;
+    }
+    if find_word(ty, "NeumaierSum").is_some() || find_word(ty, "KahanSum").is_some() {
+        v.compensator = true;
+    }
+    // Base struct name: first path-ish identifier that names an in-file
+    // struct (`&Arc<EngineSubstrate>` → `EngineSubstrate`).
+    for name in info.structs.keys() {
+        if find_word(ty, name).is_some() {
+            v.struct_name = Some(name.clone());
+            break;
+        }
+    }
+    v
+}
+
+/// Iterator adapters that preserve the interesting part of a receiver's
+/// type for resolution (`slots.iter().enumerate().skip(1)` still yields
+/// the slots' locks).
+const PASS_THROUGH_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "enumerate",
+    "skip",
+    "take",
+    "rev",
+    "chunks",
+    "chunks_exact",
+    "windows",
+    "as_ref",
+    "as_mut",
+    "as_slice",
+    "clone",
+    "copied",
+    "cloned",
+    "zip",
+    "first",
+    "last",
+    "get",
+    "get_mut",
+];
+
+/// A per-function name environment layered over the file tables.
+#[derive(Debug)]
+pub struct Env<'a> {
+    /// Binding name → what we know about it.
+    pub vars: BTreeMap<String, VarTy>,
+    /// The enclosing impl's self type, if any.
+    pub self_ty: Option<&'a str>,
+    /// File tables.
+    pub info: &'a FileInfo,
+}
+
+impl<'a> Env<'a> {
+    /// New environment over `info` for a fn inside `self_ty`'s impl.
+    pub fn new(info: &'a FileInfo, self_ty: Option<&'a str>) -> Self {
+        Env {
+            vars: BTreeMap::new(),
+            self_ty,
+            info,
+        }
+    }
+
+    /// Records a binding's resolved type.
+    pub fn bind(&mut self, name: &str, ty: VarTy) {
+        if !name.is_empty() {
+            self.vars.insert(name.to_string(), ty);
+        }
+    }
+
+    /// Resolves an expression to what is known about its value.
+    pub fn resolve(&self, expr: &Expr) -> VarTy {
+        match expr {
+            Expr::Path { segs, .. } => {
+                if segs.len() == 1 && segs[0] == "self" {
+                    VarTy {
+                        struct_name: self.self_ty.map(str::to_string),
+                        ..VarTy::default()
+                    }
+                } else if let Some(v) = segs.last().and_then(|n| self.vars.get(n)) {
+                    v.clone()
+                } else {
+                    VarTy::default()
+                }
+            }
+            Expr::Field { base, name, .. } => {
+                let b = self.resolve(base);
+                if let Some(fields) = b
+                    .struct_name
+                    .as_ref()
+                    .and_then(|s| self.info.structs.get(s))
+                {
+                    if let Some(ty) = fields.get(name) {
+                        return var_ty_from_type(ty, self.info);
+                    }
+                }
+                VarTy::default()
+            }
+            // Indexing and iteration look *into* a container type; the
+            // text pattern already matched through `Vec<...>`/`[...]`.
+            Expr::Index { base, .. } => self.resolve(base),
+            Expr::Unary { expr, .. } | Expr::Question { expr } => self.resolve(expr),
+            Expr::Cast { expr, ty } => {
+                let mut v = self.resolve(expr);
+                if find_word(ty, "f64").is_some() || find_word(ty, "f32").is_some() {
+                    v.float = true;
+                }
+                v
+            }
+            Expr::Lit { float, .. } => VarTy {
+                float: *float,
+                ..VarTy::default()
+            },
+            Expr::Binary { op, lhs, rhs, .. } => {
+                // Arithmetic propagates floatness; comparisons yield bool.
+                if matches!(op.as_str(), "+" | "-" | "*" | "/" | "%") {
+                    VarTy {
+                        float: self.resolve(lhs).float || self.resolve(rhs).float,
+                        ..VarTy::default()
+                    }
+                } else {
+                    VarTy::default()
+                }
+            }
+            Expr::MethodCall { recv, method, .. } => {
+                if PASS_THROUGH_METHODS.contains(&method.as_str()) {
+                    self.resolve(recv)
+                } else {
+                    VarTy::default()
+                }
+            }
+            Expr::Call { callee, args, .. } => {
+                let segs: &[String] = match callee.as_ref() {
+                    Expr::Path { segs, .. } => segs,
+                    _ => return VarTy::default(),
+                };
+                let head = segs.iter().rev().nth(1).map(String::as_str);
+                let tail = segs.last().map(String::as_str);
+                match (head, tail) {
+                    (Some("Mutex"), Some("new")) | (Some("RwLock"), Some("new")) => {
+                        let kind = if head == Some("Mutex") {
+                            LockKind::Mutex
+                        } else {
+                            LockKind::RwLock
+                        };
+                        let class = args
+                            .first()
+                            .and_then(|a| self.class_of_value(a))
+                            .unwrap_or_else(|| "_".to_string());
+                        VarTy {
+                            lock: Some((kind, class)),
+                            ..VarTy::default()
+                        }
+                    }
+                    (Some("Barrier"), Some("new")) => VarTy {
+                        barrier: true,
+                        ..VarTy::default()
+                    },
+                    (Some("NeumaierSum" | "KahanSum"), _) => VarTy {
+                        compensator: true,
+                        ..VarTy::default()
+                    },
+                    // Wrappers that do not change what the value is.
+                    (Some("Arc" | "Box" | "Rc"), Some("new")) | (_, Some("AssertUnwindSafe")) => {
+                        args.first().map(|a| self.resolve(a)).unwrap_or_default()
+                    }
+                    _ => VarTy::default(),
+                }
+            }
+            Expr::MacroCall { name, args, .. } if name == "vec" => VarTy {
+                float: args.first().is_some_and(|a| self.resolve(a).float),
+                ..VarTy::default()
+            },
+            Expr::StructLit { path, .. } => VarTy {
+                struct_name: path.last().cloned(),
+                ..VarTy::default()
+            },
+            Expr::If { then, else_, .. } => {
+                // The value comes from the branch tails; either suffices.
+                let mut v = block_value_ty(self, then);
+                if v == VarTy::default() {
+                    if let Some(e) = else_ {
+                        v = self.resolve(e);
+                    }
+                }
+                v
+            }
+            Expr::Block(b) => block_value_ty(self, b),
+            _ => VarTy::default(),
+        }
+    }
+
+    /// The class name of a value used to seed a lock (`PoolState { .. }`
+    /// or a binding with a known struct type).
+    fn class_of_value(&self, expr: &Expr) -> Option<String> {
+        match expr {
+            Expr::StructLit { path, .. } => path.last().cloned(),
+            Expr::Call { callee, .. } => match callee.as_ref() {
+                // `PoolSlot::default()` and friends.
+                Expr::Path { segs, .. } if segs.len() >= 2 => segs.iter().rev().nth(1).cloned(),
+                _ => None,
+            },
+            _ => self.resolve(expr).struct_name,
+        }
+    }
+}
+
+/// Resolved type of a block's trailing expression.
+fn block_value_ty(env: &Env<'_>, block: &ast::Block) -> VarTy {
+    for stmt in block.stmts.iter().rev() {
+        if let ast::Stmt::Expr {
+            expr,
+            has_semi: false,
+        } = stmt
+        {
+            return env.resolve(expr);
+        }
+    }
+    VarTy::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+
+    #[test]
+    fn type_text_patterns() {
+        let info = FileInfo::default();
+        let v = var_ty_from_type("&RwLock<PoolState>", &info);
+        assert_eq!(v.lock, Some((LockKind::RwLock, "PoolState".to_string())));
+        let v = var_ty_from_type("&[Mutex<PoolSlot>]", &info);
+        assert_eq!(v.lock, Some((LockKind::Mutex, "PoolSlot".to_string())));
+        let v = var_ty_from_type("Vec<Mutex<PoolSlot>>", &info);
+        assert_eq!(v.lock, Some((LockKind::Mutex, "PoolSlot".to_string())));
+        assert!(var_ty_from_type("&Barrier", &info).barrier);
+        assert!(var_ty_from_type("&mut Vec<f64>", &info).float);
+        assert!(var_ty_from_type("NeumaierSum", &info).compensator);
+        // Word boundaries: no false matches inside longer identifiers.
+        assert!(var_ty_from_type("MutexLike<X>", &info).lock.is_none());
+        assert!(!var_ty_from_type("BarrierStats", &info).barrier);
+    }
+
+    #[test]
+    fn self_fields_resolve_through_impl() {
+        let src = "struct Pool { state: RwLock<PoolState>, barrier: Barrier }\n\
+                   impl Pool { fn f(&self) { self.state.read(); self.barrier.wait(); } }";
+        let file = parse_file(&lex(src));
+        let info = file_info(&file);
+        let fns = crate::ast::all_fns(&file);
+        let (fd, self_ty) = fns[0];
+        let mut env = Env::new(&info, self_ty);
+        for p in &fd.params {
+            env.bind(&p.name, var_ty_from_type(&p.ty, &info));
+        }
+        // `self.state` is a RwLock<PoolState>; `self.barrier` a Barrier.
+        let body = fd.body.as_ref().unwrap();
+        let mut found = (false, false);
+        crate::ast::walk_block(body, &mut |e| {
+            if let Expr::MethodCall { recv, method, .. } = e {
+                let v = env.resolve(recv);
+                if method == "read" {
+                    assert_eq!(v.lock, Some((LockKind::RwLock, "PoolState".to_string())));
+                    found.0 = true;
+                }
+                if method == "wait" {
+                    assert!(v.barrier);
+                    found.1 = true;
+                }
+            }
+            true
+        });
+        assert_eq!(found, (true, true));
+    }
+
+    #[test]
+    fn initializer_heuristics() {
+        let info = FileInfo::default();
+        let env = Env::new(&info, None);
+        let src = "fn f() { let s = RwLock::new(PoolState { x: 1 }); }";
+        let file = parse_file(&lex(src));
+        let fns = crate::ast::all_fns(&file);
+        let body = fns[0].0.body.as_ref().unwrap();
+        if let crate::ast::Stmt::Let { init: Some(e), .. } = &body.stmts[0] {
+            let v = env.resolve(e);
+            assert_eq!(v.lock, Some((LockKind::RwLock, "PoolState".to_string())));
+        } else {
+            panic!("expected let");
+        }
+    }
+}

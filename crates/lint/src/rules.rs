@@ -1,13 +1,14 @@
-//! The rule set. Each rule is a pure function over one file's token
-//! stream; findings carry the rule id, a span, and the required fix.
+//! The rule set. Each rule is a pure function over one file's analysis
+//! (token stream + AST + resolver tables); findings carry the rule id, a
+//! span, and the required fix.
 //!
-//! Token-pattern analysis is deliberately conservative where types are
+//! The lexical rules here are deliberately conservative where types are
 //! invisible: `float-ordering` flags `.max(...)`/`.min(...)` only when the
 //! argument list carries float evidence (a float literal or an `f64::`
-//! path), and `naive-accumulation` tracks accumulators it can prove are
-//! `f64` from their declaration. Misses are possible; false findings are
-//! not supposed to happen, and when one does the audited suppression in
-//! [`crate::allow`] is the out.
+//! path). The semantic rules ([`crate::semrules`], [`crate::callgraph`])
+//! consume the AST and dataflow layers instead. Either way, misses are
+//! possible; false findings are not supposed to happen, and when one does
+//! the audited suppression in [`crate::allow`] is the out.
 
 use crate::config::{self, FileClass, FileKind};
 use crate::diag::Diagnostic;
@@ -19,8 +20,12 @@ pub struct FileCtx<'a> {
     pub class: &'a FileClass,
     /// Token stream + comments.
     pub lexed: &'a Lexed,
+    /// Parsed AST of the file.
+    pub ast: &'a crate::ast::File,
+    /// Resolver tables (struct fields) for the file.
+    pub info: &'a crate::resolve::FileInfo,
     /// Token-index ranges covered by `#[cfg(test)]` / `#[test]` items.
-    pub test_regions: Vec<(usize, usize)>,
+    pub test_regions: &'a [(usize, usize)],
 }
 
 impl FileCtx<'_> {
@@ -38,6 +43,11 @@ impl FileCtx<'_> {
             col: tok.col,
             message,
         }
+    }
+
+    /// `diag` anchored by token index (AST anchors carry indexes).
+    pub(crate) fn diag_at(&self, rule: &'static str, tok: usize, message: String) -> Diagnostic {
+        self.diag(rule, &self.lexed.tokens[tok], message)
     }
 }
 
@@ -59,9 +69,19 @@ pub const RULES: &[Rule] = &[
         check: float_ordering,
     },
     Rule {
-        id: "naive-accumulation",
-        summary: "bare f64 accumulation in kernel/engine/sim hot paths — use NeumaierSum/compensated_sum",
-        check: naive_accumulation,
+        id: "float-taint",
+        summary: "raw f64 accumulation in kernel/engine/sim hot paths escaping to an exported result — use NeumaierSum/compensated_sum",
+        check: crate::semrules::float_taint,
+    },
+    Rule {
+        id: "lock-discipline",
+        summary: "guard held across Barrier::wait, lock-order cycles, or panics under a guard in the worker pool",
+        check: crate::semrules::lock_discipline,
+    },
+    Rule {
+        id: "index-bounds",
+        summary: "unchecked arithmetic indexing in CSR hot paths without a validating constructor or len() check",
+        check: crate::semrules::index_bounds,
     },
     Rule {
         id: "panic-surface",
@@ -90,9 +110,11 @@ pub const RULES: &[Rule] = &[
     },
 ];
 
-/// All valid rule ids, including the directive-hygiene pseudo-rule.
+/// All valid rule ids, including the workspace-level call-graph rule and
+/// the directive-hygiene pseudo-rule.
 pub fn rule_ids() -> Vec<&'static str> {
     let mut ids: Vec<&'static str> = RULES.iter().map(|r| r.id).collect();
+    ids.push(crate::callgraph::RULE);
     ids.push(crate::allow::SUPPRESSION_RULE);
     ids
 }
@@ -243,93 +265,6 @@ fn float_ordering(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
                     t.text
                 ),
             ));
-        }
-    }
-    out
-}
-
-fn naive_accumulation(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
-    if !config::path_matches(&ctx.class.rel_path, config::ACCUMULATION_WATCHED) {
-        return Vec::new();
-    }
-    let toks = &ctx.lexed.tokens;
-    // Pass 1: accumulators provably declared `f64` — `let mut X = <float>`
-    // or `let mut X: f64`.
-    let mut float_accs: Vec<&str> = Vec::new();
-    for i in 0..toks.len() {
-        if !toks[i].is_ident("let") || !toks.get(i + 1).is_some_and(|t| t.is_ident("mut")) {
-            continue;
-        }
-        let Some(name) = toks.get(i + 2).filter(|t| t.kind == TokKind::Ident) else {
-            continue;
-        };
-        let is_float = match toks.get(i + 3) {
-            Some(t) if t.is_punct(":") => toks.get(i + 4).is_some_and(|t| t.is_ident("f64")),
-            Some(t) if t.is_punct("=") => toks
-                .get(i + 4)
-                .is_some_and(|t| matches!(t.kind, TokKind::Num { float: true })),
-            _ => false,
-        };
-        if is_float {
-            float_accs.push(&name.text);
-        }
-    }
-    let mut out = Vec::new();
-    for (i, t) in toks.iter().enumerate() {
-        if ctx.in_test(i) {
-            continue;
-        }
-        // `X += ...` on a proven-f64 accumulator.
-        if t.kind == TokKind::Ident
-            && float_accs.contains(&t.text.as_str())
-            && toks.get(i + 1).is_some_and(|n| n.is_punct("+="))
-        {
-            out.push(ctx.diag(
-                "naive-accumulation",
-                t,
-                format!(
-                    "bare `+=` on f64 accumulator `{}` drifts O(n·ulp) — accumulate through \
-                     `NeumaierSum` (crates/core/src/numeric.rs) or justify with a suppression",
-                    t.text
-                ),
-            ));
-        }
-        // `.sum(...)` / `.sum::<f64>()` — iterator sums in the hot paths.
-        // Integer sums are exact; an explicit integer turbofish passes.
-        let integer_turbofish = toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
-            && toks.get(i + 2).is_some_and(|n| n.is_punct("<"))
-            && toks
-                .get(i + 3)
-                .is_some_and(|n| n.kind == TokKind::Ident && n.text != "f64" && n.text != "f32");
-        if t.is_ident("sum") && i > 0 && toks[i - 1].is_punct(".") && !integer_turbofish {
-            out.push(
-                ctx.diag(
-                    "naive-accumulation",
-                    t,
-                    "iterator `.sum()` over similarity values is uncompensated — use \
-                 `compensated_sum` from crates/core/src/numeric.rs"
-                        .to_string(),
-                ),
-            );
-        }
-        // `.fold(0.0, ...)` — a sum in disguise.
-        if t.is_ident("fold")
-            && i > 0
-            && toks[i - 1].is_punct(".")
-            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
-            && toks
-                .get(i + 2)
-                .is_some_and(|n| matches!(n.kind, TokKind::Num { float: true }))
-        {
-            out.push(
-                ctx.diag(
-                    "naive-accumulation",
-                    t,
-                    "float `.fold(...)` seeded with a literal is an uncompensated reduction — use \
-                 `NeumaierSum`"
-                        .to_string(),
-                ),
-            );
         }
     }
     out

@@ -1,0 +1,294 @@
+//! Semantic rules over the AST + dataflow layers: lock discipline in the
+//! worker pool, escaping float taint in the kernel hot paths, and
+//! unchecked arithmetic indexing in the CSR code.
+//!
+//! These rules are scoped by [`crate::config`] watch lists exactly like
+//! their lexical siblings, report through the same [`Diagnostic`] shape,
+//! and honor the same suppression syntax.
+
+use crate::ast::{self, Expr};
+use crate::config;
+use crate::dataflow::{self, LockOp, TaintKind};
+use crate::diag::Diagnostic;
+use crate::resolve::LockKind;
+use crate::rules::FileCtx;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// `lock-discipline`: guard lifetimes around the pool's rendezvous
+/// protocol. Three findings:
+/// 1. `Barrier::wait` while holding a guard — a panicking peer never
+///    reaches the barrier and the holder deadlocks the pool;
+/// 2. lock-order inversion — two lock classes acquired in both nesting
+///    orders within the file;
+/// 3. a panic site while holding a guard outside `catch_unwind` — the
+///    unwind poisons the lock outside the pool's recovery protocol.
+pub fn lock_discipline(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !config::path_matches(&ctx.class.rel_path, config::LOCK_WATCHED) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut events = Vec::new();
+    for (fd, self_ty) in ast::all_fns(ctx.ast) {
+        if ctx.in_test(fd.tok) {
+            continue;
+        }
+        events.extend(dataflow::scan_locks(fd, self_ty, ctx.info));
+    }
+
+    // Acquisition-order edges: (held class → acquired class), with the
+    // first site per (fn, pair) and each class's lock kind.
+    let mut edges: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut sites: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    let mut kinds: BTreeMap<String, LockKind> = BTreeMap::new();
+
+    for ev in &events {
+        match &ev.op {
+            LockOp::Acquire { kind, class } => {
+                kinds.entry(class.clone()).or_insert(*kind);
+                for (_, held_class) in &ev.held {
+                    if held_class != class {
+                        edges.insert((held_class.clone(), class.clone()));
+                        sites
+                            .entry((ev.fn_name.clone(), held_class.clone(), class.clone()))
+                            .or_insert(ev.tok);
+                    }
+                }
+            }
+            LockOp::Wait => {
+                if !ev.held.is_empty() {
+                    out.push(ctx.diag_at(
+                        "lock-discipline",
+                        ev.tok,
+                        format!(
+                            "`Barrier::wait` in `{}` while holding {} — a peer that \
+                             panics before the rendezvous leaves this thread parked with \
+                             the guard forever; drop guards before waiting",
+                            ev.fn_name,
+                            held_list(&ev.held)
+                        ),
+                    ));
+                }
+            }
+            LockOp::PanicSite { what } => {
+                if !ev.held.is_empty() && !ev.absorbed {
+                    out.push(ctx.diag_at(
+                        "lock-discipline",
+                        ev.tok,
+                        format!(
+                            "`{}` in `{}` can panic while holding {} — the unwind \
+                             poisons the lock outside the pool's catch_unwind protocol; \
+                             drop the guard first or absorb the panic",
+                            what,
+                            ev.fn_name,
+                            held_list(&ev.held)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // One inversion diagnostic per (fn, ordered pair) that participates
+    // in a cycle.
+    for ((fn_name, a, b), tok) in &sites {
+        if edges.contains(&(b.clone(), a.clone())) {
+            let ka = kinds.get(a).map(|k| k.name()).unwrap_or("lock");
+            let kb = kinds.get(b).map(|k| k.name()).unwrap_or("lock");
+            out.push(ctx.diag_at(
+                "lock-discipline",
+                *tok,
+                format!(
+                    "`{fn_name}` acquires {kb}<{b}> while holding {ka}<{a}>, but the \
+                     opposite nesting also occurs in this file — a lock-order cycle \
+                     can deadlock the pool; enforce one global acquisition order"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn held_list(held: &[(LockKind, String)]) -> String {
+    held.iter()
+        .map(|(k, c)| format!("{}<{c}>", k.name()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// `float-taint`: loop-carried f64 accumulations and iterator reductions
+/// in the watched hot paths whose value escapes into an exported result
+/// without passing through a compensated accumulator.
+pub fn float_taint(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !config::path_matches(&ctx.class.rel_path, config::ACCUMULATION_WATCHED) {
+        return Vec::new();
+    }
+    let toks = &ctx.lexed.tokens;
+    // The parser drops turbofish, so `.sum::<u32>()` (exact integer sum)
+    // is re-checked against the raw tokens after the method name.
+    let is_integer_sum = |tok: usize| {
+        toks.get(tok + 1).is_some_and(|t| t.is_punct("::"))
+            && toks.get(tok + 2).is_some_and(|t| t.is_punct("<"))
+            && toks.get(tok + 3).is_some_and(|t| {
+                t.kind == crate::lexer::TokKind::Ident && t.text != "f64" && t.text != "f32"
+            })
+    };
+    let mut out = Vec::new();
+    for (fd, self_ty) in ast::all_fns(ctx.ast) {
+        if ctx.in_test(fd.tok) {
+            continue;
+        }
+        for f in dataflow::scan_float_taint(fd, self_ty, ctx.info, &is_integer_sum) {
+            let msg = match f.kind {
+                TaintKind::CompoundAssign | TaintKind::SelfAssign => format!(
+                    "loop-carried f64 accumulation on `{}` escapes `{}` into an exported \
+                     result — drift is O(n·ulp); accumulate through `NeumaierSum` \
+                     (crates/core/src/numeric.rs) or justify bitwise seed reproduction \
+                     with a suppression",
+                    f.name, fd.name
+                ),
+                TaintKind::IterSum => format!(
+                    "iterator `.sum()` in `{}` feeds an exported result uncompensated — \
+                     use `compensated_sum` (crates/core/src/numeric.rs)",
+                    fd.name
+                ),
+                TaintKind::IterFold => format!(
+                    "float `.fold(...)` reduction in `{}` feeds an exported result \
+                     uncompensated — use `NeumaierSum`",
+                    fd.name
+                ),
+            };
+            out.push(ctx.diag_at("float-taint", f.tok, msg));
+        }
+    }
+    out
+}
+
+/// `index-bounds`: unchecked arithmetic indexing (`a[i + 1]`,
+/// `cols[off as usize]`) into params or self fields in the CSR hot
+/// paths. A read passes when the file has a validating
+/// `from_parts`-style constructor (self fields) or the fn compares the
+/// indexed binding's `len()` somewhere (params).
+pub fn index_bounds(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    if !config::path_matches(&ctx.class.rel_path, config::INDEX_BOUNDS_WATCHED) {
+        return Vec::new();
+    }
+    // A constructor that can reject malformed parts dominates every
+    // self-field read in the file: the invariants hold post-construction.
+    let validated_ctor = ast::all_fns(ctx.ast).iter().any(|(fd, _)| {
+        fd.name.contains("from_parts")
+            && fd
+                .ret
+                .as_deref()
+                .is_some_and(|r| r.contains("Result") || r.contains("Option"))
+    });
+
+    let mut out = Vec::new();
+    for (fd, _) in ast::all_fns(ctx.ast) {
+        if ctx.in_test(fd.tok) {
+            continue;
+        }
+        let Some(body) = &fd.body else { continue };
+        let params: BTreeSet<&str> = fd.params.iter().map(|p| p.name.as_str()).collect();
+
+        // Bindings whose length is compared somewhere in this fn: every
+        // name appearing in a comparison that also mentions `.len()`.
+        let mut guarded: BTreeSet<String> = BTreeSet::new();
+        ast::walk_block(body, &mut |e| {
+            if let Expr::Binary { op, .. } = e {
+                if matches!(op.as_str(), "<" | "<=" | ">" | ">=" | "==" | "!=") && mentions_len(e) {
+                    collect_names(e, &mut guarded);
+                }
+            }
+            true
+        });
+
+        ast::walk_block(body, &mut |e| {
+            if let Expr::Index { base, index, tok } = e {
+                if let Some((key, via_self)) = index_base_key(base) {
+                    let relevant = via_self || params.contains(key);
+                    let dominated = (via_self && validated_ctor) || guarded.contains(key);
+                    if relevant && !dominated && arithmetic_index(index) {
+                        out.push(ctx.diag_at(
+                            "index-bounds",
+                            *tok,
+                            format!(
+                                "unchecked arithmetic index into `{key}` in `{}` — a \
+                                 malformed offsets table panics the row scan; dominate \
+                                 the read with a validating `from_parts` constructor or \
+                                 an explicit `len()` check, or use `get`",
+                                fd.name
+                            ),
+                        ));
+                    }
+                }
+            }
+            true
+        });
+    }
+    out
+}
+
+/// Whether the subtree contains a `.len()` call.
+fn mentions_len(e: &Expr) -> bool {
+    let mut found = false;
+    ast::walk_expr(e, &mut |e| {
+        if matches!(e, Expr::MethodCall { method, .. } if method == "len") {
+            found = true;
+        }
+        !found
+    });
+    found
+}
+
+/// Collects all path/field names in a subtree.
+fn collect_names(e: &Expr, out: &mut BTreeSet<String>) {
+    ast::walk_expr(e, &mut |e| {
+        match e {
+            Expr::Path { segs, .. } => {
+                if let Some(n) = segs.last() {
+                    out.insert(n.clone());
+                }
+            }
+            Expr::Field { name, .. } => {
+                out.insert(name.clone());
+            }
+            _ => {}
+        }
+        true
+    });
+}
+
+/// The name an index base reads from: `xs[..]` → (`xs`, false),
+/// `self.offs[..]` → (`offs`, true). Locals and complex bases yield
+/// `None` (out of scope for this rule).
+fn index_base_key(base: &Expr) -> Option<(&str, bool)> {
+    match base {
+        Expr::Path { segs, .. } => {
+            let n = segs.last()?;
+            (n != "self").then_some((n.as_str(), false))
+        }
+        Expr::Field {
+            base: inner, name, ..
+        } => match &**inner {
+            Expr::Path { segs, .. } if segs.last().map(String::as_str) == Some("self") => {
+                Some((name.as_str(), true))
+            }
+            _ => index_base_key(inner),
+        },
+        Expr::Unary { expr, .. } => index_base_key(expr),
+        _ => None,
+    }
+}
+
+/// Whether an index expression is arithmetic (as opposed to a plain
+/// binding, literal, or range — ranges slice, they don't read one slot).
+fn arithmetic_index(e: &Expr) -> bool {
+    matches!(
+        e,
+        Expr::Binary { .. }
+            | Expr::Cast { .. }
+            | Expr::Index { .. }
+            | Expr::Call { .. }
+            | Expr::MethodCall { .. }
+    )
+}

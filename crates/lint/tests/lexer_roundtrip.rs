@@ -1,0 +1,104 @@
+//! Workspace-wide lexer span property test.
+//!
+//! For every `.rs` file the linter walks, the token + comment byte spans
+//! must exactly reconstruct the source: spans ascending, non-overlapping,
+//! in-bounds, and every byte outside a span is whitespace. Splicing the
+//! spanned slices back together with the gap bytes reproduces the file
+//! byte-for-byte. This pins the raw-string / nested-block-comment /
+//! byte-char / raw-identifier corner cases on the real corpus, not just
+//! hand-written samples.
+
+use std::fs;
+use std::path::Path;
+
+use ems_lint::lexer::lex;
+use ems_lint::workspace_files;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels below the workspace root")
+}
+
+#[test]
+fn token_spans_reconstruct_every_workspace_file() {
+    let root = workspace_root();
+    let files = workspace_files(root).unwrap();
+    assert!(
+        files.len() > 40,
+        "workspace walk looks broken: only {} files",
+        files.len()
+    );
+    for path in files {
+        let src = fs::read_to_string(&path).unwrap();
+        let lexed = lex(&src);
+
+        let mut spans: Vec<(u32, u32, &'static str)> = lexed
+            .tokens
+            .iter()
+            .map(|t| (t.start, t.end, "token"))
+            .chain(lexed.comments.iter().map(|c| (c.start, c.end, "comment")))
+            .collect();
+        spans.sort();
+
+        // Rebuild the file from the spans and the whitespace gaps.
+        let mut rebuilt = String::with_capacity(src.len());
+        let mut cursor = 0usize;
+        for &(start, end, what) in &spans {
+            let (start, end) = (start as usize, end as usize);
+            assert!(
+                start >= cursor && end > start && end <= src.len(),
+                "{}: bad {} span {}..{} (cursor {})",
+                path.display(),
+                what,
+                start,
+                end,
+                cursor
+            );
+            let gap = &src[cursor..start];
+            assert!(
+                gap.chars().all(char::is_whitespace),
+                "{}: non-whitespace {:?} outside any span before byte {}",
+                path.display(),
+                gap,
+                start
+            );
+            rebuilt.push_str(gap);
+            rebuilt.push_str(&src[start..end]);
+            cursor = end;
+        }
+        let tail = &src[cursor..];
+        assert!(
+            tail.chars().all(char::is_whitespace),
+            "{}: non-whitespace tail {:?}",
+            path.display(),
+            tail
+        );
+        rebuilt.push_str(tail);
+        assert_eq!(rebuilt, src, "{}: reconstruction mismatch", path.display());
+
+        // Spans of text-carrying tokens must match their slice, so rule
+        // code can trust `text` to be the literal source spelling.
+        for t in &lexed.tokens {
+            let slice = &src[t.start as usize..t.end as usize];
+            match t.kind {
+                ems_lint::lexer::TokKind::Punct | ems_lint::lexer::TokKind::Num { .. } => {
+                    assert_eq!(slice, t.text, "{}: span/text mismatch", path.display());
+                }
+                ems_lint::lexer::TokKind::Ident => {
+                    // Raw identifiers keep the `r#` in the span but not
+                    // the text (the token *is* the suffixed name).
+                    assert!(
+                        slice == t.text || slice == format!("r#{}", t.text),
+                        "{}: ident span {:?} vs text {:?}",
+                        path.display(),
+                        slice,
+                        t.text
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -47,6 +47,10 @@ fn traced_match(threads: usize) -> Vec<Record> {
     let labels = ems.label_matrix(&l1, &l2);
     let options = RunOptions {
         recorder: Some(Arc::clone(&recorder)),
+        // The whole point is comparing traces across thread counts, so an
+        // explicit count must spin up a real pool even on a small host —
+        // otherwise the clamp would (correctly) warn into the trace.
+        oversubscribe: true,
         ..RunOptions::default()
     };
     ems.try_match_graphs_opts(&g1, &g2, &labels, &options, &options)
