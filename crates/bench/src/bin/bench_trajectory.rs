@@ -1,0 +1,238 @@
+//! Bench-trajectory tooling: folds the committed legacy `BENCH_pr*.json`
+//! snapshots into the versioned `BENCH_TRAJECTORY.jsonl` history, emits
+//! Prometheus-text twins for legacy snapshots that predate the `.prom`
+//! exporter, and gates the newest trajectory row against the best recorded
+//! same-host history.
+//!
+//! ```text
+//! bench_trajectory migrate --out BENCH_TRAJECTORY.jsonl BENCH_pr2.json ...
+//! bench_trajectory prom BENCH_pr2.json --out BENCH_pr2.prom
+//! bench_trajectory gate BENCH_TRAJECTORY.jsonl [--threshold FRAC]
+//! ```
+//!
+//! Exit codes: 0 success / gate passed, 2 usage, 3 I/O or parse failure,
+//! **4 regression gate failure** — distinct so CI can tell "the bench
+//! regressed" from "the bench is broken".
+
+use ems_obs::trajectory;
+use ems_obs::Recorder;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage:
+  bench_trajectory migrate --out PATH LEGACY.json [LEGACY.json ...]
+  bench_trajectory prom LEGACY.json --out PATH
+  bench_trajectory gate PATH [--threshold FRAC]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("migrate") => migrate(&args[1..]),
+        Some("prom") => prom(&args[1..]),
+        Some("gate") => gate(&args[1..]),
+        Some(other) => {
+            eprintln!("bench_trajectory: unknown subcommand '{other}'\n{USAGE}");
+            2
+        }
+        None => {
+            eprintln!("bench_trajectory: missing subcommand\n{USAGE}");
+            2
+        }
+    };
+    ExitCode::from(code)
+}
+
+/// Splits `--out PATH` out of an argument list, returning (out, rest).
+fn take_out(args: &[String]) -> Result<(Option<String>, Vec<String>), String> {
+    let mut out = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            match it.next() {
+                Some(p) => out = Some(p.clone()),
+                None => return Err("--out requires a path".to_owned()),
+            }
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((out, rest))
+}
+
+/// `migrate --out PATH LEGACY.json...`: one trajectory row per legacy
+/// snapshot, in argument order (the argument order IS the history order).
+fn migrate(args: &[String]) -> u8 {
+    let (out, inputs) = match take_out(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_trajectory: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let Some(out) = out else {
+        eprintln!("bench_trajectory: migrate requires --out PATH\n{USAGE}");
+        return 2;
+    };
+    if inputs.is_empty() {
+        eprintln!("bench_trajectory: migrate requires at least one legacy snapshot\n{USAGE}");
+        return 2;
+    }
+    let mut rows = Vec::new();
+    for path in &inputs {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_trajectory: cannot read {path}: {e}");
+                return 3;
+            }
+        };
+        match trajectory::migrate_legacy(&text) {
+            Ok(row) => {
+                println!(
+                    "migrated {path}: run '{}' ({} metrics)",
+                    row.run_id,
+                    row.metrics.len()
+                );
+                rows.push(row);
+            }
+            Err(e) => {
+                eprintln!("bench_trajectory: {path}: {e}");
+                return 3;
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out, trajectory::write_rows(&rows)) {
+        eprintln!("bench_trajectory: cannot write {out}: {e}");
+        return 3;
+    }
+    println!("wrote {} row(s) to {out}", rows.len());
+    0
+}
+
+/// `prom LEGACY.json --out PATH`: emits the Prometheus-text twin a legacy
+/// snapshot never shipped, through the exact exporter (`ems_obs::prom`)
+/// and gauge scheme (`ems_bench_wall_ms{kernel,n}`) perf_smoke uses, so
+/// the generated file is indistinguishable from a contemporary one.
+fn prom(args: &[String]) -> u8 {
+    let (out, inputs) = match take_out(args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_trajectory: {e}\n{USAGE}");
+            return 2;
+        }
+    };
+    let (Some(out), [input]) = (out, inputs.as_slice()) else {
+        eprintln!(
+            "bench_trajectory: prom requires exactly one LEGACY.json and --out PATH\n{USAGE}"
+        );
+        return 2;
+    };
+    let text = match std::fs::read_to_string(input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_trajectory: cannot read {input}: {e}");
+            return 3;
+        }
+    };
+    let row = match trajectory::migrate_legacy(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_trajectory: {input}: {e}");
+            return 3;
+        }
+    };
+    let metrics = Recorder::new();
+    for (name, value) in &row.metrics {
+        // `n<size>.<kernel>_wall_ms` → ems_bench_wall_ms{kernel,n}; the
+        // per-size eval counts keep their dedicated gauge. Sweep/sparse/
+        // convergence metrics stay trajectory-only, as they do today.
+        let Some((size, rest)) = name.split_once('.') else {
+            continue;
+        };
+        let Some(n) = size.strip_prefix('n') else {
+            continue;
+        };
+        if rest.contains('.') {
+            continue;
+        }
+        if let Some(kernel) = rest.strip_suffix("_wall_ms") {
+            metrics.gauge_set(
+                "bench_wall_ms",
+                ems_obs::labels(&[("n", n), ("kernel", kernel)]),
+                *value,
+            );
+        } else if rest == "formula_evals" {
+            metrics.gauge_set("bench_formula_evals", ems_obs::labels(&[("n", n)]), *value);
+        }
+    }
+    if let Err(e) = std::fs::write(out.as_str(), ems_obs::prom::write(&metrics.records())) {
+        eprintln!("bench_trajectory: cannot write {out}: {e}");
+        return 3;
+    }
+    println!("wrote {out} (run '{}')", row.run_id);
+    0
+}
+
+/// `gate PATH [--threshold FRAC]`: compares the newest row's gated
+/// metrics against the best same-host history and exits 4 on any
+/// regression beyond the threshold.
+fn gate(args: &[String]) -> u8 {
+    let mut path = None;
+    let mut threshold = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(f)) if f > 0.0 && f.is_finite() => threshold = Some(f),
+                _ => {
+                    eprintln!("bench_trajectory: --threshold requires a positive fraction");
+                    return 2;
+                }
+            },
+            other if !other.starts_with('-') && path.is_none() => path = Some(other.to_owned()),
+            other => {
+                eprintln!("bench_trajectory: unexpected argument '{other}'\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("bench_trajectory: gate requires a trajectory path\n{USAGE}");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_trajectory: cannot read {path}: {e}");
+            return 3;
+        }
+    };
+    let rows = match trajectory::parse(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_trajectory: {path}: {e}");
+            return 3;
+        }
+    };
+    let outcome = trajectory::gate(&rows, threshold);
+    if let Some(note) = &outcome.note {
+        println!("gate: {note}");
+    }
+    println!(
+        "gate: {} metric(s) checked against same-host history",
+        outcome.checked
+    );
+    if outcome.passed() {
+        println!("gate: PASS");
+        0
+    } else {
+        for f in &outcome.failures {
+            eprintln!("bench_trajectory: REGRESSION: {f}");
+        }
+        eprintln!(
+            "bench_trajectory: gate FAILED with {} regression(s)",
+            outcome.failures.len()
+        );
+        4
+    }
+}

@@ -26,9 +26,11 @@ use ems_core::engine::{Engine, RunOptions, RunOutput};
 use ems_core::{Direction, EmsParams, MatchSession, SessionOptions, SparseSim};
 use ems_depgraph::DependencyGraph;
 use ems_labels::LabelMatrix;
+use ems_obs::trajectory::TrajectoryRow;
 use ems_obs::{IterationRecord, Record, Recorder};
 use ems_store::CatalogStore;
 use ems_synth::{PairConfig, PairGenerator, TreeConfig};
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
@@ -147,6 +149,9 @@ struct SizeReport {
     final_occupancy: f64,
     session: Option<SessionReport>,
     convergence: Vec<IterationRecord>,
+    /// Relative wall-clock cost of running with a recorder + profiler
+    /// attached vs bare (n=800 dense row only; the profiler budget is 5%).
+    profiler_overhead_frac: Option<f64>,
 }
 
 impl SizeReport {
@@ -174,16 +179,23 @@ impl SizeReport {
 struct CliArgs {
     out_path: String,
     baseline: Option<String>,
+    append_trajectory: Option<String>,
+    run_id: Option<String>,
 }
 
 /// Parses the mandatory `--out PATH` (a bare positional path is also
-/// accepted, kept for back-compatibility with the PR2 invocation) and the
-/// optional `--baseline PATH`. There is deliberately no default output:
-/// every trajectory file in CI names its PR explicitly, so a stale
-/// default can never silently overwrite an earlier PR's numbers.
+/// accepted, kept for back-compatibility with the PR2 invocation), the
+/// optional `--baseline PATH`, and the optional
+/// `--append-trajectory PATH [--run-id ID]` pair that appends one
+/// `ems-bench/1` row to the versioned trajectory file. There is
+/// deliberately no default output: every trajectory file in CI names its
+/// PR explicitly, so a stale default can never silently overwrite an
+/// earlier PR's numbers.
 fn parse_cli(args: impl Iterator<Item = String>) -> Result<CliArgs, String> {
     let mut out_path = None;
     let mut baseline = None;
+    let mut append_trajectory = None;
+    let mut run_id = None;
     let mut args = args.peekable();
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -195,17 +207,147 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<CliArgs, String> {
                 Some(p) => baseline = Some(p),
                 None => return Err("--baseline requires a path".to_owned()),
             },
+            "--append-trajectory" => match args.next() {
+                Some(p) => append_trajectory = Some(p),
+                None => return Err("--append-trajectory requires a path".to_owned()),
+            },
+            "--run-id" => match args.next() {
+                Some(p) => run_id = Some(p),
+                None => return Err("--run-id requires an id".to_owned()),
+            },
             other if !other.starts_with('-') => out_path = Some(other.to_owned()),
             other => {
                 return Err(format!(
-                    "unknown flag {other} (expected --out PATH [--baseline PATH])"
+                    "unknown flag {other} (expected --out PATH [--baseline PATH] \
+                     [--append-trajectory PATH] [--run-id ID])"
                 ))
             }
         }
     }
     let out_path = out_path
         .ok_or_else(|| "missing mandatory --out PATH (e.g. --out BENCH_pr7.json)".to_owned())?;
-    Ok(CliArgs { out_path, baseline })
+    Ok(CliArgs {
+        out_path,
+        baseline,
+        append_trajectory,
+        run_id,
+    })
+}
+
+/// Short git revision of the working tree, read straight from `.git`
+/// (HEAD → loose ref → packed-refs); `unknown` when not in a repository.
+/// No subprocess: the bench must run identically in minimal CI images.
+fn git_rev() -> String {
+    let Ok(head) = std::fs::read_to_string(".git/HEAD") else {
+        return "unknown".to_owned();
+    };
+    let head = head.trim();
+    let full = if let Some(refname) = head.strip_prefix("ref: ") {
+        let refname = refname.trim();
+        match std::fs::read_to_string(format!(".git/{refname}")) {
+            Ok(s) => s.trim().to_owned(),
+            Err(_) => std::fs::read_to_string(".git/packed-refs")
+                .ok()
+                .and_then(|packed| {
+                    packed
+                        .lines()
+                        .find_map(|l| l.strip_suffix(refname).map(|sha| sha.trim().to_owned()))
+                })
+                .unwrap_or_default(),
+        }
+    } else {
+        head.to_owned()
+    };
+    if full.len() >= 7 && full.bytes().all(|b| b.is_ascii_hexdigit()) {
+        full[..7].to_owned()
+    } else {
+        "unknown".to_owned()
+    }
+}
+
+/// Host fingerprint used to scope regression-gate comparisons: rows are
+/// only ever gated against rows produced on the same `os/arch/cores`.
+fn host_fingerprint(host_parallelism: usize) -> String {
+    format!(
+        "{}/{}/{host_parallelism}",
+        std::env::consts::OS,
+        std::env::consts::ARCH
+    )
+}
+
+/// Flattens the size reports into one `ems-bench/1` trajectory row using
+/// the same dotted metric names `trajectory::migrate_legacy` produces for
+/// the committed `BENCH_pr*.json` history, so the gate and `ems report
+/// --compare` see one continuous metric lineage.
+fn trajectory_row(
+    run_id: String,
+    host_parallelism: usize,
+    reports: &[SizeReport],
+) -> TrajectoryRow {
+    let mut metrics: BTreeMap<String, f64> = BTreeMap::new();
+    metrics.insert("host_parallelism".to_owned(), host_parallelism as f64);
+    for r in reports {
+        let p = format!("n{}", r.n);
+        metrics.insert(format!("{p}.serial_wall_ms"), r.serial_ms());
+        metrics.insert(
+            format!("{p}.serial_pairs_per_sec"),
+            r.pairs_per_sec(r.serial_ms()),
+        );
+        metrics.insert(format!("{p}.parallel_wall_ms"), r.parallel_ms());
+        metrics.insert(
+            format!("{p}.parallel_pairs_per_sec"),
+            r.pairs_per_sec(r.parallel_ms()),
+        );
+        if let Some(reference_ms) = r.reference_ms {
+            metrics.insert(format!("{p}.reference_wall_ms"), reference_ms);
+            metrics.insert(
+                format!("{p}.reference_pairs_per_sec"),
+                r.pairs_per_sec(reference_ms),
+            );
+        }
+        for pt in &r.sweep {
+            metrics.insert(format!("{p}.t{}.wall_ms", pt.threads), pt.wall_ms);
+            metrics.insert(
+                format!("{p}.t{}.pairs_per_sec", pt.threads),
+                r.pairs_per_sec(pt.wall_ms),
+            );
+            metrics.insert(
+                format!("{p}.t{}.pool_shards", pt.threads),
+                pt.pool_shards as f64,
+            );
+        }
+        if let Some(sp) = &r.sparse {
+            metrics.insert(format!("{p}.sparse.exact_wall_ms"), sp.exact_wall_ms);
+            metrics.insert(
+                format!("{p}.sparse.thresholded_wall_ms"),
+                sp.thresholded_wall_ms,
+            );
+            metrics.insert(
+                format!("{p}.sparse.sparsified_pairs"),
+                sp.sparsified_pairs as f64,
+            );
+        }
+        if let Some(s) = &r.session {
+            metrics.insert(format!("{p}.session_cold_wall_ms"), s.cold_ms);
+            metrics.insert(format!("{p}.session_cached_wall_ms"), s.cached_ms);
+            metrics.insert(format!("{p}.session_warm_wall_ms"), s.warm_ms);
+            metrics.insert(format!("{p}.session_disk_wall_ms"), s.disk_ms);
+        }
+        metrics.insert(
+            format!("{p}.convergence_iterations"),
+            r.convergence.len() as f64,
+        );
+        if let Some(frac) = r.profiler_overhead_frac {
+            metrics.insert(format!("{p}.profiler_overhead_frac"), frac);
+        }
+    }
+    TrajectoryRow {
+        run_id,
+        git_rev: git_rev(),
+        host: host_fingerprint(host_parallelism),
+        source: "perf_smoke".to_owned(),
+        metrics,
+    }
 }
 
 /// Extracts `(n, <key>)` pairs from a committed bench report. The reports
@@ -284,6 +426,26 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {} and {prom_path}", cli.out_path);
+
+    if let Some(tp) = &cli.append_trajectory {
+        let run_id = cli
+            .run_id
+            .clone()
+            .unwrap_or_else(|| format!("ci-{}", git_rev()));
+        let row = trajectory_row(run_id, host_parallelism, &reports);
+        let line = ems_obs::trajectory::write_row(&row);
+        use std::io::Write as _;
+        let appended = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(tp)
+            .and_then(|mut f| writeln!(f, "{line}"));
+        if let Err(e) = appended {
+            eprintln!("perf_smoke: cannot append to {tp}: {e}");
+            std::process::exit(1);
+        }
+        println!("appended run '{}' to {tp}", row.run_id);
+    }
 
     if let Some(bp) = &cli.baseline {
         let text = match std::fs::read_to_string(bp) {
@@ -410,6 +572,46 @@ fn dense_size(n: usize, host_parallelism: usize, metrics: &Recorder) -> SizeRepo
     assert_eq!(traced_out.sim.data(), serial_out.sim.data());
     let convergence = convergence_of(&recorder);
 
+    // Profiler-overhead row (largest dense size only): bare serial run vs
+    // serial run with recorder + profiler attached, interleaved best-of-N
+    // so machine drift cancels. The instrumentation budget is 5%.
+    let profiler_overhead_frac = if n >= 800 {
+        let plain_opts = RunOptions {
+            threads: Some(1),
+            ..RunOptions::default()
+        };
+        let profiled_recorder = Arc::new(Recorder::new());
+        let profiled_opts = RunOptions {
+            threads: Some(1),
+            recorder: Some(Arc::clone(&profiled_recorder)),
+            ..RunOptions::default()
+        };
+        let mut overhead_variants: Vec<Box<dyn FnMut() -> RunOutput>> = vec![
+            Box::new(|| engine_ref.run(&plain_opts)),
+            Box::new(|| engine_ref.run(&profiled_opts)),
+        ];
+        let (walls, _) = time_round_robin(rounds.max(3), &mut overhead_variants);
+        drop(overhead_variants);
+        let frac = (walls[1] - walls[0]) / walls[0];
+        eprintln!(
+            "n={n}: profiler overhead {:+.2}% (bare {:.1} ms, profiled {:.1} ms)",
+            frac * 100.0,
+            walls[0],
+            walls[1]
+        );
+        assert!(
+            frac <= 0.05,
+            "n={n}: profiler overhead {:.2}% exceeds the 5% budget \
+             (bare {:.1} ms, profiled {:.1} ms)",
+            frac * 100.0,
+            walls[0],
+            walls[1]
+        );
+        Some(frac)
+    } else {
+        None
+    };
+
     let session = session_rows(n, &l1, &l2, rounds);
 
     let size_labels = |kernel: &str| ems_obs::labels(&[("n", &n.to_string()), ("kernel", kernel)]);
@@ -503,6 +705,7 @@ fn dense_size(n: usize, host_parallelism: usize, metrics: &Recorder) -> SizeRepo
         sweep,
         session: Some(session),
         convergence,
+        profiler_overhead_frac,
     }
 }
 
@@ -611,6 +814,7 @@ fn sparse_size(n: usize, metrics: &Recorder) -> SizeReport {
         sweep,
         session: None,
         convergence,
+        profiler_overhead_frac: None,
     }
 }
 
@@ -820,6 +1024,11 @@ fn render_json(host_parallelism: usize, reports: &[SizeReport]) -> String {
             json.push_str(",\n        \"error_bound\": ");
             ems_obs::json::write_f64(&mut json, sp.error_bound);
             json.push_str("\n      },\n");
+        }
+        if let Some(frac) = r.profiler_overhead_frac {
+            let _ = write!(json, "      \"profiler_overhead_frac\": ");
+            ems_obs::json::write_f64(&mut json, frac);
+            json.push_str(",\n");
         }
         if let Some(s) = &r.session {
             let _ = writeln!(json, "      \"session_cold_wall_ms\": {:.3},", s.cold_ms);

@@ -1,0 +1,218 @@
+//! End-to-end tests of the `bench_trajectory` binary: the regression gate
+//! must fail with its distinct exit code (4) on an injected >15%
+//! regression, pass within threshold, and the migrate/prom subcommands
+//! must fold the committed legacy snapshots without loss.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bench_trajectory"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ems-traj-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn row(run_id: &str, pairs_per_sec: f64) -> String {
+    format!(
+        "{{\"schema\":\"ems-bench/1\",\"run_id\":\"{run_id}\",\"git_rev\":\"abc1234\",\
+         \"host\":\"linux/x86_64/8\",\"source\":\"perf_smoke\",\
+         \"metrics\":{{\"n800.serial_pairs_per_sec\":{pairs_per_sec}}}}}\n"
+    )
+}
+
+#[test]
+fn gate_fails_with_exit_4_on_injected_regression() {
+    let dir = tmpdir("gate-fail");
+    let path = dir.join("traj.jsonl");
+    // Baseline 100k pairs/sec, then a 20% throughput drop: past the 15%
+    // threshold for *_pairs_per_sec metrics.
+    std::fs::write(
+        &path,
+        format!("{}{}", row("pr7", 100_000.0), row("ci-1", 80_000.0)),
+    )
+    .unwrap();
+    let out = bin()
+        .args(["gate", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "regression gate exits 4: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("REGRESSION"), "{err}");
+    assert!(err.contains("n800.serial_pairs_per_sec"), "{err}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn gate_passes_within_threshold_and_on_new_host() {
+    let dir = tmpdir("gate-pass");
+    let path = dir.join("traj.jsonl");
+    // A 10% drop is inside the 15% throughput threshold.
+    std::fs::write(
+        &path,
+        format!("{}{}", row("pr7", 100_000.0), row("ci-1", 90_000.0)),
+    )
+    .unwrap();
+    let out = bin()
+        .args(["gate", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("PASS"));
+
+    // The same 10% drop fails under a stricter override threshold.
+    let out = bin()
+        .args(["gate", path.to_str().unwrap(), "--threshold", "0.05"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+
+    // A first row on a fresh host has no same-host history: baseline run.
+    let foreign = "{\"schema\":\"ems-bench/1\",\"run_id\":\"ci-2\",\"git_rev\":\"def5678\",\
+                   \"host\":\"other/arm64/4\",\"source\":\"perf_smoke\",\
+                   \"metrics\":{\"n800.serial_pairs_per_sec\":1.0}}\n";
+    std::fs::write(&path, format!("{}{foreign}", row("pr7", 100_000.0))).unwrap();
+    let out = bin()
+        .args(["gate", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("baseline"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn gate_distinguishes_broken_input_from_regression() {
+    let dir = tmpdir("gate-io");
+    let out = bin()
+        .args(["gate", "/no/such/traj.jsonl"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "I/O failures exit 3, not 4");
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, "{\"schema\":\"ems-bench/9\"}\n").unwrap();
+    let out = bin()
+        .args(["gate", bad.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "parse failures exit 3, not 4");
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn migrate_folds_the_committed_legacy_snapshots() {
+    let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let dir = tmpdir("migrate");
+    let out_path = dir.join("traj.jsonl");
+    let legacy: Vec<String> = [
+        "BENCH_pr2.json",
+        "BENCH_pr5.json",
+        "BENCH_pr6.json",
+        "BENCH_pr7.json",
+    ]
+    .iter()
+    .map(|f| format!("{repo_root}/{f}"))
+    .collect();
+    let mut cmd = bin();
+    cmd.args(["migrate", "--out", out_path.to_str().unwrap()]);
+    for l in &legacy {
+        cmd.arg(l);
+    }
+    let out = cmd.output().unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    let rows = ems_obs::trajectory::parse(&text).unwrap();
+    assert_eq!(rows.len(), 4);
+    let ids: Vec<&str> = rows.iter().map(|r| r.run_id.as_str()).collect();
+    assert_eq!(ids, ["pr2", "pr5", "pr6", "pr7"]);
+    for r in &rows {
+        assert_eq!(r.host, "unknown", "migrated rows predate fingerprinting");
+        assert!(
+            r.metrics.contains_key("n800.serial_wall_ms"),
+            "{}: {:?}",
+            r.run_id,
+            r.metrics.keys().take(5).collect::<Vec<_>>()
+        );
+    }
+    // The checked-in trajectory must be exactly this migration's output
+    // plus (optionally) appended perf_smoke rows.
+    let committed = std::fs::read_to_string(format!("{repo_root}/BENCH_TRAJECTORY.jsonl")).unwrap();
+    assert!(
+        committed.starts_with(&text),
+        "BENCH_TRAJECTORY.jsonl must begin with the migrated legacy history"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn prom_twin_matches_the_contemporary_exporter_scheme() {
+    let repo_root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let dir = tmpdir("prom");
+    let out_path = dir.join("pr2.prom");
+    let out = bin()
+        .args([
+            "prom",
+            &format!("{repo_root}/BENCH_pr2.json"),
+            "--out",
+            out_path.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&out_path).unwrap();
+    assert!(text.contains("# TYPE ems_bench_wall_ms gauge"), "{text}");
+    assert!(
+        text.contains("ems_bench_wall_ms{kernel=\"serial\",n=\"800\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("ems_bench_formula_evals{n=\"800\"}"),
+        "{text}"
+    );
+    // The committed twins are this subcommand's output, byte for byte.
+    for pr in ["pr2", "pr5"] {
+        let committed = format!("{repo_root}/BENCH_{pr}.prom");
+        let regen = dir.join(format!("regen-{pr}.prom"));
+        let out = bin()
+            .args([
+                "prom",
+                &format!("{repo_root}/BENCH_{pr}.json"),
+                "--out",
+                regen.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert_eq!(out.status.code(), Some(0));
+        assert_eq!(
+            std::fs::read_to_string(&committed).unwrap(),
+            std::fs::read_to_string(&regen).unwrap(),
+            "{committed} drifted from the exporter output"
+        );
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -16,6 +16,11 @@ USAGE:
                                                convert between formats
   ems report  <trace.jsonl>                    render a recorded run trace as a
                                                human-readable report
+  ems report  <bench.jsonl> --trajectory       render an ems-bench/1 trajectory
+                                               (runs, metric history, regressions)
+  ems report  <bench.jsonl> --compare <A> <B>  compare two trajectory runs by
+                                               run id, flagging per-metric
+                                               regressions past the threshold
   ems catalog <add|list|verify|gc> --store <DIR> [ARGS]
                                                manage a durable snapshot catalog
   ems help                                     this text
@@ -98,12 +103,33 @@ pub enum Command {
         output: String,
         recover: bool,
     },
-    /// Render a recorded JSONL trace as a human-readable run report.
-    Report { path: String },
+    /// Render a recorded JSONL trace (or bench trajectory) as a
+    /// human-readable report.
+    Report(ReportArgs),
     /// Manage a durable snapshot catalog.
     Catalog(CatalogArgs),
     /// Print usage.
     Help,
+}
+
+/// Options of `ems report`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportArgs {
+    /// The JSONL file to render: an `ems-trace/1` run trace, or an
+    /// `ems-bench/1` trajectory for `--trajectory`/`--compare`.
+    pub path: String,
+    pub mode: ReportMode,
+}
+
+/// What `ems report` renders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportMode {
+    /// Human-readable run report from an `ems-trace/1` trace.
+    Trace,
+    /// Bench-trajectory history from an `ems-bench/1` file.
+    Trajectory,
+    /// Side-by-side comparison of two trajectory runs by run id.
+    Compare { a: String, b: String },
 }
 
 /// Options of `ems catalog`.
@@ -176,10 +202,33 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 .next()
                 .ok_or("`ems report` needs a trace path")?
                 .to_owned();
-            if let Some(extra) = it.next() {
-                return Err(format!("unexpected argument `{extra}`"));
-            }
-            Ok(Command::Report { path })
+            let rest: Vec<&String> = it.collect();
+            let mode = match rest.first().map(|s| s.as_str()) {
+                None => ReportMode::Trace,
+                Some("--trajectory") => {
+                    if let Some(extra) = rest.get(1) {
+                        return Err(format!("unexpected argument `{extra}`"));
+                    }
+                    ReportMode::Trajectory
+                }
+                Some("--compare") => {
+                    let a = rest
+                        .get(1)
+                        .ok_or("--compare needs two run ids: --compare <A> <B>")?;
+                    let b = rest
+                        .get(2)
+                        .ok_or("--compare needs two run ids: --compare <A> <B>")?;
+                    if let Some(extra) = rest.get(3) {
+                        return Err(format!("unexpected argument `{extra}`"));
+                    }
+                    ReportMode::Compare {
+                        a: (*a).to_owned(),
+                        b: (*b).to_owned(),
+                    }
+                }
+                Some(extra) => return Err(format!("unexpected argument `{extra}`")),
+            };
+            Ok(Command::Report(ReportArgs { path, mode }))
         }
         "convert" => {
             let input = it
@@ -691,10 +740,30 @@ mod tests {
         }
         assert_eq!(
             parse(&sv(&["report", "run.jsonl"])).unwrap(),
-            Command::Report {
-                path: "run.jsonl".into()
-            }
+            Command::Report(ReportArgs {
+                path: "run.jsonl".into(),
+                mode: ReportMode::Trace,
+            })
         );
+        assert_eq!(
+            parse(&sv(&["report", "bench.jsonl", "--trajectory"])).unwrap(),
+            Command::Report(ReportArgs {
+                path: "bench.jsonl".into(),
+                mode: ReportMode::Trajectory,
+            })
+        );
+        assert_eq!(
+            parse(&sv(&["report", "bench.jsonl", "--compare", "pr6", "pr7"])).unwrap(),
+            Command::Report(ReportArgs {
+                path: "bench.jsonl".into(),
+                mode: ReportMode::Compare {
+                    a: "pr6".into(),
+                    b: "pr7".into(),
+                },
+            })
+        );
+        assert!(parse(&sv(&["report", "bench.jsonl", "--compare", "pr6"])).is_err());
+        assert!(parse(&sv(&["report", "bench.jsonl", "--trajectory", "x"])).is_err());
         match parse(&sv(&["match", "a.xes", "b.xes", "--store", "cat"])).unwrap() {
             Command::Match(m) => assert_eq!(m.store.as_deref(), Some("cat")),
             c => panic!("unexpected {c:?}"),

@@ -1,6 +1,6 @@
 //! Command implementations for the `ems` binary.
 
-use crate::args::{CatalogAction, CatalogArgs, Command, MatchArgs, USAGE};
+use crate::args::{CatalogAction, CatalogArgs, Command, MatchArgs, ReportArgs, ReportMode, USAGE};
 use ems_assignment::max_total_assignment;
 use ems_core::composite::{
     discover_candidates, CandidateConfig, CompositeConfig, CompositeMatcher,
@@ -35,7 +35,7 @@ pub fn run(cmd: Command) -> Result<(), EmsError> {
             output,
             recover,
         } => crate::extra::convert(&input, &output, recover),
-        Command::Report { path } => report(&path),
+        Command::Report(args) => report(&args),
         Command::Catalog(args) => catalog(&args),
     }
 }
@@ -134,13 +134,52 @@ fn catalog(args: &CatalogArgs) -> Result<(), EmsError> {
     }
 }
 
-/// Renders a human-readable run report from a `--trace` JSONL file.
-fn report(path: &str) -> Result<(), EmsError> {
+/// Renders `ems report`: a human-readable run report from a `--trace`
+/// JSONL file, or — with `--trajectory`/`--compare` — views over an
+/// `ems-bench/1` trajectory. A truncated or malformed input is a typed
+/// [`EmsError::Parse`] (exit 4) carrying the offending line, never a panic
+/// and never a usage error (the invocation itself was well-formed).
+fn report(args: &ReportArgs) -> Result<(), EmsError> {
+    let path = args.path.as_str();
     let text = std::fs::read_to_string(path).map_err(|e| EmsError::io(path, e.to_string()))?;
-    let records = ems_obs::jsonl::parse_records(&text)
-        .map_err(|e| EmsError::usage(format!("{path}: not a valid ems trace: {e}")))?;
-    print!("{}", ems_obs::report::render(&records));
+    match &args.mode {
+        ReportMode::Trace => {
+            let records = ems_obs::jsonl::parse_records(&text).map_err(|e| EmsError::Parse {
+                offset: Some(e.line),
+                message: format!("{path}: not a valid ems trace: {e}"),
+            })?;
+            print!("{}", ems_obs::report::render(&records));
+        }
+        ReportMode::Trajectory => {
+            let rows = parse_trajectory(path, &text)?;
+            print!("{}", ems_obs::trajectory::render_trajectory(&rows));
+        }
+        ReportMode::Compare { a, b } => {
+            let rows = parse_trajectory(path, &text)?;
+            let find = |id: &str| {
+                rows.iter()
+                    .rev()
+                    .find(|r| r.run_id == id)
+                    .ok_or_else(|| EmsError::usage(format!("run id `{id}` not found in {path}")))
+            };
+            print!(
+                "{}",
+                ems_obs::trajectory::render_compare(find(a)?, find(b)?)
+            );
+        }
+    }
     Ok(())
+}
+
+/// Parses an `ems-bench/1` trajectory file with a typed parse error.
+fn parse_trajectory(
+    path: &str,
+    text: &str,
+) -> Result<Vec<ems_obs::trajectory::TrajectoryRow>, EmsError> {
+    ems_obs::trajectory::parse(text).map_err(|e| EmsError::Parse {
+        offset: Some(e.line),
+        message: format!("{path}: not a valid ems-bench trajectory: {e}"),
+    })
 }
 
 /// Attaches the file path to errors whose context would otherwise be lost
@@ -492,7 +531,11 @@ mod tests {
         assert!(metrics.contains("ems_run_iterations"));
 
         // The report subcommand renders the same trace.
-        report(&trace_path).unwrap();
+        report(&ReportArgs {
+            path: trace_path.clone(),
+            mode: ReportMode::Trace,
+        })
+        .unwrap();
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -231,6 +231,164 @@ fn stats_and_dot_produce_output() {
 }
 
 #[test]
+fn report_rejects_corrupted_traces_with_typed_errors() {
+    let dir = tmpdir("report-corpus");
+    let meta = "{\"schema\":\"ems-trace/1\",\"type\":\"meta\",\"seq\":0}\n";
+    // Every corrupted trace must surface as a typed parse error (exit 4)
+    // with a one-line stderr naming the file — never a panic (101) and
+    // never a generic usage error (2).
+    let corpus: &[(&str, String)] = &[
+        (
+            "truncated.jsonl",
+            format!("{meta}{{\"type\":\"iteration\",\"seq\":1,\"na"),
+        ),
+        ("not-json.jsonl", "this is not a trace at all\n".to_string()),
+        (
+            "wrong-schema.jsonl",
+            "{\"schema\":\"other/9\",\"type\":\"meta\",\"seq\":0}\n".to_string(),
+        ),
+        (
+            "unknown-record.jsonl",
+            format!("{meta}{{\"type\":\"mystery\",\"seq\":1}}\n"),
+        ),
+        (
+            "bad-histogram.jsonl",
+            format!(
+                "{meta}{{\"type\":\"histogram\",\"seq\":1,\"name\":\"h\",\"labels\":{{}},\
+                 \"unit\":\"us\",\"det\":true,\"count\":2,\"sum\":3,\
+                 \"buckets\":[[6,1],[5,1]]}}\n"
+            ),
+        ),
+        (
+            "binary-garbage.jsonl",
+            "\u{0}\u{1}\u{2}\u{fffd}".to_string(),
+        ),
+        ("empty.jsonl", String::new()),
+    ];
+    for (name, text) in corpus {
+        let path = dir.join(name);
+        std::fs::write(&path, text).unwrap();
+        let out = ems()
+            .args(["report", path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(4),
+            "{name}: parse errors exit 4, stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert_eq!(
+            err.trim().lines().count(),
+            1,
+            "{name}: one-line stderr: {err:?}"
+        );
+        assert!(err.contains(name), "{name}: stderr names the file: {err}");
+        assert!(!err.contains("panicked"), "{name}: no panic: {err}");
+    }
+    // Malformed trajectory files are typed parse errors too.
+    let bad_traj = dir.join("bad-traj.jsonl");
+    std::fs::write(&bad_traj, "{\"schema\":\"ems-bench/9\"}\n").unwrap();
+    let out = ems()
+        .args(["report", bad_traj.to_str().unwrap(), "--trajectory"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let out = ems()
+        .args(["report", bad_traj.to_str().unwrap(), "--compare", "a", "b"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn report_trajectory_and_compare_render_history() {
+    let dir = tmpdir("report-traj");
+    let path = dir.join("traj.jsonl");
+    std::fs::write(
+        &path,
+        "{\"schema\":\"ems-bench/1\",\"run_id\":\"pr6\",\"git_rev\":\"unknown\",\
+         \"host\":\"unknown\",\"source\":\"pr6_session_store\",\
+         \"metrics\":{\"n800.parallel_wall_ms\":100.0}}\n\
+         {\"schema\":\"ems-bench/1\",\"run_id\":\"pr7\",\"git_rev\":\"unknown\",\
+         \"host\":\"unknown\",\"source\":\"pr7_kernel_scaling\",\
+         \"metrics\":{\"n800.parallel_wall_ms\":40.0}}\n",
+    )
+    .unwrap();
+    let out = ems()
+        .args(["report", path.to_str().unwrap(), "--trajectory"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bench trajectory"), "{text}");
+    assert!(text.contains("n800.parallel_wall_ms"), "{text}");
+    assert!(text.contains("improved"), "{text}");
+
+    let out = ems()
+        .args(["report", path.to_str().unwrap(), "--compare", "pr6", "pr7"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("pr6"), "{text}");
+    assert!(text.contains("improved"), "{text}");
+
+    // A run id absent from the file is a usage error, not a parse error.
+    let out = ems()
+        .args(["report", path.to_str().unwrap(), "--compare", "pr6", "nope"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("nope"), "stderr names the missing id: {err}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn report_compare_surfaces_pr7_speedups_in_committed_history() {
+    // The checked-in trajectory folds BENCH_pr6.json and BENCH_pr7.json;
+    // PR7's headline wins — the outcome cache collapsing cached re-match
+    // wall and the warm start seeded at the pooled kernel's fixpoint —
+    // must show up as flagged improvements, not vanish in the migration.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_TRAJECTORY.jsonl");
+    let out = ems()
+        .args(["report", path, "--compare", "pr6", "pr7"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    for metric in ["n800.session_cached_wall_ms", "n800.session_warm_wall_ms"] {
+        let line = text
+            .lines()
+            .find(|l| l.contains(metric))
+            .unwrap_or_else(|| panic!("no {metric} row in:\n{text}"));
+        assert!(line.contains("improved"), "{metric} not flagged: {line}");
+    }
+    // PR7's pooled-kernel scaling evidence (the per-thread sweep) rides in
+    // its trajectory row, ready for same-host gating by later runs.
+    let rows = ems_obs::trajectory::parse(&std::fs::read_to_string(path).unwrap()).unwrap();
+    let pr7 = rows.iter().find(|r| r.run_id == "pr7").unwrap();
+    for t in [1, 2, 4, 8] {
+        assert!(pr7.metrics.contains_key(&format!("n800.t{t}.wall_ms")));
+    }
+}
+
+#[test]
 fn convert_roundtrip_via_binary() {
     let dir = tmpdir("convert");
     let a = dir.join("a.xes");

@@ -32,7 +32,8 @@ use crate::sim_sparse::SparseSim;
 use crate::substrate::EngineSubstrate;
 use ems_depgraph::{DependencyGraph, Distance, NodeId};
 use ems_labels::LabelMatrix;
-use ems_obs::{IterationRecord, Recorder};
+use ems_obs::{Histogram, IterationRecord, Recorder};
+use ems_prof::{AllocTally, ProfScope, Profiler};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier, Mutex, RwLock};
@@ -73,6 +74,77 @@ struct PoolState {
     /// Shard layout of the current evaluation window.
     chunk_size: usize,
     shards: usize,
+}
+
+/// Deterministic per-run histogram accumulator, shared by both kernels so
+/// the emitted record sequence is identical across them.
+///
+/// The three deterministic histograms are derived from the same quantities
+/// the per-iteration [`IterationRecord`]s carry (max delta, worklist size,
+/// δ-dropped pairs) — bit-identical across the reference kernel, the
+/// serial worklist kernel, and every pooled thread count. `shard_pairs`
+/// tallies the evaluation shards *as actually executed* and therefore
+/// depends on the thread count; it is classified non-deterministic, so
+/// redacted exports zero its contents while keeping the record in place.
+struct RunProfile {
+    iteration_delta: Histogram,
+    active_pairs: Histogram,
+    sparse_dropped: Histogram,
+    shard_pairs: Histogram,
+}
+
+impl RunProfile {
+    fn new(attrs: Vec<(String, String)>) -> Self {
+        RunProfile {
+            iteration_delta: Histogram::new("engine.iteration_delta", attrs.clone(), "q32"),
+            active_pairs: Histogram::new("engine.active_pairs", attrs.clone(), "pairs"),
+            sparse_dropped: Histogram::new("engine.sparse_dropped", attrs.clone(), "pairs"),
+            shard_pairs: Histogram::nondeterministic("engine.shard_pairs", attrs, "pairs"),
+        }
+    }
+
+    /// One fixpoint iteration: its max delta (quantized via q32) and the
+    /// number of active pairs it evaluated.
+    fn observe_iteration(&mut self, max_delta: f64, active_pairs: usize) {
+        self.iteration_delta.observe_f64(max_delta);
+        self.active_pairs.observe(active_pairs as u64);
+    }
+
+    /// One δ-sparsification pass: how many pairs it dropped.
+    fn observe_drop(&mut self, dropped: u64) {
+        self.sparse_dropped.observe(dropped);
+    }
+
+    /// One evaluation shard as scheduled: the pairs it covered.
+    fn observe_shard(&mut self, pairs: u64) {
+        self.shard_pairs.observe(pairs);
+    }
+
+    fn emit(self, rec: &Recorder) {
+        self.iteration_delta.record_into(rec);
+        self.active_pairs.record_into(rec);
+        self.sparse_dropped.record_into(rec);
+        self.shard_pairs.record_into(rec);
+    }
+}
+
+/// Closes a run's `engine.run` profiling scope, charging the deterministic
+/// work counters and the logical allocation tally.
+///
+/// The tally charges the *logical* Jacobi state — the two dense `n1 x n2`
+/// iterates every kernel maintains — rather than as-executed allocator
+/// traffic, which differs between the reference and worklist kernels (and
+/// with thread count) and would break the byte-identical redacted export
+/// contract (see the `ems-prof` module docs).
+fn finish_run_scope(scope: Option<ProfScope<'_>>, stats: &RunStats, n1: usize, n2: usize) {
+    let Some(mut scope) = scope else { return };
+    scope.count("iterations", stats.iterations as u64);
+    scope.count("formula_evals", stats.formula_evals);
+    let mut tally = AllocTally::default();
+    tally.charge_elems::<f64>(n1 * n2);
+    tally.charge_elems::<f64>(n1 * n2);
+    scope.alloc(tally);
+    scope.finish();
 }
 
 /// One pool member's private output slot: the shard's new values, its max
@@ -326,10 +398,11 @@ impl<'a> Engine<'a> {
     }
 
     /// Emits the end-of-run phase spans (from the already-measured
-    /// `PhaseTimes` — no clock reads here) and work counters. The counter
-    /// values equal the `RunStats` fields, so the recorded content is
-    /// identical across kernels and thread counts.
-    fn record_run_summary(&self, rec: &Recorder, stats: &RunStats) {
+    /// `PhaseTimes` — no clock reads here), work counters, and — when a
+    /// [`RunProfile`] was accumulated — the hot-path histograms, in a fixed
+    /// order. The counter values equal the `RunStats` fields, so the
+    /// recorded content is identical across kernels and thread counts.
+    fn record_run_summary(&self, rec: &Recorder, stats: &RunStats, profile: Option<RunProfile>) {
         let attrs = self.engine_attrs();
         rec.span_closed("phase.setup", attrs.clone(), stats.phase_times.setup);
         rec.span_closed("phase.exact", attrs.clone(), stats.phase_times.exact);
@@ -343,6 +416,9 @@ impl<'a> Engine<'a> {
         rec.counter_add("run.pruned_evals", attrs.clone(), stats.pruned_evals);
         rec.counter_add("run.frozen_evals", attrs.clone(), stats.frozen_evals);
         rec.counter_add("run.estimated_pairs", attrs, stats.estimated_pairs);
+        if let Some(profile) = profile {
+            profile.emit(rec);
+        }
     }
 
     fn neighbors(&self, side1: bool, v: NodeId) -> &[(NodeId, f64)] {
@@ -510,6 +586,21 @@ impl<'a> Engine<'a> {
         }
         let track_bounds = options.abort_below.is_some();
 
+        // Scoped profiling (observability-only, active when a recorder is
+        // attached): one `engine.run` scope covering the whole run plus a
+        // RunProfile of hot-path histograms emitted with the run summary.
+        // Both kernels open the same scope and emit the same histograms,
+        // so the redacted record stream stays byte-identical across them.
+        let profiler = options
+            .recorder
+            .as_ref()
+            .map(|r| Profiler::new(Arc::clone(r)));
+        let mut run_scope = profiler.as_ref().map(|pf| pf.scope("engine.run"));
+        let mut profile = options
+            .recorder
+            .is_some()
+            .then(|| RunProfile::new(self.engine_attrs()));
+
         // Worklist construction: one pass over the grid classifies every
         // pair as frozen (never updated), retired (already past its
         // Proposition-2 horizon) or active. From here on, only active
@@ -664,6 +755,8 @@ impl<'a> Engine<'a> {
                             // zero is synced into both Jacobi buffers and
                             // contributes nothing to the abort average —
                             // exactly its new fixed value.
+                            let mut drop_scope =
+                                profiler.as_ref().map(|pf| pf.scope("sparse_drop"));
                             let stm = &mut *st;
                             let before = stm.work.len();
                             let cur_data = stm.current.data_mut();
@@ -685,7 +778,15 @@ impl<'a> Engine<'a> {
                                 }
                             });
                             min_h = remaining_min;
-                            stats.sparsified_pairs += (before - stm.work.len()) as u64;
+                            let dropped = (before - stm.work.len()) as u64;
+                            stats.sparsified_pairs += dropped;
+                            if let Some(pr) = profile.as_mut() {
+                                pr.observe_drop(dropped);
+                            }
+                            if let Some(mut s) = drop_scope.take() {
+                                s.count("dropped", dropped);
+                                s.count("remaining", stm.work.len() as u64);
+                            }
                         }
                     }
                     let i_h = u32::try_from(i).unwrap_or(H_INFINITE);
@@ -757,6 +858,16 @@ impl<'a> Engine<'a> {
                             .max(1);
                         stm.shards = shards;
                         stm.chunk_size = stm.work.len().div_ceil(shards).max(1);
+                        if let Some(pr) = profile.as_mut() {
+                            // As-scheduled shard layout — thread-count
+                            // dependent, hence the exec histogram class.
+                            let len = stm.work.len();
+                            for w in 0..shards {
+                                let start = w * stm.chunk_size;
+                                let end = (start + stm.chunk_size).min(len);
+                                pr.observe_shard((end - start) as u64);
+                            }
+                        }
                     }
                     let shards = st.shards;
                     let chunk_size = st.chunk_size;
@@ -837,6 +948,9 @@ impl<'a> Engine<'a> {
                             frozen_pairs: frozen_count,
                             formula_evals: stats.formula_evals,
                         });
+                        if let Some(pr) = profile.as_mut() {
+                            pr.observe_iteration(delta, st.work.len());
+                        }
                     }
 
                     if let Some(threshold) = options.abort_below {
@@ -897,8 +1011,9 @@ impl<'a> Engine<'a> {
         if stats.aborted {
             if let Some(rec) = options.recorder.as_deref() {
                 rec.event("run.aborted", self.engine_attrs());
-                self.record_run_summary(rec, &stats);
+                self.record_run_summary(rec, &stats, profile.take());
             }
+            finish_run_scope(run_scope.take(), &stats, n1, n2);
             return Ok(RunOutput {
                 sim: current,
                 stats,
@@ -926,8 +1041,9 @@ impl<'a> Engine<'a> {
         );
         stats.phase_times.estimation = est_started.elapsed();
         if let Some(rec) = recorder {
-            self.record_run_summary(rec, &stats);
+            self.record_run_summary(rec, &stats, profile.take());
         }
+        finish_run_scope(run_scope.take(), &stats, n1, n2);
 
         Ok(RunOutput {
             sim: current,
@@ -1064,6 +1180,17 @@ impl<'a> Engine<'a> {
         let mut next = current.clone();
         let alpha = p.alpha;
         let recorder = options.recorder.as_deref();
+        // Mirror of the production kernel's profiling scope and histogram
+        // set, so the redacted record streams of both kernels line up.
+        let profiler = options
+            .recorder
+            .as_ref()
+            .map(|r| Profiler::new(Arc::clone(r)));
+        let mut run_scope = profiler.as_ref().map(|pf| pf.scope("engine.run"));
+        let mut profile = options
+            .recorder
+            .is_some()
+            .then(|| RunProfile::new(self.engine_attrs()));
         let mut exhausted = false;
         for i in 1..=exact_rounds {
             if options
@@ -1148,6 +1275,12 @@ impl<'a> Engine<'a> {
                     frozen_pairs: round_frozen,
                     formula_evals: stats.formula_evals,
                 });
+                if let Some(pr) = profile.as_mut() {
+                    pr.observe_iteration(delta, round_evals as usize);
+                    // The reference kernel evaluates the round as a single
+                    // serial shard.
+                    pr.observe_shard(round_evals);
+                }
             }
 
             if let Some(threshold) = options.abort_below {
@@ -1168,8 +1301,9 @@ impl<'a> Engine<'a> {
                     stats.aborted = true;
                     if let Some(rec) = recorder {
                         rec.event("run.aborted", self.engine_attrs());
-                        self.record_run_summary(rec, &stats);
+                        self.record_run_summary(rec, &stats, profile.take());
                     }
+                    finish_run_scope(run_scope.take(), &stats, n1, n2);
                     return Ok(RunOutput {
                         sim: current,
                         stats,
@@ -1199,8 +1333,9 @@ impl<'a> Engine<'a> {
             recorder,
         );
         if let Some(rec) = recorder {
-            self.record_run_summary(rec, &stats);
+            self.record_run_summary(rec, &stats, profile.take());
         }
+        finish_run_scope(run_scope.take(), &stats, n1, n2);
 
         Ok(RunOutput {
             sim: current,

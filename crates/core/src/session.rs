@@ -83,7 +83,8 @@ use ems_error::EmsError;
 use ems_events::{fingerprint_log, EventLog, SymbolTable};
 use ems_faults::{FaultInjector, FaultKind, FaultSite};
 use ems_labels::LabelMatrix;
-use ems_obs::Recorder;
+use ems_obs::{Histogram, Recorder};
+use ems_prof::Profiler;
 use ems_store::{CatalogStore, SnapshotKind};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -220,6 +221,11 @@ pub struct MatchSession {
     store: Option<Arc<CatalogStore>>,
     stats: SessionStats,
     recorder: Option<Arc<Recorder>>,
+    /// Store-fetch latency accumulated across one match's stage lookups,
+    /// flushed to the session recorder as a single `session.store_fetch_us`
+    /// histogram (exec class: latency is non-deterministic, so redacted
+    /// exports zero its contents).
+    fetch_hist: Option<Histogram>,
 }
 
 impl MatchSession {
@@ -254,6 +260,7 @@ impl MatchSession {
             store: None,
             stats: SessionStats::default(),
             recorder: None,
+            fetch_hist: None,
         })
     }
 
@@ -346,6 +353,18 @@ impl MatchSession {
         self.session_log(h1)?;
         self.session_log(h2)?;
 
+        // Scoped profiling (session recorder only): one `session.match`
+        // scope per call, with the build stages nested beneath it. The
+        // profiler is per-call so the scope guards never borrow `self`
+        // across the `&mut self` stage methods.
+        let profiler = self.recorder.as_ref().map(|r| Profiler::new(Arc::clone(r)));
+        let mut match_scope = profiler.as_ref().map(|pf| pf.scope("session.match"));
+        let builds_before =
+            self.stats.graph_builds + self.stats.substrate_builds + self.stats.label_builds;
+        let hits_before = self.stats.graph_cache_hits
+            + self.stats.substrate_cache_hits
+            + self.stats.label_cache_hits;
+
         // Ingest-boundary fault point: a transient fault is absorbed (the
         // stage "retries" by simply proceeding — the inputs are already in
         // memory); a terminal one surfaces as a typed error.
@@ -361,15 +380,15 @@ impl MatchSession {
         }
 
         // Model stage: one dependency graph per distinct log content.
-        let g1 = self.model_stage(h1);
-        let g2 = self.model_stage(h2);
+        let g1 = self.model_stage(h1, profiler.as_ref());
+        let g2 = self.model_stage(h2, profiler.as_ref());
 
         // Substrate stage: one kernel substrate per (graphs, direction).
-        let fwd_sub = self.substrate_stage(&g1, &g2, Direction::Forward);
-        let bwd_sub = self.substrate_stage(&g1, &g2, Direction::Backward);
+        let fwd_sub = self.substrate_stage(&g1, &g2, Direction::Forward, profiler.as_ref());
+        let bwd_sub = self.substrate_stage(&g1, &g2, Direction::Backward, profiler.as_ref());
 
         // Label stage: one label matrix per log-content pair.
-        let labels = self.label_stage(h1, h2);
+        let labels = self.label_stage(h1, h2, profiler.as_ref());
 
         // Outcome cache: with every build stage already served from cache,
         // the two fixpoint solves dominate a repeat match — serve the
@@ -399,6 +418,10 @@ impl MatchSession {
                         backward: SparseSim::from_dense(&outcome.backward, 0.0),
                     },
                 );
+                self.flush_fetch_hist();
+                if let Some(mut s) = match_scope.take() {
+                    s.count("outcome_cache_hits", 1);
+                }
                 return Ok(outcome);
             }
         }
@@ -481,7 +504,28 @@ impl MatchSession {
         if outcome_cacheable {
             self.outcomes.insert((fp1, fp2), outcome.clone());
         }
+        self.flush_fetch_hist();
+        if let Some(mut s) = match_scope.take() {
+            let builds_after =
+                self.stats.graph_builds + self.stats.substrate_builds + self.stats.label_builds;
+            let hits_after = self.stats.graph_cache_hits
+                + self.stats.substrate_cache_hits
+                + self.stats.label_cache_hits;
+            s.count("builds", builds_after - builds_before);
+            s.count("cache_hits", hits_after - hits_before);
+            s.count("solves", 2);
+        }
         Ok(outcome)
+    }
+
+    /// Flushes the accumulated store-fetch latency histogram to the session
+    /// recorder, if any fetches were timed during this match.
+    fn flush_fetch_hist(&mut self) {
+        if let (Some(rec), Some(h)) = (self.recorder.as_deref(), self.fetch_hist.take()) {
+            if !h.is_empty() {
+                rec.histogram(h.into_record());
+            }
+        }
     }
 
     fn session_log(&self, handle: LogHandle) -> Result<&SessionLog, CoreError> {
@@ -493,7 +537,8 @@ impl MatchSession {
 
     /// Builds (or fetches) the dependency graph of a log, keyed by its
     /// content fingerprint.
-    fn model_stage(&mut self, handle: LogHandle) -> Arc<DependencyGraph> {
+    fn model_stage(&mut self, handle: LogHandle, prof: Option<&Profiler>) -> Arc<DependencyGraph> {
+        let mut scope = prof.map(|pf| pf.scope("model"));
         let fp = self.logs[handle.index()].fingerprint;
         let side = format!("log{}", handle.0 + 1);
         if let Some(g) = self.graphs.get(&fp) {
@@ -504,6 +549,9 @@ impl MatchSession {
                     ems_obs::labels(&[("result", "hit"), ("side", &side)]),
                     1,
                 );
+            }
+            if let Some(s) = scope.as_mut() {
+                s.count("cache_hits", 1);
             }
             return Arc::clone(g);
         }
@@ -527,6 +575,9 @@ impl MatchSession {
                     }
                     let graph = Arc::new(graph);
                     self.graphs.insert(fp, Arc::clone(&graph));
+                    if let Some(s) = scope.as_mut() {
+                        s.count("store_hits", 1);
+                    }
                     return graph;
                 }
                 Err(e) => self.store_quarantine(SnapshotKind::Graph, store_key, &e.to_string()),
@@ -569,6 +620,9 @@ impl MatchSession {
             || persist::encode_graph(&graph),
         );
         self.graphs.insert(fp, Arc::clone(&graph));
+        if let Some(s) = scope.as_mut() {
+            s.count("builds", 1);
+        }
         graph
     }
 
@@ -579,7 +633,9 @@ impl MatchSession {
         g1: &Arc<DependencyGraph>,
         g2: &Arc<DependencyGraph>,
         direction: Direction,
+        prof: Option<&Profiler>,
     ) -> Arc<EngineSubstrate> {
+        let mut scope = prof.map(|pf| pf.scope("substrate"));
         let dir_label = match direction {
             Direction::Forward => "forward",
             Direction::Backward => "backward",
@@ -593,6 +649,9 @@ impl MatchSession {
                     ems_obs::labels(&[("result", "hit"), ("direction", dir_label)]),
                     1,
                 );
+            }
+            if let Some(s) = scope.as_mut() {
+                s.count("cache_hits", 1);
             }
             return Arc::clone(sub);
         }
@@ -618,6 +677,9 @@ impl MatchSession {
                     }
                     let sub = Arc::new(sub);
                     self.substrates.insert(key, Arc::clone(&sub));
+                    if let Some(s) = scope.as_mut() {
+                        s.count("store_hits", 1);
+                    }
                     return sub;
                 }
                 Ok(sub) => self.store_quarantine(
@@ -656,12 +718,21 @@ impl MatchSession {
             || persist::encode_substrate(&sub),
         );
         self.substrates.insert(key, Arc::clone(&sub));
+        if let Some(s) = scope.as_mut() {
+            s.count("builds", 1);
+        }
         sub
     }
 
     /// Builds (or fetches) the label matrix of a log pair, keyed by the
     /// logs' content fingerprints.
-    fn label_stage(&mut self, h1: LogHandle, h2: LogHandle) -> Arc<LabelMatrix> {
+    fn label_stage(
+        &mut self,
+        h1: LogHandle,
+        h2: LogHandle,
+        prof: Option<&Profiler>,
+    ) -> Arc<LabelMatrix> {
+        let mut scope = prof.map(|pf| pf.scope("labels"));
         let key = (
             self.logs[h1.index()].fingerprint,
             self.logs[h2.index()].fingerprint,
@@ -674,6 +745,9 @@ impl MatchSession {
                     ems_obs::labels(&[("result", "hit")]),
                     1,
                 );
+            }
+            if let Some(s) = scope.as_mut() {
+                s.count("cache_hits", 1);
             }
             return Arc::clone(m);
         }
@@ -703,6 +777,9 @@ impl MatchSession {
                     }
                     let m = Arc::new(m);
                     self.labels.insert(key, Arc::clone(&m));
+                    if let Some(s) = scope.as_mut() {
+                        s.count("store_hits", 1);
+                    }
                     return m;
                 }
                 Ok(m) => self.store_quarantine(
@@ -737,6 +814,9 @@ impl MatchSession {
             || persist::encode_labels(&m),
         );
         self.labels.insert(key, Arc::clone(&m));
+        if let Some(s) = scope.as_mut() {
+            s.count("builds", 1);
+        }
         m
     }
 
@@ -746,7 +826,16 @@ impl MatchSession {
     /// rebuild.
     fn store_fetch(&mut self, kind: SnapshotKind, key: u64, version: u32) -> Option<Vec<u8>> {
         let store = Arc::clone(self.store.as_ref()?);
-        match store.get(kind, key, version) {
+        // ems-lint: allow(wall-clock-randomness, store-fetch latency feeds a nondeterministic telemetry histogram only, never similarity values)
+        let started = self.recorder.is_some().then(Instant::now);
+        let result = store.get(kind, key, version);
+        if let Some(started) = started {
+            let hist = self.fetch_hist.get_or_insert_with(|| {
+                Histogram::nondeterministic("session.store_fetch_us", ems_obs::labels(&[]), "us")
+            });
+            hist.observe(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+        }
+        match result {
             Ok(Some(bytes)) => Some(bytes),
             Ok(None) => {
                 self.stats.store_misses += 1;

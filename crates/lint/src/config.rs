@@ -107,6 +107,7 @@ pub const NONDET_CRATES: &[&str] = &[
     "eval",
     "synth",
     "obs",
+    "prof",
     "store",
     "faults",
 ];
@@ -126,6 +127,12 @@ pub const NONDET_CRATES: &[&str] = &[
 /// were written; `faults` participates so its seeded plan/backoff RNG must
 /// carry audited `allow(wall-clock-randomness, ...)` suppressions proving
 /// the schedule is a pure function of the seed.
+/// `prof` participates with exactly one pinned suppression — the
+/// `ProfScope` start-time read — so the profiler can never grow a second
+/// clock edge without an audited reason: everything else it emits
+/// (counters, allocation tallies, histogram contents) must be a pure
+/// function of the work performed, which is what keeps redacted profile
+/// exports byte-identical across kernels and thread counts.
 pub const CLOCK_CRATES: &[&str] = &[
     "core",
     "depgraph",
@@ -136,6 +143,7 @@ pub const CLOCK_CRATES: &[&str] = &[
     "xes",
     "eval",
     "obs",
+    "prof",
     "store",
     "faults",
 ];

@@ -16,10 +16,19 @@
 //! {"type":"iteration","seq":N,"engine":S,"iteration":U,"max_delta":F,
 //!  "mean_delta":F,"active_pairs":U,"retired_pairs":U,"frozen_pairs":U,
 //!  "formula_evals":U}
+//! {"type":"histogram","seq":N,"name":S,"labels":{..},"unit":S,"det":B,
+//!  "count":U,"sum":U,"buckets":[[B,C],...]}
 //! ```
+//!
+//! The histogram record is additive to `ems-trace/1`: readers written
+//! against the original five types rejected unknown types, so traces that
+//! carry histograms require this reader — but every pre-histogram trace
+//! still parses unchanged. Redaction zeroes `count`/`sum`/`buckets` of
+//! histograms whose `det` flag is false (execution-specific tallies), the
+//! same discipline as span `dur_us`.
 
 use crate::json::{self, Value};
-use crate::record::{IterationRecord, Labels, Record};
+use crate::record::{HistogramRecord, IterationRecord, Labels, Record};
 
 /// Schema identifier written into the meta line.
 pub const SCHEMA: &str = "ems-trace/1";
@@ -137,6 +146,40 @@ fn write_record(out: &mut String, rec: &Record, seq: usize, redact: bool) {
             out.push_str(&it.formula_evals.to_string());
             out.push('}');
         }
+        Record::Histogram(h) => {
+            // A redacted non-deterministic histogram keeps its identity
+            // fields (name/labels/unit/det) so the record sequence stays
+            // comparable, but its contents are zeroed.
+            let zeroed = redact && !h.deterministic;
+            out.push_str("{\"type\":\"histogram\",\"seq\":");
+            out.push_str(&seq.to_string());
+            out.push_str(",\"name\":");
+            json::write_escaped(out, &h.name);
+            out.push_str(",\"labels\":");
+            write_labels(out, &h.labels);
+            out.push_str(",\"unit\":");
+            json::write_escaped(out, &h.unit);
+            out.push_str(",\"det\":");
+            out.push_str(if h.deterministic { "true" } else { "false" });
+            out.push_str(",\"count\":");
+            out.push_str(&if zeroed { 0 } else { h.count }.to_string());
+            out.push_str(",\"sum\":");
+            out.push_str(&if zeroed { 0 } else { h.sum }.to_string());
+            out.push_str(",\"buckets\":[");
+            if !zeroed {
+                for (i, (b, c)) in h.buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('[');
+                    out.push_str(&b.to_string());
+                    out.push(',');
+                    out.push_str(&c.to_string());
+                    out.push(']');
+                }
+            }
+            out.push_str("]}");
+        }
     }
 }
 
@@ -197,6 +240,45 @@ fn req_f64(v: &Value, key: &str, line: usize) -> Result<f64, TraceError> {
         Some(Value::Null) => Ok(f64::NAN),
         _ => Err(terr(line, format!("missing number field '{key}'"))),
     }
+}
+
+fn req_bool(v: &Value, key: &str, line: usize) -> Result<bool, TraceError> {
+    match v.get(key) {
+        Some(Value::Bool(b)) => Ok(*b),
+        _ => Err(terr(line, format!("missing boolean field '{key}'"))),
+    }
+}
+
+/// Parses the `[[bucket, count], ...]` array of a histogram line,
+/// enforcing ascending bucket order so the writer's canonical form is the
+/// only accepted one.
+fn buckets_from(v: &Value, line: usize) -> Result<Vec<(u32, u64)>, TraceError> {
+    let arr = v
+        .get("buckets")
+        .and_then(Value::as_array)
+        .ok_or_else(|| terr(line, "missing array field 'buckets'"))?;
+    let mut out = Vec::with_capacity(arr.len());
+    let mut last: Option<u32> = None;
+    for entry in arr {
+        let pair = entry
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| terr(line, "histogram bucket must be a [index, count] pair"))?;
+        let idx = pair[0]
+            .as_u64()
+            .filter(|&b| b <= 64)
+            .ok_or_else(|| terr(line, "histogram bucket index must be an integer in 0..=64"))?
+            as u32;
+        if last.is_some_and(|l| idx <= l) {
+            return Err(terr(line, "histogram buckets must be strictly ascending"));
+        }
+        last = Some(idx);
+        let count = pair[1]
+            .as_u64()
+            .ok_or_else(|| terr(line, "histogram bucket count must be an integer"))?;
+        out.push((idx, count));
+    }
+    Ok(out)
 }
 
 /// Parses and validates a trace document: meta line first, known types
@@ -266,6 +348,15 @@ pub fn parse_records(input: &str) -> Result<Vec<Record>, TraceError> {
                 retired_pairs: req_u64(&v, "retired_pairs", line)?,
                 frozen_pairs: req_u64(&v, "frozen_pairs", line)?,
                 formula_evals: req_u64(&v, "formula_evals", line)?,
+            }),
+            "histogram" => Record::Histogram(HistogramRecord {
+                name: req_str(&v, "name", line)?,
+                labels: labels_from(v.get("labels").unwrap_or(&Value::Null), line, "labels")?,
+                unit: req_str(&v, "unit", line)?,
+                deterministic: req_bool(&v, "det", line)?,
+                count: req_u64(&v, "count", line)?,
+                sum: req_u64(&v, "sum", line)?,
+                buckets: buckets_from(&v, line)?,
             }),
             other => return Err(terr(line, format!("unknown record type '{other}'"))),
         };
@@ -351,6 +442,24 @@ mod tests {
                 labels: labels(&[("side", "log1")]),
                 value: 42.0,
             },
+            Record::Histogram(HistogramRecord {
+                name: "engine.iteration_delta".into(),
+                labels: labels(&[("engine", "forward")]),
+                unit: "q32".into(),
+                deterministic: true,
+                count: 3,
+                sum: 96,
+                buckets: vec![(5, 2), (6, 1)],
+            }),
+            Record::Histogram(HistogramRecord {
+                name: "store.fetch_us".into(),
+                labels: vec![],
+                unit: "us".into(),
+                deterministic: false,
+                count: 2,
+                sum: 777,
+                buckets: vec![(9, 1), (10, 1)],
+            }),
         ]
     }
 
@@ -376,6 +485,55 @@ mod tests {
             }
             other => panic!("expected span, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn redaction_zeroes_nondeterministic_histograms_only() {
+        let redacted = write_redacted(&sample());
+        let parsed = parse_records(&redacted).unwrap();
+        match &parsed[5] {
+            Record::Histogram(h) => {
+                assert!(h.deterministic);
+                assert_eq!(h.count, 3, "deterministic contents must survive");
+                assert_eq!(h.buckets, vec![(5, 2), (6, 1)]);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        match &parsed[6] {
+            Record::Histogram(h) => {
+                assert!(!h.deterministic);
+                assert_eq!((h.count, h.sum), (0, 0));
+                assert!(h.buckets.is_empty());
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_histogram_buckets() {
+        let mut bad_order = write(&[]);
+        bad_order.push_str(
+            "{\"type\":\"histogram\",\"seq\":1,\"name\":\"h\",\"labels\":{},\"unit\":\"us\",\
+             \"det\":true,\"count\":2,\"sum\":3,\"buckets\":[[6,1],[5,1]]}\n",
+        );
+        let err = parse_records(&bad_order).unwrap_err();
+        assert!(err.message.contains("ascending"), "{err}");
+
+        let mut bad_pair = write(&[]);
+        bad_pair.push_str(
+            "{\"type\":\"histogram\",\"seq\":1,\"name\":\"h\",\"labels\":{},\"unit\":\"us\",\
+             \"det\":true,\"count\":1,\"sum\":1,\"buckets\":[[1]]}\n",
+        );
+        let err = parse_records(&bad_pair).unwrap_err();
+        assert!(err.message.contains("pair"), "{err}");
+
+        let mut bad_det = write(&[]);
+        bad_det.push_str(
+            "{\"type\":\"histogram\",\"seq\":1,\"name\":\"h\",\"labels\":{},\"unit\":\"us\",\
+             \"det\":1,\"count\":1,\"sum\":1,\"buckets\":[]}\n",
+        );
+        let err = parse_records(&bad_det).unwrap_err();
+        assert!(err.message.contains("boolean"), "{err}");
     }
 
     #[test]

@@ -38,5 +38,9 @@ pub mod jsonl;
 pub mod prom;
 pub mod record;
 pub mod report;
+pub mod trajectory;
 
-pub use record::{labels, Counter, Gauge, IterationRecord, Labels, Record, Recorder, Span};
+pub use record::{
+    labels, log2_bucket, q32, Counter, Gauge, Histogram, HistogramRecord, IterationRecord, Labels,
+    Record, Recorder, Span,
+};

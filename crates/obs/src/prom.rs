@@ -84,6 +84,36 @@ fn render(records: &[Record], include_timing: bool) -> String {
                 attrs,
                 1.0,
             ),
+            Record::Histogram(h) => {
+                // Execution-class histograms (latencies, as-scheduled shard
+                // work) are omitted from the deterministic export, the same
+                // way span durations are.
+                if !h.deterministic && !include_timing {
+                    continue;
+                }
+                add(
+                    metric_name(&h.name, "_count"),
+                    MetricKind::Counter,
+                    &h.labels,
+                    h.count as f64,
+                );
+                add(
+                    metric_name(&h.name, "_sum"),
+                    MetricKind::Counter,
+                    &h.labels,
+                    h.sum as f64,
+                );
+                for &(bucket, count) in &h.buckets {
+                    let mut labels = h.labels.clone();
+                    labels.push(("bucket".to_string(), format!("{bucket:02}")));
+                    add(
+                        metric_name(&h.name, "_bucket"),
+                        MetricKind::Counter,
+                        &labels,
+                        count as f64,
+                    );
+                }
+            }
             Record::Iteration(it) => {
                 let l = vec![("engine".to_string(), it.engine.clone())];
                 add(
@@ -296,6 +326,44 @@ mod tests {
         let b = text.find("ems_aaa{side=\"log2\"}").unwrap();
         let z = text.find("ems_zzz").unwrap();
         assert!(a < b && b < z, "{text}");
+    }
+
+    #[test]
+    fn histogram_export_respects_determinism_class() {
+        use crate::record::HistogramRecord;
+        let recs = vec![
+            Record::Histogram(HistogramRecord {
+                name: "engine.active_pairs".into(),
+                labels: labels(&[("engine", "forward")]),
+                unit: "pairs".into(),
+                deterministic: true,
+                count: 4,
+                sum: 30,
+                buckets: vec![(3, 3), (4, 1)],
+            }),
+            Record::Histogram(HistogramRecord {
+                name: "store.fetch_us".into(),
+                labels: vec![],
+                unit: "us".into(),
+                deterministic: false,
+                count: 1,
+                sum: 900,
+                buckets: vec![(10, 1)],
+            }),
+        ];
+        let full = write(&recs);
+        assert!(
+            full.contains("ems_engine_active_pairs_count{engine=\"forward\"} 4"),
+            "{full}"
+        );
+        assert!(
+            full.contains("ems_engine_active_pairs_bucket{bucket=\"03\",engine=\"forward\"} 3"),
+            "{full}"
+        );
+        assert!(full.contains("ems_store_fetch_us_sum 900"), "{full}");
+        let det = write_deterministic(&recs);
+        assert!(det.contains("ems_engine_active_pairs_sum"), "{det}");
+        assert!(!det.contains("store_fetch_us"), "{det}");
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! [`Recorder::span_closed`] so no new clock reads are added to
 //! result-producing crates.
 
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -49,6 +50,8 @@ pub enum Record {
     Event { name: String, attrs: Labels },
     /// Per-iteration convergence telemetry from a fixpoint engine.
     Iteration(IterationRecord),
+    /// A log2-bucketed value distribution (see [`HistogramRecord`]).
+    Histogram(HistogramRecord),
 }
 
 /// Convergence telemetry for one Jacobi iteration of one engine.
@@ -77,6 +80,137 @@ pub struct IterationRecord {
     pub frozen_pairs: u64,
     /// Cumulative formula evaluations so far.
     pub formula_evals: u64,
+}
+
+/// A finished log2-bucketed distribution.
+///
+/// Buckets are `(index, count)` pairs sorted by index with zero-count
+/// buckets omitted; index `b` holds values `v` with [`log2_bucket`]`(v) ==
+/// b`, i.e. `v == 0` lands in bucket 0 and `2^(b-1) <= v < 2^b` lands in
+/// bucket `b`. Fractional quantities are quantized through [`q32`] before
+/// observation so the stored values are exact integers.
+///
+/// `deterministic` classifies the redaction behavior, mirroring how
+/// `Span::dur_us` is the only non-deterministic span field: a
+/// deterministic histogram's contents are a pure function of the work
+/// performed (identical across kernels and thread counts) and survive
+/// redacted export; a `deterministic == false` histogram carries
+/// execution-specific tallies (wall-clock latencies, per-shard work as
+/// actually scheduled) and redacts to an empty distribution, keeping
+/// redacted exports byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramRecord {
+    /// Metric name, e.g. `engine.iteration_delta`.
+    pub name: String,
+    /// Label set, e.g. `[("engine", "forward")]`.
+    pub labels: Labels,
+    /// Unit of the observed values (`"pairs"`, `"us"`, `"bytes"`, `"q32"`).
+    pub unit: String,
+    /// Whether the contents are deterministic (see type docs).
+    pub deterministic: bool,
+    /// Number of observations.
+    pub count: u64,
+    /// Saturating sum of observed values.
+    pub sum: u64,
+    /// `(log2 bucket index, count)` pairs, ascending, zero counts omitted.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// Log2 bucket index of a value: 0 for 0, otherwise `⌊log2 v⌋ + 1`.
+pub fn log2_bucket(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// Quantizes a non-negative fraction to 32-bit fixed point (×2³²), the
+/// deterministic encoding used to put `f64` quantities (deltas, occupancy)
+/// into integer histogram buckets. Negative and non-finite inputs map to 0.
+pub fn q32(v: f64) -> u64 {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    let scaled = v * 4_294_967_296.0;
+    if scaled >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        // Round-to-nearest keeps tiny deltas distinguishable from zero.
+        (scaled + 0.5) as u64
+    }
+}
+
+/// Accumulating builder for a [`HistogramRecord`].
+///
+/// Observations go into log2 buckets ([`log2_bucket`]); call
+/// [`Histogram::into_record`] (or [`Recorder::histogram`] via
+/// [`Histogram::record_into`]) once the distribution is complete — a
+/// histogram is a single record summarizing a run, not a stream.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    name: String,
+    labels: Labels,
+    unit: String,
+    deterministic: bool,
+    count: u64,
+    sum: u64,
+    buckets: BTreeMap<u32, u64>,
+}
+
+impl Histogram {
+    /// New deterministic histogram (contents survive redacted export).
+    pub fn new(name: &str, labels: Labels, unit: &str) -> Self {
+        Histogram {
+            name: name.to_string(),
+            labels,
+            unit: unit.to_string(),
+            deterministic: true,
+            count: 0,
+            sum: 0,
+            buckets: BTreeMap::new(),
+        }
+    }
+
+    /// New execution-class histogram: contents depend on scheduling or
+    /// wall-clock and are zeroed by redacted export.
+    pub fn nondeterministic(name: &str, labels: Labels, unit: &str) -> Self {
+        Histogram {
+            deterministic: false,
+            ..Histogram::new(name, labels, unit)
+        }
+    }
+
+    /// Observes one integer value.
+    pub fn observe(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        *self.buckets.entry(log2_bucket(v)).or_insert(0) += 1;
+    }
+
+    /// Observes a fraction through the [`q32`] quantizer.
+    pub fn observe_f64(&mut self, v: f64) {
+        self.observe(q32(v));
+    }
+
+    /// Whether nothing has been observed yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Finishes the distribution into an immutable record.
+    pub fn into_record(self) -> HistogramRecord {
+        HistogramRecord {
+            name: self.name,
+            labels: self.labels,
+            unit: self.unit,
+            deterministic: self.deterministic,
+            count: self.count,
+            sum: self.sum,
+            buckets: self.buckets.into_iter().collect(),
+        }
+    }
+
+    /// Finishes the distribution and appends it to `rec`.
+    pub fn record_into(self, rec: &Recorder) {
+        rec.histogram(self.into_record());
+    }
 }
 
 /// Thread-safe append-log of [`Record`]s.
@@ -132,6 +266,11 @@ impl Recorder {
     /// Records per-iteration convergence telemetry.
     pub fn iteration(&self, rec: IterationRecord) {
         self.push(Record::Iteration(rec));
+    }
+
+    /// Records a finished histogram distribution.
+    pub fn histogram(&self, rec: HistogramRecord) {
+        self.push(Record::Histogram(rec));
     }
 
     /// Starts a timed span; the duration is recorded when the returned
@@ -349,6 +488,56 @@ mod tests {
         let g = r.gauge("active", vec![]);
         g.set(7.0);
         assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn log2_buckets_partition_the_axis() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn q32_quantizer_is_monotone_and_clamped() {
+        assert_eq!(q32(0.0), 0);
+        assert_eq!(q32(-1.0), 0);
+        assert_eq!(q32(f64::NAN), 0);
+        assert_eq!(q32(1.0), 1 << 32);
+        assert!(q32(0.5) < q32(0.75));
+        assert_eq!(q32(f64::INFINITY), 0);
+        assert_eq!(q32(1e30), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_accumulates_buckets() {
+        let mut h = Histogram::new("engine.test", labels(&[("engine", "forward")]), "pairs");
+        for v in [0, 1, 2, 3, 1000] {
+            h.observe(v);
+        }
+        let rec = h.into_record();
+        assert!(rec.deterministic);
+        assert_eq!(rec.count, 5);
+        assert_eq!(rec.sum, 1006);
+        assert_eq!(rec.buckets, vec![(0, 1), (1, 1), (2, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn histogram_records_into_recorder() {
+        let r = Recorder::new();
+        let mut h = Histogram::nondeterministic("store.fetch_us", vec![], "us");
+        h.observe(17);
+        h.record_into(&r);
+        match &r.records()[0] {
+            Record::Histogram(hr) => {
+                assert_eq!(hr.name, "store.fetch_us");
+                assert!(!hr.deterministic);
+                assert_eq!(hr.count, 1);
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

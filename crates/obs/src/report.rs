@@ -48,6 +48,7 @@ pub fn render(records: &[Record]) -> String {
     render_graphs(&mut out, records);
     render_phases(&mut out, records);
     render_convergence(&mut out, records);
+    render_histograms(&mut out, records);
     render_store(&mut out, records);
     render_events(&mut out, records);
     render_counters(&mut out, records);
@@ -205,6 +206,53 @@ fn render_curve(out: &mut String, iters: &[&IterationRecord]) {
     }
 }
 
+/// Hot-path distributions: one block per histogram record, with a bar per
+/// occupied log2 bucket. Redacted (zeroed) execution-class histograms are
+/// listed by name only, so a redacted trace still shows what was profiled.
+fn render_histograms(out: &mut String, records: &[Record]) {
+    let hists: Vec<&crate::record::HistogramRecord> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Histogram(h) => Some(h),
+            _ => None,
+        })
+        .collect();
+    if hists.is_empty() {
+        return;
+    }
+    out.push_str("\nHistograms\n----------\n");
+    for h in hists {
+        let class = if h.deterministic { "det" } else { "exec" };
+        out.push_str(&format!(
+            "  {}{} [{}] ({class})\n",
+            h.name,
+            fmt_labels(&h.labels),
+            h.unit
+        ));
+        if h.count == 0 {
+            out.push_str("    (no observations)\n");
+            continue;
+        }
+        let mean = h.sum as f64 / h.count as f64;
+        out.push_str(&format!(
+            "    count {}  sum {}  mean {mean:.1}\n",
+            h.count, h.sum
+        ));
+        let max_count = h.buckets.iter().map(|&(_, c)| c).max().unwrap_or(1).max(1);
+        for &(bucket, count) in &h.buckets {
+            const WIDTH: usize = 30;
+            let bars =
+                ((count as f64 / max_count as f64 * WIDTH as f64).ceil() as usize).clamp(1, WIDTH);
+            let lo = if bucket == 0 { 0 } else { 1u64 << (bucket - 1) };
+            out.push_str(&format!(
+                "    2^{bucket:<2} ({lo:>12}..) |{:<width$}| {count}\n",
+                "#".repeat(bars),
+                width = WIDTH
+            ));
+        }
+    }
+}
+
 /// Durable-store behavior: cache hits/misses, quarantines, retries and
 /// failures recorded by the catalog store (`store.*` counters).
 fn render_store(out: &mut String, records: &[Record]) {
@@ -312,6 +360,41 @@ mod tests {
         assert!(text.contains("max_delta curve"), "{text}");
         assert!(text.contains("budget.exhausted"), "{text}");
         assert!(text.contains("composite_rounds"), "{text}");
+    }
+
+    #[test]
+    fn histogram_section_renders_buckets_and_redacted_stubs() {
+        use crate::record::HistogramRecord;
+        let records = vec![
+            Record::Histogram(HistogramRecord {
+                name: "engine.iteration_delta".into(),
+                labels: labels(&[("engine", "forward")]),
+                unit: "q32".into(),
+                deterministic: true,
+                count: 3,
+                sum: 30,
+                buckets: vec![(2, 1), (4, 2)],
+            }),
+            Record::Histogram(HistogramRecord {
+                name: "store.fetch_us".into(),
+                labels: vec![],
+                unit: "us".into(),
+                deterministic: false,
+                count: 0,
+                sum: 0,
+                buckets: vec![],
+            }),
+        ];
+        let text = render(&records);
+        assert!(text.contains("Histograms"), "{text}");
+        assert!(
+            text.contains("engine.iteration_delta{engine=forward} [q32] (det)"),
+            "{text}"
+        );
+        assert!(text.contains("count 3  sum 30  mean 10.0"), "{text}");
+        assert!(text.contains("2^2"), "{text}");
+        assert!(text.contains("store.fetch_us [us] (exec)"), "{text}");
+        assert!(text.contains("(no observations)"), "{text}");
     }
 
     #[test]

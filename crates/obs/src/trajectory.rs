@@ -1,0 +1,632 @@
+//! Bench-trajectory file (`BENCH_TRAJECTORY.jsonl`, schema `ems-bench/1`).
+//!
+//! Every perf-focused PR so far left its evidence in a disconnected
+//! `BENCH_pr*.json` snapshot; this module gives the numbers a single
+//! append-only history that tooling can diff and gate on. Each line is a
+//! self-contained run row (no meta line — the file must stay cheap to
+//! append to and to merge):
+//!
+//! ```text
+//! {"schema":"ems-bench/1","run_id":S,"git_rev":S,"host":S,"source":S,
+//!  "metrics":{"n800.serial_wall_ms":12.3,...}}
+//! ```
+//!
+//! Metric keys are flat dotted names (`n<size>.<measurement>`, thread-sweep
+//! points as `n<size>.t<threads>.<measurement>`) sorted alphabetically in
+//! the output, so two rows of the same run are byte-identical. Metric
+//! *semantics* are carried by the name suffix: `*_pairs_per_sec` is
+//! higher-is-better, `*_ms` is lower-is-better, anything else is
+//! informational and never gated.
+//!
+//! The module is deliberately clock- and environment-free: run ids, git
+//! revisions and host fingerprints are supplied by the callers (the bench
+//! binaries), keeping `ems-obs` inside the workspace's determinism lint
+//! scope.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::json::{self, Value};
+
+/// Schema identifier carried by every row.
+pub const SCHEMA: &str = "ems-bench/1";
+
+/// One benchmark run: identity fields plus a flat metric map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryRow {
+    /// Stable run identifier (`pr7`, `ci-<rev>`, ...).
+    pub run_id: String,
+    /// Git revision the run measured (`unknown` for migrated history).
+    pub git_rev: String,
+    /// Host fingerprint (`os/arch/cores`); rows are only gated against
+    /// rows from the same host.
+    pub host: String,
+    /// Producing tool or legacy file (`perf_smoke`, `pr7_kernel_scaling`).
+    pub source: String,
+    /// Flat metric map; keys sorted on write.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// A problem found while parsing a trajectory file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trajectory line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+fn berr(line: usize, message: impl Into<String>) -> BenchError {
+    BenchError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Which way a metric improves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricDirection {
+    /// Throughput-style: a drop is a regression.
+    HigherIsBetter,
+    /// Latency-style: a rise is a regression.
+    LowerIsBetter,
+}
+
+/// Infers a metric's direction from its name suffix; `None` means the
+/// metric is informational and never gated.
+pub fn direction_of(name: &str) -> Option<MetricDirection> {
+    if name.ends_with("_pairs_per_sec") {
+        Some(MetricDirection::HigherIsBetter)
+    } else if name.ends_with("_ms") || name.ends_with("_us") {
+        Some(MetricDirection::LowerIsBetter)
+    } else {
+        None
+    }
+}
+
+/// Per-metric regression threshold (fraction of the best recorded value).
+/// Throughput metrics gate at 15%; wall-clock metrics are inherently
+/// noisier on shared CI runners and gate at 25%.
+pub fn threshold_for(name: &str) -> f64 {
+    if name.ends_with("_pairs_per_sec") {
+        0.15
+    } else {
+        0.25
+    }
+}
+
+/// Renders one row as a single JSONL line (no trailing newline).
+pub fn write_row(row: &TrajectoryRow) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":\"");
+    out.push_str(SCHEMA);
+    out.push_str("\",\"run_id\":");
+    json::write_escaped(&mut out, &row.run_id);
+    out.push_str(",\"git_rev\":");
+    json::write_escaped(&mut out, &row.git_rev);
+    out.push_str(",\"host\":");
+    json::write_escaped(&mut out, &row.host);
+    out.push_str(",\"source\":");
+    json::write_escaped(&mut out, &row.source);
+    out.push_str(",\"metrics\":{");
+    let mut first = true;
+    for (k, v) in &row.metrics {
+        if !v.is_finite() {
+            continue; // a non-finite measurement carries no information
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        json::write_escaped(&mut out, k);
+        out.push(':');
+        json::write_f64(&mut out, *v);
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Renders a whole trajectory document (one line per row).
+pub fn write_rows(rows: &[TrajectoryRow]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        out.push_str(&write_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+fn row_str(v: &Value, key: &str, line: usize) -> Result<String, BenchError> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| berr(line, format!("missing string field '{key}'")))
+}
+
+/// Parses a trajectory document. Blank lines are allowed; every other
+/// line must be a complete `ems-bench/1` row.
+pub fn parse(input: &str) -> Result<Vec<TrajectoryRow>, BenchError> {
+    let mut rows = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(raw).map_err(|e| berr(line, format!("invalid json: {e}")))?;
+        match v.get("schema").and_then(Value::as_str) {
+            Some(s) if s == SCHEMA => {}
+            Some(s) => return Err(berr(line, format!("unsupported schema '{s}'"))),
+            None => return Err(berr(line, "row missing 'schema'")),
+        }
+        let metrics_obj = v
+            .get("metrics")
+            .and_then(Value::as_object)
+            .ok_or_else(|| berr(line, "missing object field 'metrics'"))?;
+        let mut metrics = BTreeMap::new();
+        for (k, mv) in metrics_obj {
+            let num = mv
+                .as_f64()
+                .ok_or_else(|| berr(line, format!("metric '{k}' must be a number")))?;
+            metrics.insert(k.clone(), num);
+        }
+        rows.push(TrajectoryRow {
+            run_id: row_str(&v, "run_id", line)?,
+            git_rev: row_str(&v, "git_rev", line)?,
+            host: row_str(&v, "host", line)?,
+            source: row_str(&v, "source", line)?,
+            metrics,
+        });
+    }
+    Ok(rows)
+}
+
+/// Folds a legacy `BENCH_pr*.json` snapshot into one trajectory row.
+///
+/// Handles every shape the repo has shipped (`pr2_fixpoint_kernel`,
+/// `pr5_session_pipeline`, `pr6_session_store`, `pr7_kernel_scaling`):
+/// top-level numbers and per-size numbers are flattened to dotted metric
+/// names; `thread_sweep` points become `n<size>.t<threads>.*`; the nested
+/// `sparse` block becomes `n<size>.sparse.*`; the `convergence` curve is
+/// summarized as `n<size>.convergence_iterations`. Migrated rows carry
+/// `git_rev`/`host` of `"unknown"` — they predate the fingerprinting, and
+/// the gate only ever compares same-host rows.
+pub fn migrate_legacy(text: &str) -> Result<TrajectoryRow, String> {
+    let v = json::parse(text).map_err(|e| format!("not a bench report: {e}"))?;
+    let bench = v
+        .get("bench")
+        .and_then(Value::as_str)
+        .ok_or("missing 'bench' name")?
+        .to_string();
+    let run_id = bench.split('_').next().unwrap_or("legacy").to_string();
+    let mut metrics = BTreeMap::new();
+    if let Some(top) = v.as_object() {
+        for (k, val) in top {
+            if let Some(num) = val.as_f64() {
+                metrics.insert(k.clone(), num);
+            }
+        }
+    }
+    let sizes = v
+        .get("sizes")
+        .and_then(Value::as_array)
+        .ok_or("missing 'sizes' array")?;
+    for entry in sizes {
+        let n = entry
+            .get("n")
+            .and_then(Value::as_u64)
+            .ok_or("size entry missing 'n'")?;
+        let prefix = format!("n{n}");
+        for (k, val) in entry.as_object().into_iter().flatten() {
+            match (k.as_str(), val) {
+                ("n", _) => {}
+                ("thread_sweep", Value::Array(points)) => {
+                    for p in points {
+                        let t = p
+                            .get("threads")
+                            .and_then(Value::as_u64)
+                            .ok_or("thread_sweep point missing 'threads'")?;
+                        for (pk, pv) in p.as_object().into_iter().flatten() {
+                            if pk == "threads" {
+                                continue;
+                            }
+                            if let Some(num) = pv.as_f64() {
+                                metrics.insert(format!("{prefix}.t{t}.{pk}"), num);
+                            }
+                        }
+                    }
+                }
+                ("sparse", Value::Object(fields)) => {
+                    for (sk, sv) in fields {
+                        if let Some(num) = sv.as_f64() {
+                            metrics.insert(format!("{prefix}.sparse.{sk}"), num);
+                        }
+                    }
+                }
+                ("convergence", Value::Array(curve)) => {
+                    metrics.insert(
+                        format!("{prefix}.convergence_iterations"),
+                        curve.len() as f64,
+                    );
+                }
+                (_, val) => {
+                    if let Some(num) = val.as_f64() {
+                        metrics.insert(format!("{prefix}.{k}"), num);
+                    }
+                }
+            }
+        }
+    }
+    Ok(TrajectoryRow {
+        run_id,
+        git_rev: "unknown".to_string(),
+        host: "unknown".to_string(),
+        source: bench,
+        metrics,
+    })
+}
+
+/// Relative change of `new` vs `old` in the regression direction: positive
+/// means `new` is worse. `None` when the metric has no direction or the
+/// baseline is degenerate.
+fn regression_fraction(name: &str, old: f64, new: f64) -> Option<f64> {
+    if old <= 0.0 || !old.is_finite() || !new.is_finite() {
+        return None;
+    }
+    match direction_of(name)? {
+        MetricDirection::HigherIsBetter => Some((old - new) / old),
+        MetricDirection::LowerIsBetter => Some((new - old) / old),
+    }
+}
+
+/// Renders a side-by-side diff of two rows over their shared metrics,
+/// flagging per-metric regressions beyond [`threshold_for`].
+pub fn render_compare(a: &TrajectoryRow, b: &TrajectoryRow) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench compare: {} ({}) -> {} ({})\n",
+        a.run_id, a.source, b.run_id, b.source
+    ));
+    out.push_str(&format!(
+        "  {:<40} {:>14} {:>14} {:>9}\n",
+        "metric", a.run_id, b.run_id, "change"
+    ));
+    let mut shared = 0usize;
+    let mut regressions = 0usize;
+    for (name, old) in &a.metrics {
+        let Some(new) = b.metrics.get(name) else {
+            continue;
+        };
+        shared += 1;
+        let verdict = match regression_fraction(name, *old, *new) {
+            Some(frac) if frac > threshold_for(name) => {
+                regressions += 1;
+                "  REGRESSION"
+            }
+            Some(frac) if frac < -threshold_for(name) => "  improved",
+            _ => "",
+        };
+        let change = if *old > 0.0 && old.is_finite() {
+            format!("{:+.1}%", (new - old) / old * 100.0)
+        } else {
+            "-".to_string()
+        };
+        out.push_str(&format!(
+            "  {name:<40} {old:>14.3} {new:>14.3} {change:>9}{verdict}\n"
+        ));
+    }
+    if shared == 0 {
+        out.push_str("  (no shared metrics)\n");
+    } else {
+        out.push_str(&format!(
+            "  {shared} shared metric(s), {regressions} regression(s) beyond threshold\n"
+        ));
+    }
+    out
+}
+
+/// Renders the metric history across all rows: a run index followed by one
+/// block per metric that appears in more than one row, annotated with the
+/// change vs the previous occurrence.
+pub fn render_trajectory(rows: &[TrajectoryRow]) -> String {
+    let mut out = String::new();
+    out.push_str("bench trajectory\n================\n");
+    if rows.is_empty() {
+        out.push_str("  (no rows)\n");
+        return out;
+    }
+    out.push_str("\nRuns\n----\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  [{i}] {:<8} source={} host={} git={} metrics={}\n",
+            row.run_id,
+            row.source,
+            row.host,
+            row.git_rev,
+            row.metrics.len()
+        ));
+    }
+    // Metric -> [(row index, value)] for metrics with history.
+    let mut history: BTreeMap<&str, Vec<(usize, f64)>> = BTreeMap::new();
+    for (i, row) in rows.iter().enumerate() {
+        for (name, value) in &row.metrics {
+            history.entry(name).or_default().push((i, *value));
+        }
+    }
+    history.retain(|_, points| points.len() > 1);
+    if history.is_empty() {
+        out.push_str("\n  (no metric appears in more than one run)\n");
+        return out;
+    }
+    out.push_str("\nMetric history\n--------------\n");
+    for (name, points) in &history {
+        out.push_str(&format!("  {name}\n"));
+        let mut prev: Option<f64> = None;
+        for &(i, value) in points {
+            let note = match prev.and_then(|p| regression_fraction(name, p, value)) {
+                Some(frac) if frac > threshold_for(name) => "  <- REGRESSION",
+                Some(frac) if frac < -threshold_for(name) => "  <- improved",
+                _ => "",
+            };
+            out.push_str(&format!(
+                "    [{i}] {:<8} {value:>14.3}{note}\n",
+                rows[i].run_id
+            ));
+            prev = Some(value);
+        }
+    }
+    out
+}
+
+/// Outcome of the regression gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// Gated metrics actually compared against same-host history.
+    pub checked: usize,
+    /// Human-readable failures (empty means the gate passes).
+    pub failures: Vec<String>,
+    /// Why nothing was checked, when `checked == 0`.
+    pub note: Option<String>,
+}
+
+impl GateOutcome {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Gates the latest row against the best same-host history per metric.
+///
+/// For every gated metric of the newest row, the best value among *prior*
+/// rows with the same host fingerprint is the baseline; a regression
+/// beyond the metric's threshold (or `override_threshold`, when given) is
+/// a failure. A first run on a host has no history and passes with a
+/// note — migrated rows carry host `"unknown"`, so CI's first gated run
+/// establishes the baseline rather than comparing against foreign
+/// hardware.
+pub fn gate(rows: &[TrajectoryRow], override_threshold: Option<f64>) -> GateOutcome {
+    let Some((latest, prior)) = rows.split_last() else {
+        return GateOutcome {
+            checked: 0,
+            failures: Vec::new(),
+            note: Some("trajectory is empty".to_string()),
+        };
+    };
+    let peers: Vec<&TrajectoryRow> = prior.iter().filter(|r| r.host == latest.host).collect();
+    if peers.is_empty() {
+        return GateOutcome {
+            checked: 0,
+            failures: Vec::new(),
+            note: Some(format!(
+                "no prior rows for host '{}' — baseline established",
+                latest.host
+            )),
+        };
+    }
+    let mut checked = 0usize;
+    let mut failures = Vec::new();
+    for (name, current) in &latest.metrics {
+        let Some(direction) = direction_of(name) else {
+            continue;
+        };
+        let values = peers.iter().filter_map(|r| r.metrics.get(name).copied());
+        let best = match direction {
+            MetricDirection::HigherIsBetter => values.fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            }),
+            MetricDirection::LowerIsBetter => values.fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            }),
+        };
+        let Some(best) = best else {
+            continue;
+        };
+        checked += 1;
+        let threshold = override_threshold.unwrap_or_else(|| threshold_for(name));
+        if let Some(frac) = regression_fraction(name, best, *current) {
+            if frac > threshold {
+                failures.push(format!(
+                    "{name}: {current:.3} regressed {:.1}% vs best recorded {best:.3} \
+                     (threshold {:.0}%)",
+                    frac * 100.0,
+                    threshold * 100.0
+                ));
+            }
+        }
+    }
+    GateOutcome {
+        checked,
+        failures,
+        note: (checked == 0).then(|| "no gated metrics shared with history".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(run_id: &str, host: &str, metrics: &[(&str, f64)]) -> TrajectoryRow {
+        TrajectoryRow {
+            run_id: run_id.to_string(),
+            git_rev: "abc1234".to_string(),
+            host: host.to_string(),
+            source: "test".to_string(),
+            metrics: metrics.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rows = vec![
+            row("pr6", "linux/x86_64/8", &[("n800.serial_wall_ms", 120.5)]),
+            row(
+                "pr7",
+                "linux/x86_64/8",
+                &[
+                    ("n800.serial_wall_ms", 60.25),
+                    ("n800.serial_pairs_per_sec", 125000.0),
+                ],
+            ),
+        ];
+        let text = write_rows(&rows);
+        assert_eq!(parse(&text).unwrap(), rows);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(parse("{\"schema\":\"ems-bench/2\",\"run_id\":\"x\"}").is_err());
+        assert!(parse("not json").is_err());
+        let no_metrics = "{\"schema\":\"ems-bench/1\",\"run_id\":\"x\",\"git_rev\":\"g\",\
+             \"host\":\"h\",\"source\":\"s\"}";
+        let err = parse(no_metrics).unwrap_err();
+        assert!(err.message.contains("metrics"), "{err}");
+        let bad_metric = "{\"schema\":\"ems-bench/1\",\"run_id\":\"x\",\"git_rev\":\"g\",\
+             \"host\":\"h\",\"source\":\"s\",\"metrics\":{\"a\":\"str\"}}";
+        assert!(parse(bad_metric).is_err());
+    }
+
+    #[test]
+    fn directions_and_thresholds() {
+        assert_eq!(
+            direction_of("n800.serial_pairs_per_sec"),
+            Some(MetricDirection::HigherIsBetter)
+        );
+        assert_eq!(
+            direction_of("n800.serial_wall_ms"),
+            Some(MetricDirection::LowerIsBetter)
+        );
+        assert_eq!(direction_of("n800.pool_shards"), None);
+        assert!(threshold_for("x_pairs_per_sec") < threshold_for("x_wall_ms"));
+    }
+
+    #[test]
+    fn gate_passes_within_threshold_and_fails_beyond() {
+        let hist = row("pr7", "h", &[("n800.serial_pairs_per_sec", 100000.0)]);
+        let ok = row("ci-1", "h", &[("n800.serial_pairs_per_sec", 90000.0)]);
+        let outcome = gate(&[hist.clone(), ok], None);
+        assert!(outcome.passed());
+        assert_eq!(outcome.checked, 1);
+
+        let bad = row("ci-2", "h", &[("n800.serial_pairs_per_sec", 80000.0)]);
+        let outcome = gate(&[hist, bad], None);
+        assert!(!outcome.passed());
+        assert!(outcome.failures[0].contains("regressed"), "{outcome:?}");
+    }
+
+    #[test]
+    fn gate_compares_same_host_only() {
+        let foreign = row("pr7", "unknown", &[("n800.serial_pairs_per_sec", 1e9)]);
+        let local = row("ci-1", "h", &[("n800.serial_pairs_per_sec", 1.0)]);
+        let outcome = gate(&[foreign, local], None);
+        assert!(outcome.passed());
+        assert_eq!(outcome.checked, 0);
+        assert!(outcome.note.as_deref().unwrap_or("").contains("baseline"));
+    }
+
+    #[test]
+    fn gate_uses_best_prior_row() {
+        let slow = row("a", "h", &[("n800.serial_wall_ms", 200.0)]);
+        let fast = row("b", "h", &[("n800.serial_wall_ms", 100.0)]);
+        // 140 ms is within 25% of nothing: vs best (100) it is +40%.
+        let cur = row("c", "h", &[("n800.serial_wall_ms", 140.0)]);
+        let outcome = gate(&[slow, fast, cur], None);
+        assert!(!outcome.passed(), "{outcome:?}");
+    }
+
+    #[test]
+    fn compare_surfaces_speedup() {
+        let pr6 = row("pr6", "h", &[("n800.parallel_wall_ms", 100.0)]);
+        let pr7 = row("pr7", "h", &[("n800.parallel_wall_ms", 40.0)]);
+        let text = render_compare(&pr6, &pr7);
+        assert!(text.contains("improved"), "{text}");
+        assert!(text.contains("-60.0%"), "{text}");
+    }
+
+    #[test]
+    fn trajectory_renders_history() {
+        let rows = vec![
+            row("pr6", "h", &[("n800.serial_wall_ms", 100.0)]),
+            row("pr7", "h", &[("n800.serial_wall_ms", 45.0)]),
+        ];
+        let text = render_trajectory(&rows);
+        assert!(text.contains("[0] pr6"), "{text}");
+        assert!(text.contains("n800.serial_wall_ms"), "{text}");
+        assert!(text.contains("improved"), "{text}");
+    }
+
+    #[test]
+    fn migrates_pr7_shape() {
+        let legacy = r#"{
+  "bench": "pr7_kernel_scaling",
+  "host_parallelism": 8,
+  "sizes": [
+    {
+      "n": 800,
+      "mode": "dense",
+      "pairs": 640000,
+      "serial_wall_ms": 120.5,
+      "serial_pairs_per_sec": 31000,
+      "thread_sweep": [
+        {"threads": 1, "wall_ms": 120.5, "pairs_per_sec": 31000, "speedup_vs_serial": 1.0, "pool_shards": 1},
+        {"threads": 4, "wall_ms": 40.1, "pairs_per_sec": 93000, "speedup_vs_serial": 3.0, "pool_shards": 4}
+      ],
+      "sparse": {"delta": 0.01, "exact_wall_ms": 130.0},
+      "session_cold_wall_ms": 200.0,
+      "convergence": [
+        {"iteration": 1, "max_delta": 0.5},
+        {"iteration": 2, "max_delta": 0.2}
+      ]
+    }
+  ]
+}"#;
+        let row = migrate_legacy(legacy).unwrap();
+        assert_eq!(row.run_id, "pr7");
+        assert_eq!(row.source, "pr7_kernel_scaling");
+        assert_eq!(row.host, "unknown");
+        let m = &row.metrics;
+        assert_eq!(m.get("host_parallelism"), Some(&8.0));
+        assert_eq!(m.get("n800.serial_wall_ms"), Some(&120.5));
+        assert_eq!(m.get("n800.t4.wall_ms"), Some(&40.1));
+        assert_eq!(m.get("n800.sparse.exact_wall_ms"), Some(&130.0));
+        assert_eq!(m.get("n800.session_cold_wall_ms"), Some(&200.0));
+        assert_eq!(m.get("n800.convergence_iterations"), Some(&2.0));
+        assert!(!m.contains_key("n800.mode"));
+    }
+
+    #[test]
+    fn writer_skips_non_finite_metrics() {
+        let mut r = row("x", "h", &[("a_ms", 1.0)]);
+        r.metrics.insert("bad".to_string(), f64::NAN);
+        let text = write_row(&r);
+        assert!(!text.contains("bad"), "{text}");
+        assert_eq!(parse(&text).unwrap()[0].metrics.len(), 1);
+    }
+}

@@ -81,6 +81,52 @@ fn jsonl_redacted_golden() {
     }
 }
 
+/// Exact wire bytes of the histogram record, both determinism classes.
+/// Like the other goldens these are the contract `trace_check` and the
+/// profile-diff tooling parse — change only with a schema bump.
+#[test]
+fn jsonl_histogram_golden() {
+    use ems_obs::record::HistogramRecord;
+    let recs = vec![
+        Record::Histogram(HistogramRecord {
+            name: "engine.iteration_delta".into(),
+            labels: labels(&[("engine", "forward")]),
+            unit: "q32".into(),
+            deterministic: true,
+            count: 2,
+            sum: 3,
+            buckets: vec![(30, 1), (31, 1)],
+        }),
+        Record::Histogram(HistogramRecord {
+            name: "session.store_fetch_us".into(),
+            labels: vec![],
+            unit: "us".into(),
+            deterministic: false,
+            count: 1,
+            sum: 850,
+            buckets: vec![(10, 1)],
+        }),
+    ];
+    let want = concat!(
+        "{\"schema\":\"ems-trace/1\",\"type\":\"meta\",\"seq\":0}\n",
+        "{\"type\":\"histogram\",\"seq\":1,\"name\":\"engine.iteration_delta\",\"labels\":{\"engine\":\"forward\"},\"unit\":\"q32\",\"det\":true,\"count\":2,\"sum\":3,\"buckets\":[[30,1],[31,1]]}\n",
+        "{\"type\":\"histogram\",\"seq\":2,\"name\":\"session.store_fetch_us\",\"labels\":{},\"unit\":\"us\",\"det\":false,\"count\":1,\"sum\":850,\"buckets\":[[10,1]]}\n",
+    );
+    assert_eq!(jsonl::write(&recs), want);
+    // Redaction zeroes the execution-class line only; the deterministic
+    // histogram's bytes survive untouched.
+    let redacted = jsonl::write_redacted(&recs);
+    let want_redacted = concat!(
+        "{\"schema\":\"ems-trace/1\",\"type\":\"meta\",\"seq\":0}\n",
+        "{\"type\":\"histogram\",\"seq\":1,\"name\":\"engine.iteration_delta\",\"labels\":{\"engine\":\"forward\"},\"unit\":\"q32\",\"det\":true,\"count\":2,\"sum\":3,\"buckets\":[[30,1],[31,1]]}\n",
+        "{\"type\":\"histogram\",\"seq\":2,\"name\":\"session.store_fetch_us\",\"labels\":{},\"unit\":\"us\",\"det\":false,\"count\":0,\"sum\":0,\"buckets\":[]}\n",
+    );
+    assert_eq!(redacted, want_redacted);
+    // Both forms roundtrip through the parser.
+    assert_eq!(jsonl::parse_records(want).unwrap().len(), 2);
+    assert_eq!(jsonl::parse_records(&redacted).unwrap().len(), 2);
+}
+
 #[test]
 fn jsonl_roundtrips_through_parser() {
     let recs = fixture();

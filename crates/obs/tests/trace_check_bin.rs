@@ -1,0 +1,120 @@
+//! End-to-end coverage of the `trace_check` binary over golden traces,
+//! including the histogram and profiler records introduced with the
+//! deterministic performance profiler: every golden trace (full and
+//! redacted) must validate, and targeted single-line mutations must each
+//! be rejected with exit 1 — never accepted, never a crash.
+
+use ems_obs::record::{labels, IterationRecord, Record};
+use ems_obs::{jsonl, Histogram};
+use std::path::PathBuf;
+use std::process::Command;
+
+fn trace_check() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_trace_check"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ems-tc-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn check(dir: &std::path::Path, name: &str, text: &str) -> i32 {
+    let path = dir.join(name);
+    std::fs::write(&path, text).unwrap();
+    let out = trace_check().arg(path.to_str().unwrap()).output().unwrap();
+    out.status.code().unwrap_or(-1)
+}
+
+/// A golden record stream exercising every record type, profiler-shaped
+/// spans/counters, and both histogram determinism classes.
+fn profile_fixture() -> Vec<Record> {
+    let mut delta = Histogram::new(
+        "engine.iteration_delta",
+        labels(&[("engine", "forward")]),
+        "q32",
+    );
+    delta.observe_f64(0.5);
+    delta.observe_f64(0.125);
+    let mut fetch = Histogram::nondeterministic("session.store_fetch_us", labels(&[]), "us");
+    fetch.observe(850);
+    vec![
+        Record::Span {
+            name: "prof.engine.run".into(),
+            attrs: labels(&[("path", "engine.run"), ("depth", "0")]),
+            dur_us: 977,
+        },
+        Record::Counter {
+            name: "prof.formula_evals".into(),
+            labels: labels(&[("path", "engine.run")]),
+            value: 4096,
+        },
+        Record::Iteration(IterationRecord {
+            engine: "forward".into(),
+            iteration: 1,
+            max_delta: 0.5,
+            mean_delta: 0.25,
+            active_pairs: 64,
+            retired_pairs: 0,
+            frozen_pairs: 0,
+            formula_evals: 4096,
+        }),
+        Record::Histogram(delta.into_record()),
+        Record::Histogram(fetch.into_record()),
+        Record::Event {
+            name: "run.converged".into(),
+            attrs: labels(&[]),
+        },
+    ]
+}
+
+#[test]
+fn accepts_golden_traces_full_and_redacted() {
+    let dir = tmpdir("accept");
+    let recs = profile_fixture();
+    assert_eq!(check(&dir, "full.jsonl", &jsonl::write(&recs)), 0);
+    assert_eq!(
+        check(&dir, "redacted.jsonl", &jsonl::write_redacted(&recs)),
+        0
+    );
+    // The redacted form still parses to the same number of records: the
+    // exec-class histogram is zeroed, not dropped.
+    let parsed = jsonl::parse_records(&jsonl::write_redacted(&recs)).unwrap();
+    assert_eq!(parsed.len(), recs.len());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn rejects_mutated_traces_line_by_line() {
+    let dir = tmpdir("reject");
+    let golden = jsonl::write(&profile_fixture());
+
+    // Dropping the meta line invalidates the trace.
+    let without_meta: String = golden.lines().skip(1).map(|l| format!("{l}\n")).collect();
+    assert_eq!(check(&dir, "no-meta.jsonl", &without_meta), 1);
+
+    // Truncating the final line mid-record invalidates it.
+    let truncated = &golden[..golden.len() - 10];
+    assert_eq!(check(&dir, "truncated.jsonl", truncated), 1);
+
+    // Targeted field mutations, one per line class.
+    let mutations: &[(&str, &str, &str)] = &[
+        ("schema", "ems-trace/1", "ems-trace/9"),
+        ("span type", "\"type\":\"span\"", "\"type\":\"spam\""),
+        ("histogram det flag", "\"det\":true", "\"det\":1"),
+        ("bucket order", "\"buckets\":[[", "\"buckets\":[[64,1],["),
+        ("counter value", "\"value\":4096", "\"value\":-1"),
+        (
+            "iteration delta",
+            "\"max_delta\":0.5",
+            "\"max_delta\":\"big\"",
+        ),
+    ];
+    for (what, from, to) in mutations {
+        assert!(golden.contains(from), "{what}: fixture lacks {from}");
+        let mutated = golden.replacen(from, to, 1);
+        let code = check(&dir, "mutated.jsonl", &mutated);
+        assert_eq!(code, 1, "{what}: mutation must be rejected");
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
