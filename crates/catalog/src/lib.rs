@@ -1,0 +1,687 @@
+#![forbid(unsafe_code)]
+//! `ems-catalog` — catalog-scale matching: one query log against K
+//! ingested references.
+//!
+//! The paper defines EMS pairwise, but its deployment scenario (find the
+//! reference process behind an incoming heterogeneous log) is a
+//! one-against-K retrieval problem. This crate layers that retrieval on
+//! the existing pipeline:
+//!
+//! * **Admission** ([`Catalog::add`]): a reference log is fingerprinted,
+//!   modeled through the shared session (which persists the graph
+//!   snapshot), sketched ([`GraphSketch`]), and its log + sketch
+//!   snapshots are written through the durable store codecs. The graph is
+//!   pinned in memory under a **byte budget** costed by the logical-alloc
+//!   accounting of `ems-prof` ([`AllocTally`]) — what the structures
+//!   requested, not what the allocator did, so admission decisions are
+//!   deterministic across hosts.
+//! * **Eviction**: when pinning exceeds the budget, least-recently-used
+//!   references are unpinned (recency is a logical access counter — no
+//!   wall clock) and dropped from the shared session's caches. An evicted
+//!   reference reloads from the store on next access, or rebuilds from
+//!   its in-memory source log if the store read fails — eviction plus a
+//!   failed reload degrades, never errors and never changes a ranking.
+//! * **Query planning** ([`Catalog::query_top_k`]): every reference's
+//!   sketch yields a sound upper bound on its EMS score against the
+//!   query ([`GraphSketch::score_upper_bound`]). Candidates are evaluated
+//!   in descending bound order; once k exact scores are in hand, a
+//!   candidate whose bound is **strictly below** the current k-th best
+//!   exact score is pruned — and since bounds are visited in descending
+//!   order, so is everything after it. Strict comparison keeps ties in
+//!   play, so pruning can never drop a true top-k reference (recall 1.0,
+//!   pinned by this crate's property suite).
+//!
+//! Counters flow through the `ems-obs` [`Recorder`]: `catalog.hit` /
+//! `catalog.miss` (pinned-graph lookups) and `catalog.eviction`.
+
+#![cfg_attr(
+    not(test),
+    deny(clippy::unwrap_used, clippy::expect_used, clippy::panic)
+)]
+
+use ems_core::persist;
+use ems_core::{Aggregation, CoreError, LabelMeasure, MatchOutcome, SharedSession};
+use ems_depgraph::{BoundCombine, DependencyGraph, GraphSketch, LabelBound};
+use ems_events::{fingerprint_log, EventLog};
+use ems_obs::Recorder;
+use ems_prof::AllocTally;
+use ems_store::{CatalogStore, SnapshotKind};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// One reference in a [`QueryOutcome`] ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ranked {
+    /// The reference's admission name.
+    pub name: String,
+    /// The reference log's content fingerprint.
+    pub fingerprint: u64,
+    /// The exact EMS retrieval score (see [`outcome_score`]).
+    pub ems_score: f64,
+}
+
+/// The result of one top-k catalog query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The top-k references, best first (ties broken by admission order).
+    pub ranked: Vec<Ranked>,
+    /// References whose exact fixpoint was skipped by sketch pruning.
+    pub pruned: usize,
+    /// References evaluated exactly.
+    pub evaluated: usize,
+}
+
+/// Catalog access counters (see the module docs for when each fires).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Reference-graph lookups served from the pinned set.
+    pub hits: u64,
+    /// Reference-graph lookups that had to reload (store or rebuild).
+    pub misses: u64,
+    /// References unpinned by the byte budget.
+    pub evictions: u64,
+}
+
+/// The exact EMS retrieval score of a match outcome: the symmetric
+/// best-correspondence average over the aggregated similarity matrix,
+///
+/// ```text
+/// score = (avg_i max_j S(i,j) + avg_j max_i S(i,j)) / 2
+/// ```
+///
+/// Monotone in every matrix entry — the property that lets the sketch
+/// bound dominate it (see `ems_depgraph::sketch`). Zero when either side
+/// is empty.
+pub fn outcome_score(outcome: &MatchOutcome) -> f64 {
+    let s = &outcome.similarity;
+    let (rows, cols) = (s.rows(), s.cols());
+    if rows == 0 || cols == 0 {
+        return 0.0;
+    }
+    let mut row_best = vec![0.0f64; rows];
+    let mut col_best = vec![0.0f64; cols];
+    for (i, rb) in row_best.iter_mut().enumerate() {
+        for (j, cb) in col_best.iter_mut().enumerate() {
+            let v = s.get(i, j);
+            if v > *rb {
+                *rb = v;
+            }
+            if v > *cb {
+                *cb = v;
+            }
+        }
+    }
+    let avg = |best: &[f64]| best.iter().sum::<f64>() / best.len() as f64;
+    (avg(&row_best) + avg(&col_best)) / 2.0
+}
+
+/// Logical byte cost of pinning a graph: node frequency lane, both
+/// adjacency directions, and the interned label bytes — charged through
+/// the deterministic [`AllocTally`] accounting so the same graph costs
+/// the same bytes on every host.
+pub fn graph_pin_cost(g: &DependencyGraph) -> u64 {
+    let mut tally = AllocTally::default();
+    tally.charge_elems::<f64>(g.num_nodes());
+    // Each real edge appears in one pre-list and one post-list as a
+    // (neighbor id, frequency) lane entry.
+    tally.charge_elems::<(u32, f64)>(g.num_edges().saturating_mul(2));
+    for v in g.real_nodes() {
+        tally.charge(g.name(v).len());
+    }
+    tally.bytes
+}
+
+struct RefEntry {
+    name: String,
+    log: EventLog,
+    fingerprint: u64,
+    sketch: GraphSketch,
+}
+
+struct PinnedGraph {
+    graph: Arc<DependencyGraph>,
+    cost: u64,
+    last_access: u64,
+}
+
+#[derive(Default)]
+struct PinState {
+    /// Logical access counter — the deterministic recency source.
+    clock: u64,
+    /// Pinned reference graphs by admission index.
+    pinned: BTreeMap<usize, PinnedGraph>,
+    /// Total logical bytes currently pinned.
+    bytes: u64,
+}
+
+fn mutex_lock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    match lock.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// K ingested references with pinned graphs, sketches, and a pruning
+/// query planner. Admission ([`add`](Catalog::add)) is `&mut self`;
+/// queries are `&self` and safe to run from many threads at once — the
+/// pin state sits behind its own mutex, and all heavy work runs on `Arc`
+/// snapshots through the [`SharedSession`].
+pub struct Catalog {
+    shared: Arc<SharedSession>,
+    store: Option<Arc<CatalogStore>>,
+    recorder: Option<Arc<Recorder>>,
+    byte_budget: u64,
+    refs: Vec<RefEntry>,
+    pins: Mutex<PinState>,
+    stats: Mutex<CatalogStats>,
+}
+
+impl Catalog {
+    /// An empty catalog matching through `shared` with an unlimited pin
+    /// budget.
+    pub fn new(shared: Arc<SharedSession>) -> Self {
+        Catalog {
+            shared,
+            store: None,
+            recorder: None,
+            byte_budget: u64::MAX,
+            refs: Vec::new(),
+            pins: Mutex::new(PinState::default()),
+            stats: Mutex::new(CatalogStats::default()),
+        }
+    }
+
+    /// Attaches a durable store: admission persists log + sketch
+    /// snapshots, and evicted references cold-reload from it. Attach the
+    /// same store to the [`SharedSession`] so graph snapshots land there
+    /// too.
+    pub fn with_store(mut self, store: Arc<CatalogStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches the telemetry sink for the `catalog.*` counters.
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Caps the logical bytes of pinned reference graphs (see
+    /// [`graph_pin_cost`]). Admissions and queries beyond the budget
+    /// evict least-recently-used references.
+    pub fn with_byte_budget(mut self, bytes: u64) -> Self {
+        self.byte_budget = bytes;
+        self
+    }
+
+    /// The shared session this catalog matches through.
+    pub fn shared(&self) -> &Arc<SharedSession> {
+        &self.shared
+    }
+
+    /// Number of admitted references.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// The admission names, in admission order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.refs.iter().map(|r| r.name.as_str())
+    }
+
+    /// A reference's sketch, by admission index.
+    pub fn sketch(&self, index: usize) -> Option<&GraphSketch> {
+        self.refs.get(index).map(|r| &r.sketch)
+    }
+
+    /// A reference's log content fingerprint, by admission index.
+    pub fn fingerprint(&self, index: usize) -> Option<u64> {
+        self.refs.get(index).map(|r| r.fingerprint)
+    }
+
+    /// Access-counter snapshot.
+    pub fn stats(&self) -> CatalogStats {
+        *mutex_lock(&self.stats)
+    }
+
+    /// Logical bytes currently pinned.
+    pub fn pinned_bytes(&self) -> u64 {
+        mutex_lock(&self.pins).bytes
+    }
+
+    fn counter(&self, name: &str) {
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.counter_add(name, ems_obs::labels(&[]), 1);
+        }
+    }
+
+    /// Admits a reference: model (through the shared session, persisting
+    /// the graph), sketch (store-first, computing and persisting on
+    /// miss), pin under the byte budget. Returns the admission index. A
+    /// log whose content fingerprint is already admitted is returned by
+    /// its existing index — the catalog never holds duplicates.
+    pub fn add(&mut self, name: impl Into<String>, log: EventLog) -> usize {
+        let fingerprint = fingerprint_log(&log);
+        if let Some(existing) = self.refs.iter().position(|r| r.fingerprint == fingerprint) {
+            return existing;
+        }
+        let graph = self.shared.graph_keyed(fingerprint, &log);
+        let sketch = self.load_or_build_sketch(&graph);
+        if let Some(store) = &self.store {
+            // Best-effort persistence: the log snapshot is the durable
+            // rebuild source; failures degrade to memory-only.
+            let _ = store.put(
+                SnapshotKind::Log,
+                persist::log_store_key(fingerprint),
+                persist::LOG_PAYLOAD_VERSION,
+                &persist::encode_log(&log),
+            );
+        }
+        let index = self.refs.len();
+        self.refs.push(RefEntry {
+            name: name.into(),
+            log,
+            fingerprint,
+            sketch,
+        });
+        self.pin(index, graph);
+        index
+    }
+
+    /// The sketch of a graph: decoded from the store when a valid
+    /// snapshot of this exact graph exists, computed (and best-effort
+    /// persisted) otherwise.
+    fn load_or_build_sketch(&self, graph: &DependencyGraph) -> GraphSketch {
+        let key = persist::sketch_store_key(graph.fingerprint());
+        if let Some(store) = &self.store {
+            if let Ok(Some(bytes)) =
+                store.get(SnapshotKind::Sketch, key, persist::SKETCH_PAYLOAD_VERSION)
+            {
+                match persist::decode_sketch(&bytes) {
+                    Ok(sketch) if sketch.fingerprint() == graph.fingerprint() => return sketch,
+                    Ok(sketch) => store.quarantine_entry(
+                        SnapshotKind::Sketch,
+                        key,
+                        &format!(
+                            "sketch fingerprint {:#x} does not match graph {:#x}",
+                            sketch.fingerprint(),
+                            graph.fingerprint()
+                        ),
+                    ),
+                    Err(e) => store.quarantine_entry(SnapshotKind::Sketch, key, &e.to_string()),
+                }
+            }
+        }
+        let sketch = GraphSketch::of(graph);
+        if let Some(store) = &self.store {
+            let _ = store.put(
+                SnapshotKind::Sketch,
+                key,
+                persist::SKETCH_PAYLOAD_VERSION,
+                &persist::encode_sketch(&sketch),
+            );
+        }
+        sketch
+    }
+
+    /// The pinned graph of a reference, reloading (store, then rebuild
+    /// from the in-memory log) and re-pinning on a miss.
+    fn reference_graph(&self, index: usize) -> Arc<DependencyGraph> {
+        {
+            let mut pins = mutex_lock(&self.pins);
+            pins.clock += 1;
+            let clock = pins.clock;
+            if let Some(p) = pins.pinned.get_mut(&index) {
+                p.last_access = clock;
+                let graph = Arc::clone(&p.graph);
+                drop(pins);
+                mutex_lock(&self.stats).hits += 1;
+                self.counter("catalog.hit");
+                return graph;
+            }
+        }
+        mutex_lock(&self.stats).misses += 1;
+        self.counter("catalog.miss");
+        let entry = &self.refs[index];
+        // Reload chain: shared memory cache → store snapshot → rebuild
+        // from the in-memory source log. Store failures degrade inside
+        // `graph_keyed`, so an eviction followed by a failed store read
+        // still produces the identical graph.
+        let graph = self.shared.graph_keyed(entry.fingerprint, &entry.log);
+        self.pin(index, Arc::clone(&graph));
+        graph
+    }
+
+    /// Pins a graph, then enforces the byte budget by evicting
+    /// least-recently-used references (admission index breaks recency
+    /// ties deterministically).
+    fn pin(&self, index: usize, graph: Arc<DependencyGraph>) {
+        let cost = graph_pin_cost(&graph);
+        let mut evicted_fps: Vec<u64> = Vec::new();
+        {
+            let mut pins = mutex_lock(&self.pins);
+            pins.clock += 1;
+            let clock = pins.clock;
+            if let Some(previous) = pins.pinned.insert(
+                index,
+                PinnedGraph {
+                    graph,
+                    cost,
+                    last_access: clock,
+                },
+            ) {
+                pins.bytes -= previous.cost;
+            }
+            pins.bytes += cost;
+            while pins.bytes > self.byte_budget {
+                let victim = pins
+                    .pinned
+                    .iter()
+                    .min_by_key(|(i, p)| (p.last_access, **i))
+                    .map(|(&i, _)| i);
+                let Some(victim) = victim else { break };
+                if let Some(p) = pins.pinned.remove(&victim) {
+                    pins.bytes -= p.cost;
+                    evicted_fps.push(p.graph.fingerprint());
+                }
+            }
+        }
+        for fp in evicted_fps {
+            // Unpin from the shared caches too, or eviction would be
+            // cosmetic — the substrates referencing the graph go with it.
+            self.shared.evict_graph(fp);
+            mutex_lock(&self.stats).evictions += 1;
+            self.counter("catalog.eviction");
+        }
+    }
+
+    /// Top-k query with sketch pruning (the default planner).
+    pub fn query_top_k(&self, log: &EventLog, k: usize) -> Result<QueryOutcome, CoreError> {
+        self.query_top_k_opts(log, k, true)
+    }
+
+    /// Top-k query; `prune: false` evaluates every reference exactly (the
+    /// brute-force oracle the property suite compares against).
+    pub fn query_top_k_opts(
+        &self,
+        log: &EventLog,
+        k: usize,
+        prune: bool,
+    ) -> Result<QueryOutcome, CoreError> {
+        if k == 0 || self.refs.is_empty() {
+            return Ok(QueryOutcome {
+                ranked: Vec::new(),
+                pruned: 0,
+                evaluated: 0,
+            });
+        }
+        let qfp = fingerprint_log(log);
+        let qg = self.shared.graph_keyed(qfp, log);
+        let qsketch = GraphSketch::of(&qg);
+        let params = self.shared.params();
+        // Average mirrors the default aggregation exactly; Max dominates
+        // every other combine (none exceeds its larger argument).
+        let combine = match params.aggregation {
+            Aggregation::Average => BoundCombine::Average,
+            _ => BoundCombine::Max,
+        };
+        // The name-set overlap cap on the label term is sound only when
+        // exact scoring really runs the equality measure.
+        let labels = match (params.alpha < 1.0, params.label_measure) {
+            (true, LabelMeasure::ExactName) => LabelBound::ExactName,
+            _ => LabelBound::Any,
+        };
+        let mut order: Vec<(usize, f64, f64)> = self
+            .refs
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                (
+                    i,
+                    qsketch.score_upper_bound(&r.sketch, params.alpha, params.c, combine, labels),
+                    qsketch.label_jaccard_estimate(&r.sketch),
+                )
+            })
+            .collect();
+        // Descending bound; minhash overlap then admission order break
+        // ties deterministically (ordering only — never a prune input).
+        order.sort_by(|a, b| {
+            b.1.total_cmp(&a.1)
+                .then(b.2.total_cmp(&a.2))
+                .then(a.0.cmp(&b.0))
+        });
+
+        // Exact scores in bound order, keeping them sorted descending so
+        // theta (the k-th best so far) is a direct index.
+        let mut exact: Vec<(f64, usize)> = Vec::new();
+        let mut pruned = 0usize;
+        for (pos, &(i, bound, _)) in order.iter().enumerate() {
+            if prune && exact.len() >= k {
+                let theta = exact[k - 1].0;
+                // Strictly below the k-th best exact score: this bound —
+                // and every later one, since bounds descend — cannot
+                // reach the top k. Ties stay in play.
+                if bound < theta {
+                    pruned = order.len() - pos;
+                    break;
+                }
+            }
+            let graph = self.reference_graph(i);
+            let entry = &self.refs[i];
+            let outcome = self.shared.try_match_modeled(
+                qfp,
+                log,
+                &qg,
+                entry.fingerprint,
+                &entry.log,
+                &graph,
+            )?;
+            let score = outcome_score(&outcome);
+            let at = exact
+                .binary_search_by(|(s, j)| score.total_cmp(s).then(j.cmp(&i)))
+                .unwrap_or_else(|e| e);
+            exact.insert(at, (score, i));
+        }
+        let evaluated = exact.len();
+        let ranked = exact
+            .into_iter()
+            .take(k)
+            .map(|(score, i)| Ranked {
+                name: self.refs[i].name.clone(),
+                fingerprint: self.refs[i].fingerprint,
+                ems_score: score,
+            })
+            .collect();
+        Ok(QueryOutcome {
+            ranked,
+            pruned,
+            evaluated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ems_core::EmsParams;
+
+    fn shared() -> Arc<SharedSession> {
+        Arc::new(SharedSession::try_new(EmsParams::structural()).unwrap())
+    }
+
+    fn log_of(traces: &[&[&str]]) -> EventLog {
+        let mut log = EventLog::new();
+        for t in traces {
+            log.push_trace(t.iter().copied());
+        }
+        log
+    }
+
+    fn three_refs() -> Vec<EventLog> {
+        vec![
+            log_of(&[&["a", "b", "c", "d"], &["a", "b", "d"]]),
+            log_of(&[&["p", "q", "r"], &["p", "r", "q"]]),
+            log_of(&[&["x", "y"], &["y", "x"], &["x", "y"]]),
+        ]
+    }
+
+    #[test]
+    fn add_is_idempotent_per_fingerprint() {
+        let mut catalog = Catalog::new(shared());
+        let log = log_of(&[&["a", "b"]]);
+        let first = catalog.add("one", log.clone());
+        let again = catalog.add("two", log);
+        assert_eq!(first, again);
+        assert_eq!(catalog.len(), 1);
+    }
+
+    #[test]
+    fn pruned_query_matches_brute_force_ranking() {
+        let mut catalog = Catalog::new(shared());
+        for (i, log) in three_refs().into_iter().enumerate() {
+            catalog.add(format!("ref{i}"), log);
+        }
+        let query = log_of(&[&["a", "b", "c", "d"], &["a", "b", "c", "d"]]);
+        for k in 1..=3 {
+            let pruned = catalog.query_top_k(&query, k).unwrap();
+            let exact = catalog.query_top_k_opts(&query, k, false).unwrap();
+            assert_eq!(pruned.ranked, exact.ranked, "k={k}");
+            assert_eq!(exact.pruned, 0);
+            assert_eq!(exact.evaluated, 3);
+            assert_eq!(pruned.evaluated + pruned.pruned, 3);
+        }
+    }
+
+    #[test]
+    fn scores_match_shared_session_outcomes() {
+        let mut catalog = Catalog::new(shared());
+        let refs = three_refs();
+        for (i, log) in refs.iter().enumerate() {
+            catalog.add(format!("ref{i}"), log.clone());
+        }
+        let query = log_of(&[&["a", "b", "c"], &["a", "c", "b"]]);
+        let result = catalog.query_top_k_opts(&query, 3, false).unwrap();
+        for ranked in &result.ranked {
+            let reference = refs
+                .iter()
+                .find(|l| fingerprint_log(l) == ranked.fingerprint)
+                .unwrap();
+            let outcome = catalog.shared().try_match(&query, reference).unwrap();
+            assert_eq!(ranked.ems_score, outcome_score(&outcome));
+        }
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let rec = Arc::new(Recorder::new());
+        let mut catalog = Catalog::new(shared())
+            .with_recorder(Arc::clone(&rec))
+            .with_byte_budget(1) // every graph exceeds the budget
+            ;
+        for (i, log) in three_refs().into_iter().enumerate() {
+            catalog.add(format!("ref{i}"), log);
+        }
+        // With a 1-byte budget nothing stays pinned.
+        assert_eq!(catalog.pinned_bytes(), 0);
+        assert!(catalog.stats().evictions >= 3);
+        // Queries still work: every reference lookup is a miss + reload.
+        let query = log_of(&[&["a", "b", "c"]]);
+        let out = catalog.query_top_k_opts(&query, 3, false).unwrap();
+        assert_eq!(out.ranked.len(), 3);
+        let stats = catalog.stats();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 3);
+        let trace = ems_obs::jsonl::write(&rec.records());
+        assert!(trace.contains("catalog.eviction"), "{trace}");
+        assert!(trace.contains("catalog.miss"), "{trace}");
+    }
+
+    #[test]
+    fn unlimited_budget_pins_everything_and_hits() {
+        let mut catalog = Catalog::new(shared());
+        for (i, log) in three_refs().into_iter().enumerate() {
+            catalog.add(format!("ref{i}"), log);
+        }
+        assert!(catalog.pinned_bytes() > 0);
+        let query = log_of(&[&["a", "b", "c"]]);
+        catalog.query_top_k_opts(&query, 3, false).unwrap();
+        let stats = catalog.stats();
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn eviction_reload_is_ranking_identical() {
+        let refs = three_refs();
+        let query = log_of(&[&["a", "b", "c", "d"]]);
+        let baseline = {
+            let mut catalog = Catalog::new(shared());
+            for (i, log) in refs.iter().enumerate() {
+                catalog.add(format!("ref{i}"), log.clone());
+            }
+            catalog.query_top_k_opts(&query, 3, false).unwrap()
+        };
+        let mut catalog = Catalog::new(shared()).with_byte_budget(1);
+        for (i, log) in refs.iter().enumerate() {
+            catalog.add(format!("ref{i}"), log.clone());
+        }
+        let thrashed = catalog.query_top_k_opts(&query, 3, false).unwrap();
+        assert_eq!(thrashed.ranked, baseline.ranked);
+    }
+
+    #[test]
+    fn store_round_trips_sketches_and_logs() {
+        let root = std::env::temp_dir().join(format!("ems-catalog-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = Arc::new(CatalogStore::open(&root).unwrap());
+        let refs = three_refs();
+        {
+            let mut catalog = Catalog::new(shared()).with_store(Arc::clone(&store));
+            for (i, log) in refs.iter().enumerate() {
+                catalog.add(format!("ref{i}"), log.clone());
+            }
+        }
+        // Log and sketch snapshots landed in the store.
+        for log in &refs {
+            let fp = fingerprint_log(log);
+            let bytes = store
+                .get(
+                    SnapshotKind::Log,
+                    persist::log_store_key(fp),
+                    persist::LOG_PAYLOAD_VERSION,
+                )
+                .unwrap()
+                .unwrap();
+            let decoded = persist::decode_log(&bytes).unwrap();
+            assert_eq!(fingerprint_log(&decoded), fp);
+        }
+        // A second catalog admits from the same store: sketches decode
+        // instead of recomputing (pinned by identical sketch content).
+        let mut reopened = Catalog::new(shared()).with_store(Arc::clone(&store));
+        for (i, log) in refs.iter().enumerate() {
+            let idx = reopened.add(format!("ref{i}"), log.clone());
+            let graph = reopened.shared().graph(&refs[idx]);
+            assert_eq!(reopened.sketch(idx).unwrap(), &GraphSketch::of(&graph));
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn empty_catalog_and_zero_k_are_defined() {
+        let catalog = Catalog::new(shared());
+        let query = log_of(&[&["a"]]);
+        let out = catalog.query_top_k(&query, 5).unwrap();
+        assert!(out.ranked.is_empty());
+        let mut catalog = Catalog::new(shared());
+        catalog.add("r", log_of(&[&["a", "b"]]));
+        let out = catalog.query_top_k(&query, 0).unwrap();
+        assert!(out.ranked.is_empty());
+        assert_eq!(out.pruned, 0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Property suite for the sketch score bound (ISSUE 10 satellite): on
+//! seeded synthetic corpora the minhash/histogram upper bound must
+//! dominate the exact EMS retrieval score, and top-k pruning at the
+//! default threshold must keep recall at exactly 1.0.
+
+use ems_catalog::{outcome_score, Catalog};
+use ems_core::{EmsParams, LabelMeasure, SharedSession};
+use ems_depgraph::{BoundCombine, GraphSketch, LabelBound};
+use ems_events::EventLog;
+use ems_synth::{PairConfig, PairGenerator, TreeConfig};
+use std::sync::Arc;
+
+/// Rounding slack: the bound is computed by a different (shorter) float
+/// expression than the fixpoint, so exact real-arithmetic dominance can
+/// be off by a few ulps in f64.
+const FLOAT_SLACK: f64 = 1e-9;
+
+fn synth_pair(seed: u64, num_activities: usize, xor_jitter: f64) -> (EventLog, EventLog) {
+    let cfg = PairConfig {
+        tree: TreeConfig {
+            num_activities,
+            seed: seed.wrapping_mul(31).wrapping_add(7),
+            ..TreeConfig::default()
+        },
+        traces_per_log: 30,
+        seed: seed.wrapping_add(17),
+        xor_jitter,
+        ..PairConfig::default()
+    };
+    let pair = PairGenerator::new(cfg).generate();
+    (pair.log1, pair.log2)
+}
+
+/// The label-bound mode the planner derives from a parameter set: the
+/// name-set overlap cap only when exact scoring runs the equality measure.
+fn planner_label_bound(params: &EmsParams) -> LabelBound {
+    match (params.alpha < 1.0, params.label_measure) {
+        (true, LabelMeasure::ExactName) => LabelBound::ExactName,
+        _ => LabelBound::Any,
+    }
+}
+
+/// bound ≥ exact on ≥200 seeded pairs — structural, q-gram-labeled, and
+/// exact-name-labeled parameters, both combine modes the planner uses,
+/// each under the label-bound mode the planner would derive.
+#[test]
+fn upper_bound_dominates_exact_score_on_synthetic_corpora() {
+    let structural = Arc::new(SharedSession::try_new(EmsParams::structural()).unwrap());
+    let labeled = Arc::new(
+        SharedSession::try_new(EmsParams {
+            alpha: 0.7,
+            ..EmsParams::structural()
+        })
+        .unwrap(),
+    );
+    let exact_names = Arc::new(SharedSession::try_new(EmsParams::with_exact_labels(0.6)).unwrap());
+    let mut checked = 0usize;
+    for seed in 0..50u64 {
+        for &(n, jitter) in &[(8usize, 0.0f64), (10, 0.3)] {
+            let (l1, l2) = synth_pair(seed, n, jitter);
+            for shared in [&structural, &labeled, &exact_names] {
+                let params = shared.params().clone();
+                let labels = planner_label_bound(&params);
+                let outcome = shared.try_match(&l1, &l2).unwrap();
+                let exact = outcome_score(&outcome);
+                let g1 = shared.graph(&l1);
+                let g2 = shared.graph(&l2);
+                let s1 = GraphSketch::of(&g1);
+                let s2 = GraphSketch::of(&g2);
+                for combine in [BoundCombine::Average, BoundCombine::Max] {
+                    let bound = s1.score_upper_bound(&s2, params.alpha, params.c, combine, labels);
+                    assert!(
+                        bound + FLOAT_SLACK >= exact,
+                        "seed {seed} n {n} jitter {jitter} alpha {}: bound {bound} < exact {exact}",
+                        params.alpha
+                    );
+                }
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 200, "only {checked} pairs checked");
+}
+
+/// Renames every activity of `log` with a per-corpus prefix, giving
+/// catalogs whose name universes are disjoint across families.
+fn prefixed(log: &EventLog, prefix: &str) -> EventLog {
+    let mut out = EventLog::new();
+    for tr in log.traces() {
+        out.push_trace(
+            tr.events()
+                .iter()
+                .map(|&id| format!("{prefix}{}", log.name_of(id))),
+        );
+    }
+    out
+}
+
+/// Under exact-name labels with disjoint per-family alphabets, the
+/// overlap cap must let the planner prune cross-family references while
+/// the ranking still equals brute force (recall 1.0).
+#[test]
+fn exact_name_label_cap_prunes_disjoint_families_at_recall_one() {
+    let shared = Arc::new(SharedSession::try_new(EmsParams::with_exact_labels(0.5)).unwrap());
+    let mut catalog = Catalog::new(Arc::clone(&shared));
+    let mut queries = Vec::new();
+    for seed in 0..12u64 {
+        let (reference, jittered) = synth_pair(seed, 9, 0.25);
+        let prefix = format!("fam{seed}:");
+        catalog.add(format!("ref{seed}"), prefixed(&reference, &prefix));
+        if seed % 3 == 0 {
+            queries.push(prefixed(&jittered, &prefix));
+        }
+    }
+    assert!(catalog.len() >= 10, "only {} references", catalog.len());
+    let mut total_pruned = 0usize;
+    for (qi, query) in queries.iter().enumerate() {
+        for k in [1usize, 2] {
+            let pruned = catalog.query_top_k(query, k).unwrap();
+            let exact = catalog.query_top_k_opts(query, k, false).unwrap();
+            assert_eq!(
+                pruned.ranked, exact.ranked,
+                "query {qi} k {k}: pruned ranking diverged"
+            );
+            assert_eq!(pruned.evaluated + pruned.pruned, catalog.len());
+            total_pruned += pruned.pruned;
+        }
+    }
+    assert!(total_pruned > 0, "label cap never pruned a candidate");
+}
+
+/// Pruned top-k equals brute-force top-k (recall 1.0) across seeded
+/// catalogs and k values, while pruning actually skips work.
+#[test]
+fn top_k_recall_is_one_at_default_prune_threshold() {
+    let shared = Arc::new(SharedSession::try_new(EmsParams::structural()).unwrap());
+    let mut catalog = Catalog::new(Arc::clone(&shared));
+    let mut queries = Vec::new();
+    for seed in 0..20u64 {
+        let (reference, jittered) = synth_pair(seed, 9, 0.25);
+        catalog.add(format!("ref{seed}"), reference);
+        if seed % 4 == 0 {
+            queries.push(jittered);
+        }
+    }
+    // Small synthetic processes can collide on content across seeds; the
+    // catalog dedups those, so the count is at most 20.
+    assert!(
+        catalog.len() >= 15,
+        "only {} distinct references",
+        catalog.len()
+    );
+    let mut total_pruned = 0usize;
+    for (qi, query) in queries.iter().enumerate() {
+        for k in [1usize, 3, 5] {
+            let pruned = catalog.query_top_k(query, k).unwrap();
+            let exact = catalog.query_top_k_opts(query, k, false).unwrap();
+            assert_eq!(
+                pruned.ranked, exact.ranked,
+                "query {qi} k {k}: pruned ranking diverged"
+            );
+            assert_eq!(pruned.evaluated + pruned.pruned, catalog.len());
+            total_pruned += pruned.pruned;
+        }
+    }
+    // The sweep as a whole must exercise the pruning path, or the recall
+    // assertion proves nothing.
+    assert!(total_pruned > 0, "no query pruned any candidate");
+}

@@ -23,10 +23,16 @@ USAGE:
                                                regressions past the threshold
   ems catalog <add|list|verify|gc> --store <DIR> [ARGS]
                                                manage a durable snapshot catalog
+  ems serve   --store <DIR> [OPTIONS]          serve top-k catalog queries:
+                                               JSONL requests on stdin
+                                               ({\"log\": PATH, \"k\": N}), one
+                                               ranked JSONL response per line
   ems help                                     this text
 
 MATCH OPTIONS:
   --alpha <A>       structural weight in [0,1]; 1 = structure only (default 1)
+  --exact-labels    label similarity = strict name equality instead of q-gram
+                    cosine (only meaningful with --alpha below 1)
   --c <C>           similarity decay in (0,1) (default 0.8)
   --estimate <I>    estimate after I exact iterations (EMS+es)
   --min-freq <F>    drop dependency edges with frequency < F (default 0)
@@ -73,10 +79,26 @@ SYNTH OPTIONS:
 
 CATALOG ACTIONS (all take --store <DIR>):
   add <log.xes>     snapshot the log and its dependency graph into the store
-                    ([--recover] [--min-freq <F>] as for match)
+                    ([--recover] [--min-freq <F>] as for match); a log whose
+                    identical-fingerprint snapshots already exist is skipped
+                    (dedup hit, nothing re-encoded)
   list              print every snapshot with its integrity status
   verify            check every snapshot's checksum; exit 10 if any is corrupt
   gc                remove quarantined snapshots and torn temp files
+
+SERVE OPTIONS:
+  --k <N>           result count when a query omits \"k\" (default 3)
+  --workers <N>     concurrent query workers sharing one session (default 1;
+                    rankings are identical at any width)
+  --alpha <A> / --c <C> / --min-freq <F> / --exact-labels   as for match
+                    (--exact-labels also arms the sketch planner's
+                    label-overlap pruning cap)
+  --byte-budget <B> pin at most B bytes of reference graphs; least-recently
+                    used references spill to the store and reload on demand
+  --no-prune        disable sketch pruning: every query runs all exact
+                    fixpoints (recall audits; rankings are identical)
+  --recover         skip malformed regions when loading query logs
+  --metrics <FILE>  write Prometheus-style text metrics at end of input
 
 EXIT CODES:
   0 success          2 usage            3 I/O              4 malformed log
@@ -108,8 +130,36 @@ pub enum Command {
     Report(ReportArgs),
     /// Manage a durable snapshot catalog.
     Catalog(CatalogArgs),
+    /// Serve top-k catalog queries over stdin/stdout JSONL.
+    Serve(ServeArgs),
     /// Print usage.
     Help,
+}
+
+/// Options of `ems serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// The catalog root directory holding the reference log snapshots.
+    pub store: String,
+    /// Result count when a query omits `"k"`.
+    pub k: usize,
+    /// Concurrent query workers sharing one session.
+    pub workers: usize,
+    pub alpha: f64,
+    /// Exact-equality label measure instead of q-gram cosine (only
+    /// meaningful with `--alpha` below 1). Also what arms the sketch
+    /// planner's label-overlap pruning cap.
+    pub exact_labels: bool,
+    pub c: f64,
+    pub min_freq: f64,
+    /// Pin at most this many logical bytes of reference graphs.
+    pub byte_budget: Option<u64>,
+    /// Sketch pruning (default on; `--no-prune` turns it off).
+    pub prune: bool,
+    /// Recovery-mode parsing of query logs.
+    pub recover: bool,
+    /// Prometheus-text metrics written at end of input.
+    pub metrics: Option<String>,
 }
 
 /// Options of `ems report`.
@@ -163,6 +213,9 @@ pub struct MatchArgs {
     pub log1: String,
     pub log2: String,
     pub alpha: f64,
+    /// Exact-equality label measure instead of q-gram cosine (only
+    /// meaningful with `--alpha` below 1).
+    pub exact_labels: bool,
     pub c: f64,
     pub estimate: Option<usize>,
     pub min_freq: f64,
@@ -359,6 +412,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 log1,
                 log2,
                 alpha: 1.0,
+                exact_labels: false,
                 c: 0.8,
                 estimate: None,
                 min_freq: 0.0,
@@ -388,6 +442,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 };
                 match flag {
                     "--alpha" => args.alpha = parse_f64(value("--alpha")?, 0.0, 1.0)?,
+                    "--exact-labels" => args.exact_labels = true,
                     "--c" => args.c = parse_f64(value("--c")?, 0.0, 1.0)?,
                     "--estimate" => {
                         args.estimate = Some(
@@ -499,6 +554,70 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             };
             Ok(Command::Catalog(CatalogArgs { store, action }))
         }
+        "serve" => {
+            let mut args = ServeArgs {
+                store: String::new(),
+                k: 3,
+                workers: 1,
+                alpha: 1.0,
+                exact_labels: false,
+                c: 0.8,
+                min_freq: 0.0,
+                byte_budget: None,
+                prune: true,
+                recover: false,
+                metrics: None,
+            };
+            let mut store = None;
+            let rest: Vec<&String> = it.collect();
+            let mut i = 0;
+            while i < rest.len() {
+                let flag = rest[i].as_str();
+                let mut value = |name: &str| -> Result<&String, String> {
+                    i += 1;
+                    rest.get(i)
+                        .copied()
+                        .ok_or_else(|| format!("{name} needs a value"))
+                };
+                match flag {
+                    "--store" => store = Some(value("--store")?.to_owned()),
+                    "--k" => {
+                        args.k = value("--k")?
+                            .parse()
+                            .map_err(|_| "--k needs an integer".to_owned())?
+                    }
+                    "--workers" => {
+                        args.workers = value("--workers")?
+                            .parse()
+                            .map_err(|_| "--workers needs an integer".to_owned())?
+                    }
+                    "--alpha" => args.alpha = parse_f64(value("--alpha")?, 0.0, 1.0)?,
+                    "--exact-labels" => args.exact_labels = true,
+                    "--c" => args.c = parse_f64(value("--c")?, 0.0, 1.0)?,
+                    "--min-freq" => args.min_freq = parse_f64(value("--min-freq")?, 0.0, 1.0)?,
+                    "--byte-budget" => {
+                        args.byte_budget = Some(
+                            value("--byte-budget")?
+                                .parse()
+                                .map_err(|_| "--byte-budget needs an integer".to_owned())?,
+                        )
+                    }
+                    "--no-prune" => args.prune = false,
+                    "--recover" => args.recover = true,
+                    "--metrics" => args.metrics = Some(value("--metrics")?.to_owned()),
+                    other => return Err(format!("unknown option `{other}`")),
+                }
+                i += 1;
+            }
+            args.store = store.ok_or("`ems serve` needs --store <DIR>")?;
+            if args.k == 0 {
+                return Err("--k must be at least 1".into());
+            }
+            if args.workers == 0 {
+                return Err("--workers must be at least 1".into());
+            }
+            Ok(Command::Serve(args))
+        }
         other => Err(format!("unknown subcommand `{other}`")),
     }
 }
@@ -558,6 +677,30 @@ mod tests {
 
     fn sv(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_exact_labels_flag() {
+        match parse(&sv(&[
+            "match",
+            "a.xes",
+            "b.xes",
+            "--alpha",
+            "0.5",
+            "--exact-labels",
+        ]))
+        .unwrap()
+        {
+            Command::Match(m) => {
+                assert!(m.exact_labels);
+                assert_eq!(m.alpha, 0.5);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        match parse(&sv(&["serve", "--store", "cat", "--exact-labels"])).unwrap() {
+            Command::Serve(s) => assert!(s.exact_labels),
+            other => panic!("unexpected command {other:?}"),
+        }
     }
 
     #[test]
@@ -837,6 +980,62 @@ mod tests {
         assert!(parse(&sv(&["catalog", "list", "--store", "c", "--recover"])).is_err());
         assert!(parse(&sv(&["catalog", "frob", "--store", "c"])).is_err());
         assert!(parse(&sv(&["catalog", "add", "a", "b", "--store", "c"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve() {
+        assert_eq!(
+            parse(&sv(&["serve", "--store", "cat"])).unwrap(),
+            Command::Serve(ServeArgs {
+                store: "cat".into(),
+                k: 3,
+                workers: 1,
+                alpha: 1.0,
+                exact_labels: false,
+                c: 0.8,
+                min_freq: 0.0,
+                byte_budget: None,
+                prune: true,
+                recover: false,
+                metrics: None,
+            })
+        );
+        match parse(&sv(&[
+            "serve",
+            "--store",
+            "cat",
+            "--k",
+            "5",
+            "--workers",
+            "4",
+            "--alpha",
+            "0.7",
+            "--byte-budget",
+            "1048576",
+            "--no-prune",
+            "--recover",
+            "--metrics",
+            "serve.prom",
+        ]))
+        .unwrap()
+        {
+            Command::Serve(s) => {
+                assert_eq!(s.k, 5);
+                assert_eq!(s.workers, 4);
+                assert_eq!(s.alpha, 0.7);
+                assert_eq!(s.byte_budget, Some(1_048_576));
+                assert!(!s.prune);
+                assert!(s.recover);
+                assert_eq!(s.metrics.as_deref(), Some("serve.prom"));
+            }
+            c => panic!("unexpected {c:?}"),
+        }
+        // Usage errors: missing store, zero k/workers, unknown flags.
+        assert!(parse(&sv(&["serve"])).is_err());
+        assert!(parse(&sv(&["serve", "--store", "c", "--k", "0"])).is_err());
+        assert!(parse(&sv(&["serve", "--store", "c", "--workers", "0"])).is_err());
+        assert!(parse(&sv(&["serve", "--store", "c", "--bogus"])).is_err());
+        assert!(parse(&sv(&["serve", "--store", "c", "--k"])).is_err());
     }
 
     #[test]

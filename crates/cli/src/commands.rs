@@ -5,7 +5,7 @@ use ems_assignment::max_total_assignment;
 use ems_core::composite::{
     discover_candidates, CandidateConfig, CompositeConfig, CompositeMatcher,
 };
-use ems_core::{persist, Ems, EmsParams, MatchSession, SessionOptions};
+use ems_core::{persist, Ems, EmsParams, LabelMeasure, MatchSession, SessionOptions};
 use ems_depgraph::{filter_min_frequency, to_dot, DependencyGraph};
 use ems_error::EmsError;
 use ems_eval::Table;
@@ -37,6 +37,7 @@ pub fn run(cmd: Command) -> Result<(), EmsError> {
         } => crate::extra::convert(&input, &output, recover),
         Command::Report(args) => report(&args),
         Command::Catalog(args) => catalog(&args),
+        Command::Serve(args) => crate::serve::serve(&args),
     }
 }
 
@@ -49,39 +50,9 @@ fn catalog(args: &CatalogArgs) -> Result<(), EmsError> {
             recover,
             min_freq,
         } => {
-            let log = load(path, *recover)?;
-            let fp = fingerprint_log(&log);
-            store.put(
-                SnapshotKind::Log,
-                persist::log_store_key(fp),
-                persist::LOG_PAYLOAD_VERSION,
-                &persist::encode_log(&log),
-            )?;
-            let mut table = SymbolTable::new();
-            let built = DependencyGraph::from_log_in(&log, &mut table);
-            let (graph, removed) = if *min_freq > 0.0 {
-                filter_min_frequency(&built, *min_freq)
-            } else {
-                (built, 0)
-            };
-            store.put(
-                SnapshotKind::Graph,
-                persist::graph_store_key(fp, *min_freq),
-                persist::GRAPH_PAYLOAD_VERSION,
-                &persist::encode_graph(&graph),
-            )?;
-            println!(
-                "added {}: log {:016x} ({} traces, {} events), graph {} nodes, \
-                 {} edges ({} filtered)",
-                path,
-                fp,
-                log.num_traces(),
-                log.alphabet_size(),
-                graph.num_real(),
-                graph.real_edges().len(),
-                removed
-            );
-            Ok(())
+            let recorder = Arc::new(Recorder::new());
+            let store = store.with_recorder(Arc::clone(&recorder));
+            catalog_add(&store, &recorder, path, *recover, *min_freq).map(|_| ())
         }
         CatalogAction::List => {
             let entries = store.list()?;
@@ -134,6 +105,78 @@ fn catalog(args: &CatalogArgs) -> Result<(), EmsError> {
     }
 }
 
+/// `ems catalog add` body: snapshots the log and its dependency graph —
+/// unless both snapshots for this exact content fingerprint (and graph
+/// parameterization) are already committed and whole, in which case
+/// nothing is re-encoded and the `store.dedup_hit` counter fires.
+/// Returns whether the add was a dedup hit. A corrupt existing snapshot
+/// is not a hit: the failed probe read quarantines it and the re-put
+/// repairs the store.
+fn catalog_add(
+    store: &CatalogStore,
+    recorder: &Recorder,
+    path: &str,
+    recover: bool,
+    min_freq: f64,
+) -> Result<bool, EmsError> {
+    let log = load(path, recover)?;
+    let fp = fingerprint_log(&log);
+    let log_key = persist::log_store_key(fp);
+    let graph_key = persist::graph_store_key(fp, min_freq);
+    let log_present = matches!(
+        store.get(SnapshotKind::Log, log_key, persist::LOG_PAYLOAD_VERSION),
+        Ok(Some(_))
+    );
+    let graph_present = log_present
+        && matches!(
+            store.get(
+                SnapshotKind::Graph,
+                graph_key,
+                persist::GRAPH_PAYLOAD_VERSION
+            ),
+            Ok(Some(_))
+        );
+    if log_present && graph_present {
+        recorder.counter_add("store.dedup_hit", ems_obs::labels(&[]), 1);
+        println!(
+            "dedup: {path} (log {fp:016x}) already snapshotted at min-freq \
+             {min_freq} — skipped re-encode"
+        );
+        return Ok(true);
+    }
+    store.put(
+        SnapshotKind::Log,
+        log_key,
+        persist::LOG_PAYLOAD_VERSION,
+        &persist::encode_log(&log),
+    )?;
+    let mut table = SymbolTable::new();
+    let built = DependencyGraph::from_log_in(&log, &mut table);
+    let (graph, removed) = if min_freq > 0.0 {
+        filter_min_frequency(&built, min_freq)
+    } else {
+        (built, 0)
+    };
+    store.put(
+        SnapshotKind::Graph,
+        graph_key,
+        persist::GRAPH_PAYLOAD_VERSION,
+        &persist::encode_graph(&graph),
+    )?;
+    println!(
+        "added {}: log {:016x} ({} traces, {} events), graph {} nodes, \
+         {} edges ({} filtered)",
+        path,
+        fp,
+        log.num_traces(),
+        log.alphabet_size(),
+        graph.num_real(),
+        graph.real_edges().len(),
+        removed
+    );
+    Ok(false)
+}
+
 /// Renders `ems report`: a human-readable run report from a `--trace`
 /// JSONL file, or — with `--trajectory`/`--compare` — views over an
 /// `ems-bench/1` trajectory. A truncated or malformed input is a typed
@@ -162,10 +205,20 @@ fn report(args: &ReportArgs) -> Result<(), EmsError> {
                     .find(|r| r.run_id == id)
                     .ok_or_else(|| EmsError::usage(format!("run id `{id}` not found in {path}")))
             };
-            print!(
-                "{}",
-                ems_obs::trajectory::render_compare(find(a)?, find(b)?)
-            );
+            let (row_a, row_b) = (find(a)?, find(b)?);
+            // Two rows with disjoint metric sets would render an empty
+            // table — make that a typed error instead of silent success,
+            // so scripts gating on the comparison notice the mismatch.
+            if !row_a.metrics.keys().any(|k| row_b.metrics.contains_key(k)) {
+                return Err(EmsError::Parse {
+                    offset: None,
+                    message: format!(
+                        "{path}: no comparable metrics — runs `{a}` and `{b}` \
+                         share no metric names"
+                    ),
+                });
+            }
+            print!("{}", ems_obs::trajectory::render_compare(row_a, row_b));
         }
     }
     Ok(())
@@ -275,6 +328,11 @@ fn do_match(args: &MatchArgs) -> Result<(), EmsError> {
     let l2 = load_traced(&args.log2, args.recover, rec.map(|r| (r, "log2")))?;
     let mut params = EmsParams {
         alpha: args.alpha,
+        label_measure: if args.exact_labels {
+            LabelMeasure::ExactName
+        } else {
+            LabelMeasure::QgramCosine
+        },
         c: args.c,
         threads: args.threads,
         sparse_delta: args.sparse_delta,
@@ -436,6 +494,7 @@ mod tests {
             log1: p1,
             log2: p2,
             alpha: 1.0,
+            exact_labels: false,
             c: 0.8,
             estimate: None,
             min_freq: 0.0,
@@ -467,6 +526,7 @@ mod tests {
             log1: p1,
             log2: p2,
             alpha: 1.0,
+            exact_labels: false,
             c: 0.8,
             estimate: Some(5),
             min_freq: 0.0,
@@ -498,6 +558,7 @@ mod tests {
             log1: p1,
             log2: p2,
             alpha: 1.0,
+            exact_labels: false,
             c: 0.8,
             estimate: None,
             min_freq: 0.0,
@@ -562,6 +623,7 @@ mod tests {
             log1: "a.xes".into(),
             log2: "b.xes".into(),
             alpha: 1.0,
+            exact_labels: false,
             c: 0.8,
             estimate: None,
             min_freq: 0.0,
@@ -589,6 +651,82 @@ mod tests {
     #[test]
     fn help_prints() {
         run(Command::Help).unwrap();
+    }
+
+    #[test]
+    fn compare_without_shared_metrics_is_a_typed_error() {
+        let dir = tmpdir("compare");
+        let path = dir.join("bench.jsonl");
+        // Two rows with disjoint metric sets, one overlapping pair below.
+        std::fs::write(
+            &path,
+            "{\"schema\":\"ems-bench/1\",\"run_id\":\"a\",\"git_rev\":\"g\",\
+             \"host\":\"h\",\"source\":\"s\",\"metrics\":{\"n50.x_ms\":1.0}}\n\
+             {\"schema\":\"ems-bench/1\",\"run_id\":\"b\",\"git_rev\":\"g\",\
+             \"host\":\"h\",\"source\":\"s\",\"metrics\":{\"n800.y_ms\":2.0}}\n\
+             {\"schema\":\"ems-bench/1\",\"run_id\":\"c\",\"git_rev\":\"g\",\
+             \"host\":\"h\",\"source\":\"s\",\"metrics\":{\"n50.x_ms\":1.5}}\n",
+        )
+        .unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let err = report(&ReportArgs {
+            path: p.clone(),
+            mode: ReportMode::Compare {
+                a: "a".into(),
+                b: "b".into(),
+            },
+        })
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+        assert!(err.to_string().contains("no comparable metrics"), "{err}");
+        // Runs that do share a metric still render.
+        report(&ReportArgs {
+            path: p,
+            mode: ReportMode::Compare {
+                a: "a".into(),
+                b: "c".into(),
+            },
+        })
+        .unwrap();
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn catalog_add_dedups_identical_fingerprint_snapshots() {
+        let dir = tmpdir("dedup");
+        let (p1, p2) = write_sample_logs(&dir);
+        let store_dir = dir.join("store");
+        let recorder = Arc::new(Recorder::new());
+        let store = CatalogStore::open(&store_dir)
+            .unwrap()
+            .with_recorder(Arc::clone(&recorder));
+
+        // First add writes both snapshots; the identical re-add writes
+        // nothing and fires the dedup counter.
+        assert!(!catalog_add(&store, &recorder, &p1, false, 0.0).unwrap());
+        let writes_after_first = store.stats().writes;
+        assert!(catalog_add(&store, &recorder, &p1, false, 0.0).unwrap());
+        assert_eq!(store.stats().writes, writes_after_first);
+        let trace = ems_obs::jsonl::write(&recorder.records());
+        assert!(trace.contains("store.dedup_hit"), "{trace}");
+
+        // A different parameterization of the same log is not a hit (its
+        // graph snapshot does not exist yet), nor is a different log.
+        assert!(!catalog_add(&store, &recorder, &p1, false, 0.5).unwrap());
+        assert!(!catalog_add(&store, &recorder, &p2, false, 0.0).unwrap());
+
+        // Corrupting the committed log snapshot breaks the dedup: the
+        // probe read quarantines it and the add re-puts whole snapshots.
+        let fp = fingerprint_log(&load(&p1, false).unwrap());
+        let objects = store_dir.join("objects");
+        let victim = objects.join(format!("log-{:016x}.snap", persist::log_store_key(fp)));
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&victim, &bytes).unwrap();
+        assert!(!catalog_add(&store, &recorder, &p1, false, 0.0).unwrap());
+        assert!(store.verify().unwrap().corrupt.is_empty());
+        let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
@@ -626,6 +764,7 @@ mod tests {
             log1: p1,
             log2: p2,
             alpha: 1.0,
+            exact_labels: false,
             c: 0.8,
             estimate: None,
             min_freq: 0.0,

@@ -15,6 +15,7 @@ use std::process::ExitCode;
 mod args;
 mod commands;
 mod extra;
+mod serve;
 
 /// Every failure path exits through here: one line on stderr, and the
 /// [`EmsError`] class's stable nonzero exit code (usage errors also reprint

@@ -65,6 +65,7 @@ pub mod numeric;
 mod params;
 pub mod persist;
 pub mod session;
+pub mod shared;
 mod sim;
 mod sim_sparse;
 mod stats;
@@ -73,8 +74,9 @@ pub mod substrate;
 pub use engine::{Budget, PhaseTimes, RunOptions, RunStats, ThreadClamp};
 pub use error::CoreError;
 pub use matcher::{Ems, MatchOutcome};
-pub use params::{Aggregation, Direction, EmsParams};
+pub use params::{Aggregation, Direction, EmsParams, LabelMeasure, LabelSpace};
 pub use session::{LogHandle, MatchSession, SessionOptions, SessionStats};
+pub use shared::{SharedSession, SharedStats};
 pub use sim::SimMatrix;
 pub use sim_sparse::{CsrError, SparseSim};
 pub use substrate::EngineSubstrate;

@@ -3,11 +3,11 @@
 
 use crate::engine::{Budget, Engine, RunOptions, RunOutput, RunStats};
 use crate::error::CoreError;
-use crate::params::{Direction, EmsParams};
+use crate::params::{Direction, EmsParams, LabelMeasure};
 use crate::sim::SimMatrix;
 use ems_depgraph::DependencyGraph;
 use ems_events::{EventId, EventLog};
-use ems_labels::{LabelMatrix, LabelSimilarity, QgramCosine};
+use ems_labels::{ExactName, LabelMatrix, LabelSimilarity, QgramCosine};
 
 /// Combines the outputs of a forward and a backward run into a
 /// [`MatchOutcome`] (Section 3.6 aggregation). Shared by [`Ems`] and the
@@ -32,13 +32,18 @@ pub(crate) fn aggregate_directions(
     }
 }
 
-/// The label matrix EMS uses for two logs under `params`: q-gram cosine
-/// when labels carry weight (`α < 1`), zeros otherwise.
+/// The label matrix EMS uses for two logs under `params`: the configured
+/// measure when labels carry weight (`α < 1`), zeros otherwise.
 pub(crate) fn label_matrix_for(params: &EmsParams, l1: &EventLog, l2: &EventLog) -> LabelMatrix {
     if params.alpha < 1.0 {
         let names1 = alphabet(l1);
         let names2 = alphabet(l2);
-        LabelMatrix::compute(&names1, &names2, &QgramCosine::default())
+        match params.label_measure {
+            LabelMeasure::QgramCosine => {
+                LabelMatrix::compute(&names1, &names2, &QgramCosine::default())
+            }
+            LabelMeasure::ExactName => LabelMatrix::compute(&names1, &names2, &ExactName),
+        }
     } else {
         LabelMatrix::zeros(l1.alphabet_size(), l2.alphabet_size())
     }

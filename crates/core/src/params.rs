@@ -54,6 +54,51 @@ impl Aggregation {
     }
 }
 
+/// Which string measure fills the label matrix `S^L` when `alpha < 1`
+/// (Section 3.4). Irrelevant at `alpha = 1` — the label term has weight 0
+/// and the matrix is all zeros regardless of the measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LabelMeasure {
+    /// Cosine similarity over q-gram multisets — the paper's choice for
+    /// the Figure 4 experiments, and the default here.
+    #[default]
+    QgramCosine,
+    /// Strict string equality: `1` iff the names are byte-identical. The
+    /// only measure under which the catalog's sketch-level label bound is
+    /// sound (name-set overlap caps the label term; see
+    /// `ems_depgraph::sketch`).
+    ExactName,
+}
+
+/// The effective label configuration a parameter set induces — what the
+/// persistence layer keys label matrices by. Two parameter sets that map
+/// to the same `LabelSpace` produce bit-identical label matrices for any
+/// input pair, so they may share cached/persisted matrices; any change
+/// that breaks that invariant must add a variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelSpace {
+    /// `alpha = 1`: the matrix is all zeros.
+    Structural,
+    /// `alpha < 1` with [`LabelMeasure::QgramCosine`].
+    QgramCosine,
+    /// `alpha < 1` with [`LabelMeasure::ExactName`].
+    ExactName,
+}
+
+impl LabelSpace {
+    /// A stable one-byte tag for persistence keys. `Structural = 0` and
+    /// `QgramCosine = 1` deliberately coincide with the former boolean
+    /// `labeled` byte, so stores written before the measure knob existed
+    /// keep their keys.
+    pub fn tag(self) -> u8 {
+        match self {
+            LabelSpace::Structural => 0,
+            LabelSpace::QgramCosine => 1,
+            LabelSpace::ExactName => 2,
+        }
+    }
+}
+
 /// Parameters of the EMS similarity function (Definition 2).
 #[derive(Debug, Clone, PartialEq)]
 pub struct EmsParams {
@@ -76,6 +121,8 @@ pub struct EmsParams {
     pub estimate_after: Option<usize>,
     /// How forward and backward similarities are aggregated (Section 3.6).
     pub aggregation: Aggregation,
+    /// String measure for the label matrix when `alpha < 1` (Section 3.4).
+    pub label_measure: LabelMeasure,
     /// Worker threads for the fixpoint iteration: `0` uses all available
     /// parallelism, `1` forces the exact serial path. Results are
     /// bit-identical for every value — the knob trades wall-clock time
@@ -111,6 +158,29 @@ impl EmsParams {
         EmsParams {
             alpha,
             ..Self::default()
+        }
+    }
+
+    /// Structure combined with *exact-equality* label similarity — the
+    /// configuration the catalog's sketch-level label bound requires.
+    pub fn with_exact_labels(alpha: f64) -> Self {
+        EmsParams {
+            alpha,
+            label_measure: LabelMeasure::ExactName,
+            ..Self::default()
+        }
+    }
+
+    /// The label space these parameters match in — the cache/persistence
+    /// identity of the label matrices they produce.
+    pub fn label_space(&self) -> LabelSpace {
+        if self.alpha >= 1.0 {
+            LabelSpace::Structural
+        } else {
+            match self.label_measure {
+                LabelMeasure::QgramCosine => LabelSpace::QgramCosine,
+                LabelMeasure::ExactName => LabelSpace::ExactName,
+            }
         }
     }
 
@@ -175,6 +245,7 @@ impl Default for EmsParams {
             pruning: true,
             estimate_after: None,
             aggregation: Aggregation::Average,
+            label_measure: LabelMeasure::default(),
             threads: 0,
             sparse_delta: None,
             sparse_warmup: 2,

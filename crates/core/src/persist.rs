@@ -19,10 +19,10 @@
 //! All integers are little-endian; lengths are `u64`.
 
 use crate::error::CoreError;
-use crate::params::Direction;
+use crate::params::{Direction, LabelSpace};
 use crate::sim_sparse::SparseSim;
 use crate::substrate::EngineSubstrate;
-use ems_depgraph::{CsrParts, DependencyGraph, Distance, NeighborCsr};
+use ems_depgraph::{CsrParts, DependencyGraph, Distance, GraphSketch, NeighborCsr, VertexProfile};
 use ems_events::{EventId, EventLog, Fnv1a, SymbolTable, Trace};
 use ems_labels::LabelMatrix;
 
@@ -36,6 +36,9 @@ pub const SUBSTRATE_PAYLOAD_VERSION: u32 = 1;
 pub const LABELS_PAYLOAD_VERSION: u32 = 1;
 /// Version of the sparse-similarity payload codec.
 pub const SPARSE_SIM_PAYLOAD_VERSION: u32 = 1;
+/// Version of the graph-sketch payload codec. Version 2 added the exact
+/// sorted label-hash set backing the sketch-level label bound.
+pub const SKETCH_PAYLOAD_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------
 // Store keys
@@ -74,15 +77,17 @@ pub fn substrate_store_key(fp1: u64, fp2: u64, direction: Direction, c: f64) -> 
     h.finish()
 }
 
-/// Store key of a label-matrix snapshot: both log fingerprints plus
-/// whether labels participate at all (`alpha < 1` ⇒ q-gram cosine,
-/// otherwise the zero matrix).
-pub fn labels_store_key(log_fingerprint1: u64, log_fingerprint2: u64, labeled: bool) -> u64 {
+/// Store key of a label-matrix snapshot: both log fingerprints plus the
+/// label space the parameters induce (which measure fills the matrix, or
+/// the zero matrix at `alpha = 1`). [`LabelSpace::tag`] keeps the bytes of
+/// the pre-measure-knob scheme for the structural and q-gram spaces, so
+/// existing stores stay valid.
+pub fn labels_store_key(log_fingerprint1: u64, log_fingerprint2: u64, space: LabelSpace) -> u64 {
     let mut h = Fnv1a::new();
     h.write(b"labels");
     h.write_u64(log_fingerprint1);
     h.write_u64(log_fingerprint2);
-    h.write(&[u8::from(labeled)]);
+    h.write(&[space.tag()]);
     h.finish()
 }
 
@@ -94,6 +99,16 @@ pub fn prior_store_key(log_fingerprint1: u64, log_fingerprint2: u64) -> u64 {
     h.write(b"prior");
     h.write_u64(log_fingerprint1);
     h.write_u64(log_fingerprint2);
+    h.finish()
+}
+
+/// Store key of a graph-sketch snapshot: the sketched graph's
+/// fingerprint. The sketch is a pure function of the graph content, so
+/// the graph fingerprint fully determines it.
+pub fn sketch_store_key(graph_fingerprint: u64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(b"sketch");
+    h.write_u64(graph_fingerprint);
     h.finish()
 }
 
@@ -553,6 +568,83 @@ pub fn decode_sparse_sim(bytes: &[u8]) -> Result<SparseSim, CoreError> {
         .map_err(|e| decode_err(format!("sparse similarity CSR rejected: {e}")))
 }
 
+// ---------------------------------------------------------------------
+// Graph sketches
+// ---------------------------------------------------------------------
+
+/// Encodes a graph sketch: identity header, frequency class table,
+/// deduplicated vertex profiles with multiplicities, minhash lanes, and
+/// the sorted set of exact label hashes (payload version 2).
+pub fn encode_sketch(sketch: &GraphSketch) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u64(&mut out, sketch.fingerprint());
+    put_u32(&mut out, sketch.num_real() as u32);
+    put_u64(&mut out, sketch.num_edges());
+    put_f64_slice(&mut out, sketch.classes());
+    put_len(&mut out, sketch.profiles().len());
+    for p in sketch.profiles() {
+        put_u32(&mut out, p.freq_class);
+        put_u32_slice(&mut out, &p.pre_classes);
+        put_u32_slice(&mut out, &p.post_classes);
+    }
+    put_u32_slice(&mut out, sketch.counts());
+    put_len(&mut out, sketch.minhash().len());
+    for &lane in sketch.minhash() {
+        put_u64(&mut out, lane);
+    }
+    put_len(&mut out, sketch.label_hashes().len());
+    for &h in sketch.label_hashes() {
+        put_u64(&mut out, h);
+    }
+    out
+}
+
+/// Decodes a graph sketch, re-validating every structural invariant via
+/// [`GraphSketch::try_from_parts`] — a corrupted payload is rejected,
+/// never served into pruning decisions.
+pub fn decode_sketch(bytes: &[u8]) -> Result<GraphSketch, CoreError> {
+    let mut r = Reader::new(bytes);
+    let fingerprint = r.u64()?;
+    let num_real = r.u32()?;
+    let num_edges = r.u64()?;
+    let classes = r.f64_vec()?;
+    let num_profiles = r.len(12)?;
+    let mut profiles = Vec::with_capacity(num_profiles);
+    for _ in 0..num_profiles {
+        let freq_class = r.u32()?;
+        let pre_classes = r.u32_vec()?;
+        let post_classes = r.u32_vec()?;
+        profiles.push(VertexProfile {
+            freq_class,
+            pre_classes,
+            post_classes,
+        });
+    }
+    let counts = r.u32_vec()?;
+    let lanes = r.len(8)?;
+    let mut minhash = Vec::with_capacity(lanes);
+    for _ in 0..lanes {
+        minhash.push(r.u64()?);
+    }
+    let num_hashes = r.len(8)?;
+    let mut label_hashes = Vec::with_capacity(num_hashes);
+    for _ in 0..num_hashes {
+        label_hashes.push(r.u64()?);
+    }
+    r.finish()?;
+    GraphSketch::try_from_parts(
+        fingerprint,
+        num_real,
+        num_edges,
+        classes,
+        profiles,
+        counts,
+        minhash,
+        label_hashes,
+    )
+    .map_err(|e| decode_err(e.to_string()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -718,6 +810,24 @@ mod tests {
     }
 
     #[test]
+    fn sketch_round_trips_and_rejects_corruption() {
+        let g = DependencyGraph::from_log(&sample_log());
+        let sketch = GraphSketch::of(&g);
+        let bytes = encode_sketch(&sketch);
+        let decoded = decode_sketch(&bytes).unwrap();
+        assert_eq!(decoded, sketch);
+        assert_eq!(encode_sketch(&decoded), bytes);
+        for n in 0..bytes.len() {
+            assert!(decode_sketch(&bytes[..n]).is_err());
+        }
+        // Flip the vertex count: the multiplicity-sum invariant must
+        // catch it (bytes 8..12 hold num_real).
+        let mut bad = bytes.clone();
+        bad[8] ^= 0x01;
+        assert!(decode_sketch(&bad).is_err());
+    }
+
+    #[test]
     fn store_keys_are_domain_separated() {
         let keys = [
             log_store_key(1),
@@ -726,10 +836,13 @@ mod tests {
             substrate_store_key(1, 2, Direction::Forward, 0.8),
             substrate_store_key(1, 2, Direction::Backward, 0.8),
             substrate_store_key(2, 1, Direction::Forward, 0.8),
-            labels_store_key(1, 2, true),
-            labels_store_key(1, 2, false),
+            labels_store_key(1, 2, LabelSpace::QgramCosine),
+            labels_store_key(1, 2, LabelSpace::ExactName),
+            labels_store_key(1, 2, LabelSpace::Structural),
             prior_store_key(1, 2),
             prior_store_key(2, 1),
+            sketch_store_key(1),
+            sketch_store_key(2),
         ];
         let mut dedup = keys.to_vec();
         dedup.sort_unstable();

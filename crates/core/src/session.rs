@@ -751,11 +751,11 @@ impl MatchSession {
             }
             return Arc::clone(m);
         }
-        // Disk tier: the key separates labeled from purely structural runs
-        // (alpha = 1 stores an all-zeros matrix), and a decoded matrix must
-        // still fit the two alphabets.
-        let labeled = self.params.alpha < 1.0;
-        let store_key = persist::labels_store_key(key.0, key.1, labeled);
+        // Disk tier: the key separates label spaces (which measure filled
+        // the matrix; alpha = 1 stores an all-zeros matrix), and a decoded
+        // matrix must still fit the two alphabets.
+        let space = self.params.label_space();
+        let store_key = persist::labels_store_key(key.0, key.1, space);
         let (rows, cols) = (
             self.logs[h1.index()].log.alphabet_size(),
             self.logs[h2.index()].log.alphabet_size(),

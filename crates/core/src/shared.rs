@@ -1,0 +1,593 @@
+//! A concurrency-safe sibling of [`crate::MatchSession`] for catalog
+//! serving: many queries share one set of model/substrate/label caches
+//! without serializing whole requests.
+//!
+//! [`MatchSession`](crate::MatchSession) is `&mut self` end to end — the
+//! right shape for a single pipeline, the wrong one for a server where K
+//! reference substrates should be pinned once and hit from every worker.
+//! [`SharedSession`] keeps the same stage structure (model → substrate →
+//! label → solve) and the same durable-store tier, but holds each cache
+//! behind its own `RwLock` of `Arc`ed products:
+//!
+//! * lookups take a read lock only;
+//! * a miss builds **outside** any cache lock, then inserts under a write
+//!   lock with a re-check — two workers racing on the same product build
+//!   it twice and keep the first insert, never block each other for the
+//!   duration of a build, and always observe identical bytes because
+//!   every product is a deterministic function of the inputs;
+//! * the solve stage runs entirely on `Arc` snapshots, lock-free.
+//!
+//! Locks are never nested (the symbol table mutex is held only while a
+//! graph is built or decoded, with no cache lock held), so no lock-order
+//! cycle exists by construction.
+//!
+//! Determinism: a `SharedSession` match is bit-identical to the same pair
+//! through `MatchSession` or one-shot [`crate::Ems`] — same stages, same
+//! kernels, same store codecs (pinned by the unit tests below).
+
+use crate::engine::{Budget, Engine, RunOptions};
+use crate::error::CoreError;
+use crate::matcher::{aggregate_directions, label_matrix_for, MatchOutcome};
+use crate::params::{Direction, EmsParams};
+use crate::persist;
+use crate::substrate::EngineSubstrate;
+use ems_depgraph::{filter_min_frequency, DependencyGraph};
+use ems_error::EmsError;
+use ems_events::{fingerprint_log, EventLog, SymbolTable};
+use ems_labels::LabelMatrix;
+use ems_obs::Recorder;
+use ems_store::{CatalogStore, SnapshotKind};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Cache and durable-tier counters of a [`SharedSession`], mirroring the
+/// same-named [`crate::SessionStats`] fields.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedStats {
+    /// Dependency graphs built (model-stage cache misses).
+    pub graph_builds: u64,
+    /// Model-stage cache hits.
+    pub graph_cache_hits: u64,
+    /// [`EngineSubstrate`]s built (substrate-stage cache misses).
+    pub substrate_builds: u64,
+    /// Substrate-stage cache hits.
+    pub substrate_cache_hits: u64,
+    /// Label matrices computed.
+    pub label_builds: u64,
+    /// Label-stage cache hits.
+    pub label_cache_hits: u64,
+    /// Full matches served from the outcome cache (both solves skipped).
+    pub outcome_cache_hits: u64,
+    /// Build products served from the durable store (snapshot decoded).
+    pub store_hits: u64,
+    /// Durable-store lookups that found no snapshot.
+    pub store_misses: u64,
+    /// Snapshots quarantined (payload-level corruption) and rebuilt.
+    pub store_quarantines: u64,
+    /// Durable-store reads that failed with an I/O error (degraded to a
+    /// rebuild).
+    pub store_read_failures: u64,
+    /// Best-effort snapshot writes that failed (the match still
+    /// succeeded).
+    pub store_write_failures: u64,
+}
+
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    match lock.read() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    match lock.write() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+fn mutex_lock<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    match lock.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+/// The staged matching pipeline behind shared caches; see the module docs
+/// for the locking model. All methods take `&self`, so one session can be
+/// hit from any number of worker threads.
+#[derive(Debug)]
+pub struct SharedSession {
+    params: EmsParams,
+    min_frequency: f64,
+    table: Mutex<SymbolTable>,
+    /// Model cache: log content fingerprint → dependency graph.
+    graphs: RwLock<BTreeMap<u64, Arc<DependencyGraph>>>,
+    /// Substrate cache: (graph fp 1, graph fp 2, direction) → substrate.
+    substrates: RwLock<BTreeMap<(u64, u64, u8), Arc<EngineSubstrate>>>,
+    /// Label cache: (log fp 1, log fp 2) → label matrix.
+    labels: RwLock<BTreeMap<(u64, u64), Arc<LabelMatrix>>>,
+    /// Outcome cache: (log fp 1, log fp 2) → full match result. Every
+    /// `SharedSession` call is a plain replay (no per-call options), so
+    /// all calls participate.
+    outcomes: RwLock<BTreeMap<(u64, u64), MatchOutcome>>,
+    store: Option<Arc<CatalogStore>>,
+    recorder: Option<Arc<Recorder>>,
+    stats: Mutex<SharedStats>,
+}
+
+impl SharedSession {
+    /// Creates a shared session, validating the parameters.
+    pub fn try_new(params: EmsParams) -> Result<Self, CoreError> {
+        params.validate().map_err(CoreError::InvalidParams)?;
+        Ok(SharedSession {
+            params,
+            min_frequency: 0.0,
+            table: Mutex::new(SymbolTable::new()),
+            graphs: RwLock::new(BTreeMap::new()),
+            substrates: RwLock::new(BTreeMap::new()),
+            labels: RwLock::new(BTreeMap::new()),
+            outcomes: RwLock::new(BTreeMap::new()),
+            store: None,
+            recorder: None,
+            stats: Mutex::new(SharedStats::default()),
+        })
+    }
+
+    /// Attaches a durable catalog store as the tier between the in-memory
+    /// caches and a rebuild. Same failure contract as
+    /// [`crate::MatchSession::with_store`]: store failures never fail a
+    /// match.
+    pub fn with_store(mut self, store: Arc<CatalogStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches the session telemetry sink (cache counters, prefixed
+    /// `shared.`).
+    pub fn with_recorder(mut self, recorder: Arc<Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Sets the minimum edge frequency applied when building graphs.
+    pub fn with_min_frequency(mut self, threshold: f64) -> Self {
+        self.min_frequency = threshold;
+        self
+    }
+
+    /// The session's parameters.
+    pub fn params(&self) -> &EmsParams {
+        &self.params
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> SharedStats {
+        *mutex_lock(&self.stats)
+    }
+
+    fn counter(&self, name: &str, result: &str) {
+        if let Some(rec) = self.recorder.as_deref() {
+            rec.counter_add(name, ems_obs::labels(&[("result", result)]), 1);
+        }
+    }
+
+    /// The dependency graph of a log (session min-frequency filter
+    /// applied), served from memory, the durable store, or a build.
+    pub fn graph(&self, log: &EventLog) -> Arc<DependencyGraph> {
+        self.graph_keyed(fingerprint_log(log), log)
+    }
+
+    /// [`graph`](Self::graph) with the log's content fingerprint already
+    /// known (the catalog fingerprints at admission time).
+    pub fn graph_keyed(&self, fingerprint: u64, log: &EventLog) -> Arc<DependencyGraph> {
+        if let Some(g) = read_lock(&self.graphs).get(&fingerprint) {
+            mutex_lock(&self.stats).graph_cache_hits += 1;
+            self.counter("shared.graph_cache", "hit");
+            return Arc::clone(g);
+        }
+        let store_key = persist::graph_store_key(fingerprint, self.min_frequency);
+        let mut decoded: Option<DependencyGraph> = None;
+        if let Some(bytes) = self.store_fetch(
+            SnapshotKind::Graph,
+            store_key,
+            persist::GRAPH_PAYLOAD_VERSION,
+        ) {
+            let result = {
+                let mut table = mutex_lock(&self.table);
+                persist::decode_graph_in(&bytes, &mut table)
+            };
+            match result {
+                Ok(g) => {
+                    mutex_lock(&self.stats).store_hits += 1;
+                    self.counter("shared.graph_cache", "disk");
+                    decoded = Some(g);
+                }
+                Err(e) => self.store_quarantine(SnapshotKind::Graph, store_key, &e.to_string()),
+            }
+        }
+        let built = decoded.is_none();
+        let graph = match decoded {
+            Some(g) => g,
+            None => {
+                let full = {
+                    let mut table = mutex_lock(&self.table);
+                    DependencyGraph::from_log_in(log, &mut table)
+                };
+                let g = if self.min_frequency > 0.0 {
+                    filter_min_frequency(&full, self.min_frequency).0
+                } else {
+                    full
+                };
+                mutex_lock(&self.stats).graph_builds += 1;
+                self.counter("shared.graph_cache", "miss");
+                g
+            }
+        };
+        let graph = Arc::new(graph);
+        if built {
+            self.store_put(
+                SnapshotKind::Graph,
+                store_key,
+                persist::GRAPH_PAYLOAD_VERSION,
+                || persist::encode_graph(&graph),
+            );
+        }
+        // Re-check under the write lock: a racing worker may have landed
+        // the identical product first — keep theirs so every caller shares
+        // one allocation.
+        Arc::clone(write_lock(&self.graphs).entry(fingerprint).or_insert(graph))
+    }
+
+    fn substrate(
+        &self,
+        g1: &Arc<DependencyGraph>,
+        g2: &Arc<DependencyGraph>,
+        direction: Direction,
+    ) -> Arc<EngineSubstrate> {
+        let key = (g1.fingerprint(), g2.fingerprint(), direction as u8);
+        if let Some(sub) = read_lock(&self.substrates).get(&key) {
+            mutex_lock(&self.stats).substrate_cache_hits += 1;
+            self.counter("shared.substrate_cache", "hit");
+            return Arc::clone(sub);
+        }
+        let store_key = persist::substrate_store_key(key.0, key.1, direction, self.params.c);
+        let mut decoded: Option<EngineSubstrate> = None;
+        if let Some(bytes) = self.store_fetch(
+            SnapshotKind::Substrate,
+            store_key,
+            persist::SUBSTRATE_PAYLOAD_VERSION,
+        ) {
+            match persist::decode_substrate(&bytes, direction, self.params.c) {
+                Ok(sub) if sub.rows() == g1.num_real() && sub.cols() == g2.num_real() => {
+                    mutex_lock(&self.stats).store_hits += 1;
+                    self.counter("shared.substrate_cache", "disk");
+                    decoded = Some(sub);
+                }
+                Ok(sub) => self.store_quarantine(
+                    SnapshotKind::Substrate,
+                    store_key,
+                    &format!(
+                        "substrate shape {}x{} does not fit graphs {}x{}",
+                        sub.rows(),
+                        sub.cols(),
+                        g1.num_real(),
+                        g2.num_real()
+                    ),
+                ),
+                Err(e) => self.store_quarantine(SnapshotKind::Substrate, store_key, &e.to_string()),
+            }
+        }
+        let built = decoded.is_none();
+        let sub = match decoded {
+            Some(sub) => sub,
+            None => {
+                let sub = EngineSubstrate::build(g1, g2, direction, self.params.c);
+                mutex_lock(&self.stats).substrate_builds += 1;
+                self.counter("shared.substrate_cache", "miss");
+                sub
+            }
+        };
+        let sub = Arc::new(sub);
+        if built {
+            self.store_put(
+                SnapshotKind::Substrate,
+                store_key,
+                persist::SUBSTRATE_PAYLOAD_VERSION,
+                || persist::encode_substrate(&sub),
+            );
+        }
+        Arc::clone(write_lock(&self.substrates).entry(key).or_insert(sub))
+    }
+
+    fn label_matrix(
+        &self,
+        fp1: u64,
+        log1: &EventLog,
+        fp2: u64,
+        log2: &EventLog,
+    ) -> Arc<LabelMatrix> {
+        let key = (fp1, fp2);
+        if let Some(m) = read_lock(&self.labels).get(&key) {
+            mutex_lock(&self.stats).label_cache_hits += 1;
+            self.counter("shared.label_cache", "hit");
+            return Arc::clone(m);
+        }
+        let space = self.params.label_space();
+        let store_key = persist::labels_store_key(fp1, fp2, space);
+        let (rows, cols) = (log1.alphabet_size(), log2.alphabet_size());
+        let mut decoded: Option<LabelMatrix> = None;
+        if let Some(bytes) = self.store_fetch(
+            SnapshotKind::Labels,
+            store_key,
+            persist::LABELS_PAYLOAD_VERSION,
+        ) {
+            match persist::decode_labels(&bytes) {
+                Ok(m) if m.rows() == rows && m.cols() == cols => {
+                    mutex_lock(&self.stats).store_hits += 1;
+                    self.counter("shared.label_cache", "disk");
+                    decoded = Some(m);
+                }
+                Ok(m) => self.store_quarantine(
+                    SnapshotKind::Labels,
+                    store_key,
+                    &format!(
+                        "label matrix shape {}x{} does not fit alphabets {rows}x{cols}",
+                        m.rows(),
+                        m.cols()
+                    ),
+                ),
+                Err(e) => self.store_quarantine(SnapshotKind::Labels, store_key, &e.to_string()),
+            }
+        }
+        let built = decoded.is_none();
+        let m = match decoded {
+            Some(m) => m,
+            None => {
+                let m = label_matrix_for(&self.params, log1, log2);
+                mutex_lock(&self.stats).label_builds += 1;
+                self.counter("shared.label_cache", "miss");
+                m
+            }
+        };
+        let m = Arc::new(m);
+        if built {
+            self.store_put(
+                SnapshotKind::Labels,
+                store_key,
+                persist::LABELS_PAYLOAD_VERSION,
+                || persist::encode_labels(&m),
+            );
+        }
+        Arc::clone(write_lock(&self.labels).entry(key).or_insert(m))
+    }
+
+    /// Matches two logs through the shared caches. Bit-identical to the
+    /// same pair through [`crate::MatchSession`] (unlimited budget, cold
+    /// seed, default thread policy).
+    pub fn try_match(&self, log1: &EventLog, log2: &EventLog) -> Result<MatchOutcome, CoreError> {
+        self.try_match_keyed(fingerprint_log(log1), log1, fingerprint_log(log2), log2)
+    }
+
+    /// [`try_match`](Self::try_match) with both content fingerprints
+    /// already known.
+    pub fn try_match_keyed(
+        &self,
+        fp1: u64,
+        log1: &EventLog,
+        fp2: u64,
+        log2: &EventLog,
+    ) -> Result<MatchOutcome, CoreError> {
+        if let Some(cached) = read_lock(&self.outcomes).get(&(fp1, fp2)) {
+            let outcome = cached.clone();
+            mutex_lock(&self.stats).outcome_cache_hits += 1;
+            self.counter("shared.outcome_cache", "hit");
+            return Ok(outcome);
+        }
+        let g1 = self.graph_keyed(fp1, log1);
+        let g2 = self.graph_keyed(fp2, log2);
+        self.try_match_modeled(fp1, log1, &g1, fp2, log2, &g2)
+    }
+
+    /// The substrate → label → solve tail of a match when both graphs are
+    /// already in hand (the catalog pins reference graphs itself).
+    pub fn try_match_modeled(
+        &self,
+        fp1: u64,
+        log1: &EventLog,
+        g1: &Arc<DependencyGraph>,
+        fp2: u64,
+        log2: &EventLog,
+        g2: &Arc<DependencyGraph>,
+    ) -> Result<MatchOutcome, CoreError> {
+        if let Some(cached) = read_lock(&self.outcomes).get(&(fp1, fp2)) {
+            let outcome = cached.clone();
+            mutex_lock(&self.stats).outcome_cache_hits += 1;
+            self.counter("shared.outcome_cache", "hit");
+            return Ok(outcome);
+        }
+        let fwd_sub = self.substrate(g1, g2, Direction::Forward);
+        let bwd_sub = self.substrate(g1, g2, Direction::Backward);
+        let labels = self.label_matrix(fp1, log1, fp2, log2);
+        let run_options = RunOptions {
+            seed: None,
+            abort_below: None,
+            budget: Budget::default(),
+            threads: None,
+            oversubscribe: false,
+            recorder: None,
+        };
+        let fwd =
+            Engine::try_with_substrate(g1, g2, &labels, &self.params, Direction::Forward, fwd_sub)?
+                .try_run(&run_options)?;
+        let bwd = Engine::try_with_substrate(
+            g1,
+            g2,
+            &labels,
+            &self.params,
+            Direction::Backward,
+            bwd_sub,
+        )?
+        .try_run(&run_options)?;
+        let outcome = aggregate_directions(&self.params, fwd, bwd);
+        write_lock(&self.outcomes)
+            .entry((fp1, fp2))
+            .or_insert_with(|| outcome.clone());
+        Ok(outcome)
+    }
+
+    /// Drops a graph and every substrate involving it from the in-memory
+    /// caches — the catalog's eviction hook. The durable store keeps its
+    /// snapshots, so the next access disk-warms (or rebuilds from the
+    /// source log); evicting is an availability/memory trade, never a
+    /// correctness event.
+    pub fn evict_graph(&self, fingerprint: u64) {
+        write_lock(&self.graphs).remove(&fingerprint);
+        write_lock(&self.substrates).retain(|k, _| k.0 != fingerprint && k.1 != fingerprint);
+    }
+
+    fn store_fetch(&self, kind: SnapshotKind, key: u64, version: u32) -> Option<Vec<u8>> {
+        let store = self.store.as_deref()?;
+        match store.get(kind, key, version) {
+            Ok(Some(bytes)) => Some(bytes),
+            Ok(None) => {
+                mutex_lock(&self.stats).store_misses += 1;
+                None
+            }
+            Err(EmsError::StoreCorrupt { .. }) => {
+                mutex_lock(&self.stats).store_quarantines += 1;
+                None
+            }
+            Err(_) => {
+                mutex_lock(&self.stats).store_read_failures += 1;
+                None
+            }
+        }
+    }
+
+    fn store_quarantine(&self, kind: SnapshotKind, key: u64, reason: &str) {
+        if let Some(store) = &self.store {
+            store.quarantine_entry(kind, key, reason);
+            mutex_lock(&self.stats).store_quarantines += 1;
+        }
+    }
+
+    fn store_put(
+        &self,
+        kind: SnapshotKind,
+        key: u64,
+        version: u32,
+        encode: impl FnOnce() -> Vec<u8>,
+    ) {
+        if let Some(store) = &self.store {
+            if store.put(kind, key, version, &encode()).is_err() {
+                mutex_lock(&self.stats).store_write_failures += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::MatchSession;
+
+    fn logs() -> (EventLog, EventLog) {
+        let mut l1 = EventLog::new();
+        l1.push_trace(["cash", "validate", "ship"]);
+        l1.push_trace(["cash", "validate", "ship"]);
+        l1.push_trace(["card", "validate", "ship"]);
+        let mut l2 = EventLog::new();
+        l2.push_trace(["e0", "e1", "e3", "e4"]);
+        l2.push_trace(["e0", "e2", "e3", "e4"]);
+        (l1, l2)
+    }
+
+    fn exact_params() -> EmsParams {
+        EmsParams {
+            epsilon: 1e-300,
+            ..EmsParams::structural()
+        }
+    }
+
+    #[test]
+    fn shared_matches_match_session_bitwise() {
+        let (l1, l2) = logs();
+        let mut session = MatchSession::new(exact_params());
+        let h1 = session.ingest(l1.clone());
+        let h2 = session.ingest(l2.clone());
+        let expected = session.match_pair(h1, h2).unwrap();
+
+        let shared = SharedSession::try_new(exact_params()).unwrap();
+        let got = shared.try_match(&l1, &l2).unwrap();
+        assert_eq!(got.similarity.max_abs_diff(&expected.similarity), 0.0);
+        assert_eq!(got.forward.max_abs_diff(&expected.forward), 0.0);
+        assert_eq!(got.backward.max_abs_diff(&expected.backward), 0.0);
+    }
+
+    #[test]
+    fn repeat_matches_hit_every_cache() {
+        let (l1, l2) = logs();
+        let shared = SharedSession::try_new(exact_params()).unwrap();
+        shared.try_match(&l1, &l2).unwrap();
+        shared.try_match(&l1, &l2).unwrap();
+        let stats = shared.stats();
+        assert_eq!(stats.graph_builds, 2);
+        assert_eq!(stats.substrate_builds, 2);
+        assert_eq!(stats.label_builds, 1);
+        assert_eq!(stats.outcome_cache_hits, 1);
+    }
+
+    #[test]
+    fn concurrent_queries_are_bit_identical_to_serial() {
+        let (l1, l2) = logs();
+        let serial = {
+            let shared = SharedSession::try_new(exact_params()).unwrap();
+            shared.try_match(&l1, &l2).unwrap()
+        };
+        let shared = SharedSession::try_new(exact_params()).unwrap();
+        let outcomes: Vec<MatchOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| shared.try_match(&l1, &l2).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for out in &outcomes {
+            assert_eq!(out.similarity.max_abs_diff(&serial.similarity), 0.0);
+        }
+        // However the race resolved, the sum of builds and outcome-cache
+        // hits accounts for all eight queries.
+        let stats = shared.stats();
+        assert!(stats.graph_builds >= 2);
+        assert!(stats.outcome_cache_hits <= 7);
+    }
+
+    #[test]
+    fn shared_store_tier_warms_and_degrades_like_match_session() {
+        let root = std::env::temp_dir().join(format!("ems-shared-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let (l1, l2) = logs();
+        let cold = {
+            let store = Arc::new(CatalogStore::open(&root).unwrap());
+            let shared = SharedSession::try_new(exact_params())
+                .unwrap()
+                .with_store(store);
+            let out = shared.try_match(&l1, &l2).unwrap();
+            assert_eq!(shared.stats().store_misses, 5);
+            out
+        };
+        // A fresh shared session disk-warms every build stage.
+        let store = Arc::new(CatalogStore::open(&root).unwrap());
+        let shared = SharedSession::try_new(exact_params())
+            .unwrap()
+            .with_store(store);
+        let warm = shared.try_match(&l1, &l2).unwrap();
+        assert_eq!(warm.similarity.max_abs_diff(&cold.similarity), 0.0);
+        let stats = shared.stats();
+        assert_eq!(stats.store_hits, 5);
+        assert_eq!(stats.graph_builds, 0);
+        assert_eq!(stats.substrate_builds, 0);
+        assert_eq!(stats.label_builds, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

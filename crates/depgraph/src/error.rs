@@ -60,6 +60,12 @@ pub enum GraphError {
         /// Human-readable description of the violated invariant.
         message: String,
     },
+    /// Deserialized sketch parts are structurally inconsistent (class ids
+    /// out of range, multiplicity/degree sums off, unsorted class table).
+    CorruptSketch {
+        /// Human-readable description of the violated invariant.
+        message: String,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -86,6 +92,9 @@ impl fmt::Display for GraphError {
             GraphError::EmptyLog => write!(f, "event log has no traces"),
             GraphError::Csv { line, message } => write!(f, "CSV line {line}: {message}"),
             GraphError::CorruptCsr { message } => write!(f, "corrupt CSR parts: {message}"),
+            GraphError::CorruptSketch { message } => {
+                write!(f, "corrupt sketch parts: {message}")
+            }
         }
     }
 }

@@ -55,6 +55,7 @@ mod graph;
 mod longest;
 mod metrics;
 mod obs;
+mod sketch;
 
 pub use ancestors::{ancestor_sets, descendant_sets};
 pub use csr::{CsrParts, NeighborCsr, ARTIFICIAL_ENTRY};
@@ -65,3 +66,4 @@ pub use graph::{DependencyGraph, NodeId};
 pub use longest::{longest_distances, longest_distances_backward, Distance};
 pub use metrics::{from_edge_csv, to_edge_csv, GraphMetrics};
 pub use obs::observe_graph;
+pub use sketch::{BoundCombine, GraphSketch, LabelBound, VertexProfile, MINHASH_LANES};

@@ -1,0 +1,912 @@
+//! Graph sketches: constant-size structural summaries with a **sound**
+//! upper bound on the pairwise EMS score, built for catalog-scale
+//! candidate pruning (one query against K pinned references).
+//!
+//! A [`GraphSketch`] captures, per dependency graph:
+//!
+//! * the **frequency class table** — the sorted distinct normalized
+//!   frequencies of vertices and edges (trace-count fractions, so a graph
+//!   has few distinct values);
+//! * the **vertex profile histogram** — each real vertex reduced to its
+//!   frequency class plus the class multisets of its real pre/post edge
+//!   frequencies, deduplicated with multiplicities (this subsumes the
+//!   vertex- and edge-frequency histograms, which are exposed as views);
+//! * a **label-fingerprint minhash** over the per-vertex FNV-1a label
+//!   hashes — a cheap Jaccard estimate of alphabet overlap used for
+//!   deterministic candidate ordering, never for pruning decisions.
+//!
+//! # The upper bound, and why it is sound
+//!
+//! Let `F` be the EMS iteration map of formula (1): for a pair `(v1, v2)`
+//! and a similarity matrix `S` over real-vertex pairs (with the artificial
+//! pair pinned at `S(vˣ, vˣ) = 1` and artificial/real cross pairs at 0),
+//!
+//! ```text
+//! F(S)(v1, v2) = clamp(α·(s12(S) + s21(S))/2 + (1−α)·label(v1, v2), 0, 1)
+//! s12(S)(v1, v2) = (1/|pre(v1)|)·Σ_{u1 ∈ pre(v1)} max_{u2 ∈ pre(v2)}
+//!                      C(f(u1,v1), f(u2,v2)) · S(u1, u2)
+//! C(f_o, f_i) = c·(1 − |f_o − f_i|/(f_o + f_i))
+//! ```
+//!
+//! Every summand is a non-negative multiple of an `S` entry, so `F` is
+//! **monotone** on the box `[0,1]^(n1×n2)`, and by Theorem 1 the exact
+//! similarity is its unique fixpoint `S* = F(S*)`. The engine iterates
+//! from the all-zeros matrix, so every iterate — and every early-retired
+//! (Proposition 2) or frozen (Proposition 4) value it may return — is an
+//! `F`-image of a matrix inside the box. Monotonicity then gives, for any
+//! such matrix `X ≤ 1` entrywise:
+//!
+//! ```text
+//! F(X) ≤ F(1)   entrywise, where 1 is the all-ones matrix.
+//! ```
+//!
+//! `U := F(1)` is computable **without iterating** and without the cross
+//! product of vertices: with `S_prev ≡ 1` on real pairs, the inner `max`
+//! over `pre(v2)` collapses to the largest compatibility factor between
+//! `u1`'s edge class and *any* real edge class of `v2`, the artificial
+//! outer lane contributes exactly `C(f(v1), f(v2))` (its only non-zero
+//! inner candidate is the pinned artificial pair), and the label term is
+//! handled separately below. `U(v1, v2)` therefore depends only on the two
+//! vertices' *profiles*, so it is evaluated once per distinct profile pair.
+//!
+//! The per-pair bound is lifted to the retrieval score by the same
+//! monotone functional the catalog uses for exact outcomes — the
+//! symmetric best-correspondence average
+//!
+//! ```text
+//! score(S) = (avg_v1 max_v2 S(v1,v2) + avg_v2 max_v1 S(v1,v2)) / 2
+//! ```
+//!
+//! which is monotone in every entry, so `score(S*) ≤ score(U)`. The value
+//! returned by [`GraphSketch::score_upper_bound`] is `score(U)`; pruning a
+//! reference whose bound is strictly below the current k-th best exact
+//! score can therefore never drop a true top-k candidate (recall 1.0 —
+//! pinned by the property suite in `ems-catalog`).
+//!
+//! # Bounding the label term
+//!
+//! The score lift treats the two terms of `F` separately. With
+//! `T(v1, v2)` the structural part under `S_prev ≡ 1`,
+//!
+//! ```text
+//! S*(v1, v2)  ≤ α·T(v1, v2) + (1−α)·label(v1, v2)
+//! max_v2 S*   ≤ α·max_v2 T + (1−α)·max_v2 label     (max is subadditive)
+//! avg_v1 …    ≤ α·avgmax(T) + (1−α)·avg_v1 max_v2 label
+//! ```
+//!
+//! Under an *arbitrary* label measure the best available cap on the last
+//! average is `1` ([`LabelBound::Any`] — the classic lift). Under the
+//! **exact-equality** measure ([`LabelBound::ExactName`]), `label(v1, v2)`
+//! is `1` only when the names are identical, so `max_v2 label(v1, ·) ≤
+//! [name(v1) ∈ names(G2)]` and the side-1 average is capped by the
+//! fraction of side 1's vertices whose name occurs verbatim in side 2.
+//! The sketch carries the exact sorted set of distinct per-vertex FNV-1a
+//! name hashes for this: hash membership can only *overestimate* true
+//! name membership (collisions merge names, never separate them), and the
+//! vertices a within-graph collision could hide behind one hash are added
+//! back pessimistically (`n − |H|` surplus counted as matching), so the
+//! cap stays sound. Graded measures (q-grams, edit distance, …) admit no
+//! such cap from name sets alone — two disjoint alphabets can still score
+//! near 1 pairwise — which is why [`LabelBound::ExactName`] must only be
+//! passed when the matcher really runs exact-equality labels.
+//!
+//! Both directions are bounded (`pre` sets forward, `post` sets backward)
+//! and combined with [`BoundCombine`]: `Average` mirrors the default
+//! aggregation exactly; `Max` dominates every monotone combine whose value
+//! never exceeds its larger argument (min, weighted means, forward-only),
+//! so a caller with a non-average aggregation stays sound at some loss of
+//! tightness.
+
+use crate::error::GraphError;
+use crate::graph::DependencyGraph;
+use ems_events::Fnv1a;
+
+/// Number of minhash lanes carried by every sketch.
+pub const MINHASH_LANES: usize = 64;
+
+/// One deduplicated vertex profile: everything `F(1)` needs to know about
+/// a vertex. Vertices with equal profiles are interchangeable for the
+/// bound, so each profile carries a multiplicity in [`GraphSketch`].
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct VertexProfile {
+    /// Class id of the vertex frequency `f(v)`.
+    pub freq_class: u32,
+    /// Sorted class-id multiset of the *real* incoming edge frequencies.
+    pub pre_classes: Vec<u32>,
+    /// Sorted class-id multiset of the *real* outgoing edge frequencies.
+    pub post_classes: Vec<u32>,
+}
+
+/// How the forward and backward direction bounds combine into one
+/// per-pair bound. See the module docs for the soundness argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundCombine {
+    /// `(fwd + bwd) / 2` — exact for the default `Average` aggregation.
+    Average,
+    /// `max(fwd, bwd)` — dominates every aggregation that never exceeds
+    /// its larger argument (min, weighted means, forward/backward-only).
+    Max,
+}
+
+/// How the label term of formula (1) is bounded at the sketch level. See
+/// the module docs ("Bounding the label term") for the soundness argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LabelBound {
+    /// No assumption on the measure: the label term is only known to be
+    /// `≤ 1`. Sound for every measure; the only sound choice for graded
+    /// measures (q-gram cosine, edit distance, …).
+    #[default]
+    Any,
+    /// The matcher runs the *exact-equality* measure: the label term is
+    /// capped per side by the name-set overlap fraction carried in the
+    /// sketch. Unsound for any other measure — callers must derive this
+    /// from the parameters actually used for exact scoring.
+    ExactName,
+}
+
+/// A constant-size structural summary of one dependency graph. Build with
+/// [`GraphSketch::of`]; persist through the `ems-core` sketch codec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSketch {
+    fingerprint: u64,
+    num_real: u32,
+    num_edges: u64,
+    /// Sorted distinct normalized frequencies (vertex and edge), each in
+    /// `(0, 1]` for edges and `[0, 1]` for vertices.
+    classes: Vec<f64>,
+    /// Deduplicated vertex profiles, sorted for a canonical encoding.
+    profiles: Vec<VertexProfile>,
+    /// Multiplicity of each profile; sums to `num_real`.
+    counts: Vec<u32>,
+    /// Minhash lanes over the per-vertex FNV-1a label hashes.
+    minhash: Vec<u64>,
+    /// Sorted distinct per-vertex FNV-1a label hashes — the exact name
+    /// set behind the [`LabelBound::ExactName`] overlap cap.
+    label_hashes: Vec<u64>,
+}
+
+/// SplitMix64 finalizer: a fixed bijective mix so each minhash lane sees
+/// an independent permutation of the label-hash universe.
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+impl GraphSketch {
+    /// Builds the sketch of a graph. Deterministic: the sketch is a pure
+    /// function of the graph content (same fingerprint ⇒ same sketch).
+    pub fn of(g: &DependencyGraph) -> GraphSketch {
+        // Frequency class table: sorted distinct vertex + edge values.
+        // Total order is safe: frequencies are finite and non-negative by
+        // the graph's construction invariants.
+        let mut values: Vec<u64> = Vec::new();
+        for v in g.real_nodes() {
+            values.push(g.node_frequency(v).to_bits());
+            for &(u, f) in g.pre(v) {
+                if !g.is_artificial(u) {
+                    values.push(f.to_bits());
+                }
+            }
+        }
+        values.sort_unstable();
+        values.dedup();
+        let classes: Vec<f64> = values.iter().map(|&b| f64::from_bits(b)).collect();
+        let class_of = |f: f64| -> u32 {
+            // The table was built from these exact bit patterns.
+            match values.binary_search(&f.to_bits()) {
+                Ok(i) => i as u32,
+                Err(i) => i as u32, // unreachable by construction
+            }
+        };
+
+        let mut num_edges = 0u64;
+        let mut profiles: Vec<VertexProfile> = Vec::new();
+        for v in g.real_nodes() {
+            let mut pre_classes: Vec<u32> = g
+                .pre(v)
+                .iter()
+                .filter(|(u, _)| !g.is_artificial(*u))
+                .map(|&(_, f)| class_of(f))
+                .collect();
+            let mut post_classes: Vec<u32> = g
+                .post(v)
+                .iter()
+                .filter(|(u, _)| !g.is_artificial(*u))
+                .map(|&(_, f)| class_of(f))
+                .collect();
+            pre_classes.sort_unstable();
+            post_classes.sort_unstable();
+            num_edges += pre_classes.len() as u64;
+            profiles.push(VertexProfile {
+                freq_class: class_of(g.node_frequency(v)),
+                pre_classes,
+                post_classes,
+            });
+        }
+        profiles.sort();
+        let mut dedup: Vec<VertexProfile> = Vec::new();
+        let mut counts: Vec<u32> = Vec::new();
+        for p in profiles {
+            match dedup.last() {
+                Some(last) if *last == p => {
+                    if let Some(c) = counts.last_mut() {
+                        *c += 1;
+                    }
+                }
+                _ => {
+                    dedup.push(p);
+                    counts.push(1);
+                }
+            }
+        }
+
+        // Minhash over per-vertex label fingerprints, plus the exact
+        // sorted set of those fingerprints for the label-overlap cap.
+        let mut minhash = vec![u64::MAX; MINHASH_LANES];
+        let mut label_hashes: Vec<u64> = Vec::with_capacity(g.num_real());
+        for v in g.real_nodes() {
+            let mut h = Fnv1a::new();
+            h.write(g.name(v).as_bytes());
+            let base = h.finish();
+            label_hashes.push(base);
+            for (lane, slot) in minhash.iter_mut().enumerate() {
+                let salted = base ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(lane as u64 + 1);
+                let hv = mix64(salted);
+                if hv < *slot {
+                    *slot = hv;
+                }
+            }
+        }
+        label_hashes.sort_unstable();
+        label_hashes.dedup();
+
+        GraphSketch {
+            fingerprint: g.fingerprint(),
+            num_real: g.num_real() as u32,
+            num_edges,
+            classes,
+            profiles: dedup,
+            counts,
+            minhash,
+            label_hashes,
+        }
+    }
+
+    /// Reassembles a sketch from persisted parts, re-validating every
+    /// structural invariant — a corrupted payload is rejected, never
+    /// served into pruning decisions.
+    #[allow(clippy::too_many_arguments)] // mirrors the flat persisted payload
+    pub fn try_from_parts(
+        fingerprint: u64,
+        num_real: u32,
+        num_edges: u64,
+        classes: Vec<f64>,
+        profiles: Vec<VertexProfile>,
+        counts: Vec<u32>,
+        minhash: Vec<u64>,
+        label_hashes: Vec<u64>,
+    ) -> Result<GraphSketch, GraphError> {
+        let invalid = |message: String| GraphError::CorruptSketch { message };
+        if minhash.len() != MINHASH_LANES {
+            return Err(invalid(format!(
+                "sketch carries {} minhash lanes, expected {MINHASH_LANES}",
+                minhash.len()
+            )));
+        }
+        if label_hashes.len() > num_real as usize {
+            return Err(invalid(format!(
+                "{} label hashes for {num_real} vertices",
+                label_hashes.len()
+            )));
+        }
+        if !label_hashes.windows(2).all(|w| w[0] < w[1]) {
+            return Err(invalid("label hashes not strictly sorted".into()));
+        }
+        let mut prev: Option<f64> = None;
+        for &f in &classes {
+            if !f.is_finite() || !(0.0..=1.0).contains(&f) {
+                return Err(invalid(format!("frequency class {f} outside [0, 1]")));
+            }
+            if let Some(p) = prev {
+                if f <= p {
+                    return Err(invalid("frequency classes not strictly sorted".into()));
+                }
+            }
+            prev = Some(f);
+        }
+        if profiles.len() != counts.len() {
+            return Err(invalid(format!(
+                "{} profiles but {} counts",
+                profiles.len(),
+                counts.len()
+            )));
+        }
+        let nc = classes.len() as u32;
+        let mut total = 0u64;
+        let mut edges = 0u64;
+        for (p, &cnt) in profiles.iter().zip(&counts) {
+            if cnt == 0 {
+                return Err(invalid("zero-multiplicity profile".into()));
+            }
+            total += u64::from(cnt);
+            edges += p.pre_classes.len() as u64 * u64::from(cnt);
+            let ids = std::iter::once(p.freq_class)
+                .chain(p.pre_classes.iter().copied())
+                .chain(p.post_classes.iter().copied());
+            for id in ids {
+                if id >= nc {
+                    return Err(invalid(format!(
+                        "class id {id} out of range (table has {nc} classes)"
+                    )));
+                }
+            }
+        }
+        if total != u64::from(num_real) {
+            return Err(invalid(format!(
+                "profile multiplicities sum to {total}, sketch declares {num_real} vertices"
+            )));
+        }
+        if edges != num_edges {
+            return Err(invalid(format!(
+                "profile pre-degrees sum to {edges} edges, sketch declares {num_edges}"
+            )));
+        }
+        Ok(GraphSketch {
+            fingerprint,
+            num_real,
+            num_edges,
+            classes,
+            profiles,
+            counts,
+            minhash,
+            label_hashes,
+        })
+    }
+
+    /// Fingerprint of the sketched graph.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Number of real vertices in the sketched graph.
+    pub fn num_real(&self) -> usize {
+        self.num_real as usize
+    }
+
+    /// Number of real edges in the sketched graph.
+    pub fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    /// The sorted distinct frequency values (vertex and edge classes).
+    pub fn classes(&self) -> &[f64] {
+        &self.classes
+    }
+
+    /// The deduplicated vertex profiles.
+    pub fn profiles(&self) -> &[VertexProfile] {
+        &self.profiles
+    }
+
+    /// Multiplicity of each profile, aligned with [`profiles`](Self::profiles).
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// The minhash lanes.
+    pub fn minhash(&self) -> &[u64] {
+        &self.minhash
+    }
+
+    /// The sorted distinct per-vertex FNV-1a label hashes.
+    pub fn label_hashes(&self) -> &[u64] {
+        &self.label_hashes
+    }
+
+    /// Vertex-frequency histogram: `(frequency, vertex count)` per class,
+    /// ascending by frequency.
+    pub fn vertex_frequency_histogram(&self) -> Vec<(f64, u64)> {
+        let mut hist = vec![0u64; self.classes.len()];
+        for (p, &cnt) in self.profiles.iter().zip(&self.counts) {
+            hist[p.freq_class as usize] += u64::from(cnt);
+        }
+        self.histogram_view(hist)
+    }
+
+    /// Edge-frequency histogram: `(frequency, edge count)` per class,
+    /// ascending by frequency (each real edge counted once, at its
+    /// target's profile).
+    pub fn edge_frequency_histogram(&self) -> Vec<(f64, u64)> {
+        let mut hist = vec![0u64; self.classes.len()];
+        for (p, &cnt) in self.profiles.iter().zip(&self.counts) {
+            for &a in &p.pre_classes {
+                hist[a as usize] += u64::from(cnt);
+            }
+        }
+        self.histogram_view(hist)
+    }
+
+    fn histogram_view(&self, hist: Vec<u64>) -> Vec<(f64, u64)> {
+        self.classes
+            .iter()
+            .zip(hist)
+            .filter(|&(_, n)| n > 0)
+            .map(|(&f, n)| (f, n))
+            .collect()
+    }
+
+    /// Minhash Jaccard estimate of the two label alphabets' overlap, in
+    /// `[0, 1]`. An *estimate* — used for deterministic candidate
+    /// ordering, never for pruning (only the sound score bound prunes).
+    pub fn label_jaccard_estimate(&self, other: &GraphSketch) -> f64 {
+        let matching = self
+            .minhash
+            .iter()
+            .zip(&other.minhash)
+            .filter(|(a, b)| a == b)
+            .count();
+        matching as f64 / MINHASH_LANES as f64
+    }
+
+    /// Per-side label-overlap caps under the exact-equality measure: the
+    /// fraction of each side's vertices whose name *can* occur verbatim on
+    /// the other side, computed from the sorted distinct hash sets. Hash
+    /// collisions across graphs only overestimate; the `n − |H|` vertices
+    /// a within-graph collision could hide are counted as matching, so
+    /// each cap is a sound upper bound on the true overlap fraction.
+    fn label_overlap_caps(&self, other: &GraphSketch) -> (f64, f64) {
+        let mut shared = 0u64;
+        let (a, b) = (&self.label_hashes, &other.label_hashes);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    shared += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let cap = |n: u32, distinct: usize| -> f64 {
+            let surplus = u64::from(n) - distinct as u64;
+            (((shared + surplus) as f64) / f64::from(n)).clamp(0.0, 1.0)
+        };
+        (cap(self.num_real, a.len()), cap(other.num_real, b.len()))
+    }
+
+    /// A sound upper bound on the symmetric best-correspondence EMS score
+    /// between the sketched graphs (`self` as side 1, `other` as side 2),
+    /// for damping constant `c ∈ (0, 1)` and label weight `α ∈ [0, 1]`.
+    /// `labels` declares what is known about the label measure; pass
+    /// [`LabelBound::ExactName`] only when exact scoring really uses the
+    /// equality measure. See the module docs for the proof sketch; the
+    /// property suite in `ems-catalog` pins `bound ≥ exact` over seeded
+    /// synthetic corpora.
+    pub fn score_upper_bound(
+        &self,
+        other: &GraphSketch,
+        alpha: f64,
+        c: f64,
+        combine: BoundCombine,
+        labels: LabelBound,
+    ) -> f64 {
+        let (n1, n2) = (self.num_real as usize, other.num_real as usize);
+        if n1 == 0 || n2 == 0 {
+            return 0.0;
+        }
+        // Class-pair compatibility table, computed once per sketch pair —
+        // the same expression as the kernel's `compat`, so the bound and
+        // the exact fixpoint see identical factors for identical inputs.
+        let (c1, c2) = (self.classes.len(), other.classes.len());
+        let mut table = vec![0.0f64; c1 * c2];
+        for (i, &fa) in self.classes.iter().enumerate() {
+            for (j, &fb) in other.classes.iter().enumerate() {
+                table[i * c2 + j] = compat(c, fa, fb);
+            }
+        }
+
+        // Per-profile-pair *structural* bound entries T; running row and
+        // column maxima give the best-correspondence score of T. The label
+        // term re-enters per side below (max is subadditive, so splitting
+        // the maxima over the two terms only raises the bound).
+        let mut row_best = vec![0.0f64; self.profiles.len()];
+        let mut col_best = vec![0.0f64; other.profiles.len()];
+        for (i, p1) in self.profiles.iter().enumerate() {
+            let f1 = self.classes[p1.freq_class as usize];
+            for (j, p2) in other.profiles.iter().enumerate() {
+                let f2 = other.classes[p2.freq_class as usize];
+                // Both artificial lanes exist iff both vertex frequencies
+                // are positive; the artificial outer lane then contributes
+                // exactly C(f(v1), f(v2)).
+                let art = if f1 > 0.0 && f2 > 0.0 {
+                    compat(c, f1, f2)
+                } else {
+                    0.0
+                };
+                let tab = CompatTable {
+                    table: &table,
+                    c2,
+                    art,
+                };
+                let lanes = (f1 > 0.0, f2 > 0.0);
+                let fwd = side_pair(tab, p1, p2, lanes, Side::Pre);
+                let bwd = side_pair(tab, p1, p2, lanes, Side::Post);
+                let entry = match combine {
+                    BoundCombine::Average => (fwd + bwd) / 2.0,
+                    BoundCombine::Max => fwd.max(bwd),
+                };
+                if entry > row_best[i] {
+                    row_best[i] = entry;
+                }
+                if entry > col_best[j] {
+                    col_best[j] = entry;
+                }
+            }
+        }
+
+        // Per-side label caps: 1 unless the exact-equality measure lets
+        // the name-set overlap cap the label term.
+        let (l1, l2) = match labels {
+            LabelBound::Any => (1.0, 1.0),
+            LabelBound::ExactName => self.label_overlap_caps(other),
+        };
+
+        let weighted = |best: &[f64], counts: &[u32], n: usize| -> f64 {
+            let mut sum = 0.0;
+            for (&b, &cnt) in best.iter().zip(counts) {
+                sum += b * f64::from(cnt);
+            }
+            sum / n as f64
+        };
+        let s1 =
+            (alpha * weighted(&row_best, &self.counts, n1) + (1.0 - alpha) * l1).clamp(0.0, 1.0);
+        let s2 =
+            (alpha * weighted(&col_best, &other.counts, n2) + (1.0 - alpha) * l2).clamp(0.0, 1.0);
+        ((s1 + s2) / 2.0).clamp(0.0, 1.0)
+    }
+}
+
+/// The kernel's edge-compatibility factor, reproduced verbatim.
+#[inline]
+fn compat(c: f64, f_o: f64, f_i: f64) -> f64 {
+    c * (1.0 - (f_o - f_i).abs() / (f_o + f_i))
+}
+
+#[derive(Clone, Copy)]
+enum Side {
+    Pre,
+    Post,
+}
+
+/// Dense class-compatibility lookup shared by both directions of a
+/// vertex pair: `table` is row-major with `c2` columns, `art` is the
+/// artificial-lane compatibility.
+#[derive(Clone, Copy)]
+struct CompatTable<'a> {
+    table: &'a [f64],
+    c2: usize,
+    art: f64,
+}
+
+/// One direction's `(s12 + s21)/2` under `S_prev ≡ 1`: each real outer
+/// lane contributes its best class compatibility against the other side's
+/// real classes, the artificial lane contributes `art`, and the average
+/// runs over the full neighbor count (artificial lane included). An empty
+/// neighbor set yields 0 — exactly what the kernel computes.
+fn side_pair(
+    tab: CompatTable<'_>,
+    p1: &VertexProfile,
+    p2: &VertexProfile,
+    art_lanes: (bool, bool),
+    side: Side,
+) -> f64 {
+    let CompatTable { table, c2, art } = tab;
+    let (art1, art2) = art_lanes;
+    let (cl1, cl2) = match side {
+        Side::Pre => (&p1.pre_classes, &p2.pre_classes),
+        Side::Post => (&p1.post_classes, &p2.post_classes),
+    };
+    let one_side = |outer: &[u32], inner: &[u32], outer_art: bool, transposed: bool| -> f64 {
+        let lanes = outer.len() + usize::from(outer_art);
+        if lanes == 0 {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for &a in outer {
+            let mut best = 0.0f64;
+            let mut last = u32::MAX;
+            for &b in inner {
+                if b == last {
+                    continue; // sorted multiset: skip duplicate classes
+                }
+                last = b;
+                let v = if transposed {
+                    table[b as usize * c2 + a as usize]
+                } else {
+                    table[a as usize * c2 + b as usize]
+                };
+                if v > best {
+                    best = v;
+                }
+            }
+            sum += best;
+        }
+        if outer_art {
+            sum += art;
+        }
+        sum / lanes as f64
+    };
+    let s12 = one_side(cl1, cl2, art1, false);
+    let s21 = one_side(cl2, cl1, art2, true);
+    (s12 + s21) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ems_events::EventLog;
+
+    fn sample_pair() -> (DependencyGraph, DependencyGraph) {
+        let mut l1 = EventLog::new();
+        l1.push_trace(["cash", "validate", "pack", "ship"]);
+        l1.push_trace(["cash", "validate", "pack", "ship"]);
+        l1.push_trace(["card", "validate", "pack", "ship"]);
+        let mut l2 = EventLog::new();
+        l2.push_trace(["e0", "e1", "e2", "e4", "e5"]);
+        l2.push_trace(["e0", "e1", "e3", "e4", "e5"]);
+        (
+            DependencyGraph::from_log(&l1),
+            DependencyGraph::from_log(&l2),
+        )
+    }
+
+    #[test]
+    fn sketch_is_a_pure_function_of_graph_content() {
+        let (g1, _) = sample_pair();
+        let a = GraphSketch::of(&g1);
+        let b = GraphSketch::of(&g1);
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), g1.fingerprint());
+        assert_eq!(a.num_real(), g1.num_real());
+    }
+
+    #[test]
+    fn histograms_cover_every_vertex_and_edge() {
+        let (g1, g2) = sample_pair();
+        for g in [&g1, &g2] {
+            let s = GraphSketch::of(g);
+            let verts: u64 = s.vertex_frequency_histogram().iter().map(|&(_, n)| n).sum();
+            assert_eq!(verts, g.num_real() as u64);
+            let edges: u64 = s.edge_frequency_histogram().iter().map(|&(_, n)| n).sum();
+            assert_eq!(edges, s.num_edges());
+            assert_eq!(edges as usize, g.real_edges().len());
+        }
+    }
+
+    #[test]
+    fn identical_graphs_have_identical_minhash() {
+        let (g1, g2) = sample_pair();
+        let s1 = GraphSketch::of(&g1);
+        let s2 = GraphSketch::of(&g2);
+        assert_eq!(s1.label_jaccard_estimate(&s1), 1.0);
+        // Disjoint alphabets: the estimate should be far below 1.
+        assert!(s1.label_jaccard_estimate(&s2) < 0.5);
+    }
+
+    #[test]
+    fn self_bound_is_high_for_self_similarity() {
+        let (g1, _) = sample_pair();
+        let s = GraphSketch::of(&g1);
+        // A graph matched against itself scores high; the bound must sit
+        // at or above any achievable score and below the ceiling.
+        let b = s.score_upper_bound(&s, 1.0, 0.8, BoundCombine::Average, LabelBound::Any);
+        assert!((0.5..=1.0).contains(&b), "self bound {b}");
+    }
+
+    #[test]
+    fn bound_is_monotone_in_alpha_toward_label_ceiling() {
+        let (g1, g2) = sample_pair();
+        let s1 = GraphSketch::of(&g1);
+        let s2 = GraphSketch::of(&g2);
+        let structural =
+            s1.score_upper_bound(&s2, 1.0, 0.8, BoundCombine::Average, LabelBound::Any);
+        let labeled = s1.score_upper_bound(&s2, 0.5, 0.8, BoundCombine::Average, LabelBound::Any);
+        // The label term is bounded by 1, so lowering alpha can only raise
+        // the bound.
+        assert!(labeled >= structural);
+        assert!(labeled <= 1.0);
+    }
+
+    #[test]
+    fn max_combine_dominates_average() {
+        let (g1, g2) = sample_pair();
+        let s1 = GraphSketch::of(&g1);
+        let s2 = GraphSketch::of(&g2);
+        let avg = s1.score_upper_bound(&s2, 1.0, 0.8, BoundCombine::Average, LabelBound::Any);
+        let max = s1.score_upper_bound(&s2, 1.0, 0.8, BoundCombine::Max, LabelBound::Any);
+        assert!(max >= avg);
+    }
+
+    #[test]
+    fn parts_round_trip_and_validation_rejects_corruption() {
+        let (g1, _) = sample_pair();
+        let s = GraphSketch::of(&g1);
+        let rebuilt = GraphSketch::try_from_parts(
+            s.fingerprint(),
+            s.num_real() as u32,
+            s.num_edges(),
+            s.classes().to_vec(),
+            s.profiles().to_vec(),
+            s.counts().to_vec(),
+            s.minhash().to_vec(),
+            s.label_hashes().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, s);
+
+        // Class id out of range.
+        let mut bad = s.profiles().to_vec();
+        bad[0].freq_class = 999;
+        assert!(GraphSketch::try_from_parts(
+            s.fingerprint(),
+            s.num_real() as u32,
+            s.num_edges(),
+            s.classes().to_vec(),
+            bad,
+            s.counts().to_vec(),
+            s.minhash().to_vec(),
+            s.label_hashes().to_vec(),
+        )
+        .is_err());
+
+        // Multiplicities no longer sum to the vertex count.
+        let mut bad_counts = s.counts().to_vec();
+        bad_counts[0] += 1;
+        assert!(GraphSketch::try_from_parts(
+            s.fingerprint(),
+            s.num_real() as u32,
+            s.num_edges(),
+            s.classes().to_vec(),
+            s.profiles().to_vec(),
+            bad_counts,
+            s.minhash().to_vec(),
+            s.label_hashes().to_vec(),
+        )
+        .is_err());
+
+        // Wrong lane count.
+        assert!(GraphSketch::try_from_parts(
+            s.fingerprint(),
+            s.num_real() as u32,
+            s.num_edges(),
+            s.classes().to_vec(),
+            s.profiles().to_vec(),
+            s.counts().to_vec(),
+            vec![0; 3],
+            s.label_hashes().to_vec(),
+        )
+        .is_err());
+
+        // Unsorted class table.
+        let mut bad_classes = s.classes().to_vec();
+        bad_classes.reverse();
+        assert!(GraphSketch::try_from_parts(
+            s.fingerprint(),
+            s.num_real() as u32,
+            s.num_edges(),
+            bad_classes,
+            s.profiles().to_vec(),
+            s.counts().to_vec(),
+            s.minhash().to_vec(),
+            s.label_hashes().to_vec(),
+        )
+        .is_err());
+
+        // Unsorted label hashes.
+        let mut bad_hashes = s.label_hashes().to_vec();
+        bad_hashes.reverse();
+        assert!(GraphSketch::try_from_parts(
+            s.fingerprint(),
+            s.num_real() as u32,
+            s.num_edges(),
+            s.classes().to_vec(),
+            s.profiles().to_vec(),
+            s.counts().to_vec(),
+            s.minhash().to_vec(),
+            bad_hashes,
+        )
+        .is_err());
+
+        // More distinct hashes than vertices.
+        let mut too_many = s.label_hashes().to_vec();
+        let next = too_many.last().copied().unwrap_or(0).wrapping_add(1);
+        while too_many.len() <= s.num_real() {
+            too_many.push(next + too_many.len() as u64);
+        }
+        assert!(GraphSketch::try_from_parts(
+            s.fingerprint(),
+            s.num_real() as u32,
+            s.num_edges(),
+            s.classes().to_vec(),
+            s.profiles().to_vec(),
+            s.counts().to_vec(),
+            s.minhash().to_vec(),
+            too_many,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn label_hashes_are_sorted_distinct_and_cover_the_alphabet() {
+        let (g1, _) = sample_pair();
+        let s = GraphSketch::of(&g1);
+        assert!(s.label_hashes().windows(2).all(|w| w[0] < w[1]));
+        // 5 distinct activity names, no collisions at this size.
+        assert_eq!(s.label_hashes().len(), g1.num_real());
+    }
+
+    #[test]
+    fn exact_name_bound_caps_disjoint_alphabets() {
+        let (g1, g2) = sample_pair();
+        let s1 = GraphSketch::of(&g1);
+        let s2 = GraphSketch::of(&g2);
+        let (l12, l21) = s1.label_overlap_caps(&s2);
+        assert_eq!((l12, l21), (0.0, 0.0));
+        let (l11, _) = s1.label_overlap_caps(&s1);
+        assert_eq!(l11, 1.0);
+        // With disjoint names, the exact-name bound at alpha = 0.5 is half
+        // the structural bound plus nothing — strictly below the Any lift.
+        let any = s1.score_upper_bound(&s2, 0.5, 0.8, BoundCombine::Average, LabelBound::Any);
+        let exact =
+            s1.score_upper_bound(&s2, 0.5, 0.8, BoundCombine::Average, LabelBound::ExactName);
+        assert!(exact < any, "exact {exact} should undercut any {any}");
+        let structural =
+            s1.score_upper_bound(&s2, 1.0, 0.8, BoundCombine::Average, LabelBound::ExactName);
+        assert!((exact - structural / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_name_bound_never_exceeds_any_bound() {
+        let (g1, g2) = sample_pair();
+        let s1 = GraphSketch::of(&g1);
+        let s2 = GraphSketch::of(&g2);
+        for &alpha in &[0.0, 0.25, 0.5, 1.0] {
+            for combine in [BoundCombine::Average, BoundCombine::Max] {
+                let any = s1.score_upper_bound(&s2, alpha, 0.8, combine, LabelBound::Any);
+                let exact = s1.score_upper_bound(&s2, alpha, 0.8, combine, LabelBound::ExactName);
+                assert!(exact <= any + 1e-12, "alpha {alpha}: {exact} > {any}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_side_bounds_to_zero() {
+        let (g1, _) = sample_pair();
+        let s = GraphSketch::of(&g1);
+        let empty = GraphSketch::try_from_parts(
+            0,
+            0,
+            0,
+            Vec::new(),
+            Vec::new(),
+            Vec::new(),
+            vec![u64::MAX; MINHASH_LANES],
+            Vec::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            s.score_upper_bound(&empty, 1.0, 0.8, BoundCombine::Average, LabelBound::Any),
+            0.0
+        );
+        assert_eq!(
+            empty.score_upper_bound(&s, 1.0, 0.8, BoundCombine::Average, LabelBound::Any),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Exact-equality label similarity.
+//!
+//! The strictest measure in the family: `1.0` when the two names are
+//! byte-identical, `0.0` otherwise. It is what the catalog's sketch layer
+//! assumes when it turns the label term of Definition 2 into a set-overlap
+//! upper bound — under equality, `S^L(v1, v2) ≤ [name(v1) ∈ names(G2)]`,
+//! so the average row maximum of the label part is capped by the fraction
+//! of one graph's names that appear verbatim in the other. No graded
+//! measure (q-grams, edit distance, …) admits such a bound from name
+//! *sets* alone, which is why the sketch-level label bound is only claimed
+//! for this measure.
+
+use crate::LabelSimilarity;
+
+/// Exact string equality: `1.0` iff `a == b`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactName;
+
+impl LabelSimilarity for ExactName {
+    fn similarity(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_names_score_one() {
+        assert_eq!(ExactName.similarity("ship order", "ship order"), 1.0);
+    }
+
+    #[test]
+    fn unequal_names_score_zero() {
+        assert_eq!(ExactName.similarity("ship order", "ship  order"), 0.0);
+        assert_eq!(ExactName.similarity("a", "A"), 0.0);
+        assert_eq!(ExactName.similarity("", "a"), 0.0);
+    }
+
+    #[test]
+    fn empty_equals_empty() {
+        assert_eq!(ExactName.similarity("", ""), 1.0);
+    }
+}

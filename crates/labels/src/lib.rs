@@ -8,6 +8,8 @@
 //! classical alternatives used across the schema-matching literature:
 //!
 //! * [`qgram_cosine`] — cosine over q-gram multisets (the paper's choice),
+//! * [`ExactName`] — strict string equality, the measure the catalog's
+//!   sketch bound assumes (set-overlap caps only hold under equality),
 //! * [`levenshtein`] / [`levenshtein_similarity`] — edit distance,
 //! * [`jaro_winkler`] — prefix-boosted Jaro,
 //! * [`token_jaccard`] — whitespace-token Jaccard,
@@ -26,6 +28,7 @@
 mod cosine;
 mod edit;
 mod error;
+mod exact;
 mod jaro;
 mod matrix;
 mod tfidf;
@@ -34,6 +37,7 @@ mod token;
 pub use cosine::{qgram_cosine, qgram_profile, QgramCosine};
 pub use edit::{levenshtein, levenshtein_similarity, Levenshtein};
 pub use error::LabelsError;
+pub use exact::ExactName;
 pub use jaro::{jaro, jaro_winkler, JaroWinkler};
 pub use matrix::LabelMatrix;
 pub use tfidf::TfIdf;

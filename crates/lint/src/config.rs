@@ -93,9 +93,10 @@ pub const INDEX_BOUNDS_WATCHED: &[&str] = &[
 
 /// `nondeterminism` watched crates: everything whose output feeds
 /// reported similarity/matching results (including `synth`, whose outputs
-/// must be reproducible from the seed alone, and `store`/`faults`, whose
+/// must be reproducible from the seed alone, `store`/`faults`, whose
 /// snapshot bytes and fault schedules must be pure functions of content
-/// and seed).
+/// and seed, and `catalog`, whose admission/eviction decisions and
+/// pruning order must be identical on every host).
 pub const NONDET_CRATES: &[&str] = &[
     "core",
     "depgraph",
@@ -110,6 +111,7 @@ pub const NONDET_CRATES: &[&str] = &[
     "prof",
     "store",
     "faults",
+    "catalog",
 ];
 
 /// `wall-clock-randomness` watched crates: result-producing code may not
@@ -133,6 +135,8 @@ pub const NONDET_CRATES: &[&str] = &[
 /// (counters, allocation tallies, histogram contents) must be a pure
 /// function of the work performed, which is what keeps redacted profile
 /// exports byte-identical across kernels and thread counts.
+/// `catalog` participates so eviction recency can only ever be the
+/// logical access counter, never a wall-clock timestamp.
 pub const CLOCK_CRATES: &[&str] = &[
     "core",
     "depgraph",
@@ -146,6 +150,7 @@ pub const CLOCK_CRATES: &[&str] = &[
     "prof",
     "store",
     "faults",
+    "catalog",
 ];
 
 /// `wall-clock-randomness` exempt files: the timing infrastructure itself.

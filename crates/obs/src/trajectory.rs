@@ -14,9 +14,10 @@
 //! Metric keys are flat dotted names (`n<size>.<measurement>`, thread-sweep
 //! points as `n<size>.t<threads>.<measurement>`) sorted alphabetically in
 //! the output, so two rows of the same run are byte-identical. Metric
-//! *semantics* are carried by the name suffix: `*_pairs_per_sec` is
-//! higher-is-better, `*_ms` is lower-is-better, anything else is
-//! informational and never gated.
+//! *semantics* are carried by the name suffix: `*_per_sec` (pair
+//! throughput, serve queries per second, ...) is higher-is-better,
+//! `*_ms` is lower-is-better, anything else is informational and never
+//! gated.
 //!
 //! The module is deliberately clock- and environment-free: run ids, git
 //! revisions and host fingerprints are supplied by the callers (the bench
@@ -83,7 +84,7 @@ pub enum MetricDirection {
 /// Infers a metric's direction from its name suffix; `None` means the
 /// metric is informational and never gated.
 pub fn direction_of(name: &str) -> Option<MetricDirection> {
-    if name.ends_with("_pairs_per_sec") {
+    if name.ends_with("_per_sec") {
         Some(MetricDirection::HigherIsBetter)
     } else if name.ends_with("_ms") || name.ends_with("_us") {
         Some(MetricDirection::LowerIsBetter)
@@ -96,7 +97,7 @@ pub fn direction_of(name: &str) -> Option<MetricDirection> {
 /// Throughput metrics gate at 15%; wall-clock metrics are inherently
 /// noisier on shared CI runners and gate at 25%.
 pub fn threshold_for(name: &str) -> f64 {
-    if name.ends_with("_pairs_per_sec") {
+    if name.ends_with("_per_sec") {
         0.15
     } else {
         0.25
@@ -523,8 +524,14 @@ mod tests {
             direction_of("n800.serial_wall_ms"),
             Some(MetricDirection::LowerIsBetter)
         );
+        assert_eq!(
+            direction_of("serve.queries_per_sec"),
+            Some(MetricDirection::HigherIsBetter)
+        );
         assert_eq!(direction_of("n800.pool_shards"), None);
+        assert_eq!(direction_of("serve.pruned_fraction"), None);
         assert!(threshold_for("x_pairs_per_sec") < threshold_for("x_wall_ms"));
+        assert!(threshold_for("serve.queries_per_sec") < threshold_for("x_wall_ms"));
     }
 
     #[test]

@@ -44,15 +44,18 @@ pub enum SnapshotKind {
     Substrate,
     /// A label similarity matrix.
     Labels,
+    /// A graph sketch (frequency classes, vertex profiles, minhash).
+    Sketch,
 }
 
 impl SnapshotKind {
     /// Every kind, in tag order.
-    pub const ALL: [SnapshotKind; 4] = [
+    pub const ALL: [SnapshotKind; 5] = [
         SnapshotKind::Log,
         SnapshotKind::Graph,
         SnapshotKind::Substrate,
         SnapshotKind::Labels,
+        SnapshotKind::Sketch,
     ];
 
     /// The envelope tag byte.
@@ -62,6 +65,7 @@ impl SnapshotKind {
             SnapshotKind::Graph => 2,
             SnapshotKind::Substrate => 3,
             SnapshotKind::Labels => 4,
+            SnapshotKind::Sketch => 5,
         }
     }
 
@@ -72,6 +76,7 @@ impl SnapshotKind {
             2 => Some(SnapshotKind::Graph),
             3 => Some(SnapshotKind::Substrate),
             4 => Some(SnapshotKind::Labels),
+            5 => Some(SnapshotKind::Sketch),
             _ => None,
         }
     }
@@ -83,6 +88,7 @@ impl SnapshotKind {
             SnapshotKind::Graph => "graph",
             SnapshotKind::Substrate => "substrate",
             SnapshotKind::Labels => "labels",
+            SnapshotKind::Sketch => "sketch",
         }
     }
 

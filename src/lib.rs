@@ -16,6 +16,7 @@
 
 pub use ems_assignment as assignment;
 pub use ems_baselines as baselines;
+pub use ems_catalog as catalog;
 pub use ems_core as core;
 pub use ems_depgraph as depgraph;
 pub use ems_error as error;

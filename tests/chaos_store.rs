@@ -265,6 +265,113 @@ fn external_corruption_is_always_detected_and_recovery_is_idempotent() {
     let _ = std::fs::remove_dir_all(&root);
 }
 
+/// Four structurally distinct reference logs for the catalog-reload
+/// sweep, plus two query logs (jittered variants of the first and third
+/// references) whose top-2 rankings are unambiguous.
+fn catalog_corpus() -> (Vec<EventLog>, Vec<EventLog>) {
+    let (l1, l2) = logs();
+    let mut l3 = EventLog::new();
+    l3.push_trace(["open", "triage", "assign", "resolve", "close"]);
+    l3.push_trace(["open", "triage", "escalate", "resolve", "close"]);
+    l3.push_trace(["open", "triage", "assign", "close"]);
+    let mut l4 = EventLog::new();
+    l4.push_trace(["a", "b"]);
+    l4.push_trace(["a", "c"]);
+    l4.push_trace(["a", "b", "c"]);
+    let mut q1 = EventLog::new();
+    q1.push_trace(["cash", "validate", "pack", "ship"]);
+    q1.push_trace(["card", "validate", "pack", "ship"]);
+    q1.push_trace(["card", "validate", "ship"]);
+    let mut q2 = EventLog::new();
+    q2.push_trace(["open", "triage", "assign", "resolve", "close"]);
+    q2.push_trace(["open", "triage", "assign", "close"]);
+    (vec![l1, l2, l3, l4], vec![q1, q2])
+}
+
+/// PR10 catalog-reload fault sites: a byte-budgeted catalog under store
+/// fault injection evicts on every pin, so each query replays the
+/// eviction → store-read reload chain with reads (and the writes that
+/// seeded them) failing underneath it. Every failure must degrade to a
+/// rebuild from the in-memory source log — never a panic, never an error
+/// surfaced from `query_top_k`, and never a ranking that differs from
+/// the clean brute-force oracle.
+#[test]
+fn catalog_eviction_reload_faults_never_change_rankings() {
+    use event_matching::catalog::Catalog;
+    use event_matching::core::SharedSession;
+
+    let (refs, queries) = catalog_corpus();
+
+    // Clean oracle: no store, unlimited budget, pruning off — the exact
+    // brute-force ranking with scores.
+    let clean: Vec<Vec<(String, f64)>> = {
+        let shared =
+            Arc::new(SharedSession::try_new(EmsParams::structural()).expect("params are valid"));
+        let mut catalog = Catalog::new(shared);
+        for (i, log) in refs.iter().enumerate() {
+            catalog.add(format!("ref-{i}"), log.clone());
+        }
+        queries
+            .iter()
+            .map(|q| {
+                catalog
+                    .query_top_k_opts(q, 2, false)
+                    .expect("clean query")
+                    .ranked
+                    .into_iter()
+                    .map(|r| (r.name, r.ems_score))
+                    .collect()
+            })
+            .collect()
+    };
+
+    let mut fired_faults = 0usize;
+    let mut evictions = 0u64;
+    for seed in 0..240u64 {
+        let root = tmp_root("catalog");
+        let injector = Arc::new(FaultInjector::new(FaultPlan::generate(seed)));
+        let store = CatalogStore::open(&root)
+            .expect("open store")
+            .with_injector(Arc::clone(&injector));
+        let shared = Arc::new(
+            SharedSession::try_new(EmsParams::structural())
+                .expect("params are valid")
+                .with_store(Arc::new(store)),
+        );
+        // A 1-byte budget evicts every pin immediately: each reference
+        // access is a cold reload under whatever faults the plan holds.
+        let mut catalog = Catalog::new(shared).with_byte_budget(1);
+        for (i, log) in refs.iter().enumerate() {
+            catalog.add(format!("ref-{i}"), log.clone());
+        }
+        for (qi, q) in queries.iter().enumerate() {
+            let out = catalog
+                .query_top_k_opts(q, 2, true)
+                .expect("store faults must degrade to rebuilds, not fail the query");
+            let got: Vec<(String, f64)> = out
+                .ranked
+                .into_iter()
+                .map(|r| (r.name, r.ems_score))
+                .collect();
+            assert_eq!(
+                got, clean[qi],
+                "seed {seed}, query {qi}: faulted ranking diverged from the clean oracle"
+            );
+        }
+        fired_faults += injector.fired().len();
+        evictions += catalog.stats().evictions;
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    assert!(
+        fired_faults >= 100,
+        "only {fired_faults} faults fired across 240 plans — the sweep is not injecting"
+    );
+    assert!(
+        evictions >= 240,
+        "only {evictions} evictions across 240 runs — the budget is not forcing reloads"
+    );
+}
+
 /// The disk-warm contract end to end through the umbrella crate: a store
 /// populated by one process-lifetime serves the next one bit-identically.
 #[test]
